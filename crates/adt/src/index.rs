@@ -1,0 +1,316 @@
+//! Typed `u32` indices and dense index-keyed vectors.
+//!
+//! Pointer analyses juggle many id spaces (values, objects, instructions,
+//! SVFG nodes, versions, ...). Mixing them up is a classic source of subtle
+//! bugs; [`define_index!`](crate::define_index) stamps out zero-cost
+//! newtypes so the compiler
+//! keeps the spaces apart, and [`IndexVec`] provides a dense map keyed by
+//! such an index.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Index, IndexMut};
+
+/// A type usable as a dense index.
+///
+/// Implemented automatically by [`define_index!`](crate::define_index); also implemented for
+/// `usize` and `u32` so plain integers can key an [`IndexVec`].
+pub trait Idx: Copy + Eq + std::hash::Hash + Ord + fmt::Debug + 'static {
+    /// The position this index denotes.
+    fn index(self) -> usize;
+    /// Builds the index denoting position `i`.
+    fn from_index(i: usize) -> Self;
+}
+
+impl Idx for usize {
+    fn index(self) -> usize {
+        self
+    }
+    fn from_index(i: usize) -> Self {
+        i
+    }
+}
+
+impl Idx for u32 {
+    fn index(self) -> usize {
+        self as usize
+    }
+    fn from_index(i: usize) -> Self {
+        u32::try_from(i).expect("index exceeds u32 range")
+    }
+}
+
+/// Defines a typed `u32` index newtype.
+///
+/// The generated type implements [`Idx`], the common derive set, `Display`
+/// (as `<prefix><n>`), and provides `new`, `raw`, and `index` methods.
+///
+/// # Examples
+///
+/// ```
+/// use vsfs_adt::define_index;
+///
+/// define_index!(NodeId, "n");
+/// let n = NodeId::new(7);
+/// assert_eq!(n.to_string(), "n7");
+/// assert_eq!(n.raw(), 7);
+/// ```
+#[macro_export]
+macro_rules! define_index {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates the index for position `raw`.
+            pub const fn new(raw: u32) -> Self {
+                $name(raw)
+            }
+
+            /// The underlying `u32`.
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The underlying position as `usize`.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl $crate::index::Idx for $name {
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+            fn from_index(i: usize) -> Self {
+                $name(u32::try_from(i).expect("index exceeds u32 range"))
+            }
+        }
+
+        impl ::std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl ::std::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(v: $name) -> u32 {
+                v.0
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(v: $name) -> usize {
+                v.0 as usize
+            }
+        }
+    };
+}
+
+/// A dense vector keyed by a typed index.
+///
+/// # Examples
+///
+/// ```
+/// use vsfs_adt::{define_index, IndexVec};
+///
+/// define_index!(VarId, "v");
+/// let mut names: IndexVec<VarId, String> = IndexVec::new();
+/// let v = names.push("p".to_string());
+/// assert_eq!(names[v], "p");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct IndexVec<I, T> {
+    raw: Vec<T>,
+    _marker: PhantomData<I>,
+}
+
+impl<I: Idx, T> IndexVec<I, T> {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        IndexVec { raw: Vec::new(), _marker: PhantomData }
+    }
+
+    /// Creates an empty vector with the given capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        IndexVec { raw: Vec::with_capacity(cap), _marker: PhantomData }
+    }
+
+    /// Creates a vector of `n` clones of `elem`.
+    pub fn from_elem_n(elem: T, n: usize) -> Self
+    where
+        T: Clone,
+    {
+        IndexVec { raw: vec![elem; n], _marker: PhantomData }
+    }
+
+    /// Wraps a raw `Vec`.
+    pub fn from_raw(raw: Vec<T>) -> Self {
+        IndexVec { raw, _marker: PhantomData }
+    }
+
+    /// Appends `value`, returning its index.
+    pub fn push(&mut self, value: T) -> I {
+        let idx = I::from_index(self.raw.len());
+        self.raw.push(value);
+        idx
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Returns `true` if the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// The index one past the last element (the next index `push` returns).
+    pub fn next_index(&self) -> I {
+        I::from_index(self.raw.len())
+    }
+
+    /// Returns a reference to the element at `index`, if in bounds.
+    pub fn get(&self, index: I) -> Option<&T> {
+        self.raw.get(index.index())
+    }
+
+    /// Returns a mutable reference to the element at `index`, if in bounds.
+    pub fn get_mut(&mut self, index: I) -> Option<&mut T> {
+        self.raw.get_mut(index.index())
+    }
+
+    /// Iterates references to the elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.raw.iter()
+    }
+
+    /// Iterates mutable references to the elements.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.raw.iter_mut()
+    }
+
+    /// Iterates `(index, &element)` pairs.
+    pub fn iter_enumerated(&self) -> impl Iterator<Item = (I, &T)> {
+        self.raw.iter().enumerate().map(|(i, t)| (I::from_index(i), t))
+    }
+
+    /// Iterates all valid indices.
+    pub fn indices(&self) -> impl Iterator<Item = I> + 'static {
+        (0..self.raw.len()).map(I::from_index)
+    }
+
+    /// Grows the vector with clones of `fill` until `index` is in bounds.
+    pub fn ensure_contains(&mut self, index: I, fill: T)
+    where
+        T: Clone,
+    {
+        if index.index() >= self.raw.len() {
+            self.raw.resize(index.index() + 1, fill);
+        }
+    }
+
+    /// The underlying storage.
+    pub fn raw(&self) -> &[T] {
+        &self.raw
+    }
+
+    /// Consumes the vector, returning the underlying storage.
+    pub fn into_raw(self) -> Vec<T> {
+        self.raw
+    }
+}
+
+impl<I: Idx, T> Default for IndexVec<I, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I: Idx, T> Index<I> for IndexVec<I, T> {
+    type Output = T;
+    fn index(&self, index: I) -> &T {
+        &self.raw[index.index()]
+    }
+}
+
+impl<I: Idx, T> IndexMut<I> for IndexVec<I, T> {
+    fn index_mut(&mut self, index: I) -> &mut T {
+        &mut self.raw[index.index()]
+    }
+}
+
+impl<I, T: fmt::Debug> fmt::Debug for IndexVec<I, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.raw.iter()).finish()
+    }
+}
+
+impl<I: Idx, T> FromIterator<T> for IndexVec<I, T> {
+    fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
+        IndexVec { raw: iter.into_iter().collect(), _marker: PhantomData }
+    }
+}
+
+impl<'a, I: Idx, T> IntoIterator for &'a IndexVec<I, T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.raw.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    define_index!(TstId, "x");
+
+    #[test]
+    fn index_roundtrip() {
+        let id = TstId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(TstId::from_index(42), id);
+        assert_eq!(format!("{id}"), "x42");
+        assert_eq!(format!("{id:?}"), "x42");
+        assert_eq!(u32::from(id), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn index_vec_push_and_lookup() {
+        let mut v: IndexVec<TstId, &str> = IndexVec::new();
+        let a = v.push("a");
+        let b = v.push("b");
+        assert_eq!(v[a], "a");
+        assert_eq!(v[b], "b");
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.next_index(), TstId::new(2));
+        assert_eq!(v.iter_enumerated().count(), 2);
+        assert_eq!(v.indices().collect::<Vec<_>>(), vec![a, b]);
+    }
+
+    #[test]
+    fn index_vec_ensure_contains() {
+        let mut v: IndexVec<TstId, u8> = IndexVec::new();
+        v.ensure_contains(TstId::new(3), 7);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[TstId::new(3)], 7);
+        assert_eq!(v[TstId::new(0)], 7);
+    }
+
+    #[test]
+    fn index_vec_get() {
+        let v: IndexVec<TstId, i32> = IndexVec::from_raw(vec![1, 2]);
+        assert_eq!(v.get(TstId::new(1)), Some(&2));
+        assert_eq!(v.get(TstId::new(2)), None);
+    }
+}

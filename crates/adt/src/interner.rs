@@ -1,0 +1,111 @@
+//! Hash-consing of sparse bit vectors.
+//!
+//! Meld labelling produces one label (a set of prelabels) per
+//! (node, object) pair; many pairs share the same label. The interner maps
+//! each distinct label to a dense `u32` id so the solver can compare and
+//! index versions in O(1) and store the label set only once.
+
+use crate::sbv::SparseBitVector;
+use std::collections::HashMap;
+
+/// Interns [`SparseBitVector`]s, assigning each distinct vector a dense id.
+///
+/// Id 0 is always the empty vector (the identity label `ε`).
+///
+/// # Examples
+///
+/// ```
+/// use vsfs_adt::{SbvInterner, SparseBitVector};
+///
+/// let mut pool = SbvInterner::new();
+/// assert_eq!(pool.intern(&SparseBitVector::new()), SbvInterner::EMPTY);
+/// let a: SparseBitVector = [1u32, 2].into_iter().collect();
+/// let id = pool.intern(&a);
+/// assert_eq!(pool.intern(&a), id);
+/// assert_eq!(pool.get(id), &a);
+/// ```
+#[derive(Debug, Default)]
+pub struct SbvInterner {
+    map: HashMap<SparseBitVector, u32>,
+    vecs: Vec<SparseBitVector>,
+}
+
+impl SbvInterner {
+    /// The id of the empty vector.
+    pub const EMPTY: u32 = 0;
+
+    /// Creates an interner pre-seeded with the empty vector at id 0.
+    pub fn new() -> Self {
+        let mut i = SbvInterner { map: HashMap::new(), vecs: Vec::new() };
+        let id = i.intern(&SparseBitVector::new());
+        debug_assert_eq!(id, Self::EMPTY);
+        i
+    }
+
+    /// Returns the id for `v`, allocating a new one if unseen.
+    pub fn intern(&mut self, v: &SparseBitVector) -> u32 {
+        if let Some(&id) = self.map.get(v) {
+            return id;
+        }
+        let id = u32::try_from(self.vecs.len()).expect("interner overflow");
+        self.vecs.push(v.clone());
+        self.map.insert(v.clone(), id);
+        id
+    }
+
+    /// Looks up a previously interned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub fn get(&self, id: u32) -> &SparseBitVector {
+        &self.vecs[id as usize]
+    }
+
+    /// Number of distinct vectors interned (including the empty one).
+    pub fn len(&self) -> usize {
+        self.vecs.len()
+    }
+
+    /// Returns `true` if only the empty vector has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.vecs.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let mut p = SbvInterner::new();
+        assert_eq!(p.intern(&SparseBitVector::new()), 0);
+        assert_eq!(p.len(), 1);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn dedups_equal_vectors() {
+        let mut p = SbvInterner::new();
+        let a: SparseBitVector = [3u32, 999].into_iter().collect();
+        let b: SparseBitVector = [999u32, 3].into_iter().collect();
+        let ia = p.intern(&a);
+        let ib = p.intern(&b);
+        assert_eq!(ia, ib);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn distinct_vectors_get_distinct_ids() {
+        let mut p = SbvInterner::new();
+        let a: SparseBitVector = [1u32].into_iter().collect();
+        let b: SparseBitVector = [2u32].into_iter().collect();
+        let ia = p.intern(&a);
+        let ib = p.intern(&b);
+        assert_ne!(ia, ib);
+        assert_eq!(p.get(ia), &a);
+        assert_eq!(p.get(ib), &b);
+    }
+}

@@ -1,0 +1,77 @@
+//! Lightweight phase timing for the benchmark harness.
+//!
+//! The paper times each analysis phase separately (auxiliary analysis,
+//! memory SSA, SVFG construction, versioning, main phase). [`PhaseTimer`]
+//! records named phase durations in order.
+
+use std::time::{Duration, Instant};
+
+/// Records the wall-clock duration of named phases.
+///
+/// # Examples
+///
+/// ```
+/// use vsfs_adt::stats::PhaseTimer;
+///
+/// let mut t = PhaseTimer::new();
+/// t.time("setup", || { /* work */ });
+/// assert_eq!(t.phases().len(), 1);
+/// assert_eq!(t.phases()[0].0, "setup");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct PhaseTimer {
+    phases: Vec<(String, Duration)>,
+}
+
+impl PhaseTimer {
+    /// Creates an empty timer.
+    pub fn new() -> Self {
+        PhaseTimer::default()
+    }
+
+    /// Runs `f`, recording its duration under `name`, and returns its value.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.phases.push((name.to_string(), start.elapsed()));
+        out
+    }
+
+    /// Records an externally measured duration.
+    pub fn record(&mut self, name: &str, d: Duration) {
+        self.phases.push((name.to_string(), d));
+    }
+
+    /// The recorded `(name, duration)` pairs, in recording order.
+    pub fn phases(&self) -> &[(String, Duration)] {
+        &self.phases
+    }
+
+    /// The duration of the most recently recorded phase named `name`.
+    pub fn duration(&self, name: &str) -> Option<Duration> {
+        self.phases.iter().rev().find(|(n, _)| n == name).map(|(_, d)| *d)
+    }
+
+    /// Sum of all recorded phases.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_phases_in_order() {
+        let mut t = PhaseTimer::new();
+        let v = t.time("a", || 41) + 1;
+        assert_eq!(v, 42);
+        t.record("b", Duration::from_millis(5));
+        assert_eq!(t.phases().len(), 2);
+        assert_eq!(t.phases()[0].0, "a");
+        assert_eq!(t.duration("b"), Some(Duration::from_millis(5)));
+        assert!(t.total() >= Duration::from_millis(5));
+        assert_eq!(t.duration("missing"), None);
+    }
+}

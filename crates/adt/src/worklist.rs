@@ -1,0 +1,171 @@
+//! Worklists for fixpoint solvers.
+//!
+//! Both worklists deduplicate membership: pushing an element already queued
+//! is a no-op. [`FifoWorklist`] pops in insertion order; [`PriorityWorklist`]
+//! pops the element with the smallest priority (typically a reverse
+//! post-order number, which makes data-flow fixpoints converge faster).
+
+use crate::index::Idx;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// FIFO worklist with O(1) membership dedup.
+///
+/// # Examples
+///
+/// ```
+/// use vsfs_adt::FifoWorklist;
+///
+/// let mut wl: FifoWorklist<usize> = FifoWorklist::new(10);
+/// assert!(wl.push(3));
+/// assert!(!wl.push(3)); // already queued
+/// assert_eq!(wl.pop(), Some(3));
+/// assert!(wl.push(3)); // may be re-queued after popping
+/// ```
+#[derive(Debug, Clone)]
+pub struct FifoWorklist<I> {
+    queue: VecDeque<I>,
+    queued: Vec<bool>,
+}
+
+impl<I: Idx> FifoWorklist<I> {
+    /// Creates a worklist for elements with indices `< capacity`.
+    pub fn new(capacity: usize) -> Self {
+        FifoWorklist { queue: VecDeque::new(), queued: vec![false; capacity] }
+    }
+
+    /// Enqueues `item` unless already queued; returns `true` if enqueued.
+    pub fn push(&mut self, item: I) -> bool {
+        let i = item.index();
+        if i >= self.queued.len() {
+            self.queued.resize(i + 1, false);
+        }
+        if self.queued[i] {
+            return false;
+        }
+        self.queued[i] = true;
+        self.queue.push_back(item);
+        true
+    }
+
+    /// Dequeues the oldest item, if any.
+    pub fn pop(&mut self) -> Option<I> {
+        let item = self.queue.pop_front()?;
+        self.queued[item.index()] = false;
+        Some(item)
+    }
+
+    /// Returns `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Min-priority worklist with membership dedup.
+///
+/// Elements are popped in ascending priority order. Typical use: priorities
+/// are reverse post-order numbers of graph nodes.
+///
+/// # Examples
+///
+/// ```
+/// use vsfs_adt::PriorityWorklist;
+///
+/// let mut wl: PriorityWorklist<usize> = PriorityWorklist::new(vec![2, 0, 1]);
+/// wl.push(0);
+/// wl.push(1);
+/// wl.push(2);
+/// assert_eq!(wl.pop(), Some(1)); // priority 0
+/// assert_eq!(wl.pop(), Some(2)); // priority 1
+/// assert_eq!(wl.pop(), Some(0)); // priority 2
+/// ```
+#[derive(Debug, Clone)]
+pub struct PriorityWorklist<I> {
+    heap: BinaryHeap<std::cmp::Reverse<(u32, I)>>,
+    priority: Vec<u32>,
+    queued: Vec<bool>,
+}
+
+impl<I: Idx> PriorityWorklist<I> {
+    /// Creates a worklist where element `i` has priority `priority[i]`.
+    pub fn new(priority: Vec<u32>) -> Self {
+        let n = priority.len();
+        PriorityWorklist { heap: BinaryHeap::new(), priority, queued: vec![false; n] }
+    }
+
+    /// Enqueues `item` unless already queued; returns `true` if enqueued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item`'s index is out of range of the priority table.
+    pub fn push(&mut self, item: I) -> bool {
+        let i = item.index();
+        if self.queued[i] {
+            return false;
+        }
+        self.queued[i] = true;
+        self.heap.push(std::cmp::Reverse((self.priority[i], item)));
+        true
+    }
+
+    /// Dequeues the item with the smallest priority, if any.
+    pub fn pop(&mut self) -> Option<I> {
+        let std::cmp::Reverse((_, item)) = self.heap.pop()?;
+        self.queued[item.index()] = false;
+        Some(item)
+    }
+
+    /// Returns `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_dedups_until_pop() {
+        let mut wl: FifoWorklist<usize> = FifoWorklist::new(4);
+        assert!(wl.push(1));
+        assert!(wl.push(2));
+        assert!(!wl.push(1));
+        assert_eq!(wl.len(), 2);
+        assert_eq!(wl.pop(), Some(1));
+        assert!(wl.push(1));
+        assert_eq!(wl.pop(), Some(2));
+        assert_eq!(wl.pop(), Some(1));
+        assert_eq!(wl.pop(), None);
+        assert!(wl.is_empty());
+    }
+
+    #[test]
+    fn fifo_grows_beyond_capacity() {
+        let mut wl: FifoWorklist<usize> = FifoWorklist::new(1);
+        assert!(wl.push(100));
+        assert_eq!(wl.pop(), Some(100));
+    }
+
+    #[test]
+    fn priority_orders_by_priority_not_insertion() {
+        let mut wl: PriorityWorklist<usize> = PriorityWorklist::new(vec![5, 1, 3]);
+        wl.push(0);
+        wl.push(2);
+        wl.push(1);
+        assert!(!wl.push(1));
+        assert_eq!(wl.pop(), Some(1));
+        assert_eq!(wl.pop(), Some(2));
+        assert_eq!(wl.pop(), Some(0));
+        assert_eq!(wl.pop(), None);
+    }
+}

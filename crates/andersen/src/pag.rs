@@ -1,0 +1,303 @@
+//! The program assignment graph (PAG): pointer nodes and inclusion
+//! constraints extracted from the IR.
+//!
+//! Node space: every top-level value and every address-taken object is a
+//! pointer node (objects hold pointers too — `*p = q` writes into the
+//! objects `p` points to). Constraints follow the classic Andersen forms:
+//!
+//! | constraint | source instruction | meaning |
+//! |------------|--------------------|---------|
+//! | `Addr`     | `ALLOC`, globals   | `pts(dst) ∋ obj` |
+//! | `Copy`     | `CAST`, `PHI`, calls/returns | `pts(dst) ⊇ pts(src)` |
+//! | `Load`     | `LOAD`             | `∀o ∈ pts(addr): pts(dst) ⊇ pts(o)` |
+//! | `Store`    | `STORE`            | `∀o ∈ pts(addr): pts(o) ⊇ pts(val)` |
+//! | `Gep`      | `FIELD`            | `∀o ∈ pts(base): pts(dst) ∋ field(o, k)` |
+//!
+//! Direct calls contribute `Copy` constraints immediately; indirect calls
+//! are recorded as [`CallSite`]s and expanded by the solver as the
+//! function pointer's points-to set grows (on-the-fly call graph).
+
+use vsfs_adt::define_index;
+use vsfs_ir::{Callee, FuncId, InstId, InstKind, ObjId, Program, ValueId};
+
+define_index!(
+    /// A PAG pointer node: a top-level value or an address-taken object.
+    PagNodeId,
+    "pag"
+);
+
+define_index!(
+    /// An indirect call site record.
+    CallSiteId,
+    "cs"
+);
+
+/// An indirect call awaiting resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// The `CALL` instruction.
+    pub inst: InstId,
+    /// The function-pointer value.
+    pub fp: ValueId,
+    /// Actual arguments.
+    pub args: Vec<ValueId>,
+    /// Destination of the returned pointer, if used.
+    pub dst: Option<ValueId>,
+}
+
+/// Initial (simple) constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Constraint {
+    /// `pts(dst) ∋ obj`.
+    Addr { dst: PagNodeId, obj: ObjId },
+    /// `pts(dst) ⊇ pts(src)`.
+    Copy { src: PagNodeId, dst: PagNodeId },
+    /// `∀o ∈ pts(addr): pts(dst) ⊇ pts(o)`.
+    Load { addr: PagNodeId, dst: PagNodeId },
+    /// `∀o ∈ pts(addr): pts(o) ⊇ pts(val)`.
+    Store { val: PagNodeId, addr: PagNodeId },
+    /// `∀o ∈ pts(base): pts(dst) ∋ field(o, offset)`.
+    Gep { base: PagNodeId, offset: u32, dst: PagNodeId },
+}
+
+/// The program assignment graph.
+#[derive(Debug, Clone)]
+pub struct Pag {
+    value_count: usize,
+    object_count: usize,
+    /// All simple constraints.
+    pub constraints: Vec<Constraint>,
+    /// Indirect call sites.
+    pub call_sites: Vec<CallSite>,
+    /// Direct call edges `(call inst, callee)` (for the call graph).
+    pub direct_calls: Vec<(InstId, FuncId)>,
+}
+
+impl Pag {
+    /// Builds the PAG of `prog`.
+    pub fn build(prog: &Program) -> Self {
+        let mut pag = Pag {
+            value_count: prog.values.len(),
+            object_count: prog.objects.len(),
+            constraints: Vec::new(),
+            call_sites: Vec::new(),
+            direct_calls: Vec::new(),
+        };
+        // Globals: g -> {G}.
+        for &(g, obj) in &prog.globals {
+            pag.constraints.push(Constraint::Addr { dst: pag.value_node(g), obj });
+        }
+        for (inst_id, inst) in prog.insts.iter_enumerated() {
+            match &inst.kind {
+                InstKind::Alloc { dst, obj } => {
+                    pag.constraints.push(Constraint::Addr { dst: pag.value_node(*dst), obj: *obj });
+                }
+                InstKind::Copy { dst, src } => {
+                    pag.constraints.push(Constraint::Copy {
+                        src: pag.value_node(*src),
+                        dst: pag.value_node(*dst),
+                    });
+                }
+                InstKind::Phi { dst, srcs } => {
+                    for &s in srcs {
+                        pag.constraints.push(Constraint::Copy {
+                            src: pag.value_node(s),
+                            dst: pag.value_node(*dst),
+                        });
+                    }
+                }
+                InstKind::Field { dst, base, offset } => {
+                    pag.constraints.push(Constraint::Gep {
+                        base: pag.value_node(*base),
+                        offset: *offset,
+                        dst: pag.value_node(*dst),
+                    });
+                }
+                InstKind::Load { dst, addr } => {
+                    pag.constraints.push(Constraint::Load {
+                        addr: pag.value_node(*addr),
+                        dst: pag.value_node(*dst),
+                    });
+                }
+                InstKind::Store { addr, val } => {
+                    pag.constraints.push(Constraint::Store {
+                        val: pag.value_node(*val),
+                        addr: pag.value_node(*addr),
+                    });
+                }
+                InstKind::Call { dst, callee, args } => match callee {
+                    Callee::Direct(f) => {
+                        pag.direct_calls.push((inst_id, *f));
+                        pag.add_binding_constraints(prog, *f, args, *dst);
+                    }
+                    Callee::Indirect(fp) => {
+                        pag.call_sites.push(CallSite {
+                            inst: inst_id,
+                            fp: *fp,
+                            args: args.clone(),
+                            dst: *dst,
+                        });
+                    }
+                },
+                InstKind::FunEntry { .. } | InstKind::FunExit { .. } => {}
+            }
+        }
+        pag
+    }
+
+    /// Emits the parameter/return copy constraints binding a call to a
+    /// callee (used for direct calls at build time and by the solver when
+    /// an indirect call resolves).
+    pub fn binding_constraints(
+        &self,
+        prog: &Program,
+        callee: FuncId,
+        args: &[ValueId],
+        dst: Option<ValueId>,
+    ) -> Vec<Constraint> {
+        let f = &prog.functions[callee];
+        let mut out = Vec::new();
+        for (a, p) in args.iter().zip(f.params.iter()) {
+            out.push(Constraint::Copy { src: self.value_node(*a), dst: self.value_node(*p) });
+        }
+        if let Some(d) = dst {
+            if let InstKind::FunExit { ret: Some(r), .. } = &prog.insts[f.exit_inst].kind {
+                out.push(Constraint::Copy { src: self.value_node(*r), dst: self.value_node(d) });
+            }
+        }
+        out
+    }
+
+    fn add_binding_constraints(
+        &mut self,
+        prog: &Program,
+        callee: FuncId,
+        args: &[ValueId],
+        dst: Option<ValueId>,
+    ) {
+        let cs = self.binding_constraints(prog, callee, args, dst);
+        self.constraints.extend(cs);
+    }
+
+    /// Number of PAG nodes (values + objects).
+    pub fn node_count(&self) -> usize {
+        self.value_count + self.object_count
+    }
+
+    /// The node of a top-level value.
+    pub fn value_node(&self, v: ValueId) -> PagNodeId {
+        PagNodeId::new(v.raw())
+    }
+
+    /// The node of an address-taken object.
+    pub fn object_node(&self, o: ObjId) -> PagNodeId {
+        PagNodeId::new(self.value_count as u32 + o.raw())
+    }
+
+    /// Inverse of [`Pag::object_node`]/[`Pag::value_node`].
+    pub fn node_kind(&self, n: PagNodeId) -> PagNodeKind {
+        if (n.index()) < self.value_count {
+            PagNodeKind::Value(ValueId::new(n.raw()))
+        } else {
+            PagNodeKind::Object(ObjId::new(n.raw() - self.value_count as u32))
+        }
+    }
+}
+
+/// What a PAG node denotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PagNodeKind {
+    /// A top-level value.
+    Value(ValueId),
+    /// An address-taken object.
+    Object(ObjId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsfs_ir::parse_program;
+
+    #[test]
+    fn builds_expected_constraints() {
+        let prog = parse_program(
+            r#"
+            global @g
+            func @id(%x) {
+            entry:
+              ret %x
+            }
+            func @main() {
+            entry:
+              %p = alloc stack A
+              %c = copy %p
+              %f = gep %c, 1
+              %l = load %f
+              store %l, %p
+              %r = call @id(%p)
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let pag = Pag::build(&prog);
+        let count = |pred: fn(&Constraint) -> bool| pag.constraints.iter().filter(|c| pred(c)).count();
+        // Addr: global g + alloc A
+        assert_eq!(count(|c| matches!(c, Constraint::Addr { .. })), 2);
+        // Copy: %c = copy %p, arg binding p->x, ret binding x->r
+        assert_eq!(count(|c| matches!(c, Constraint::Copy { .. })), 3);
+        assert_eq!(count(|c| matches!(c, Constraint::Load { .. })), 1);
+        assert_eq!(count(|c| matches!(c, Constraint::Store { .. })), 1);
+        assert_eq!(count(|c| matches!(c, Constraint::Gep { .. })), 1);
+        assert_eq!(pag.direct_calls.len(), 1);
+        assert!(pag.call_sites.is_empty());
+        assert_eq!(pag.node_count(), prog.values.len() + prog.objects.len());
+    }
+
+    #[test]
+    fn indirect_calls_become_call_sites() {
+        let prog = parse_program(
+            r#"
+            func @f(%a) {
+            entry:
+              ret %a
+            }
+            func @main() {
+            entry:
+              %fp = funaddr @f
+              %x = alloc stack X
+              %r = icall %fp(%x)
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let pag = Pag::build(&prog);
+        assert_eq!(pag.call_sites.len(), 1);
+        let cs = &pag.call_sites[0];
+        assert_eq!(cs.args.len(), 1);
+        assert!(cs.dst.is_some());
+        assert!(pag.direct_calls.is_empty());
+    }
+
+    #[test]
+    fn node_kind_roundtrip() {
+        let prog = parse_program(
+            r#"
+            func @main() {
+            entry:
+              %p = alloc stack A
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let pag = Pag::build(&prog);
+        for (v, _) in prog.values.iter_enumerated() {
+            assert_eq!(pag.node_kind(pag.value_node(v)), PagNodeKind::Value(v));
+        }
+        for (o, _) in prog.objects.iter_enumerated() {
+            assert_eq!(pag.node_kind(pag.object_node(o)), PagNodeKind::Object(o));
+        }
+    }
+}

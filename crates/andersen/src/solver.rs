@@ -1,0 +1,830 @@
+//! The inclusion-constraint solver.
+//!
+//! A difference-propagation worklist solver: each node tracks its full
+//! points-to set (`pts`) and the prefix that has already been propagated
+//! and processed against complex constraints (`prop`). Popping a node
+//! processes only the delta. Cycles in the copy graph are collapsed
+//! periodically with a full SCC pass over representative nodes (online
+//! cycle elimination à la wave propagation); the interval is configurable
+//! and collapsing can be disabled entirely — an ablation the benchmark
+//! harness exercises.
+
+use crate::callgraph::CallGraph;
+use crate::pag::{CallSiteId, Constraint, Pag, PagNodeId};
+use std::collections::HashSet;
+use vsfs_adt::{FifoWorklist, PointsToSet};
+use vsfs_graph::{DiGraph, Sccs};
+use vsfs_ir::{FuncId, ObjId, Program, ValueId};
+
+/// Tuning knobs for the solver.
+#[derive(Debug, Clone, Copy)]
+pub struct AndersenConfig {
+    /// Run an SCC collapse every this many worklist pops; `None` disables
+    /// online cycle elimination.
+    pub scc_interval: Option<usize>,
+}
+
+impl Default for AndersenConfig {
+    fn default() -> Self {
+        AndersenConfig { scc_interval: Some(10_000) }
+    }
+}
+
+/// Counters describing a solver run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AndersenStats {
+    /// Worklist pops.
+    pub pops: usize,
+    /// Set-union propagations along copy edges.
+    pub propagations: usize,
+    /// Copy edges in the final graph.
+    pub copy_edges: usize,
+    /// SCC collapse passes executed.
+    pub scc_runs: usize,
+    /// Nodes merged away by cycle elimination.
+    pub nodes_collapsed: usize,
+    /// `(call site, callee)` pairs resolved on the fly.
+    pub indirect_resolutions: usize,
+}
+
+/// The result of Andersen's analysis.
+#[derive(Debug, Clone)]
+pub struct AndersenResult {
+    uf: Vec<u32>,
+    pts: Vec<PointsToSet<ObjId>>,
+    value_count: usize,
+    /// The (over-approximate) call graph.
+    pub callgraph: CallGraph,
+    /// Run counters.
+    pub stats: AndersenStats,
+}
+
+impl AndersenResult {
+    fn find(&self, mut n: usize) -> usize {
+        while self.uf[n] as usize != n {
+            n = self.uf[n] as usize;
+        }
+        n
+    }
+
+    /// The points-to set of top-level value `v`.
+    pub fn value_pts(&self, v: ValueId) -> &PointsToSet<ObjId> {
+        &self.pts[self.find(v.index())]
+    }
+
+    /// The (flow-insensitive) points-to set stored in object `o`.
+    pub fn object_pts(&self, o: ObjId) -> &PointsToSet<ObjId> {
+        &self.pts[self.find(self.value_count + o.index())]
+    }
+
+    /// Total elements across all distinct representative points-to sets —
+    /// a logical memory metric.
+    pub fn total_pts_entries(&self) -> usize {
+        self.uf
+            .iter()
+            .enumerate()
+            .filter(|&(i, &r)| i == r as usize)
+            .map(|(i, _)| self.pts[i].len())
+            .sum()
+    }
+}
+
+/// Runs Andersen's analysis with the default configuration.
+pub fn analyze(prog: &Program) -> AndersenResult {
+    analyze_with_config(prog, AndersenConfig::default())
+}
+
+/// Runs Andersen's analysis with an explicit configuration.
+pub fn analyze_with_config(prog: &Program, config: AndersenConfig) -> AndersenResult {
+    Solver::new(prog, config).run()
+}
+
+struct Solver<'p> {
+    prog: &'p Program,
+    pag: Pag,
+    config: AndersenConfig,
+    uf: Vec<u32>,
+    pts: Vec<PointsToSet<ObjId>>,
+    prop: Vec<PointsToSet<ObjId>>,
+    copy_succs: Vec<Vec<u32>>,
+    loads: Vec<Vec<u32>>,
+    stores: Vec<Vec<u32>>,
+    geps: Vec<Vec<(u32, u32)>>,
+    icalls: Vec<Vec<CallSiteId>>,
+    resolved: HashSet<(CallSiteId, FuncId)>,
+    /// Global copy-edge dedup (may contain stale pre-merge pairs, which
+    /// only costs an occasional duplicate edge, never correctness).
+    edge_seen: HashSet<(u32, u32)>,
+    callgraph: CallGraph,
+    worklist: FifoWorklist<usize>,
+    stats: AndersenStats,
+}
+
+impl<'p> Solver<'p> {
+    fn new(prog: &'p Program, config: AndersenConfig) -> Self {
+        let pag = Pag::build(prog);
+        let n = pag.node_count();
+        Solver {
+            prog,
+            config,
+            uf: (0..n as u32).collect(),
+            pts: vec![PointsToSet::new(); n],
+            prop: vec![PointsToSet::new(); n],
+            copy_succs: vec![Vec::new(); n],
+            loads: vec![Vec::new(); n],
+            stores: vec![Vec::new(); n],
+            geps: vec![Vec::new(); n],
+            icalls: vec![Vec::new(); n],
+            resolved: HashSet::new(),
+            edge_seen: HashSet::new(),
+            callgraph: CallGraph::new(),
+            worklist: FifoWorklist::new(n),
+            pag,
+            stats: AndersenStats::default(),
+        }
+    }
+
+    fn find(&mut self, n: usize) -> usize {
+        let mut root = n;
+        while self.uf[root] as usize != root {
+            root = self.uf[root] as usize;
+        }
+        // Path compression.
+        let mut cur = n;
+        while self.uf[cur] as usize != cur {
+            let next = self.uf[cur] as usize;
+            self.uf[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    fn run(mut self) -> AndersenResult {
+        self.init();
+        let mut pops_since_scc = 0usize;
+        while let Some(n) = self.worklist.pop() {
+            if self.find(n) != n {
+                continue; // merged away
+            }
+            self.stats.pops += 1;
+            pops_since_scc += 1;
+            self.process_node(n);
+            if let Some(interval) = self.config.scc_interval {
+                if pops_since_scc >= interval {
+                    pops_since_scc = 0;
+                    self.collapse_cycles();
+                }
+            }
+        }
+        // Record direct call edges (indirect ones were added on the fly).
+        for &(call, callee) in &self.pag.direct_calls {
+            self.callgraph.add_edge(call, callee);
+        }
+        AndersenResult {
+            uf: self.uf,
+            pts: self.pts,
+            value_count: self.prog.values.len(),
+            callgraph: self.callgraph,
+            stats: AndersenStats {
+                copy_edges: self.copy_succs.iter().map(Vec::len).sum(),
+                ..self.stats
+            },
+        }
+    }
+
+    fn init(&mut self) {
+        let constraints = std::mem::take(&mut self.pag.constraints);
+        for c in &constraints {
+            match *c {
+                Constraint::Addr { dst, obj } => {
+                    if self.prog.objects[obj].is_function() {
+                        if let Some(f) = self.prog.object_as_function(obj) {
+                            self.callgraph.mark_address_taken(f);
+                        }
+                    }
+                    let d = self.find(dst.index());
+                    if self.pts[d].insert(obj) {
+                        self.worklist.push(d);
+                    }
+                }
+                Constraint::Copy { src, dst } => {
+                    self.add_copy_edge(src.index(), dst.index());
+                }
+                Constraint::Load { addr, dst } => {
+                    let a = self.find(addr.index());
+                    self.loads[a].push(dst.raw());
+                    self.reprocess(a);
+                }
+                Constraint::Store { val, addr } => {
+                    let a = self.find(addr.index());
+                    self.stores[a].push(val.raw());
+                    self.reprocess(a);
+                }
+                Constraint::Gep { base, offset, dst } => {
+                    let b = self.find(base.index());
+                    self.geps[b].push((offset, dst.raw()));
+                    self.reprocess(b);
+                }
+            }
+        }
+        let sites: Vec<(CallSiteId, PagNodeId)> = self
+            .pag
+            .call_sites
+            .iter()
+            .enumerate()
+            .map(|(i, cs)| (CallSiteId::new(i as u32), self.pag.value_node(cs.fp)))
+            .collect();
+        for (cs, fp) in sites {
+            let f = self.find(fp.index());
+            self.icalls[f].push(cs);
+            self.reprocess(f);
+        }
+    }
+
+    /// Forces already-propagated elements of `n` to be re-examined (used
+    /// when a new complex constraint attaches to `n`).
+    fn reprocess(&mut self, n: usize) {
+        if !self.pts[n].is_empty() {
+            self.prop[n].clear();
+            self.worklist.push(n);
+        }
+    }
+
+    fn process_node(&mut self, n: usize) {
+        let mut delta = self.pts[n].clone();
+        delta.subtract(&self.prop[n]);
+        if delta.is_empty() {
+            return;
+        }
+        self.prop[n].union_with(&delta);
+
+        // Complex constraints keyed on n.
+        let loads = std::mem::take(&mut self.loads[n]);
+        let stores = std::mem::take(&mut self.stores[n]);
+        let geps = std::mem::take(&mut self.geps[n]);
+        let icalls = std::mem::take(&mut self.icalls[n]);
+        for o in delta.iter().collect::<Vec<_>>() {
+            let obj_node = self.pag.object_node(o).index();
+            for &dst in &loads {
+                self.add_copy_edge(obj_node, dst as usize);
+            }
+            for &val in &stores {
+                self.add_copy_edge(val as usize, obj_node);
+            }
+            for &(offset, dst) in &geps {
+                let f = self.prog.field_object(o, offset);
+                let d = self.find(dst as usize);
+                if self.pts[d].insert(f) {
+                    self.worklist.push(d);
+                }
+            }
+            if !icalls.is_empty() {
+                if let Some(callee) = self.prog.object_as_function(o) {
+                    for &cs in &icalls {
+                        self.resolve_call(cs, callee);
+                    }
+                }
+            }
+        }
+        let n2 = self.find(n);
+        self.loads[n2].extend(loads);
+        self.stores[n2].extend(stores);
+        self.geps[n2].extend(geps);
+        self.icalls[n2].extend(icalls);
+
+        // Propagate the delta along copy edges.
+        let succs = self.copy_succs[n].clone();
+        for s in succs {
+            let s = self.find(s as usize);
+            if s == self.find(n) {
+                continue;
+            }
+            self.stats.propagations += 1;
+            if self.pts[s].union_with(&delta) {
+                self.worklist.push(s);
+            }
+        }
+        // If complex processing grew pts[n] itself (e.g. gep dst == n), the
+        // worklist push in those paths covers it.
+    }
+
+    fn add_copy_edge(&mut self, src: usize, dst: usize) {
+        let s = self.find(src);
+        let d = self.find(dst);
+        if s == d || !self.edge_seen.insert((s as u32, d as u32)) {
+            return;
+        }
+        self.copy_succs[s].push(d as u32);
+        // Seed the new edge with everything already processed at s.
+        if !self.prop[s].is_empty() {
+            let prop_s = self.prop[s].clone();
+            self.stats.propagations += 1;
+            if self.pts[d].union_with(&prop_s) {
+                self.worklist.push(d);
+            }
+        }
+    }
+
+    fn resolve_call(&mut self, cs: CallSiteId, callee: FuncId) {
+        if !self.resolved.insert((cs, callee)) {
+            return;
+        }
+        self.stats.indirect_resolutions += 1;
+        let site = self.pag.call_sites[cs.index()].clone();
+        self.callgraph.add_edge(site.inst, callee);
+        let bindings = self.pag.binding_constraints(self.prog, callee, &site.args, site.dst);
+        for c in bindings {
+            if let Constraint::Copy { src, dst } = c {
+                self.add_copy_edge(src.index(), dst.index());
+            }
+        }
+    }
+
+    /// Collapses copy-graph cycles among representative nodes.
+    fn collapse_cycles(&mut self) {
+        self.stats.scc_runs += 1;
+        let n = self.uf.len();
+        let mut g: DiGraph<u32> = DiGraph::with_nodes(n);
+        for i in 0..n {
+            if self.find(i) != i {
+                continue;
+            }
+            let succs = self.copy_succs[i].clone();
+            for s in succs {
+                let d = self.find(s as usize);
+                if d != i {
+                    g.add_edge_dedup(i as u32, d as u32);
+                }
+            }
+        }
+        let sccs = Sccs::compute(&g);
+        for c in 0..sccs.count() as u32 {
+            let members: Vec<u32> = sccs
+                .members(c)
+                .iter()
+                .copied()
+                .filter(|&m| self.find(m as usize) == m as usize)
+                .collect();
+            if members.len() < 2 {
+                continue;
+            }
+            let root = members[0] as usize;
+            for &m in &members[1..] {
+                self.merge_into(m as usize, root);
+            }
+            self.worklist.push(root);
+        }
+    }
+
+    /// Merges node `a` into `root` (both must be current representatives).
+    fn merge_into(&mut self, a: usize, root: usize) {
+        debug_assert_ne!(a, root);
+        self.stats.nodes_collapsed += 1;
+        self.uf[a] = root as u32;
+        let a_pts = std::mem::replace(&mut self.pts[a], PointsToSet::new());
+        self.pts[root].union_with(&a_pts);
+        // Only elements processed by *both* halves can be considered
+        // processed for the merged constraint set.
+        let a_prop = std::mem::replace(&mut self.prop[a], PointsToSet::new());
+        self.prop[root].intersect_with(&a_prop);
+        let succs = std::mem::take(&mut self.copy_succs[a]);
+        self.copy_succs[root].extend(succs);
+        let l = std::mem::take(&mut self.loads[a]);
+        self.loads[root].extend(l);
+        let s = std::mem::take(&mut self.stores[a]);
+        self.stores[root].extend(s);
+        let gp = std::mem::take(&mut self.geps[a]);
+        self.geps[root].extend(gp);
+        let ic = std::mem::take(&mut self.icalls[a]);
+        self.icalls[root].extend(ic);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsfs_ir::parse_program;
+
+    fn value(prog: &Program, name: &str) -> ValueId {
+        prog.values
+            .iter_enumerated()
+            .find(|(_, v)| v.name == name)
+            .map(|(id, _)| id)
+            .unwrap_or_else(|| panic!("no value named {name}"))
+    }
+
+    fn obj(prog: &Program, name: &str) -> ObjId {
+        prog.objects
+            .iter_enumerated()
+            .find(|(_, o)| o.name == name)
+            .map(|(id, _)| id)
+            .unwrap_or_else(|| panic!("no object named {name}"))
+    }
+
+    fn pts_names(prog: &Program, s: &PointsToSet<ObjId>) -> Vec<String> {
+        let mut v: Vec<String> = s.iter().map(|o| prog.objects[o].name.clone()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let prog = parse_program(
+            r#"
+            func @main() {
+            entry:
+              %p = alloc stack A
+              %q = alloc heap H
+              store %q, %p
+              %r = load %p
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let res = analyze(&prog);
+        assert_eq!(pts_names(&prog, res.value_pts(value(&prog, "p"))), vec!["A"]);
+        assert_eq!(pts_names(&prog, res.value_pts(value(&prog, "r"))), vec!["H"]);
+        assert_eq!(pts_names(&prog, res.object_pts(obj(&prog, "A"))), vec!["H"]);
+    }
+
+    #[test]
+    fn flow_insensitivity_merges_both_stores() {
+        // p points to A; *p = q then *p = r: A holds both H1 and H2 and a
+        // load sees both regardless of order.
+        let prog = parse_program(
+            r#"
+            func @main() {
+            entry:
+              %p = alloc stack A
+              %q = alloc heap H1
+              %x = load %p
+              %r = alloc heap H2
+              store %q, %p
+              store %r, %p
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let res = analyze(&prog);
+        assert_eq!(pts_names(&prog, res.value_pts(value(&prog, "x"))), vec!["H1", "H2"]);
+    }
+
+    #[test]
+    fn copy_cycles_converge() {
+        let prog = parse_program(
+            r#"
+            func @main() {
+            entry:
+              %init = alloc stack A
+              goto head
+            head:
+              %a = phi %init, %b
+              %b = copy %a
+              br head, out
+            out:
+              %c = copy %b
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        // With and without cycle elimination.
+        for cfg in [
+            AndersenConfig { scc_interval: Some(1) },
+            AndersenConfig { scc_interval: None },
+        ] {
+            let res = analyze_with_config(&prog, cfg);
+            assert_eq!(pts_names(&prog, res.value_pts(value(&prog, "c"))), vec!["A"]);
+        }
+    }
+
+    #[test]
+    fn gep_creates_field_pointees() {
+        let prog = parse_program(
+            r#"
+            func @main() {
+            entry:
+              %s = alloc stack S fields 3
+              %f1 = gep %s, 1
+              %h = alloc heap H
+              store %h, %f1
+              %f1b = gep %s, 1
+              %x = load %f1b
+              %f2 = gep %s, 2
+              %y = load %f2
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let res = analyze(&prog);
+        assert_eq!(pts_names(&prog, res.value_pts(value(&prog, "x"))), vec!["H"]);
+        // Different field: no H.
+        assert!(res.value_pts(value(&prog, "y")).is_empty());
+        assert_eq!(pts_names(&prog, res.value_pts(value(&prog, "f1"))), vec!["S.f1"]);
+    }
+
+    #[test]
+    fn direct_call_binds_params_and_returns() {
+        let prog = parse_program(
+            r#"
+            func @id(%x) {
+            entry:
+              ret %x
+            }
+            func @main() {
+            entry:
+              %a = alloc heap H
+              %r = call @id(%a)
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let res = analyze(&prog);
+        assert_eq!(pts_names(&prog, res.value_pts(value(&prog, "r"))), vec!["H"]);
+        assert_eq!(res.callgraph.edge_count(), 1);
+    }
+
+    #[test]
+    fn indirect_call_resolved_on_the_fly() {
+        let prog = parse_program(
+            r#"
+            global @table
+            func @f(%x) {
+            entry:
+              ret %x
+            }
+            func @g(%y) {
+            entry:
+              %h = alloc heap GH
+              ret %h
+            }
+            func @main() {
+            entry:
+              %fp0 = funaddr @f
+              store %fp0, @table
+              %fp1 = funaddr @g
+              br a, b
+            a:
+              goto join
+            b:
+              store %fp1, @table
+              goto join
+            join:
+              %fp = load @table
+              %arg = alloc heap AH
+              %r = icall %fp(%arg)
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let res = analyze(&prog);
+        let f = prog.function_by_name("f").unwrap();
+        let g = prog.function_by_name("g").unwrap();
+        // Both targets resolved.
+        let call = prog
+            .insts
+            .iter_enumerated()
+            .find(|(_, i)| matches!(i.kind, vsfs_ir::InstKind::Call { callee: vsfs_ir::Callee::Indirect(_), .. }))
+            .map(|(id, _)| id)
+            .unwrap();
+        let mut callees = res.callgraph.callees(call).to_vec();
+        callees.sort();
+        assert_eq!(callees, vec![f, g]);
+        assert!(res.callgraph.is_address_taken(f));
+        assert!(res.callgraph.is_address_taken(g));
+        // r gets AH (via f) and GH (via g).
+        assert_eq!(pts_names(&prog, res.value_pts(value(&prog, "r"))), vec!["AH", "GH"]);
+        assert_eq!(res.stats.indirect_resolutions, 2);
+    }
+
+    #[test]
+    fn multi_level_pointers() {
+        // **pp chain: r should reach the bottom object.
+        let prog = parse_program(
+            r#"
+            func @main() {
+            entry:
+              %pp = alloc stack PP
+              %p = alloc stack P
+              %h = alloc heap H
+              store %p, %pp
+              store %h, %p
+              %p2 = load %pp
+              %r = load %p2
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let res = analyze(&prog);
+        assert_eq!(pts_names(&prog, res.value_pts(value(&prog, "r"))), vec!["H"]);
+    }
+
+    #[test]
+    fn results_invariant_under_scc_interval() {
+        let prog = parse_program(
+            r#"
+            func @rec(%n) {
+            entry:
+              %l = load %n
+              %r = call @rec(%l)
+              ret %r
+            }
+            func @main() {
+            entry:
+              %p = alloc stack A
+              %h = alloc heap H
+              store %h, %p
+              %x = call @rec(%p)
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let base = analyze_with_config(&prog, AndersenConfig { scc_interval: None });
+        let scc = analyze_with_config(&prog, AndersenConfig { scc_interval: Some(1) });
+        for (v, _) in prog.values.iter_enumerated() {
+            assert_eq!(
+                base.value_pts(v).iter().collect::<Vec<_>>(),
+                scc.value_pts(v).iter().collect::<Vec<_>>(),
+                "mismatch for {:?}",
+                v
+            );
+        }
+        for (o, _) in prog.objects.iter_enumerated() {
+            assert_eq!(
+                base.object_pts(o).iter().collect::<Vec<_>>(),
+                scc.object_pts(o).iter().collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use vsfs_ir::parse_program;
+
+    fn value(prog: &Program, name: &str) -> ValueId {
+        prog.values
+            .iter_enumerated()
+            .find(|(_, v)| v.name == name)
+            .map(|(id, _)| id)
+            .unwrap()
+    }
+
+    fn pts_names(prog: &Program, s: &PointsToSet<ObjId>) -> Vec<String> {
+        let mut v: Vec<String> = s.iter().map(|o| prog.objects[o].name.clone()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn phi_unions_all_inputs() {
+        let prog = parse_program(
+            r#"
+            func @main() {
+            entry:
+              %a = alloc heap A
+              %b = alloc heap B
+              %c = alloc heap C
+              br l, r
+            l:
+              goto j
+            r:
+              goto j
+            j:
+              %m = phi %a, %b, %c
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let res = analyze(&prog);
+        assert_eq!(pts_names(&prog, res.value_pts(value(&prog, "m"))), vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn gep_offset_zero_is_the_base() {
+        let prog = parse_program(
+            r#"
+            func @main() {
+            entry:
+              %s = alloc stack S fields 3
+              %f0 = gep %s, 0
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let res = analyze(&prog);
+        assert_eq!(
+            res.value_pts(value(&prog, "f0")).iter().collect::<Vec<_>>(),
+            res.value_pts(value(&prog, "s")).iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gep_offset_clamps_to_field_count() {
+        let prog = parse_program(
+            r#"
+            func @main() {
+            entry:
+              %s = alloc stack S fields 3
+              %last = gep %s, 2
+              %over = gep %s, 99
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let res = analyze(&prog);
+        assert_eq!(
+            pts_names(&prog, res.value_pts(value(&prog, "over"))),
+            pts_names(&prog, res.value_pts(value(&prog, "last")))
+        );
+    }
+
+    #[test]
+    fn function_pointers_flow_through_fields() {
+        let prog = parse_program(
+            r#"
+            func @target(%x) {
+            entry:
+              ret %x
+            }
+            func @main() {
+            entry:
+              %obj = alloc heap VTable fields 2
+              %slot = gep %obj, 1
+              %fp = funaddr @target
+              store %fp, %slot
+              %loaded = load %slot
+              %arg = alloc heap Arg
+              %r = icall %loaded(%arg)
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let res = analyze(&prog);
+        let target = prog.function_by_name("target").unwrap();
+        let call = prog
+            .insts
+            .iter_enumerated()
+            .find(|(_, i)| matches!(i.kind, vsfs_ir::InstKind::Call { .. }))
+            .map(|(id, _)| id)
+            .unwrap();
+        assert_eq!(res.callgraph.callees(call), &[target]);
+        assert_eq!(pts_names(&prog, res.value_pts(value(&prog, "r"))), vec!["Arg"]);
+    }
+
+    #[test]
+    fn total_pts_entries_counts_representatives_once() {
+        let prog = parse_program(
+            r#"
+            func @main() {
+            entry:
+              %a = alloc heap A
+              %b = copy %a
+              %c = copy %b
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        // With aggressive SCC the copies may merge; entries must not be
+        // double-counted either way.
+        let res = analyze_with_config(&prog, AndersenConfig { scc_interval: Some(1) });
+        assert!(res.total_pts_entries() >= 1);
+        assert!(res.total_pts_entries() <= 3);
+    }
+
+    #[test]
+    fn unreachable_code_is_still_analyzed_flow_insensitively() {
+        let prog = parse_program(
+            r#"
+            func @never_called() {
+            entry:
+              %h = alloc heap Hidden
+              %p = alloc stack Slot
+              store %h, %p
+              %x = load %p
+              ret
+            }
+            func @main() {
+            entry:
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let res = analyze(&prog);
+        assert_eq!(pts_names(&prog, res.value_pts(value(&prog, "x"))), vec!["Hidden"]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Per-phase microbenchmarks of the whole pipeline on one medium
+//! workload: Andersen's, memory SSA, SVFG construction, versioning, and
+//! the two flow-sensitive solvers. The SFS-vs-VSFS pair is the
+//! per-benchmark content of the paper's Table III.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vsfs_core::VersionTables;
+use vsfs_mssa::MemorySsa;
+use vsfs_svfg::Svfg;
+
+fn phases(c: &mut Criterion) {
+    let spec = vsfs_workloads::suite::benchmark("ninja").expect("suite entry");
+    let prog = vsfs_workloads::generate(&spec.config);
+    let aux = vsfs_andersen::analyze(&prog);
+    let mssa = MemorySsa::build(&prog, &aux);
+    let svfg = Svfg::build(&prog, &aux, &mssa);
+    let tables = VersionTables::build(&prog, &mssa, &svfg);
+
+    let mut g = c.benchmark_group("phases/ninja");
+    g.sample_size(10);
+    g.bench_function("andersen", |b| {
+        b.iter(|| black_box(vsfs_andersen::analyze(&prog)))
+    });
+    g.bench_function("memory_ssa", |b| {
+        b.iter(|| black_box(MemorySsa::build(&prog, &aux)))
+    });
+    g.bench_function("svfg_build", |b| {
+        b.iter(|| black_box(Svfg::build(&prog, &aux, &mssa)))
+    });
+    g.bench_function("versioning", |b| {
+        b.iter(|| black_box(VersionTables::build(&prog, &mssa, &svfg)))
+    });
+    g.bench_function("sfs_solve", |b| {
+        b.iter(|| black_box(vsfs_core::run_sfs(&prog, &aux, &mssa, &svfg)))
+    });
+    g.bench_function("vsfs_solve", |b| {
+        b.iter(|| {
+            black_box(vsfs_core::run_vsfs_with_tables(
+                &prog,
+                &aux,
+                &mssa,
+                &svfg,
+                tables.clone(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, phases);
+criterion_main!(benches);

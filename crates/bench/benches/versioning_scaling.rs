@@ -1,0 +1,64 @@
+//! Section V-A's claim: "the versioning process is always cheap ... as
+//! benchmarks take longer to analyse, versioning time becomes more and
+//! more negligible."
+//!
+//! This bench sweeps a heavy-profile workload family across sizes and
+//! measures versioning versus the VSFS main phase (and the SFS baseline
+//! for context). The versioning share of total time should *shrink* as
+//! the workload grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vsfs_core::VersionTables;
+use vsfs_mssa::MemorySsa;
+use vsfs_svfg::Svfg;
+use vsfs_workloads::WorkloadConfig;
+
+fn heavy(functions: usize) -> WorkloadConfig {
+    WorkloadConfig {
+        seed: 9000 + functions as u64,
+        functions,
+        segments: 5,
+        loads_per_block: 4,
+        stores_per_block: 2,
+        load_chain: 4,
+        heap_fraction: 0.7,
+        array_fraction: 0.6,
+        global_traffic: 0.8,
+        ..WorkloadConfig::small()
+    }
+}
+
+fn versioning_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("versioning_scaling");
+    g.sample_size(10);
+    for functions in [8usize, 16, 32] {
+        let prog = vsfs_workloads::generate(&heavy(functions));
+        let aux = vsfs_andersen::analyze(&prog);
+        let mssa = MemorySsa::build(&prog, &aux);
+        let svfg = Svfg::build(&prog, &aux, &mssa);
+        let tables = VersionTables::build(&prog, &mssa, &svfg);
+
+        g.bench_with_input(BenchmarkId::new("versioning", functions), &functions, |b, _| {
+            b.iter(|| black_box(VersionTables::build(&prog, &mssa, &svfg)))
+        });
+        g.bench_with_input(BenchmarkId::new("vsfs_main", functions), &functions, |b, _| {
+            b.iter(|| {
+                black_box(vsfs_core::run_vsfs_with_tables(
+                    &prog,
+                    &aux,
+                    &mssa,
+                    &svfg,
+                    tables.clone(),
+                ))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sfs_main", functions), &functions, |b, _| {
+            b.iter(|| black_box(vsfs_core::run_sfs(&prog, &aux, &mssa, &svfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, versioning_scaling);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates Table II: benchmark characteristics (SVFG nodes, direct
+//! and indirect edges, variable counts) for the 15-benchmark suite.
+//!
+//! ```text
+//! cargo run -p vsfs-bench --release --bin table2 [-- [--csv] benchmark ...]
+//! ```
+
+use vsfs_bench::{table2_row, Pipeline};
+use vsfs_workloads::suite;
+
+fn main() {
+    let mut csv = false;
+    let mut filter: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        if a == "--csv" {
+            csv = true;
+        } else {
+            filter.push(a);
+        }
+    }
+    let mut rows = Vec::new();
+    for spec in suite() {
+        if !filter.is_empty() && !filter.iter().any(|f| f == spec.name) {
+            continue;
+        }
+        eprintln!("building {} ...", spec.name);
+        let p = Pipeline::build(&spec);
+        rows.push(table2_row(&spec, &p));
+    }
+    if csv {
+        print!("{}", vsfs_bench::format::csv_table2(&rows));
+    } else {
+        print!("{}", vsfs_bench::format::render_table2(&rows));
+    }
+}

@@ -1,0 +1,193 @@
+//! Plain-text table rendering (the analogue of the artifact's
+//! `table.awk`).
+
+use crate::{geomean, Table2Row, Table3Row};
+
+/// Formats bytes as a human-readable MiB figure.
+pub fn mib(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Renders Table II.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>9} {:>7} {:>8} {:>9} {:>9} {:>10} {:>11}  {}\n",
+        "Bench.", "paperLOC", "insts", "#Nodes", "#D.Edges", "#I.Edges", "TopLevel", "AddrTaken", "Description"
+    ));
+    out.push_str(&"-".repeat(110));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>9} {:>7} {:>8} {:>9} {:>9} {:>10} {:>11}  {}\n",
+            r.name,
+            r.paper_loc,
+            r.instructions,
+            r.nodes,
+            r.direct_edges,
+            r.indirect_edges,
+            r.top_level,
+            r.address_taken,
+            r.description
+        ));
+    }
+    out
+}
+
+/// Renders Table III, including the geometric-mean footer row.
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>9} {:>9} | {:>10} {:>9} | {:>8} {:>10} {:>9} | {:>9} {:>9}\n",
+        "Bench.",
+        "Ander(s)",
+        "A.MiB",
+        "SFS(s)",
+        "SFS.MiB",
+        "Vers(s)",
+        "VSFS(s)",
+        "VSFS.MiB",
+        "TimeDiff",
+        "MemDiff"
+    ));
+    out.push_str(&"-".repeat(118));
+    out.push('\n');
+    for r in rows {
+        let sfs_time = if r.sfs.oom { "OOM".to_string() } else { format!("{:.3}", r.sfs.seconds) };
+        let sfs_mem =
+            if r.sfs.oom { "OOM".to_string() } else { mib(r.sfs.peak_bytes) };
+        let tdiff = match r.time_diff() {
+            Some(d) => format!("{d:.2}x"),
+            None => "-".to_string(),
+        };
+        let mdiff = match r.mem_diff() {
+            Some(d) => format!("{d:.2}x"),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<14} {:>9.3} {:>9} | {:>10} {:>9} | {:>8.3} {:>10.3} {:>9} | {:>9} {:>9}\n",
+            r.name,
+            r.andersen_seconds,
+            mib(r.andersen_peak_bytes),
+            sfs_time,
+            sfs_mem,
+            r.versioning_seconds,
+            r.vsfs.seconds,
+            mib(r.vsfs.peak_bytes),
+            tdiff,
+            mdiff
+        ));
+    }
+    out.push_str(&"-".repeat(118));
+    out.push('\n');
+    let tg = geomean(rows.iter().filter_map(Table3Row::time_diff));
+    let mg = geomean(rows.iter().filter_map(Table3Row::mem_diff));
+    out.push_str(&format!(
+        "{:<14} {:>86} {:>9} {:>9}\n",
+        "Average",
+        "(geometric mean)",
+        tg.map_or("-".to_string(), |g| format!("{g:.2}x")),
+        mg.map_or("-".to_string(), |g| format!("{g:.2}x")),
+    ));
+    out
+}
+
+/// Renders Table II as CSV.
+pub fn csv_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::from(
+        "bench,paper_loc,instructions,nodes,direct_edges,indirect_edges,top_level,address_taken\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            r.name,
+            r.paper_loc,
+            r.instructions,
+            r.nodes,
+            r.direct_edges,
+            r.indirect_edges,
+            r.top_level,
+            r.address_taken
+        ));
+    }
+    out
+}
+
+/// Renders Table III as CSV (empty cells for OOM runs).
+pub fn csv_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::from(
+        "bench,andersen_s,andersen_mib,sfs_s,sfs_mib,versioning_s,vsfs_s,vsfs_mib,time_diff,mem_diff,sfs_oom\n",
+    );
+    for r in rows {
+        let (sfs_s, sfs_m) = if r.sfs.oom {
+            (String::new(), String::new())
+        } else {
+            (format!("{:.4}", r.sfs.seconds), mib(r.sfs.peak_bytes))
+        };
+        out.push_str(&format!(
+            "{},{:.4},{},{},{},{:.4},{:.4},{},{},{},{}\n",
+            r.name,
+            r.andersen_seconds,
+            mib(r.andersen_peak_bytes),
+            sfs_s,
+            sfs_m,
+            r.versioning_seconds,
+            r.vsfs.seconds,
+            mib(r.vsfs.peak_bytes),
+            r.time_diff().map_or(String::new(), |d| format!("{d:.3}")),
+            r.mem_diff().map_or(String::new(), |d| format!("{d:.3}")),
+            r.sfs.oom
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolverCell;
+
+    #[test]
+    fn renders_oom_and_diffs() {
+        let cell = |secs, mem, oom| SolverCell {
+            seconds: secs,
+            peak_bytes: mem,
+            stored_sets: 1,
+            propagations: 1,
+            oom,
+        };
+        let rows = vec![
+            Table3Row {
+                name: "ok".into(),
+                andersen_seconds: 0.1,
+                andersen_peak_bytes: 1 << 20,
+                sfs: cell(2.0, 4 << 20, false),
+                versioning_seconds: 0.1,
+                vsfs: cell(0.4, 2 << 20, false),
+            },
+            Table3Row {
+                name: "oomy".into(),
+                andersen_seconds: 0.2,
+                andersen_peak_bytes: 1 << 20,
+                sfs: cell(9.0, 99 << 20, true),
+                versioning_seconds: 0.2,
+                vsfs: cell(1.0, 3 << 20, false),
+            },
+        ];
+        let s = render_table3(&rows);
+        assert!(s.contains("OOM"));
+        assert!(s.contains("4.00x")); // 2.0 / (0.4 + 0.1)
+        assert!(s.contains("2.00x")); // 4 MiB / 2 MiB
+        assert!(s.contains("Average"));
+        // OOM row excluded from the time geomean but not the mem one.
+        let t2 = render_table2(&[]);
+        assert!(t2.contains("Bench."));
+        // CSV forms.
+        let csv = csv_table3(&rows);
+        assert!(csv.lines().count() == 3);
+        assert!(csv.contains("oomy,"));
+        assert!(csv.contains(",true"));
+        let c2 = csv_table2(&[]);
+        assert!(c2.starts_with("bench,"));
+    }
+}

@@ -1,0 +1,249 @@
+//! `vsfs` — whole-program pointer-analysis driver, the analogue of SVF's
+//! `wpa` tool.
+//!
+//! ```text
+//! vsfs [OPTIONS] <program.vir | --corpus NAME | --workload NAME>
+//!
+//! Analyses:
+//!   --ander            Andersen's flow-insensitive analysis only
+//!   --fspta            staged flow-sensitive analysis (SFS baseline)
+//!   --vfspta           versioned staged flow-sensitive analysis (default)
+//!
+//! Input:
+//!   <file.vir>         a textual IR file
+//!   --corpus NAME      a built-in corpus program (see --list)
+//!   --workload NAME    a generated suite benchmark (du, ninja, ...)
+//!
+//! Output:
+//!   --print-pts        print the points-to set of every named value
+//!   --print-callgraph  print resolved (call site -> callee) edges
+//!   --precision-report aggregate precision gained over Andersen's
+//!   --dot-svfg FILE    write the SVFG in Graphviz format
+//!   --stats            print phase timings and solver statistics
+//!   --list             list corpus programs and suite benchmarks
+//! ```
+
+use std::process::ExitCode;
+use vsfs_adt::mem::CountingAlloc;
+use vsfs_core::FlowSensitiveResult;
+use vsfs_ir::Program;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Analysis {
+    Andersen,
+    Sfs,
+    Vsfs,
+}
+
+#[derive(Debug)]
+struct Options {
+    analysis: Analysis,
+    input: Input,
+    print_pts: bool,
+    print_callgraph: bool,
+    precision_report: bool,
+    dot_svfg: Option<String>,
+    stats: bool,
+}
+
+#[derive(Debug)]
+enum Input {
+    File(String),
+    Corpus(String),
+    Workload(String),
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vsfs [--ander|--fspta|--vfspta] [--print-pts] [--print-callgraph] \
+         [--precision-report] [--dot-svfg FILE] [--stats] \
+         (<file.vir> | --corpus NAME | --workload NAME | --list)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut analysis = Analysis::Vsfs;
+    let mut input = None;
+    let mut print_pts = false;
+    let mut print_callgraph = false;
+    let mut precision_report = false;
+    let mut dot_svfg = None;
+    let mut stats = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--ander" => analysis = Analysis::Andersen,
+            "--fspta" => analysis = Analysis::Sfs,
+            "--vfspta" => analysis = Analysis::Vsfs,
+            "--print-pts" => print_pts = true,
+            "--print-callgraph" => print_callgraph = true,
+            "--precision-report" => precision_report = true,
+            "--stats" => stats = true,
+            "--dot-svfg" => dot_svfg = Some(args.next().unwrap_or_else(|| usage())),
+            "--corpus" => input = Some(Input::Corpus(args.next().unwrap_or_else(|| usage()))),
+            "--workload" => input = Some(Input::Workload(args.next().unwrap_or_else(|| usage()))),
+            "--list" => {
+                println!("corpus programs:");
+                for p in vsfs_workloads::corpus::corpus() {
+                    println!("  {:<16} {}", p.name, p.about);
+                }
+                println!("suite benchmarks:");
+                for b in vsfs_workloads::suite() {
+                    println!("  {:<16} {}", b.name, b.description);
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') => input = Some(Input::File(other.to_string())),
+            _ => usage(),
+        }
+    }
+    Options {
+        analysis,
+        input: input.unwrap_or_else(|| usage()),
+        print_pts,
+        print_callgraph,
+        precision_report,
+        dot_svfg,
+        stats,
+    }
+}
+
+fn load_program(input: &Input) -> Result<Program, String> {
+    let prog = match input {
+        Input::File(path) => {
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            vsfs_ir::parse_program(&src).map_err(|e| e.to_string())?
+        }
+        Input::Corpus(name) => {
+            let p = vsfs_workloads::corpus::corpus()
+                .into_iter()
+                .find(|p| p.name == *name)
+                .ok_or_else(|| format!("unknown corpus program `{name}` (try --list)"))?;
+            vsfs_ir::parse_program(p.source).map_err(|e| e.to_string())?
+        }
+        Input::Workload(name) => {
+            let b = vsfs_workloads::suite::benchmark(name)
+                .ok_or_else(|| format!("unknown workload `{name}` (try --list)"))?;
+            vsfs_workloads::generate(&b.config)
+        }
+    };
+    vsfs_ir::verify::verify(&prog).map_err(|e| e.to_string())?;
+    Ok(prog)
+}
+
+fn print_value_pts(prog: &Program, pts_of: impl Fn(vsfs_ir::ValueId) -> Vec<String>) {
+    for (v, val) in prog.values.iter_enumerated() {
+        let names = pts_of(v);
+        if names.is_empty() {
+            continue;
+        }
+        let scope = match val.func {
+            Some(f) => format!("@{}", prog.functions[f].name),
+            None => "<global>".to_string(),
+        };
+        println!("pt({}::%{}) = {{{}}}", scope, val.name, names.join(", "));
+    }
+}
+
+fn obj_names(prog: &Program, s: &vsfs_adt::PointsToSet<vsfs_ir::ObjId>) -> Vec<String> {
+    s.iter().map(|o| prog.objects[o].name.clone()).collect()
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let prog = match load_program(&opts.input) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    let t0 = std::time::Instant::now();
+    let aux = vsfs_andersen::analyze(&prog);
+    let aux_time = t0.elapsed();
+
+    if opts.analysis == Analysis::Andersen {
+        if opts.print_pts {
+            print_value_pts(&prog, |v| obj_names(&prog, aux.value_pts(v)));
+        }
+        if opts.print_callgraph {
+            print_callgraph_edges(&prog, &aux.callgraph.edges().collect::<Vec<_>>());
+        }
+        if opts.stats {
+            println!("andersen: {:.3}s, {:?}", aux_time.as_secs_f64(), aux.stats);
+            println!("peak heap: {:.2} MiB", vsfs_adt::mem::peak_bytes() as f64 / (1 << 20) as f64);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let t1 = std::time::Instant::now();
+    let mssa = vsfs_mssa::MemorySsa::build(&prog, &aux);
+    let svfg = vsfs_svfg::Svfg::build(&prog, &aux, &mssa);
+    let build_time = t1.elapsed();
+
+    if let Some(path) = &opts.dot_svfg {
+        if let Err(e) = std::fs::write(path, svfg.to_dot(&prog)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!("wrote {path}");
+    }
+
+    let result: FlowSensitiveResult = match opts.analysis {
+        Analysis::Sfs => vsfs_core::run_sfs(&prog, &aux, &mssa, &svfg),
+        Analysis::Vsfs => vsfs_core::run_vsfs(&prog, &aux, &mssa, &svfg),
+        Analysis::Andersen => unreachable!("handled above"),
+    };
+
+    if opts.print_pts {
+        print_value_pts(&prog, |v| obj_names(&prog, result.value_pts(v)));
+    }
+    if opts.print_callgraph {
+        print_callgraph_edges(&prog, &result.callgraph_edges);
+    }
+    if opts.precision_report {
+        let r = vsfs_core::compare_precision(&prog, &aux, &result);
+        println!("precision vs Andersen:");
+        println!("  values considered:          {}", r.values);
+        println!("  values refined:             {}", r.refined_values);
+        println!("  avg points-to size:         {:.2} -> {:.2}", r.aux_avg(), r.fs_avg());
+        println!("  call edges:                 {} -> {}", r.aux_call_edges, r.fs_call_edges);
+        println!("  proven-uninitialised loads: {}", r.proven_uninitialised_loads);
+    }
+    if opts.stats {
+        let s = &result.stats;
+        println!("andersen:          {:.3}s", aux_time.as_secs_f64());
+        println!("mssa + svfg:       {:.3}s", build_time.as_secs_f64());
+        if opts.analysis == Analysis::Vsfs {
+            println!("versioning:        {:.3}s ({} prelabels, {} versions, {} reliance edges)",
+                s.versioning_seconds, s.prelabels, s.versions, s.reliance_edges);
+        }
+        println!("main phase:        {:.3}s", s.solve_seconds);
+        println!("node pops:         {}", s.node_pops);
+        println!("object unions:     {}", s.object_propagations);
+        println!("stored object sets:{}", s.stored_object_sets);
+        println!("strong updates:    {}", s.strong_updates);
+        println!("calls activated:   {}", s.calls_activated);
+        println!("svfg: {} nodes, {} direct edges, {} indirect edges",
+            svfg.node_count(), svfg.direct_edge_count(), svfg.indirect_edge_count());
+        println!("peak heap: {:.2} MiB", vsfs_adt::mem::peak_bytes() as f64 / (1 << 20) as f64);
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_callgraph_edges(prog: &Program, edges: &[(vsfs_ir::InstId, vsfs_ir::FuncId)]) {
+    for (call, callee) in edges {
+        println!(
+            "{} -> @{}",
+            prog.inst_location(*call),
+            prog.functions[*callee].name
+        );
+    }
+}

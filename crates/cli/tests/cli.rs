@@ -1,0 +1,98 @@
+//! End-to-end tests driving the `vsfs` binary.
+
+use std::process::Command;
+
+fn vsfs(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_vsfs"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn list_shows_corpus_and_suite() {
+    let out = vsfs(&["--list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("strong_update"));
+    assert!(stdout.contains("hyriseConsole"));
+}
+
+#[test]
+fn corpus_run_prints_points_to() {
+    let out = vsfs(&["--corpus", "strong_update", "--print-pts"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("pt(@main::%before) = {First}"), "{stdout}");
+    assert!(stdout.contains("pt(@main::%after) = {Second}"), "{stdout}");
+}
+
+#[test]
+fn andersen_mode_is_flow_insensitive() {
+    let out = vsfs(&["--ander", "--corpus", "strong_update", "--print-pts"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // Flow-insensitive: both loads see both heap objects.
+    assert!(stdout.contains("pt(@main::%before) = {First, Second}"), "{stdout}");
+}
+
+#[test]
+fn sfs_and_vsfs_print_identical_points_to() {
+    let a = vsfs(&["--fspta", "--corpus", "fptr_dispatch", "--print-pts", "--print-callgraph"]);
+    let b = vsfs(&["--vfspta", "--corpus", "fptr_dispatch", "--print-pts", "--print-callgraph"]);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(a.stdout, b.stdout);
+}
+
+#[test]
+fn file_input_works() {
+    let dir = std::env::temp_dir().join("vsfs_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("prog.vir");
+    std::fs::write(
+        &path,
+        "func @main() {\nentry:\n  %p = alloc stack A\n  %q = alloc heap H\n  store %q, %p\n  %r = load %p\n  ret\n}\n",
+    )
+    .unwrap();
+    let out = vsfs(&[path.to_str().unwrap(), "--print-pts"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("pt(@main::%r) = {H}"), "{stdout}");
+}
+
+#[test]
+fn dot_output_is_written() {
+    let dir = std::env::temp_dir().join("vsfs_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dot = dir.join("out.dot");
+    let out = vsfs(&["--corpus", "linked_list", "--dot-svfg", dot.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&dot).unwrap();
+    assert!(text.starts_with("digraph svfg {"));
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let out = vsfs(&["--corpus", "nonesuch"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown corpus program"));
+}
+
+#[test]
+fn workload_input_analyzes_end_to_end() {
+    let out = vsfs(&["--workload", "du", "--stats", "--precision-report"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("precision vs Andersen:"), "{stdout}");
+    assert!(stdout.contains("main phase:"), "{stdout}");
+}
+
+#[test]
+fn sfs_flag_runs_the_baseline() {
+    let out = vsfs(&["--fspta", "--corpus", "flow_order", "--stats"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // No versioning line for the baseline.
+    assert!(!stdout.contains("versioning:"), "{stdout}");
+}

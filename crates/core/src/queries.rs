@@ -1,0 +1,133 @@
+//! Client-facing queries over analysis results.
+//!
+//! Pointer analyses exist to serve clients — compiler optimisations,
+//! vulnerability detection, verification, slicing (Section I). This
+//! module wraps a [`FlowSensitiveResult`] with the queries such clients
+//! ask.
+
+use crate::result::FlowSensitiveResult;
+use vsfs_ir::{ObjId, Program, ValueId};
+
+/// Alias/points-to queries over a completed analysis.
+///
+/// # Examples
+///
+/// ```
+/// use vsfs_core::queries::AliasQueries;
+///
+/// let prog = vsfs_ir::parse_program(r#"
+/// func @main() {
+/// entry:
+///   %p = alloc stack A
+///   %q = alloc stack B
+///   %r = copy %p
+///   ret
+/// }
+/// "#)?;
+/// let aux = vsfs_andersen::analyze(&prog);
+/// let mssa = vsfs_mssa::MemorySsa::build(&prog, &aux);
+/// let svfg = vsfs_svfg::Svfg::build(&prog, &aux, &mssa);
+/// let result = vsfs_core::run_vsfs(&prog, &aux, &mssa, &svfg);
+/// let q = AliasQueries::new(&prog, &result);
+/// let by_name = |n: &str| prog.values.iter_enumerated()
+///     .find(|(_, v)| v.name == n).map(|(id, _)| id).unwrap();
+/// assert!(q.may_alias(by_name("p"), by_name("r")));  // same object A
+/// assert!(!q.may_alias(by_name("p"), by_name("q"))); // A vs B
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AliasQueries<'a> {
+    prog: &'a Program,
+    result: &'a FlowSensitiveResult,
+}
+
+impl<'a> AliasQueries<'a> {
+    /// Wraps `result` for querying.
+    pub fn new(prog: &'a Program, result: &'a FlowSensitiveResult) -> Self {
+        AliasQueries { prog, result }
+    }
+
+    /// May `p` and `q` point to the same object?
+    pub fn may_alias(&self, p: ValueId, q: ValueId) -> bool {
+        !self.result.pt[p].is_disjoint(&self.result.pt[q])
+    }
+
+    /// Does `p` definitely point to exactly one abstract object?
+    ///
+    /// (The object may still summarise several runtime objects unless it
+    /// is a singleton.)
+    pub fn unique_target(&self, p: ValueId) -> Option<ObjId> {
+        self.result.pt[p].as_singleton()
+    }
+
+    /// Is `p`'s points-to set empty — i.e. no allocation ever reaches it
+    /// (an uninitialised-pointer candidate)?
+    pub fn is_empty(&self, p: ValueId) -> bool {
+        self.result.pt[p].is_empty()
+    }
+
+    /// May `p` point to heap memory?
+    pub fn may_point_to_heap(&self, p: ValueId) -> bool {
+        self.result.pt[p].iter().any(|o| self.prog.objects[o].is_heap())
+    }
+
+    /// The names of `p`'s pointees (diagnostics).
+    pub fn pointee_names(&self, p: ValueId) -> Vec<&'a str> {
+        self.result.pt[p]
+            .iter()
+            .map(|o| self.prog.objects[o].name.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result_for(src: &str) -> (Program, FlowSensitiveResult) {
+        let prog = vsfs_ir::parse_program(src).unwrap();
+        let aux = vsfs_andersen::analyze(&prog);
+        let mssa = vsfs_mssa::MemorySsa::build(&prog, &aux);
+        let svfg = vsfs_svfg::Svfg::build(&prog, &aux, &mssa);
+        let r = crate::run_vsfs(&prog, &aux, &mssa, &svfg);
+        (prog, r)
+    }
+
+    fn val(prog: &Program, n: &str) -> ValueId {
+        prog.values
+            .iter_enumerated()
+            .find(|(_, v)| v.name == n)
+            .map(|(id, _)| id)
+            .unwrap()
+    }
+
+    #[test]
+    fn alias_and_target_queries() {
+        let (prog, r) = result_for(
+            r#"
+            func @main() {
+            entry:
+              %p = alloc stack A
+              %h = alloc heap H
+              %r = copy %p
+              %never = load %p
+              store %h, %p
+              %loaded = load %p
+              ret
+            }
+            "#,
+        );
+        let q = AliasQueries::new(&prog, &r);
+        assert!(q.may_alias(val(&prog, "p"), val(&prog, "r")));
+        assert!(!q.may_alias(val(&prog, "p"), val(&prog, "h")));
+        assert_eq!(
+            q.unique_target(val(&prog, "p")),
+            Some(prog.objects.iter_enumerated().find(|(_, o)| o.name == "A").unwrap().0)
+        );
+        assert!(q.is_empty(val(&prog, "never")), "load before any store");
+        assert!(!q.is_empty(val(&prog, "loaded")));
+        assert!(q.may_point_to_heap(val(&prog, "loaded")));
+        assert!(!q.may_point_to_heap(val(&prog, "p")));
+        assert_eq!(q.pointee_names(val(&prog, "loaded")), vec!["H"]);
+    }
+}

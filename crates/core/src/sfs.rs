@@ -1,0 +1,366 @@
+//! The staged flow-sensitive baseline (SFS), equations (6)–(7) of the
+//! paper.
+//!
+//! Every SVFG node keeps an `IN` map from objects to points-to sets;
+//! `STORE` nodes additionally keep an `OUT` map. Indirect edges propagate
+//! whole points-to sets from the producing side of one node to the `IN`
+//! of the next — the redundant single-object propagation and storage that
+//! VSFS eliminates.
+//!
+//! Dirty tracking: a `(node, object)` pair is marked dirty when the value
+//! the node would propagate for that object may have changed; popping a
+//! node propagates only its dirty objects.
+
+use crate::result::{FlowSensitiveResult, SolveStats};
+use crate::toplevel::TopLevel;
+use std::collections::HashMap;
+use std::time::Instant;
+use vsfs_adt::{FifoWorklist, IndexVec, PointsToSet};
+use vsfs_andersen::AndersenResult;
+use vsfs_ir::{FuncId, InstId, InstKind, ObjId, Program};
+use vsfs_mssa::MemorySsa;
+use vsfs_svfg::{Svfg, SvfgNodeId, SvfgNodeKind};
+
+/// Runs the SFS baseline to a fixpoint.
+pub fn run_sfs(
+    prog: &Program,
+    aux: &AndersenResult,
+    mssa: &MemorySsa,
+    svfg: &Svfg,
+) -> FlowSensitiveResult {
+    let start = Instant::now();
+    let mut solver = SfsSolver::new(prog, aux, mssa, svfg);
+    solver.solve();
+    let mut stats = solver.stats;
+    stats.solve_seconds = start.elapsed().as_secs_f64();
+    let (sets, elems, bytes) = solver.storage_stats();
+    stats.stored_object_sets = sets;
+    stats.stored_object_elems = elems;
+    stats.stored_object_bytes = bytes;
+    let callgraph_edges = solver.top.callgraph_edges();
+    FlowSensitiveResult { pt: solver.top.pt, callgraph_edges, stats }
+}
+
+type ObjMap = HashMap<ObjId, PointsToSet<ObjId>>;
+
+struct SfsSolver<'a> {
+    prog: &'a Program,
+    mssa: &'a MemorySsa,
+    svfg: &'a Svfg,
+    top: TopLevel<'a>,
+    /// IN set per node.
+    ins: IndexVec<SvfgNodeId, ObjMap>,
+    /// OUT set per node (populated for STORE nodes only).
+    outs: IndexVec<SvfgNodeId, ObjMap>,
+    /// Indirect edges activated by on-the-fly call-graph resolution.
+    dyn_succs: IndexVec<SvfgNodeId, Vec<(SvfgNodeId, ObjId)>>,
+    /// Objects whose outgoing value changed since the node last ran.
+    dirty: IndexVec<SvfgNodeId, PointsToSet<ObjId>>,
+    worklist: FifoWorklist<SvfgNodeId>,
+    stats: SolveStats,
+}
+
+impl<'a> SfsSolver<'a> {
+    fn new(prog: &'a Program, aux: &'a AndersenResult, mssa: &'a MemorySsa, svfg: &'a Svfg) -> Self {
+        let n = svfg.node_count();
+        let top = TopLevel::new(prog, aux, svfg);
+        let mut worklist = FifoWorklist::new(n);
+        for id in svfg.node_ids() {
+            worklist.push(id);
+        }
+        SfsSolver {
+            prog,
+            mssa,
+            svfg,
+            top,
+            ins: (0..n).map(|_| ObjMap::new()).collect(),
+            outs: (0..n).map(|_| ObjMap::new()).collect(),
+            dyn_succs: (0..n).map(|_| Vec::new()).collect(),
+            dirty: (0..n).map(|_| PointsToSet::new()).collect(),
+            worklist,
+            stats: SolveStats::default(),
+        }
+    }
+
+    fn solve(&mut self) {
+        while let Some(node) = self.worklist.pop() {
+            self.stats.node_pops += 1;
+            self.process(node);
+        }
+    }
+
+    fn process(&mut self, node: SvfgNodeId) {
+        match self.svfg.kind(node) {
+            SvfgNodeKind::Inst(inst) => self.process_inst(node, inst),
+            SvfgNodeKind::CallRet(_) | SvfgNodeKind::MemPhi(_) => {
+                // Pure relays: propagate dirty IN entries onward.
+                self.propagate_dirty(node);
+            }
+        }
+    }
+
+    fn process_inst(&mut self, node: SvfgNodeId, inst: InstId) {
+        let mut newly_activated = Vec::new();
+        self.top.transfer(inst, &mut self.worklist, &mut newly_activated);
+        for (call, callee) in newly_activated {
+            self.activate_binding(call, callee);
+        }
+        match &self.prog.insts[inst].kind {
+            InstKind::Load { dst, addr } => {
+                // [LOAD]: pt(dst) ⊇ IN[node][o] for each o ∈ pt(addr).
+                let objs: Vec<ObjId> = self.top.pt[*addr].iter().collect();
+                for o in objs {
+                    if let Some(s) = self.ins[node].get(&o) {
+                        self.top.union_pt(*dst, s, &mut self.worklist);
+                    }
+                }
+                self.propagate_dirty(node); // loads relay their IN onward
+            }
+            InstKind::Store { addr, val } => {
+                // [STORE] + [SU/WU]: recompute OUT for the chi objects.
+                // The strong/weak decision is static (see
+                // `TopLevel::is_strong_update`), keeping the transfer
+                // monotone.
+                let gen = self.top.pt[*val].clone();
+                let targets = self.top.pt[*addr].clone();
+                for chi in self.mssa.chis(inst) {
+                    let o = chi.obj;
+                    let mut out = PointsToSet::new();
+                    if self.top.is_strong_update(*addr, o) {
+                        self.stats.strong_updates += 1;
+                        out.union_with(&gen); // kill: IN not propagated
+                    } else {
+                        if let Some(input) = self.ins[node].get(&o) {
+                            out.union_with(input);
+                        }
+                        if targets.contains(o) {
+                            out.union_with(&gen);
+                        }
+                    }
+                    self.stats.object_propagations += 1;
+                    let slot = self.outs[node].entry(o).or_default();
+                    if slot.union_with(&out) {
+                        self.dirty[node].insert(o);
+                    }
+                }
+                self.propagate_dirty(node);
+            }
+            _ => {
+                self.propagate_dirty(node);
+            }
+        }
+    }
+
+    /// The set a node exposes to its successors for object `o`.
+    fn out_val(&self, node: SvfgNodeId, o: ObjId) -> Option<&PointsToSet<ObjId>> {
+        let is_store = matches!(
+            self.svfg.kind(node),
+            SvfgNodeKind::Inst(i) if self.prog.insts[i].kind.is_store()
+        );
+        if is_store {
+            self.outs[node].get(&o)
+        } else {
+            self.ins[node].get(&o)
+        }
+    }
+
+    /// Pushes the dirty objects of `node` along its (static + activated)
+    /// indirect out-edges, then clears the dirty set.
+    fn propagate_dirty(&mut self, node: SvfgNodeId) {
+        if self.dirty[node].is_empty() {
+            return;
+        }
+        let dirty = std::mem::take(&mut self.dirty[node]);
+        let mut edges: Vec<(SvfgNodeId, ObjId)> = self
+            .svfg
+            .indirect_succs(node)
+            .iter()
+            .copied()
+            .filter(|&(_, o)| dirty.contains(o))
+            .collect();
+        edges.extend(
+            self.dyn_succs[node]
+                .iter()
+                .copied()
+                .filter(|&(_, o)| dirty.contains(o)),
+        );
+        for (succ, o) in edges {
+            self.stats.object_propagations += 1;
+            let Some(val) = self.out_val(node, o) else { continue };
+            // Cheap no-growth check before cloning the source set.
+            if self.ins[succ].get(&o).is_some_and(|s| s.is_superset(val)) {
+                continue;
+            }
+            let val = val.clone();
+            let slot = self.ins[succ].entry(o).or_default();
+            if slot.union_with(&val) {
+                self.dirty[succ].insert(o);
+                self.worklist.push(succ);
+            }
+        }
+    }
+
+    /// Wires up the deferred indirect-call object flow for a newly
+    /// activated `(call, callee)` pair.
+    fn activate_binding(&mut self, call: InstId, callee: FuncId) {
+        self.stats.calls_activated += 1;
+        let Some(binding) = self.svfg.call_binding(call, callee) else {
+            return; // direct call: edges already in the static SVFG
+        };
+        let binding = binding.clone();
+        let call_node = self.svfg.inst_node(call);
+        let ret_node = self.svfg.callret_node(call);
+        let entry_node = self.svfg.inst_node(self.prog.functions[callee].entry_inst);
+        let exit_node = self.svfg.inst_node(self.prog.functions[callee].exit_inst);
+        for o in binding.ins {
+            self.dyn_succs[call_node].push((entry_node, o));
+            // Anything already known at the call must flow now.
+            if self.ins[call_node].contains_key(&o) {
+                self.dirty[call_node].insert(o);
+            }
+        }
+        for o in binding.outs {
+            self.dyn_succs[exit_node].push((ret_node, o));
+            if self.ins[exit_node].contains_key(&o) {
+                self.dirty[exit_node].insert(o);
+            }
+        }
+        self.worklist.push(call_node);
+        self.worklist.push(exit_node);
+    }
+
+    /// `(set count, total elements, approximate heap bytes)` across all
+    /// IN/OUT entries — the storage the paper's Table III memory column
+    /// tracks.
+    fn storage_stats(&self) -> (usize, usize, usize) {
+        let mut sets = 0;
+        let mut elems = 0;
+        let mut bytes = 0;
+        for m in self.ins.iter().chain(self.outs.iter()) {
+            sets += m.len();
+            for s in m.values() {
+                elems += s.len();
+                bytes += s.heap_bytes();
+            }
+        }
+        (sets, elems, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsfs_ir::parse_program;
+
+    fn solve(src: &str) -> (Program, FlowSensitiveResult) {
+        let prog = parse_program(src).unwrap();
+        vsfs_ir::verify::verify(&prog).unwrap();
+        let aux = vsfs_andersen::analyze(&prog);
+        let mssa = MemorySsa::build(&prog, &aux);
+        let svfg = Svfg::build(&prog, &aux, &mssa);
+        let r = run_sfs(&prog, &aux, &mssa, &svfg);
+        (prog, r)
+    }
+
+    fn pts(prog: &Program, r: &FlowSensitiveResult, name: &str) -> Vec<String> {
+        let v = prog
+            .values
+            .iter_enumerated()
+            .find(|(_, val)| val.name == name)
+            .map(|(id, _)| id)
+            .unwrap();
+        let mut names: Vec<String> =
+            r.pt[v].iter().map(|o| prog.objects[o].name.clone()).collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn two_level_loads() {
+        let (prog, r) = solve(
+            r#"
+            func @main() {
+            entry:
+              %pp = alloc stack PP
+              %p = alloc stack P
+              %h = alloc heap H
+              store %p, %pp
+              store %h, %p
+              %p2 = load %pp
+              %v = load %p2
+              ret
+            }
+            "#,
+        );
+        assert_eq!(pts(&prog, &r, "p2"), vec!["P"]);
+        assert_eq!(pts(&prog, &r, "v"), vec!["H"]);
+    }
+
+    #[test]
+    fn flow_sensitive_callgraph_beats_andersen() {
+        // Flow-sensitively, only @first is in the table when the icall
+        // runs; Andersen conflates both stores.
+        let src = r#"
+            global @tab
+            func @first(%x) {
+            entry:
+              ret %x
+            }
+            func @second(%x) {
+            entry:
+              %h = alloc heap FromSecond
+              ret %h
+            }
+            func @main() {
+            entry:
+              %f1 = funaddr @first
+              store %f1, @tab
+              %fp = load @tab
+              %arg = alloc heap Arg
+              %r = icall %fp(%arg)
+              %f2 = funaddr @second
+              store %f2, @tab
+              ret
+            }
+            "#;
+        let (prog, r) = solve(src);
+        let aux = vsfs_andersen::analyze(&prog);
+        let icall = prog
+            .insts
+            .iter_enumerated()
+            .find(|(_, i)| matches!(i.kind, InstKind::Call { .. }))
+            .map(|(id, _)| id)
+            .unwrap();
+        assert_eq!(aux.callgraph.callees(icall).len(), 2, "Andersen sees both");
+        let fs_callees: Vec<FuncId> = r
+            .callgraph_edges
+            .iter()
+            .filter(|(c, _)| *c == icall)
+            .map(|&(_, f)| f)
+            .collect();
+        assert_eq!(fs_callees.len(), 1, "flow-sensitively only @first");
+        assert_eq!(prog.functions[fs_callees[0]].name, "first");
+        // And the result only flows from @first: r = Arg, not FromSecond.
+        assert_eq!(pts(&prog, &r, "r"), vec!["Arg"]);
+    }
+
+    #[test]
+    fn weak_update_into_heap_accumulates() {
+        let (prog, r) = solve(
+            r#"
+            func @main() {
+            entry:
+              %h = alloc heap Cell
+              %a = alloc heap A
+              %b = alloc heap B
+              store %a, %h
+              store %b, %h
+              %v = load %h
+              ret
+            }
+            "#,
+        );
+        assert_eq!(pts(&prog, &r, "v"), vec!["A", "B"], "heap stores are weak");
+        assert!(r.stats.strong_updates == 0);
+    }
+}

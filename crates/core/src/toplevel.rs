@@ -1,0 +1,226 @@
+//! Top-level (`P`) points-to state and on-the-fly call-graph resolution,
+//! shared by the SFS and VSFS solvers.
+//!
+//! Top-level variables are in SSA form, so each has one global points-to
+//! set (`[ADDR]`, `[PHI]`, `[CAST]`, `[FIELD-ADDR]`, `[CALL]`, `[RET]`
+//! rules). This module owns those sets, the flow-sensitively resolved call
+//! graph, and the plumbing that re-enqueues SVFG nodes when a value's set
+//! grows. The object-flow parts of `[LOAD]`, `[STORE]`, and `[A-PROP]`
+//! differ between the two solvers and live with them.
+
+use vsfs_adt::{FifoWorklist, IndexVec, PointsToSet};
+use vsfs_andersen::AndersenResult;
+use vsfs_ir::{Callee, DefUse, FuncId, InstId, InstKind, ObjId, Program, ValueId};
+use vsfs_svfg::{Svfg, SvfgNodeId};
+use std::collections::{HashMap, HashSet};
+
+/// Shared top-level solver state.
+pub struct TopLevel<'a> {
+    pub(crate) prog: &'a Program,
+    aux: &'a AndersenResult,
+    svfg: &'a Svfg,
+    defuse: DefUse,
+    /// Global points-to set per top-level value.
+    pub pt: IndexVec<ValueId, PointsToSet<ObjId>>,
+    /// Flow-sensitively activated callees per call site.
+    active_callees: HashMap<InstId, Vec<FuncId>>,
+    /// Flow-sensitively activated call sites per function.
+    active_callers: HashMap<FuncId, Vec<InstId>>,
+    activated: HashSet<(InstId, FuncId)>,
+    /// Singleton objects (strong-update eligible).
+    pub singletons: PointsToSet<ObjId>,
+}
+
+impl<'a> TopLevel<'a> {
+    /// Creates the initial state: global pointers seeded with their
+    /// storage objects, everything else empty.
+    pub fn new(prog: &'a Program, aux: &'a AndersenResult, svfg: &'a Svfg) -> Self {
+        let mut pt: IndexVec<ValueId, PointsToSet<ObjId>> =
+            (0..prog.values.len()).map(|_| PointsToSet::new()).collect();
+        for &(g, obj) in &prog.globals {
+            pt[g].insert(obj);
+        }
+        TopLevel {
+            prog,
+            aux,
+            svfg,
+            defuse: DefUse::compute(prog),
+            pt,
+            active_callees: HashMap::new(),
+            active_callers: HashMap::new(),
+            activated: HashSet::new(),
+            singletons: vsfs_andersen::compute_singletons(prog, &aux.callgraph),
+        }
+    }
+
+    /// The activated callees of `call`.
+    pub fn callees(&self, call: InstId) -> &[FuncId] {
+        self.active_callees.get(&call).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The activated call sites of `func`.
+    pub fn callers(&self, func: FuncId) -> &[InstId] {
+        self.active_callers.get(&func).map_or(&[], |v| v.as_slice())
+    }
+
+    /// All activated `(call, callee)` pairs, sorted.
+    pub fn callgraph_edges(&self) -> Vec<(InstId, FuncId)> {
+        let mut v: Vec<(InstId, FuncId)> = self.activated.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Unions `add` into `pt(v)`; on growth, enqueues every SVFG node that
+    /// uses `v`. Returns `true` if the set grew.
+    pub fn union_pt(
+        &mut self,
+        v: ValueId,
+        add: &PointsToSet<ObjId>,
+        worklist: &mut FifoWorklist<SvfgNodeId>,
+    ) -> bool {
+        if !self.pt[v].union_with(add) {
+            return false;
+        }
+        self.enqueue_uses(v, worklist);
+        true
+    }
+
+    /// Inserts one object into `pt(v)` (the `[ADDR]`/`[FIELD-ADDR]` rules).
+    pub fn insert_pt(
+        &mut self,
+        v: ValueId,
+        obj: ObjId,
+        worklist: &mut FifoWorklist<SvfgNodeId>,
+    ) -> bool {
+        if !self.pt[v].insert(obj) {
+            return false;
+        }
+        self.enqueue_uses(v, worklist);
+        true
+    }
+
+    fn enqueue_uses(&self, v: ValueId, worklist: &mut FifoWorklist<SvfgNodeId>) {
+        for &u in self.defuse.uses(v) {
+            worklist.push(self.svfg.inst_node(u));
+        }
+    }
+
+    /// Runs the top-level transfer function of the instruction at `node`,
+    /// including call-graph activation. Newly activated `(call, callee)`
+    /// pairs are appended to `newly_activated` so the caller can wire up
+    /// solver-specific object flow.
+    pub fn transfer(
+        &mut self,
+        inst: InstId,
+        worklist: &mut FifoWorklist<SvfgNodeId>,
+        newly_activated: &mut Vec<(InstId, FuncId)>,
+    ) {
+        match &self.prog.insts[inst].kind {
+            InstKind::Alloc { dst, obj } => {
+                self.insert_pt(*dst, *obj, worklist);
+            }
+            InstKind::Copy { dst, src } => {
+                let s = self.pt[*src].clone();
+                self.union_pt(*dst, &s, worklist);
+            }
+            InstKind::Phi { dst, srcs } => {
+                let mut s = PointsToSet::new();
+                for &src in srcs {
+                    s.union_with(&self.pt[src]);
+                }
+                self.union_pt(*dst, &s, worklist);
+            }
+            InstKind::Field { dst, base, offset } => {
+                let objs: Vec<ObjId> = self.pt[*base].iter().collect();
+                for o in objs {
+                    let f = self.prog.field_object(o, *offset);
+                    self.insert_pt(*dst, f, worklist);
+                }
+            }
+            InstKind::Call { callee, args, .. } => {
+                // Resolve callees flow-sensitively.
+                match callee {
+                    Callee::Direct(f) => {
+                        self.activate(inst, *f, worklist, newly_activated);
+                    }
+                    Callee::Indirect(fp) => {
+                        let candidates: Vec<FuncId> = self.pt[*fp]
+                            .iter()
+                            .filter_map(|o| self.prog.object_as_function(o))
+                            .collect();
+                        for f in candidates {
+                            self.activate(inst, f, worklist, newly_activated);
+                        }
+                    }
+                }
+                // Bind arguments to parameters of every active callee.
+                let callees = self.callees(inst).to_vec();
+                for f in callees {
+                    let params = self.prog.functions[f].params.clone();
+                    for (a, p) in args.clone().iter().zip(params.iter()) {
+                        let s = self.pt[*a].clone();
+                        self.union_pt(*p, &s, worklist);
+                    }
+                }
+            }
+            InstKind::FunExit { func, ret } => {
+                // Copy the returned pointer to every active caller's dst.
+                if let Some(r) = ret {
+                    let s = self.pt[*r].clone();
+                    let callers = self.callers(*func).to_vec();
+                    for call in callers {
+                        if let InstKind::Call { dst: Some(d), .. } = self.prog.insts[call].kind {
+                            self.union_pt(d, &s, worklist);
+                        }
+                    }
+                }
+            }
+            // LOAD's top-level effect depends on object state — handled by
+            // the solver. STORE, FUNENTRY have no top-level effect.
+            InstKind::Load { .. } | InstKind::Store { .. } | InstKind::FunEntry { .. } => {}
+        }
+    }
+
+    fn activate(
+        &mut self,
+        call: InstId,
+        callee: FuncId,
+        worklist: &mut FifoWorklist<SvfgNodeId>,
+        newly_activated: &mut Vec<(InstId, FuncId)>,
+    ) {
+        if !self.activated.insert((call, callee)) {
+            return;
+        }
+        self.active_callees.entry(call).or_default().push(callee);
+        self.active_callers.entry(callee).or_default().push(call);
+        newly_activated.push((call, callee));
+        let f = &self.prog.functions[callee];
+        // The callee's entry and exit must (re)run: the entry to receive
+        // object state, the exit to publish its return value to this new
+        // caller.
+        worklist.push(self.svfg.inst_node(f.entry_inst));
+        worklist.push(self.svfg.inst_node(f.exit_inst));
+        worklist.push(self.svfg.inst_node(call));
+    }
+
+    /// Is a store through `p` a strong update of `o`? (`[SU/WU]` rule.)
+    ///
+    /// The decision is *static*: `o` must be a singleton and the
+    /// **auxiliary** points-to set of `p` must be exactly `{o}`. Deciding
+    /// on the evolving flow-sensitive set instead (as in the original
+    /// SFS formulation) makes the transfer function non-monotone — the
+    /// weak/strong choice can flip mid-solve, leaving schedule-dependent
+    /// residue in whichever solver happened to process the store first —
+    /// so the fixpoint would not be unique and SFS/VSFS could disagree
+    /// on convergence order alone. With the static test both solvers
+    /// compute the unique least fixpoint of the same monotone system,
+    /// making the paper's equal-precision theorem (Section IV-E) hold
+    /// exactly, at the cost of fewer strong updates than a
+    /// flow-sensitively-narrowed test would allow. This is sound even
+    /// when the flow-sensitive set of `p` is empty: `aux_pt(p) = {o}`
+    /// means `p` can only ever hold `o` (or be uninitialised, which
+    /// makes the store undefined behaviour at runtime).
+    pub fn is_strong_update(&self, p: ValueId, o: ObjId) -> bool {
+        self.singletons.contains(o) && self.aux.value_pts(p).as_singleton() == Some(o)
+    }
+}

@@ -1,0 +1,217 @@
+//! Strongly-connected components via iterative Tarjan.
+//!
+//! Component ids are assigned in reverse topological order of the
+//! condensation: if component `a` has an edge to component `b` (`a != b`),
+//! then `a`'s id is **greater** than `b`'s. Iterating components in id
+//! order therefore visits callees/successors before callers/predecessors,
+//! which is the order bottom-up interprocedural fixpoints want.
+
+use crate::digraph::DiGraph;
+use vsfs_adt::index::Idx;
+
+/// The strongly-connected components of a [`DiGraph`].
+#[derive(Debug, Clone)]
+pub struct Sccs<I> {
+    /// Component id of each node.
+    component_of: Vec<u32>,
+    /// Members of each component.
+    members: Vec<Vec<I>>,
+}
+
+impl<I: Idx> Sccs<I> {
+    /// Computes the SCCs of `graph` (all nodes, reachable or not).
+    pub fn compute(graph: &DiGraph<I>) -> Self {
+        TarjanState::run(graph)
+    }
+
+    /// The component id of `node`.
+    pub fn component(&self, node: I) -> u32 {
+        self.component_of[node.index()]
+    }
+
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The member nodes of component `c`.
+    pub fn members(&self, c: u32) -> &[I] {
+        &self.members[c as usize]
+    }
+
+    /// Returns `true` if `node` is in a non-trivial cycle: its component
+    /// has more than one member, or it has a self-loop in `graph`.
+    pub fn in_cycle(&self, graph: &DiGraph<I>, node: I) -> bool {
+        self.members(self.component(node)).len() > 1 || graph.has_edge(node, node)
+    }
+
+    /// Iterates component ids in reverse topological order of the
+    /// condensation (successor components first).
+    pub fn ids_topo_successors_first(&self) -> impl Iterator<Item = u32> + 'static {
+        0..self.members.len() as u32
+    }
+}
+
+struct TarjanState<'g, I> {
+    graph: &'g DiGraph<I>,
+    index: Vec<u32>,
+    lowlink: Vec<u32>,
+    on_stack: Vec<bool>,
+    stack: Vec<I>,
+    next_index: u32,
+    component_of: Vec<u32>,
+    members: Vec<Vec<I>>,
+}
+
+const UNVISITED: u32 = u32::MAX;
+
+impl<'g, I: Idx> TarjanState<'g, I> {
+    fn run(graph: &'g DiGraph<I>) -> Sccs<I> {
+        let n = graph.node_count();
+        let mut st = TarjanState {
+            graph,
+            index: vec![UNVISITED; n],
+            lowlink: vec![0; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            next_index: 0,
+            component_of: vec![0; n],
+            members: Vec::new(),
+        };
+        for v in graph.nodes() {
+            if st.index[v.index()] == UNVISITED {
+                st.strongconnect(v);
+            }
+        }
+        Sccs { component_of: st.component_of, members: st.members }
+    }
+
+    /// Iterative version of Tarjan's `strongconnect` to avoid stack
+    /// overflow on deep graphs (SVFGs can have very long chains).
+    fn strongconnect(&mut self, root: I) {
+        // Work stack of (node, next successor position).
+        let mut work: Vec<(I, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut pos)) = work.last_mut() {
+            let vi = v.index();
+            if *pos == 0 {
+                self.index[vi] = self.next_index;
+                self.lowlink[vi] = self.next_index;
+                self.next_index += 1;
+                self.stack.push(v);
+                self.on_stack[vi] = true;
+            }
+            let succs = self.graph.successors(v);
+            if *pos < succs.len() {
+                let w = succs[*pos];
+                *pos += 1;
+                let wi = w.index();
+                if self.index[wi] == UNVISITED {
+                    work.push((w, 0));
+                } else if self.on_stack[wi] {
+                    self.lowlink[vi] = self.lowlink[vi].min(self.index[wi]);
+                }
+            } else {
+                if self.lowlink[vi] == self.index[vi] {
+                    let cid = self.members.len() as u32;
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = self.stack.pop().expect("tarjan stack underflow");
+                        self.on_stack[w.index()] = false;
+                        self.component_of[w.index()] = cid;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    self.members.push(comp);
+                }
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    let pi = parent.index();
+                    self.lowlink[pi] = self.lowlink[pi].min(self.lowlink[vi]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsfs_adt::define_index;
+
+    define_index!(N, "n");
+
+    fn n(i: u32) -> N {
+        N::new(i)
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let mut g: DiGraph<N> = DiGraph::with_nodes(3);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        let sccs = Sccs::compute(&g);
+        assert_eq!(sccs.count(), 3);
+        for v in g.nodes() {
+            assert_eq!(sccs.members(sccs.component(v)), &[v]);
+            assert!(!sccs.in_cycle(&g, v));
+        }
+        // Reverse topological: successors get smaller ids.
+        assert!(sccs.component(n(2)) < sccs.component(n(1)));
+        assert!(sccs.component(n(1)) < sccs.component(n(0)));
+    }
+
+    #[test]
+    fn cycle_collapses() {
+        // 0 -> 1 -> 2 -> 1, 2 -> 3
+        let mut g: DiGraph<N> = DiGraph::with_nodes(4);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        g.add_edge(n(2), n(1));
+        g.add_edge(n(2), n(3));
+        let sccs = Sccs::compute(&g);
+        assert_eq!(sccs.count(), 3);
+        assert_eq!(sccs.component(n(1)), sccs.component(n(2)));
+        assert_ne!(sccs.component(n(0)), sccs.component(n(1)));
+        assert!(sccs.in_cycle(&g, n(1)));
+        assert!(sccs.in_cycle(&g, n(2)));
+        assert!(!sccs.in_cycle(&g, n(0)));
+        assert!(!sccs.in_cycle(&g, n(3)));
+    }
+
+    #[test]
+    fn self_loop_is_cycle() {
+        let mut g: DiGraph<N> = DiGraph::with_nodes(2);
+        g.add_edge(n(0), n(0));
+        let sccs = Sccs::compute(&g);
+        assert_eq!(sccs.count(), 2);
+        assert!(sccs.in_cycle(&g, n(0)));
+        assert!(!sccs.in_cycle(&g, n(1)));
+    }
+
+    #[test]
+    fn reverse_topo_order_of_condensation() {
+        // Two cycles in sequence: {0,1} -> {2,3}
+        let mut g: DiGraph<N> = DiGraph::with_nodes(4);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(0));
+        g.add_edge(n(1), n(2));
+        g.add_edge(n(2), n(3));
+        g.add_edge(n(3), n(2));
+        let sccs = Sccs::compute(&g);
+        assert_eq!(sccs.count(), 2);
+        assert!(sccs.component(n(2)) < sccs.component(n(0)));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        let k = 200_000;
+        let mut g: DiGraph<N> = DiGraph::with_nodes(k);
+        for i in 0..k - 1 {
+            g.add_edge(n(i as u32), n(i as u32 + 1));
+        }
+        let sccs = Sccs::compute(&g);
+        assert_eq!(sccs.count(), k);
+    }
+}

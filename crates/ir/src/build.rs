@@ -1,0 +1,601 @@
+//! Programmatic construction of [`Program`]s.
+//!
+//! [`ProgramBuilder`] owns the arenas while a program is being assembled;
+//! [`FunctionBuilder`] appends blocks and instructions to one function.
+//! [`ProgramBuilder::finish`] materialises field objects, lowers global
+//! initialisers into `main`, and returns the completed [`Program`].
+//!
+//! # Examples
+//!
+//! ```
+//! use vsfs_ir::ProgramBuilder;
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let main = pb.declare_function("main", 0);
+//! {
+//!     let mut fb = pb.build_function(main);
+//!     let entry = fb.block("entry");
+//!     fb.switch_to(entry);
+//!     let p = fb.alloc_stack("p", "A", 1, false);
+//!     let q = fb.alloc_heap("q", "H", 1, false);
+//!     fb.store(q, p); // *p = q
+//!     fb.load("r", p);
+//!     fb.ret(None);
+//! }
+//! let prog = pb.finish()?;
+//! assert_eq!(prog.inst_count(), 6); // funentry + 4 + funexit
+//! # Ok::<(), vsfs_ir::build::BuildError>(())
+//! ```
+
+use crate::ids::{BlockId, FuncId, InstId, ObjId, ValueId};
+use crate::inst::{Block, Callee, Inst, InstKind, Terminator};
+use crate::program::{Function, ObjKind, Object, Program, Value, ValueDef};
+use std::fmt;
+
+/// An error detected while assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A global initialiser was given but the program has no `main`.
+    GlobalInitWithoutMain,
+    /// A function body was never built.
+    MissingBody(String),
+    /// A function body was built twice.
+    DuplicateBody(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::GlobalInitWithoutMain => {
+                write!(f, "global initialisers require a `main` function")
+            }
+            BuildError::MissingBody(n) => write!(f, "function `@{n}` has no body"),
+            BuildError::DuplicateBody(n) => write!(f, "function `@{n}` built twice"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// What a global initialiser stores into a global object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GInitVal {
+    /// The address held by another global pointer (i.e. `*g = h` where `h`
+    /// is a global pointer).
+    Global(ValueId),
+    /// A function address (`*g = &f`), common in function-pointer tables.
+    Func(FuncId),
+}
+
+const SENTINEL: InstId = InstId::new(u32::MAX);
+
+/// Builds a [`Program`] incrementally.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    prog: Program,
+    bodies_built: Vec<bool>,
+    ginits: Vec<(ValueId, GInitVal)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Declares a global variable: creates its storage object and its
+    /// (top-level, globally scoped) pointer, which always points to that
+    /// storage.
+    pub fn add_global(&mut self, name: &str, num_fields: u32, is_array: bool) -> (ValueId, ObjId) {
+        let obj = self.prog.objects.push(Object {
+            name: name.to_string(),
+            kind: ObjKind::Global,
+            num_fields,
+            is_array,
+        });
+        let val = self.prog.values.push(Value {
+            name: name.to_string(),
+            func: None,
+            def: ValueDef::GlobalPtr(obj),
+        });
+        self.prog.globals.push((val, obj));
+        (val, obj)
+    }
+
+    /// Records a global initialiser `*gptr = value`, lowered into the
+    /// start of `main` by [`ProgramBuilder::finish`].
+    pub fn ginit(&mut self, gptr: ValueId, value: GInitVal) {
+        self.ginits.push((gptr, value));
+    }
+
+    /// Declares a function with `nparams` parameters. Bodies may be built
+    /// in any order afterwards, enabling mutual recursion.
+    pub fn declare_function(&mut self, name: &str, nparams: usize) -> FuncId {
+        let func = self.prog.functions.next_index();
+        let params = (0..nparams)
+            .map(|i| {
+                self.prog.values.push(Value {
+                    name: format!("arg{i}"),
+                    func: Some(func),
+                    def: ValueDef::Param(func, i as u32),
+                })
+            })
+            .collect();
+        self.prog.functions.push(Function {
+            name: name.to_string(),
+            params,
+            blocks: Vec::new(),
+            entry_inst: SENTINEL,
+            exit_inst: SENTINEL,
+            exit_block: BlockId::new(u32::MAX),
+        });
+        self.bodies_built.push(false);
+        if name == "main" {
+            self.prog.entry = Some(func);
+        }
+        func
+    }
+
+    /// Renames the `i`-th parameter of `func` (used by the parser to apply
+    /// source names).
+    pub fn rename_param(&mut self, func: FuncId, i: usize, name: &str) {
+        let v = self.prog.functions[func].params[i];
+        self.prog.values[v].name = name.to_string();
+    }
+
+    /// Starts building the body of `func`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body was already built.
+    pub fn build_function(&mut self, func: FuncId) -> FunctionBuilder<'_> {
+        assert!(
+            !self.bodies_built[func.index()],
+            "function body built twice: @{}",
+            self.prog.functions[func].name
+        );
+        self.bodies_built[func.index()] = true;
+        FunctionBuilder { pb: self, func, cur: None }
+    }
+
+    /// The function-address object for `func`, created on first use.
+    pub fn function_object(&mut self, func: FuncId) -> ObjId {
+        if let Some(&o) = self.prog.func_obj.get(&func) {
+            return o;
+        }
+        let name = format!("&{}", self.prog.functions[func].name);
+        let o = self.prog.objects.push(Object {
+            name,
+            kind: ObjKind::Function(func),
+            num_fields: 0,
+            is_array: false,
+        });
+        self.prog.func_obj.insert(func, o);
+        o
+    }
+
+    /// Completes the program: checks every declared function has a body,
+    /// lowers global initialisers into `main`, and materialises field
+    /// objects.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a declared function lacks a body or global
+    /// initialisers exist without a `main`.
+    pub fn finish(mut self) -> Result<Program, BuildError> {
+        for (f, built) in self.bodies_built.iter().enumerate() {
+            if !built {
+                return Err(BuildError::MissingBody(
+                    self.prog.functions[FuncId::new(f as u32)].name.clone(),
+                ));
+            }
+        }
+        self.lower_ginits()?;
+        self.materialise_fields();
+        Ok(self.prog)
+    }
+
+    fn lower_ginits(&mut self) -> Result<(), BuildError> {
+        if self.ginits.is_empty() {
+            return Ok(());
+        }
+        let main = self.prog.entry.ok_or(BuildError::GlobalInitWithoutMain)?;
+        let entry_block = self.prog.functions[main].entry_block();
+        let mut new_insts = Vec::new();
+        let ginits = std::mem::take(&mut self.ginits);
+        for (i, (gptr, val)) in ginits.into_iter().enumerate() {
+            let src = match val {
+                GInitVal::Global(v) => v,
+                GInitVal::Func(f) => {
+                    let obj = self.function_object(f);
+                    let tmp = self.prog.values.push(Value {
+                        name: format!("__ginit{i}"),
+                        func: Some(main),
+                        def: ValueDef::Undefined,
+                    });
+                    let inst = self.prog.insts.push(Inst {
+                        kind: InstKind::Alloc { dst: tmp, obj },
+                        block: entry_block,
+                        func: main,
+                    });
+                    self.prog.values[tmp].def = ValueDef::Inst(inst);
+                    new_insts.push(inst);
+                    tmp
+                }
+            };
+            let store = self.prog.insts.push(Inst {
+                kind: InstKind::Store { addr: gptr, val: src },
+                block: entry_block,
+                func: main,
+            });
+            new_insts.push(store);
+        }
+        // Insert right after the FUNENTRY (position 0) of main's entry.
+        let insts = &mut self.prog.blocks[entry_block].insts;
+        debug_assert!(matches!(
+            self.prog.insts[insts[0]].kind,
+            InstKind::FunEntry { .. }
+        ));
+        insts.splice(1..1, new_insts);
+        Ok(())
+    }
+
+    fn materialise_fields(&mut self) {
+        let bases: Vec<(ObjId, u32, bool)> = self
+            .prog
+            .objects
+            .iter_enumerated()
+            .filter(|(_, o)| !o.is_field() && o.num_fields > 1)
+            .map(|(id, o)| (id, o.num_fields, o.is_array))
+            .collect();
+        for (base, nf, is_array) in bases {
+            for offset in 1..nf {
+                let name = format!("{}.f{}", self.prog.objects[base].name, offset);
+                let f = self.prog.objects.push(Object {
+                    name,
+                    kind: ObjKind::Field { base, offset },
+                    num_fields: 0,
+                    is_array,
+                });
+                self.prog.field_map.insert((base, offset), f);
+            }
+        }
+    }
+}
+
+/// Builds one function's body.
+///
+/// The first block created becomes the entry block and receives the
+/// `FUNENTRY` instruction automatically; [`FunctionBuilder::ret`] emits the
+/// unique `FUNEXIT`.
+#[derive(Debug)]
+pub struct FunctionBuilder<'a> {
+    pb: &'a mut ProgramBuilder,
+    func: FuncId,
+    cur: Option<BlockId>,
+}
+
+impl FunctionBuilder<'_> {
+    /// The function being built.
+    pub fn func(&self) -> FuncId {
+        self.func
+    }
+
+    /// The `i`-th parameter value.
+    pub fn param(&self, i: usize) -> ValueId {
+        self.pb.prog.functions[self.func].params[i]
+    }
+
+    /// Creates a block named `name`. The first block created is the entry
+    /// block. Does not switch to it.
+    pub fn block(&mut self, name: &str) -> BlockId {
+        let block = self.pb.prog.blocks.push(Block {
+            name: name.to_string(),
+            func: self.func,
+            insts: Vec::new(),
+            // Placeholder; must be overwritten by a terminator call.
+            term: Terminator::Return,
+        });
+        let is_entry = self.pb.prog.functions[self.func].blocks.is_empty();
+        self.pb.prog.functions[self.func].blocks.push(block);
+        if is_entry {
+            let entry = self.pb.prog.insts.push(Inst {
+                kind: InstKind::FunEntry { func: self.func },
+                block,
+                func: self.func,
+            });
+            self.pb.prog.blocks[block].insts.push(entry);
+            self.pb.prog.functions[self.func].entry_inst = entry;
+        }
+        block
+    }
+
+    /// Makes `block` the insertion point for subsequent instructions.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert_eq!(self.pb.prog.blocks[block].func, self.func, "block of another function");
+        self.cur = Some(block);
+    }
+
+    fn fresh_value(&mut self, name: &str) -> ValueId {
+        self.pb.prog.values.push(Value {
+            name: name.to_string(),
+            func: Some(self.func),
+            def: ValueDef::Undefined,
+        })
+    }
+
+    fn emit(&mut self, kind: InstKind) -> InstId {
+        let block = self.cur.expect("no current block: call switch_to first");
+        let inst = self.pb.prog.insts.push(Inst { kind, block, func: self.func });
+        self.pb.prog.blocks[block].insts.push(inst);
+        inst
+    }
+
+    fn emit_def(&mut self, name: &str, mk: impl FnOnce(ValueId) -> InstKind) -> ValueId {
+        let dst = self.fresh_value(name);
+        let inst = self.emit(mk(dst));
+        self.pb.prog.values[dst].def = ValueDef::Inst(inst);
+        dst
+    }
+
+    /// `dst = alloc_o` for a fresh stack object named `obj_name`.
+    pub fn alloc_stack(&mut self, dst: &str, obj_name: &str, fields: u32, array: bool) -> ValueId {
+        let obj = self.pb.prog.objects.push(Object {
+            name: obj_name.to_string(),
+            kind: ObjKind::Stack(self.func),
+            num_fields: fields,
+            is_array: array,
+        });
+        self.emit_def(dst, |d| InstKind::Alloc { dst: d, obj })
+    }
+
+    /// `dst = alloc_o` for a fresh heap object named `obj_name`.
+    pub fn alloc_heap(&mut self, dst: &str, obj_name: &str, fields: u32, array: bool) -> ValueId {
+        let obj = self.pb.prog.objects.push(Object {
+            name: obj_name.to_string(),
+            kind: ObjKind::Heap(self.func),
+            num_fields: fields,
+            is_array: array,
+        });
+        self.emit_def(dst, |d| InstKind::Alloc { dst: d, obj })
+    }
+
+    /// `dst = &target` — takes the address of a function.
+    pub fn funaddr(&mut self, dst: &str, target: FuncId) -> ValueId {
+        let obj = self.pb.function_object(target);
+        self.emit_def(dst, |d| InstKind::Alloc { dst: d, obj })
+    }
+
+    /// `dst = φ(srcs...)`.
+    pub fn phi(&mut self, dst: &str, srcs: &[ValueId]) -> ValueId {
+        let srcs = srcs.to_vec();
+        self.emit_def(dst, |d| InstKind::Phi { dst: d, srcs })
+    }
+
+    /// The instruction that defines `v`, if instruction-defined.
+    pub fn def_inst_of(&self, v: ValueId) -> Option<InstId> {
+        match self.pb.prog.values[v].def {
+            crate::program::ValueDef::Inst(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Replaces operand `idx` of the `PHI` at `inst` with `v`.
+    ///
+    /// Phi operands may reference values defined later in the function
+    /// (loop back-edges); emit with a placeholder and patch afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst` is not a `PHI` or `idx` is out of range.
+    pub fn patch_phi_operand(&mut self, inst: InstId, idx: usize, v: ValueId) {
+        match &mut self.pb.prog.insts[inst].kind {
+            InstKind::Phi { srcs, .. } => srcs[idx] = v,
+            other => panic!("patch_phi_operand on non-phi ({})", other.mnemonic()),
+        }
+    }
+
+    /// `dst = (t) src` — CAST/copy.
+    pub fn copy(&mut self, dst: &str, src: ValueId) -> ValueId {
+        self.emit_def(dst, |d| InstKind::Copy { dst: d, src })
+    }
+
+    /// `dst = &base->f_offset`.
+    pub fn gep(&mut self, dst: &str, base: ValueId, offset: u32) -> ValueId {
+        self.emit_def(dst, |d| InstKind::Field { dst: d, base, offset })
+    }
+
+    /// `dst = *addr`.
+    pub fn load(&mut self, dst: &str, addr: ValueId) -> ValueId {
+        self.emit_def(dst, |d| InstKind::Load { dst: d, addr })
+    }
+
+    /// `*addr = val`.
+    pub fn store(&mut self, val: ValueId, addr: ValueId) -> InstId {
+        self.emit(InstKind::Store { addr, val })
+    }
+
+    /// Direct call `dst = callee(args...)`; `dst` is created when
+    /// `dst_name` is given.
+    pub fn call(&mut self, dst_name: Option<&str>, callee: FuncId, args: &[ValueId]) -> Option<ValueId> {
+        self.call_inner(dst_name, Callee::Direct(callee), args)
+    }
+
+    /// Indirect call `dst = (*fp)(args...)`.
+    pub fn icall(&mut self, dst_name: Option<&str>, fp: ValueId, args: &[ValueId]) -> Option<ValueId> {
+        self.call_inner(dst_name, Callee::Indirect(fp), args)
+    }
+
+    fn call_inner(&mut self, dst_name: Option<&str>, callee: Callee, args: &[ValueId]) -> Option<ValueId> {
+        let args = args.to_vec();
+        match dst_name {
+            Some(n) => Some(self.emit_def(n, |d| InstKind::Call { dst: Some(d), callee, args })),
+            None => {
+                self.emit(InstKind::Call { dst: None, callee, args });
+                None
+            }
+        }
+    }
+
+    /// Terminates the current block with an unconditional jump.
+    pub fn goto(&mut self, target: BlockId) {
+        let b = self.cur.expect("no current block");
+        self.pb.prog.blocks[b].term = Terminator::Goto(target);
+        self.cur = None;
+    }
+
+    /// Terminates the current block with a multi-way branch.
+    pub fn br(&mut self, targets: &[BlockId]) {
+        assert!(targets.len() >= 2, "br needs at least two targets; use goto");
+        let b = self.cur.expect("no current block");
+        self.pb.prog.blocks[b].term = Terminator::Branch(targets.to_vec());
+        self.cur = None;
+    }
+
+    /// Terminates the current block with the function's unique `FUNEXIT`
+    /// returning `ret`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice for the same function (the paper assumes
+    /// `UnifyFunctionExitNodes`: a single exit per function).
+    pub fn ret(&mut self, ret: Option<ValueId>) {
+        assert_eq!(
+            self.pb.prog.functions[self.func].exit_inst,
+            SENTINEL,
+            "function @{} already has a FUNEXIT; unify exits first",
+            self.pb.prog.functions[self.func].name
+        );
+        let func = self.func;
+        let exit = self.emit(InstKind::FunExit { func, ret });
+        let b = self.cur.expect("no current block");
+        self.pb.prog.blocks[b].term = Terminator::Return;
+        self.pb.prog.functions[func].exit_inst = exit;
+        self.pb.prog.functions[func].exit_block = b;
+        self.cur = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_function() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.declare_function("main", 0);
+        {
+            let mut fb = pb.build_function(main);
+            let entry = fb.block("entry");
+            fb.switch_to(entry);
+            let p = fb.alloc_stack("p", "A", 1, false);
+            let q = fb.alloc_heap("q", "H", 1, false);
+            fb.store(q, p);
+            let r = fb.load("r", p);
+            fb.ret(Some(r));
+        }
+        let prog = pb.finish().unwrap();
+        assert_eq!(prog.entry, Some(main));
+        assert_eq!(prog.inst_count(), 6);
+        let f = &prog.functions[main];
+        assert!(matches!(prog.insts[f.entry_inst].kind, InstKind::FunEntry { .. }));
+        assert!(matches!(prog.insts[f.exit_inst].kind, InstKind::FunExit { ret: Some(_), .. }));
+        assert_eq!(prog.objects.len(), 2);
+    }
+
+    #[test]
+    fn globals_and_ginit_lower_into_main() {
+        let mut pb = ProgramBuilder::new();
+        let (g, _gobj) = pb.add_global("g", 1, false);
+        let (h, _hobj) = pb.add_global("h", 1, false);
+        let callee = pb.declare_function("callee", 0);
+        let main = pb.declare_function("main", 0);
+        pb.ginit(g, GInitVal::Global(h));
+        pb.ginit(h, GInitVal::Func(callee));
+        {
+            let mut fb = pb.build_function(callee);
+            let e = fb.block("entry");
+            fb.switch_to(e);
+            fb.ret(None);
+        }
+        {
+            let mut fb = pb.build_function(main);
+            let e = fb.block("entry");
+            fb.switch_to(e);
+            fb.ret(None);
+        }
+        let prog = pb.finish().unwrap();
+        let entry_block = prog.functions[main].entry_block();
+        let kinds: Vec<&'static str> = prog.blocks[entry_block]
+            .insts
+            .iter()
+            .map(|&i| prog.insts[i].kind.mnemonic())
+            .collect();
+        // funentry, store (*g=h), alloc (&callee), store (*h=&callee), funexit
+        assert_eq!(kinds, vec!["funentry", "store", "alloc", "store", "funexit"]);
+        assert!(prog.function_object(callee).is_some());
+    }
+
+    #[test]
+    fn field_materialisation_and_lookup() {
+        let mut pb = ProgramBuilder::new();
+        let (_, gobj) = pb.add_global("s", 3, false);
+        let main = pb.declare_function("main", 0);
+        {
+            let mut fb = pb.build_function(main);
+            let e = fb.block("entry");
+            fb.switch_to(e);
+            fb.ret(None);
+        }
+        let prog = pb.finish().unwrap();
+        // base + 2 fields
+        let f1 = prog.field_object(gobj, 1);
+        let f2 = prog.field_object(gobj, 2);
+        assert_ne!(f1, f2);
+        assert_ne!(f1, gobj);
+        // offset 0 is the base itself
+        assert_eq!(prog.field_object(gobj, 0), gobj);
+        // out-of-range clamps to the last field
+        assert_eq!(prog.field_object(gobj, 9), f2);
+        // field-of-field collapses onto the root
+        assert_eq!(prog.field_object(f1, 1), f2);
+        assert_eq!(prog.field_object(f1, 5), f2);
+        assert_eq!(prog.base_object(f1), gobj);
+    }
+
+    #[test]
+    fn scalar_objects_absorb_fields() {
+        let mut pb = ProgramBuilder::new();
+        let (_, gobj) = pb.add_global("x", 1, false);
+        let main = pb.declare_function("main", 0);
+        {
+            let mut fb = pb.build_function(main);
+            let e = fb.block("entry");
+            fb.switch_to(e);
+            fb.ret(None);
+        }
+        let prog = pb.finish().unwrap();
+        assert_eq!(prog.field_object(gobj, 3), gobj);
+    }
+
+    #[test]
+    fn missing_body_is_an_error() {
+        let mut pb = ProgramBuilder::new();
+        pb.declare_function("f", 0);
+        assert!(matches!(pb.finish(), Err(BuildError::MissingBody(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a FUNEXIT")]
+    fn two_rets_panic() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.declare_function("f", 0);
+        let mut fb = pb.build_function(f);
+        let a = fb.block("a");
+        let b = fb.block("b");
+        fb.switch_to(a);
+        fb.ret(None);
+        fb.switch_to(b);
+        fb.ret(None);
+    }
+}

@@ -1,0 +1,38 @@
+//! Id spaces of the IR.
+//!
+//! All ids are program-wide dense `u32` newtypes; every entity lives in an
+//! arena on [`crate::Program`].
+
+use vsfs_adt::define_index;
+
+define_index!(
+    /// A function.
+    FuncId,
+    "fn"
+);
+
+define_index!(
+    /// A basic block (program-wide id; each block belongs to one function).
+    BlockId,
+    "bb"
+);
+
+define_index!(
+    /// An instruction (program-wide id) — the paper's instruction label `ℓ`.
+    InstId,
+    "l"
+);
+
+define_index!(
+    /// A top-level variable (`p, q, r ∈ P`): a stack or global pointer in
+    /// SSA form.
+    ValueId,
+    "v"
+);
+
+define_index!(
+    /// An address-taken abstract object (`o, a, b ∈ A = O ∪ F`): an
+    /// allocation site, global, function, or field thereof.
+    ObjId,
+    "o"
+);

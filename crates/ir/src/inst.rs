@@ -1,0 +1,194 @@
+//! Instructions and block terminators.
+
+use crate::ids::{BlockId, FuncId, InstId, ObjId, ValueId};
+
+/// The callee of a [`InstKind::Call`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Callee {
+    /// A direct call to a known function.
+    Direct(FuncId),
+    /// An indirect call through a function pointer (resolved by the
+    /// pointer analysis, on the fly).
+    Indirect(ValueId),
+}
+
+/// An instruction of the Table I instruction set.
+///
+/// `MEMPHI` is intentionally absent: it is introduced by memory-SSA
+/// construction in `vsfs-mssa`, not written in input programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstKind {
+    /// `p = alloc_o` — allocates object `o` (stack, heap, or a function
+    /// address; globals get their pointer seeded without an instruction).
+    Alloc { dst: ValueId, obj: ObjId },
+    /// `p = φ(q, r, ...)` — selects a top-level pointer at a control-flow
+    /// join.
+    Phi { dst: ValueId, srcs: Vec<ValueId> },
+    /// `p = (t) q` — the paper's CAST; points-to-wise a copy.
+    Copy { dst: ValueId, src: ValueId },
+    /// `p = &q->f_k` — the paper's FIELD: a pointer to field `k` of the
+    /// aggregate(s) `q` points to.
+    Field { dst: ValueId, base: ValueId, offset: u32 },
+    /// `p = *q` — LOAD.
+    Load { dst: ValueId, addr: ValueId },
+    /// `*p = q` — STORE.
+    Store { addr: ValueId, val: ValueId },
+    /// `p = q(r1, ..., rn)` — CALL (direct or indirect).
+    Call { dst: Option<ValueId>, callee: Callee, args: Vec<ValueId> },
+    /// `fun(r1, ..., rn)` — FUNENTRY: the unique entry pseudo-instruction
+    /// carrying the parameters.
+    FunEntry { func: FuncId },
+    /// `ret_fun p` — FUNEXIT: the unique exit pseudo-instruction carrying
+    /// the (optional) returned pointer.
+    FunExit { func: FuncId, ret: Option<ValueId> },
+}
+
+impl InstKind {
+    /// The top-level value this instruction defines, if any.
+    pub fn def(&self) -> Option<ValueId> {
+        match *self {
+            InstKind::Alloc { dst, .. }
+            | InstKind::Phi { dst, .. }
+            | InstKind::Copy { dst, .. }
+            | InstKind::Field { dst, .. }
+            | InstKind::Load { dst, .. } => Some(dst),
+            InstKind::Call { dst, .. } => dst,
+            InstKind::Store { .. } | InstKind::FunEntry { .. } | InstKind::FunExit { .. } => None,
+        }
+    }
+
+    /// The top-level values this instruction uses, in operand order.
+    pub fn uses(&self) -> Vec<ValueId> {
+        match self {
+            InstKind::Alloc { .. } | InstKind::FunEntry { .. } => Vec::new(),
+            InstKind::Phi { srcs, .. } => srcs.clone(),
+            InstKind::Copy { src, .. } => vec![*src],
+            InstKind::Field { base, .. } => vec![*base],
+            InstKind::Load { addr, .. } => vec![*addr],
+            InstKind::Store { addr, val } => vec![*val, *addr],
+            InstKind::Call { callee, args, .. } => {
+                let mut u = Vec::with_capacity(args.len() + 1);
+                if let Callee::Indirect(v) = callee {
+                    u.push(*v);
+                }
+                u.extend(args.iter().copied());
+                u
+            }
+            InstKind::FunExit { ret, .. } => ret.iter().copied().collect(),
+        }
+    }
+
+    /// Returns `true` for STORE instructions (the only instructions that
+    /// can yield a different object version than they consume, Section
+    /// IV-C2).
+    pub fn is_store(&self) -> bool {
+        matches!(self, InstKind::Store { .. })
+    }
+
+    /// A short mnemonic for diagnostics.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            InstKind::Alloc { .. } => "alloc",
+            InstKind::Phi { .. } => "phi",
+            InstKind::Copy { .. } => "copy",
+            InstKind::Field { .. } => "gep",
+            InstKind::Load { .. } => "load",
+            InstKind::Store { .. } => "store",
+            InstKind::Call { .. } => "call",
+            InstKind::FunEntry { .. } => "funentry",
+            InstKind::FunExit { .. } => "funexit",
+        }
+    }
+}
+
+/// An instruction together with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inst {
+    /// What the instruction does.
+    pub kind: InstKind,
+    /// The block holding the instruction.
+    pub block: BlockId,
+    /// The function holding the instruction.
+    pub func: FuncId,
+}
+
+/// A basic-block terminator.
+///
+/// Branches carry no condition: pointer analysis is path-insensitive, so
+/// only the shape of control flow matters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Goto(BlockId),
+    /// Non-deterministic branch to two or more targets.
+    Branch(Vec<BlockId>),
+    /// Function return; only valid in the exit block (which ends with the
+    /// `FUNEXIT` instruction).
+    Return,
+}
+
+impl Terminator {
+    /// The successor blocks of this terminator.
+    pub fn successors(&self) -> &[BlockId] {
+        match self {
+            Terminator::Goto(b) => std::slice::from_ref(b),
+            Terminator::Branch(bs) => bs,
+            Terminator::Return => &[],
+        }
+    }
+}
+
+/// A basic block: a list of instructions plus a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Name as written in the textual form (unique within its function).
+    pub name: String,
+    /// The function owning this block.
+    pub func: FuncId,
+    /// Instruction ids, in program order.
+    pub insts: Vec<InstId>,
+    /// Control-flow successor description.
+    pub term: Terminator,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defs_and_uses() {
+        let v = |i| ValueId::new(i);
+        let store = InstKind::Store { addr: v(1), val: v(2) };
+        assert_eq!(store.def(), None);
+        assert_eq!(store.uses(), vec![v(2), v(1)]);
+        assert!(store.is_store());
+
+        let load = InstKind::Load { dst: v(3), addr: v(1) };
+        assert_eq!(load.def(), Some(v(3)));
+        assert_eq!(load.uses(), vec![v(1)]);
+        assert!(!load.is_store());
+
+        let call = InstKind::Call {
+            dst: Some(v(5)),
+            callee: Callee::Indirect(v(4)),
+            args: vec![v(1), v(2)],
+        };
+        assert_eq!(call.def(), Some(v(5)));
+        assert_eq!(call.uses(), vec![v(4), v(1), v(2)]);
+
+        let entry = InstKind::FunEntry { func: FuncId::new(0) };
+        assert_eq!(entry.def(), None);
+        assert!(entry.uses().is_empty());
+
+        let exit = InstKind::FunExit { func: FuncId::new(0), ret: Some(v(9)) };
+        assert_eq!(exit.uses(), vec![v(9)]);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let b = |i| BlockId::new(i);
+        assert_eq!(Terminator::Goto(b(1)).successors(), &[b(1)]);
+        assert_eq!(Terminator::Branch(vec![b(1), b(2)]).successors(), &[b(1), b(2)]);
+        assert!(Terminator::Return.successors().is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! An LLVM-like partial-SSA intermediate representation for pointer
+//! analysis, following Table I of *Object Versioning for Flow-Sensitive
+//! Pointer Analysis* (CGO 2021).
+//!
+//! # The analysis domain
+//!
+//! Variables split into two kinds (Table I):
+//!
+//! * **Top-level variables** (`P = S ∪ G`): stack and global pointers.
+//!   They are explicit, in SSA form (each has exactly one definition), and
+//!   are accessed directly by name. Their points-to sets are global — one
+//!   per variable, not one per program point.
+//! * **Address-taken objects** (`A = O ∪ F`): abstract objects and their
+//!   fields. They are implicit and accessed only indirectly through
+//!   `LOAD`/`STORE` via top-level pointers.
+//!
+//! # The instruction set
+//!
+//! Functions bodies use eight instruction kinds — `ALLOC`, `PHI`, `CAST`
+//! (modelled by [`InstKind::Copy`]), `FIELD`, `LOAD`, `STORE`, `CALL`, plus
+//! the function-boundary pseudo-instructions `FUNENTRY`/`FUNEXIT`. `MEMPHI`
+//! instructions are *not* part of the input IR: they are introduced by
+//! memory-SSA construction (the `vsfs-mssa` crate), exactly as in the
+//! paper's pipeline.
+//!
+//! # In-memory form, text form, builder
+//!
+//! * [`Program`] is the arena-style in-memory module: dense id spaces for
+//!   functions, blocks, instructions, top-level values and abstract
+//!   objects.
+//! * [`parse_program`] reads the textual form (see the module docs of
+//!   [`parse`] for the grammar); [`Program`]'s `Display` prints it back.
+//! * [`build::ProgramBuilder`] constructs programs programmatically (used
+//!   by the synthetic workload generator and by tests).
+//! * [`verify::verify`] checks partial-SSA well-formedness.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//! func @main() {
+//! entry:
+//!   %p = alloc stack A
+//!   %q = alloc heap H
+//!   store %q, %p        // *p = q
+//!   %r = load %p
+//!   ret
+//! }
+//! "#;
+//! let prog = vsfs_ir::parse_program(src)?;
+//! assert_eq!(prog.functions.len(), 1);
+//! vsfs_ir::verify::verify(&prog)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod build;
+pub mod cfg;
+pub mod defuse;
+pub mod icfg;
+pub mod ids;
+pub mod inst;
+pub mod parse;
+pub mod print;
+pub mod program;
+pub mod verify;
+
+pub use build::ProgramBuilder;
+pub use cfg::Cfg;
+pub use defuse::DefUse;
+pub use icfg::Icfg;
+pub use ids::{BlockId, FuncId, InstId, ObjId, ValueId};
+pub use inst::{Callee, Inst, InstKind, Terminator};
+pub use parse::{parse_program, ParseProgramError};
+pub use program::{Function, ObjKind, Object, Program, Value, ValueDef};

@@ -1,0 +1,183 @@
+//! Pretty-printing of programs back to the textual form.
+//!
+//! `Display for Program` emits text that [`crate::parse_program`] accepts,
+//! enabling round-trip tests. Lowered global initialisers print as the
+//! ordinary instructions they became (inside `main`), not as `ginit`
+//! lines.
+
+use crate::ids::{FuncId, ObjId, ValueId};
+use crate::inst::{Callee, InstKind, Terminator};
+use crate::program::{ObjKind, Program, ValueDef};
+use std::fmt;
+
+impl Program {
+    fn fmt_value(&self, v: ValueId) -> String {
+        match self.values[v].def {
+            ValueDef::GlobalPtr(_) => format!("@{}", self.values[v].name),
+            _ => format!("%{}", self.values[v].name),
+        }
+    }
+
+    fn fmt_obj_suffix(&self, o: ObjId) -> String {
+        let obj = &self.objects[o];
+        let mut s = String::new();
+        if obj.num_fields > 1 {
+            s.push_str(&format!(" fields {}", obj.num_fields));
+        }
+        if obj.is_array {
+            s.push_str(" array");
+        }
+        s
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &(v, o) in &self.globals {
+            writeln!(f, "global @{}{}", self.values[v].name, self.fmt_obj_suffix(o))?;
+        }
+        if !self.globals.is_empty() {
+            writeln!(f)?;
+        }
+        for (func, fun) in self.functions.iter_enumerated() {
+            let params: Vec<String> =
+                fun.params.iter().map(|&p| format!("%{}", self.values[p].name)).collect();
+            writeln!(f, "func @{}({}) {{", fun.name, params.join(", "))?;
+            for &b in &fun.blocks {
+                let block = &self.blocks[b];
+                writeln!(f, "{}:", block.name)?;
+                for &i in &block.insts {
+                    self.fmt_inst(f, func, i)?;
+                }
+                match &block.term {
+                    Terminator::Goto(t) => writeln!(f, "  goto {}", self.blocks[*t].name)?,
+                    Terminator::Branch(ts) => {
+                        let names: Vec<&str> =
+                            ts.iter().map(|&t| self.blocks[t].name.as_str()).collect();
+                        writeln!(f, "  br {}", names.join(", "))?;
+                    }
+                    Terminator::Return => {} // printed by the FUNEXIT line
+                }
+            }
+            writeln!(f, "}}")?;
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl Program {
+    fn fmt_inst(&self, f: &mut fmt::Formatter<'_>, _func: FuncId, i: crate::ids::InstId) -> fmt::Result {
+        match &self.insts[i].kind {
+            InstKind::Alloc { dst, obj } => {
+                let o = &self.objects[*obj];
+                match o.kind {
+                    ObjKind::Function(target) => writeln!(
+                        f,
+                        "  {} = funaddr @{}",
+                        self.fmt_value(*dst),
+                        self.functions[target].name
+                    ),
+                    ObjKind::Heap(_) => writeln!(
+                        f,
+                        "  {} = alloc heap {}{}",
+                        self.fmt_value(*dst),
+                        o.name,
+                        self.fmt_obj_suffix(*obj)
+                    ),
+                    _ => writeln!(
+                        f,
+                        "  {} = alloc stack {}{}",
+                        self.fmt_value(*dst),
+                        o.name,
+                        self.fmt_obj_suffix(*obj)
+                    ),
+                }
+            }
+            InstKind::Phi { dst, srcs } => {
+                let ops: Vec<String> = srcs.iter().map(|&s| self.fmt_value(s)).collect();
+                writeln!(f, "  {} = phi {}", self.fmt_value(*dst), ops.join(", "))
+            }
+            InstKind::Copy { dst, src } => {
+                writeln!(f, "  {} = copy {}", self.fmt_value(*dst), self.fmt_value(*src))
+            }
+            InstKind::Field { dst, base, offset } => {
+                writeln!(f, "  {} = gep {}, {}", self.fmt_value(*dst), self.fmt_value(*base), offset)
+            }
+            InstKind::Load { dst, addr } => {
+                writeln!(f, "  {} = load {}", self.fmt_value(*dst), self.fmt_value(*addr))
+            }
+            InstKind::Store { addr, val } => {
+                writeln!(f, "  store {}, {}", self.fmt_value(*val), self.fmt_value(*addr))
+            }
+            InstKind::Call { dst, callee, args } => {
+                let ops: Vec<String> = args.iter().map(|&a| self.fmt_value(a)).collect();
+                let callee_s = match callee {
+                    Callee::Direct(t) => format!("call @{}", self.functions[*t].name),
+                    Callee::Indirect(v) => format!("icall {}", self.fmt_value(*v)),
+                };
+                match dst {
+                    Some(d) => writeln!(f, "  {} = {}({})", self.fmt_value(*d), callee_s, ops.join(", ")),
+                    None => writeln!(f, "  {}({})", callee_s, ops.join(", ")),
+                }
+            }
+            InstKind::FunEntry { .. } => Ok(()), // implicit in the textual form
+            InstKind::FunExit { ret, .. } => match ret {
+                Some(r) => writeln!(f, "  ret {}", self.fmt_value(*r)),
+                None => writeln!(f, "  ret"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse::parse_program;
+    use crate::verify::verify;
+
+    const SRC: &str = r#"
+global @g fields 2
+ginit @g, @g
+
+func @callee(%x) {
+entry:
+  %l = load %x
+  ret %l
+}
+
+func @main() {
+entry:
+  %p = alloc stack A fields 3 array
+  %h = alloc heap H
+  %fp = funaddr @callee
+  store %h, %p
+  br left, right
+left:
+  %a = gep %p, 1
+  goto join
+right:
+  %b = copy %p
+  goto join
+join:
+  %m = phi %a, %b
+  %r1 = call @callee(%m)
+  %r2 = icall %fp(%m)
+  ret %r2
+}
+"#;
+
+    #[test]
+    fn round_trips_through_text() {
+        let p1 = parse_program(SRC).unwrap();
+        verify(&p1).unwrap();
+        let text = p1.to_string();
+        let p2 = parse_program(&text).unwrap();
+        verify(&p2).unwrap();
+        // Identical shape: same counts everywhere and identical re-print.
+        assert_eq!(p1.functions.len(), p2.functions.len());
+        assert_eq!(p1.inst_count(), p2.inst_count());
+        assert_eq!(p1.values.len(), p2.values.len());
+        assert_eq!(p1.objects.len(), p2.objects.len());
+        assert_eq!(text, p2.to_string());
+    }
+}

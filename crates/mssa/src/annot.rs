@@ -1,0 +1,129 @@
+//! χ/µ annotation of instructions (pre-renaming).
+//!
+//! Determines, for every instruction, which objects it may use (µ) and
+//! define (χ), using the auxiliary points-to results and the mod/ref
+//! summaries. The renaming pass then wires every annotation to its unique
+//! reaching definition.
+
+use crate::modref::ModRef;
+use vsfs_adt::{IndexVec, PointsToSet};
+use vsfs_andersen::AndersenResult;
+use vsfs_ir::{InstId, InstKind, ObjId, Program};
+
+/// Raw (un-renamed) annotation sets per instruction.
+#[derive(Debug, Clone)]
+pub struct Annotations {
+    /// Objects each instruction may use.
+    pub mu_objs: IndexVec<InstId, PointsToSet<ObjId>>,
+    /// Objects each instruction may define.
+    pub chi_objs: IndexVec<InstId, PointsToSet<ObjId>>,
+}
+
+/// Computes µ/χ object sets for every instruction.
+///
+/// * `STORE *p = q` — χ(o) for each `o ∈ aux_pt(p)`.
+/// * `LOAD p = *q` — µ(o) for each `o ∈ aux_pt(q)`.
+/// * `CALL` — µ(o) for `o ∈ ⋃ summary_relevant(callee)`, χ(o) for
+///   `o ∈ ⋃ summary_mods(callee)` over the auxiliary call graph's
+///   callees (escape-filtered summaries).
+/// * `FUNENTRY f` — χ(o) for `o ∈ relevant(f)` (incoming state, plus
+///   entry definitions for `f`'s own private objects).
+/// * `FUNEXIT f` — µ(o) for `o ∈ summary_mods(f)` (state returned to
+///   callers).
+pub fn annotate(prog: &Program, aux: &AndersenResult, modref: &ModRef) -> Annotations {
+    let n = prog.insts.len();
+    let mut mu_objs: IndexVec<InstId, PointsToSet<ObjId>> =
+        (0..n).map(|_| PointsToSet::new()).collect();
+    let mut chi_objs: IndexVec<InstId, PointsToSet<ObjId>> =
+        (0..n).map(|_| PointsToSet::new()).collect();
+
+    for (id, inst) in prog.insts.iter_enumerated() {
+        match &inst.kind {
+            InstKind::Store { addr, .. } => {
+                chi_objs[id].union_with(aux.value_pts(*addr));
+            }
+            InstKind::Load { addr, .. } => {
+                mu_objs[id].union_with(aux.value_pts(*addr));
+            }
+            InstKind::Call { .. } => {
+                // Caller-visible (escape-filtered) summaries only: a
+                // callee's private objects never annotate the call site.
+                for &callee in aux.callgraph.callees(id) {
+                    mu_objs[id].union_with(&modref.summary_relevant(callee));
+                    chi_objs[id].union_with(modref.summary_mods(callee));
+                }
+            }
+            InstKind::FunEntry { func } => {
+                chi_objs[id].union_with(&modref.relevant(*func));
+            }
+            InstKind::FunExit { func, .. } => {
+                mu_objs[id].union_with(modref.summary_mods(*func));
+            }
+            _ => {}
+        }
+    }
+    Annotations { mu_objs, chi_objs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsfs_ir::parse_program;
+
+    #[test]
+    fn per_instruction_sets() {
+        let prog = parse_program(
+            r#"
+            global @g
+            func @touch(%v) {
+            entry:
+              store %v, @g
+              %x = load @g
+              ret
+            }
+            func @main() {
+            entry:
+              %h = alloc heap H
+              call @touch(%h)
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let aux = vsfs_andersen::analyze(&prog);
+        let modref = ModRef::compute(&prog, &aux);
+        let a = annotate(&prog, &aux, &modref);
+        let g = prog
+            .objects
+            .iter_enumerated()
+            .find(|(_, o)| o.name == "g")
+            .map(|(id, _)| id)
+            .unwrap();
+        let find = |m: &str| {
+            prog.insts
+                .iter_enumerated()
+                .find(|(_, i)| i.kind.mnemonic() == m)
+                .map(|(id, _)| id)
+                .unwrap()
+        };
+        let store = find("store");
+        let load = find("load");
+        let call = find("call");
+        assert!(a.chi_objs[store].contains(g));
+        assert!(a.mu_objs[store].is_empty());
+        assert!(a.mu_objs[load].contains(g));
+        assert!(a.chi_objs[load].is_empty());
+        // Call touches g both ways (callee mods and refs it).
+        assert!(a.mu_objs[call].contains(g));
+        assert!(a.chi_objs[call].contains(g));
+        // touch: entry chi and exit mu for g.
+        let touch = prog.function_by_name("touch").unwrap();
+        let te = prog.functions[touch].entry_inst;
+        let tx = prog.functions[touch].exit_inst;
+        assert!(a.chi_objs[te].contains(g));
+        assert!(a.mu_objs[tx].contains(g));
+        // main's funexit doesn't return g?: main mods g transitively, so it does.
+        let main = prog.entry_function();
+        assert!(a.mu_objs[prog.functions[main].exit_inst].contains(g));
+    }
+}

@@ -1,0 +1,348 @@
+//! Hand-written programs in the textual IR.
+//!
+//! Small, readable programs exercising specific analysis behaviours.
+//! Used by examples, integration tests, and the CLI's `--corpus` mode.
+
+/// A named corpus program.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusProgram {
+    /// Short identifier.
+    pub name: &'static str,
+    /// What the program exercises.
+    pub about: &'static str,
+    /// Textual IR source.
+    pub source: &'static str,
+}
+
+/// Strong updates: a second store to a singleton kills the first.
+pub const STRONG_UPDATE: &str = r#"
+func @main() {
+entry:
+  %p = alloc stack Cell
+  %h1 = alloc heap First
+  %h2 = alloc heap Second
+  store %h1, %p
+  %before = load %p     // {First}
+  store %h2, %p         // strong update kills First
+  %after = load %p      // {Second}
+  ret
+}
+"#;
+
+/// A singly linked list built and traversed through the heap.
+pub const LINKED_LIST: &str = r#"
+func @make_node(%payload) {
+entry:
+  %node = alloc heap Node fields 2
+  %next_slot = gep %node, 1
+  store %payload, %node
+  ret %node
+}
+
+func @main() {
+entry:
+  %d1 = alloc heap Data1
+  %d2 = alloc heap Data2
+  %n1 = call @make_node(%d1)
+  %n2 = call @make_node(%d2)
+  %slot1 = gep %n1, 1
+  store %n2, %slot1       // n1.next = n2
+  %next = load %slot1     // = n2
+  %payload = load %next   // = d2
+  ret
+}
+"#;
+
+/// Function-pointer dispatch through a global table.
+pub const FPTR_DISPATCH: &str = r#"
+global @handlers array
+ginit @handlers, @on_read
+ginit @handlers, @on_write
+
+global @state
+
+func @on_read(%ctx) {
+entry:
+  %cur = load @state
+  ret %cur
+}
+
+func @on_write(%ctx) {
+entry:
+  store %ctx, @state
+  ret %ctx
+}
+
+func @main() {
+entry:
+  %ctx = alloc heap Ctx
+  %h = load @handlers
+  %r = icall %h(%ctx)
+  ret
+}
+"#;
+
+/// Flow-sensitivity: a load before any store sees nothing.
+pub const FLOW_ORDER: &str = r#"
+func @main() {
+entry:
+  %p = alloc stack Slot
+  %early = load %p       // {} - nothing stored yet
+  %h = alloc heap Obj
+  store %h, %p
+  %late = load %p        // {Obj}
+  ret
+}
+"#;
+
+/// Weak updates on a summarised array object accumulate.
+pub const WEAK_ARRAY: &str = r#"
+func @main() {
+entry:
+  %arr = alloc stack Buf array
+  %a = alloc heap A
+  %b = alloc heap B
+  store %a, %arr         // weak: array
+  store %b, %arr         // weak: array keeps A
+  %x = load %arr         // {A, B}
+  ret
+}
+"#;
+
+/// Interprocedural flow through globals with branches and loops.
+pub const INTERPROC_LOOP: &str = r#"
+global @shared
+
+func @producer(%v) {
+entry:
+  store %v, @shared
+  ret %v
+}
+
+func @consumer(%unused) {
+entry:
+  %got = load @shared
+  ret %got
+}
+
+func @main() {
+entry:
+  %h1 = alloc heap P1
+  %h2 = alloc heap P2
+  goto head
+head:
+  %cur = phi %h1, %next
+  br body, done
+body:
+  %r1 = call @producer(%cur)
+  %next = call @consumer(%r1)
+  goto head
+done:
+  %fin = call @consumer(%h2)
+  ret
+}
+"#;
+
+/// All corpus programs.
+pub fn corpus() -> Vec<CorpusProgram> {
+    vec![
+        CorpusProgram {
+            name: "strong_update",
+            about: "store to a singleton kills the previous pointee",
+            source: STRONG_UPDATE,
+        },
+        CorpusProgram {
+            name: "linked_list",
+            about: "heap list with field objects",
+            source: LINKED_LIST,
+        },
+        CorpusProgram {
+            name: "fptr_dispatch",
+            about: "indirect calls via a global handler table",
+            source: FPTR_DISPATCH,
+        },
+        CorpusProgram {
+            name: "flow_order",
+            about: "loads see only earlier stores",
+            source: FLOW_ORDER,
+        },
+        CorpusProgram {
+            name: "weak_array",
+            about: "array objects only weak-update",
+            source: WEAK_ARRAY,
+        },
+        CorpusProgram {
+            name: "interproc_loop",
+            about: "globals flowing through calls inside a loop",
+            source: INTERPROC_LOOP,
+        },
+        CorpusProgram {
+            name: "event_loop",
+            about: "handler registry dispatching in a loop",
+            source: EVENT_LOOP,
+        },
+        CorpusProgram {
+            name: "hash_map",
+            about: "chained buckets with key/value fields",
+            source: HASH_MAP,
+        },
+        CorpusProgram {
+            name: "visitor",
+            about: "per-variant function-pointer dispatch over a tree",
+            source: VISITOR,
+        },
+    ]
+}
+
+
+/// A small event-loop "server": handler registry, per-event dispatch,
+/// connection state threaded through globals. Exercises indirect calls,
+/// strong and weak updates, loops, and interprocedural chains together.
+pub const EVENT_LOOP: &str = r#"
+global @handlers array
+global @current
+global @log array
+ginit @handlers, @on_open
+ginit @handlers, @on_data
+ginit @handlers, @on_close
+
+func @on_open(%conn) {
+entry:
+  store %conn, @current
+  ret %conn
+}
+
+func @on_data(%conn) {
+entry:
+  %buf = alloc heap DataBuf
+  store %buf, %conn
+  store %buf, @log
+  ret %conn
+}
+
+func @on_close(%conn) {
+entry:
+  %cur = load @current
+  ret %cur
+}
+
+func @main() {
+entry:
+  %conn = alloc heap Conn
+  goto loop_head
+loop_head:
+  br dispatch, done
+dispatch:
+  %h = load @handlers
+  %r = icall %h(%conn)
+  %seen = load @log
+  goto loop_head
+done:
+  %last = load @current
+  ret
+}
+"#;
+
+/// A chained hash-map lookup: buckets are arrays of nodes with key and
+/// value fields; collisions walk the chain. Exercises fields, arrays,
+/// loop-carried pointers.
+pub const HASH_MAP: &str = r#"
+func @put(%map, %key, %val) {
+entry:
+  %node = alloc heap MapNode fields 3
+  %kslot = gep %node, 1
+  %vslot = gep %node, 2
+  store %key, %kslot
+  store %val, %vslot
+  %old = load %map
+  store %old, %node
+  store %node, %map
+  ret %node
+}
+
+func @get(%map, %key) {
+entry:
+  %first = load %map
+  goto walk
+walk:
+  %cur = phi %first, %next
+  %next = load %cur
+  br walk, found
+found:
+  %vslot = gep %cur, 2
+  %val = load %vslot
+  ret %val
+}
+
+func @main() {
+entry:
+  %map = alloc stack Buckets array
+  %k1 = alloc heap Key1
+  %v1 = alloc heap Val1
+  %k2 = alloc heap Key2
+  %v2 = alloc heap Val2
+  %n1 = call @put(%map, %k1, %v1)
+  %n2 = call @put(%map, %k2, %v2)
+  %got = call @get(%map, %k1)
+  ret
+}
+"#;
+
+/// A visitor over a two-variant tree, dispatching through per-variant
+/// function-pointer slots — the classic OO-in-C pattern.
+pub const VISITOR: &str = r#"
+global @leaf_visit
+global @node_visit
+ginit @leaf_visit, @visit_leaf
+ginit @node_visit, @visit_node
+
+func @visit_leaf(%t) {
+entry:
+  %payload = load %t
+  ret %payload
+}
+
+func @visit_node(%t) {
+entry:
+  %left_slot = gep %t, 1
+  %left = load %left_slot
+  %fp = load @leaf_visit
+  %r = icall %fp(%left)
+  ret %r
+}
+
+func @main() {
+entry:
+  %leaf = alloc heap Leaf fields 2
+  %data = alloc heap LeafData
+  store %data, %leaf
+  %node = alloc heap Node fields 2
+  %lslot = gep %node, 1
+  store %leaf, %lslot
+  %fp = load @node_visit
+  %result = icall %fp(%node)
+  ret
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_parses_and_verifies() {
+        for p in corpus() {
+            let prog = vsfs_ir::parse_program(p.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            vsfs_ir::verify::verify(&prog).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = corpus().iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), corpus().len());
+    }
+}

@@ -1,0 +1,31 @@
+//! Benchmark workloads for the VSFS reproduction.
+//!
+//! The paper evaluates on 15 open-source C/C++ programs compiled to LLVM
+//! bitcode. This reproduction has no LLVM toolchain, so this crate
+//! substitutes two program sources (documented in `DESIGN.md` §2):
+//!
+//! * [`gen`] — a deterministic, seeded generator of well-formed
+//!   partial-SSA programs whose shape knobs (heap intensity, load-chain
+//!   length, join density, indirect-call density, ...) control the SVFG
+//!   characteristics that drive the SFS-vs-VSFS comparison;
+//! * [`mod@suite`] — 15 named configurations modelled on Table II's rows
+//!   (scaled down so the whole suite runs in seconds rather than hours);
+//! * [`corpus`] — small hand-written programs in the textual IR, used by
+//!   examples and integration tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use vsfs_workloads::gen::{generate, WorkloadConfig};
+//!
+//! let prog = generate(&WorkloadConfig { seed: 7, ..WorkloadConfig::small() });
+//! vsfs_ir::verify::verify(&prog)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod corpus;
+pub mod gen;
+pub mod suite;
+
+pub use gen::{generate, WorkloadConfig};
+pub use suite::{suite, BenchmarkSpec};

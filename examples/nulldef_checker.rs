@@ -1,0 +1,92 @@
+//! A small client analysis: use-before-define detection.
+//!
+//! Flow-sensitive points-to results enable clients that flow-insensitive
+//! results cannot support: here we flag loads that may read a pointer
+//! location *before anything was stored to it* (an uninitialised-pointer
+//! dereference candidate). With Andersen's results alone every location
+//! that is ever written appears initialised everywhere.
+//!
+//! ```text
+//! cargo run --example nulldef_checker
+//! ```
+
+use vsfs::prelude::*;
+use vsfs_ir::InstKind;
+
+const PROGRAM: &str = r#"
+func @setup(%cfg) {
+entry:
+  %h = alloc heap Handler
+  store %h, %cfg
+  ret
+}
+
+func @main() {
+entry:
+  %cfg = alloc stack Config
+  %early = load %cfg      // BUG: read before @setup initialises it
+  br init, skip
+init:
+  call @setup(%cfg)
+  goto use
+skip:
+  goto use
+use:
+  %late = load %cfg       // may still be uninitialised via `skip`!
+  %h2 = alloc heap Fallback
+  store %h2, %cfg
+  %safe = load %cfg       // definitely initialised by now
+  ret
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let prog = parse_program(PROGRAM)?;
+    let aux = andersen::analyze(&prog);
+    let mssa = MemorySsa::build(&prog, &aux);
+    let svfg = Svfg::build(&prog, &aux, &mssa);
+    let result = run_vsfs(&prog, &aux, &mssa, &svfg);
+
+    // A load whose destination has an *empty* flow-sensitive points-to
+    // set — while the loaded location is non-trivially used elsewhere —
+    // reads memory no store has reached yet.
+    println!("use-before-define report:");
+    let mut flagged = 0;
+    for (id, inst) in prog.insts.iter_enumerated() {
+        let InstKind::Load { dst, addr } = inst.kind else { continue };
+        let fs_empty = result.value_pts(dst).is_empty();
+        let would_hold_something = aux
+            .value_pts(addr)
+            .iter()
+            .any(|o| !aux.object_pts(o).is_empty());
+        if fs_empty && would_hold_something {
+            flagged += 1;
+            println!(
+                "  POSSIBLY UNINITIALISED: %{} = load %{}   at {}",
+                prog.values[dst].name,
+                prog.values[addr].name,
+                prog.inst_location(id)
+            );
+        }
+    }
+    println!("flagged {flagged} load(s)");
+
+    // `%early` reads Config before any store on every path: flagged.
+    // `%late` merges an initialised and an uninitialised path: its set is
+    // non-empty (the analysis is a may-analysis), so it is not flagged —
+    // a path-sensitive checker would catch it.
+    // `%safe` is never flagged.
+    let by_name = |n: &str| {
+        prog.values
+            .iter_enumerated()
+            .find(|(_, v)| v.name == n)
+            .map(|(id, _)| id)
+            .expect("value")
+    };
+    assert!(result.value_pts(by_name("early")).is_empty());
+    assert!(!result.value_pts(by_name("late")).is_empty());
+    assert!(!result.value_pts(by_name("safe")).is_empty());
+    assert_eq!(flagged, 1);
+    println!("\n(as expected: %early is the one real use-before-define on all paths)");
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Quickstart: parse a program, run the full VSFS pipeline, and inspect
+//! points-to results.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use vsfs::prelude::*;
+
+const PROGRAM: &str = r#"
+// A tiny C-like program:
+//
+//   void main() {
+//     int **p = alloca();      // object P
+//     int *h1 = malloc();      // object H1
+//     int *h2 = malloc();      // object H2
+//     *p = h1;
+//     int *a = *p;             // a -> {H1}
+//     *p = h2;                 // strong update: P now holds only h2
+//     int *b = *p;             // b -> {H2}
+//   }
+func @main() {
+entry:
+  %p = alloc stack P
+  %h1 = alloc heap H1
+  %h2 = alloc heap H2
+  store %h1, %p
+  %a = load %p
+  store %h2, %p
+  %b = load %p
+  ret
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Parse and verify the textual IR.
+    let prog = parse_program(PROGRAM)?;
+    vsfs_ir::verify::verify(&prog)?;
+
+    // 2. The staged pipeline: auxiliary analysis -> memory SSA -> SVFG.
+    let aux = andersen::analyze(&prog);
+    let mssa = MemorySsa::build(&prog, &aux);
+    let svfg = Svfg::build(&prog, &aux, &mssa);
+
+    // 3. The paper's analysis: versioned staged flow-sensitive solving.
+    let result = run_vsfs(&prog, &aux, &mssa, &svfg);
+
+    // 4. Inspect results.
+    for name in ["a", "b"] {
+        let v = prog
+            .values
+            .iter_enumerated()
+            .find(|(_, val)| val.name == name)
+            .map(|(id, _)| id)
+            .expect("value exists");
+        let flow_sensitive: Vec<&str> =
+            result.value_pts(v).iter().map(|o| prog.objects[o].name.as_str()).collect();
+        let flow_insensitive: Vec<&str> =
+            aux.value_pts(v).iter().map(|o| prog.objects[o].name.as_str()).collect();
+        println!("%{name}: flow-sensitive {flow_sensitive:?} vs Andersen {flow_insensitive:?}");
+    }
+
+    // Flow-sensitivity + strong updates: %a sees only H1, %b only H2,
+    // while the flow-insensitive auxiliary analysis conflates them.
+    println!(
+        "\nversioning: {} prelabels, {} versions, {} reliance edges, {} strong updates",
+        result.stats.prelabels,
+        result.stats.versions,
+        result.stats.reliance_edges,
+        result.stats.strong_updates
+    );
+    Ok(())
+}

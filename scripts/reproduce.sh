@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Reproduces the paper's evaluation end-to-end (the analogue of the
+# artifact's bench.sh). Usage:
+#
+#   scripts/reproduce.sh [RUNS] [MEM_LIMIT_MIB]
+#
+# RUNS defaults to 1 (the artifact appendix's recommendation for
+# evaluation); the paper used 5. MEM_LIMIT_MIB emulates the paper's
+# 120 GB cap scaled to these workloads; solvers whose peak heap exceeds
+# it are reported as OOM (the SFS-on-lynx row).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS="${1:-1}"
+MEM_LIMIT="${2:-1024}"
+
+echo "== building (release) =="
+cargo build --release -p vsfs-bench
+
+echo
+echo "== Table II: benchmark characteristics =="
+./target/release/table2
+
+echo
+echo "== Table III: time and memory (runs=$RUNS, mem limit ${MEM_LIMIT} MiB) =="
+./target/release/table3 --runs "$RUNS" --mem-limit-mib "$MEM_LIMIT"
+
+echo
+echo "== Criterion benches (phases, versioning scaling, ablations) =="
+cargo bench -p vsfs-bench

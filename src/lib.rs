@@ -1,0 +1,61 @@
+//! # vsfs — Object Versioning for Flow-Sensitive Pointer Analysis
+//!
+//! A from-scratch Rust reproduction of *Object Versioning for
+//! Flow-Sensitive Pointer Analysis* (Barbar, Sui, Chen — CGO 2021): the
+//! **VSFS** analysis, its **SFS** baseline, and every substrate they need
+//! (an LLVM-like partial-SSA IR, Andersen's auxiliary analysis, memory
+//! SSA, and the sparse value-flow graph).
+//!
+//! This facade crate re-exports the workspace's public API. The typical
+//! pipeline:
+//!
+//! ```
+//! use vsfs::prelude::*;
+//!
+//! let prog = parse_program(r#"
+//! func @main() {
+//! entry:
+//!   %p = alloc stack A
+//!   %q = alloc heap H
+//!   store %q, %p
+//!   %r = load %p
+//!   ret
+//! }
+//! "#)?;
+//! let aux = andersen::analyze(&prog);            // auxiliary analysis
+//! let mssa = MemorySsa::build(&prog, &aux);      // chi/mu + MEMPHIs
+//! let svfg = Svfg::build(&prog, &aux, &mssa);    // sparse value-flow graph
+//! let result = run_vsfs(&prog, &aux, &mssa, &svfg);
+//! # let sfs = run_sfs(&prog, &aux, &mssa, &svfg);
+//! # assert!(vsfs::core::same_precision(&prog, &sfs, &result));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! reproduced tables.
+
+/// Core data structures (sparse bit vectors, typed indices, worklists).
+pub use vsfs_adt as adt;
+/// Andersen's inclusion-based auxiliary analysis.
+pub use vsfs_andersen as andersen;
+/// Flow-sensitive solvers: SFS baseline and VSFS.
+pub use vsfs_core as core;
+/// Graph algorithms, including generic meld labelling.
+pub use vsfs_graph as graph;
+/// The LLVM-like partial-SSA IR.
+pub use vsfs_ir as ir;
+/// Memory SSA construction.
+pub use vsfs_mssa as mssa;
+/// Sparse value-flow graph.
+pub use vsfs_svfg as svfg;
+/// Benchmark workload generation.
+pub use vsfs_workloads as workloads;
+
+/// Convenient glob-import of the common pipeline names.
+pub mod prelude {
+    pub use vsfs_andersen as andersen;
+    pub use vsfs_core::{run_sfs, run_vsfs, FlowSensitiveResult};
+    pub use vsfs_ir::{parse_program, Program, ProgramBuilder};
+    pub use vsfs_mssa::MemorySsa;
+    pub use vsfs_svfg::Svfg;
+}

@@ -1,0 +1,213 @@
+//! The central correctness experiment: VSFS computes exactly the same
+//! points-to information as SFS (Section IV-E of the paper), on the
+//! hand-written corpus, on targeted tricky programs, and on a sweep of
+//! generated workloads.
+
+use vsfs::prelude::*;
+use vsfs_core::result::precision_diff;
+use vsfs_workloads::gen::{generate, WorkloadConfig};
+
+fn full_pipeline(prog: &Program) -> (FlowSensitiveResult, FlowSensitiveResult) {
+    vsfs_ir::verify::verify(prog).expect("program verifies");
+    let aux = andersen::analyze(prog);
+    let mssa = MemorySsa::build(prog, &aux);
+    let svfg = Svfg::build(prog, &aux, &mssa);
+    let sfs = vsfs_core::run_sfs(prog, &aux, &mssa, &svfg);
+    let vsfs = vsfs_core::run_vsfs(prog, &aux, &mssa, &svfg);
+    (sfs, vsfs)
+}
+
+fn assert_equivalent(prog: &Program, label: &str) {
+    let (sfs, vsfs) = full_pipeline(prog);
+    if let Some(diff) = precision_diff(prog, &sfs, &vsfs) {
+        panic!("{label}: SFS and VSFS disagree: {diff}");
+    }
+}
+
+#[test]
+fn corpus_programs_are_equivalent() {
+    for p in vsfs_workloads::corpus::corpus() {
+        let prog = parse_program(p.source).unwrap();
+        assert_equivalent(&prog, p.name);
+    }
+}
+
+#[test]
+fn generated_workloads_are_equivalent() {
+    for seed in 0..20 {
+        let prog = generate(&WorkloadConfig { seed, ..WorkloadConfig::small() });
+        assert_equivalent(&prog, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn heavy_profile_workloads_are_equivalent() {
+    for seed in 100..106 {
+        let cfg = WorkloadConfig {
+            seed,
+            loads_per_block: 4,
+            stores_per_block: 2,
+            load_chain: 3,
+            heap_fraction: 0.7,
+            array_fraction: 0.6,
+            indirect_call_fraction: 0.4,
+            backward_call_fraction: 0.15,
+            ..WorkloadConfig::small()
+        };
+        let prog = generate(&cfg);
+        assert_equivalent(&prog, &format!("heavy seed {seed}"));
+    }
+}
+
+#[test]
+fn flow_sensitive_is_more_precise_than_andersen() {
+    // Flow-sensitivity must refine the auxiliary results: every
+    // flow-sensitive points-to set is a subset of Andersen's.
+    for seed in 0..8 {
+        let prog = generate(&WorkloadConfig { seed, ..WorkloadConfig::small() });
+        let aux = andersen::analyze(&prog);
+        let mssa = MemorySsa::build(&prog, &aux);
+        let svfg = Svfg::build(&prog, &aux, &mssa);
+        let fs = vsfs_core::run_vsfs(&prog, &aux, &mssa, &svfg);
+        for v in prog.values.indices() {
+            assert!(
+                aux.value_pts(v).is_superset(&fs.pt[v]),
+                "seed {seed}: flow-sensitive pt(%{}) not within Andersen's",
+                prog.values[v].name
+            );
+        }
+        // And the flow-sensitive call graph is a subset of Andersen's.
+        for &(call, callee) in &fs.callgraph_edges {
+            assert!(
+                aux.callgraph.callees(call).contains(&callee),
+                "seed {seed}: FS call edge missing from Andersen's call graph"
+            );
+        }
+    }
+}
+
+#[test]
+fn strong_update_behaviour() {
+    let prog = parse_program(vsfs_workloads::corpus::STRONG_UPDATE).unwrap();
+    let (sfs, vsfs) = full_pipeline(&prog);
+    let val = |name: &str| {
+        prog.values
+            .iter_enumerated()
+            .find(|(_, v)| v.name == name)
+            .map(|(id, _)| id)
+            .unwrap()
+    };
+    let obj_name = |o| prog.objects[o].name.clone();
+    for (label, r) in [("sfs", &sfs), ("vsfs", &vsfs)] {
+        let before: Vec<String> = r.pt[val("before")].iter().map(obj_name).collect();
+        let after: Vec<String> = r.pt[val("after")].iter().map(obj_name).collect();
+        assert_eq!(before, vec!["First"], "{label}: load before the second store");
+        assert_eq!(after, vec!["Second"], "{label}: strong update must kill First");
+    }
+    assert!(sfs.stats.strong_updates > 0);
+    assert!(vsfs.stats.strong_updates > 0);
+}
+
+#[test]
+fn weak_update_on_arrays() {
+    let prog = parse_program(vsfs_workloads::corpus::WEAK_ARRAY).unwrap();
+    let (sfs, vsfs) = full_pipeline(&prog);
+    let x = prog
+        .values
+        .iter_enumerated()
+        .find(|(_, v)| v.name == "x")
+        .map(|(id, _)| id)
+        .unwrap();
+    for r in [&sfs, &vsfs] {
+        let mut names: Vec<String> =
+            r.pt[x].iter().map(|o| prog.objects[o].name.clone()).collect();
+        names.sort();
+        assert_eq!(names, vec!["A", "B"], "array stores are weak: both survive");
+    }
+}
+
+#[test]
+fn flow_order_precision_beats_andersen() {
+    let prog = parse_program(vsfs_workloads::corpus::FLOW_ORDER).unwrap();
+    let aux = andersen::analyze(&prog);
+    let (sfs, vsfs) = full_pipeline(&prog);
+    let val = |name: &str| {
+        prog.values
+            .iter_enumerated()
+            .find(|(_, v)| v.name == name)
+            .map(|(id, _)| id)
+            .unwrap()
+    };
+    // Andersen (flow-insensitive) thinks the early load can see Obj.
+    assert_eq!(aux.value_pts(val("early")).len(), 1);
+    // Both flow-sensitive analyses know it cannot.
+    assert!(sfs.pt[val("early")].is_empty());
+    assert!(vsfs.pt[val("early")].is_empty());
+    assert_eq!(sfs.pt[val("late")].len(), 1);
+    assert_eq!(vsfs.pt[val("late")].len(), 1);
+}
+
+#[test]
+fn indirect_dispatch_resolves_identically() {
+    let prog = parse_program(vsfs_workloads::corpus::FPTR_DISPATCH).unwrap();
+    let (sfs, vsfs) = full_pipeline(&prog);
+    assert_eq!(sfs.callgraph_edges, vsfs.callgraph_edges);
+    // Both handlers are feasible targets.
+    assert_eq!(sfs.callgraph_edges.len(), 2);
+    assert!(sfs.stats.calls_activated >= 2);
+    assert!(vsfs.stats.calls_activated >= 2);
+}
+
+#[test]
+fn linked_list_field_flow() {
+    let prog = parse_program(vsfs_workloads::corpus::LINKED_LIST).unwrap();
+    let (sfs, vsfs) = full_pipeline(&prog);
+    let val = |name: &str| {
+        prog.values
+            .iter_enumerated()
+            .find(|(_, v)| v.name == name)
+            .map(|(id, _)| id)
+            .unwrap()
+    };
+    for r in [&sfs, &vsfs] {
+        // next = n1.next = the Node object; payload = *n2 ⊇ Data2.
+        let next: Vec<String> =
+            r.pt[val("next")].iter().map(|o| prog.objects[o].name.clone()).collect();
+        assert_eq!(next, vec!["Node"]);
+        let payload: Vec<String> =
+            r.pt[val("payload")].iter().map(|o| prog.objects[o].name.clone()).collect();
+        // The abstract Node summarises both list cells, so the payload
+        // may be either datum.
+        assert!(payload.contains(&"Data2".to_string()), "payload = {payload:?}");
+    }
+}
+
+#[test]
+fn vsfs_stores_fewer_object_sets_on_redundant_workloads() {
+    // The paper's headline mechanism: shared versions mean fewer stored
+    // points-to sets and fewer propagations than SFS's IN/OUT scheme.
+    let cfg = WorkloadConfig {
+        seed: 7,
+        functions: 12,
+        segments: 6,
+        loads_per_block: 4,
+        load_chain: 4,
+        heap_fraction: 0.7,
+        array_fraction: 0.6,
+        ..WorkloadConfig::small()
+    };
+    let prog = generate(&cfg);
+    let (sfs, vsfs) = full_pipeline(&prog);
+    assert!(
+        vsfs.stats.stored_object_sets < sfs.stats.stored_object_sets,
+        "VSFS sets {} !< SFS sets {}",
+        vsfs.stats.stored_object_sets,
+        sfs.stats.stored_object_sets
+    );
+    assert!(
+        vsfs.stats.object_propagations < sfs.stats.object_propagations,
+        "VSFS propagations {} !< SFS propagations {}",
+        vsfs.stats.object_propagations,
+        sfs.stats.object_propagations
+    );
+}

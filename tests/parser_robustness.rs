@@ -1,0 +1,49 @@
+//! Parser robustness: arbitrary input must never panic — it either
+//! parses to a program or returns a located error. Mutated valid
+//! programs additionally exercise deep error paths.
+
+use proptest::prelude::*;
+use vsfs_ir::parse_program;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Arbitrary byte soup (printable-ish) never panics the parser.
+    #[test]
+    fn arbitrary_text_never_panics(s in "[ -~\n]{0,400}") {
+        let _ = parse_program(&s);
+    }
+
+    /// Random single-character mutations of a valid program never panic,
+    /// and if they still parse, the result still verifies or fails with a
+    /// proper error.
+    #[test]
+    fn mutated_valid_programs_never_panic(idx in 0usize..600, c in prop::char::range(' ', '~')) {
+        let base = vsfs_workloads::corpus::LINKED_LIST;
+        let bytes = base.as_bytes();
+        let i = idx % bytes.len();
+        let mut mutated = String::with_capacity(base.len());
+        mutated.push_str(&base[..i]);
+        mutated.push(c);
+        // Skip one byte, staying on a char boundary (source is ASCII).
+        mutated.push_str(&base[i + 1..]);
+        if let Ok(prog) = parse_program(&mutated) {
+            let _ = vsfs_ir::verify::verify(&prog);
+        }
+    }
+
+    /// Truncations of a valid program never panic.
+    #[test]
+    fn truncated_programs_never_panic(len in 0usize..600) {
+        let base = vsfs_workloads::corpus::EVENT_LOOP;
+        let cut = len.min(base.len());
+        let _ = parse_program(&base[..cut]);
+    }
+}
+
+#[test]
+fn error_messages_carry_line_numbers() {
+    let err = parse_program("func @main() {\nentry:\n  %x = bogus %y\n  ret\n}\n").unwrap_err();
+    assert_eq!(err.line, 3);
+    assert!(err.to_string().contains("line 3"));
+}
