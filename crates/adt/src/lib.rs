@@ -16,6 +16,9 @@
 //!   max-RSS column in Table III).
 //! * [`interner`] — hash-consing of sparse bit vectors, used to map meld
 //!   labels to dense version ids.
+//! * [`par`] — std-only deterministic parallelism: a sharded
+//!   work-stealing worklist, cost-balanced partitioners, and a
+//!   scoped-thread task driver used by the parallel solver phases.
 //!
 //! # Examples
 //!
@@ -36,6 +39,7 @@ pub mod index;
 pub mod interner;
 pub mod meldpool;
 pub mod mem;
+pub mod par;
 pub mod sbv;
 pub mod stats;
 pub mod worklist;
@@ -43,6 +47,7 @@ pub mod worklist;
 pub use index::IndexVec;
 pub use interner::SbvInterner;
 pub use meldpool::MeldPool;
+pub use par::{ParConfig, ParStats, ShardedWorklist};
 pub use sbv::SparseBitVector;
 pub use worklist::{FifoWorklist, PriorityWorklist};
 

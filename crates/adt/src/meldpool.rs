@@ -129,7 +129,7 @@ impl MeldPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use vsfs_testkit::gen;
 
     #[test]
     fn identity_and_idempotence() {
@@ -154,10 +154,13 @@ mod tests {
         assert_eq!(p.len(), 4); // ε, {1}, {2}, {1,2}
     }
 
-    proptest! {
-        /// The pool agrees with direct sparse-bit-vector unions.
-        #[test]
-        fn matches_direct_unions(ops in prop::collection::vec((0u32..64, 0usize..8, 0usize..8), 1..40)) {
+    /// The pool agrees with direct sparse-bit-vector unions.
+    #[test]
+    fn matches_direct_unions() {
+        vsfs_testkit::check("meldpool::matches_direct_unions", |rng| {
+            let ops = gen::vec_with(rng, 1..40, |r| {
+                (r.gen_range(0u32..64), r.gen_range(0usize..8), r.gen_range(0usize..8))
+            });
             let mut p = MeldPool::new();
             let mut ids: Vec<LabelId> = vec![MeldPool::EMPTY];
             let mut sets: Vec<SparseBitVector> = vec![SparseBitVector::new()];
@@ -173,10 +176,10 @@ mod tests {
                 let m = p.meld(ids[i], ids[j]);
                 let mut u = sets[i].clone();
                 u.union_with(&sets[j]);
-                prop_assert_eq!(p.set(m), &u);
+                assert_eq!(p.set(m), &u);
                 ids.push(m);
                 sets.push(u);
             }
-        }
+        });
     }
 }

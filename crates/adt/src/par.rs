@@ -1,0 +1,350 @@
+//! std-only parallel execution primitives.
+//!
+//! Everything here is built from `std::thread::scope`, mutex-sharded
+//! queues, and atomic counters — no external crates. The design goal is
+//! *deterministic* parallelism: callers arrange for worker output to be
+//! keyed by task index (or by disjoint contiguous slice regions), so the
+//! merged result is a pure function of the input regardless of thread
+//! count or scheduling. The solvers build on three pieces:
+//!
+//! * [`ParConfig`] — a thread-count knob (`--jobs N`; `0` = all cores);
+//! * [`ShardedWorklist`] — a work-stealing queue of task indices, sharded
+//!   over per-worker mutexes to keep contention off the hot path;
+//! * [`run_tasks`] — the scoped-thread driver: executes `n` independent
+//!   tasks, seeds shards by a caller-provided cost estimate (longest
+//!   processing time first), and returns results *in task order* plus
+//!   [`ParStats`] counters for the stats layer.
+//!
+//! For phases that mutate a dense array in place (e.g. applying
+//! points-to unions sharded by target node), [`split_by_cost`] computes
+//! contiguous cost-balanced ranges so the caller can hand each worker a
+//! disjoint `&mut` chunk via `split_at_mut` — data-parallel writes with
+//! no unsafe code and no locks.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Thread-count configuration for the parallel phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParConfig {
+    /// Requested worker count; `0` means "use all available cores".
+    pub jobs: usize,
+}
+
+impl ParConfig {
+    /// A configuration running `jobs` workers (`0` = all cores).
+    pub fn new(jobs: usize) -> Self {
+        ParConfig { jobs }
+    }
+
+    /// The sequential configuration.
+    pub fn sequential() -> Self {
+        ParConfig { jobs: 1 }
+    }
+
+    /// The concrete worker count: `jobs`, or the machine's available
+    /// parallelism when `jobs` is `0`.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.jobs
+        }
+    }
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        ParConfig::sequential()
+    }
+}
+
+/// Execution counters from one parallel phase, fed into
+/// [`crate::stats::PhaseTimer`] by the solvers.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ParStats {
+    /// Number of tasks executed.
+    pub tasks: usize,
+    /// Tasks a worker popped from another worker's shard.
+    pub steals: usize,
+    /// Workers actually spawned.
+    pub workers: usize,
+    /// Wall-clock time of the parallel region.
+    pub wall: Duration,
+}
+
+/// A work-stealing FIFO of homogeneous tasks, sharded over per-worker
+/// mutexes.
+///
+/// Pops try the worker's home shard first and then scan the other
+/// shards round-robin; an atomic count of outstanding items lets idle
+/// workers terminate without a separate condition variable (the queue
+/// is used for fixed task sets, not producer/consumer streams).
+#[derive(Debug)]
+pub struct ShardedWorklist<T> {
+    shards: Vec<Mutex<VecDeque<T>>>,
+    remaining: AtomicUsize,
+    steals: AtomicUsize,
+}
+
+impl<T> ShardedWorklist<T> {
+    /// An empty worklist with `shards` shards (at least 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedWorklist {
+            shards: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            remaining: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Pushes `item` onto shard `shard % shard_count`.
+    pub fn push(&self, shard: usize, item: T) {
+        self.remaining.fetch_add(1, Ordering::SeqCst);
+        self.shards[shard % self.shards.len()].lock().unwrap().push_back(item);
+    }
+
+    /// Pops a task, preferring shard `home`, stealing from the others
+    /// otherwise. Returns `None` once the worklist is globally empty.
+    pub fn pop(&self, home: usize) -> Option<T> {
+        let n = self.shards.len();
+        loop {
+            if self.remaining.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            for k in 0..n {
+                let s = (home + k) % n;
+                if let Some(item) = self.shards[s].lock().unwrap().pop_front() {
+                    self.remaining.fetch_sub(1, Ordering::SeqCst);
+                    if k != 0 {
+                        self.steals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Some(item);
+                }
+            }
+            // All shards looked empty but `remaining` was non-zero: a
+            // push raced ahead of its enqueue. Spin; the fixed task sets
+            // used here make this window a few instructions wide.
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Total cross-shard steals so far.
+    pub fn steal_count(&self) -> usize {
+        self.steals.load(Ordering::Relaxed)
+    }
+}
+
+/// Splits `0..len` into at most `parts` contiguous, near-even ranges.
+pub fn split_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1).min(len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        if size == 0 {
+            continue;
+        }
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Splits `0..costs.len()` into at most `parts` *contiguous* ranges of
+/// near-equal total cost. Contiguity is what lets callers carve a dense
+/// array into disjoint `&mut` chunks with `split_at_mut`; the output
+/// depends only on `costs` and `parts`, never on scheduling.
+pub fn split_by_cost(costs: &[u64], parts: usize) -> Vec<std::ops::Range<usize>> {
+    let n = costs.len();
+    let parts = parts.max(1).min(n.max(1));
+    if parts <= 1 || n == 0 {
+        return vec![0..n];
+    }
+    let total: u64 = costs.iter().sum();
+    let target = total / parts as u64;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    let mut acc = 0u64;
+    for (i, &c) in costs.iter().enumerate() {
+        acc += c;
+        // Close the range once the budget is met, keeping enough items
+        // for the remaining parts to be non-empty.
+        let remaining_parts = parts - out.len();
+        if acc >= target.max(1) && n - (i + 1) >= remaining_parts - 1 && remaining_parts > 1 {
+            out.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    out.push(start..n);
+    out
+}
+
+/// Runs `tasks` independent tasks on `config.effective_jobs()` scoped
+/// threads and returns the results **in task order**, plus execution
+/// counters.
+///
+/// `cost` estimates task weight (heavier tasks are distributed first,
+/// longest-processing-time greedy) purely to balance the initial shard
+/// assignment; the work-stealing pops make the estimate non-critical.
+/// Output order — and therefore every downstream consumer — is
+/// independent of the worker count.
+pub fn run_tasks<R: Send>(
+    config: ParConfig,
+    tasks: usize,
+    cost: impl Fn(usize) -> u64,
+    run: impl Fn(usize) -> R + Sync,
+) -> (Vec<R>, ParStats) {
+    run_tasks_with(config, tasks, cost, || (), |(), i| run(i))
+}
+
+/// Like [`run_tasks`], but each worker first builds private scratch
+/// state with `init` and threads it through its tasks — the pattern the
+/// per-object versioning phase uses to reuse one dense work area per
+/// worker instead of reallocating per task.
+pub fn run_tasks_with<S, R: Send>(
+    config: ParConfig,
+    tasks: usize,
+    cost: impl Fn(usize) -> u64,
+    init: impl Fn() -> S + Sync,
+    run: impl Fn(&mut S, usize) -> R + Sync,
+) -> (Vec<R>, ParStats) {
+    let start = Instant::now();
+    let jobs = config.effective_jobs().max(1).min(tasks.max(1));
+    if jobs <= 1 {
+        let mut state = init();
+        let out = (0..tasks).map(|i| run(&mut state, i)).collect();
+        return (
+            out,
+            ParStats { tasks, steals: 0, workers: 1, wall: start.elapsed() },
+        );
+    }
+
+    // Seed shards LPT-style: heaviest tasks first, each onto the
+    // currently lightest shard (ties to the lowest shard id).
+    let wl = ShardedWorklist::new(jobs);
+    let mut order: Vec<usize> = (0..tasks).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(cost(i)), i));
+    let mut load = vec![0u64; jobs];
+    for i in order {
+        let shard = (0..jobs).min_by_key(|&s| (load[s], s)).unwrap();
+        load[shard] += cost(i).max(1);
+        wl.push(shard, i);
+    }
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(tasks);
+    slots.resize_with(tasks, || None);
+    let run = &run;
+    let init = &init;
+    let wl = &wl;
+    let mut collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut state = init();
+                    let mut mine = Vec::new();
+                    while let Some(i) = wl.pop(w) {
+                        mine.push((i, run(&mut state, i)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    });
+    for (i, r) in collected.drain(..).flatten() {
+        debug_assert!(slots[i].is_none());
+        slots[i] = Some(r);
+    }
+    let out: Vec<R> = slots.into_iter().map(|s| s.expect("task not executed")).collect();
+    let stats = ParStats { tasks, steals: wl.steal_count(), workers: jobs, wall: start.elapsed() };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_jobs_resolves_zero() {
+        assert!(ParConfig::new(0).effective_jobs() >= 1);
+        assert_eq!(ParConfig::new(3).effective_jobs(), 3);
+        assert_eq!(ParConfig::default().effective_jobs(), 1);
+    }
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        for len in [0usize, 1, 7, 64, 100] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let rs = split_ranges(len, parts);
+                let mut next = 0;
+                for r in &rs {
+                    assert_eq!(r.start, next);
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(rs.iter().map(|r| r.len()).sum::<usize>(), len);
+            }
+        }
+    }
+
+    #[test]
+    fn split_by_cost_is_contiguous_and_balanced() {
+        let costs: Vec<u64> = (0..100).map(|i| (i % 7) + 1).collect();
+        let rs = split_by_cost(&costs, 4);
+        assert!(rs.len() <= 4);
+        let mut next = 0;
+        for r in &rs {
+            assert_eq!(r.start, next);
+            next = r.end;
+        }
+        assert_eq!(next, costs.len());
+        let total: u64 = costs.iter().sum();
+        for r in &rs {
+            let part: u64 = costs[r.clone()].iter().sum();
+            assert!(part <= total / 2, "part {part} of {total} too heavy");
+        }
+    }
+
+    #[test]
+    fn sharded_worklist_drains_fully() {
+        let wl = ShardedWorklist::new(4);
+        for i in 0..100 {
+            wl.push(i, i);
+        }
+        let mut seen: Vec<usize> = std::iter::from_fn(|| wl.pop(2)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        assert!(wl.pop(0).is_none());
+    }
+
+    #[test]
+    fn run_tasks_returns_in_task_order_for_any_job_count() {
+        let expect: Vec<usize> = (0..257).map(|i| i * 3).collect();
+        for jobs in [1usize, 2, 3, 8] {
+            let (got, stats) =
+                run_tasks(ParConfig::new(jobs), 257, |i| (i % 5) as u64, |i| i * 3);
+            assert_eq!(got, expect, "jobs = {jobs}");
+            assert_eq!(stats.tasks, 257);
+            assert!(stats.workers <= jobs.max(1));
+        }
+    }
+
+    #[test]
+    fn run_tasks_handles_empty_and_tiny_sets() {
+        let (got, _) = run_tasks(ParConfig::new(8), 0, |_| 1, |i| i);
+        assert!(got.is_empty());
+        let (got, _) = run_tasks(ParConfig::new(8), 1, |_| 1, |i| i + 10);
+        assert_eq!(got, vec![10]);
+    }
+}

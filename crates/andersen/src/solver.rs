@@ -8,10 +8,24 @@
 //! cycle elimination à la wave propagation); the interval is configurable
 //! and collapsing can be disabled entirely — an ablation the benchmark
 //! harness exercises.
+//!
+//! With `jobs > 1` the solver switches to a *sharded wave-propagation*
+//! schedule: instead of popping one node at a time it drains the whole
+//! worklist into a sorted wave of dirty representatives and processes the
+//! wave in three phases — a parallel read-only scan that computes each
+//! node's delta and the structural actions it implies, a sequential
+//! commit that applies graph mutations in ascending node order, and a
+//! parallel union phase that applies delta propagations sharded by
+//! *target* node over disjoint `&mut` chunks of the points-to array.
+//! Every phase is a pure function of the wave's contents, so the entire
+//! run — including when SCC collapses fire — is identical for any
+//! `jobs >= 2`, and the final fixpoint matches the sequential schedule
+//! because the inclusion constraints have a unique least solution.
 
 use crate::callgraph::CallGraph;
 use crate::pag::{CallSiteId, Constraint, Pag, PagNodeId};
 use std::collections::HashSet;
+use vsfs_adt::par::{self, ParConfig};
 use vsfs_adt::{FifoWorklist, PointsToSet};
 use vsfs_graph::{DiGraph, Sccs};
 use vsfs_ir::{FuncId, ObjId, Program, ValueId};
@@ -22,11 +36,22 @@ pub struct AndersenConfig {
     /// Run an SCC collapse every this many worklist pops; `None` disables
     /// online cycle elimination.
     pub scc_interval: Option<usize>,
+    /// Worker threads for the wave-propagation schedule. `1` (the
+    /// default) runs the sequential pop-at-a-time solver; any other
+    /// value (including `0` = all cores) runs sharded waves.
+    pub jobs: usize,
 }
 
 impl Default for AndersenConfig {
     fn default() -> Self {
-        AndersenConfig { scc_interval: Some(10_000) }
+        AndersenConfig { scc_interval: Some(10_000), jobs: 1 }
+    }
+}
+
+impl AndersenConfig {
+    /// The default configuration with `jobs` worker threads.
+    pub fn with_jobs(jobs: usize) -> Self {
+        AndersenConfig { jobs, ..Default::default() }
     }
 }
 
@@ -45,6 +70,10 @@ pub struct AndersenStats {
     pub nodes_collapsed: usize,
     /// `(call site, callee)` pairs resolved on the fly.
     pub indirect_resolutions: usize,
+    /// Waves executed by the parallel schedule (0 for sequential runs).
+    pub waves: usize,
+    /// Worker threads used by the parallel schedule (0 for sequential runs).
+    pub par_workers: usize,
 }
 
 /// The result of Andersen's analysis.
@@ -97,6 +126,21 @@ pub fn analyze(prog: &Program) -> AndersenResult {
 /// Runs Andersen's analysis with an explicit configuration.
 pub fn analyze_with_config(prog: &Program, config: AndersenConfig) -> AndersenResult {
     Solver::new(prog, config).run()
+}
+
+/// What one wave-scan of a dirty node produced: the node's unprocessed
+/// delta and the structural actions it implies. Raw `u32` node ids keep
+/// the payload `Send` and compact; representatives are re-resolved at
+/// apply time.
+#[derive(Default)]
+struct WaveOutcome {
+    delta: PointsToSet<ObjId>,
+    /// New copy edges `(src, dst)` from load/store constraints.
+    copy_new: Vec<(u32, u32)>,
+    /// Field-object insertions `(gep dst node, field object)`.
+    gep_new: Vec<(u32, ObjId)>,
+    /// Indirect-call resolutions discovered.
+    calls: Vec<(CallSiteId, FuncId)>,
 }
 
 struct Solver<'p> {
@@ -160,6 +204,9 @@ impl<'p> Solver<'p> {
     }
 
     fn run(mut self) -> AndersenResult {
+        if self.config.jobs != 1 {
+            return self.run_waves();
+        }
         self.init();
         let mut pops_since_scc = 0usize;
         while let Some(n) = self.worklist.pop() {
@@ -176,6 +223,10 @@ impl<'p> Solver<'p> {
                 }
             }
         }
+        self.finish()
+    }
+
+    fn finish(mut self) -> AndersenResult {
         // Record direct call edges (indirect ones were added on the fly).
         for &(call, callee) in &self.pag.direct_calls {
             self.callgraph.add_edge(call, callee);
@@ -189,6 +240,195 @@ impl<'p> Solver<'p> {
                 copy_edges: self.copy_succs.iter().map(Vec::len).sum(),
                 ..self.stats
             },
+        }
+    }
+
+    /// The sharded wave-propagation schedule (`jobs != 1`).
+    ///
+    /// Per wave: drain the worklist into a sorted list of dirty
+    /// representatives, scan them in parallel (read-only), commit the
+    /// resulting graph mutations sequentially in node order, then apply
+    /// the copy-edge unions in parallel, sharded by target node. The
+    /// schedule — and therefore every counter and merge decision — is a
+    /// pure function of the wave contents, independent of thread count.
+    fn run_waves(mut self) -> AndersenResult {
+        self.init();
+        let par = ParConfig::new(self.config.jobs);
+        self.stats.par_workers = par.effective_jobs();
+        let mut pops_since_scc = 0usize;
+        loop {
+            // Drain into a deterministic wave of dirty representatives.
+            let mut dirty: Vec<usize> = Vec::new();
+            while let Some(n) = self.worklist.pop() {
+                let r = self.find(n);
+                dirty.push(r);
+            }
+            dirty.sort_unstable();
+            dirty.dedup();
+            if dirty.is_empty() {
+                break;
+            }
+            self.stats.waves += 1;
+
+            // Phase A (parallel, read-only): per-node deltas plus the
+            // structural actions they imply.
+            let this = &self;
+            let dirty_ref = &dirty;
+            let (outcomes, _) = par::run_tasks(
+                par,
+                dirty.len(),
+                |k| (this.pts[dirty_ref[k]].len() + this.copy_succs[dirty_ref[k]].len() + 1) as u64,
+                |k| this.wave_scan(dirty_ref[k]),
+            );
+
+            // Phase B (sequential): commit deltas to `prop`, then apply
+            // structural mutations in ascending node order.
+            for (k, out) in outcomes.iter().enumerate() {
+                if out.delta.is_empty() {
+                    continue;
+                }
+                self.stats.pops += 1;
+                pops_since_scc += 1;
+                self.prop[dirty[k]].union_with(&out.delta);
+            }
+            for out in &outcomes {
+                for &(src, dst) in &out.copy_new {
+                    self.add_copy_edge(src as usize, dst as usize);
+                }
+                for &(dst, f) in &out.gep_new {
+                    let d = self.find(dst as usize);
+                    if self.pts[d].insert(f) {
+                        self.worklist.push(d);
+                    }
+                }
+                for &(cs, callee) in &out.calls {
+                    self.resolve_call(cs, callee);
+                }
+            }
+
+            // Phase C (parallel): propagate deltas along copy edges,
+            // sharded by target so each target's unions land on exactly
+            // one worker. Messages reference outcomes by index.
+            let mut msgs: Vec<(u32, u32)> = Vec::new();
+            for (k, out) in outcomes.iter().enumerate() {
+                if out.delta.is_empty() {
+                    continue;
+                }
+                let n = dirty[k];
+                let succs = self.copy_succs[n].clone();
+                for s in succs {
+                    let t = self.find(s as usize);
+                    if t != n {
+                        msgs.push((t as u32, k as u32));
+                    }
+                }
+            }
+            msgs.sort_unstable();
+            msgs.dedup();
+            self.stats.propagations += msgs.len();
+            self.apply_unions(&msgs, &outcomes, par);
+
+            if let Some(interval) = self.config.scc_interval {
+                if pops_since_scc >= interval {
+                    pops_since_scc = 0;
+                    self.collapse_cycles();
+                }
+            }
+        }
+        self.finish()
+    }
+
+    /// Phase A worker: computes the unprocessed delta of representative
+    /// `n` and the actions it implies, without mutating any solver state.
+    fn wave_scan(&self, n: usize) -> WaveOutcome {
+        let mut out = WaveOutcome::default();
+        out.delta = self.pts[n].clone();
+        out.delta.subtract(&self.prop[n]);
+        if out.delta.is_empty() {
+            return out;
+        }
+        let loads = &self.loads[n];
+        let stores = &self.stores[n];
+        let geps = &self.geps[n];
+        let icalls = &self.icalls[n];
+        for o in out.delta.iter().collect::<Vec<_>>() {
+            let obj_node = self.pag.object_node(o).raw();
+            for &dst in loads {
+                out.copy_new.push((obj_node, dst));
+            }
+            for &val in stores {
+                out.copy_new.push((val, obj_node));
+            }
+            for &(offset, dst) in geps {
+                out.gep_new.push((dst, self.prog.field_object(o, offset)));
+            }
+            if !icalls.is_empty() {
+                if let Some(callee) = self.prog.object_as_function(o) {
+                    for &cs in icalls {
+                        out.calls.push((cs, callee));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Phase C: applies `msgs` — sorted `(target, outcome index)` union
+    /// requests — over disjoint contiguous chunks of `self.pts`, one
+    /// chunk per worker, then pushes every target that grew (in
+    /// ascending order, so the next wave is identical for any worker
+    /// count).
+    fn apply_unions(&mut self, msgs: &[(u32, u32)], outcomes: &[WaveOutcome], par: ParConfig) {
+        if msgs.is_empty() {
+            return;
+        }
+        // Group messages by target: (target, msgs start, msgs end).
+        let mut groups: Vec<(usize, usize, usize)> = Vec::new();
+        for (i, &(t, _)) in msgs.iter().enumerate() {
+            match groups.last_mut() {
+                Some(g) if g.0 == t as usize => g.2 = i + 1,
+                _ => groups.push((t as usize, i, i + 1)),
+            }
+        }
+        let costs: Vec<u64> = groups.iter().map(|&(_, s, e)| (e - s) as u64).collect();
+        let ranges = par::split_by_cost(&costs, par.effective_jobs());
+
+        let grown: Vec<Vec<usize>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(ranges.len());
+            let mut rest: &mut [PointsToSet<ObjId>] = &mut self.pts;
+            let mut consumed = 0usize;
+            for r in &ranges {
+                if r.is_empty() {
+                    continue;
+                }
+                let first_t = groups[r.start].0;
+                let last_t = groups[r.end - 1].0;
+                let tail = rest.split_at_mut(first_t - consumed).1;
+                let (chunk, tail) = tail.split_at_mut(last_t - first_t + 1);
+                rest = tail;
+                consumed = last_t + 1;
+                let chunk_groups = &groups[r.clone()];
+                handles.push(scope.spawn(move || {
+                    let mut grew = Vec::new();
+                    for &(t, s, e) in chunk_groups {
+                        let cell = &mut chunk[t - first_t];
+                        let mut changed = false;
+                        for &(_, k) in &msgs[s..e] {
+                            changed |= cell.union_with(&outcomes[k as usize].delta);
+                        }
+                        if changed {
+                            grew.push(t);
+                        }
+                    }
+                    grew
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("union worker panicked")).collect()
+        });
+        for targets in grown {
+            for t in targets {
+                self.worklist.push(t);
+            }
         }
     }
 
@@ -492,8 +732,8 @@ mod tests {
         .unwrap();
         // With and without cycle elimination.
         for cfg in [
-            AndersenConfig { scc_interval: Some(1) },
-            AndersenConfig { scc_interval: None },
+            AndersenConfig { scc_interval: Some(1), ..Default::default() },
+            AndersenConfig { scc_interval: None, ..Default::default() },
         ] {
             let res = analyze_with_config(&prog, cfg);
             assert_eq!(pts_names(&prog, res.value_pts(value(&prog, "c"))), vec!["A"]);
@@ -646,8 +886,8 @@ mod tests {
             "#,
         )
         .unwrap();
-        let base = analyze_with_config(&prog, AndersenConfig { scc_interval: None });
-        let scc = analyze_with_config(&prog, AndersenConfig { scc_interval: Some(1) });
+        let base = analyze_with_config(&prog, AndersenConfig { scc_interval: None, ..Default::default() });
+        let scc = analyze_with_config(&prog, AndersenConfig { scc_interval: Some(1), ..Default::default() });
         for (v, _) in prog.values.iter_enumerated() {
             assert_eq!(
                 base.value_pts(v).iter().collect::<Vec<_>>(),
@@ -661,6 +901,123 @@ mod tests {
                 base.object_pts(o).iter().collect::<Vec<_>>(),
                 scc.object_pts(o).iter().collect::<Vec<_>>()
             );
+        }
+    }
+
+    /// Asserts that `a` and `b` agree on every value/object points-to set
+    /// and on the (sorted) call-graph edge set.
+    fn assert_same_result(prog: &Program, a: &AndersenResult, b: &AndersenResult, label: &str) {
+        for (v, _) in prog.values.iter_enumerated() {
+            assert_eq!(
+                a.value_pts(v).iter().collect::<Vec<_>>(),
+                b.value_pts(v).iter().collect::<Vec<_>>(),
+                "{label}: value pts mismatch for {v:?}"
+            );
+        }
+        for (o, _) in prog.objects.iter_enumerated() {
+            assert_eq!(
+                a.object_pts(o).iter().collect::<Vec<_>>(),
+                b.object_pts(o).iter().collect::<Vec<_>>(),
+                "{label}: object pts mismatch for {o:?}"
+            );
+        }
+        let edges = |r: &AndersenResult| {
+            let mut e: Vec<_> = r.callgraph.edges().collect();
+            e.sort();
+            e
+        };
+        assert_eq!(edges(a), edges(b), "{label}: callgraph mismatch");
+    }
+
+    #[test]
+    fn wave_mode_matches_sequential_at_any_job_count() {
+        // Exercises loads, stores, geps, indirect calls, recursion
+        // (copy cycles), and multi-target function pointers.
+        let prog = parse_program(
+            r#"
+            global @table
+            func @rec(%n) {
+            entry:
+              %l = load %n
+              %r = call @rec(%l)
+              ret %r
+            }
+            func @g(%y) {
+            entry:
+              %h = alloc heap GH
+              ret %h
+            }
+            func @main() {
+            entry:
+              %p = alloc stack A
+              %h = alloc heap H
+              store %h, %p
+              %x = call @rec(%p)
+              %s = alloc stack S fields 3
+              %f1 = gep %s, 1
+              store %h, %f1
+              %fp0 = funaddr @rec
+              store %fp0, @table
+              %fp1 = funaddr @g
+              store %fp1, @table
+              %fp = load @table
+              %ic = icall %fp(%p)
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        for scc_interval in [Some(1), Some(4), None] {
+            let seq =
+                analyze_with_config(&prog, AndersenConfig { scc_interval, jobs: 1 });
+            for jobs in [2usize, 8] {
+                let wave =
+                    analyze_with_config(&prog, AndersenConfig { scc_interval, jobs });
+                assert_same_result(
+                    &prog,
+                    &seq,
+                    &wave,
+                    &format!("scc={scc_interval:?} jobs={jobs}"),
+                );
+                assert!(wave.stats.waves > 0);
+                assert_eq!(wave.stats.par_workers, jobs);
+            }
+        }
+    }
+
+    #[test]
+    fn wave_mode_is_bit_identical_across_job_counts() {
+        let prog = parse_program(
+            r#"
+            func @id(%x) {
+            entry:
+              ret %x
+            }
+            func @main() {
+            entry:
+              %pp = alloc stack PP
+              %p = alloc stack P
+              %h = alloc heap H
+              store %p, %pp
+              store %h, %p
+              %p2 = load %pp
+              %r = load %p2
+              %c = call @id(%r)
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let base = analyze_with_config(&prog, AndersenConfig::with_jobs(2));
+        for jobs in [3usize, 8] {
+            let other = analyze_with_config(&prog, AndersenConfig::with_jobs(jobs));
+            // The wave schedule is thread-count independent, so even the
+            // internal run (merges, pushes, counters) matches exactly.
+            assert_same_result(&prog, &base, &other, &format!("jobs={jobs}"));
+            assert_eq!(base.stats.waves, other.stats.waves);
+            assert_eq!(base.stats.pops, other.stats.pops);
+            assert_eq!(base.stats.propagations, other.stats.propagations);
+            assert_eq!(base.stats.nodes_collapsed, other.stats.nodes_collapsed);
         }
     }
 }
@@ -800,7 +1157,7 @@ mod more_tests {
         .unwrap();
         // With aggressive SCC the copies may merge; entries must not be
         // double-counted either way.
-        let res = analyze_with_config(&prog, AndersenConfig { scc_interval: Some(1) });
+        let res = analyze_with_config(&prog, AndersenConfig { scc_interval: Some(1), ..Default::default() });
         assert!(res.total_pts_entries() >= 1);
         assert!(res.total_pts_entries() <= 3);
     }

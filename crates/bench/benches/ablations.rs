@@ -9,11 +9,10 @@
 //!   purpose-built structure might do even better; this quantifies the
 //!   off-the-shelf alternatives.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeSet;
-use std::hint::black_box;
 use vsfs_adt::{MeldPool, SparseBitVector};
 use vsfs_andersen::AndersenConfig;
+use vsfs_bench::timing::{black_box, Harness};
 use vsfs_graph::{meld_label, DiGraph, MeldLabel};
 use vsfs_workloads::WorkloadConfig;
 
@@ -35,7 +34,7 @@ impl MeldLabel for TreeLabel {
     }
 }
 
-fn andersen_scc(c: &mut Criterion) {
+fn andersen_scc(h: &mut Harness) {
     let cfg = WorkloadConfig {
         seed: 77,
         functions: 24,
@@ -44,25 +43,18 @@ fn andersen_scc(c: &mut Criterion) {
         ..WorkloadConfig::small()
     };
     let prog = vsfs_workloads::generate(&cfg);
-    let mut g = c.benchmark_group("ablation/andersen_cycle_elimination");
-    g.sample_size(10);
-    g.bench_function("scc_on", |b| {
-        b.iter(|| {
-            black_box(vsfs_andersen::analyze_with_config(
-                &prog,
-                AndersenConfig { scc_interval: Some(10_000) },
-            ))
-        })
+    h.bench("ablation/andersen_cycle_elimination/scc_on", || {
+        black_box(vsfs_andersen::analyze_with_config(
+            &prog,
+            AndersenConfig { scc_interval: Some(10_000), ..Default::default() },
+        ))
     });
-    g.bench_function("scc_off", |b| {
-        b.iter(|| {
-            black_box(vsfs_andersen::analyze_with_config(
-                &prog,
-                AndersenConfig { scc_interval: None },
-            ))
-        })
+    h.bench("ablation/andersen_cycle_elimination/scc_off", || {
+        black_box(vsfs_andersen::analyze_with_config(
+            &prog,
+            AndersenConfig { scc_interval: None, ..Default::default() },
+        ))
     });
-    g.finish();
 }
 
 /// A layered random DAG with `n` nodes and prelabels on the first layer.
@@ -84,66 +76,60 @@ fn meld_input(n: usize) -> (DiGraph<u32>, Vec<u32>) {
     (g, pre)
 }
 
-fn meld_representation(c: &mut Criterion) {
+fn meld_representation(h: &mut Harness) {
     let (g, pre_nodes) = meld_input(4000);
-    let mut grp = c.benchmark_group("ablation/meld_label_representation");
-    grp.sample_size(10);
-    grp.bench_function("sparse_bit_vector", |b| {
-        b.iter(|| {
-            let mut pre = vec![SparseBitVector::new(); g.node_count()];
-            for (i, &n) in pre_nodes.iter().enumerate() {
-                pre[n as usize].insert(i as u32);
-            }
-            black_box(meld_label(&g, pre, |_| false))
-        })
+    h.bench("ablation/meld_label_representation/sparse_bit_vector", || {
+        let mut pre = vec![SparseBitVector::new(); g.node_count()];
+        for (i, &n) in pre_nodes.iter().enumerate() {
+            pre[n as usize].insert(i as u32);
+        }
+        black_box(meld_label(&g, pre, |_| false))
     });
-    grp.bench_function("btree_set", |b| {
-        b.iter(|| {
-            let mut pre = vec![TreeLabel::identity(); g.node_count()];
-            for (i, &n) in pre_nodes.iter().enumerate() {
-                pre[n as usize].0.insert(i as u32);
-            }
-            black_box(meld_label(&g, pre, |_| false))
-        })
+    h.bench("ablation/meld_label_representation/btree_set", || {
+        let mut pre = vec![TreeLabel::identity(); g.node_count()];
+        for (i, &n) in pre_nodes.iter().enumerate() {
+            pre[n as usize].0.insert(i as u32);
+        }
+        black_box(meld_label(&g, pre, |_| false))
     });
     // The paper's §V-B future-work idea: a purpose-built structure.
     // Hash-consed labels with memoized melds turn repeated unions of the
     // same operands into O(1) id lookups.
-    grp.bench_function("memoized_meld_pool", |b| {
-        b.iter(|| {
-            let mut pool = MeldPool::new();
-            let mut labels = vec![MeldPool::EMPTY; g.node_count()];
-            for (i, &n) in pre_nodes.iter().enumerate() {
-                labels[n as usize] = pool.singleton(i as u32);
+    h.bench("ablation/meld_label_representation/memoized_meld_pool", || {
+        let mut pool = MeldPool::new();
+        let mut labels = vec![MeldPool::EMPTY; g.node_count()];
+        for (i, &n) in pre_nodes.iter().enumerate() {
+            labels[n as usize] = pool.singleton(i as u32);
+        }
+        // Same chaotic-iteration fixpoint as meld_label, over ids.
+        let mut work: std::collections::VecDeque<u32> = g.nodes().collect();
+        let mut queued = vec![true; g.node_count()];
+        while let Some(v) = work.pop_front() {
+            queued[v as usize] = false;
+            let lv = labels[v as usize];
+            if lv == MeldPool::EMPTY {
+                continue;
             }
-            // Same chaotic-iteration fixpoint as meld_label, over ids.
-            let mut work: std::collections::VecDeque<u32> = g.nodes().collect();
-            let mut queued = vec![true; g.node_count()];
-            while let Some(v) = work.pop_front() {
-                queued[v as usize] = false;
-                let lv = labels[v as usize];
-                if lv == MeldPool::EMPTY {
+            for &s in g.successors(v) {
+                if s == v {
                     continue;
                 }
-                for &s in g.successors(v) {
-                    if s == v {
-                        continue;
-                    }
-                    let merged = pool.meld(labels[s as usize], lv);
-                    if merged != labels[s as usize] {
-                        labels[s as usize] = merged;
-                        if !queued[s as usize] {
-                            queued[s as usize] = true;
-                            work.push_back(s);
-                        }
+                let merged = pool.meld(labels[s as usize], lv);
+                if merged != labels[s as usize] {
+                    labels[s as usize] = merged;
+                    if !queued[s as usize] {
+                        queued[s as usize] = true;
+                        work.push_back(s);
                     }
                 }
             }
-            black_box(labels)
-        })
+        }
+        black_box(labels)
     });
-    grp.finish();
 }
 
-criterion_group!(benches, andersen_scc, meld_representation);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    andersen_scc(&mut h);
+    meld_representation(&mut h);
+}

@@ -3,13 +3,12 @@
 //! the two flow-sensitive solvers. The SFS-vs-VSFS pair is the
 //! per-benchmark content of the paper's Table III.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use vsfs_bench::timing::{black_box, Harness};
 use vsfs_core::VersionTables;
 use vsfs_mssa::MemorySsa;
 use vsfs_svfg::Svfg;
 
-fn phases(c: &mut Criterion) {
+fn main() {
     let spec = vsfs_workloads::suite::benchmark("ninja").expect("suite entry");
     let prog = vsfs_workloads::generate(&spec.config);
     let aux = vsfs_andersen::analyze(&prog);
@@ -17,36 +16,17 @@ fn phases(c: &mut Criterion) {
     let svfg = Svfg::build(&prog, &aux, &mssa);
     let tables = VersionTables::build(&prog, &mssa, &svfg);
 
-    let mut g = c.benchmark_group("phases/ninja");
-    g.sample_size(10);
-    g.bench_function("andersen", |b| {
-        b.iter(|| black_box(vsfs_andersen::analyze(&prog)))
+    let mut h = Harness::from_env();
+    h.bench("phases/ninja/andersen", || black_box(vsfs_andersen::analyze(&prog)));
+    h.bench("phases/ninja/memory_ssa", || black_box(MemorySsa::build(&prog, &aux)));
+    h.bench("phases/ninja/svfg_build", || black_box(Svfg::build(&prog, &aux, &mssa)));
+    h.bench("phases/ninja/versioning", || {
+        black_box(VersionTables::build(&prog, &mssa, &svfg))
     });
-    g.bench_function("memory_ssa", |b| {
-        b.iter(|| black_box(MemorySsa::build(&prog, &aux)))
+    h.bench("phases/ninja/sfs_solve", || {
+        black_box(vsfs_core::run_sfs(&prog, &aux, &mssa, &svfg))
     });
-    g.bench_function("svfg_build", |b| {
-        b.iter(|| black_box(Svfg::build(&prog, &aux, &mssa)))
+    h.bench("phases/ninja/vsfs_solve", || {
+        black_box(vsfs_core::run_vsfs_with_tables(&prog, &aux, &mssa, &svfg, tables.clone()))
     });
-    g.bench_function("versioning", |b| {
-        b.iter(|| black_box(VersionTables::build(&prog, &mssa, &svfg)))
-    });
-    g.bench_function("sfs_solve", |b| {
-        b.iter(|| black_box(vsfs_core::run_sfs(&prog, &aux, &mssa, &svfg)))
-    });
-    g.bench_function("vsfs_solve", |b| {
-        b.iter(|| {
-            black_box(vsfs_core::run_vsfs_with_tables(
-                &prog,
-                &aux,
-                &mssa,
-                &svfg,
-                tables.clone(),
-            ))
-        })
-    });
-    g.finish();
 }
-
-criterion_group!(benches, phases);
-criterion_main!(benches);

@@ -7,8 +7,7 @@
 //! for context). The versioning share of total time should *shrink* as
 //! the workload grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use vsfs_bench::timing::{black_box, Harness};
 use vsfs_core::VersionTables;
 use vsfs_mssa::MemorySsa;
 use vsfs_svfg::Svfg;
@@ -29,9 +28,8 @@ fn heavy(functions: usize) -> WorkloadConfig {
     }
 }
 
-fn versioning_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("versioning_scaling");
-    g.sample_size(10);
+fn main() {
+    let mut h = Harness::from_env();
     for functions in [8usize, 16, 32] {
         let prog = vsfs_workloads::generate(&heavy(functions));
         let aux = vsfs_andersen::analyze(&prog);
@@ -39,26 +37,14 @@ fn versioning_scaling(c: &mut Criterion) {
         let svfg = Svfg::build(&prog, &aux, &mssa);
         let tables = VersionTables::build(&prog, &mssa, &svfg);
 
-        g.bench_with_input(BenchmarkId::new("versioning", functions), &functions, |b, _| {
-            b.iter(|| black_box(VersionTables::build(&prog, &mssa, &svfg)))
+        h.bench(&format!("versioning_scaling/versioning/{functions}"), || {
+            black_box(VersionTables::build(&prog, &mssa, &svfg))
         });
-        g.bench_with_input(BenchmarkId::new("vsfs_main", functions), &functions, |b, _| {
-            b.iter(|| {
-                black_box(vsfs_core::run_vsfs_with_tables(
-                    &prog,
-                    &aux,
-                    &mssa,
-                    &svfg,
-                    tables.clone(),
-                ))
-            })
+        h.bench(&format!("versioning_scaling/vsfs_main/{functions}"), || {
+            black_box(vsfs_core::run_vsfs_with_tables(&prog, &aux, &mssa, &svfg, tables.clone()))
         });
-        g.bench_with_input(BenchmarkId::new("sfs_main", functions), &functions, |b, _| {
-            b.iter(|| black_box(vsfs_core::run_sfs(&prog, &aux, &mssa, &svfg)))
+        h.bench(&format!("versioning_scaling/sfs_main/{functions}"), || {
+            black_box(vsfs_core::run_sfs(&prog, &aux, &mssa, &svfg))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, versioning_scaling);
-criterion_main!(benches);

@@ -7,8 +7,12 @@
 //!   of Andersen/SFS/VSFS) respectively.
 //! * [`mod@format`] renders aligned text tables like the artifact's
 //!   `table.awk` output.
+//! * [`mod@timing`] is the std-only micro-benchmark harness driving the
+//!   `benches/` targets (the workspace builds offline, without
+//!   criterion).
 
 pub mod format;
+pub mod timing;
 
 use std::time::Instant;
 use vsfs_adt::mem::MemScope;

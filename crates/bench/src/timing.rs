@@ -1,0 +1,170 @@
+//! A std-only micro-benchmark harness.
+//!
+//! The workspace builds offline with no external crates, so the
+//! `benches/` targets (`harness = false`) drive their measurements
+//! through this module instead of criterion: a fixed number of warmup
+//! runs, a fixed number of timed samples, and a min/median/mean report.
+//! Sample counts come from the environment (`VSFS_BENCH_SAMPLES`,
+//! `VSFS_BENCH_WARMUP`) so CI can run every bench in smoke mode.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so bench targets need only this module.
+pub use std::hint::black_box;
+
+/// Warmup/sample counts for a harness run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Untimed runs before sampling starts.
+    pub warmup: usize,
+    /// Timed runs per benchmark (at least 1).
+    pub samples: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig { warmup: 2, samples: 10 }
+    }
+}
+
+impl BenchConfig {
+    /// The default config, overridden by `VSFS_BENCH_SAMPLES` /
+    /// `VSFS_BENCH_WARMUP` when set.
+    pub fn from_env() -> Self {
+        let mut cfg = BenchConfig::default();
+        if let Some(s) = read_env_usize("VSFS_BENCH_SAMPLES") {
+            cfg.samples = s.max(1);
+        }
+        if let Some(w) = read_env_usize("VSFS_BENCH_WARMUP") {
+            cfg.warmup = w;
+        }
+        cfg
+    }
+}
+
+fn read_env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name (slash-separated path, criterion style).
+    pub name: String,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Arithmetic mean of all samples.
+    pub mean: Duration,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Runs benchmarks and collects [`BenchResult`]s, printing one line per
+/// benchmark as it completes.
+#[derive(Debug, Default)]
+pub struct Harness {
+    config: BenchConfig,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// A harness with explicit warmup/sample counts.
+    pub fn new(config: BenchConfig) -> Self {
+        Harness { config, results: Vec::new() }
+    }
+
+    /// A harness configured from the environment.
+    pub fn from_env() -> Self {
+        Harness::new(BenchConfig::from_env())
+    }
+
+    /// Times `f` (warmups, then samples) and records the summary.
+    /// The closure's return value is passed through [`black_box`] so the
+    /// optimizer cannot discard the measured work.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &BenchResult {
+        for _ in 0..self.config.warmup {
+            black_box(f());
+        }
+        let mut times = Vec::with_capacity(self.config.samples.max(1));
+        for _ in 0..self.config.samples.max(1) {
+            let t = Instant::now();
+            black_box(f());
+            times.push(t.elapsed());
+        }
+        times.sort_unstable();
+        let total: Duration = times.iter().sum();
+        let result = BenchResult {
+            name: name.to_string(),
+            min: times[0],
+            median: times[times.len() / 2],
+            mean: total / times.len() as u32,
+            samples: times.len(),
+        };
+        println!(
+            "{:<52} min {:>10}  median {:>10}  mean {:>10}  ({} samples)",
+            result.name,
+            fmt_duration(result.min),
+            fmt_duration(result.median),
+            fmt_duration(result.mean),
+            result.samples
+        );
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All results recorded so far, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// The result named `name`, if recorded.
+    pub fn result(&self, name: &str) -> Option<&BenchResult> {
+        self.results.iter().find(|r| r.name == name)
+    }
+}
+
+/// Formats a duration with an adaptive unit, e.g. `3.21ms`.
+pub fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2}us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_ordered_summary() {
+        let mut h = Harness::new(BenchConfig { warmup: 1, samples: 5 });
+        let mut runs = 0u32;
+        h.bench("test/spin", || {
+            runs += 1;
+            std::hint::spin_loop();
+            runs
+        });
+        // 1 warmup + 5 samples.
+        assert_eq!(runs, 6);
+        let r = h.result("test/spin").expect("recorded");
+        assert_eq!(r.samples, 5);
+        assert!(r.min <= r.median && r.median <= r.mean.max(r.median));
+        assert!(h.result("missing").is_none());
+    }
+
+    #[test]
+    fn duration_formatting_uses_adaptive_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50ms");
+        assert_eq!(fmt_duration(Duration::from_millis(2500)), "2.50s");
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("us"));
+    }
+}

@@ -1,4 +1,12 @@
-//! Scratch differential test (review harness; not for commit).
+//! Differential test over many generated seeds: SFS and VSFS agree
+//! exactly, and every solver refines Andersen's auxiliary solution.
+//!
+//! Dense is checked only against Andersen: dense-on-ICFG and
+//! staged-on-SVFG are *incomparable* in precision (see
+//! `tests/dense_baseline.rs` — dense kills strongly-updated state
+//! across call boundaries and models non-returning callees, while the
+//! SVFG's call-site bypass edge always relays pre-call state), so
+//! neither containment direction holds between them in general.
 
 use vsfs_workloads::gen::{generate, WorkloadConfig};
 
@@ -25,17 +33,9 @@ fn check(cfg: &WorkloadConfig) -> Result<(), String> {
             }
         }
     }
-    // Dense must over-approximate SFS (pt_sfs ⊆ pt_dense ⊆ pt_andersen).
+    // Dense must refine Andersen as well (pt_dense ⊆ pt_andersen).
     let dense = vsfs_core::run_dense(&prog, &aux);
     for v in prog.values.indices() {
-        for o in sfs.pt[v].iter() {
-            if !dense.pt[v].contains(o) {
-                return Err(format!(
-                    "seed {}: dense misses {} in pt(%{}) present in SFS",
-                    cfg.seed, prog.objects[o].name, prog.values[v].name
-                ));
-            }
-        }
         for o in dense.pt[v].iter() {
             if !aux.value_pts(v).contains(o) {
                 return Err(format!(

@@ -14,6 +14,11 @@
 //!   --corpus NAME      a built-in corpus program (see --list)
 //!   --workload NAME    a generated suite benchmark (du, ninja, ...)
 //!
+//! Execution:
+//!   --jobs N           worker threads for the parallel solver phases
+//!                      (default 1 = sequential; 0 = all cores; results
+//!                      are identical for every N)
+//!
 //! Output:
 //!   --print-pts        print the points-to set of every named value
 //!   --print-callgraph  print resolved (call site -> callee) edges
@@ -47,6 +52,7 @@ struct Options {
     precision_report: bool,
     dot_svfg: Option<String>,
     stats: bool,
+    jobs: usize,
 }
 
 #[derive(Debug)]
@@ -58,8 +64,8 @@ enum Input {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vsfs [--ander|--fspta|--vfspta] [--print-pts] [--print-callgraph] \
-         [--precision-report] [--dot-svfg FILE] [--stats] \
+        "usage: vsfs [--ander|--fspta|--vfspta] [--jobs N] [--print-pts] \
+         [--print-callgraph] [--precision-report] [--dot-svfg FILE] [--stats] \
          (<file.vir> | --corpus NAME | --workload NAME | --list)"
     );
     std::process::exit(2);
@@ -73,9 +79,16 @@ fn parse_args() -> Options {
     let mut precision_report = false;
     let mut dot_svfg = None;
     let mut stats = false;
+    let mut jobs = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--ander" => analysis = Analysis::Andersen,
             "--fspta" => analysis = Analysis::Sfs,
             "--vfspta" => analysis = Analysis::Vsfs,
@@ -110,6 +123,7 @@ fn parse_args() -> Options {
         precision_report,
         dot_svfg,
         stats,
+        jobs,
     }
 }
 
@@ -166,7 +180,10 @@ fn main() -> ExitCode {
     };
 
     let t0 = std::time::Instant::now();
-    let aux = vsfs_andersen::analyze(&prog);
+    let aux = vsfs_andersen::analyze_with_config(
+        &prog,
+        vsfs_andersen::AndersenConfig::with_jobs(opts.jobs),
+    );
     let aux_time = t0.elapsed();
 
     if opts.analysis == Analysis::Andersen {
@@ -198,7 +215,7 @@ fn main() -> ExitCode {
 
     let result: FlowSensitiveResult = match opts.analysis {
         Analysis::Sfs => vsfs_core::run_sfs(&prog, &aux, &mssa, &svfg),
-        Analysis::Vsfs => vsfs_core::run_vsfs(&prog, &aux, &mssa, &svfg),
+        Analysis::Vsfs => vsfs_core::run_vsfs_jobs(&prog, &aux, &mssa, &svfg, opts.jobs),
         Analysis::Andersen => unreachable!("handled above"),
     };
 
@@ -219,6 +236,7 @@ fn main() -> ExitCode {
     }
     if opts.stats {
         let s = &result.stats;
+        println!("jobs:              {}", opts.jobs);
         println!("andersen:          {:.3}s", aux_time.as_secs_f64());
         println!("mssa + svfg:       {:.3}s", build_time.as_secs_f64());
         if opts.analysis == Analysis::Vsfs {

@@ -61,4 +61,4 @@ pub use precision::{compare_precision, PrecisionReport};
 pub use result::{same_precision, FlowSensitiveResult, SolveStats};
 pub use sfs::run_sfs;
 pub use versioning::{VersionTables, VersioningStats};
-pub use vsfs::{run_vsfs, run_vsfs_with_tables};
+pub use vsfs::{run_vsfs, run_vsfs_jobs, run_vsfs_with_tables};

@@ -38,6 +38,19 @@ pub fn run_vsfs(
     run_vsfs_with_tables(prog, aux, mssa, svfg, tables)
 }
 
+/// Runs versioning with `jobs` worker threads, then the VSFS solver.
+/// Results are bit-identical to [`run_vsfs`] for every job count.
+pub fn run_vsfs_jobs(
+    prog: &Program,
+    aux: &AndersenResult,
+    mssa: &MemorySsa,
+    svfg: &Svfg,
+    jobs: usize,
+) -> FlowSensitiveResult {
+    let tables = VersionTables::build_with_jobs(prog, mssa, svfg, jobs);
+    run_vsfs_with_tables(prog, aux, mssa, svfg, tables)
+}
+
 /// Runs the VSFS solver with pre-built version tables (lets benchmarks
 /// time the versioning and main phases separately).
 pub fn run_vsfs_with_tables(

@@ -371,16 +371,12 @@ mod tests {
 
     #[test]
     fn matches_naive_dominance_on_random_graphs() {
-        use proptest::prelude::*;
-        let mut runner = proptest::test_runner::TestRunner::default();
-        let strat = (2usize..12).prop_flat_map(|n| {
-            (
-                Just(n),
-                prop::collection::vec((0..n as u32, 0..n as u32), 0..30),
-            )
-        });
-        runner
-            .run(&strat, |(n, edges)| {
+        use vsfs_testkit::gen;
+        vsfs_testkit::check("dominators::matches_naive_dominance_on_random_graphs", |rng| {
+            let n = rng.gen_range(2usize..12);
+            let edges =
+                gen::vec_with(rng, 0..30, |r| (r.gen_range(0..n as u32), r.gen_range(0..n as u32)));
+            {
                 let mut g: DiGraph<B> = DiGraph::with_nodes(n);
                 for (f, t) in edges {
                     g.add_edge(b(f), b(t));
@@ -388,17 +384,14 @@ mod tests {
                 let dt = DomTree::compute(&g, b(0));
                 for x in g.nodes() {
                     for y in g.nodes() {
-                        prop_assert_eq!(
+                        assert_eq!(
                             dt.dominates(x, y),
                             naive_dominates(&g, b(0), x, y),
-                            "dominates({:?},{:?}) mismatch",
-                            x,
-                            y
+                            "dominates({x:?},{y:?}) mismatch"
                         );
                     }
                 }
-                Ok(())
-            })
-            .unwrap();
+            }
+        });
     }
 }

@@ -124,6 +124,49 @@ pub fn meld_label<I: Idx, L: MeldLabel>(
     labels
 }
 
+/// Solves a batch of *independent* meld-labelling problems, using up to
+/// `jobs` worker threads (`0` = all cores).
+///
+/// This is the graph-layer face of the paper's parallelism observation:
+/// labels of different objects never meld, so each `(graph, prelabels)`
+/// problem is a self-contained task. Results come back in input order —
+/// element `i` is exactly `meld_label(&problems[i].0, problems[i].1, …)`
+/// — so the output is bit-identical for every `jobs` value.
+///
+/// # Examples
+///
+/// ```
+/// use vsfs_adt::{define_index, SparseBitVector};
+/// use vsfs_graph::{meld_label_many, DiGraph};
+///
+/// define_index!(N, "n");
+/// let mut g: DiGraph<N> = DiGraph::with_nodes(2);
+/// g.add_edge(N::new(0), N::new(1));
+/// let mut pre = vec![SparseBitVector::new(); 2];
+/// pre[0].insert(3);
+/// let batch = vec![(g.clone(), pre.clone()), (g, pre)];
+/// let out = meld_label_many(batch, |_| false, 2);
+/// assert!(out[0][1].contains(3));
+/// assert_eq!(out[0], out[1]);
+/// ```
+pub fn meld_label_many<I: Idx + Send + Sync, L: MeldLabel + Send + Sync>(
+    problems: Vec<(DiGraph<I>, Vec<L>)>,
+    frozen: impl Fn(I) -> bool + Sync,
+    jobs: usize,
+) -> Vec<Vec<L>> {
+    let problems = &problems;
+    let (out, _stats) = vsfs_adt::par::run_tasks(
+        vsfs_adt::ParConfig::new(jobs),
+        problems.len(),
+        |i| problems[i].0.edge_count() as u64 + 1,
+        |i| {
+            let (graph, prelabels) = &problems[i];
+            meld_label(graph, prelabels.clone(), &frozen)
+        },
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +180,38 @@ mod tests {
 
     fn sbv(elems: &[u32]) -> SparseBitVector {
         elems.iter().copied().collect()
+    }
+
+    /// `meld_label_many` returns exactly the per-problem `meld_label`
+    /// results, for any worker count.
+    #[test]
+    fn batch_meld_matches_single_for_any_job_count() {
+        use vsfs_testkit::gen;
+        vsfs_testkit::check_cases("meld::batch_matches_single", 16, |rng| {
+            let problems: Vec<(DiGraph<N>, Vec<SparseBitVector>)> = (0..rng.gen_range(0usize..9))
+                .map(|_| {
+                    let nn = rng.gen_range(1usize..10);
+                    let mut g: DiGraph<N> = DiGraph::with_nodes(nn);
+                    for (f, t) in gen::vec_with(rng, 0..25, |r| {
+                        (r.gen_range(0..nn as u32), r.gen_range(0..nn as u32))
+                    }) {
+                        g.add_edge(n(f), n(t));
+                    }
+                    let pre = (0..nn)
+                        .map(|i| if rng.gen_bool(0.4) { sbv(&[i as u32]) } else { SparseBitVector::new() })
+                        .collect();
+                    (g, pre)
+                })
+                .collect();
+            let want: Vec<Vec<SparseBitVector>> = problems
+                .iter()
+                .map(|(g, pre)| meld_label(g, pre.clone(), |_| false))
+                .collect();
+            for jobs in [1usize, 2, 8] {
+                let got = meld_label_many(problems.clone(), |_| false, jobs);
+                assert_eq!(got, want, "jobs = {jobs}");
+            }
+        });
     }
 
     /// The paper's Figure 4 example: nodes prelabelled with two distinct
@@ -237,17 +312,13 @@ mod tests {
     /// of prelabels that reach the node through non-frozen paths.
     #[test]
     fn fixpoint_property_on_random_graphs() {
-        use proptest::prelude::*;
-        let mut runner = proptest::test_runner::TestRunner::default();
-        let strat = (2usize..14).prop_flat_map(|nn| {
-            (
-                Just(nn),
-                prop::collection::vec((0..nn as u32, 0..nn as u32), 0..40),
-                prop::collection::vec(prop::bool::ANY, nn),
-            )
-        });
-        runner
-            .run(&strat, |(nn, edges, is_pre)| {
+        use vsfs_testkit::gen;
+        vsfs_testkit::check("meld::fixpoint_property_on_random_graphs", |rng| {
+            let nn = rng.gen_range(2usize..14);
+            let edges =
+                gen::vec_with(rng, 0..40, |r| (r.gen_range(0..nn as u32), r.gen_range(0..nn as u32)));
+            let is_pre = gen::vec_with(rng, nn..nn, |r| r.gen_bool(0.5));
+            {
                 let mut g: DiGraph<N> = DiGraph::with_nodes(nn);
                 for (f, t) in edges {
                     g.add_edge(n(f), n(t));
@@ -264,7 +335,7 @@ mod tests {
                     if f == t {
                         continue;
                     }
-                    prop_assert!(
+                    assert!(
                         labels[t.index()].is_superset(&labels[f.index()]),
                         "edge {:?}->{:?} not melded",
                         f,
@@ -282,10 +353,9 @@ mod tests {
                             }
                         }
                     }
-                    prop_assert_eq!(&labels[v.index()], &expect, "node {:?}", v);
+                    assert_eq!(&labels[v.index()], &expect, "node {:?}", v);
                 }
-                Ok(())
-            })
-            .unwrap();
+            }
+        });
     }
 }

@@ -1,0 +1,56 @@
+//! Common case generators for property tests.
+
+use crate::rng::Rng;
+
+/// A vector whose length is drawn from `len` and whose elements come
+/// from `elem`.
+pub fn vec_with<T>(
+    rng: &mut Rng,
+    len: std::ops::Range<usize>,
+    mut elem: impl FnMut(&mut Rng) -> T,
+) -> Vec<T> {
+    let n = if len.start >= len.end { len.start } else { rng.gen_range(len) };
+    (0..n).map(|_| elem(rng)).collect()
+}
+
+/// A string of printable ASCII (space through `~`) plus newlines, the
+/// alphabet the parser-robustness tests fuzz with.
+pub fn printable_string(rng: &mut Rng, len: std::ops::Range<usize>) -> String {
+    let n = if len.start >= len.end { len.start } else { rng.gen_range(len) };
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.05) {
+                '\n'
+            } else {
+                char::from(rng.gen_range(b' '..b'~' + 1))
+            }
+        })
+        .collect()
+}
+
+/// A uniformly chosen element of a non-empty slice.
+pub fn pick<'a, T>(rng: &mut Rng, pool: &'a [T]) -> &'a T {
+    &pool[rng.gen_range(0..pool.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_with_respects_length_range() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..200 {
+            let v = vec_with(&mut rng, 2..9, |r| r.next_u32());
+            assert!((2..9).contains(&v.len()));
+        }
+        assert_eq!(vec_with(&mut rng, 0..1, |r| r.next_u32()).len(), 0);
+    }
+
+    #[test]
+    fn printable_string_stays_in_alphabet() {
+        let mut rng = Rng::seed_from_u64(5);
+        let s = printable_string(&mut rng, 0..400);
+        assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+    }
+}

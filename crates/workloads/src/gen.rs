@@ -16,8 +16,7 @@
 //! | `indirect_call_fraction` | δ nodes and on-the-fly call-graph work |
 //! | `globals` + `global_traffic` | long interprocedural def-use chains |
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use vsfs_testkit::Rng;
 use vsfs_ir::build::{FunctionBuilder, GInitVal};
 use vsfs_ir::{FuncId, Program, ProgramBuilder, ValueId};
 
@@ -150,7 +149,7 @@ const COMMUNITY: usize = 8;
 
 struct GenState<'c> {
     cfg: &'c WorkloadConfig,
-    rng: StdRng,
+    rng: Rng,
     funcs: Vec<FuncId>,
     main: FuncId,
     globals: Vec<ValueId>,
@@ -167,7 +166,7 @@ struct GenState<'c> {
     current_globals: Vec<ValueId>,
 }
 
-fn pick<T: Copy>(rng: &mut StdRng, pool: &[T]) -> Option<T> {
+fn pick<T: Copy>(rng: &mut Rng, pool: &[T]) -> Option<T> {
     if pool.is_empty() {
         None
     } else {
@@ -179,7 +178,7 @@ impl<'c> GenState<'c> {
     fn new(cfg: &'c WorkloadConfig) -> Self {
         GenState {
             cfg,
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rng: Rng::seed_from_u64(cfg.seed),
             funcs: Vec::new(),
             main: FuncId::new(0),
             globals: Vec::new(),
@@ -326,7 +325,7 @@ impl<'c> GenState<'c> {
 
         self.fill_block(fb, &mut pool, &my_allocs);
         for _ in 0..self.cfg.segments {
-            let r: f64 = self.rng.gen();
+            let r: f64 = self.rng.gen_f64();
             if r < self.cfg.diamond_bias {
                 self.segment_diamond(fb, &mut pool, &my_allocs, index);
             } else if r < self.cfg.diamond_bias + self.cfg.loop_bias {

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Hermetic CI gate: tier-1 verify, the full workspace test suite, a
+# bench smoke pass (one sample per bench), and the --jobs determinism
+# matrix. Everything runs offline against in-repo code only.
+#
+#   scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release && cargo test -q =="
+cargo build --release
+cargo test -q
+
+echo
+echo "== workspace tests (includes the --jobs 1/2/8 determinism matrix) =="
+cargo test --workspace -q
+
+echo
+echo "== bench smoke (1 warmup, 1 sample per bench) =="
+VSFS_BENCH_WARMUP=1 VSFS_BENCH_SAMPLES=1 cargo bench -p vsfs-bench
+
+echo
+echo "== determinism matrix: CLI output identical at --jobs 1/2/8 =="
+cargo build --release -p vsfs-cli
+ref=""
+for jobs in 1 2 8; do
+  out="$(./target/release/vsfs --vfspta --workload ninja --jobs "$jobs" --print-pts --print-callgraph)"
+  if [ -z "$ref" ]; then
+    ref="$out"
+  elif [ "$out" != "$ref" ]; then
+    echo "FAIL: --jobs $jobs output differs from --jobs 1" >&2
+    exit 1
+  fi
+done
+echo "ok: points-to sets and call graph identical for --jobs 1/2/8"
+
+echo
+echo "== parallel scaling record (writes results/BENCH_parallel.json) =="
+cargo run --release -p vsfs-bench --bin parallel_scaling -- lynx --runs 1
+
+echo
+echo "CI OK"

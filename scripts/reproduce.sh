@@ -26,5 +26,5 @@ echo "== Table III: time and memory (runs=$RUNS, mem limit ${MEM_LIMIT} MiB) =="
 ./target/release/table3 --runs "$RUNS" --mem-limit-mib "$MEM_LIMIT"
 
 echo
-echo "== Criterion benches (phases, versioning scaling, ablations) =="
+echo "== Micro-benches (phases, versioning scaling, ablations) =="
 cargo bench -p vsfs-bench

@@ -1,0 +1,141 @@
+//! Determinism of the parallel solving modes.
+//!
+//! The parallel layer promises *bit-identical* results for any
+//! `--jobs` value: object-partitioned versioning assigns the same slot
+//! ids as the sequential pass by construction, and Andersen's wave mode
+//! converges on the same unique least fixpoint as the sequential
+//! worklist. These tests drive the full pipeline at `--jobs 1/2/8` over
+//! the corpus and generated workloads and demand equality, then check
+//! the solvers against each other (SFS == VSFS everywhere, dense == VSFS
+//! on call-free programs) with every parallel phase enabled.
+
+use vsfs::prelude::*;
+use vsfs_andersen::AndersenConfig;
+use vsfs_core::result::precision_diff;
+use vsfs_workloads::gen::{generate, WorkloadConfig};
+
+const JOB_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn test_programs() -> Vec<(String, Program)> {
+    let mut progs: Vec<(String, Program)> = vsfs_workloads::corpus::corpus()
+        .into_iter()
+        .map(|p| (p.name.to_string(), parse_program(p.source).unwrap()))
+        .collect();
+    for seed in 0..6 {
+        let cfg = WorkloadConfig { seed, ..WorkloadConfig::small() };
+        progs.push((format!("small seed {seed}"), generate(&cfg)));
+    }
+    let heavy = WorkloadConfig {
+        seed: 424,
+        loads_per_block: 4,
+        stores_per_block: 2,
+        load_chain: 3,
+        heap_fraction: 0.7,
+        array_fraction: 0.6,
+        indirect_call_fraction: 0.4,
+        backward_call_fraction: 0.15,
+        ..WorkloadConfig::small()
+    };
+    progs.push(("heavy seed 424".to_string(), generate(&heavy)));
+    progs
+}
+
+/// Runs the whole pipeline — parallel Andersen, memory SSA, SVFG,
+/// parallel versioning, VSFS main phase — with `jobs` workers.
+fn pipeline_at(prog: &Program, jobs: usize) -> FlowSensitiveResult {
+    let aux = andersen::analyze_with_config(prog, AndersenConfig::with_jobs(jobs));
+    let mssa = MemorySsa::build(prog, &aux);
+    let svfg = Svfg::build(prog, &aux, &mssa);
+    vsfs_core::run_vsfs_jobs(prog, &aux, &mssa, &svfg, jobs)
+}
+
+fn sorted_edges(r: &FlowSensitiveResult) -> Vec<(vsfs_ir::InstId, vsfs_ir::FuncId)> {
+    let mut e = r.callgraph_edges.clone();
+    e.sort();
+    e
+}
+
+#[test]
+fn full_pipeline_is_bit_identical_across_job_counts() {
+    for (name, prog) in test_programs() {
+        let base = pipeline_at(&prog, JOB_COUNTS[0]);
+        for &jobs in &JOB_COUNTS[1..] {
+            let other = pipeline_at(&prog, jobs);
+            for v in prog.values.indices() {
+                assert_eq!(
+                    base.pt[v], other.pt[v],
+                    "{name}: pt(%{}) differs at jobs={jobs}",
+                    prog.values[v].name
+                );
+            }
+            assert_eq!(
+                sorted_edges(&base),
+                sorted_edges(&other),
+                "{name}: call graph differs at jobs={jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn andersen_wave_mode_matches_sequential_everywhere() {
+    for (name, prog) in test_programs() {
+        let seq = andersen::analyze(&prog);
+        for &jobs in &JOB_COUNTS[1..] {
+            let wave = andersen::analyze_with_config(&prog, AndersenConfig::with_jobs(jobs));
+            for v in prog.values.indices() {
+                assert_eq!(
+                    seq.value_pts(v).iter().collect::<Vec<_>>(),
+                    wave.value_pts(v).iter().collect::<Vec<_>>(),
+                    "{name}: Andersen pt(%{}) differs at jobs={jobs}",
+                    prog.values[v].name
+                );
+            }
+            for o in prog.objects.indices() {
+                assert_eq!(
+                    seq.object_pts(o).iter().collect::<Vec<_>>(),
+                    wave.object_pts(o).iter().collect::<Vec<_>>(),
+                    "{name}: Andersen object pts differ at jobs={jobs}"
+                );
+            }
+            let edges = |r: &vsfs_andersen::AndersenResult| {
+                let mut e: Vec<_> = r.callgraph.edges().collect();
+                e.sort();
+                e
+            };
+            assert_eq!(edges(&seq), edges(&wave), "{name}: call graph differs at jobs={jobs}");
+        }
+    }
+}
+
+#[test]
+fn solvers_agree_with_all_parallel_phases_enabled() {
+    // Cross-solver equivalence under the parallel pipeline: SFS == VSFS
+    // on every program, and dense == VSFS on call-free programs (the
+    // two formulations only coincide without call boundaries — see
+    // tests/dense_baseline.rs).
+    for (name, prog) in test_programs() {
+        let aux = andersen::analyze_with_config(&prog, AndersenConfig::with_jobs(8));
+        let mssa = MemorySsa::build(&prog, &aux);
+        let svfg = Svfg::build(&prog, &aux, &mssa);
+        let sfs = run_sfs(&prog, &aux, &mssa, &svfg);
+        let vsfs = vsfs_core::run_vsfs_jobs(&prog, &aux, &mssa, &svfg, 8);
+        if let Some(diff) = precision_diff(&prog, &sfs, &vsfs) {
+            panic!("{name}: SFS and VSFS disagree under parallel phases: {diff}");
+        }
+        let has_calls = prog
+            .insts
+            .iter()
+            .any(|i| matches!(i.kind, vsfs_ir::InstKind::Call { .. }));
+        if !has_calls {
+            let dense = vsfs_core::run_dense(&prog, &aux);
+            for v in prog.values.indices() {
+                assert_eq!(
+                    dense.pt[v], vsfs.pt[v],
+                    "{name}: dense and VSFS differ on call-free %{}",
+                    prog.values[v].name
+                );
+            }
+        }
+    }
+}

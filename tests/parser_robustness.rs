@@ -2,26 +2,30 @@
 //! parses to a program or returns a located error. Mutated valid
 //! programs additionally exercise deep error paths.
 
-use proptest::prelude::*;
 use vsfs_ir::parse_program;
+use vsfs_testkit::gen;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+const CASES: u32 = 128;
 
-    /// Arbitrary byte soup (printable-ish) never panics the parser.
-    #[test]
-    fn arbitrary_text_never_panics(s in "[ -~\n]{0,400}") {
+/// Arbitrary byte soup (printable-ish) never panics the parser.
+#[test]
+fn arbitrary_text_never_panics() {
+    vsfs_testkit::check_cases("parser::arbitrary_text_never_panics", CASES, |rng| {
+        let s = gen::printable_string(rng, 0..400);
         let _ = parse_program(&s);
-    }
+    });
+}
 
-    /// Random single-character mutations of a valid program never panic,
-    /// and if they still parse, the result still verifies or fails with a
-    /// proper error.
-    #[test]
-    fn mutated_valid_programs_never_panic(idx in 0usize..600, c in prop::char::range(' ', '~')) {
+/// Random single-character mutations of a valid program never panic,
+/// and if they still parse, the result still verifies or fails with a
+/// proper error.
+#[test]
+fn mutated_valid_programs_never_panic() {
+    vsfs_testkit::check_cases("parser::mutated_valid_programs_never_panic", CASES, |rng| {
         let base = vsfs_workloads::corpus::LINKED_LIST;
         let bytes = base.as_bytes();
-        let i = idx % bytes.len();
+        let i = rng.gen_range(0usize..600) % bytes.len();
+        let c = char::from(rng.gen_range(b' '..b'~' + 1));
         let mut mutated = String::with_capacity(base.len());
         mutated.push_str(&base[..i]);
         mutated.push(c);
@@ -30,15 +34,17 @@ proptest! {
         if let Ok(prog) = parse_program(&mutated) {
             let _ = vsfs_ir::verify::verify(&prog);
         }
-    }
+    });
+}
 
-    /// Truncations of a valid program never panic.
-    #[test]
-    fn truncated_programs_never_panic(len in 0usize..600) {
+/// Truncations of a valid program never panic.
+#[test]
+fn truncated_programs_never_panic() {
+    vsfs_testkit::check_cases("parser::truncated_programs_never_panic", CASES, |rng| {
         let base = vsfs_workloads::corpus::EVENT_LOOP;
-        let cut = len.min(base.len());
+        let cut = rng.gen_range(0usize..600).min(base.len());
         let _ = parse_program(&base[..cut]);
-    }
+    });
 }
 
 #[test]

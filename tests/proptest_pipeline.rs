@@ -2,66 +2,53 @@
 //! upholds its contracts for *any* well-formed input the generator can
 //! produce.
 
-use proptest::prelude::*;
 use vsfs::prelude::*;
 use vsfs_core::result::precision_diff;
+use vsfs_testkit::Rng;
 use vsfs_workloads::gen::{generate, WorkloadConfig};
 
+const CASES: u32 = 48;
+
 /// A small random configuration space around `WorkloadConfig::small`.
-fn config_strategy() -> impl Strategy<Value = WorkloadConfig> {
-    (
-        any::<u64>(),
-        1usize..8,   // functions
-        1usize..5,   // segments
-        0usize..4,   // loads per block
-        0usize..3,   // stores per block
-        0usize..4,   // load chain
-        0.0f64..1.0, // heap fraction
-        0.0f64..1.0, // array fraction
-        0.0f64..0.6, // indirect-call fraction
-        0.0f64..0.4, // backward-call fraction
-        0.0f64..0.6, // deref chain
-    )
-        .prop_map(
-            |(seed, functions, segments, loads, stores, chain, heap, array, icall, back, deref)| {
-                WorkloadConfig {
-                    seed,
-                    functions,
-                    segments,
-                    loads_per_block: loads,
-                    stores_per_block: stores,
-                    load_chain: chain,
-                    heap_fraction: heap,
-                    array_fraction: array,
-                    indirect_call_fraction: icall,
-                    backward_call_fraction: back,
-                    deref_chain: deref,
-                    ..WorkloadConfig::small()
-                }
-            },
-        )
+fn random_config(rng: &mut Rng) -> WorkloadConfig {
+    WorkloadConfig {
+        seed: rng.next_u64(),
+        functions: rng.gen_range(1usize..8),
+        segments: rng.gen_range(1usize..5),
+        loads_per_block: rng.gen_range(0usize..4),
+        stores_per_block: rng.gen_range(0usize..3),
+        load_chain: rng.gen_range(0usize..4),
+        heap_fraction: rng.gen_range(0.0f64..1.0),
+        array_fraction: rng.gen_range(0.0f64..1.0),
+        indirect_call_fraction: rng.gen_range(0.0f64..0.6),
+        backward_call_fraction: rng.gen_range(0.0f64..0.4),
+        deref_chain: rng.gen_range(0.0f64..0.6),
+        ..WorkloadConfig::small()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    /// Every generated program is verifier-clean and round-trips through
-    /// the textual form.
-    #[test]
-    fn generated_programs_verify_and_roundtrip(cfg in config_strategy()) {
+/// Every generated program is verifier-clean and round-trips through
+/// the textual form.
+#[test]
+fn generated_programs_verify_and_roundtrip() {
+    vsfs_testkit::check_cases("pipeline::generated_programs_verify_and_roundtrip", CASES, |rng| {
+        let cfg = random_config(rng);
         let prog = generate(&cfg);
         vsfs_ir::verify::verify(&prog).expect("generator output verifies");
         let text = prog.to_string();
         let again = parse_program(&text).expect("printed program parses");
         vsfs_ir::verify::verify(&again).expect("reparsed program verifies");
-        prop_assert_eq!(prog.inst_count(), again.inst_count());
-        prop_assert_eq!(prog.objects.len(), again.objects.len());
-    }
+        assert_eq!(prog.inst_count(), again.inst_count());
+        assert_eq!(prog.objects.len(), again.objects.len());
+    });
+}
 
-    /// The paper's correctness theorem (Section IV-E): VSFS computes
-    /// exactly SFS's solution.
-    #[test]
-    fn sfs_and_vsfs_agree(cfg in config_strategy()) {
+/// The paper's correctness theorem (Section IV-E): VSFS computes
+/// exactly SFS's solution.
+#[test]
+fn sfs_and_vsfs_agree() {
+    vsfs_testkit::check_cases("pipeline::sfs_and_vsfs_agree", CASES, |rng| {
+        let cfg = random_config(rng);
         let prog = generate(&cfg);
         let aux = andersen::analyze(&prog);
         let mssa = MemorySsa::build(&prog, &aux);
@@ -69,27 +56,31 @@ proptest! {
         let sfs = vsfs_core::run_sfs(&prog, &aux, &mssa, &svfg);
         let vsfs = vsfs_core::run_vsfs(&prog, &aux, &mssa, &svfg);
         if let Some(diff) = precision_diff(&prog, &sfs, &vsfs) {
-            return Err(TestCaseError::fail(format!("seed {}: {diff}", cfg.seed)));
+            panic!("seed {}: {diff}", cfg.seed);
         }
-    }
+    });
+}
 
-    /// Flow-sensitive results refine Andersen's, and the flow-sensitive
-    /// call graph is a subgraph of Andersen's.
-    #[test]
-    fn flow_sensitive_refines_auxiliary(cfg in config_strategy()) {
+/// Flow-sensitive results refine Andersen's, and the flow-sensitive
+/// call graph is a subgraph of Andersen's.
+#[test]
+fn flow_sensitive_refines_auxiliary() {
+    vsfs_testkit::check_cases("pipeline::flow_sensitive_refines_auxiliary", CASES, |rng| {
+        let cfg = random_config(rng);
         let prog = generate(&cfg);
         let aux = andersen::analyze(&prog);
         let mssa = MemorySsa::build(&prog, &aux);
         let svfg = Svfg::build(&prog, &aux, &mssa);
         let fs = vsfs_core::run_vsfs(&prog, &aux, &mssa, &svfg);
         for v in prog.values.indices() {
-            prop_assert!(
+            assert!(
                 aux.value_pts(v).is_superset(&fs.pt[v]),
-                "pt(%{}) not refined", prog.values[v].name
+                "pt(%{}) not refined",
+                prog.values[v].name
             );
         }
         for &(call, callee) in &fs.callgraph_edges {
-            prop_assert!(aux.callgraph.callees(call).contains(&callee));
+            assert!(aux.callgraph.callees(call).contains(&callee));
         }
-    }
+    });
 }
