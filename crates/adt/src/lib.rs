@@ -19,6 +19,9 @@
 //! * [`par`] — std-only deterministic parallelism: a sharded
 //!   work-stealing worklist, cost-balanced partitioners, and a
 //!   scoped-thread task driver used by the parallel solver phases.
+//! * [`govern`] — resource budgets, cooperative cancellation, and typed
+//!   [`Outcome`]s so every long-running solver entry point is bounded
+//!   and degrades instead of dying.
 //!
 //! # Examples
 //!
@@ -35,6 +38,7 @@
 //! assert_eq!(a.iter().collect::<Vec<_>>(), vec![3, 7, 400]);
 //! ```
 
+pub mod govern;
 pub mod index;
 pub mod interner;
 pub mod meldpool;
@@ -44,6 +48,10 @@ pub mod sbv;
 pub mod stats;
 pub mod worklist;
 
+pub use govern::{
+    Budget, CancelToken, Completion, DegradeReason, FaultKind, FaultSpec, Governor, Outcome,
+    WorkerFault,
+};
 pub use index::IndexVec;
 pub use interner::SbvInterner;
 pub use meldpool::MeldPool;

@@ -21,10 +21,32 @@
 //! disjoint `&mut` chunk via `split_at_mut` — data-parallel writes with
 //! no unsafe code and no locks.
 
+//! # Panic isolation
+//!
+//! Every task body runs under `catch_unwind`: a panicking task is
+//! reported as a structured [`WorkerFault`] (task index + payload text)
+//! while the surviving workers drain the queue. Historically a worker
+//! panic unwound through `thread::scope` — and with *two* panicking
+//! workers the scope's implicit joins panicked during unwinding, taking
+//! the whole process down with an abort. The locks in
+//! [`ShardedWorklist`] are additionally poison-tolerant, so no fault can
+//! wedge the queue.
+
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+use crate::govern::{panic_message, Governor, ParInterrupt, WorkerFault};
+
+/// Locks a shard mutex, shrugging off poison: the queue holds plain
+/// task data whose invariants cannot be broken mid-`push`/`pop`, and
+/// task panics are caught before they can unwind through a held lock
+/// anyway.
+fn lock_shard<T>(m: &Mutex<VecDeque<T>>) -> MutexGuard<'_, VecDeque<T>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Thread-count configuration for the parallel phases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,7 +130,7 @@ impl<T> ShardedWorklist<T> {
     /// Pushes `item` onto shard `shard % shard_count`.
     pub fn push(&self, shard: usize, item: T) {
         self.remaining.fetch_add(1, Ordering::SeqCst);
-        self.shards[shard % self.shards.len()].lock().unwrap().push_back(item);
+        lock_shard(&self.shards[shard % self.shards.len()]).push_back(item);
     }
 
     /// Pops a task, preferring shard `home`, stealing from the others
@@ -121,7 +143,7 @@ impl<T> ShardedWorklist<T> {
             }
             for k in 0..n {
                 let s = (home + k) % n;
-                if let Some(item) = self.shards[s].lock().unwrap().pop_front() {
+                if let Some(item) = lock_shard(&self.shards[s]).pop_front() {
                     self.remaining.fetch_sub(1, Ordering::SeqCst);
                     if k != 0 {
                         self.steals.fetch_add(1, Ordering::Relaxed);
@@ -219,15 +241,74 @@ pub fn run_tasks_with<S, R: Send>(
     init: impl Fn() -> S + Sync,
     run: impl Fn(&mut S, usize) -> R + Sync,
 ) -> (Vec<R>, ParStats) {
+    match try_run_tasks_with(config, tasks, cost, None, init, run) {
+        Ok(out) => out,
+        Err(interrupt) => {
+            // Without a governor there is no cancellation source, so an
+            // interrupt always carries at least one fault. Surface it as
+            // one clean driver-thread panic — never an abort.
+            let f = interrupt.faults.first().expect("interrupt without faults or governor");
+            panic!("parallel {f}");
+        }
+    }
+}
+
+/// The governed task driver underlying [`run_tasks_with`].
+///
+/// Identical scheduling and output ordering, plus:
+///
+/// * every task body runs under `catch_unwind`; panics become
+///   [`WorkerFault`]s while the remaining tasks keep running;
+/// * when a [`Governor`] is supplied, workers poll
+///   [`Governor::is_cancelled`] between pops (stopping early once the
+///   governor trips) and the governor's panic fault, if any, is
+///   injected into the matching task index — in the sequential path
+///   too, so injection behaves identically for every job count.
+///
+/// Returns `Err` if any task panicked or the region was cancelled; the
+/// partial results are discarded (callers degrade instead).
+pub fn try_run_tasks_with<S, R: Send>(
+    config: ParConfig,
+    tasks: usize,
+    cost: impl Fn(usize) -> u64,
+    governor: Option<&Governor>,
+    init: impl Fn() -> S + Sync,
+    run: impl Fn(&mut S, usize) -> R + Sync,
+) -> Result<(Vec<R>, ParStats), ParInterrupt> {
     let start = Instant::now();
     let jobs = config.effective_jobs().max(1).min(tasks.max(1));
+    let exec = |state: &mut S, i: usize| -> Result<R, WorkerFault> {
+        catch_unwind(AssertUnwindSafe(|| {
+            if let Some(g) = governor {
+                g.maybe_inject_panic(i);
+            }
+            run(state, i)
+        }))
+        .map_err(|payload| WorkerFault { task: i, message: panic_message(&*payload) })
+    };
+
     if jobs <= 1 {
         let mut state = init();
-        let out = (0..tasks).map(|i| run(&mut state, i)).collect();
-        return (
+        let mut out = Vec::with_capacity(tasks);
+        let mut faults = Vec::new();
+        let mut cancelled = false;
+        for i in 0..tasks {
+            if governor.is_some_and(|g| g.is_cancelled()) {
+                cancelled = true;
+                break;
+            }
+            match exec(&mut state, i) {
+                Ok(r) => out.push(r),
+                Err(f) => faults.push(f),
+            }
+        }
+        if !faults.is_empty() || cancelled {
+            return Err(ParInterrupt { faults, cancelled });
+        }
+        return Ok((
             out,
             ParStats { tasks, steals: 0, workers: 1, wall: start.elapsed() },
-        );
+        ));
     }
 
     // Seed shards LPT-style: heaviest tasks first, each onto the
@@ -244,31 +325,67 @@ pub fn run_tasks_with<S, R: Send>(
 
     let mut slots: Vec<Option<R>> = Vec::with_capacity(tasks);
     slots.resize_with(tasks, || None);
-    let run = &run;
+    let exec = &exec;
     let init = &init;
     let wl = &wl;
-    let mut collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..jobs)
-            .map(|w| {
-                scope.spawn(move || {
-                    let mut state = init();
-                    let mut mine = Vec::new();
-                    while let Some(i) = wl.pop(w) {
-                        mine.push((i, run(&mut state, i)));
-                    }
-                    mine
+    let collected: Vec<(Vec<(usize, R)>, Vec<WorkerFault>, bool)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut state = init();
+                        let mut mine = Vec::new();
+                        let mut my_faults = Vec::new();
+                        let mut stopped = false;
+                        loop {
+                            if governor.is_some_and(|g| g.is_cancelled()) {
+                                stopped = true;
+                                break;
+                            }
+                            let Some(i) = wl.pop(w) else { break };
+                            match exec(&mut state, i) {
+                                Ok(r) => mine.push((i, r)),
+                                Err(f) => my_faults.push(f),
+                            }
+                        }
+                        (mine, my_faults, stopped)
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
-    });
-    for (i, r) in collected.drain(..).flatten() {
-        debug_assert!(slots[i].is_none());
-        slots[i] = Some(r);
+                .collect();
+            // Worker closures catch task panics themselves, so join can
+            // only fail on a harness-level bug; report it as a fault
+            // rather than unwinding through the scope.
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|payload| {
+                        let fault = WorkerFault {
+                            task: usize::MAX,
+                            message: panic_message(&*payload),
+                        };
+                        (Vec::new(), vec![fault], false)
+                    })
+                })
+                .collect()
+        });
+
+    let mut faults = Vec::new();
+    let mut cancelled = false;
+    for (mine, my_faults, stopped) in collected {
+        for (i, r) in mine {
+            debug_assert!(slots[i].is_none());
+            slots[i] = Some(r);
+        }
+        faults.extend(my_faults);
+        cancelled |= stopped;
+    }
+    if !faults.is_empty() || cancelled {
+        faults.sort_by_key(|f| f.task);
+        return Err(ParInterrupt { faults, cancelled });
     }
     let out: Vec<R> = slots.into_iter().map(|s| s.expect("task not executed")).collect();
     let stats = ParStats { tasks, steals: wl.steal_count(), workers: jobs, wall: start.elapsed() };
-    (out, stats)
+    Ok((out, stats))
 }
 
 #[cfg(test)]
@@ -346,5 +463,105 @@ mod tests {
         assert!(got.is_empty());
         let (got, _) = run_tasks(ParConfig::new(8), 1, |_| 1, |i| i + 10);
         assert_eq!(got, vec![10]);
+    }
+
+    /// Regression test for the pre-fix abort: two panicking workers used
+    /// to unwind through `thread::scope` simultaneously — the scope's
+    /// implicit joins then panicked *during unwinding*, aborting the
+    /// process. Now every task panic is caught, reported as a sorted
+    /// [`WorkerFault`] list, and the surviving workers drain the queue.
+    #[test]
+    fn multiple_worker_panics_report_faults_instead_of_aborting() {
+        crate::govern::silence_injected_panics();
+        for jobs in [1usize, 4] {
+            let result = try_run_tasks_with(
+                ParConfig::new(jobs),
+                64,
+                |_| 1,
+                None,
+                || (),
+                |(), i| {
+                    if i == 3 || i == 40 {
+                        std::panic::panic_any(crate::govern::InjectedPanic { task: i });
+                    }
+                    i * 2
+                },
+            );
+            let interrupt = result.expect_err("panicking tasks must interrupt");
+            assert!(!interrupt.cancelled);
+            assert_eq!(
+                interrupt.faults.iter().map(|f| f.task).collect::<Vec<_>>(),
+                vec![3, 40],
+                "jobs = {jobs}"
+            );
+            for f in &interrupt.faults {
+                assert!(f.message.contains("injected panic"), "message: {}", f.message);
+            }
+        }
+        // The shared machinery stays healthy after faults: a fresh run
+        // on the same thread completes normally (no poisoned state).
+        let (got, _) = run_tasks(ParConfig::new(4), 16, |_| 1, |i| i + 1);
+        assert_eq!(got, (1..=16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn real_panic_payloads_are_reported_with_their_message() {
+        crate::govern::silence_injected_panics();
+        // A plain panic! payload (not an InjectedPanic) flows through
+        // catch_unwind into the fault message. The hook above only
+        // silences injected payloads, so this one line of stderr noise
+        // is expected and harmless.
+        let result = try_run_tasks_with(
+            ParConfig::new(2),
+            8,
+            |_| 1,
+            None,
+            || (),
+            |(), i| {
+                assert!(i != 5, "task five exploded");
+                i
+            },
+        );
+        let interrupt = result.expect_err("panicking task must interrupt");
+        assert_eq!(interrupt.faults.len(), 1);
+        assert_eq!(interrupt.faults[0].task, 5);
+        assert!(interrupt.faults[0].message.contains("task five exploded"));
+    }
+
+    #[test]
+    fn governed_run_injects_panic_identically_for_any_job_count() {
+        use crate::govern::{Budget, FaultKind, FaultSpec, Governor};
+        for jobs in [1usize, 2, 8] {
+            let g = Governor::new(Budget::unlimited())
+                .with_fault(Some(FaultSpec { kind: FaultKind::PanicAtTask, at: 11 }));
+            let result =
+                try_run_tasks_with(ParConfig::new(jobs), 32, |_| 1, Some(&g), || (), |(), i| i);
+            let interrupt = result.expect_err("injected panic must interrupt");
+            assert_eq!(interrupt.faults.len(), 1, "jobs = {jobs}");
+            assert_eq!(interrupt.faults[0].task, 11);
+            g.note_interrupt(&interrupt);
+            assert!(!g.completion().is_complete());
+        }
+    }
+
+    #[test]
+    fn governed_run_stops_when_cancelled() {
+        use crate::govern::{Budget, Governor};
+        let g = Governor::new(Budget::unlimited());
+        g.cancel_token().cancel();
+        let result = try_run_tasks_with(ParConfig::new(4), 1000, |_| 1, Some(&g), || (), |(), i| i);
+        let interrupt = result.expect_err("cancelled run must interrupt");
+        assert!(interrupt.cancelled);
+        assert!(interrupt.faults.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "task five exploded")]
+    fn ungoverned_wrapper_turns_faults_into_one_clean_panic() {
+        crate::govern::silence_injected_panics();
+        let _ = run_tasks(ParConfig::new(4), 16, |_| 1, |i| {
+            assert!(i != 5, "task five exploded");
+            i
+        });
     }
 }

@@ -46,4 +46,6 @@ pub mod solver;
 pub use callgraph::CallGraph;
 pub use pag::{Pag, PagNodeId};
 pub use singletons::compute_singletons;
-pub use solver::{analyze, analyze_with_config, AndersenConfig, AndersenResult, AndersenStats};
+pub use solver::{
+    analyze, analyze_governed, analyze_with_config, AndersenConfig, AndersenResult, AndersenStats,
+};

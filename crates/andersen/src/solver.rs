@@ -25,6 +25,8 @@
 use crate::callgraph::CallGraph;
 use crate::pag::{CallSiteId, Constraint, Pag, PagNodeId};
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use vsfs_adt::govern::{panic_message, DegradeReason, Governor, Outcome, WorkerFault};
 use vsfs_adt::par::{self, ParConfig};
 use vsfs_adt::{FifoWorklist, PointsToSet};
 use vsfs_graph::{DiGraph, Sccs};
@@ -128,6 +130,32 @@ pub fn analyze_with_config(prog: &Program, config: AndersenConfig) -> AndersenRe
     Solver::new(prog, config).run()
 }
 
+/// Runs Andersen's analysis under a [`Governor`]: the solver checkpoints
+/// at every sequential pop (or wave boundary in the parallel schedule)
+/// and stops once the governor trips, and parallel worker panics are
+/// caught and reported through the governor instead of aborting.
+///
+/// **A degraded Andersen result is a partial fixpoint — an
+/// under-approximation — and therefore unsound to analyse with or to
+/// fall back to.** Callers must treat `Degraded` as an error; only the
+/// flow-sensitive stages have a sound fallback (Andersen itself).
+///
+/// Step accounting caveat: the sequential and wave schedules pop in
+/// different granularities, so step budgets are *not* schedule-portable
+/// here. Deterministic budget tests target the flow-sensitive stage;
+/// this entry point exists to bound wall-clock/memory and to propagate
+/// cancellation.
+pub fn analyze_governed(
+    prog: &Program,
+    config: AndersenConfig,
+    governor: &Governor,
+) -> Outcome<AndersenResult> {
+    let mut solver = Solver::new(prog, config);
+    solver.gov = Some(governor);
+    let result = solver.run();
+    Outcome { result, completion: governor.completion() }
+}
+
 /// What one wave-scan of a dirty node produced: the node's unprocessed
 /// delta and the structural actions it implies. Raw `u32` node ids keep
 /// the payload `Send` and compact; representatives are re-resolved at
@@ -147,6 +175,7 @@ struct Solver<'p> {
     prog: &'p Program,
     pag: Pag,
     config: AndersenConfig,
+    gov: Option<&'p Governor>,
     uf: Vec<u32>,
     pts: Vec<PointsToSet<ObjId>>,
     prop: Vec<PointsToSet<ObjId>>,
@@ -171,6 +200,7 @@ impl<'p> Solver<'p> {
         Solver {
             prog,
             config,
+            gov: None,
             uf: (0..n as u32).collect(),
             pts: vec![PointsToSet::new(); n],
             prop: vec![PointsToSet::new(); n],
@@ -212,6 +242,9 @@ impl<'p> Solver<'p> {
         while let Some(n) = self.worklist.pop() {
             if self.find(n) != n {
                 continue; // merged away
+            }
+            if self.gov.is_some_and(|g| g.check(1).is_err()) {
+                break;
             }
             self.stats.pops += 1;
             pops_since_scc += 1;
@@ -268,18 +301,37 @@ impl<'p> Solver<'p> {
             if dirty.is_empty() {
                 break;
             }
+            if self.gov.is_some_and(|g| g.check(dirty.len() as u64).is_err()) {
+                break;
+            }
             self.stats.waves += 1;
 
             // Phase A (parallel, read-only): per-node deltas plus the
-            // structural actions they imply.
+            // structural actions they imply. Under a governor the region
+            // is cancellable and worker panics degrade instead of
+            // unwinding.
             let this = &self;
             let dirty_ref = &dirty;
-            let (outcomes, _) = par::run_tasks(
+            let outcomes = match par::try_run_tasks_with(
                 par,
                 dirty.len(),
                 |k| (this.pts[dirty_ref[k]].len() + this.copy_succs[dirty_ref[k]].len() + 1) as u64,
-                |k| this.wave_scan(dirty_ref[k]),
-            );
+                this.gov,
+                || (),
+                |(), k| this.wave_scan(dirty_ref[k]),
+            ) {
+                Ok((outcomes, _)) => outcomes,
+                Err(interrupt) => match self.gov {
+                    Some(g) => {
+                        g.note_interrupt(&interrupt);
+                        break;
+                    }
+                    None => {
+                        let f = interrupt.faults.first().expect("ungoverned interrupt has fault");
+                        panic!("parallel {f}");
+                    }
+                },
+            };
 
             // Phase B (sequential): commit deltas to `prop`, then apply
             // structural mutations in ascending node order.
@@ -393,7 +445,7 @@ impl<'p> Solver<'p> {
         let costs: Vec<u64> = groups.iter().map(|&(_, s, e)| (e - s) as u64).collect();
         let ranges = par::split_by_cost(&costs, par.effective_jobs());
 
-        let grown: Vec<Vec<usize>> = std::thread::scope(|scope| {
+        let grown: Vec<Result<Vec<usize>, WorkerFault>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(ranges.len());
             let mut rest: &mut [PointsToSet<ObjId>] = &mut self.pts;
             let mut consumed = 0usize;
@@ -409,25 +461,51 @@ impl<'p> Solver<'p> {
                 consumed = last_t + 1;
                 let chunk_groups = &groups[r.clone()];
                 handles.push(scope.spawn(move || {
-                    let mut grew = Vec::new();
-                    for &(t, s, e) in chunk_groups {
-                        let cell = &mut chunk[t - first_t];
-                        let mut changed = false;
-                        for &(_, k) in &msgs[s..e] {
-                            changed |= cell.union_with(&outcomes[k as usize].delta);
+                    // Union application cannot realistically panic, but
+                    // if it ever does the fault must not unwind through
+                    // `thread::scope` (two unwinding workers abort the
+                    // process). Catch and report instead.
+                    catch_unwind(AssertUnwindSafe(move || {
+                        let mut grew = Vec::new();
+                        for &(t, s, e) in chunk_groups {
+                            let cell = &mut chunk[t - first_t];
+                            let mut changed = false;
+                            for &(_, k) in &msgs[s..e] {
+                                changed |= cell.union_with(&outcomes[k as usize].delta);
+                            }
+                            if changed {
+                                grew.push(t);
+                            }
                         }
-                        if changed {
-                            grew.push(t);
-                        }
-                    }
-                    grew
+                        grew
+                    }))
+                    .map_err(|payload| WorkerFault {
+                        task: first_t,
+                        message: panic_message(&*payload),
+                    })
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("union worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|payload| {
+                        Err(WorkerFault { task: usize::MAX, message: panic_message(&*payload) })
+                    })
+                })
+                .collect::<Vec<Result<Vec<usize>, WorkerFault>>>()
         });
-        for targets in grown {
-            for t in targets {
-                self.worklist.push(t);
+        for outcome in grown {
+            match outcome {
+                Ok(targets) => {
+                    for t in targets {
+                        self.worklist.push(t);
+                    }
+                }
+                Err(fault) => match self.gov {
+                    // The wave-loop checkpoint sees the trip and breaks.
+                    Some(g) => g.trip(DegradeReason::WorkerPanic(fault)),
+                    None => panic!("parallel {fault}"),
+                },
             }
         }
     }

@@ -19,6 +19,13 @@
 //!                      (default 1 = sequential; 0 = all cores; results
 //!                      are identical for every N)
 //!
+//! Budgets (any of these switches the run into governed mode):
+//!   --time-budget SECS wall-clock deadline shared by every stage
+//!   --step-budget N    max solver steps for the flow-sensitive stage
+//!   --mem-budget MIB   peak live-heap cap, polled at checkpoints
+//!   --inject-fault K:S inject a seeded fault (K = panic|deadline|mem-cap,
+//!                      S = decimal seed) into the flow-sensitive stage
+//!
 //! Output:
 //!   --print-pts        print the points-to set of every named value
 //!   --print-callgraph  print resolved (call site -> callee) edges
@@ -27,11 +34,26 @@
 //!   --stats            print phase timings and solver statistics
 //!   --list             list corpus programs and suite benchmarks
 //! ```
+//!
+//! # Exit codes and degradation
+//!
+//! * `0` — analysis ran to completion.
+//! * `2` — a budget tripped (or an injected fault fired) during the
+//!   flow-sensitive stage. The run still succeeds *soundly*: points-to
+//!   output falls back to the auxiliary Andersen result, which
+//!   over-approximates any flow-sensitive result, and a one-line JSON
+//!   record on stdout names the degraded stage and reason.
+//! * `1` — hard error: bad arguments, unparsable input, or a budget
+//!   exhausted during the auxiliary (Andersen) stage, whose partial
+//!   result would be *unsound* to report.
 
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
+use vsfs_adt::govern::{Budget, CancelToken, Completion, Governor};
 use vsfs_adt::mem::CountingAlloc;
-use vsfs_core::FlowSensitiveResult;
+use vsfs_core::{FlowSensitiveResult, GovernedAnalysis};
 use vsfs_ir::Program;
+use vsfs_testkit::FaultPlan;
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc::new();
@@ -53,6 +75,19 @@ struct Options {
     dot_svfg: Option<String>,
     stats: bool,
     jobs: usize,
+    time_budget: Option<f64>,
+    step_budget: Option<u64>,
+    mem_budget_mib: Option<usize>,
+    inject_fault: Option<FaultPlan>,
+}
+
+impl Options {
+    fn governed(&self) -> bool {
+        self.time_budget.is_some()
+            || self.step_budget.is_some()
+            || self.mem_budget_mib.is_some()
+            || self.inject_fault.is_some()
+    }
 }
 
 #[derive(Debug)]
@@ -64,11 +99,27 @@ enum Input {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vsfs [--ander|--fspta|--vfspta] [--jobs N] [--print-pts] \
-         [--print-callgraph] [--precision-report] [--dot-svfg FILE] [--stats] \
-         (<file.vir> | --corpus NAME | --workload NAME | --list)"
+        "usage: vsfs [--ander|--fspta|--vfspta] [--jobs N] [--time-budget SECS] \
+         [--step-budget N] [--mem-budget MIB] [--inject-fault KIND:SEED] \
+         [--print-pts] [--print-callgraph] [--precision-report] [--dot-svfg FILE] \
+         [--stats] (<file.vir> | --corpus NAME | --workload NAME | --list)"
     );
-    std::process::exit(2);
+    std::process::exit(1);
+}
+
+/// Parses the value of `--flag`, exiting with a typed error (code 1) on a
+/// missing or malformed value.
+fn flag_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    match value {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: invalid value `{v}` for {flag}");
+            std::process::exit(1);
+        }),
+        None => {
+            eprintln!("error: {flag} needs a value");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn parse_args() -> Options {
@@ -80,14 +131,33 @@ fn parse_args() -> Options {
     let mut dot_svfg = None;
     let mut stats = false;
     let mut jobs = 1usize;
+    let mut time_budget = None;
+    let mut step_budget = None;
+    let mut mem_budget_mib = None;
+    let mut inject_fault = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--jobs" => {
-                jobs = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
+            "--jobs" => jobs = flag_value("--jobs", args.next()),
+            "--time-budget" => {
+                let secs: f64 = flag_value("--time-budget", args.next());
+                if !secs.is_finite() || secs < 0.0 {
+                    eprintln!("error: invalid value `{secs}` for --time-budget");
+                    std::process::exit(1);
+                }
+                time_budget = Some(secs);
+            }
+            "--step-budget" => step_budget = Some(flag_value("--step-budget", args.next())),
+            "--mem-budget" => mem_budget_mib = Some(flag_value("--mem-budget", args.next())),
+            "--inject-fault" => {
+                let desc: String = flag_value("--inject-fault", args.next());
+                match FaultPlan::parse(&desc) {
+                    Ok(plan) => inject_fault = Some(plan),
+                    Err(e) => {
+                        eprintln!("error: invalid --inject-fault: {e}");
+                        std::process::exit(1);
+                    }
+                }
             }
             "--ander" => analysis = Analysis::Andersen,
             "--fspta" => analysis = Analysis::Sfs,
@@ -124,30 +194,38 @@ fn parse_args() -> Options {
         dot_svfg,
         stats,
         jobs,
+        time_budget,
+        step_budget,
+        mem_budget_mib,
+        inject_fault,
     }
 }
 
-fn load_program(input: &Input) -> Result<Program, String> {
+fn load_program(input: &Input) -> Result<Program, Vec<String>> {
+    let parse_all = |src: &str| {
+        vsfs_ir::parse_program_all(src)
+            .map_err(|diags| diags.into_iter().map(|d| d.to_string()).collect::<Vec<_>>())
+    };
     let prog = match input {
         Input::File(path) => {
             let src = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
-            vsfs_ir::parse_program(&src).map_err(|e| e.to_string())?
+                .map_err(|e| vec![format!("cannot read {path}: {e}")])?;
+            parse_all(&src)?
         }
         Input::Corpus(name) => {
             let p = vsfs_workloads::corpus::corpus()
                 .into_iter()
                 .find(|p| p.name == *name)
-                .ok_or_else(|| format!("unknown corpus program `{name}` (try --list)"))?;
-            vsfs_ir::parse_program(p.source).map_err(|e| e.to_string())?
+                .ok_or_else(|| vec![format!("unknown corpus program `{name}` (try --list)")])?;
+            parse_all(p.source)?
         }
         Input::Workload(name) => {
             let b = vsfs_workloads::suite::benchmark(name)
-                .ok_or_else(|| format!("unknown workload `{name}` (try --list)"))?;
+                .ok_or_else(|| vec![format!("unknown workload `{name}` (try --list)")])?;
             vsfs_workloads::generate(&b.config)
         }
     };
-    vsfs_ir::verify::verify(&prog).map_err(|e| e.to_string())?;
+    vsfs_ir::verify::verify(&prog).map_err(|e| vec![e.to_string()])?;
     Ok(prog)
 }
 
@@ -173,25 +251,34 @@ fn main() -> ExitCode {
     let opts = parse_args();
     let prog = match load_program(&opts.input) {
         Ok(p) => p,
-        Err(e) => {
-            eprintln!("error: {e}");
+        Err(diags) => {
+            for d in diags {
+                eprintln!("error: {d}");
+            }
             return ExitCode::from(1);
         }
     };
+    if opts.governed() {
+        run_governed(&opts, &prog)
+    } else {
+        run_plain(&opts, &prog)
+    }
+}
 
-    let t0 = std::time::Instant::now();
+fn run_plain(opts: &Options, prog: &Program) -> ExitCode {
+    let t0 = Instant::now();
     let aux = vsfs_andersen::analyze_with_config(
-        &prog,
+        prog,
         vsfs_andersen::AndersenConfig::with_jobs(opts.jobs),
     );
     let aux_time = t0.elapsed();
 
     if opts.analysis == Analysis::Andersen {
         if opts.print_pts {
-            print_value_pts(&prog, |v| obj_names(&prog, aux.value_pts(v)));
+            print_value_pts(prog, |v| obj_names(prog, aux.value_pts(v)));
         }
         if opts.print_callgraph {
-            print_callgraph_edges(&prog, &aux.callgraph.edges().collect::<Vec<_>>());
+            print_callgraph_edges(prog, &aux.callgraph.edges().collect::<Vec<_>>());
         }
         if opts.stats {
             println!("andersen: {:.3}s, {:?}", aux_time.as_secs_f64(), aux.stats);
@@ -200,40 +287,22 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let t1 = std::time::Instant::now();
-    let mssa = vsfs_mssa::MemorySsa::build(&prog, &aux);
-    let svfg = vsfs_svfg::Svfg::build(&prog, &aux, &mssa);
+    let t1 = Instant::now();
+    let mssa = vsfs_mssa::MemorySsa::build(prog, &aux);
+    let svfg = vsfs_svfg::Svfg::build(prog, &aux, &mssa);
     let build_time = t1.elapsed();
 
-    if let Some(path) = &opts.dot_svfg {
-        if let Err(e) = std::fs::write(path, svfg.to_dot(&prog)) {
-            eprintln!("error: cannot write {path}: {e}");
-            return ExitCode::from(1);
-        }
-        eprintln!("wrote {path}");
+    if let Some(code) = write_dot(opts, prog, &svfg) {
+        return code;
     }
 
     let result: FlowSensitiveResult = match opts.analysis {
-        Analysis::Sfs => vsfs_core::run_sfs(&prog, &aux, &mssa, &svfg),
-        Analysis::Vsfs => vsfs_core::run_vsfs_jobs(&prog, &aux, &mssa, &svfg, opts.jobs),
+        Analysis::Sfs => vsfs_core::run_sfs(prog, &aux, &mssa, &svfg),
+        Analysis::Vsfs => vsfs_core::run_vsfs_jobs(prog, &aux, &mssa, &svfg, opts.jobs),
         Analysis::Andersen => unreachable!("handled above"),
     };
 
-    if opts.print_pts {
-        print_value_pts(&prog, |v| obj_names(&prog, result.value_pts(v)));
-    }
-    if opts.print_callgraph {
-        print_callgraph_edges(&prog, &result.callgraph_edges);
-    }
-    if opts.precision_report {
-        let r = vsfs_core::compare_precision(&prog, &aux, &result);
-        println!("precision vs Andersen:");
-        println!("  values considered:          {}", r.values);
-        println!("  values refined:             {}", r.refined_values);
-        println!("  avg points-to size:         {:.2} -> {:.2}", r.aux_avg(), r.fs_avg());
-        println!("  call edges:                 {} -> {}", r.aux_call_edges, r.fs_call_edges);
-        println!("  proven-uninitialised loads: {}", r.proven_uninitialised_loads);
-    }
+    report_result(opts, prog, &aux, &result);
     if opts.stats {
         let s = &result.stats;
         println!("jobs:              {}", opts.jobs);
@@ -254,6 +323,129 @@ fn main() -> ExitCode {
         println!("peak heap: {:.2} MiB", vsfs_adt::mem::peak_bytes() as f64 / (1 << 20) as f64);
     }
     ExitCode::SUCCESS
+}
+
+/// Runs under resource governance: budgets, cooperative cancellation and
+/// (optionally) fault injection. Prints a one-line JSON completion record
+/// and maps the outcome onto the exit-code protocol (0 complete /
+/// 2 degraded-with-fallback / 1 error).
+fn run_governed(opts: &Options, prog: &Program) -> ExitCode {
+    let cancel = match opts.time_budget {
+        Some(secs) => CancelToken::with_deadline(Instant::now() + Duration::from_secs_f64(secs)),
+        None => CancelToken::new(),
+    };
+    let mem_bytes = opts.mem_budget_mib.map(|mib| mib << 20);
+
+    // Auxiliary stage: only the deadline and the memory cap apply — step
+    // budgets are not schedule-portable across Andersen's wave/sequential
+    // modes, and a partially solved Andersen is an under-approximation
+    // (unsound), so there is no fallback if this stage degrades.
+    let mut aux_budget = Budget::unlimited();
+    if let Some(bytes) = mem_bytes {
+        aux_budget = aux_budget.with_mem_bytes(bytes);
+    }
+    let aux_gov = Governor::with_cancel(aux_budget, cancel.clone());
+    let aux_out = vsfs_andersen::analyze_governed(
+        prog,
+        vsfs_andersen::AndersenConfig::with_jobs(opts.jobs),
+        &aux_gov,
+    );
+    if let Completion::Degraded(reason) = &aux_out.completion {
+        eprintln!(
+            "error: auxiliary (Andersen) stage degraded ({reason}); \
+             a partial flow-insensitive result is unsound — no fallback available"
+        );
+        return ExitCode::from(1);
+    }
+    let aux = aux_out.result;
+
+    if opts.analysis == Analysis::Andersen {
+        if opts.print_pts {
+            print_value_pts(prog, |v| obj_names(prog, aux.value_pts(v)));
+        }
+        if opts.print_callgraph {
+            print_callgraph_edges(prog, &aux.callgraph.edges().collect::<Vec<_>>());
+        }
+        println!("{{\"completion\":\"complete\",\"mode\":\"flow-insensitive\"}}");
+        return ExitCode::SUCCESS;
+    }
+
+    let mssa = vsfs_mssa::MemorySsa::build(prog, &aux);
+    let svfg = vsfs_svfg::Svfg::build(prog, &aux, &mssa);
+    if let Some(code) = write_dot(opts, prog, &svfg) {
+        return code;
+    }
+
+    // Flow-sensitive stage: full budget plus any injected fault. If it
+    // degrades, the Andersen result (a sound over-approximation of any
+    // flow-sensitive result) is reported instead.
+    let mut fs_budget = Budget::unlimited();
+    if let Some(steps) = opts.step_budget {
+        fs_budget = fs_budget.with_steps(steps);
+    }
+    if let Some(bytes) = mem_bytes {
+        fs_budget = fs_budget.with_mem_bytes(bytes);
+    }
+    let fs_gov = Governor::with_cancel(fs_budget, cancel.clone())
+        .with_fault(opts.inject_fault.as_ref().and_then(FaultPlan::spec));
+
+    let ga: GovernedAnalysis = match opts.analysis {
+        Analysis::Sfs => vsfs_core::run_sfs_governed(prog, &aux, &mssa, &svfg, &fs_gov),
+        Analysis::Vsfs => {
+            vsfs_core::run_vsfs_governed(prog, &aux, &mssa, &svfg, opts.jobs, &fs_gov)
+        }
+        Analysis::Andersen => unreachable!("handled above"),
+    };
+
+    report_result(opts, prog, &aux, &ga.result);
+    match &ga.completion {
+        Completion::Complete => {
+            println!("{{\"completion\":\"complete\",\"mode\":\"{}\"}}", ga.mode);
+            ExitCode::SUCCESS
+        }
+        Completion::Degraded(reason) => {
+            println!(
+                "{{\"completion\":\"degraded\",\"mode\":\"{}\",\"stage\":\"{}\",\"reason\":\"{}\"}}",
+                ga.mode,
+                ga.degraded_stage.unwrap_or("unknown"),
+                reason.code()
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn write_dot(opts: &Options, prog: &Program, svfg: &vsfs_svfg::Svfg) -> Option<ExitCode> {
+    let path = opts.dot_svfg.as_ref()?;
+    if let Err(e) = std::fs::write(path, svfg.to_dot(prog)) {
+        eprintln!("error: cannot write {path}: {e}");
+        return Some(ExitCode::from(1));
+    }
+    eprintln!("wrote {path}");
+    None
+}
+
+fn report_result(
+    opts: &Options,
+    prog: &Program,
+    aux: &vsfs_andersen::AndersenResult,
+    result: &FlowSensitiveResult,
+) {
+    if opts.print_pts {
+        print_value_pts(prog, |v| obj_names(prog, result.value_pts(v)));
+    }
+    if opts.print_callgraph {
+        print_callgraph_edges(prog, &result.callgraph_edges);
+    }
+    if opts.precision_report {
+        let r = vsfs_core::compare_precision(prog, aux, result);
+        println!("precision vs Andersen:");
+        println!("  values considered:          {}", r.values);
+        println!("  values refined:             {}", r.refined_values);
+        println!("  avg points-to size:         {:.2} -> {:.2}", r.aux_avg(), r.fs_avg());
+        println!("  call edges:                 {} -> {}", r.aux_call_edges, r.fs_call_edges);
+        println!("  proven-uninitialised loads: {}", r.proven_uninitialised_loads);
+    }
 }
 
 fn print_callgraph_edges(prog: &Program, edges: &[(vsfs_ir::InstId, vsfs_ir::FuncId)]) {

@@ -58,7 +58,7 @@ pub mod vsfs;
 
 pub use dense::run_dense;
 pub use precision::{compare_precision, PrecisionReport};
-pub use result::{same_precision, FlowSensitiveResult, SolveStats};
-pub use sfs::run_sfs;
+pub use result::{same_precision, FlowSensitiveResult, GovernedAnalysis, SolveStats};
+pub use sfs::{run_sfs, run_sfs_governed};
 pub use versioning::{VersionTables, VersioningStats};
-pub use vsfs::{run_vsfs, run_vsfs_jobs, run_vsfs_with_tables};
+pub use vsfs::{run_vsfs, run_vsfs_governed, run_vsfs_jobs, run_vsfs_with_tables};

@@ -1,6 +1,8 @@
 //! Results and statistics shared by both flow-sensitive solvers.
 
+use vsfs_adt::govern::{Completion, DegradeReason};
 use vsfs_adt::{IndexVec, PointsToSet};
+use vsfs_andersen::AndersenResult;
 use vsfs_ir::{FuncId, InstId, ObjId, Program, ValueId};
 
 /// The output of a flow-sensitive analysis run.
@@ -18,6 +20,77 @@ impl FlowSensitiveResult {
     /// The points-to set of `v`.
     pub fn value_pts(&self, v: ValueId) -> &PointsToSet<ObjId> {
         &self.pt[v]
+    }
+
+    /// Repackages the auxiliary Andersen analysis as a
+    /// `FlowSensitiveResult` — the *sound fallback* when the
+    /// flow-sensitive stage is cut short by a budget or a worker fault.
+    ///
+    /// Andersen is flow-insensitive, so it over-approximates every
+    /// flow-sensitive answer: for each value, `pt` here is a superset of
+    /// what a completed VSFS/SFS run would report, and the call graph
+    /// contains every flow-sensitively resolvable edge. Stats are zeroed
+    /// (no flow-sensitive solve happened).
+    pub fn from_andersen(prog: &Program, aux: &AndersenResult) -> FlowSensitiveResult {
+        let pt: IndexVec<ValueId, PointsToSet<ObjId>> =
+            prog.values.indices().map(|v| aux.value_pts(v).clone()).collect();
+        let mut callgraph_edges: Vec<(InstId, FuncId)> = aux.callgraph.edges().collect();
+        callgraph_edges.sort_unstable();
+        FlowSensitiveResult { pt, callgraph_edges, stats: SolveStats::default() }
+    }
+}
+
+/// The outcome of a resource-governed analysis run: the points-to result
+/// actually delivered, plus how it was obtained.
+///
+/// When `completion` is `Degraded`, `result` holds the Andersen
+/// fallback ([`FlowSensitiveResult::from_andersen`]) and `mode` is
+/// `"flow-insensitive-fallback"`; the result is still *sound* (a
+/// superset of the complete flow-sensitive answer), just less precise.
+#[derive(Debug, Clone)]
+pub struct GovernedAnalysis {
+    /// The delivered points-to result (flow-sensitive, or the Andersen
+    /// fallback on degradation).
+    pub result: FlowSensitiveResult,
+    /// `Complete`, or `Degraded(reason)` describing the trip.
+    pub completion: Completion,
+    /// `"flow-sensitive"` or `"flow-insensitive-fallback"`.
+    pub mode: &'static str,
+    /// The stage that tripped, when degraded: `"versioning"` or
+    /// `"solve"`.
+    pub degraded_stage: Option<&'static str>,
+}
+
+impl GovernedAnalysis {
+    /// A completed flow-sensitive run.
+    pub fn complete(result: FlowSensitiveResult) -> GovernedAnalysis {
+        GovernedAnalysis {
+            result,
+            completion: Completion::Complete,
+            mode: "flow-sensitive",
+            degraded_stage: None,
+        }
+    }
+
+    /// A degraded run: deliver the sound Andersen fallback, tagged with
+    /// the stage that tripped and why.
+    pub fn fallback(
+        prog: &Program,
+        aux: &AndersenResult,
+        stage: &'static str,
+        reason: DegradeReason,
+    ) -> GovernedAnalysis {
+        GovernedAnalysis {
+            result: FlowSensitiveResult::from_andersen(prog, aux),
+            completion: Completion::Degraded(reason),
+            mode: "flow-insensitive-fallback",
+            degraded_stage: Some(stage),
+        }
+    }
+
+    /// Returns `true` if the flow-sensitive analysis ran to completion.
+    pub fn is_complete(&self) -> bool {
+        self.completion.is_complete()
     }
 }
 

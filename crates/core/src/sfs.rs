@@ -11,10 +11,11 @@
 //! the node would propagate for that object may have changed; popping a
 //! node propagates only its dirty objects.
 
-use crate::result::{FlowSensitiveResult, SolveStats};
+use crate::result::{FlowSensitiveResult, GovernedAnalysis, SolveStats};
 use crate::toplevel::TopLevel;
 use std::collections::HashMap;
 use std::time::Instant;
+use vsfs_adt::govern::{Completion, Governor};
 use vsfs_adt::{FifoWorklist, IndexVec, PointsToSet};
 use vsfs_andersen::AndersenResult;
 use vsfs_ir::{FuncId, InstId, InstKind, ObjId, Program};
@@ -28,9 +29,37 @@ pub fn run_sfs(
     mssa: &MemorySsa,
     svfg: &Svfg,
 ) -> FlowSensitiveResult {
+    solve_inner(prog, aux, mssa, svfg, None).0
+}
+
+/// Runs the SFS baseline under a [`Governor`]: one cooperative
+/// checkpoint per worklist pop. On a trip the returned
+/// [`GovernedAnalysis`] carries the sound Andersen fallback instead of a
+/// partial flow-sensitive result.
+pub fn run_sfs_governed(
+    prog: &Program,
+    aux: &AndersenResult,
+    mssa: &MemorySsa,
+    svfg: &Svfg,
+    governor: &Governor,
+) -> GovernedAnalysis {
+    let (result, completion) = solve_inner(prog, aux, mssa, svfg, Some(governor));
+    match completion {
+        Completion::Complete => GovernedAnalysis::complete(result),
+        Completion::Degraded(reason) => GovernedAnalysis::fallback(prog, aux, "solve", reason),
+    }
+}
+
+fn solve_inner(
+    prog: &Program,
+    aux: &AndersenResult,
+    mssa: &MemorySsa,
+    svfg: &Svfg,
+    governor: Option<&Governor>,
+) -> (FlowSensitiveResult, Completion) {
     let start = Instant::now();
     let mut solver = SfsSolver::new(prog, aux, mssa, svfg);
-    solver.solve();
+    let completion = solver.solve_governed(governor);
     let mut stats = solver.stats;
     stats.solve_seconds = start.elapsed().as_secs_f64();
     let (sets, elems, bytes) = solver.storage_stats();
@@ -38,7 +67,7 @@ pub fn run_sfs(
     stats.stored_object_elems = elems;
     stats.stored_object_bytes = bytes;
     let callgraph_edges = solver.top.callgraph_edges();
-    FlowSensitiveResult { pt: solver.top.pt, callgraph_edges, stats }
+    (FlowSensitiveResult { pt: solver.top.pt, callgraph_edges, stats }, completion)
 }
 
 type ObjMap = HashMap<ObjId, PointsToSet<ObjId>>;
@@ -82,11 +111,19 @@ impl<'a> SfsSolver<'a> {
         }
     }
 
-    fn solve(&mut self) {
+    /// The fixpoint loop, with one cooperative governor checkpoint per
+    /// (sequential) worklist pop; ungoverned it is the plain fixpoint.
+    fn solve_governed(&mut self, governor: Option<&Governor>) -> Completion {
         while let Some(node) = self.worklist.pop() {
+            if let Some(g) = governor {
+                if let Err(reason) = g.check(1) {
+                    return Completion::Degraded(reason);
+                }
+            }
             self.stats.node_pops += 1;
             self.process(node);
         }
+        Completion::Complete
     }
 
     fn process(&mut self, node: SvfgNodeId) {

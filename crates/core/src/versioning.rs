@@ -30,6 +30,7 @@
 
 use std::collections::HashMap;
 use std::time::Instant;
+use vsfs_adt::govern::{Completion, Governor, Outcome};
 use vsfs_adt::par::{self, ParConfig};
 use vsfs_adt::{SbvInterner, SparseBitVector};
 use vsfs_ir::{InstKind, ObjId, Program};
@@ -104,10 +105,35 @@ impl VersionTables {
         jobs: usize,
     ) -> VersionTables {
         let start = Instant::now();
-        let mut tables = build_inner(prog, mssa, svfg, ParConfig::new(jobs));
+        let (mut tables, _) = build_inner(prog, mssa, svfg, ParConfig::new(jobs), None);
         tables.stats.versions = tables.slot_count as usize;
         tables.stats.seconds = start.elapsed().as_secs_f64();
         tables
+    }
+
+    /// Like [`VersionTables::build_with_jobs`], but under a [`Governor`]:
+    /// worker panics are isolated, the parallel meld phase stops at
+    /// cancellation, and the sequential reduce checks the budget once per
+    /// object.
+    ///
+    /// On a trip the outcome is `Degraded` and the tables are replaced by
+    /// structurally valid *empty* tables (no slots, no reliance edges) —
+    /// partial version numbering is useless for solving, so callers must
+    /// treat a degraded outcome as "no flow-sensitive result" and fall
+    /// back (see `run_vsfs_governed`).
+    pub fn build_governed(
+        prog: &Program,
+        mssa: &MemorySsa,
+        svfg: &Svfg,
+        jobs: usize,
+        governor: &Governor,
+    ) -> Outcome<VersionTables> {
+        let start = Instant::now();
+        let (mut tables, completion) =
+            build_inner(prog, mssa, svfg, ParConfig::new(jobs), Some(governor));
+        tables.stats.versions = tables.slot_count as usize;
+        tables.stats.seconds = start.elapsed().as_secs_f64();
+        Outcome { result: tables, completion }
     }
 
     /// The version slot consumed by `node` for `obj`, if `(node, obj)`
@@ -203,7 +229,25 @@ impl ObjArea {
     }
 }
 
-fn build_inner(prog: &Program, mssa: &MemorySsa, svfg: &Svfg, par: ParConfig) -> VersionTables {
+/// Structurally valid tables with no versions at all — the degraded
+/// placeholder: every lookup misses, `slot_count` is 0.
+fn empty_tables(node_count: usize) -> VersionTables {
+    VersionTables {
+        consume: vec![Vec::new(); node_count],
+        yield_: vec![Vec::new(); node_count],
+        reliance: Vec::new(),
+        slot_count: 0,
+        stats: VersioningStats::default(),
+    }
+}
+
+fn build_inner(
+    prog: &Program,
+    mssa: &MemorySsa,
+    svfg: &Svfg,
+    par: ParConfig,
+    governor: Option<&Governor>,
+) -> (VersionTables, Completion) {
     let num_objs = prog.objects.len();
     // Group edges by object (dense tables: object ids index directly).
     let mut edges_by_obj: Vec<Vec<(SvfgNodeId, SvfgNodeId)>> = vec![Vec::new(); num_objs];
@@ -269,16 +313,29 @@ fn build_inner(prog: &Program, mssa: &MemorySsa, svfg: &Svfg, par: ParConfig) ->
     let edges_ref = &edges_by_obj;
     let stores_ref = &store_sites;
     let deltas_ref = &delta_sites;
-    let (outcomes, pstats) = par::run_tasks_with(
+    let (outcomes, pstats) = match par::try_run_tasks_with(
         par,
         objs.len(),
         cost,
+        governor,
         || ObjArea::with_node_capacity(node_count),
         |area, i| {
             let oi = objs_ref[i].index();
             process_object(&edges_ref[oi], &stores_ref[oi], &deltas_ref[oi], area)
         },
-    );
+    ) {
+        Ok(out) => out,
+        Err(interrupt) => match governor {
+            Some(g) => {
+                g.note_interrupt(&interrupt);
+                return (empty_tables(node_count), g.completion());
+            }
+            None => {
+                let f = interrupt.faults.first().expect("interrupt without faults or governor");
+                panic!("parallel {f}");
+            }
+        },
+    };
 
     // Ordered reduce: ascending object order keeps every node's slot
     // list sorted by object and assigns global ids deterministically.
@@ -288,6 +345,12 @@ fn build_inner(prog: &Program, mssa: &MemorySsa, svfg: &Svfg, par: ParConfig) ->
     let mut next_slot: u32 = 0;
     let mut stats = VersioningStats::default();
     for (i, out) in outcomes.iter().enumerate() {
+        // One checkpoint per object: the reduce is sequential, so the
+        // trip point is identical for every `jobs` value.
+        if governor.is_some_and(|g| g.check(1).is_err()) {
+            let g = governor.expect("checked above");
+            return (empty_tables(node_count), g.completion());
+        }
         let o = objs[i];
         let base = next_slot;
         next_slot += out.local_slots;
@@ -310,7 +373,16 @@ fn build_inner(prog: &Program, mssa: &MemorySsa, svfg: &Svfg, par: ParConfig) ->
     stats.par_steals = pstats.steals;
     stats.par_seconds = pstats.wall.as_secs_f64();
 
-    VersionTables { consume: consume_slots, yield_: yield_slots, reliance, slot_count: next_slot, stats }
+    let tables =
+        VersionTables { consume: consume_slots, yield_: yield_slots, reliance, slot_count: next_slot, stats };
+    let completion = governor.map_or(Completion::Complete, Governor::completion);
+    if completion.is_complete() {
+        (tables, completion)
+    } else {
+        // A trip in an earlier (shared-governor) stage makes these tables
+        // untrustworthy too; return the loud placeholder.
+        (empty_tables(node_count), completion)
+    }
 }
 
 /// One object's meld-labelling outcome, with object-local version ids.

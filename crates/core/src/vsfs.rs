@@ -17,10 +17,11 @@
 //! version worklist touches far fewer sets than SFS's per-node `IN`/`OUT`
 //! propagation — the paper's single-object sparsity.
 
-use crate::result::{FlowSensitiveResult, SolveStats};
+use crate::result::{FlowSensitiveResult, GovernedAnalysis, SolveStats};
 use crate::toplevel::TopLevel;
 use crate::versioning::{VersionSlot, VersionTables};
 use std::time::Instant;
+use vsfs_adt::govern::{Completion, Governor};
 use vsfs_adt::{FifoWorklist, PointsToSet};
 use vsfs_andersen::AndersenResult;
 use vsfs_ir::{FuncId, InstId, InstKind, ObjId, Program};
@@ -60,10 +61,45 @@ pub fn run_vsfs_with_tables(
     svfg: &Svfg,
     tables: VersionTables,
 ) -> FlowSensitiveResult {
+    solve_with_tables(prog, aux, mssa, svfg, tables, None).0
+}
+
+/// Runs the full governed VSFS pipeline: governed versioning, then the
+/// governed fixpoint. On a trip in either stage the returned
+/// [`GovernedAnalysis`] carries the *sound* Andersen fallback instead of
+/// a partial flow-sensitive result, tagged with the stage and reason.
+pub fn run_vsfs_governed(
+    prog: &Program,
+    aux: &AndersenResult,
+    mssa: &MemorySsa,
+    svfg: &Svfg,
+    jobs: usize,
+    governor: &Governor,
+) -> GovernedAnalysis {
+    let vt = VersionTables::build_governed(prog, mssa, svfg, jobs, governor);
+    if let Completion::Degraded(reason) = vt.completion {
+        return GovernedAnalysis::fallback(prog, aux, "versioning", reason);
+    }
+    let (result, completion) = solve_with_tables(prog, aux, mssa, svfg, vt.result, Some(governor));
+    match completion {
+        Completion::Complete => GovernedAnalysis::complete(result),
+        Completion::Degraded(reason) => GovernedAnalysis::fallback(prog, aux, "solve", reason),
+    }
+}
+
+/// Shared driver: solve with pre-built tables, optionally governed.
+fn solve_with_tables(
+    prog: &Program,
+    aux: &AndersenResult,
+    mssa: &MemorySsa,
+    svfg: &Svfg,
+    tables: VersionTables,
+    governor: Option<&Governor>,
+) -> (FlowSensitiveResult, Completion) {
     let versioning = tables.stats;
     let start = Instant::now();
     let mut solver = VsfsSolver::new(prog, aux, mssa, svfg, tables);
-    solver.solve();
+    let completion = solver.solve_governed(governor);
     let mut stats = solver.stats;
     stats.solve_seconds = start.elapsed().as_secs_f64();
     stats.versioning_seconds = versioning.seconds;
@@ -75,7 +111,7 @@ pub fn run_vsfs_with_tables(
     stats.stored_object_elems = elems;
     stats.stored_object_bytes = bytes;
     let callgraph_edges = solver.top.callgraph_edges();
-    FlowSensitiveResult { pt: solver.top.pt, callgraph_edges, stats }
+    (FlowSensitiveResult { pt: solver.top.pt, callgraph_edges, stats }, completion)
 }
 
 /// `pts[into] ∪= pts[from]` with a split borrow; returns `true` on growth.
@@ -159,11 +195,21 @@ impl<'a> VsfsSolver<'a> {
         }
     }
 
-    fn solve(&mut self) {
+    /// The fixpoint loop, with one cooperative governor checkpoint per
+    /// worklist pop (both worklists). Pops are sequential, so a governed
+    /// trip lands at the same logical step regardless of how the version
+    /// tables were built — the basis of the cross-`jobs` determinism
+    /// tests. Ungoverned (`None`) this is the plain fixpoint.
+    fn solve_governed(&mut self, governor: Option<&Governor>) -> Completion {
         loop {
             // Drain version propagation first ([A-PROP]^F): it is cheap
             // and unlocks node work.
             while let Some(s) = self.slots.pop() {
+                if let Some(g) = governor {
+                    if let Err(reason) = g.check(1) {
+                        return Completion::Degraded(reason);
+                    }
+                }
                 self.propagate_slot(s as VersionSlot);
             }
             let Some(node) = self.nodes.pop() else {
@@ -172,9 +218,15 @@ impl<'a> VsfsSolver<'a> {
                 }
                 continue;
             };
+            if let Some(g) = governor {
+                if let Err(reason) = g.check(1) {
+                    return Completion::Degraded(reason);
+                }
+            }
             self.stats.node_pops += 1;
             self.process_node(node);
         }
+        Completion::Complete
     }
 
     fn propagate_slot(&mut self, s: VersionSlot) {

@@ -35,6 +35,6 @@ pub mod traversal;
 
 pub use digraph::DiGraph;
 pub use dominators::DomTree;
-pub use meld::{meld_label, meld_label_many, MeldLabel};
+pub use meld::{meld_label, meld_label_governed, meld_label_many, try_meld_label_many, MeldLabel};
 pub use scc::Sccs;
 pub use traversal::{reachable_from, reverse_post_order};

@@ -21,6 +21,7 @@
 //! prelabelled node keep the identity label.
 
 use crate::digraph::DiGraph;
+use vsfs_adt::govern::{Completion, Governor, Outcome};
 use vsfs_adt::index::Idx;
 use vsfs_adt::{FifoWorklist, SparseBitVector};
 
@@ -86,6 +87,22 @@ pub fn meld_label<I: Idx, L: MeldLabel>(
     prelabels: Vec<L>,
     frozen: impl Fn(I) -> bool,
 ) -> Vec<L> {
+    meld_label_governed(graph, prelabels, frozen, None).result
+}
+
+/// [`meld_label`] with a cooperative checkpoint per worklist pop.
+///
+/// When a [`Governor`] is supplied, each pop accounts one step; once the
+/// governor trips the loop stops and the (partial, under-melded) labels
+/// come back tagged [`Completion::Degraded`]. Callers must not use a
+/// degraded labelling for analysis — it exists so the enclosing phase
+/// can stop promptly and fall back.
+pub fn meld_label_governed<I: Idx, L: MeldLabel>(
+    graph: &DiGraph<I>,
+    prelabels: Vec<L>,
+    frozen: impl Fn(I) -> bool,
+    governor: Option<&Governor>,
+) -> Outcome<Vec<L>> {
     assert_eq!(
         prelabels.len(),
         graph.node_count(),
@@ -98,7 +115,14 @@ pub fn meld_label<I: Idx, L: MeldLabel>(
             worklist.push(v);
         }
     }
+    let mut completion = Completion::Complete;
     while let Some(v) = worklist.pop() {
+        if let Some(g) = governor {
+            if let Err(reason) = g.check(1) {
+                completion = Completion::Degraded(reason);
+                break;
+            }
+        }
         for &s in graph.successors(v) {
             if s == v || frozen(s) {
                 continue;
@@ -121,7 +145,7 @@ pub fn meld_label<I: Idx, L: MeldLabel>(
             }
         }
     }
-    labels
+    Outcome { result: labels, completion }
 }
 
 /// Solves a batch of *independent* meld-labelling problems, using up to
@@ -165,6 +189,37 @@ pub fn meld_label_many<I: Idx + Send + Sync, L: MeldLabel + Send + Sync>(
         },
     );
     out
+}
+
+/// [`meld_label_many`] under a [`Governor`]: worker panics are caught
+/// and cancellation stops the batch. On interruption the governor is
+/// tripped and an *empty* result vector comes back tagged
+/// [`Completion::Degraded`].
+pub fn try_meld_label_many<I: Idx + Send + Sync, L: MeldLabel + Send + Sync>(
+    problems: Vec<(DiGraph<I>, Vec<L>)>,
+    frozen: impl Fn(I) -> bool + Sync,
+    jobs: usize,
+    governor: &Governor,
+) -> Outcome<Vec<Vec<L>>> {
+    let problems = &problems;
+    let outcome = vsfs_adt::par::try_run_tasks_with(
+        vsfs_adt::ParConfig::new(jobs),
+        problems.len(),
+        |i| problems[i].0.edge_count() as u64 + 1,
+        Some(governor),
+        || (),
+        |(), i| {
+            let (graph, prelabels) = &problems[i];
+            meld_label(graph, prelabels.clone(), &frozen)
+        },
+    );
+    match outcome {
+        Ok((out, _stats)) => Outcome { result: out, completion: governor.completion() },
+        Err(interrupt) => {
+            governor.note_interrupt(&interrupt);
+            Outcome { result: Vec::new(), completion: governor.completion() }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -70,5 +70,5 @@ pub use defuse::DefUse;
 pub use icfg::Icfg;
 pub use ids::{BlockId, FuncId, InstId, ObjId, ValueId};
 pub use inst::{Callee, Inst, InstKind, Terminator};
-pub use parse::{parse_program, ParseProgramError};
+pub use parse::{parse_program, parse_program_all, ParseProgramError};
 pub use program::{Function, ObjKind, Object, Program, Value, ValueDef};

@@ -24,6 +24,16 @@
 //!             | "@" NAME     // global pointer
 //! ```
 //!
+//! # Error recovery
+//!
+//! [`parse_program_all`] collects *every* diagnostic instead of stopping
+//! at the first: a bad top-level line is skipped, a bad function header
+//! skips that function's body, and an error inside a body abandons the
+//! rest of that body and resumes at the next function. Diagnostics carry
+//! 1-based line and column positions and are sorted by source position.
+//! [`parse_program`] is the single-error convenience wrapper returning
+//! the first diagnostic.
+//!
 //! # Examples
 //!
 //! ```
@@ -44,7 +54,7 @@
 use crate::build::{GInitVal, ProgramBuilder};
 use crate::ids::{BlockId, FuncId, ValueId};
 use crate::program::Program;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// An error produced while parsing the textual IR.
@@ -52,13 +62,17 @@ use std::fmt;
 pub struct ParseProgramError {
     /// 1-based source line of the error.
     pub line: usize,
+    /// 1-based column (character position) of the offending token;
+    /// column 1 for errors that concern the whole line (name resolution,
+    /// SSA violations, structural errors).
+    pub column: usize,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for ParseProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.message)
+        write!(f, "parse error at line {}:{}: {}", self.line, self.column, self.message)
     }
 }
 
@@ -66,19 +80,46 @@ impl std::error::Error for ParseProgramError {}
 
 type PResult<T> = Result<T, ParseProgramError>;
 
-fn err<T>(line: usize, message: impl Into<String>) -> PResult<T> {
-    Err(ParseProgramError { line, message: message.into() })
+fn perr(line: usize, message: impl Into<String>) -> ParseProgramError {
+    ParseProgramError { line, column: 1, message: message.into() }
 }
 
-/// Parses a textual IR program.
+fn perr_at(line: usize, column: usize, message: impl Into<String>) -> ParseProgramError {
+    ParseProgramError { line, column, message: message.into() }
+}
+
+fn err<T>(line: usize, message: impl Into<String>) -> PResult<T> {
+    Err(perr(line, message))
+}
+
+fn err_at<T>(line: usize, column: usize, message: impl Into<String>) -> PResult<T> {
+    Err(perr_at(line, column, message))
+}
+
+/// Parses a textual IR program, stopping at the first diagnostic.
 ///
 /// # Errors
 ///
-/// Returns the first syntax or name-resolution error encountered, with its
-/// source line. The result is *not* verified; run
-/// [`crate::verify::verify`] for SSA well-formedness checks.
+/// Returns the source-position-wise first syntax or name-resolution
+/// error. Use [`parse_program_all`] to collect every diagnostic. The
+/// result is *not* verified; run [`crate::verify::verify`] for SSA
+/// well-formedness checks.
 pub fn parse_program(src: &str) -> PResult<Program> {
-    Parser::new(src)?.run()
+    parse_program_all(src).map_err(|mut diags| diags.remove(0))
+}
+
+/// Parses a textual IR program, collecting **all** diagnostics.
+///
+/// # Errors
+///
+/// Returns every syntax and name-resolution error found, sorted by
+/// `(line, column)` and guaranteed non-empty. The parser recovers at
+/// item granularity: a malformed top-level line is skipped, a malformed
+/// function header skips that function, and the first error inside a
+/// body abandons the rest of that body and resumes at the next
+/// function.
+pub fn parse_program_all(src: &str) -> Result<Program, Vec<ParseProgramError>> {
+    Parser::new(src).run()
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,90 +143,108 @@ impl fmt::Display for Tok {
     }
 }
 
-fn tokenize(line: &str, lineno: usize) -> PResult<Vec<Tok>> {
+/// Tokenizes one line, tracking the 1-based start column of each token.
+/// Returns `(tokens, columns, end_col)` where `end_col` is one past the
+/// last token (used to anchor "end of line" diagnostics).
+fn tokenize(line: &str, lineno: usize) -> PResult<(Vec<Tok>, Vec<usize>, usize)> {
     let line = match line.find("//") {
         Some(i) => &line[..i],
         None => line,
     };
+    let chars: Vec<char> = line.chars().collect();
     let mut toks = Vec::new();
-    let mut chars = line.chars().peekable();
+    let mut cols = Vec::new();
+    let mut end_col = 1;
     let ident_char = |c: char| c.is_alphanumeric() || c == '_' || c == '.' || c == '$';
-    while let Some(&c) = chars.peek() {
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
         if c.is_whitespace() {
-            chars.next();
-        } else if c == '%' || c == '@' {
-            chars.next();
+            i += 1;
+            continue;
+        }
+        let start = i + 1; // 1-based column
+        if c == '%' || c == '@' {
+            i += 1;
             let mut s = String::new();
-            while let Some(&d) = chars.peek() {
-                if ident_char(d) {
-                    s.push(d);
-                    chars.next();
-                } else {
-                    break;
-                }
+            while i < chars.len() && ident_char(chars[i]) {
+                s.push(chars[i]);
+                i += 1;
             }
             if s.is_empty() {
-                return err(lineno, format!("expected a name after `{c}`"));
+                return err_at(lineno, start, format!("expected a name after `{c}`"));
             }
+            cols.push(start);
             toks.push(if c == '%' { Tok::Local(s) } else { Tok::Global(s) });
         } else if c.is_ascii_digit() {
             let mut n: u64 = 0;
-            while let Some(&d) = chars.peek() {
-                if let Some(v) = d.to_digit(10) {
+            while i < chars.len() {
+                if let Some(v) = chars[i].to_digit(10) {
                     n = n * 10 + v as u64;
                     if n > u32::MAX as u64 {
-                        return err(lineno, "integer literal too large");
+                        return err_at(lineno, start, "integer literal too large");
                     }
-                    chars.next();
+                    i += 1;
                 } else {
                     break;
                 }
             }
+            cols.push(start);
             toks.push(Tok::Int(n as u32));
         } else if ident_char(c) {
             let mut s = String::new();
-            while let Some(&d) = chars.peek() {
-                if ident_char(d) {
-                    s.push(d);
-                    chars.next();
-                } else {
-                    break;
-                }
+            while i < chars.len() && ident_char(chars[i]) {
+                s.push(chars[i]);
+                i += 1;
             }
+            cols.push(start);
             toks.push(Tok::Ident(s));
         } else if "(){},=:".contains(c) {
-            chars.next();
+            i += 1;
+            cols.push(start);
             toks.push(Tok::Punct(c));
         } else {
-            return err(lineno, format!("unexpected character `{c}`"));
+            return err_at(lineno, start, format!("unexpected character `{c}`"));
         }
+        end_col = i + 1;
     }
-    Ok(toks)
+    Ok((toks, cols, end_col))
 }
 
 /// One tokenized source line.
 struct Line {
     no: usize,
     toks: Vec<Tok>,
+    cols: Vec<usize>,
+    end_col: usize,
 }
 
 struct Parser {
     lines: Vec<Line>,
+    last_line: usize,
     pb: ProgramBuilder,
     func_ids: HashMap<String, FuncId>,
     global_vals: HashMap<String, ValueId>,
+    /// Collected diagnostics; non-empty means the parse failed.
+    diags: Vec<ParseProgramError>,
+    /// Header line numbers of functions whose declaration failed — their
+    /// bodies must be skipped in pass 2 (the function was never declared,
+    /// or is a duplicate whose body slot is already taken).
+    skip_bodies: HashSet<usize>,
 }
 
 /// Cursor over one line's tokens.
 struct Cur<'a> {
     toks: &'a [Tok],
+    cols: &'a [usize],
+    end_col: usize,
     pos: usize,
     line: usize,
 }
 
 impl<'a> Cur<'a> {
     fn new(l: &'a Line) -> Self {
-        Cur { toks: &l.toks, pos: 0, line: l.no }
+        Cur { toks: &l.toks, cols: &l.cols, end_col: l.end_col, pos: 0, line: l.no }
     }
 
     fn peek(&self) -> Option<&'a Tok> {
@@ -196,6 +255,16 @@ impl<'a> Cur<'a> {
         let t = self.toks.get(self.pos);
         self.pos += 1;
         t
+    }
+
+    /// Column of the token at the cursor (or just past the line's end).
+    fn col_here(&self) -> usize {
+        self.cols.get(self.pos).copied().unwrap_or(self.end_col)
+    }
+
+    /// Column of the most recently consumed token.
+    fn col_prev(&self) -> usize {
+        self.cols.get(self.pos.saturating_sub(1)).copied().unwrap_or(self.end_col)
     }
 
     fn eat_punct(&mut self, c: char) -> bool {
@@ -211,35 +280,55 @@ impl<'a> Cur<'a> {
         if self.eat_punct(c) {
             Ok(())
         } else {
-            err(self.line, format!("expected `{c}`, found {}", self.describe_here()))
+            err_at(
+                self.line,
+                self.col_here(),
+                format!("expected `{c}`, found {}", self.describe_here()),
+            )
         }
     }
 
     fn expect_ident(&mut self) -> PResult<&'a str> {
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
-            _ => err(self.line, format!("expected an identifier, found {}", self.describe_prev())),
+            _ => err_at(
+                self.line,
+                self.col_prev(),
+                format!("expected an identifier, found {}", self.describe_prev()),
+            ),
         }
     }
 
     fn expect_local(&mut self) -> PResult<&'a str> {
         match self.next() {
             Some(Tok::Local(s)) => Ok(s),
-            _ => err(self.line, format!("expected `%name`, found {}", self.describe_prev())),
+            _ => err_at(
+                self.line,
+                self.col_prev(),
+                format!("expected `%name`, found {}", self.describe_prev()),
+            ),
         }
     }
 
     fn expect_global(&mut self) -> PResult<&'a str> {
         match self.next() {
             Some(Tok::Global(s)) => Ok(s),
-            _ => err(self.line, format!("expected `@name`, found {}", self.describe_prev())),
+            _ => err_at(
+                self.line,
+                self.col_prev(),
+                format!("expected `@name`, found {}", self.describe_prev()),
+            ),
         }
     }
 
     fn expect_int(&mut self) -> PResult<u32> {
         match self.next() {
             Some(Tok::Int(i)) => Ok(*i),
-            _ => err(self.line, format!("expected an integer, found {}", self.describe_prev())),
+            _ => err_at(
+                self.line,
+                self.col_prev(),
+                format!("expected an integer, found {}", self.describe_prev()),
+            ),
         }
     }
 
@@ -247,7 +336,11 @@ impl<'a> Cur<'a> {
         if self.pos == self.toks.len() {
             Ok(())
         } else {
-            err(self.line, format!("trailing tokens starting at {}", self.describe_here()))
+            err_at(
+                self.line,
+                self.col_here(),
+                format!("trailing tokens starting at {}", self.describe_here()),
+            )
         }
     }
 
@@ -267,90 +360,68 @@ impl<'a> Cur<'a> {
 }
 
 impl Parser {
-    fn new(src: &str) -> PResult<Self> {
+    fn new(src: &str) -> Self {
         let mut lines = Vec::new();
+        let mut diags = Vec::new();
+        let mut last_line = 0;
         for (i, raw) in src.lines().enumerate() {
-            let toks = tokenize(raw, i + 1)?;
-            if !toks.is_empty() {
-                lines.push(Line { no: i + 1, toks });
+            last_line = i + 1;
+            match tokenize(raw, i + 1) {
+                Ok((toks, cols, end_col)) => {
+                    if !toks.is_empty() {
+                        lines.push(Line { no: i + 1, toks, cols, end_col });
+                    }
+                }
+                // A lexically broken line is diagnosed and dropped; the
+                // parse continues on the lines that did tokenize.
+                Err(e) => diags.push(e),
             }
         }
-        Ok(Parser {
+        Parser {
             lines,
+            last_line,
             pb: ProgramBuilder::new(),
             func_ids: HashMap::new(),
             global_vals: HashMap::new(),
-        })
+            diags,
+            skip_bodies: HashSet::new(),
+        }
     }
 
-    fn run(mut self) -> PResult<Program> {
-        self.pass_declarations()?;
-        self.pass_bodies()?;
-        let line_count = self.lines.last().map_or(0, |l| l.no);
-        self.pb
-            .finish()
-            .map_err(|e| ParseProgramError { line: line_count, message: e.to_string() })
+    fn run(mut self) -> Result<Program, Vec<ParseProgramError>> {
+        self.pass_declarations();
+        self.pass_bodies();
+        if !self.diags.is_empty() {
+            let mut diags = self.diags;
+            diags.sort_by(|a, b| (a.line, a.column).cmp(&(b.line, b.column)));
+            return Err(diags);
+        }
+        let last_line = self.last_line;
+        self.pb.finish().map_err(|e| vec![perr(last_line, e.to_string())])
     }
 
     /// Pass 1: declare globals and function signatures so bodies can
-    /// forward-reference them.
-    fn pass_declarations(&mut self) -> PResult<()> {
+    /// forward-reference them. Declaration errors are recorded and the
+    /// parse moves on to the next top-level item.
+    fn pass_declarations(&mut self) {
         let mut i = 0;
         while i < self.lines.len() {
-            let line = &self.lines[i];
-            let mut cur = Cur::new(line);
-            match cur.peek() {
+            let first = self.lines[i].toks.first().cloned();
+            match first {
                 Some(Tok::Ident(k)) if k == "global" => {
-                    cur.next();
-                    let name = cur.expect_global()?.to_string();
-                    let mut fields = 1;
-                    let mut array = false;
-                    loop {
-                        match cur.peek() {
-                            Some(Tok::Ident(w)) if w == "fields" => {
-                                cur.next();
-                                fields = cur.expect_int()?;
-                            }
-                            Some(Tok::Ident(w)) if w == "array" => {
-                                cur.next();
-                                array = true;
-                            }
-                            _ => break,
-                        }
+                    if let Err(e) = self.decl_global(i) {
+                        self.diags.push(e);
                     }
-                    cur.expect_end()?;
-                    if self.global_vals.contains_key(&name) {
-                        return err(line.no, format!("duplicate global `@{name}`"));
-                    }
-                    let (v, _) = self.pb.add_global(&name, fields, array);
-                    self.global_vals.insert(name, v);
                     i += 1;
                 }
                 Some(Tok::Ident(k)) if k == "func" => {
-                    cur.next();
-                    let name = cur.expect_global()?.to_string();
-                    cur.expect_punct('(')?;
-                    let mut params = Vec::new();
-                    if !cur.eat_punct(')') {
-                        loop {
-                            params.push(cur.expect_local()?.to_string());
-                            if cur.eat_punct(')') {
-                                break;
-                            }
-                            cur.expect_punct(',')?;
-                        }
+                    let header = i;
+                    if let Err(e) = self.decl_func(i) {
+                        self.diags.push(e);
+                        self.skip_bodies.insert(self.lines[header].no);
                     }
-                    cur.expect_punct('{')?;
-                    cur.expect_end()?;
-                    if self.func_ids.contains_key(&name) {
-                        return err(line.no, format!("duplicate function `@{name}`"));
-                    }
-                    let f = self.pb.declare_function(&name, params.len());
-                    for (pi, pname) in params.iter().enumerate() {
-                        self.pb.rename_param(f, pi, pname);
-                    }
-                    self.func_ids.insert(name.clone(), f);
-                    // Skip to the closing brace.
+                    // Skip to the closing brace (whether or not the
+                    // header declared cleanly).
                     i += 1;
                     while i < self.lines.len() {
                         if self.lines[i].toks == [Tok::Punct('}')] {
@@ -359,9 +430,18 @@ impl Parser {
                         i += 1;
                     }
                     if i >= self.lines.len() {
-                        return err(line.no, format!("function `@{name}` missing closing `}}`"));
+                        let name = match self.lines[header].toks.get(1) {
+                            Some(Tok::Global(n)) => format!("@{n}"),
+                            _ => "<anonymous>".to_string(),
+                        };
+                        self.diags.push(perr(
+                            self.lines[header].no,
+                            format!("function `{name}` missing closing `}}`"),
+                        ));
+                        self.skip_bodies.insert(self.lines[header].no);
+                    } else {
+                        i += 1;
                     }
-                    i += 1;
                 }
                 _ => {
                     // ginit lines handled in pass 2; skip everything else.
@@ -369,38 +449,79 @@ impl Parser {
                 }
             }
         }
+    }
+
+    fn decl_global(&mut self, i: usize) -> PResult<()> {
+        let line = &self.lines[i];
+        let mut cur = Cur::new(line);
+        cur.next(); // global
+        let name = cur.expect_global()?.to_string();
+        let mut fields = 1;
+        let mut array = false;
+        loop {
+            match cur.peek() {
+                Some(Tok::Ident(w)) if w == "fields" => {
+                    cur.next();
+                    fields = cur.expect_int()?;
+                }
+                Some(Tok::Ident(w)) if w == "array" => {
+                    cur.next();
+                    array = true;
+                }
+                _ => break,
+            }
+        }
+        cur.expect_end()?;
+        if self.global_vals.contains_key(&name) {
+            return err(line.no, format!("duplicate global `@{name}`"));
+        }
+        let (v, _) = self.pb.add_global(&name, fields, array);
+        self.global_vals.insert(name, v);
         Ok(())
     }
 
-    /// Pass 2: parse ginits and function bodies.
-    fn pass_bodies(&mut self) -> PResult<()> {
+    fn decl_func(&mut self, i: usize) -> PResult<()> {
+        let line = &self.lines[i];
+        let mut cur = Cur::new(line);
+        cur.next(); // func
+        let name = cur.expect_global()?.to_string();
+        cur.expect_punct('(')?;
+        let mut params = Vec::new();
+        if !cur.eat_punct(')') {
+            loop {
+                params.push(cur.expect_local()?.to_string());
+                if cur.eat_punct(')') {
+                    break;
+                }
+                cur.expect_punct(',')?;
+            }
+        }
+        cur.expect_punct('{')?;
+        cur.expect_end()?;
+        if self.func_ids.contains_key(&name) {
+            return err(line.no, format!("duplicate function `@{name}`"));
+        }
+        let f = self.pb.declare_function(&name, params.len());
+        for (pi, pname) in params.iter().enumerate() {
+            self.pb.rename_param(f, pi, pname);
+        }
+        self.func_ids.insert(name, f);
+        Ok(())
+    }
+
+    /// Pass 2: parse ginits and function bodies. An error inside a body
+    /// abandons the rest of that body; parsing resumes at the next
+    /// top-level item.
+    fn pass_bodies(&mut self) {
         let lines = std::mem::take(&mut self.lines);
         let mut i = 0;
         while i < lines.len() {
             let line = &lines[i];
-            let mut cur = Cur::new(line);
-            match cur.peek() {
+            match line.toks.first() {
                 Some(Tok::Ident(k)) if k == "ginit" => {
-                    cur.next();
-                    let g = cur.expect_global()?;
-                    let gv = *self
-                        .global_vals
-                        .get(g)
-                        .ok_or_else(|| ParseProgramError {
-                            line: line.no,
-                            message: format!("unknown global `@{g}`"),
-                        })?;
-                    cur.expect_punct(',')?;
-                    let src = cur.expect_global()?;
-                    cur.expect_end()?;
-                    let val = if let Some(&v) = self.global_vals.get(src) {
-                        GInitVal::Global(v)
-                    } else if let Some(&f) = self.func_ids.get(src) {
-                        GInitVal::Func(f)
-                    } else {
-                        return err(line.no, format!("unknown global or function `@{src}`"));
-                    };
-                    self.pb.ginit(gv, val);
+                    if let Err(e) = self.parse_ginit(line) {
+                        self.diags.push(e);
+                    }
                     i += 1;
                 }
                 Some(Tok::Ident(k)) if k == "global" => {
@@ -412,14 +533,45 @@ impl Parser {
                     while end < lines.len() && lines[end].toks != [Tok::Punct('}')] {
                         end += 1;
                     }
-                    self.parse_body(&lines[i], &lines[i + 1..end])?;
+                    if !self.skip_bodies.contains(&line.no) {
+                        if let Err(e) = self.parse_body(line, &lines[i + 1..end]) {
+                            self.diags.push(e);
+                        }
+                    }
                     i = end + 1;
                 }
                 _ => {
-                    return err(line.no, format!("unexpected top-level line starting with {}", cur.describe_here()));
+                    let cur = Cur::new(line);
+                    self.diags.push(perr_at(
+                        line.no,
+                        cur.col_here(),
+                        format!("unexpected top-level line starting with {}", cur.describe_here()),
+                    ));
+                    i += 1;
                 }
             }
         }
+    }
+
+    fn parse_ginit(&mut self, line: &Line) -> PResult<()> {
+        let mut cur = Cur::new(line);
+        cur.next(); // ginit
+        let g = cur.expect_global()?;
+        let gv = *self
+            .global_vals
+            .get(g)
+            .ok_or_else(|| perr(line.no, format!("unknown global `@{g}`")))?;
+        cur.expect_punct(',')?;
+        let src = cur.expect_global()?;
+        cur.expect_end()?;
+        let val = if let Some(&v) = self.global_vals.get(src) {
+            GInitVal::Global(v)
+        } else if let Some(&f) = self.func_ids.get(src) {
+            GInitVal::Func(f)
+        } else {
+            return err(line.no, format!("unknown global or function `@{src}`"));
+        };
+        self.pb.ginit(gv, val);
         Ok(())
     }
 
@@ -427,7 +579,9 @@ impl Parser {
         let mut cur = Cur::new(header);
         cur.next(); // func
         let fname = cur.expect_global()?.to_string();
-        let func = self.func_ids[&fname];
+        let Some(&func) = self.func_ids.get(&fname) else {
+            return Ok(()); // header never declared; already diagnosed
+        };
 
         // Pre-scan labels.
         let is_label = |l: &Line| l.toks.len() == 2 && matches!(&l.toks[0], Tok::Ident(_)) && l.toks[1] == Tok::Punct(':');
@@ -475,14 +629,14 @@ impl Parser {
         let func_ids = &self.func_ids;
         let lookup = |locals: &HashMap<String, ValueId>, t: &Tok, lineno: usize| -> PResult<ValueId> {
             match t {
-                Tok::Local(n) => locals.get(n).copied().ok_or_else(|| ParseProgramError {
-                    line: lineno,
-                    message: format!("use of undefined value `%{n}`"),
-                }),
-                Tok::Global(n) => globals.get(n).copied().ok_or_else(|| ParseProgramError {
-                    line: lineno,
-                    message: format!("unknown global `@{n}`"),
-                }),
+                Tok::Local(n) => locals
+                    .get(n)
+                    .copied()
+                    .ok_or_else(|| perr(lineno, format!("use of undefined value `%{n}`"))),
+                Tok::Global(n) => globals
+                    .get(n)
+                    .copied()
+                    .ok_or_else(|| perr(lineno, format!("unknown global `@{n}`"))),
                 other => err(lineno, format!("expected an operand, found `{other}`")),
             }
         };
@@ -541,10 +695,9 @@ impl Parser {
                         "funaddr" => {
                             let fname = c.expect_global()?;
                             c.expect_end()?;
-                            let target = *func_ids.get(fname).ok_or_else(|| ParseProgramError {
-                                line: l.no,
-                                message: format!("unknown function `@{fname}`"),
-                            })?;
+                            let target = *func_ids
+                                .get(fname)
+                                .ok_or_else(|| perr(l.no, format!("unknown function `@{fname}`")))?;
                             let v = fb.funaddr(&dst, target);
                             define(&mut locals, &dst, v, l.no)?;
                         }
@@ -555,10 +708,10 @@ impl Parser {
                             // the whole body has been parsed.
                             let mut ops: Vec<Tok> = Vec::new();
                             loop {
-                                let t = c.next().cloned().ok_or_else(|| ParseProgramError {
-                                    line: l.no,
-                                    message: "phi needs at least one operand".into(),
-                                })?;
+                                let t = c
+                                    .next()
+                                    .cloned()
+                                    .ok_or_else(|| perr(l.no, "phi needs at least one operand"))?;
                                 ops.push(t);
                                 if !c.eat_punct(',') {
                                     break;
@@ -588,20 +741,20 @@ impl Parser {
                             define(&mut locals, &dst, v, l.no)?;
                         }
                         "copy" => {
-                            let t = c.next().cloned().ok_or_else(|| ParseProgramError {
-                                line: l.no,
-                                message: "copy needs an operand".into(),
-                            })?;
+                            let t = c
+                                .next()
+                                .cloned()
+                                .ok_or_else(|| perr(l.no, "copy needs an operand"))?;
                             c.expect_end()?;
                             let src = lookup(&locals, &t, l.no)?;
                             let v = fb.copy(&dst, src);
                             define(&mut locals, &dst, v, l.no)?;
                         }
                         "gep" => {
-                            let t = c.next().cloned().ok_or_else(|| ParseProgramError {
-                                line: l.no,
-                                message: "gep needs an operand".into(),
-                            })?;
+                            let t = c
+                                .next()
+                                .cloned()
+                                .ok_or_else(|| perr(l.no, "gep needs an operand"))?;
                             let base = lookup(&locals, &t, l.no)?;
                             c.expect_punct(',')?;
                             let off = c.expect_int()?;
@@ -610,10 +763,10 @@ impl Parser {
                             define(&mut locals, &dst, v, l.no)?;
                         }
                         "load" => {
-                            let t = c.next().cloned().ok_or_else(|| ParseProgramError {
-                                line: l.no,
-                                message: "load needs an operand".into(),
-                            })?;
+                            let t = c
+                                .next()
+                                .cloned()
+                                .ok_or_else(|| perr(l.no, "load needs an operand"))?;
                             c.expect_end()?;
                             let addr = lookup(&locals, &t, l.no)?;
                             let v = fb.load(&dst, addr);
@@ -631,16 +784,16 @@ impl Parser {
                     c.next();
                     match k.as_str() {
                         "store" => {
-                            let tv = c.next().cloned().ok_or_else(|| ParseProgramError {
-                                line: l.no,
-                                message: "store needs two operands".into(),
-                            })?;
+                            let tv = c
+                                .next()
+                                .cloned()
+                                .ok_or_else(|| perr(l.no, "store needs two operands"))?;
                             let val = lookup(&locals, &tv, l.no)?;
                             c.expect_punct(',')?;
-                            let tp = c.next().cloned().ok_or_else(|| ParseProgramError {
-                                line: l.no,
-                                message: "store needs a pointer operand".into(),
-                            })?;
+                            let tp = c
+                                .next()
+                                .cloned()
+                                .ok_or_else(|| perr(l.no, "store needs a pointer operand"))?;
                             let addr = lookup(&locals, &tp, l.no)?;
                             c.expect_end()?;
                             fb.store(val, addr);
@@ -651,10 +804,9 @@ impl Parser {
                         "goto" => {
                             let label = c.expect_ident()?;
                             c.expect_end()?;
-                            let target = *block_ids.get(label).ok_or_else(|| ParseProgramError {
-                                line: l.no,
-                                message: format!("unknown block label `{label}`"),
-                            })?;
+                            let target = *block_ids
+                                .get(label)
+                                .ok_or_else(|| perr(l.no, format!("unknown block label `{label}`")))?;
                             fb.goto(target);
                             in_block = false;
                         }
@@ -662,9 +814,8 @@ impl Parser {
                             let mut targets = Vec::new();
                             loop {
                                 let label = c.expect_ident()?;
-                                targets.push(*block_ids.get(label).ok_or_else(|| ParseProgramError {
-                                    line: l.no,
-                                    message: format!("unknown block label `{label}`"),
+                                targets.push(*block_ids.get(label).ok_or_else(|| {
+                                    perr(l.no, format!("unknown block label `{label}`"))
                                 })?);
                                 if !c.eat_punct(',') {
                                     break;
@@ -692,14 +843,13 @@ impl Parser {
                         other => return err(l.no, format!("unknown instruction `{other}`")),
                     }
                 }
-                _ => return err(l.no, format!("cannot parse line starting with {}", c.describe_here())),
+                _ => return err_at(l.no, c.col_here(), format!("cannot parse line starting with {}", c.describe_here())),
             }
         }
         for (inst, idx, name, lineno) in pending_phis {
-            let v = *locals.get(&name).ok_or_else(|| ParseProgramError {
-                line: lineno,
-                message: format!("use of undefined value `%{name}` in phi"),
-            })?;
+            let v = *locals
+                .get(&name)
+                .ok_or_else(|| perr(lineno, format!("use of undefined value `%{name}` in phi")))?;
             fb.patch_phi_operand(inst, idx, v);
         }
         Ok(())
@@ -720,14 +870,14 @@ fn self_parse_call(
 ) -> PResult<Option<ValueId>> {
     let lookup = |t: &Tok| -> PResult<ValueId> {
         match t {
-            Tok::Local(n) => locals.get(n).copied().ok_or_else(|| ParseProgramError {
-                line: lineno,
-                message: format!("use of undefined value `%{n}`"),
-            }),
-            Tok::Global(n) => globals.get(n).copied().ok_or_else(|| ParseProgramError {
-                line: lineno,
-                message: format!("unknown global `@{n}`"),
-            }),
+            Tok::Local(n) => locals
+                .get(n)
+                .copied()
+                .ok_or_else(|| perr(lineno, format!("use of undefined value `%{n}`"))),
+            Tok::Global(n) => globals
+                .get(n)
+                .copied()
+                .ok_or_else(|| perr(lineno, format!("unknown global `@{n}`"))),
             other => err(lineno, format!("expected an operand, found `{other}`")),
         }
     };
@@ -737,25 +887,26 @@ fn self_parse_call(
     }
     let target = if op == "call" {
         let name = c.expect_global()?;
-        Target::Direct(*func_ids.get(name).ok_or_else(|| ParseProgramError {
-            line: lineno,
-            message: format!("unknown function `@{name}`"),
-        })?)
+        Target::Direct(
+            *func_ids
+                .get(name)
+                .ok_or_else(|| perr(lineno, format!("unknown function `@{name}`")))?,
+        )
     } else {
-        let t = c.next().cloned().ok_or_else(|| ParseProgramError {
-            line: lineno,
-            message: "icall needs a function-pointer operand".into(),
-        })?;
+        let t = c
+            .next()
+            .cloned()
+            .ok_or_else(|| perr(lineno, "icall needs a function-pointer operand"))?;
         Target::Indirect(lookup(&t)?)
     };
     c.expect_punct('(')?;
     let mut args = Vec::new();
     if !c.eat_punct(')') {
         loop {
-            let t = c.next().cloned().ok_or_else(|| ParseProgramError {
-                line: lineno,
-                message: "unterminated argument list".into(),
-            })?;
+            let t = c
+                .next()
+                .cloned()
+                .ok_or_else(|| perr(lineno, "unterminated argument list"))?;
             args.push(lookup(&t)?);
             if c.eat_punct(')') {
                 break;
@@ -1061,5 +1212,108 @@ mod more_tests {
         let s = prog.objects.iter().find(|o| o.name == "S").unwrap();
         assert!(s.is_array && s.num_fields == 2);
         let _ = matches!(prog.insts.iter().next().unwrap().kind, InstKind::FunEntry { .. });
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+
+    #[test]
+    fn collects_one_diagnostic_per_broken_function() {
+        // Three functions with one error each, plus a healthy one:
+        // every error is reported, with ascending line numbers.
+        let diags = parse_program_all(
+            "func @a() {\nentry:\n  frobnicate\n  ret\n}\n\
+             func @b() {\nentry:\n  %x = load %nope\n  ret\n}\n\
+             func @c() {\nentry:\n  goto nowhere\n}\n\
+             func @main() {\nentry:\n  ret\n}\n",
+        )
+        .unwrap_err();
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert!(diags[0].message.contains("unknown instruction"), "{}", diags[0]);
+        assert!(diags[1].message.contains("undefined value"), "{}", diags[1]);
+        assert!(diags[2].message.contains("unknown block label"), "{}", diags[2]);
+        assert!(diags.windows(2).all(|w| w[0].line < w[1].line), "{diags:?}");
+    }
+
+    #[test]
+    fn body_error_abandons_rest_of_that_body_only() {
+        // Two errors inside @a: only the first is reported (the body is
+        // abandoned); the error in @b is still found.
+        let diags = parse_program_all(
+            "func @a() {\nentry:\n  bogus_one\n  bogus_two\n  ret\n}\n\
+             func @b() {\nentry:\n  %x = load %nope\n  ret\n}\n",
+        )
+        .unwrap_err();
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[1].message.contains("undefined value"), "{}", diags[1]);
+    }
+
+    #[test]
+    fn broken_header_skips_body_without_cascading() {
+        // @a's header is malformed; its body must not be parsed against
+        // a half-declared function, and @main still parses cleanly.
+        let diags = parse_program_all(
+            "func @a(%x {\nentry:\n  ret %x\n}\nfunc @main() {\nentry:\n  ret\n}\n",
+        )
+        .unwrap_err();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn duplicate_function_body_is_not_built_twice() {
+        // The duplicate's body must be skipped (building it against the
+        // first declaration would abort), leaving exactly one diagnostic.
+        let diags = parse_program_all(
+            "func @f() {\nentry:\n  ret\n}\nfunc @f() {\nentry:\n  ret\n}\n",
+        )
+        .unwrap_err();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("duplicate function"), "{}", diags[0]);
+    }
+
+    #[test]
+    fn tokenizer_errors_are_collected_and_positioned() {
+        // `?` at column 12 of line 3; the undefined value on line 8 of
+        // the next function is still reported.
+        let diags = parse_program_all(
+            "func @a() {\nentry:\n  %x = load ?\n  ret\n}\n\
+             func @b() {\nentry:\n  %y = load %nope\n  ret\n}\n",
+        )
+        .unwrap_err();
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert_eq!((diags[0].line, diags[0].column), (3, 13), "{}", diags[0]);
+        assert!(diags[0].message.contains("unexpected character"), "{}", diags[0]);
+        assert!(diags[1].message.contains("undefined value"), "{}", diags[1]);
+    }
+
+    #[test]
+    fn syntax_errors_carry_token_columns() {
+        // Missing `=` after `%p`: the diagnostic points at the token
+        // where `=` was expected.
+        let diags =
+            parse_program_all("func @main() {\nentry:\n  %p alloc stack A\n  ret\n}\n").unwrap_err();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+        assert_eq!(diags[0].column, 6, "{}", diags[0]);
+        assert!(diags[0].message.contains("expected `=`"), "{}", diags[0]);
+        // Display renders line:column.
+        assert!(diags[0].to_string().contains("line 3:6"), "{}", diags[0]);
+    }
+
+    #[test]
+    fn first_sorted_diagnostic_is_the_single_error() {
+        // parse_program returns the position-wise first diagnostic even
+        // when a later-line error is discovered first (declaration pass
+        // runs before bodies).
+        let e = parse_program(
+            "func @a() {\nentry:\n  bogus\n  ret\n}\nfunc @a() {\nentry:\n  ret\n}\n",
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 3, "{e}");
+        assert!(e.message.contains("unknown instruction"), "{e}");
     }
 }

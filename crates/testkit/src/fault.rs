@@ -1,0 +1,129 @@
+//! Deterministic fault plans for exercising degradation paths.
+//!
+//! A [`FaultPlan`] turns a SplitMix64 seed into one concrete
+//! [`FaultSpec`] — a panic injected into the Nth parallel task, or a
+//! virtual deadline / allocation-cap trip at the Nth governor
+//! checkpoint. Because task indices and checkpoint numbers advance only
+//! at deterministic points of the solvers (task index = input order,
+//! checkpoints = sequential iteration boundaries), the same plan fires
+//! at the same logical point for every `--jobs` count — which is what
+//! lets the degradation tests demand bit-identical outcomes across
+//! jobs 1/2/8 under a fixed seed.
+//!
+//! Injection sites are kept *small* (`at` in `1..=8`) so even modest
+//! corpus programs reach them; a plan aimed past the end of a run
+//! simply never fires and the run completes.
+
+use crate::rng::Rng;
+use vsfs_adt::govern::{FaultKind, FaultSpec};
+
+/// Upper bound (exclusive) for seed-derived injection sites.
+const MAX_SITE: u64 = 9;
+
+/// A deterministic single-fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    spec: Option<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        FaultPlan { spec: None }
+    }
+
+    /// Panic inside the task with index `task`.
+    pub fn panic_at_task(task: u64) -> Self {
+        FaultPlan { spec: Some(FaultSpec { kind: FaultKind::PanicAtTask, at: task }) }
+    }
+
+    /// Virtual deadline trip at the `checkpoint`-th governor checkpoint
+    /// (1-based).
+    pub fn deadline_at_checkpoint(checkpoint: u64) -> Self {
+        FaultPlan { spec: Some(FaultSpec { kind: FaultKind::DeadlineAtCheckpoint, at: checkpoint }) }
+    }
+
+    /// Virtual allocation-cap trip at the `checkpoint`-th governor
+    /// checkpoint (1-based).
+    pub fn mem_cap_at_checkpoint(checkpoint: u64) -> Self {
+        FaultPlan { spec: Some(FaultSpec { kind: FaultKind::MemCapAtCheckpoint, at: checkpoint }) }
+    }
+
+    /// Derives a plan of the given kind from `seed`, using the same
+    /// SplitMix64 streams as the property harness: the stream is keyed
+    /// by `fault:<kind>` hashed FNV-1a, offset by the seed, so each kind
+    /// samples an unrelated site for the same seed.
+    pub fn from_seed(kind: FaultKind, seed: u64) -> Self {
+        let stream_key = crate::hash_name(&format!("fault:{}", kind.code()));
+        let mut rng = Rng::seed_from_u64(stream_key.wrapping_add(seed));
+        let at = rng.gen_range(1u64..MAX_SITE);
+        FaultPlan { spec: Some(FaultSpec { kind, at }) }
+    }
+
+    /// Parses a CLI-style plan description: `panic:SEED`,
+    /// `deadline:SEED`, or `mem-cap:SEED` (decimal seed).
+    pub fn parse(desc: &str) -> Result<Self, String> {
+        let (kind_str, seed_str) = desc
+            .split_once(':')
+            .ok_or_else(|| format!("bad fault `{desc}`: expected KIND:SEED"))?;
+        let kind = match kind_str {
+            "panic" => FaultKind::PanicAtTask,
+            "deadline" => FaultKind::DeadlineAtCheckpoint,
+            "mem-cap" => FaultKind::MemCapAtCheckpoint,
+            other => {
+                return Err(format!(
+                    "bad fault kind `{other}`: expected panic, deadline, or mem-cap"
+                ))
+            }
+        };
+        let seed: u64 = seed_str
+            .parse()
+            .map_err(|_| format!("bad fault seed `{seed_str}`: expected a decimal integer"))?;
+        Ok(FaultPlan::from_seed(kind, seed))
+    }
+
+    /// The concrete fault to hand to
+    /// `vsfs_adt::govern::Governor::with_fault`, if any.
+    pub fn spec(&self) -> Option<FaultSpec> {
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_derivation_is_deterministic_and_small() {
+        for kind in [
+            FaultKind::PanicAtTask,
+            FaultKind::DeadlineAtCheckpoint,
+            FaultKind::MemCapAtCheckpoint,
+        ] {
+            for seed in 0..64u64 {
+                let a = FaultPlan::from_seed(kind, seed);
+                let b = FaultPlan::from_seed(kind, seed);
+                assert_eq!(a, b);
+                let spec = a.spec().unwrap();
+                assert_eq!(spec.kind, kind);
+                assert!((1..MAX_SITE).contains(&spec.at), "site {} out of range", spec.at);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_accepts_each_kind_and_rejects_garbage() {
+        assert_eq!(FaultPlan::parse("panic:3").unwrap(), FaultPlan::from_seed(FaultKind::PanicAtTask, 3));
+        assert_eq!(
+            FaultPlan::parse("deadline:1").unwrap(),
+            FaultPlan::from_seed(FaultKind::DeadlineAtCheckpoint, 1)
+        );
+        assert_eq!(
+            FaultPlan::parse("mem-cap:7").unwrap(),
+            FaultPlan::from_seed(FaultKind::MemCapAtCheckpoint, 7)
+        );
+        assert!(FaultPlan::parse("panic").is_err());
+        assert!(FaultPlan::parse("oops:3").is_err());
+        assert!(FaultPlan::parse("panic:x").is_err());
+    }
+}

@@ -23,9 +23,11 @@
 //! reproducible across machines and invocations — the suite is
 //! deterministic by default, not only on replay.
 
+pub mod fault;
 pub mod gen;
 pub mod rng;
 
+pub use fault::FaultPlan;
 pub use rng::Rng;
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

@@ -35,6 +35,30 @@ done
 echo "ok: points-to sets and call graph identical for --jobs 1/2/8"
 
 echo
+echo "== fault-injection matrix: degraded exit 2, identical across jobs =="
+for kind in panic mem-cap deadline; do
+  for seed in 1 2 3; do
+    ref=""
+    for jobs in 1 4; do
+      rc=0
+      out="$(./target/release/vsfs --workload ninja --jobs "$jobs" \
+             --inject-fault "$kind:$seed" --print-pts)" || rc=$?
+      if [ "$rc" -ne 2 ]; then
+        echo "FAIL: $kind:$seed --jobs $jobs exited $rc (want 2: degraded)" >&2
+        exit 1
+      fi
+      if [ -z "$ref" ]; then
+        ref="$out"
+      elif [ "$out" != "$ref" ]; then
+        echo "FAIL: $kind:$seed output differs between --jobs 1 and 4" >&2
+        exit 1
+      fi
+    done
+  done
+done
+echo "ok: 3 kinds x 3 seeds degrade soundly and identically at --jobs 1/4"
+
+echo
 echo "== parallel scaling record (writes results/BENCH_parallel.json) =="
 cargo run --release -p vsfs-bench --bin parallel_scaling -- lynx --runs 1
 

@@ -1,0 +1,148 @@
+//! Graceful-degradation guarantees of governed solving.
+//!
+//! Three properties, each checked across the whole hand-written corpus:
+//!
+//! 1. **Soundness of the fallback**: whenever the flow-sensitive stage
+//!    degrades, the reported result is the auxiliary Andersen analysis,
+//!    which over-approximates the complete flow-sensitive result — every
+//!    points-to set and every call edge of the complete VSFS run is
+//!    contained in the fallback.
+//! 2. **No deadlock, no poisoning**: tripping the budget (or cancelling
+//!    the token) at *every* possible checkpoint returns normally with a
+//!    `Degraded` completion, and the very same inputs still solve cleanly
+//!    afterwards — no global state is corrupted by an interrupted run.
+//! 3. **Schedule independence**: with a seeded fault plan, jobs 1, 2 and
+//!    8 produce bit-identical results, completions and degraded stages.
+
+use vsfs::prelude::*;
+use vsfs_adt::govern::{Budget, CancelToken, Completion, DegradeReason, FaultKind, Governor};
+use vsfs_core::GovernedAnalysis;
+use vsfs_testkit::FaultPlan;
+
+struct Pipeline {
+    prog: Program,
+    aux: andersen::AndersenResult,
+    mssa: MemorySsa,
+    svfg: Svfg,
+}
+
+fn pipeline(source: &str, jobs: usize) -> Pipeline {
+    let prog = parse_program(source).expect("corpus parses");
+    let aux = andersen::analyze_with_config(&prog, andersen::AndersenConfig::with_jobs(jobs));
+    let mssa = MemorySsa::build(&prog, &aux);
+    let svfg = Svfg::build(&prog, &aux, &mssa);
+    Pipeline { prog, aux, mssa, svfg }
+}
+
+fn run_governed(p: &Pipeline, jobs: usize, gov: &Governor) -> GovernedAnalysis {
+    vsfs_core::run_vsfs_governed(&p.prog, &p.aux, &p.mssa, &p.svfg, jobs, gov)
+}
+
+/// The fallback (= Andersen) must contain the complete flow-sensitive
+/// result: per-value points-to supersets and a call-edge superset.
+fn assert_fallback_is_superset(p: &Pipeline, complete: &FlowSensitiveResult, label: &str) {
+    let fallback = FlowSensitiveResult::from_andersen(&p.prog, &p.aux);
+    for v in p.prog.values.indices() {
+        assert!(
+            fallback.pt[v].is_superset(&complete.pt[v]),
+            "{label}: fallback pt(%{}) misses flow-sensitive objects",
+            p.prog.values[v].name
+        );
+    }
+    for edge in &complete.callgraph_edges {
+        assert!(
+            fallback.callgraph_edges.contains(edge),
+            "{label}: fallback call graph misses {edge:?}"
+        );
+    }
+}
+
+#[test]
+fn andersen_fallback_over_approximates_complete_vsfs() {
+    for c in vsfs_workloads::corpus::corpus() {
+        let p = pipeline(c.source, 1);
+        let complete = vsfs_core::run_vsfs(&p.prog, &p.aux, &p.mssa, &p.svfg);
+        assert_fallback_is_superset(&p, &complete, c.name);
+    }
+}
+
+#[test]
+fn step_budget_trips_at_every_checkpoint_without_deadlock_or_poison() {
+    for c in vsfs_workloads::corpus::corpus() {
+        for jobs in [1, 2] {
+            let p = pipeline(c.source, jobs);
+            let complete = vsfs_core::run_vsfs(&p.prog, &p.aux, &p.mssa, &p.svfg);
+            // How many checkpoints does a full run pass? Bound the sweep
+            // by the step count of an unlimited governed run.
+            let probe = Governor::unlimited();
+            let ga = run_governed(&p, jobs, &probe);
+            assert!(ga.is_complete(), "{}: unlimited budget must complete", c.name);
+            let total = probe.steps();
+            for k in 0..total {
+                let gov = Governor::new(Budget::unlimited().with_steps(k));
+                let ga = run_governed(&p, jobs, &gov);
+                match &ga.completion {
+                    Completion::Degraded(DegradeReason::StepBudget) => {
+                        assert_fallback_is_superset(&p, &complete, c.name);
+                        assert_eq!(ga.mode, "flow-insensitive-fallback", "{}", c.name);
+                        assert!(ga.degraded_stage.is_some(), "{}", c.name);
+                    }
+                    other => panic!("{} k={k}: expected step-budget trip, got {other:?}", c.name),
+                }
+            }
+            // A budget of exactly `total` steps completes again: nothing
+            // was poisoned by the interrupted runs above.
+            let gov = Governor::new(Budget::unlimited().with_steps(total));
+            assert!(run_governed(&p, jobs, &gov).is_complete(), "{}", c.name);
+        }
+    }
+}
+
+#[test]
+fn pre_cancelled_token_degrades_immediately_and_cleanly() {
+    for c in vsfs_workloads::corpus::corpus() {
+        let p = pipeline(c.source, 2);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let gov = Governor::with_cancel(Budget::unlimited(), cancel);
+        let ga = run_governed(&p, 2, &gov);
+        assert_eq!(
+            ga.completion,
+            Completion::Degraded(DegradeReason::Cancelled),
+            "{}",
+            c.name
+        );
+        // The same pipeline still solves normally afterwards.
+        let again = run_governed(&p, 2, &Governor::unlimited());
+        assert!(again.is_complete(), "{}", c.name);
+    }
+}
+
+#[test]
+fn seeded_faults_are_bit_identical_across_job_counts() {
+    let kinds = [FaultKind::PanicAtTask, FaultKind::DeadlineAtCheckpoint, FaultKind::MemCapAtCheckpoint];
+    for c in vsfs_workloads::corpus::corpus() {
+        for kind in kinds {
+            for seed in 1..=3u64 {
+                let plan = FaultPlan::from_seed(kind, seed);
+                let runs: Vec<(usize, GovernedAnalysis)> = [1usize, 2, 8]
+                    .into_iter()
+                    .map(|jobs| {
+                        let p = pipeline(c.source, jobs);
+                        let gov = Governor::unlimited().with_fault(plan.spec());
+                        (jobs, run_governed(&p, jobs, &gov))
+                    })
+                    .collect();
+                let (_, first) = &runs[0];
+                for (jobs, ga) in &runs[1..] {
+                    let label = format!("{} {:?} seed {seed} jobs {jobs}", c.name, kind);
+                    assert_eq!(ga.completion, first.completion, "{label}");
+                    assert_eq!(ga.mode, first.mode, "{label}");
+                    assert_eq!(ga.degraded_stage, first.degraded_stage, "{label}");
+                    assert_eq!(ga.result.pt, first.result.pt, "{label}");
+                    assert_eq!(ga.result.callgraph_edges, first.result.callgraph_edges, "{label}");
+                }
+            }
+        }
+    }
+}
