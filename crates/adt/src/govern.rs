@@ -178,6 +178,12 @@ pub enum DegradeReason {
     Cancelled,
     /// A parallel worker task panicked.
     WorkerPanic(WorkerFault),
+    /// A fixed-capacity structure (e.g. a `u32`-id interner) ran out of
+    /// ids; the named resource cannot grow further.
+    CapacityExhausted {
+        /// Which structure overflowed (e.g. `"version interner"`).
+        resource: &'static str,
+    },
 }
 
 impl DegradeReason {
@@ -189,6 +195,7 @@ impl DegradeReason {
             DegradeReason::MemBudget => "mem-budget",
             DegradeReason::Cancelled => "cancelled",
             DegradeReason::WorkerPanic(_) => "worker-panic",
+            DegradeReason::CapacityExhausted { .. } => "capacity",
         }
     }
 }
@@ -201,6 +208,9 @@ impl fmt::Display for DegradeReason {
             DegradeReason::MemBudget => write!(f, "memory budget exhausted"),
             DegradeReason::Cancelled => write!(f, "cancelled"),
             DegradeReason::WorkerPanic(w) => write!(f, "worker fault: {w}"),
+            DegradeReason::CapacityExhausted { resource } => {
+                write!(f, "capacity exhausted: {resource}")
+            }
         }
     }
 }

@@ -7,6 +7,27 @@
 
 use crate::sbv::SparseBitVector;
 use std::collections::HashMap;
+use std::fmt;
+
+/// A fixed-capacity id space ran out of ids.
+///
+/// Returned by [`SbvInterner::try_intern`] when the next id would exceed
+/// the interner's limit (`u32::MAX` by default, or the cap given to
+/// [`SbvInterner::with_limit`]). Callers on the governed path surface it
+/// as `DegradeReason::CapacityExhausted` instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityOverflow {
+    /// The id-space size that was exceeded.
+    pub limit: usize,
+}
+
+impl fmt::Display for CapacityOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "interner id space exhausted ({} ids)", self.limit)
+    }
+}
+
+impl std::error::Error for CapacityOverflow {}
 
 /// Interns [`SparseBitVector`]s, assigning each distinct vector a dense id.
 ///
@@ -24,10 +45,17 @@ use std::collections::HashMap;
 /// assert_eq!(pool.intern(&a), id);
 /// assert_eq!(pool.get(id), &a);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SbvInterner {
     map: HashMap<SparseBitVector, u32>,
     vecs: Vec<SparseBitVector>,
+    limit: usize,
+}
+
+impl Default for SbvInterner {
+    fn default() -> Self {
+        SbvInterner::new()
+    }
 }
 
 impl SbvInterner {
@@ -36,21 +64,48 @@ impl SbvInterner {
 
     /// Creates an interner pre-seeded with the empty vector at id 0.
     pub fn new() -> Self {
-        let mut i = SbvInterner { map: HashMap::new(), vecs: Vec::new() };
-        let id = i.intern(&SparseBitVector::new());
+        Self::with_limit(u32::MAX as usize + 1)
+    }
+
+    /// Creates an interner that holds at most `limit` distinct vectors
+    /// (including the empty one). Lets tests exercise the overflow path
+    /// without interning four billion sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is 0 (the empty vector always occupies id 0) or
+    /// exceeds the `u32` id space.
+    pub fn with_limit(limit: usize) -> Self {
+        assert!(limit >= 1 && limit <= u32::MAX as usize + 1, "bad interner limit {limit}");
+        let mut i = SbvInterner { map: HashMap::new(), vecs: Vec::new(), limit };
+        let id = i.try_intern(&SparseBitVector::new()).expect("limit >= 1");
         debug_assert_eq!(id, Self::EMPTY);
         i
     }
 
     /// Returns the id for `v`, allocating a new one if unseen.
+    ///
+    /// # Panics
+    ///
+    /// Panics on id-space overflow; governed callers use
+    /// [`SbvInterner::try_intern`] instead and degrade cleanly.
     pub fn intern(&mut self, v: &SparseBitVector) -> u32 {
+        self.try_intern(v).expect("interner overflow")
+    }
+
+    /// Returns the id for `v`, allocating a new one if unseen, or a
+    /// [`CapacityOverflow`] once the id space is full.
+    pub fn try_intern(&mut self, v: &SparseBitVector) -> Result<u32, CapacityOverflow> {
         if let Some(&id) = self.map.get(v) {
-            return id;
+            return Ok(id);
         }
-        let id = u32::try_from(self.vecs.len()).expect("interner overflow");
+        if self.vecs.len() >= self.limit {
+            return Err(CapacityOverflow { limit: self.limit });
+        }
+        let id = u32::try_from(self.vecs.len()).expect("limit bounds the id space");
         self.vecs.push(v.clone());
         self.map.insert(v.clone(), id);
-        id
+        Ok(id)
     }
 
     /// Looks up a previously interned vector.
@@ -107,5 +162,19 @@ mod tests {
         assert_ne!(ia, ib);
         assert_eq!(p.get(ia), &a);
         assert_eq!(p.get(ib), &b);
+    }
+
+    #[test]
+    fn limited_interner_reports_overflow() {
+        // Room for ε plus one more vector.
+        let mut p = SbvInterner::with_limit(2);
+        let a: SparseBitVector = [1u32].into_iter().collect();
+        let b: SparseBitVector = [2u32].into_iter().collect();
+        let ia = p.try_intern(&a).expect("fits");
+        assert_eq!(p.try_intern(&a), Ok(ia), "re-interning is always fine");
+        assert_eq!(p.try_intern(&SparseBitVector::new()), Ok(SbvInterner::EMPTY));
+        let err = p.try_intern(&b).unwrap_err();
+        assert_eq!(err, CapacityOverflow { limit: 2 });
+        assert!(err.to_string().contains("exhausted"));
     }
 }

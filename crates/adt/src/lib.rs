@@ -16,6 +16,9 @@
 //!   max-RSS column in Table III).
 //! * [`interner`] — hash-consing of sparse bit vectors, used to map meld
 //!   labels to dense version ids.
+//! * [`ptstore`] — hash-consed points-to sets ([`PtsId`] handles into a
+//!   shared [`PtsStore`]) with memoized `union`/`insert` algebra, the
+//!   storage representation of every solver stage.
 //! * [`par`] — std-only deterministic parallelism: a sharded
 //!   work-stealing worklist, cost-balanced partitioners, and a
 //!   scoped-thread task driver used by the parallel solver phases.
@@ -44,6 +47,7 @@ pub mod interner;
 pub mod meldpool;
 pub mod mem;
 pub mod par;
+pub mod ptstore;
 pub mod sbv;
 pub mod stats;
 pub mod worklist;
@@ -53,9 +57,10 @@ pub use govern::{
     WorkerFault,
 };
 pub use index::IndexVec;
-pub use interner::SbvInterner;
+pub use interner::{CapacityOverflow, SbvInterner};
 pub use meldpool::MeldPool;
 pub use par::{ParConfig, ParStats, ShardedWorklist};
+pub use ptstore::{PtsId, PtsScratch, PtsStore, PtsStoreStats};
 pub use sbv::SparseBitVector;
 pub use worklist::{FifoWorklist, PriorityWorklist};
 

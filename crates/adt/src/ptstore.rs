@@ -1,0 +1,497 @@
+//! Hash-consed points-to sets with memoized set algebra.
+//!
+//! The MDE line of work (PAPERS.md) observes that a flow-sensitive
+//! pointer analysis is dominated by *repetition*: most `(node, object)`
+//! slots hold one of a few distinct sets, and the same unions are
+//! recomputed millions of times. This module deduplicates both:
+//!
+//! * every distinct [`PointsToSet`] is *interned* once and referred to by
+//!   a dense [`PtsId`] — equality and assignment become `u32` compares;
+//! * the algebra over ids (`union`, `insert`, `subtract`, `intersect`)
+//!   is memoized on id pairs, so repeating an operation on operands seen
+//!   before is a single hash lookup that touches no set data;
+//! * [`PtsStore::union_would_change`] answers the solvers' hottest
+//!   question — "would propagating `b` into `a` grow it?" — without
+//!   materialising the union.
+//!
+//! Ids are assigned in first-intern order, so any solver that performs
+//! store operations in a deterministic order gets deterministic ids; the
+//! parallel wave phase keeps this property by confining workers to
+//! read-only [`PtsScratch`]es whose materialised results are interned at
+//! the sequential barrier in a fixed order (see DESIGN.md §6).
+//!
+//! # Examples
+//!
+//! ```
+//! use vsfs_adt::{define_index, PtsStore, PointsToSet};
+//!
+//! define_index!(ObjId, "o");
+//! let mut store = PtsStore::<ObjId>::new();
+//! let a = store.insert(PtsStore::<ObjId>::EMPTY, ObjId::new(1));
+//! let b = store.insert(PtsStore::<ObjId>::EMPTY, ObjId::new(2));
+//! let ab = store.union(a, b);
+//! assert_eq!(store.union(b, a), ab);          // memoized, order-insensitive
+//! assert_eq!(store.union(ab, a), ab);         // absorption
+//! assert!(!store.union_would_change(ab, b));  // subset: no growth
+//! assert_eq!(store.get(ab).len(), 2);
+//! ```
+
+use crate::index::Idx;
+use crate::PointsToSet;
+use std::collections::HashMap;
+
+crate::define_index!(
+    /// A dense handle to an interned canonical points-to set.
+    ///
+    /// `PtsId(0)` is always the empty set ([`PtsStore::EMPTY`]).
+    PtsId,
+    "ps"
+);
+
+/// Counters describing a [`PtsStore`]'s effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PtsStoreStats {
+    /// Distinct canonical sets interned (including the empty set).
+    pub unique_sets: usize,
+    /// Approximate heap bytes held by the canonical sets.
+    pub unique_set_bytes: usize,
+    /// `union` calls answered by an algebraic shortcut (`a ∪ a`,
+    /// `a ∪ ∅`) without touching the memo or any set data.
+    pub union_shortcuts: usize,
+    /// `union` calls answered by the memo table.
+    pub union_hits: usize,
+    /// `union` calls that had to consult set data (subset test or a
+    /// fresh union) — the memo misses.
+    pub union_misses: usize,
+    /// `insert` calls answered by the memo table or a containment check.
+    pub insert_hits: usize,
+    /// `insert` calls that materialised a new set.
+    pub insert_misses: usize,
+    /// `union_would_change` calls answered without touching set data
+    /// (shortcut or memo).
+    pub would_change_fast: usize,
+    /// `union_would_change` calls that fell back to a subset test.
+    pub would_change_slow: usize,
+}
+
+impl PtsStoreStats {
+    /// Fraction of non-shortcut `union` calls served by the memo.
+    pub fn union_hit_rate(&self) -> f64 {
+        let total = self.union_hits + self.union_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.union_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Interns canonical points-to sets and memoizes the algebra over them.
+///
+/// One store is shared by every stage of a solver run: identical sets
+/// across Andersen's `pts`/`prop`, SFS `IN`/`OUT` entries, VSFS version
+/// slots, and top-level variables are stored once.
+#[derive(Debug, Clone, Default)]
+pub struct PtsStore<I: Idx> {
+    sets: Vec<PointsToSet<I>>,
+    ids: HashMap<PointsToSet<I>, PtsId>,
+    union_memo: HashMap<(PtsId, PtsId), PtsId>,
+    insert_memo: HashMap<(PtsId, u32), PtsId>,
+    diff_memo: HashMap<(PtsId, PtsId), PtsId>,
+    intersect_memo: HashMap<(PtsId, PtsId), PtsId>,
+    stats: PtsStoreStats,
+}
+
+impl<I: Idx> PtsStore<I> {
+    /// The id of the empty set.
+    pub const EMPTY: PtsId = PtsId::new(0);
+
+    /// Creates a store pre-seeded with the empty set at id 0.
+    pub fn new() -> Self {
+        let mut s = PtsStore {
+            sets: Vec::new(),
+            ids: HashMap::new(),
+            union_memo: HashMap::new(),
+            insert_memo: HashMap::new(),
+            diff_memo: HashMap::new(),
+            intersect_memo: HashMap::new(),
+            stats: PtsStoreStats::default(),
+        };
+        let e = s.intern(&PointsToSet::new());
+        debug_assert_eq!(e, Self::EMPTY);
+        s
+    }
+
+    /// The canonical set behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this store.
+    pub fn get(&self, id: PtsId) -> &PointsToSet<I> {
+        &self.sets[id.index()]
+    }
+
+    /// Returns the id for `set`, interning a copy if unseen.
+    pub fn intern(&mut self, set: &PointsToSet<I>) -> PtsId {
+        if let Some(&id) = self.ids.get(set) {
+            return id;
+        }
+        let id = PtsId::from_index(self.sets.len());
+        self.sets.push(set.clone());
+        self.ids.insert(set.clone(), id);
+        id
+    }
+
+    /// Looks up the id of `set` without interning it.
+    pub fn lookup(&self, set: &PointsToSet<I>) -> Option<PtsId> {
+        self.ids.get(set).copied()
+    }
+
+    /// The set containing exactly `elem`.
+    pub fn singleton(&mut self, elem: I) -> PtsId {
+        self.insert(Self::EMPTY, elem)
+    }
+
+    /// The set `a ∪ {elem}`, memoized on `(a, elem)`.
+    pub fn insert(&mut self, a: PtsId, elem: I) -> PtsId {
+        let key = (a, elem.index() as u32);
+        if let Some(&r) = self.insert_memo.get(&key) {
+            self.stats.insert_hits += 1;
+            return r;
+        }
+        let r = if self.sets[a.index()].contains(elem) {
+            self.stats.insert_hits += 1;
+            a
+        } else {
+            self.stats.insert_misses += 1;
+            let mut s = self.sets[a.index()].clone();
+            s.insert(elem);
+            self.intern(&s)
+        };
+        self.insert_memo.insert(key, r);
+        r
+    }
+
+    /// The set `a ∪ b`, memoized on the unordered id pair.
+    pub fn union(&mut self, a: PtsId, b: PtsId) -> PtsId {
+        if a == b || b == Self::EMPTY {
+            self.stats.union_shortcuts += 1;
+            return a;
+        }
+        if a == Self::EMPTY {
+            self.stats.union_shortcuts += 1;
+            return b;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if let Some(&r) = self.union_memo.get(&key) {
+            self.stats.union_hits += 1;
+            return r;
+        }
+        self.stats.union_misses += 1;
+        // Subset shortcuts before allocating a union.
+        let r = if self.sets[a.index()].is_superset(&self.sets[b.index()]) {
+            a
+        } else if self.sets[b.index()].is_superset(&self.sets[a.index()]) {
+            b
+        } else {
+            let mut u = self.sets[a.index()].clone();
+            u.union_with(&self.sets[b.index()]);
+            self.intern(&u)
+        };
+        self.union_memo.insert(key, r);
+        r
+    }
+
+    /// Would `union(a, b)` differ from `a`? Answered from the memo when
+    /// possible; falls back to one subset test (and records the memo on a
+    /// negative answer) without ever materialising the union.
+    pub fn union_would_change(&mut self, a: PtsId, b: PtsId) -> bool {
+        if a == b || b == Self::EMPTY {
+            self.stats.would_change_fast += 1;
+            return false;
+        }
+        if a == Self::EMPTY {
+            self.stats.would_change_fast += 1;
+            return true;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if let Some(&r) = self.union_memo.get(&key) {
+            self.stats.would_change_fast += 1;
+            return r != a;
+        }
+        self.stats.would_change_slow += 1;
+        if self.sets[a.index()].is_superset(&self.sets[b.index()]) {
+            // union(a, b) == a: remember it so the next ask is a hit.
+            self.union_memo.insert(key, a);
+            false
+        } else {
+            true
+        }
+    }
+
+    /// The set `a \ b`, memoized on the ordered id pair.
+    pub fn subtract(&mut self, a: PtsId, b: PtsId) -> PtsId {
+        if a == Self::EMPTY || a == b {
+            return Self::EMPTY;
+        }
+        if b == Self::EMPTY {
+            return a;
+        }
+        if let Some(&r) = self.diff_memo.get(&(a, b)) {
+            return r;
+        }
+        let r = if self.sets[a.index()].is_disjoint(&self.sets[b.index()]) {
+            a
+        } else {
+            let mut d = self.sets[a.index()].clone();
+            d.subtract(&self.sets[b.index()]);
+            self.intern(&d)
+        };
+        self.diff_memo.insert((a, b), r);
+        r
+    }
+
+    /// The set `a ∩ b`, memoized on the unordered id pair.
+    pub fn intersect(&mut self, a: PtsId, b: PtsId) -> PtsId {
+        if a == b {
+            return a;
+        }
+        if a == Self::EMPTY || b == Self::EMPTY {
+            return Self::EMPTY;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if let Some(&r) = self.intersect_memo.get(&key) {
+            return r;
+        }
+        let r = if self.sets[b.index()].is_superset(&self.sets[a.index()]) {
+            a
+        } else if self.sets[a.index()].is_superset(&self.sets[b.index()]) {
+            b
+        } else {
+            let mut x = self.sets[a.index()].clone();
+            x.intersect_with(&self.sets[b.index()]);
+            self.intern(&x)
+        };
+        self.intersect_memo.insert(key, r);
+        r
+    }
+
+    /// Number of distinct sets interned (including the empty one).
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Returns `true` if only the empty set has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.sets.len() <= 1
+    }
+
+    /// A snapshot of the store's counters, with `unique_sets` and
+    /// `unique_set_bytes` filled in from the current contents.
+    pub fn stats(&self) -> PtsStoreStats {
+        let mut s = self.stats;
+        s.unique_sets = self.sets.len();
+        s.unique_set_bytes = self.sets.iter().map(PointsToSet::heap_bytes).sum();
+        s
+    }
+}
+
+/// A read-only view of a [`PtsStore`] for one parallel worker, plus the
+/// worker's locally materialised results.
+///
+/// Workers never mutate the shared store: each resolves ids through the
+/// scratch, unions into private owned sets, and records `(slot, set)`
+/// pairs for slots that grew. The sequential barrier then interns every
+/// recorded set in a fixed order (worker-group order, ascending slot
+/// within a group), so id assignment — and therefore every downstream
+/// result — is independent of the worker count.
+#[derive(Debug)]
+pub struct PtsScratch<'s, I: Idx> {
+    store: &'s PtsStore<I>,
+    changed: Vec<(usize, PointsToSet<I>)>,
+}
+
+impl<'s, I: Idx> PtsScratch<'s, I> {
+    /// Creates a scratch view over `store`.
+    pub fn new(store: &'s PtsStore<I>) -> Self {
+        PtsScratch { store, changed: Vec::new() }
+    }
+
+    /// Resolves an id through the shared store.
+    pub fn resolve(&self, id: PtsId) -> &'s PointsToSet<I> {
+        self.store.get(id)
+    }
+
+    /// Unions `adds` into the set behind `base`; if anything grew,
+    /// records the materialised result for `slot` and returns `true`.
+    pub fn union_into<'a>(
+        &mut self,
+        slot: usize,
+        base: PtsId,
+        adds: impl IntoIterator<Item = &'a PointsToSet<I>>,
+    ) -> bool
+    where
+        I: 'a,
+    {
+        let mut set = self.store.get(base).clone();
+        let mut grew = false;
+        for add in adds {
+            grew |= set.union_with(add);
+        }
+        if grew {
+            self.changed.push((slot, set));
+        }
+        grew
+    }
+
+    /// The recorded `(slot, set)` pairs, in recording order.
+    pub fn into_changed(self) -> Vec<(usize, PointsToSet<I>)> {
+        self.changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsfs_testkit::gen;
+
+    crate::define_index!(TObj, "t");
+
+    fn sing(store: &mut PtsStore<TObj>, e: u32) -> PtsId {
+        store.singleton(TObj::new(e))
+    }
+
+    #[test]
+    fn identity_and_idempotence() {
+        let mut s = PtsStore::<TObj>::new();
+        let a = sing(&mut s, 7);
+        assert_eq!(s.union(a, a), a);
+        assert_eq!(s.union(a, PtsStore::<TObj>::EMPTY), a);
+        assert_eq!(s.union(PtsStore::<TObj>::EMPTY, a), a);
+        assert_eq!(
+            s.union(PtsStore::<TObj>::EMPTY, PtsStore::<TObj>::EMPTY),
+            PtsStore::<TObj>::EMPTY
+        );
+        assert_eq!(s.stats().union_shortcuts, 4);
+    }
+
+    #[test]
+    fn union_memoizes_and_shortcuts() {
+        let mut s = PtsStore::<TObj>::new();
+        let a = sing(&mut s, 1);
+        let b = sing(&mut s, 2);
+        let ab = s.union(a, b);
+        assert_eq!(s.stats().union_misses, 1);
+        assert_eq!(s.union(b, a), ab, "commutative via unordered key");
+        assert_eq!(s.stats().union_hits, 1, "second union hit the memo");
+        assert_eq!(s.union(ab, b), ab, "superset shortcut");
+        assert_eq!(s.len(), 4); // ∅, {1}, {2}, {1,2}
+    }
+
+    #[test]
+    fn insert_memoizes() {
+        let mut s = PtsStore::<TObj>::new();
+        let a = sing(&mut s, 3);
+        let a5 = s.insert(a, TObj::new(5));
+        assert!(s.get(a5).contains(TObj::new(5)) && s.get(a5).contains(TObj::new(3)));
+        assert_eq!(s.insert(a, TObj::new(5)), a5);
+        assert_eq!(s.insert(a5, TObj::new(5)), a5, "already present");
+        let st = s.stats();
+        assert!(st.insert_hits >= 2);
+    }
+
+    #[test]
+    fn would_change_agrees_with_union() {
+        let mut s = PtsStore::<TObj>::new();
+        let a = sing(&mut s, 1);
+        let b = sing(&mut s, 2);
+        let ab = s.union(a, b);
+        assert!(!s.union_would_change(ab, a));
+        assert!(!s.union_would_change(ab, b));
+        assert!(s.union_would_change(a, b));
+        assert!(!s.union_would_change(a, PtsStore::<TObj>::EMPTY));
+        assert!(s.union_would_change(PtsStore::<TObj>::EMPTY, a));
+        // The negative answer was memoized as union(ab, a) == ab.
+        assert_eq!(s.union(ab, a), ab);
+    }
+
+    #[test]
+    fn subtract_and_intersect() {
+        let mut s = PtsStore::<TObj>::new();
+        let a = sing(&mut s, 1);
+        let b = sing(&mut s, 2);
+        let ab = s.union(a, b);
+        assert_eq!(s.subtract(ab, a), b);
+        assert_eq!(s.subtract(ab, b), a);
+        assert_eq!(s.subtract(a, ab), PtsStore::<TObj>::EMPTY);
+        assert_eq!(s.subtract(a, b), a, "disjoint shortcut");
+        assert_eq!(s.intersect(ab, a), a);
+        assert_eq!(s.intersect(a, b), PtsStore::<TObj>::EMPTY);
+        assert_eq!(s.intersect(ab, ab), ab);
+    }
+
+    #[test]
+    fn scratch_records_only_growth() {
+        let mut s = PtsStore::<TObj>::new();
+        let a = sing(&mut s, 1);
+        let b = sing(&mut s, 2);
+        let bset = s.get(b).clone();
+        let aset = s.get(a).clone();
+        let mut scratch = PtsScratch::new(&s);
+        assert!(scratch.union_into(0, a, [&bset]));
+        assert!(!scratch.union_into(1, a, [&aset]), "no growth, not recorded");
+        let changed = scratch.into_changed();
+        assert_eq!(changed.len(), 1);
+        assert_eq!(changed[0].0, 0);
+        assert_eq!(changed[0].1.len(), 2);
+    }
+
+    /// The memoized algebra agrees with direct set operations.
+    #[test]
+    fn matches_direct_set_ops() {
+        vsfs_testkit::check("ptstore::matches_direct_set_ops", |rng| {
+            let ops = gen::vec_with(rng, 1..48, |r| {
+                (r.gen_range(0u32..64), r.gen_range(0usize..8), r.gen_range(0usize..8),
+                 r.gen_range(0u32..4))
+            });
+            let mut store = PtsStore::<TObj>::new();
+            let mut ids: Vec<PtsId> = vec![PtsStore::<TObj>::EMPTY];
+            let mut sets: Vec<PointsToSet<TObj>> = vec![PointsToSet::new()];
+            for (elem, i, j, op) in ops {
+                let (i, j) = (i % ids.len(), j % ids.len());
+                let (id, set) = match op {
+                    0 => {
+                        let mut u = sets[i].clone();
+                        u.union_with(&sets[j]);
+                        (store.union(ids[i], ids[j]), u)
+                    }
+                    1 => {
+                        let mut u = sets[i].clone();
+                        u.insert(TObj::new(elem));
+                        (store.insert(ids[i], TObj::new(elem)), u)
+                    }
+                    2 => {
+                        let mut d = sets[i].clone();
+                        d.subtract(&sets[j]);
+                        (store.subtract(ids[i], ids[j]), d)
+                    }
+                    _ => {
+                        let mut x = sets[i].clone();
+                        x.intersect_with(&sets[j]);
+                        (store.intersect(ids[i], ids[j]), x)
+                    }
+                };
+                assert_eq!(store.get(id), &set);
+                // would_change must agree with the realised union.
+                let grown = store.union(ids[i], ids[j]) != ids[i];
+                assert_eq!(store.union_would_change(ids[i], ids[j]), grown);
+                ids.push(id);
+                sets.push(set);
+            }
+            // Canonical: equal sets share an id.
+            for (id, set) in ids.iter().zip(&sets) {
+                assert_eq!(store.lookup(set), Some(*id));
+            }
+        });
+    }
+}

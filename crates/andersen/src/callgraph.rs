@@ -42,6 +42,21 @@ impl CallGraph {
         self.address_taken.insert(func);
     }
 
+    /// Sorts every callee and caller list, making the exposed order a
+    /// pure function of the edge *set* rather than of discovery order.
+    /// Sequential and wave-mode solving discover indirect edges in
+    /// different orders; downstream consumers (memory SSA, SVFG wiring)
+    /// iterate these lists, so canonical order is what keeps the whole
+    /// pipeline bit-identical across `--jobs`.
+    pub fn canonicalize(&mut self) {
+        for v in self.callees.values_mut() {
+            v.sort_unstable();
+        }
+        for v in self.callers.values_mut() {
+            v.sort_unstable();
+        }
+    }
+
     /// The possible callees of `call`.
     pub fn callees(&self, call: InstId) -> &[FuncId] {
         self.callees.get(&call).map_or(&[], |v| v.as_slice())
@@ -57,9 +72,17 @@ impl CallGraph {
         self.address_taken.contains(&func)
     }
 
-    /// Iterates all `(call, callee)` edges.
+    /// Iterates all `(call, callee)` edges, grouped by ascending call
+    /// site. The order is a pure function of the edge set (never of the
+    /// backing map's hash order): SVFG construction wires indirect edges
+    /// in this order, and the whole-pipeline bit-identity guarantee
+    /// rests on it being reproducible.
     pub fn edges(&self) -> impl Iterator<Item = (InstId, FuncId)> + '_ {
-        self.callees.iter().flat_map(|(&c, fs)| fs.iter().map(move |&f| (c, f)))
+        let mut calls: Vec<InstId> = self.callees.keys().copied().collect();
+        calls.sort_unstable();
+        calls
+            .into_iter()
+            .flat_map(move |c| self.callees[&c].iter().map(move |&f| (c, f)))
     }
 
     /// Number of `(call, callee)` edges.

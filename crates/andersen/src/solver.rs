@@ -28,9 +28,12 @@ use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use vsfs_adt::govern::{panic_message, DegradeReason, Governor, Outcome, WorkerFault};
 use vsfs_adt::par::{self, ParConfig};
-use vsfs_adt::{FifoWorklist, PointsToSet};
+use vsfs_adt::{FifoWorklist, PointsToSet, PtsId, PtsScratch, PtsStore, PtsStoreStats};
 use vsfs_graph::{DiGraph, Sccs};
 use vsfs_ir::{FuncId, ObjId, Program, ValueId};
+
+/// The empty-set id of the solver's store.
+const EMPTY: PtsId = PtsStore::<ObjId>::EMPTY;
 
 /// Tuning knobs for the solver.
 #[derive(Debug, Clone, Copy)]
@@ -76,13 +79,17 @@ pub struct AndersenStats {
     pub waves: usize,
     /// Worker threads used by the parallel schedule (0 for sequential runs).
     pub par_workers: usize,
+    /// Hash-consed points-to store counters (unique sets, memo hit rates).
+    pub store: PtsStoreStats,
 }
 
-/// The result of Andersen's analysis.
+/// The result of Andersen's analysis. Points-to sets live in a shared
+/// hash-consed [`PtsStore`]; each node holds only a [`PtsId`] handle.
 #[derive(Debug, Clone)]
 pub struct AndersenResult {
     uf: Vec<u32>,
-    pts: Vec<PointsToSet<ObjId>>,
+    store: PtsStore<ObjId>,
+    pts: Vec<PtsId>,
     value_count: usize,
     /// The (over-approximate) call graph.
     pub callgraph: CallGraph,
@@ -100,12 +107,12 @@ impl AndersenResult {
 
     /// The points-to set of top-level value `v`.
     pub fn value_pts(&self, v: ValueId) -> &PointsToSet<ObjId> {
-        &self.pts[self.find(v.index())]
+        self.store.get(self.pts[self.find(v.index())])
     }
 
     /// The (flow-insensitive) points-to set stored in object `o`.
     pub fn object_pts(&self, o: ObjId) -> &PointsToSet<ObjId> {
-        &self.pts[self.find(self.value_count + o.index())]
+        self.store.get(self.pts[self.find(self.value_count + o.index())])
     }
 
     /// Total elements across all distinct representative points-to sets —
@@ -115,7 +122,7 @@ impl AndersenResult {
             .iter()
             .enumerate()
             .filter(|&(i, &r)| i == r as usize)
-            .map(|(i, _)| self.pts[i].len())
+            .map(|(i, _)| self.store.get(self.pts[i]).len())
             .sum()
     }
 }
@@ -171,14 +178,35 @@ struct WaveOutcome {
     calls: Vec<(CallSiteId, FuncId)>,
 }
 
+/// Path-compressing union-find lookup on a bare parent array.
+///
+/// A free function rather than a method so hot loops can split-borrow:
+/// resolving representatives needs only `uf`, leaving `copy_succs` (and
+/// the store) free to be borrowed alongside instead of cloned per pop.
+fn find_in(uf: &mut [u32], n: usize) -> usize {
+    let mut root = n;
+    while uf[root] as usize != root {
+        root = uf[root] as usize;
+    }
+    // Path compression.
+    let mut cur = n;
+    while uf[cur] as usize != cur {
+        let next = uf[cur] as usize;
+        uf[cur] = root as u32;
+        cur = next;
+    }
+    root
+}
+
 struct Solver<'p> {
     prog: &'p Program,
     pag: Pag,
     config: AndersenConfig,
     gov: Option<&'p Governor>,
     uf: Vec<u32>,
-    pts: Vec<PointsToSet<ObjId>>,
-    prop: Vec<PointsToSet<ObjId>>,
+    store: PtsStore<ObjId>,
+    pts: Vec<PtsId>,
+    prop: Vec<PtsId>,
     copy_succs: Vec<Vec<u32>>,
     loads: Vec<Vec<u32>>,
     stores: Vec<Vec<u32>>,
@@ -202,8 +230,9 @@ impl<'p> Solver<'p> {
             config,
             gov: None,
             uf: (0..n as u32).collect(),
-            pts: vec![PointsToSet::new(); n],
-            prop: vec![PointsToSet::new(); n],
+            store: PtsStore::new(),
+            pts: vec![EMPTY; n],
+            prop: vec![EMPTY; n],
             copy_succs: vec![Vec::new(); n],
             loads: vec![Vec::new(); n],
             stores: vec![Vec::new(); n],
@@ -219,18 +248,7 @@ impl<'p> Solver<'p> {
     }
 
     fn find(&mut self, n: usize) -> usize {
-        let mut root = n;
-        while self.uf[root] as usize != root {
-            root = self.uf[root] as usize;
-        }
-        // Path compression.
-        let mut cur = n;
-        while self.uf[cur] as usize != cur {
-            let next = self.uf[cur] as usize;
-            self.uf[cur] = root as u32;
-            cur = next;
-        }
-        root
+        find_in(&mut self.uf, n)
     }
 
     fn run(mut self) -> AndersenResult {
@@ -264,15 +282,18 @@ impl<'p> Solver<'p> {
         for &(call, callee) in &self.pag.direct_calls {
             self.callgraph.add_edge(call, callee);
         }
+        self.callgraph.canonicalize();
         AndersenResult {
             uf: self.uf,
-            pts: self.pts,
             value_count: self.prog.values.len(),
             callgraph: self.callgraph,
             stats: AndersenStats {
                 copy_edges: self.copy_succs.iter().map(Vec::len).sum(),
+                store: self.store.stats(),
                 ..self.stats
             },
+            store: self.store,
+            pts: self.pts,
         }
     }
 
@@ -315,7 +336,11 @@ impl<'p> Solver<'p> {
             let outcomes = match par::try_run_tasks_with(
                 par,
                 dirty.len(),
-                |k| (this.pts[dirty_ref[k]].len() + this.copy_succs[dirty_ref[k]].len() + 1) as u64,
+                |k| {
+                    (this.store.get(this.pts[dirty_ref[k]]).len()
+                        + this.copy_succs[dirty_ref[k]].len()
+                        + 1) as u64
+                },
                 this.gov,
                 || (),
                 |(), k| this.wave_scan(dirty_ref[k]),
@@ -333,15 +358,17 @@ impl<'p> Solver<'p> {
                 },
             };
 
-            // Phase B (sequential): commit deltas to `prop`, then apply
-            // structural mutations in ascending node order.
+            // Phase B (sequential): commit deltas to `prop` — interning
+            // each delta in wave order, so store ids stay deterministic —
+            // then apply structural mutations in ascending node order.
             for (k, out) in outcomes.iter().enumerate() {
                 if out.delta.is_empty() {
                     continue;
                 }
                 self.stats.pops += 1;
                 pops_since_scc += 1;
-                self.prop[dirty[k]].union_with(&out.delta);
+                let did = self.store.intern(&out.delta);
+                self.prop[dirty[k]] = self.store.union(self.prop[dirty[k]], did);
             }
             for out in &outcomes {
                 for &(src, dst) in &out.copy_new {
@@ -349,7 +376,9 @@ impl<'p> Solver<'p> {
                 }
                 for &(dst, f) in &out.gep_new {
                     let d = self.find(dst as usize);
-                    if self.pts[d].insert(f) {
+                    let new = self.store.insert(self.pts[d], f);
+                    if new != self.pts[d] {
+                        self.pts[d] = new;
                         self.worklist.push(d);
                     }
                 }
@@ -360,16 +389,18 @@ impl<'p> Solver<'p> {
 
             // Phase C (parallel): propagate deltas along copy edges,
             // sharded by target so each target's unions land on exactly
-            // one worker. Messages reference outcomes by index.
+            // one worker. Messages reference outcomes by index. The
+            // successor lists are only read, so resolving targets needs
+            // just a split borrow of the union-find — no clone per node.
             let mut msgs: Vec<(u32, u32)> = Vec::new();
+            let uf = &mut self.uf;
             for (k, out) in outcomes.iter().enumerate() {
                 if out.delta.is_empty() {
                     continue;
                 }
                 let n = dirty[k];
-                let succs = self.copy_succs[n].clone();
-                for s in succs {
-                    let t = self.find(s as usize);
+                for &s in &self.copy_succs[n] {
+                    let t = find_in(uf, s as usize);
                     if t != n {
                         msgs.push((t as u32, k as u32));
                     }
@@ -394,8 +425,8 @@ impl<'p> Solver<'p> {
     /// `n` and the actions it implies, without mutating any solver state.
     fn wave_scan(&self, n: usize) -> WaveOutcome {
         let mut out = WaveOutcome::default();
-        out.delta = self.pts[n].clone();
-        out.delta.subtract(&self.prop[n]);
+        out.delta = self.store.get(self.pts[n]).clone();
+        out.delta.subtract(self.store.get(self.prop[n]));
         if out.delta.is_empty() {
             return out;
         }
@@ -426,10 +457,13 @@ impl<'p> Solver<'p> {
     }
 
     /// Phase C: applies `msgs` — sorted `(target, outcome index)` union
-    /// requests — over disjoint contiguous chunks of `self.pts`, one
-    /// chunk per worker, then pushes every target that grew (in
-    /// ascending order, so the next wave is identical for any worker
-    /// count).
+    /// requests — with one worker per cost-balanced group range. Workers
+    /// are *read-only* over the shared store: each resolves its targets'
+    /// current sets through a [`PtsScratch`], unions the message deltas
+    /// into private owned sets, and reports `(target, set)` pairs for the
+    /// targets that grew. The sequential barrier then interns the results
+    /// in group order (ascending target) and pushes the grown targets, so
+    /// store ids and the next wave are identical for any worker count.
     fn apply_unions(&mut self, msgs: &[(u32, u32)], outcomes: &[WaveOutcome], par: ParConfig) {
         if msgs.is_empty() {
             return;
@@ -445,20 +479,14 @@ impl<'p> Solver<'p> {
         let costs: Vec<u64> = groups.iter().map(|&(_, s, e)| (e - s) as u64).collect();
         let ranges = par::split_by_cost(&costs, par.effective_jobs());
 
-        let grown: Vec<Result<Vec<usize>, WorkerFault>> = std::thread::scope(|scope| {
+        type ChangedSets = Vec<(usize, PointsToSet<ObjId>)>;
+        let this = &*self;
+        let grown: Vec<Result<ChangedSets, WorkerFault>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(ranges.len());
-            let mut rest: &mut [PointsToSet<ObjId>] = &mut self.pts;
-            let mut consumed = 0usize;
             for r in &ranges {
                 if r.is_empty() {
                     continue;
                 }
-                let first_t = groups[r.start].0;
-                let last_t = groups[r.end - 1].0;
-                let tail = rest.split_at_mut(first_t - consumed).1;
-                let (chunk, tail) = tail.split_at_mut(last_t - first_t + 1);
-                rest = tail;
-                consumed = last_t + 1;
                 let chunk_groups = &groups[r.clone()];
                 handles.push(scope.spawn(move || {
                     // Union application cannot realistically panic, but
@@ -466,21 +494,18 @@ impl<'p> Solver<'p> {
                     // `thread::scope` (two unwinding workers abort the
                     // process). Catch and report instead.
                     catch_unwind(AssertUnwindSafe(move || {
-                        let mut grew = Vec::new();
+                        let mut scratch = PtsScratch::new(&this.store);
                         for &(t, s, e) in chunk_groups {
-                            let cell = &mut chunk[t - first_t];
-                            let mut changed = false;
-                            for &(_, k) in &msgs[s..e] {
-                                changed |= cell.union_with(&outcomes[k as usize].delta);
-                            }
-                            if changed {
-                                grew.push(t);
-                            }
+                            scratch.union_into(
+                                t,
+                                this.pts[t],
+                                msgs[s..e].iter().map(|&(_, k)| &outcomes[k as usize].delta),
+                            );
                         }
-                        grew
+                        scratch.into_changed()
                     }))
                     .map_err(|payload| WorkerFault {
-                        task: first_t,
+                        task: chunk_groups[0].0,
                         message: panic_message(&*payload),
                     })
                 }));
@@ -492,12 +517,16 @@ impl<'p> Solver<'p> {
                         Err(WorkerFault { task: usize::MAX, message: panic_message(&*payload) })
                     })
                 })
-                .collect::<Vec<Result<Vec<usize>, WorkerFault>>>()
+                .collect::<Vec<Result<ChangedSets, WorkerFault>>>()
         });
         for outcome in grown {
             match outcome {
-                Ok(targets) => {
-                    for t in targets {
+                Ok(changed) => {
+                    // Deterministic merge: group ranges are contiguous and
+                    // ascending, so concatenating worker outputs visits
+                    // targets in ascending order whatever the partition.
+                    for (t, set) in changed {
+                        self.pts[t] = self.store.intern(&set);
                         self.worklist.push(t);
                     }
                 }
@@ -521,7 +550,9 @@ impl<'p> Solver<'p> {
                         }
                     }
                     let d = self.find(dst.index());
-                    if self.pts[d].insert(obj) {
+                    let new = self.store.insert(self.pts[d], obj);
+                    if new != self.pts[d] {
+                        self.pts[d] = new;
                         self.worklist.push(d);
                     }
                 }
@@ -562,26 +593,25 @@ impl<'p> Solver<'p> {
     /// Forces already-propagated elements of `n` to be re-examined (used
     /// when a new complex constraint attaches to `n`).
     fn reprocess(&mut self, n: usize) {
-        if !self.pts[n].is_empty() {
-            self.prop[n].clear();
+        if self.pts[n] != EMPTY {
+            self.prop[n] = EMPTY;
             self.worklist.push(n);
         }
     }
 
     fn process_node(&mut self, n: usize) {
-        let mut delta = self.pts[n].clone();
-        delta.subtract(&self.prop[n]);
-        if delta.is_empty() {
+        let delta = self.store.subtract(self.pts[n], self.prop[n]);
+        if delta == EMPTY {
             return;
         }
-        self.prop[n].union_with(&delta);
+        self.prop[n] = self.store.union(self.prop[n], delta);
 
         // Complex constraints keyed on n.
         let loads = std::mem::take(&mut self.loads[n]);
         let stores = std::mem::take(&mut self.stores[n]);
         let geps = std::mem::take(&mut self.geps[n]);
         let icalls = std::mem::take(&mut self.icalls[n]);
-        for o in delta.iter().collect::<Vec<_>>() {
+        for o in self.store.get(delta).iter().collect::<Vec<_>>() {
             let obj_node = self.pag.object_node(o).index();
             for &dst in &loads {
                 self.add_copy_edge(obj_node, dst as usize);
@@ -592,7 +622,9 @@ impl<'p> Solver<'p> {
             for &(offset, dst) in &geps {
                 let f = self.prog.field_object(o, offset);
                 let d = self.find(dst as usize);
-                if self.pts[d].insert(f) {
+                let new = self.store.insert(self.pts[d], f);
+                if new != self.pts[d] {
+                    self.pts[d] = new;
                     self.worklist.push(d);
                 }
             }
@@ -610,16 +642,25 @@ impl<'p> Solver<'p> {
         self.geps[n2].extend(geps);
         self.icalls[n2].extend(icalls);
 
-        // Propagate the delta along copy edges.
-        let succs = self.copy_succs[n].clone();
-        for s in succs {
-            let s = self.find(s as usize);
-            if s == self.find(n) {
+        // Propagate the delta along copy edges. Split-borrow the fields
+        // (union-find, id arrays, store, worklist) so the successor list
+        // can be iterated in place instead of cloned on every pop.
+        let uf = &mut self.uf;
+        let pts = &mut self.pts;
+        let store = &mut self.store;
+        let worklist = &mut self.worklist;
+        let stats = &mut self.stats;
+        let root = find_in(uf, n);
+        for &s in &self.copy_succs[n] {
+            let s = find_in(uf, s as usize);
+            if s == root {
                 continue;
             }
-            self.stats.propagations += 1;
-            if self.pts[s].union_with(&delta) {
-                self.worklist.push(s);
+            stats.propagations += 1;
+            let new = store.union(pts[s], delta);
+            if new != pts[s] {
+                pts[s] = new;
+                worklist.push(s);
             }
         }
         // If complex processing grew pts[n] itself (e.g. gep dst == n), the
@@ -634,10 +675,11 @@ impl<'p> Solver<'p> {
         }
         self.copy_succs[s].push(d as u32);
         // Seed the new edge with everything already processed at s.
-        if !self.prop[s].is_empty() {
-            let prop_s = self.prop[s].clone();
+        if self.prop[s] != EMPTY {
             self.stats.propagations += 1;
-            if self.pts[d].union_with(&prop_s) {
+            let new = self.store.union(self.pts[d], self.prop[s]);
+            if new != self.pts[d] {
+                self.pts[d] = new;
                 self.worklist.push(d);
             }
         }
@@ -663,13 +705,15 @@ impl<'p> Solver<'p> {
         self.stats.scc_runs += 1;
         let n = self.uf.len();
         let mut g: DiGraph<u32> = DiGraph::with_nodes(n);
+        // Split-borrow: only the union-find is mutated while walking the
+        // successor lists, so no per-node clone is needed.
+        let uf = &mut self.uf;
         for i in 0..n {
-            if self.find(i) != i {
+            if find_in(uf, i) != i {
                 continue;
             }
-            let succs = self.copy_succs[i].clone();
-            for s in succs {
-                let d = self.find(s as usize);
+            for &s in &self.copy_succs[i] {
+                let d = find_in(uf, s as usize);
                 if d != i {
                     g.add_edge_dedup(i as u32, d as u32);
                 }
@@ -699,12 +743,12 @@ impl<'p> Solver<'p> {
         debug_assert_ne!(a, root);
         self.stats.nodes_collapsed += 1;
         self.uf[a] = root as u32;
-        let a_pts = std::mem::replace(&mut self.pts[a], PointsToSet::new());
-        self.pts[root].union_with(&a_pts);
+        let a_pts = std::mem::replace(&mut self.pts[a], EMPTY);
+        self.pts[root] = self.store.union(self.pts[root], a_pts);
         // Only elements processed by *both* halves can be considered
         // processed for the merged constraint set.
-        let a_prop = std::mem::replace(&mut self.prop[a], PointsToSet::new());
-        self.prop[root].intersect_with(&a_prop);
+        let a_prop = std::mem::replace(&mut self.prop[a], EMPTY);
+        self.prop[root] = self.store.intersect(self.prop[root], a_prop);
         let succs = std::mem::take(&mut self.copy_succs[a]);
         self.copy_succs[root].extend(succs);
         let l = std::mem::take(&mut self.loads[a]);

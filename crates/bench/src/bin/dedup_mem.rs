@@ -1,0 +1,159 @@
+//! Memory benchmark of the hash-consed points-to store: peak live-heap
+//! and end-to-end time for the full VSFS pipeline on suite workloads,
+//! plus the store's dedup counters (unique sets, union-memo hit rates).
+//!
+//! ```text
+//! dedup_mem [WORKLOADS] [--out FILE] [--check FILE]
+//! ```
+//!
+//! `WORKLOADS` is a comma-separated list of suite benchmark names
+//! (default `du,ninja,bake` — one per size profile). Without `--check`,
+//! the run writes `results/BENCH_dedup.json` (`PhaseTimer::to_json`
+//! format: end-to-end seconds per workload in `phases`, peak bytes and
+//! store counters in `counters`). With `--check FILE`, the run compares
+//! its peak live-heap per workload against the recorded baseline and
+//! fails (exit 1) if any workload regressed by more than 10% — the CI
+//! memory gate. Timings are not gated: wall clock is machine-dependent,
+//! peak live bytes under the counting allocator are not.
+
+use std::time::Instant;
+use vsfs_adt::mem::{CountingAlloc, MemScope};
+use vsfs_adt::stats::PhaseTimer;
+use vsfs_mssa::MemorySsa;
+use vsfs_svfg::Svfg;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// Peak regression tolerated by `--check` before the gate fails.
+const PEAK_SLACK: f64 = 1.10;
+
+fn main() {
+    let mut names: Vec<String> = vec!["du".into(), "ninja".into(), "bake".into()];
+    let mut out = "results/BENCH_dedup.json".to_string();
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().unwrap_or_else(|| usage()),
+            "--check" => check = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') => {
+                names = other.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            _ => usage(),
+        }
+    }
+
+    let baseline = check.as_ref().map(|path| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        })
+    });
+
+    let mut timer = PhaseTimer::new();
+    let mut regressions = Vec::new();
+    for name in &names {
+        let spec = vsfs_workloads::suite::benchmark(name).unwrap_or_else(|| {
+            eprintln!("unknown workload `{name}`");
+            std::process::exit(2);
+        });
+        let prog = vsfs_workloads::generate(&spec.config);
+
+        // Measure the whole flow-sensitive pipeline: the store is shared
+        // across Andersen interning, SFS-style top-level state and the
+        // versioned slots, so peak heap is only meaningful end-to-end.
+        let scope = MemScope::start();
+        let t = Instant::now();
+        let aux = vsfs_andersen::analyze(&prog);
+        let mssa = MemorySsa::build(&prog, &aux);
+        let svfg = Svfg::build(&prog, &aux, &mssa);
+        let result = vsfs_core::run_vsfs(&prog, &aux, &mssa, &svfg);
+        let elapsed = t.elapsed();
+        let peak = scope.peak_bytes();
+
+        let s = result.stats.store;
+        timer.record(&format!("{name}.total"), elapsed);
+        timer.count(&format!("{name}.peak_bytes"), peak as u64);
+        timer.count(&format!("{name}.unique_sets"), s.unique_sets as u64);
+        timer.count(&format!("{name}.unique_set_bytes"), s.unique_set_bytes as u64);
+        timer.count(&format!("{name}.stored_object_sets"), result.stats.stored_object_sets as u64);
+        timer.count(&format!("{name}.union_hits"), s.union_hits as u64);
+        timer.count(&format!("{name}.union_misses"), s.union_misses as u64);
+        timer.count(&format!("{name}.union_shortcuts"), s.union_shortcuts as u64);
+        timer.count(&format!("{name}.union_hit_rate_x100"), (s.union_hit_rate() * 100.0) as u64);
+        timer.count(&format!("{name}.insert_hits"), s.insert_hits as u64);
+        timer.count(&format!("{name}.insert_misses"), s.insert_misses as u64);
+        println!(
+            "{name}: {:.3}s, peak {:.2} MiB, {} unique sets ({:.2} MiB) for {} stored slots, \
+             union hit rate {:.1}%",
+            elapsed.as_secs_f64(),
+            peak as f64 / (1 << 20) as f64,
+            s.unique_sets,
+            s.unique_set_bytes as f64 / (1 << 20) as f64,
+            result.stats.stored_object_sets,
+            100.0 * s.union_hit_rate(),
+        );
+
+        if let Some(base) = &baseline {
+            let key = format!("{name}.peak_bytes");
+            match read_counter(base, &key) {
+                Some(base_peak) => {
+                    let limit = (base_peak as f64 * PEAK_SLACK) as u64;
+                    if peak as u64 > limit {
+                        regressions.push(format!(
+                            "{name}: peak {peak} bytes exceeds baseline {base_peak} by more \
+                             than {:.0}% (limit {limit})",
+                            (PEAK_SLACK - 1.0) * 100.0
+                        ));
+                    } else {
+                        println!(
+                            "{name}: peak within {:.0}% of baseline ({base_peak} bytes)",
+                            (PEAK_SLACK - 1.0) * 100.0
+                        );
+                    }
+                }
+                None => regressions.push(format!("{name}: baseline has no `{key}` counter")),
+            }
+        }
+    }
+
+    if check.is_some() {
+        if regressions.is_empty() {
+            println!("memory gate OK: no workload regressed");
+            return;
+        }
+        for r in &regressions {
+            eprintln!("FAIL: {r}");
+        }
+        std::process::exit(1);
+    }
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&out, timer.to_json()) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Extracts an integer counter from a `PhaseTimer::to_json` document.
+/// The format is flat and machine-written, so a string scan suffices —
+/// no JSON parser in the tree.
+fn read_counter(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn usage() -> ! {
+    eprintln!("usage: dedup_mem [WORKLOAD,WORKLOAD,...] [--out FILE] [--check FILE]");
+    std::process::exit(2);
+}

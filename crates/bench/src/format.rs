@@ -38,7 +38,7 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
 pub fn render_table3(rows: &[Table3Row]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<14} {:>9} {:>9} | {:>10} {:>9} | {:>8} {:>10} {:>9} | {:>9} {:>9}\n",
+        "{:<14} {:>9} {:>9} | {:>10} {:>9} | {:>8} {:>10} {:>9} | {:>9} {:>9} | {:>6} {:>7}\n",
         "Bench.",
         "Ander(s)",
         "A.MiB",
@@ -48,9 +48,11 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
         "VSFS(s)",
         "VSFS.MiB",
         "TimeDiff",
-        "MemDiff"
+        "MemDiff",
+        "Dedup%",
+        "UHit%"
     ));
-    out.push_str(&"-".repeat(118));
+    out.push_str(&"-".repeat(134));
     out.push('\n');
     for r in rows {
         let sfs_time = if r.sfs.oom { "OOM".to_string() } else { format!("{:.3}", r.sfs.seconds) };
@@ -64,8 +66,15 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
             Some(d) => format!("{d:.2}x"),
             None => "-".to_string(),
         };
+        // Share of logical VSFS slots served by an already-interned
+        // canonical set, and the store's union-memo hit rate.
+        let dedup = if r.vsfs.stored_sets > 0 {
+            format!("{:.1}", 100.0 * (1.0 - r.vsfs.unique_sets as f64 / r.vsfs.stored_sets as f64))
+        } else {
+            "-".to_string()
+        };
         out.push_str(&format!(
-            "{:<14} {:>9.3} {:>9} | {:>10} {:>9} | {:>8.3} {:>10.3} {:>9} | {:>9} {:>9}\n",
+            "{:<14} {:>9.3} {:>9} | {:>10} {:>9} | {:>8.3} {:>10.3} {:>9} | {:>9} {:>9} | {:>6} {:>7.1}\n",
             r.name,
             r.andersen_seconds,
             mib(r.andersen_peak_bytes),
@@ -75,10 +84,12 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
             r.vsfs.seconds,
             mib(r.vsfs.peak_bytes),
             tdiff,
-            mdiff
+            mdiff,
+            dedup,
+            100.0 * r.vsfs.union_hit_rate
         ));
     }
-    out.push_str(&"-".repeat(118));
+    out.push_str(&"-".repeat(134));
     out.push('\n');
     let tg = geomean(rows.iter().filter_map(Table3Row::time_diff));
     let mg = geomean(rows.iter().filter_map(Table3Row::mem_diff));
@@ -116,7 +127,8 @@ pub fn csv_table2(rows: &[Table2Row]) -> String {
 /// Renders Table III as CSV (empty cells for OOM runs).
 pub fn csv_table3(rows: &[Table3Row]) -> String {
     let mut out = String::from(
-        "bench,andersen_s,andersen_mib,sfs_s,sfs_mib,versioning_s,vsfs_s,vsfs_mib,time_diff,mem_diff,sfs_oom\n",
+        "bench,andersen_s,andersen_mib,sfs_s,sfs_mib,versioning_s,vsfs_s,vsfs_mib,time_diff,\
+         mem_diff,sfs_oom,sfs_unique_sets,vsfs_unique_sets,vsfs_stored_sets,vsfs_union_hit_rate\n",
     );
     for r in rows {
         let (sfs_s, sfs_m) = if r.sfs.oom {
@@ -125,7 +137,7 @@ pub fn csv_table3(rows: &[Table3Row]) -> String {
             (format!("{:.4}", r.sfs.seconds), mib(r.sfs.peak_bytes))
         };
         out.push_str(&format!(
-            "{},{:.4},{},{},{},{:.4},{:.4},{},{},{},{}\n",
+            "{},{:.4},{},{},{},{:.4},{:.4},{},{},{},{},{},{},{},{}\n",
             r.name,
             r.andersen_seconds,
             mib(r.andersen_peak_bytes),
@@ -136,7 +148,11 @@ pub fn csv_table3(rows: &[Table3Row]) -> String {
             mib(r.vsfs.peak_bytes),
             r.time_diff().map_or(String::new(), |d| format!("{d:.3}")),
             r.mem_diff().map_or(String::new(), |d| format!("{d:.3}")),
-            r.sfs.oom
+            r.sfs.oom,
+            r.sfs.unique_sets,
+            r.vsfs.unique_sets,
+            r.vsfs.stored_sets,
+            format!("{:.4}", r.vsfs.union_hit_rate)
         ));
     }
     out
@@ -154,6 +170,8 @@ mod tests {
             peak_bytes: mem,
             stored_sets: 1,
             propagations: 1,
+            unique_sets: 1,
+            union_hit_rate: 0.5,
             oom,
         };
         let rows = vec![

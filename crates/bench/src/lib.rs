@@ -104,6 +104,11 @@ pub struct SolverCell {
     pub stored_sets: usize,
     /// Object-set union operations.
     pub propagations: usize,
+    /// Distinct canonical sets in the hash-consed store (the physical
+    /// footprint behind `stored_sets` logical slots).
+    pub unique_sets: usize,
+    /// Fraction of non-shortcut store unions served by the memo.
+    pub union_hit_rate: f64,
     /// Whether the run exceeded the configured memory budget (reported
     /// like the paper's OOM row for lynx).
     pub oom: bool,
@@ -169,6 +174,8 @@ pub fn table3_row(
             peak_bytes: peak,
             stored_sets: r.stats.stored_object_sets,
             propagations: r.stats.object_propagations,
+            unique_sets: r.stats.store.unique_sets,
+            union_hit_rate: r.stats.store.union_hit_rate(),
             oom: peak > mem_budget_bytes,
         });
     }
@@ -191,6 +198,8 @@ pub fn table3_row(
             peak_bytes: peak,
             stored_sets: r.stats.stored_object_sets,
             propagations: r.stats.object_propagations,
+            unique_sets: r.stats.store.unique_sets,
+            union_hit_rate: r.stats.store.union_hit_rate(),
             oom: peak > mem_budget_bytes,
         });
     }

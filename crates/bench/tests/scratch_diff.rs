@@ -24,7 +24,7 @@ fn check(cfg: &WorkloadConfig) -> Result<(), String> {
     // Both must refine Andersen.
     for v in prog.values.indices() {
         let a = aux.value_pts(v);
-        for o in sfs.pt[v].iter() {
+        for o in sfs.value_pts(v).iter() {
             if !a.contains(o) {
                 return Err(format!(
                     "seed {}: SFS pt(%{}) contains {} not in Andersen",
@@ -36,7 +36,7 @@ fn check(cfg: &WorkloadConfig) -> Result<(), String> {
     // Dense must refine Andersen as well (pt_dense ⊆ pt_andersen).
     let dense = vsfs_core::run_dense(&prog, &aux);
     for v in prog.values.indices() {
-        for o in dense.pt[v].iter() {
+        for o in dense.value_pts(v).iter() {
             if !aux.value_pts(v).contains(o) {
                 return Err(format!(
                     "seed {}: dense pt(%{}) contains {} not in Andersen",

@@ -18,9 +18,9 @@ fn inspect_seed0() {
     let sfs = vsfs_core::run_sfs(&prog, &aux, &mssa, &svfg);
     let dense = vsfs_core::run_dense(&prog, &aux);
     for v in prog.values.indices() {
-        let extra: Vec<String> = sfs.pt[v]
+        let extra: Vec<String> = sfs.value_pts(v)
             .iter()
-            .filter(|&o| !dense.pt[v].contains(o))
+            .filter(|&o| !dense.value_pts(v).contains(o))
             .map(|o| prog.objects[o].name.clone())
             .collect();
         if !extra.is_empty() {
@@ -30,8 +30,8 @@ fn inspect_seed0() {
                 prog.values[v].name,
                 prog.values[v].def,
                 extra,
-                sfs.pt[v].len(),
-                dense.pt[v].len()
+                sfs.value_pts(v).len(),
+                dense.value_pts(v).len()
             );
         }
     }

@@ -316,6 +316,13 @@ fn run_plain(opts: &Options, prog: &Program) -> ExitCode {
         println!("node pops:         {}", s.node_pops);
         println!("object unions:     {}", s.object_propagations);
         println!("stored object sets:{}", s.stored_object_sets);
+        let st = &s.store;
+        println!("pts store:         {} unique sets, {:.2} MiB",
+            st.unique_sets, st.unique_set_bytes as f64 / (1 << 20) as f64);
+        println!("union memo:        {} hits, {} misses, {} shortcuts ({:.1}% hit rate)",
+            st.union_hits, st.union_misses, st.union_shortcuts, 100.0 * st.union_hit_rate());
+        println!("insert memo:       {} hits, {} misses", st.insert_hits, st.insert_misses);
+        println!("would-change:      {} fast, {} slow", st.would_change_fast, st.would_change_slow);
         println!("strong updates:    {}", s.strong_updates);
         println!("calls activated:   {}", s.calls_activated);
         println!("svfg: {} nodes, {} direct edges, {} indirect edges",

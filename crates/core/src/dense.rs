@@ -22,11 +22,16 @@
 use crate::result::{FlowSensitiveResult, SolveStats};
 use std::collections::HashMap;
 use std::time::Instant;
-use vsfs_adt::{FifoWorklist, IndexVec, PointsToSet};
+use vsfs_adt::{FifoWorklist, IndexVec, PointsToSet, PtsId, PtsStore};
 use vsfs_andersen::AndersenResult;
 use vsfs_ir::{DefUse, Icfg, InstId, InstKind, ObjId, Program, ValueId};
 
 /// Runs the dense flow-sensitive analysis to a fixpoint.
+///
+/// The dense solver keeps its internal state as owned sets (the whole
+/// point of this baseline is the unshared per-point storage); only the
+/// final per-value sets are interned so the result carries the same
+/// hash-consed representation as the staged solvers.
 pub fn run_dense(prog: &Program, aux: &AndersenResult) -> FlowSensitiveResult {
     let start = Instant::now();
     let mut solver = DenseSolver::new(prog, aux);
@@ -39,7 +44,10 @@ pub fn run_dense(prog: &Program, aux: &AndersenResult) -> FlowSensitiveResult {
     stats.stored_object_bytes = bytes;
     let mut callgraph_edges: Vec<_> = aux.callgraph.edges().collect();
     callgraph_edges.sort();
-    FlowSensitiveResult { pt: solver.pt, callgraph_edges, stats }
+    let mut store = PtsStore::new();
+    let pt: IndexVec<ValueId, PtsId> = solver.pt.iter().map(|s| store.intern(s)).collect();
+    stats.store = store.stats();
+    FlowSensitiveResult::new(store, pt, callgraph_edges, stats)
 }
 
 type ObjMap = HashMap<ObjId, PointsToSet<ObjId>>;

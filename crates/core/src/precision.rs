@@ -52,7 +52,7 @@ pub fn compare_precision(
     let mut r = PrecisionReport::default();
     for v in prog.values.indices() {
         let a = aux.value_pts(v);
-        let f = &fs.pt[v];
+        let f = fs.value_pts(v);
         if a.is_empty() && f.is_empty() {
             continue;
         }
@@ -67,7 +67,7 @@ pub fn compare_precision(
     r.fs_call_edges = fs.callgraph_edges.len();
     for (_, inst) in prog.insts.iter_enumerated() {
         if let InstKind::Load { dst, .. } = inst.kind {
-            if fs.pt[dst].is_empty() && !aux.value_pts(dst).is_empty() {
+            if fs.value_pts(dst).is_empty() && !aux.value_pts(dst).is_empty() {
                 r.proven_uninitialised_loads += 1;
             }
         }

@@ -49,7 +49,7 @@ impl<'a> AliasQueries<'a> {
 
     /// May `p` and `q` point to the same object?
     pub fn may_alias(&self, p: ValueId, q: ValueId) -> bool {
-        !self.result.pt[p].is_disjoint(&self.result.pt[q])
+        !self.result.value_pts(p).is_disjoint(self.result.value_pts(q))
     }
 
     /// Does `p` definitely point to exactly one abstract object?
@@ -57,23 +57,24 @@ impl<'a> AliasQueries<'a> {
     /// (The object may still summarise several runtime objects unless it
     /// is a singleton.)
     pub fn unique_target(&self, p: ValueId) -> Option<ObjId> {
-        self.result.pt[p].as_singleton()
+        self.result.value_pts(p).as_singleton()
     }
 
     /// Is `p`'s points-to set empty — i.e. no allocation ever reaches it
     /// (an uninitialised-pointer candidate)?
     pub fn is_empty(&self, p: ValueId) -> bool {
-        self.result.pt[p].is_empty()
+        self.result.value_pts(p).is_empty()
     }
 
     /// May `p` point to heap memory?
     pub fn may_point_to_heap(&self, p: ValueId) -> bool {
-        self.result.pt[p].iter().any(|o| self.prog.objects[o].is_heap())
+        self.result.value_pts(p).iter().any(|o| self.prog.objects[o].is_heap())
     }
 
     /// The names of `p`'s pointees (diagnostics).
     pub fn pointee_names(&self, p: ValueId) -> Vec<&'a str> {
-        self.result.pt[p]
+        self.result
+            .value_pts(p)
             .iter()
             .map(|o| self.prog.objects[o].name.as_str())
             .collect()

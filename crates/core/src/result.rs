@@ -1,15 +1,22 @@
 //! Results and statistics shared by both flow-sensitive solvers.
 
 use vsfs_adt::govern::{Completion, DegradeReason};
-use vsfs_adt::{IndexVec, PointsToSet};
+use vsfs_adt::{IndexVec, PointsToSet, PtsId, PtsStore, PtsStoreStats};
 use vsfs_andersen::AndersenResult;
 use vsfs_ir::{FuncId, InstId, ObjId, Program, ValueId};
 
 /// The output of a flow-sensitive analysis run.
+///
+/// Points-to sets are hash-consed: the result carries the run's
+/// [`PtsStore`] and one [`PtsId`] per value, and resolves ids back to
+/// sets at the API boundary ([`FlowSensitiveResult::value_pts`]) so
+/// external behaviour is unchanged.
 #[derive(Debug, Clone)]
 pub struct FlowSensitiveResult {
-    /// Final (global) points-to set of every top-level value.
-    pub pt: IndexVec<ValueId, PointsToSet<ObjId>>,
+    /// The hash-consed store the ids below point into.
+    pub(crate) store: PtsStore<ObjId>,
+    /// Final (global) points-to set id of every top-level value.
+    pub(crate) pt: IndexVec<ValueId, PtsId>,
     /// Call-graph edges resolved flow-sensitively, sorted.
     pub callgraph_edges: Vec<(InstId, FuncId)>,
     /// Counters for the run.
@@ -17,9 +24,19 @@ pub struct FlowSensitiveResult {
 }
 
 impl FlowSensitiveResult {
+    /// Packages a solver's final state.
+    pub(crate) fn new(
+        store: PtsStore<ObjId>,
+        pt: IndexVec<ValueId, PtsId>,
+        callgraph_edges: Vec<(InstId, FuncId)>,
+        stats: SolveStats,
+    ) -> FlowSensitiveResult {
+        FlowSensitiveResult { store, pt, callgraph_edges, stats }
+    }
+
     /// The points-to set of `v`.
     pub fn value_pts(&self, v: ValueId) -> &PointsToSet<ObjId> {
-        &self.pt[v]
+        self.store.get(self.pt[v])
     }
 
     /// Repackages the auxiliary Andersen analysis as a
@@ -27,16 +44,18 @@ impl FlowSensitiveResult {
     /// flow-sensitive stage is cut short by a budget or a worker fault.
     ///
     /// Andersen is flow-insensitive, so it over-approximates every
-    /// flow-sensitive answer: for each value, `pt` here is a superset of
-    /// what a completed VSFS/SFS run would report, and the call graph
+    /// flow-sensitive answer: for each value, the set here is a superset
+    /// of what a completed VSFS/SFS run would report, and the call graph
     /// contains every flow-sensitively resolvable edge. Stats are zeroed
     /// (no flow-sensitive solve happened).
     pub fn from_andersen(prog: &Program, aux: &AndersenResult) -> FlowSensitiveResult {
-        let pt: IndexVec<ValueId, PointsToSet<ObjId>> =
-            prog.values.indices().map(|v| aux.value_pts(v).clone()).collect();
+        let mut store = PtsStore::new();
+        let pt: IndexVec<ValueId, PtsId> =
+            prog.values.indices().map(|v| store.intern(aux.value_pts(v))).collect();
         let mut callgraph_edges: Vec<(InstId, FuncId)> = aux.callgraph.edges().collect();
         callgraph_edges.sort_unstable();
-        FlowSensitiveResult { pt, callgraph_edges, stats: SolveStats::default() }
+        let stats = SolveStats { store: store.stats(), ..SolveStats::default() };
+        FlowSensitiveResult { store, pt, callgraph_edges, stats }
     }
 }
 
@@ -104,11 +123,13 @@ pub struct SolveStats {
     pub object_propagations: usize,
     /// Distinct points-to sets stored for address-taken objects at the end
     /// of the run (SFS: `IN`/`OUT` entries; VSFS: `(object, version)`
-    /// slots).
+    /// slots). Logical slots — dedup across slots shows up in
+    /// [`SolveStats::store`], not here.
     pub stored_object_sets: usize,
     /// Total elements across those sets.
     pub stored_object_elems: usize,
-    /// Approximate heap bytes held by those sets.
+    /// Approximate heap bytes those sets would occupy if each slot owned
+    /// its set (the pre-dedup logical footprint).
     pub stored_object_bytes: usize,
     /// Strong updates applied.
     pub strong_updates: usize,
@@ -125,6 +146,9 @@ pub struct SolveStats {
     pub versioning_seconds: f64,
     /// Main-phase wall-clock time in seconds.
     pub solve_seconds: f64,
+    /// Hash-consed store counters: unique canonical sets, their physical
+    /// bytes, and memo hit rates for the run's set algebra.
+    pub store: PtsStoreStats,
 }
 
 /// Checks the paper's precision claim: both analyses computed identical
@@ -133,7 +157,7 @@ pub fn same_precision(prog: &Program, a: &FlowSensitiveResult, b: &FlowSensitive
     if a.callgraph_edges != b.callgraph_edges {
         return false;
     }
-    prog.values.indices().all(|v| a.pt[v] == b.pt[v])
+    prog.values.indices().all(|v| a.value_pts(v) == b.value_pts(v))
 }
 
 /// Like [`same_precision`] but reports the first difference, for test
@@ -150,15 +174,15 @@ pub fn precision_diff(
         ));
     }
     for v in prog.values.indices() {
-        if a.pt[v] != b.pt[v] {
+        if a.value_pts(v) != b.value_pts(v) {
             let names = |s: &PointsToSet<ObjId>| {
                 s.iter().map(|o| prog.objects[o].name.clone()).collect::<Vec<_>>()
             };
             return Some(format!(
                 "pt(%{}) differs: {:?} vs {:?}",
                 prog.values[v].name,
-                names(&a.pt[v]),
-                names(&b.pt[v])
+                names(a.value_pts(v)),
+                names(b.value_pts(v))
             ));
         }
     }

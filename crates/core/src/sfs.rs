@@ -12,11 +12,11 @@
 //! node propagates only its dirty objects.
 
 use crate::result::{FlowSensitiveResult, GovernedAnalysis, SolveStats};
-use crate::toplevel::TopLevel;
+use crate::toplevel::{TopLevel, EMPTY};
 use std::collections::HashMap;
 use std::time::Instant;
 use vsfs_adt::govern::{Completion, Governor};
-use vsfs_adt::{FifoWorklist, IndexVec, PointsToSet};
+use vsfs_adt::{FifoWorklist, IndexVec, PointsToSet, PtsId};
 use vsfs_andersen::AndersenResult;
 use vsfs_ir::{FuncId, InstId, InstKind, ObjId, Program};
 use vsfs_mssa::MemorySsa;
@@ -66,11 +66,18 @@ fn solve_inner(
     stats.stored_object_sets = sets;
     stats.stored_object_elems = elems;
     stats.stored_object_bytes = bytes;
+    stats.store = solver.top.store.stats();
     let callgraph_edges = solver.top.callgraph_edges();
-    (FlowSensitiveResult { pt: solver.top.pt, callgraph_edges, stats }, completion)
+    (
+        FlowSensitiveResult::new(solver.top.store, solver.top.pt, callgraph_edges, stats),
+        completion,
+    )
 }
 
-type ObjMap = HashMap<ObjId, PointsToSet<ObjId>>;
+/// `IN`/`OUT` entries hold ids into the run's shared
+/// [`vsfs_adt::PtsStore`] (`TopLevel::store`); identical sets across
+/// nodes are stored once.
+type ObjMap = HashMap<ObjId, PtsId>;
 
 struct SfsSolver<'a> {
     prog: &'a Program,
@@ -145,9 +152,9 @@ impl<'a> SfsSolver<'a> {
         match &self.prog.insts[inst].kind {
             InstKind::Load { dst, addr } => {
                 // [LOAD]: pt(dst) ⊇ IN[node][o] for each o ∈ pt(addr).
-                let objs: Vec<ObjId> = self.top.pt[*addr].iter().collect();
+                let objs: Vec<ObjId> = self.top.value_pt(*addr).iter().collect();
                 for o in objs {
-                    if let Some(s) = self.ins[node].get(&o) {
+                    if let Some(&s) = self.ins[node].get(&o) {
                         self.top.union_pt(*dst, s, &mut self.worklist);
                     }
                 }
@@ -158,25 +165,28 @@ impl<'a> SfsSolver<'a> {
                 // The strong/weak decision is static (see
                 // `TopLevel::is_strong_update`), keeping the transfer
                 // monotone.
-                let gen = self.top.pt[*val].clone();
-                let targets = self.top.pt[*addr].clone();
+                let gen = self.top.pt[*val];
+                let targets = self.top.pt[*addr];
+                let addr = *addr;
                 for chi in self.mssa.chis(inst) {
                     let o = chi.obj;
-                    let mut out = PointsToSet::new();
-                    if self.top.is_strong_update(*addr, o) {
+                    let mut out = EMPTY;
+                    if self.top.is_strong_update(addr, o) {
                         self.stats.strong_updates += 1;
-                        out.union_with(&gen); // kill: IN not propagated
+                        out = gen; // kill: IN not propagated
                     } else {
-                        if let Some(input) = self.ins[node].get(&o) {
-                            out.union_with(input);
+                        if let Some(&input) = self.ins[node].get(&o) {
+                            out = input;
                         }
-                        if targets.contains(o) {
-                            out.union_with(&gen);
+                        if self.top.store.get(targets).contains(o) {
+                            out = self.top.store.union(out, gen);
                         }
                     }
                     self.stats.object_propagations += 1;
-                    let slot = self.outs[node].entry(o).or_default();
-                    if slot.union_with(&out) {
+                    let cur = *self.outs[node].entry(o).or_insert(EMPTY);
+                    let new = self.top.store.union(cur, out);
+                    if new != cur {
+                        self.outs[node].insert(o, new);
                         self.dirty[node].insert(o);
                     }
                 }
@@ -188,16 +198,16 @@ impl<'a> SfsSolver<'a> {
         }
     }
 
-    /// The set a node exposes to its successors for object `o`.
-    fn out_val(&self, node: SvfgNodeId, o: ObjId) -> Option<&PointsToSet<ObjId>> {
+    /// The set id a node exposes to its successors for object `o`.
+    fn out_val(&self, node: SvfgNodeId, o: ObjId) -> Option<PtsId> {
         let is_store = matches!(
             self.svfg.kind(node),
             SvfgNodeKind::Inst(i) if self.prog.insts[i].kind.is_store()
         );
         if is_store {
-            self.outs[node].get(&o)
+            self.outs[node].get(&o).copied()
         } else {
-            self.ins[node].get(&o)
+            self.ins[node].get(&o).copied()
         }
     }
 
@@ -224,16 +234,16 @@ impl<'a> SfsSolver<'a> {
         for (succ, o) in edges {
             self.stats.object_propagations += 1;
             let Some(val) = self.out_val(node, o) else { continue };
-            // Cheap no-growth check before cloning the source set.
-            if self.ins[succ].get(&o).is_some_and(|s| s.is_superset(val)) {
+            let cur = self.ins[succ].get(&o).copied().unwrap_or(EMPTY);
+            // Memoized no-growth fast path: repeated (cur, val) pairs are
+            // answered from the store's union memo without allocating.
+            if !self.top.store.union_would_change(cur, val) {
                 continue;
             }
-            let val = val.clone();
-            let slot = self.ins[succ].entry(o).or_default();
-            if slot.union_with(&val) {
-                self.dirty[succ].insert(o);
-                self.worklist.push(succ);
-            }
+            let new = self.top.store.union(cur, val);
+            self.ins[succ].insert(o, new);
+            self.dirty[succ].insert(o);
+            self.worklist.push(succ);
         }
     }
 
@@ -275,7 +285,8 @@ impl<'a> SfsSolver<'a> {
         let mut bytes = 0;
         for m in self.ins.iter().chain(self.outs.iter()) {
             sets += m.len();
-            for s in m.values() {
+            for &id in m.values() {
+                let s = self.top.store.get(id);
                 elems += s.len();
                 bytes += s.heap_bytes();
             }
@@ -307,7 +318,7 @@ mod tests {
             .map(|(id, _)| id)
             .unwrap();
         let mut names: Vec<String> =
-            r.pt[v].iter().map(|o| prog.objects[o].name.clone()).collect();
+            r.value_pts(v).iter().map(|o| prog.objects[o].name.clone()).collect();
         names.sort();
         names
     }

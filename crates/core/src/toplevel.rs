@@ -7,12 +7,20 @@
 //! graph, and the plumbing that re-enqueues SVFG nodes when a value's set
 //! grows. The object-flow parts of `[LOAD]`, `[STORE]`, and `[A-PROP]`
 //! differ between the two solvers and live with them.
+//!
+//! Points-to sets are hash-consed: [`TopLevel::store`] holds one shared
+//! [`PtsStore`] spanning every stage of the run (top-level values, SFS
+//! `IN`/`OUT` entries, VSFS version slots), so identical sets across
+//! layers are stored once and repeated unions hit the store's memo.
 
-use vsfs_adt::{FifoWorklist, IndexVec, PointsToSet};
+use vsfs_adt::{FifoWorklist, IndexVec, PointsToSet, PtsId, PtsStore};
 use vsfs_andersen::AndersenResult;
 use vsfs_ir::{Callee, DefUse, FuncId, InstId, InstKind, ObjId, Program, ValueId};
 use vsfs_svfg::{Svfg, SvfgNodeId};
 use std::collections::{HashMap, HashSet};
+
+/// The empty-set id of the shared store.
+pub(crate) const EMPTY: PtsId = PtsStore::<ObjId>::EMPTY;
 
 /// Shared top-level solver state.
 pub struct TopLevel<'a> {
@@ -20,8 +28,10 @@ pub struct TopLevel<'a> {
     aux: &'a AndersenResult,
     svfg: &'a Svfg,
     defuse: DefUse,
-    /// Global points-to set per top-level value.
-    pub pt: IndexVec<ValueId, PointsToSet<ObjId>>,
+    /// The shared hash-consed points-to store for the whole run.
+    pub store: PtsStore<ObjId>,
+    /// Global points-to set per top-level value (ids into [`TopLevel::store`]).
+    pub pt: IndexVec<ValueId, PtsId>,
     /// Flow-sensitively activated callees per call site.
     active_callees: HashMap<InstId, Vec<FuncId>>,
     /// Flow-sensitively activated call sites per function.
@@ -35,16 +45,18 @@ impl<'a> TopLevel<'a> {
     /// Creates the initial state: global pointers seeded with their
     /// storage objects, everything else empty.
     pub fn new(prog: &'a Program, aux: &'a AndersenResult, svfg: &'a Svfg) -> Self {
-        let mut pt: IndexVec<ValueId, PointsToSet<ObjId>> =
-            (0..prog.values.len()).map(|_| PointsToSet::new()).collect();
+        let mut store = PtsStore::new();
+        let mut pt: IndexVec<ValueId, PtsId> =
+            (0..prog.values.len()).map(|_| EMPTY).collect();
         for &(g, obj) in &prog.globals {
-            pt[g].insert(obj);
+            pt[g] = store.insert(pt[g], obj);
         }
         TopLevel {
             prog,
             aux,
             svfg,
             defuse: DefUse::compute(prog),
+            store,
             pt,
             active_callees: HashMap::new(),
             active_callers: HashMap::new(),
@@ -70,17 +82,24 @@ impl<'a> TopLevel<'a> {
         v
     }
 
-    /// Unions `add` into `pt(v)`; on growth, enqueues every SVFG node that
-    /// uses `v`. Returns `true` if the set grew.
+    /// The materialised points-to set of `v`.
+    pub fn value_pt(&self, v: ValueId) -> &PointsToSet<ObjId> {
+        self.store.get(self.pt[v])
+    }
+
+    /// Unions the set behind `add` into `pt(v)`; on growth, enqueues every
+    /// SVFG node that uses `v`. Returns `true` if the set grew.
     pub fn union_pt(
         &mut self,
         v: ValueId,
-        add: &PointsToSet<ObjId>,
+        add: PtsId,
         worklist: &mut FifoWorklist<SvfgNodeId>,
     ) -> bool {
-        if !self.pt[v].union_with(add) {
+        let new = self.store.union(self.pt[v], add);
+        if new == self.pt[v] {
             return false;
         }
+        self.pt[v] = new;
         self.enqueue_uses(v, worklist);
         true
     }
@@ -92,9 +111,11 @@ impl<'a> TopLevel<'a> {
         obj: ObjId,
         worklist: &mut FifoWorklist<SvfgNodeId>,
     ) -> bool {
-        if !self.pt[v].insert(obj) {
+        let new = self.store.insert(self.pt[v], obj);
+        if new == self.pt[v] {
             return false;
         }
+        self.pt[v] = new;
         self.enqueue_uses(v, worklist);
         true
     }
@@ -120,18 +141,18 @@ impl<'a> TopLevel<'a> {
                 self.insert_pt(*dst, *obj, worklist);
             }
             InstKind::Copy { dst, src } => {
-                let s = self.pt[*src].clone();
-                self.union_pt(*dst, &s, worklist);
+                let s = self.pt[*src];
+                self.union_pt(*dst, s, worklist);
             }
             InstKind::Phi { dst, srcs } => {
-                let mut s = PointsToSet::new();
+                let mut s = EMPTY;
                 for &src in srcs {
-                    s.union_with(&self.pt[src]);
+                    s = self.store.union(s, self.pt[src]);
                 }
-                self.union_pt(*dst, &s, worklist);
+                self.union_pt(*dst, s, worklist);
             }
             InstKind::Field { dst, base, offset } => {
-                let objs: Vec<ObjId> = self.pt[*base].iter().collect();
+                let objs: Vec<ObjId> = self.store.get(self.pt[*base]).iter().collect();
                 for o in objs {
                     let f = self.prog.field_object(o, *offset);
                     self.insert_pt(*dst, f, worklist);
@@ -144,7 +165,9 @@ impl<'a> TopLevel<'a> {
                         self.activate(inst, *f, worklist, newly_activated);
                     }
                     Callee::Indirect(fp) => {
-                        let candidates: Vec<FuncId> = self.pt[*fp]
+                        let candidates: Vec<FuncId> = self
+                            .store
+                            .get(self.pt[*fp])
                             .iter()
                             .filter_map(|o| self.prog.object_as_function(o))
                             .collect();
@@ -158,19 +181,19 @@ impl<'a> TopLevel<'a> {
                 for f in callees {
                     let params = self.prog.functions[f].params.clone();
                     for (a, p) in args.clone().iter().zip(params.iter()) {
-                        let s = self.pt[*a].clone();
-                        self.union_pt(*p, &s, worklist);
+                        let s = self.pt[*a];
+                        self.union_pt(*p, s, worklist);
                     }
                 }
             }
             InstKind::FunExit { func, ret } => {
                 // Copy the returned pointer to every active caller's dst.
                 if let Some(r) = ret {
-                    let s = self.pt[*r].clone();
+                    let s = self.pt[*r];
                     let callers = self.callers(*func).to_vec();
                     for call in callers {
                         if let InstKind::Call { dst: Some(d), .. } = self.prog.insts[call].kind {
-                            self.union_pt(d, &s, worklist);
+                            self.union_pt(d, s, worklist);
                         }
                     }
                 }

@@ -30,9 +30,9 @@
 
 use std::collections::HashMap;
 use std::time::Instant;
-use vsfs_adt::govern::{Completion, Governor, Outcome};
+use vsfs_adt::govern::{Completion, DegradeReason, Governor, Outcome};
 use vsfs_adt::par::{self, ParConfig};
-use vsfs_adt::{SbvInterner, SparseBitVector};
+use vsfs_adt::{CapacityOverflow, SbvInterner, SparseBitVector};
 use vsfs_ir::{InstKind, ObjId, Program};
 use vsfs_mssa::MemorySsa;
 use vsfs_graph::{DiGraph, Sccs};
@@ -351,6 +351,19 @@ fn build_inner(
             let g = governor.expect("checked above");
             return (empty_tables(node_count), g.completion());
         }
+        // A worker that exhausted its label id space reports a typed
+        // error instead of panicking; the first one (in ascending object
+        // order, so the same for every `jobs` value) degrades the run.
+        let out = match out {
+            Ok(out) => out,
+            Err(overflow) => match governor {
+                Some(g) => {
+                    g.trip(DegradeReason::CapacityExhausted { resource: "version interner" });
+                    return (empty_tables(node_count), g.completion());
+                }
+                None => panic!("versioning object {}: {overflow}", objs[i].index()),
+            },
+        };
         let o = objs[i];
         let base = next_slot;
         next_slot += out.local_slots;
@@ -405,12 +418,16 @@ struct ObjOutcome {
 /// outcome depends only on `edges`/`stores`/`deltas`, never on other
 /// objects or on scheduling, which is what makes the per-object phase
 /// safely parallel.
+///
+/// Returns [`CapacityOverflow`] when the per-object label interner runs
+/// out of ids; the ordered reduce in [`build_inner`] surfaces it through
+/// the governed-degradation path instead of panicking mid-worker.
 fn process_object(
     edges: &[(SvfgNodeId, SvfgNodeId)],
     stores: &[SvfgNodeId],
     deltas: &[SvfgNodeId],
     area: &mut ObjArea,
-) -> ObjOutcome {
+) -> Result<ObjOutcome, CapacityOverflow> {
     area.clear();
     // Build the local subgraph. SVFG edges are already unique per
     // (from, to, object), so no dedup is needed here.
@@ -538,22 +555,22 @@ fn process_object(
     let mut slot = |label: &SparseBitVector,
                     interner: &mut SbvInterner,
                     slot_of_label: &mut HashMap<u32, u32>|
-     -> u32 {
-        let lid = interner.intern(label);
-        *slot_of_label.entry(lid).or_insert_with(|| {
+     -> Result<u32, CapacityOverflow> {
+        let lid = interner.try_intern(label)?;
+        Ok(*slot_of_label.entry(lid).or_insert_with(|| {
             let s = local_slots;
             local_slots += 1;
             s
-        })
+        }))
     };
 
     let mut c_slot: Vec<u32> = Vec::with_capacity(area.nodes.len());
     let mut y_slot: Vec<u32> = Vec::with_capacity(area.nodes.len());
     for li in 0..area.nodes.len() {
-        let c = slot(&area.consume[li], &mut interner, &mut slot_of_label);
+        let c = slot(&area.consume[li], &mut interner, &mut slot_of_label)?;
         c_slot.push(c);
         let y = match &area.yield_pre[li] {
-            Some(yl) => slot(yl, &mut interner, &mut slot_of_label),
+            Some(yl) => slot(yl, &mut interner, &mut slot_of_label)?,
             None => c,
         };
         y_slot.push(y);
@@ -577,7 +594,7 @@ fn process_object(
             }
         }
     }
-    ObjOutcome {
+    Ok(ObjOutcome {
         nodes: area
             .nodes
             .iter()
@@ -588,7 +605,7 @@ fn process_object(
         reliance: rel,
         prelabels: next_pre as usize,
         edges_collapsed,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -18,11 +18,11 @@
 //! propagation — the paper's single-object sparsity.
 
 use crate::result::{FlowSensitiveResult, GovernedAnalysis, SolveStats};
-use crate::toplevel::TopLevel;
+use crate::toplevel::{TopLevel, EMPTY};
 use crate::versioning::{VersionSlot, VersionTables};
 use std::time::Instant;
 use vsfs_adt::govern::{Completion, Governor};
-use vsfs_adt::{FifoWorklist, PointsToSet};
+use vsfs_adt::{FifoWorklist, PtsId};
 use vsfs_andersen::AndersenResult;
 use vsfs_ir::{FuncId, InstId, InstKind, ObjId, Program};
 use vsfs_mssa::MemorySsa;
@@ -110,21 +110,12 @@ fn solve_with_tables(
     stats.stored_object_sets = sets;
     stats.stored_object_elems = elems;
     stats.stored_object_bytes = bytes;
+    stats.store = solver.top.store.stats();
     let callgraph_edges = solver.top.callgraph_edges();
-    (FlowSensitiveResult { pt: solver.top.pt, callgraph_edges, stats }, completion)
-}
-
-/// `pts[into] ∪= pts[from]` with a split borrow; returns `true` on growth.
-fn union_slots(pts: &mut [PointsToSet<ObjId>], into: VersionSlot, from: VersionSlot) -> bool {
-    let (i, f) = (into as usize, from as usize);
-    debug_assert_ne!(i, f, "reliance edges never connect a slot to itself");
-    if i < f {
-        let (lo, hi) = pts.split_at_mut(f);
-        lo[i].union_with(&hi[0])
-    } else {
-        let (lo, hi) = pts.split_at_mut(i);
-        hi[0].union_with(&lo[f])
-    }
+    (
+        FlowSensitiveResult::new(solver.top.store, solver.top.pt, callgraph_edges, stats),
+        completion,
+    )
 }
 
 struct VsfsSolver<'a> {
@@ -133,8 +124,10 @@ struct VsfsSolver<'a> {
     svfg: &'a Svfg,
     top: TopLevel<'a>,
     tables: VersionTables,
-    /// Global points-to table: one set per `(object, version)` slot.
-    vpts: Vec<PointsToSet<ObjId>>,
+    /// Global points-to table: one hash-consed set id per
+    /// `(object, version)` slot, resolved through `top.store`. Slots
+    /// holding equal sets share one canonical copy.
+    vpts: Vec<PtsId>,
     /// Nodes to re-run when a slot's set grows (loads and stores that
     /// consume it), indexed by slot.
     consumers: Vec<Vec<SvfgNodeId>>,
@@ -187,7 +180,7 @@ impl<'a> VsfsSolver<'a> {
             svfg,
             top,
             tables,
-            vpts: vec![PointsToSet::new(); slot_count],
+            vpts: vec![EMPTY; slot_count],
             consumers,
             nodes,
             slots: FifoWorklist::new(slot_count),
@@ -234,7 +227,10 @@ impl<'a> VsfsSolver<'a> {
         for i in 0..n_succs {
             let c = self.tables.reliance(s)[i];
             self.stats.object_propagations += 1;
-            if union_slots(&mut self.vpts, c, s) {
+            let cur = self.vpts[c as usize];
+            let new = self.top.store.union(cur, self.vpts[s as usize]);
+            if new != cur {
+                self.vpts[c as usize] = new;
                 self.slot_grew(c);
             }
         }
@@ -261,10 +257,11 @@ impl<'a> VsfsSolver<'a> {
         match &self.prog.insts[inst].kind {
             InstKind::Load { dst, addr } => {
                 // [LOAD]^F: pt(dst) ⊇ pt_{C_ℓ(o)}(o) for o ∈ pt(addr).
-                let objs: Vec<ObjId> = self.top.pt[*addr].iter().collect();
+                let objs: Vec<ObjId> = self.top.value_pt(*addr).iter().collect();
                 for o in objs {
                     if let Some(c) = self.tables.consume_slot(node, o) {
-                        self.top.union_pt(*dst, &self.vpts[c as usize], &mut self.nodes);
+                        let s = self.vpts[c as usize];
+                        self.top.union_pt(*dst, s, &mut self.nodes);
                     }
                 }
             }
@@ -276,7 +273,8 @@ impl<'a> VsfsSolver<'a> {
                     let chi = self.mssa.chis(inst)[ci];
                     let o = chi.obj;
                     let Some(y) = self.tables.yield_slot(node, o) else { continue };
-                    let is_target = self.top.pt[addr].contains(o);
+                    let y = y as usize;
+                    let is_target = self.top.value_pt(addr).contains(o);
                     // Static strong/weak decision (see
                     // `TopLevel::is_strong_update`).
                     let su = self.top.is_strong_update(addr, o);
@@ -286,23 +284,30 @@ impl<'a> VsfsSolver<'a> {
                         // Kill: the consumed version is not propagated;
                         // only gen enters the yielded version.
                         self.stats.object_propagations += 1;
-                        grew |= self.vpts[y as usize].union_with(&self.top.pt[val]);
+                        let new = self.top.store.union(self.vpts[y], self.top.pt[val]);
+                        grew |= new != self.vpts[y];
+                        self.vpts[y] = new;
                     } else if let Some(c) = self.tables.consume_slot(node, o) {
                         // Weak update: the consumed version survives. In a
                         // loop a store can consume its own yield (c == y),
                         // which is already a no-op.
-                        if c != y {
+                        if c as usize != y {
                             self.stats.object_propagations += 1;
-                            grew |= union_slots(&mut self.vpts, y, c);
+                            let new =
+                                self.top.store.union(self.vpts[y], self.vpts[c as usize]);
+                            grew |= new != self.vpts[y];
+                            self.vpts[y] = new;
                         }
                     }
                     if !su && is_target {
                         // gen: pt(q) enters the yielded version.
                         self.stats.object_propagations += 1;
-                        grew |= self.vpts[y as usize].union_with(&self.top.pt[val]);
+                        let new = self.top.store.union(self.vpts[y], self.top.pt[val]);
+                        grew |= new != self.vpts[y];
+                        self.vpts[y] = new;
                     }
                     if grew {
-                        self.slot_grew(y);
+                        self.slot_grew(y as VersionSlot);
                     }
                 }
             }
@@ -341,8 +346,10 @@ impl<'a> VsfsSolver<'a> {
             if self.tables.add_reliance(y, c) {
                 self.stats.reliance_edges += 1;
                 self.stats.object_propagations += 1;
-                let src = self.vpts[y as usize].clone();
-                if self.vpts[c as usize].union_with(&src) {
+                let cur = self.vpts[c as usize];
+                let new = self.top.store.union(cur, self.vpts[y as usize]);
+                if new != cur {
+                    self.vpts[c as usize] = new;
                     self.slot_grew(c);
                 }
                 // Future growth of y must now reach c.
@@ -353,8 +360,13 @@ impl<'a> VsfsSolver<'a> {
 
     fn storage_stats(&self) -> (usize, usize, usize) {
         let sets = self.vpts.len();
-        let elems = self.vpts.iter().map(PointsToSet::len).sum();
-        let bytes = self.vpts.iter().map(PointsToSet::heap_bytes).sum();
+        let mut elems = 0;
+        let mut bytes = 0;
+        for &id in &self.vpts {
+            let s = self.top.store.get(id);
+            elems += s.len();
+            bytes += s.heap_bytes();
+        }
         (sets, elems, bytes)
     }
 }
@@ -382,7 +394,7 @@ mod tests {
             .map(|(id, _)| id)
             .unwrap();
         let mut names: Vec<String> =
-            r.pt[v].iter().map(|o| prog.objects[o].name.clone()).collect();
+            r.value_pts(v).iter().map(|o| prog.objects[o].name.clone()).collect();
         names.sort();
         names
     }

@@ -44,7 +44,7 @@ fn assert_fallback_is_superset(p: &Pipeline, complete: &FlowSensitiveResult, lab
     let fallback = FlowSensitiveResult::from_andersen(&p.prog, &p.aux);
     for v in p.prog.values.indices() {
         assert!(
-            fallback.pt[v].is_superset(&complete.pt[v]),
+            fallback.value_pts(v).is_superset(complete.value_pts(v)),
             "{label}: fallback pt(%{}) misses flow-sensitive objects",
             p.prog.values[v].name
         );
@@ -125,21 +125,28 @@ fn seeded_faults_are_bit_identical_across_job_counts() {
         for kind in kinds {
             for seed in 1..=3u64 {
                 let plan = FaultPlan::from_seed(kind, seed);
-                let runs: Vec<(usize, GovernedAnalysis)> = [1usize, 2, 8]
+                let runs: Vec<(usize, Pipeline, GovernedAnalysis)> = [1usize, 2, 8]
                     .into_iter()
                     .map(|jobs| {
                         let p = pipeline(c.source, jobs);
                         let gov = Governor::unlimited().with_fault(plan.spec());
-                        (jobs, run_governed(&p, jobs, &gov))
+                        let ga = run_governed(&p, jobs, &gov);
+                        (jobs, p, ga)
                     })
                     .collect();
-                let (_, first) = &runs[0];
-                for (jobs, ga) in &runs[1..] {
+                let (_, p0, first) = &runs[0];
+                for (jobs, _, ga) in &runs[1..] {
                     let label = format!("{} {:?} seed {seed} jobs {jobs}", c.name, kind);
                     assert_eq!(ga.completion, first.completion, "{label}");
                     assert_eq!(ga.mode, first.mode, "{label}");
                     assert_eq!(ga.degraded_stage, first.degraded_stage, "{label}");
-                    assert_eq!(ga.result.pt, first.result.pt, "{label}");
+                    for v in p0.prog.values.indices() {
+                        assert_eq!(
+                            ga.result.value_pts(v),
+                            first.result.value_pts(v),
+                            "{label}"
+                        );
+                    }
                     assert_eq!(ga.result.callgraph_edges, first.result.callgraph_edges, "{label}");
                 }
             }

@@ -29,7 +29,7 @@ fn dense_refines_andersen_everywhere() {
         let dense = vsfs_core::run_dense(&prog, &aux);
         for v in prog.values.indices() {
             assert!(
-                aux.value_pts(v).is_superset(&dense.pt[v]),
+                aux.value_pts(v).is_superset(dense.value_pts(v)),
                 "seed {seed}: dense exceeds Andersen for %{}",
                 prog.values[v].name
             );
@@ -57,7 +57,7 @@ fn dense_matches_staged_on_call_free_programs() {
         let dense = vsfs_core::run_dense(&prog, &aux);
         for v in prog.values.indices() {
             assert_eq!(
-                dense.pt[v], staged.pt[v],
+                dense.value_pts(v), staged.value_pts(v),
                 "{}: %{} differs between dense and staged",
                 p.name, prog.values[v].name
             );
@@ -78,7 +78,7 @@ fn dense_gets_flow_sensitive_basics_right() {
             .unwrap()
     };
     let names = |v| {
-        dense.pt[v]
+        dense.value_pts(v)
             .iter()
             .map(|o| prog.objects[o].name.clone())
             .collect::<Vec<_>>()
@@ -127,7 +127,7 @@ fn dense_kills_across_calls_where_staged_cannot() {
         .unwrap();
     let names = |r: &vsfs_core::FlowSensitiveResult| {
         let mut v: Vec<String> =
-            r.pt[after].iter().map(|o| prog.objects[o].name.clone()).collect();
+            r.value_pts(after).iter().map(|o| prog.objects[o].name.clone()).collect();
         v.sort();
         v
     };

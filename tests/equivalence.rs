@@ -4,6 +4,7 @@
 //! generated workloads.
 
 use vsfs::prelude::*;
+use vsfs_core::queries::AliasQueries;
 use vsfs_core::result::precision_diff;
 use vsfs_workloads::gen::{generate, WorkloadConfig};
 
@@ -71,7 +72,7 @@ fn flow_sensitive_is_more_precise_than_andersen() {
         let fs = vsfs_core::run_vsfs(&prog, &aux, &mssa, &svfg);
         for v in prog.values.indices() {
             assert!(
-                aux.value_pts(v).is_superset(&fs.pt[v]),
+                aux.value_pts(v).is_superset(fs.value_pts(v)),
                 "seed {seed}: flow-sensitive pt(%{}) not within Andersen's",
                 prog.values[v].name
             );
@@ -99,8 +100,8 @@ fn strong_update_behaviour() {
     };
     let obj_name = |o| prog.objects[o].name.clone();
     for (label, r) in [("sfs", &sfs), ("vsfs", &vsfs)] {
-        let before: Vec<String> = r.pt[val("before")].iter().map(obj_name).collect();
-        let after: Vec<String> = r.pt[val("after")].iter().map(obj_name).collect();
+        let before: Vec<String> = r.value_pts(val("before")).iter().map(obj_name).collect();
+        let after: Vec<String> = r.value_pts(val("after")).iter().map(obj_name).collect();
         assert_eq!(before, vec!["First"], "{label}: load before the second store");
         assert_eq!(after, vec!["Second"], "{label}: strong update must kill First");
     }
@@ -120,7 +121,7 @@ fn weak_update_on_arrays() {
         .unwrap();
     for r in [&sfs, &vsfs] {
         let mut names: Vec<String> =
-            r.pt[x].iter().map(|o| prog.objects[o].name.clone()).collect();
+            r.value_pts(x).iter().map(|o| prog.objects[o].name.clone()).collect();
         names.sort();
         assert_eq!(names, vec!["A", "B"], "array stores are weak: both survive");
     }
@@ -141,10 +142,10 @@ fn flow_order_precision_beats_andersen() {
     // Andersen (flow-insensitive) thinks the early load can see Obj.
     assert_eq!(aux.value_pts(val("early")).len(), 1);
     // Both flow-sensitive analyses know it cannot.
-    assert!(sfs.pt[val("early")].is_empty());
-    assert!(vsfs.pt[val("early")].is_empty());
-    assert_eq!(sfs.pt[val("late")].len(), 1);
-    assert_eq!(vsfs.pt[val("late")].len(), 1);
+    assert!(sfs.value_pts(val("early")).is_empty());
+    assert!(vsfs.value_pts(val("early")).is_empty());
+    assert_eq!(sfs.value_pts(val("late")).len(), 1);
+    assert_eq!(vsfs.value_pts(val("late")).len(), 1);
 }
 
 #[test]
@@ -172,13 +173,43 @@ fn linked_list_field_flow() {
     for r in [&sfs, &vsfs] {
         // next = n1.next = the Node object; payload = *n2 ⊇ Data2.
         let next: Vec<String> =
-            r.pt[val("next")].iter().map(|o| prog.objects[o].name.clone()).collect();
+            r.value_pts(val("next")).iter().map(|o| prog.objects[o].name.clone()).collect();
         assert_eq!(next, vec!["Node"]);
         let payload: Vec<String> =
-            r.pt[val("payload")].iter().map(|o| prog.objects[o].name.clone()).collect();
+            r.value_pts(val("payload")).iter().map(|o| prog.objects[o].name.clone()).collect();
         // The abstract Node summarises both list cells, so the payload
         // may be either datum.
         assert!(payload.contains(&"Data2".to_string()), "payload = {payload:?}");
+    }
+}
+
+#[test]
+fn query_answers_are_identical_between_solvers_corpus_wide() {
+    // The hash-consed storage must be invisible at the API boundary:
+    // every client query resolves ids back to sets and answers exactly
+    // as the owned-set representation did, and SFS and VSFS agree on
+    // all of them.
+    for p in vsfs_workloads::corpus::corpus() {
+        let prog = parse_program(p.source).unwrap();
+        let (sfs, vsfs) = full_pipeline(&prog);
+        let qs = AliasQueries::new(&prog, &sfs);
+        let qv = AliasQueries::new(&prog, &vsfs);
+        let mut prev = None;
+        for v in prog.values.indices() {
+            assert_eq!(qs.unique_target(v), qv.unique_target(v), "{}", p.name);
+            assert_eq!(qs.is_empty(v), qv.is_empty(v), "{}", p.name);
+            assert_eq!(qs.may_point_to_heap(v), qv.may_point_to_heap(v), "{}", p.name);
+            assert_eq!(qs.pointee_names(v), qv.pointee_names(v), "{}", p.name);
+            if let Some(u) = prev {
+                assert_eq!(qs.may_alias(u, v), qv.may_alias(u, v), "{}", p.name);
+            }
+            prev = Some(v);
+        }
+        // Both solvers' stores carry at least the canonical empty set
+        // and report consistent byte accounting.
+        for r in [&sfs, &vsfs] {
+            assert!(r.stats.store.unique_sets >= 1);
+        }
     }
 }
 
@@ -210,4 +241,18 @@ fn vsfs_stores_fewer_object_sets_on_redundant_workloads() {
         vsfs.stats.object_propagations,
         sfs.stats.object_propagations
     );
+    // The hash-consed store compounds the saving: repeated unions on a
+    // redundancy-heavy workload are served by the memo and shortcuts,
+    // and far fewer canonical sets exist than logical stored slots.
+    for (label, r) in [("sfs", &sfs), ("vsfs", &vsfs)] {
+        let s = r.stats.store;
+        assert!(s.union_hits > 0, "{label}: union memo never hit");
+        assert!(s.union_shortcuts > 0, "{label}: union shortcuts never fired");
+        assert!(
+            s.unique_sets < r.stats.stored_object_sets,
+            "{label}: {} canonical sets for {} logical slots — dedup is not sharing",
+            s.unique_sets,
+            r.stats.stored_object_sets
+        );
+    }
 }

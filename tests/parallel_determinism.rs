@@ -11,6 +11,7 @@
 
 use vsfs::prelude::*;
 use vsfs_andersen::AndersenConfig;
+use vsfs_core::queries::AliasQueries;
 use vsfs_core::result::precision_diff;
 use vsfs_workloads::gen::{generate, WorkloadConfig};
 
@@ -63,7 +64,8 @@ fn full_pipeline_is_bit_identical_across_job_counts() {
             let other = pipeline_at(&prog, jobs);
             for v in prog.values.indices() {
                 assert_eq!(
-                    base.pt[v], other.pt[v],
+                    base.value_pts(v),
+                    other.value_pts(v),
                     "{name}: pt(%{}) differs at jobs={jobs}",
                     prog.values[v].name
                 );
@@ -73,6 +75,34 @@ fn full_pipeline_is_bit_identical_across_job_counts() {
                 sorted_edges(&other),
                 "{name}: call graph differs at jobs={jobs}"
             );
+            // The hash-consed store must end up bit-identical too: the
+            // same canonical sets get interned in the same order for
+            // every worker count.
+            assert_eq!(
+                base.stats.store.unique_sets, other.stats.store.unique_sets,
+                "{name}: unique interned set count differs at jobs={jobs}"
+            );
+            assert_eq!(
+                base.stats.store.unique_set_bytes, other.stats.store.unique_set_bytes,
+                "{name}: interned set bytes differ at jobs={jobs}"
+            );
+            // Client-visible query answers must not depend on `--jobs`.
+            let qa = AliasQueries::new(&prog, &base);
+            let qb = AliasQueries::new(&prog, &other);
+            let mut prev = None;
+            for v in prog.values.indices() {
+                assert_eq!(qa.unique_target(v), qb.unique_target(v), "{name} jobs={jobs}");
+                assert_eq!(qa.is_empty(v), qb.is_empty(v), "{name} jobs={jobs}");
+                assert_eq!(
+                    qa.may_point_to_heap(v),
+                    qb.may_point_to_heap(v),
+                    "{name} jobs={jobs}"
+                );
+                if let Some(p) = prev {
+                    assert_eq!(qa.may_alias(p, v), qb.may_alias(p, v), "{name} jobs={jobs}");
+                }
+                prev = Some(v);
+            }
         }
     }
 }
@@ -131,7 +161,8 @@ fn solvers_agree_with_all_parallel_phases_enabled() {
             let dense = vsfs_core::run_dense(&prog, &aux);
             for v in prog.values.indices() {
                 assert_eq!(
-                    dense.pt[v], vsfs.pt[v],
+                    dense.value_pts(v),
+                    vsfs.value_pts(v),
                     "{name}: dense and VSFS differ on call-free %{}",
                     prog.values[v].name
                 );

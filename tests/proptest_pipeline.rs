@@ -74,7 +74,7 @@ fn flow_sensitive_refines_auxiliary() {
         let fs = vsfs_core::run_vsfs(&prog, &aux, &mssa, &svfg);
         for v in prog.values.indices() {
             assert!(
-                aux.value_pts(v).is_superset(&fs.pt[v]),
+                aux.value_pts(v).is_superset(fs.value_pts(v)),
                 "pt(%{}) not refined",
                 prog.values[v].name
             );

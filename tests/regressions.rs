@@ -12,7 +12,7 @@ fn val(prog: &Program, name: &str) -> vsfs_ir::ValueId {
 }
 
 fn names(prog: &Program, r: &FlowSensitiveResult, v: vsfs_ir::ValueId) -> Vec<String> {
-    let mut n: Vec<String> = r.pt[v].iter().map(|o| prog.objects[o].name.clone()).collect();
+    let mut n: Vec<String> = r.value_pts(v).iter().map(|o| prog.objects[o].name.clone()).collect();
     n.sort();
     n
 }
