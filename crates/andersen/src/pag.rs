@@ -139,7 +139,12 @@ impl Pag {
                         });
                     }
                 },
-                InstKind::FunEntry { .. } | InstKind::FunExit { .. } => {}
+                // FREE defines nothing and constrains nothing: a freed
+                // object keeps its points-to set (checkers interpret the
+                // deallocation event; the analysis stays sound).
+                InstKind::Free { .. }
+                | InstKind::FunEntry { .. }
+                | InstKind::FunExit { .. } => {}
             }
         }
         pag

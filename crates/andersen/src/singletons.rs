@@ -41,7 +41,8 @@ fn is_singleton(prog: &Program, recursive: &HashSet<vsfs_ir::FuncId>, o: ObjId) 
         return false;
     }
     match obj.kind {
-        ObjKind::Global => true,
+        // The null pseudo-object denotes one (non-)location per run.
+        ObjKind::Global | ObjKind::Null => true,
         ObjKind::Stack(f) => !recursive.contains(&f),
         ObjKind::Heap(_) | ObjKind::Function(_) => false,
         ObjKind::Field { base, .. } => is_singleton(prog, recursive, base),

@@ -1,0 +1,75 @@
+//! The labelled checker corpus: `.vir` programs with `.expected`
+//! sidecars.
+//!
+//! A corpus case is a pair of files in one directory:
+//!
+//! * `<name>.vir` — the program, in the textual IR;
+//! * `<name>.expected` — the diagnostics the flow-sensitive checker run
+//!   must produce, one rendered line per line, in report order. An empty
+//!   (or comment-only) file labels a *clean* program: near-miss code the
+//!   checkers must stay silent on.
+//!
+//! Lines starting with `#` are comments. The corpus ships in
+//! `workloads/checkers/` at the repository root and is enforced —
+//! verbatim, order included — by the crate's tests and by
+//! `scripts/ci.sh`.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One labelled program.
+#[derive(Debug, Clone)]
+pub struct CheckerCase {
+    /// The file stem (e.g. `uaf_simple`).
+    pub name: String,
+    /// The program source.
+    pub source: String,
+    /// The expected flow-sensitive diagnostics, in order. Empty for
+    /// clean programs.
+    pub expected: Vec<String>,
+}
+
+/// Loads every `.vir`/`.expected` pair in `dir`, sorted by name.
+///
+/// # Errors
+///
+/// Fails if the directory is unreadable or a `.vir` file lacks its
+/// `.expected` sidecar (every corpus program must be labelled).
+pub fn load_corpus(dir: &Path) -> io::Result<Vec<CheckerCase>> {
+    let mut names: Vec<String> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("vir") {
+            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                names.push(stem.to_string());
+            }
+        }
+    }
+    names.sort();
+    let mut cases = Vec::with_capacity(names.len());
+    for name in names {
+        let source = fs::read_to_string(dir.join(format!("{name}.vir")))?;
+        let sidecar = dir.join(format!("{name}.expected"));
+        let expected_raw = fs::read_to_string(&sidecar).map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!("{name}.vir has no readable {name}.expected sidecar: {e}"),
+            )
+        })?;
+        let expected = expected_raw
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect();
+        cases.push(CheckerCase { name, source, expected });
+    }
+    Ok(cases)
+}
+
+/// The repository's corpus directory, resolved relative to this crate
+/// (`workloads/checkers/` at the repo root).
+pub fn default_corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../workloads/checkers")
+}

@@ -1,0 +1,156 @@
+//! Rendering: deterministic text diagnostics and the JSON comparison
+//! report.
+//!
+//! Text lines are `LINE:COL: <checker>: <detail>` when the instruction
+//! has a source span (programs from the textual form), falling back to
+//! the IR location (`i12 in @main:entry`) for builder-made programs. The
+//! `.expected` sidecars of the checker corpus contain exactly these
+//! lines, in exactly this order — the CI gate diffs them verbatim.
+
+use vsfs_ir::{InstId, Program};
+
+use crate::checkers::{CheckerKind, Finding};
+
+fn loc(prog: &Program, inst: InstId) -> String {
+    match prog.inst_span(inst) {
+        Some((line, col)) => format!("{line}:{col}"),
+        None => prog.inst_location(inst),
+    }
+}
+
+/// Renders one finding as a diagnostic line.
+pub fn render_finding(prog: &Program, f: &Finding) -> String {
+    let at = loc(prog, f.inst);
+    let obj = &prog.objects[f.obj].name;
+    let mnem = prog.insts[f.inst].kind.mnemonic();
+    match f.checker {
+        CheckerKind::UseAfterFree => {
+            let src = f.src.map(|s| loc(prog, s)).unwrap_or_default();
+            format!("{at}: use-after-free: {mnem} may access {obj} freed at {src}")
+        }
+        CheckerKind::DoubleFree => {
+            let src = f.src.map(|s| loc(prog, s)).unwrap_or_default();
+            format!("{at}: double-free: {obj} may already be freed at {src}")
+        }
+        CheckerKind::Leak => {
+            format!("{at}: leak: {obj} allocated here may never be freed")
+        }
+        CheckerKind::NullDeref => {
+            format!("{at}: null-deref: {mnem} through possibly-null pointer")
+        }
+    }
+}
+
+/// Renders a finding list in its (already sorted) order.
+pub fn render_findings(prog: &Program, findings: &[Finding]) -> Vec<String> {
+    findings.iter().map(|f| render_finding(prog, f)).collect()
+}
+
+/// The outcome of running every checker under both views on one
+/// program: the two finding sets, their rendered lines, and the
+/// per-checker precision deltas.
+pub struct CheckReport {
+    /// Findings under the auxiliary Andersen view, sorted.
+    pub andersen_findings: Vec<Finding>,
+    /// Findings under the flow-sensitive view, sorted.
+    pub flow_findings: Vec<Finding>,
+    /// Rendered diagnostics for `andersen_findings`.
+    pub andersen_lines: Vec<String>,
+    /// Rendered diagnostics for `flow_findings` — the tool's output.
+    pub flow_lines: Vec<String>,
+}
+
+impl CheckReport {
+    /// Renders both finding sets.
+    pub fn new(
+        prog: &Program,
+        andersen_findings: Vec<Finding>,
+        flow_findings: Vec<Finding>,
+    ) -> CheckReport {
+        let andersen_lines = render_findings(prog, &andersen_findings);
+        let flow_lines = render_findings(prog, &flow_findings);
+        CheckReport { andersen_findings, flow_findings, andersen_lines, flow_lines }
+    }
+
+    fn count(findings: &[Finding], checker: CheckerKind) -> usize {
+        findings.iter().filter(|f| f.checker == checker).count()
+    }
+
+    /// Andersen findings minus flow-sensitive findings for `checker`:
+    /// the false positives flow-sensitivity removed. Negative for the
+    /// leak checker's inverted direction (a more precise "may free" set
+    /// yields *more* leak reports).
+    pub fn fp_removed(&self, checker: CheckerKind) -> i64 {
+        Self::count(&self.andersen_findings, checker) as i64
+            - Self::count(&self.flow_findings, checker) as i64
+    }
+
+    /// A human-readable per-checker summary (`checker: andersen=N
+    /// flow-sensitive=M fp-removed=D`).
+    pub fn summary_lines(&self) -> Vec<String> {
+        CheckerKind::ALL
+            .iter()
+            .map(|&c| {
+                format!(
+                    "{}: andersen={} flow-sensitive={} fp-removed={}",
+                    c.name(),
+                    Self::count(&self.andersen_findings, c),
+                    Self::count(&self.flow_findings, c),
+                    self.fp_removed(c)
+                )
+            })
+            .collect()
+    }
+
+    /// The JSON record for `program`, with deterministic key and array
+    /// order. This is the machine-readable Table III row: per-checker
+    /// counts under both views plus the flow-sensitive diagnostics.
+    pub fn to_json(&self, program: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{{\"program\":{},\"checkers\":[", json_str(program)));
+        for (i, &c) in CheckerKind::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"checker\":{},\"andersen\":{},\"flow_sensitive\":{},\"fp_removed\":{}}}",
+                json_str(c.name()),
+                Self::count(&self.andersen_findings, c),
+                Self::count(&self.flow_findings, c),
+                self.fp_removed(c)
+            ));
+        }
+        out.push_str("],\"findings\":[");
+        for (i, line) in self.flow_lines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(line));
+        }
+        out.push_str("],\"andersen_findings\":[");
+        for (i, line) in self.andersen_lines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(line));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

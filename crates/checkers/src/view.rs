@@ -1,0 +1,62 @@
+//! The points-to view a checker runs under.
+//!
+//! Checkers never touch an analysis result directly: every guard goes
+//! through [`PtsView`], so the *same* checker code runs once over the
+//! auxiliary (flow-insensitive) Andersen result and once over the
+//! flow-sensitive result. The difference between the two finding sets is
+//! exactly the false positives flow-sensitivity removes — the
+//! client-facing precision measurement of the paper's Table III.
+
+use vsfs_adt::PointsToSet;
+use vsfs_andersen::AndersenResult;
+use vsfs_core::FlowSensitiveResult;
+use vsfs_ir::{FuncId, InstId, ObjId, ValueId};
+
+/// Read-only access to a pointer analysis result.
+pub trait PtsView {
+    /// The points-to set of top-level value `v` under this view.
+    fn pts(&self, v: ValueId) -> &PointsToSet<ObjId>;
+
+    /// The `(call site, callee)` edges resolved under this view, sorted.
+    /// Drives activation of the SVFG's deferred interprocedural bindings.
+    fn call_edges(&self) -> Vec<(InstId, FuncId)>;
+
+    /// A short name for reports: `"andersen"` or `"flow-sensitive"`.
+    fn mode(&self) -> &'static str;
+}
+
+/// The auxiliary Andersen result as a view (the imprecise baseline).
+pub struct AndersenView<'a>(pub &'a AndersenResult);
+
+impl PtsView for AndersenView<'_> {
+    fn pts(&self, v: ValueId) -> &PointsToSet<ObjId> {
+        self.0.value_pts(v)
+    }
+
+    fn call_edges(&self) -> Vec<(InstId, FuncId)> {
+        let mut edges: Vec<_> = self.0.callgraph.edges().collect();
+        edges.sort_unstable();
+        edges
+    }
+
+    fn mode(&self) -> &'static str {
+        "andersen"
+    }
+}
+
+/// A flow-sensitive result (SFS or VSFS — identical precision) as a view.
+pub struct FlowView<'a>(pub &'a FlowSensitiveResult);
+
+impl PtsView for FlowView<'_> {
+    fn pts(&self, v: ValueId) -> &PointsToSet<ObjId> {
+        self.0.value_pts(v)
+    }
+
+    fn call_edges(&self) -> Vec<(InstId, FuncId)> {
+        self.0.callgraph_edges.clone()
+    }
+
+    fn mode(&self) -> &'static str {
+        "flow-sensitive"
+    }
+}

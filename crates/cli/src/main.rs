@@ -30,9 +30,22 @@
 //!   --print-pts        print the points-to set of every named value
 //!   --print-callgraph  print resolved (call site -> callee) edges
 //!   --precision-report aggregate precision gained over Andersen's
-//!   --dot-svfg FILE    write the SVFG in Graphviz format
+//!   --dot-svfg FILE    write the SVFG in Graphviz format (with object
+//!                      versions and checker source/sink highlights when
+//!                      combined with --check under VSFS)
 //!   --stats            print phase timings and solver statistics
 //!   --list             list corpus programs and suite benchmarks
+//!
+//! Checking:
+//!   --check            run the source-sink checkers (use-after-free,
+//!                      double-free, leak, null-deref) under BOTH the
+//!                      Andersen view and the flow-sensitive view; print
+//!                      the flow-sensitive diagnostics (sorted, stable)
+//!                      followed by `check-summary:` lines with the
+//!                      per-checker false positives flow-sensitivity
+//!                      removed
+//!   --check-json FILE  also write the machine-readable comparison
+//!                      report (implies --check)
 //! ```
 //!
 //! # Exit codes and degradation
@@ -74,6 +87,8 @@ struct Options {
     precision_report: bool,
     dot_svfg: Option<String>,
     stats: bool,
+    check: bool,
+    check_json: Option<String>,
     jobs: usize,
     time_budget: Option<f64>,
     step_budget: Option<u64>,
@@ -102,7 +117,8 @@ fn usage() -> ! {
         "usage: vsfs [--ander|--fspta|--vfspta] [--jobs N] [--time-budget SECS] \
          [--step-budget N] [--mem-budget MIB] [--inject-fault KIND:SEED] \
          [--print-pts] [--print-callgraph] [--precision-report] [--dot-svfg FILE] \
-         [--stats] (<file.vir> | --corpus NAME | --workload NAME | --list)"
+         [--check] [--check-json FILE] [--stats] \
+         (<file.vir> | --corpus NAME | --workload NAME | --list)"
     );
     std::process::exit(1);
 }
@@ -130,6 +146,8 @@ fn parse_args() -> Options {
     let mut precision_report = false;
     let mut dot_svfg = None;
     let mut stats = false;
+    let mut check = false;
+    let mut check_json = None;
     let mut jobs = 1usize;
     let mut time_budget = None;
     let mut step_budget = None;
@@ -166,6 +184,11 @@ fn parse_args() -> Options {
             "--print-callgraph" => print_callgraph = true,
             "--precision-report" => precision_report = true,
             "--stats" => stats = true,
+            "--check" => check = true,
+            "--check-json" => {
+                check = true;
+                check_json = Some(args.next().unwrap_or_else(|| usage()));
+            }
             "--dot-svfg" => dot_svfg = Some(args.next().unwrap_or_else(|| usage())),
             "--corpus" => input = Some(Input::Corpus(args.next().unwrap_or_else(|| usage()))),
             "--workload" => input = Some(Input::Workload(args.next().unwrap_or_else(|| usage()))),
@@ -193,6 +216,8 @@ fn parse_args() -> Options {
         precision_report,
         dot_svfg,
         stats,
+        check,
+        check_json,
         jobs,
         time_budget,
         step_budget,
@@ -258,11 +283,107 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+    if opts.check && opts.analysis == Analysis::Andersen {
+        eprintln!(
+            "error: --check needs a flow-sensitive analysis (--fspta/--vfspta) \
+             to compare against; Andersen runs as the baseline automatically"
+        );
+        return ExitCode::from(1);
+    }
     if opts.governed() {
         run_governed(&opts, &prog)
     } else {
         run_plain(&opts, &prog)
     }
+}
+
+/// A short name for the analysed program, used in the JSON check report.
+fn program_name(input: &Input) -> String {
+    match input {
+        Input::File(p) => std::path::Path::new(p)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(p)
+            .to_string(),
+        Input::Corpus(n) | Input::Workload(n) => n.clone(),
+    }
+}
+
+/// Runs every checker under both views, prints the flow-sensitive
+/// diagnostics and the `check-summary:` comparison, and writes the JSON
+/// report when requested. In a governed run that degraded, `result` is
+/// the Andersen fallback, so the "flow-sensitive" findings soundly
+/// coincide with the Andersen ones.
+fn run_check(
+    opts: &Options,
+    prog: &Program,
+    aux: &vsfs_andersen::AndersenResult,
+    svfg: &vsfs_svfg::Svfg,
+    result: &FlowSensitiveResult,
+) -> Result<Vec<vsfs_checkers::Finding>, ExitCode> {
+    use vsfs_checkers::{run_checkers, AndersenView, CheckReport, FlowView};
+    let andersen = run_checkers(prog, svfg, &AndersenView(aux));
+    let flow = run_checkers(prog, svfg, &FlowView(result));
+    let report = CheckReport::new(prog, andersen, flow);
+    for line in &report.flow_lines {
+        println!("{line}");
+    }
+    for line in report.summary_lines() {
+        println!("check-summary: {line}");
+    }
+    if let Some(path) = &opts.check_json {
+        let json = report.to_json(&program_name(&opts.input));
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return Err(ExitCode::from(1));
+        }
+    }
+    Ok(report.flow_findings)
+}
+
+/// Dot annotations for a `--check --dot-svfg` run: under VSFS every
+/// node's consumed/yielded object versions become extra label lines, and
+/// the flow-sensitive findings' free sites (sources) and flagged
+/// accesses (sinks) are highlighted. When a node is both — a loop
+/// self-double-free — the sink colour wins.
+fn check_annotations(
+    opts: &Options,
+    prog: &Program,
+    mssa: &vsfs_mssa::MemorySsa,
+    svfg: &vsfs_svfg::Svfg,
+    findings: &[vsfs_checkers::Finding],
+) -> vsfs_svfg::DotAnnotations {
+    let mut ann = vsfs_svfg::DotAnnotations::default();
+    if opts.analysis == Analysis::Vsfs {
+        let tables = vsfs_core::VersionTables::build(prog, mssa, svfg);
+        for n in svfg.node_ids() {
+            let fmt = |entries: &[(vsfs_ir::ObjId, u32)], verb: &str| {
+                if entries.is_empty() {
+                    return None;
+                }
+                let list: Vec<String> = entries
+                    .iter()
+                    .map(|&(o, v)| format!("{}@v{}", prog.objects[o].name, v))
+                    .collect();
+                Some(format!("{verb} {}", list.join(", ")))
+            };
+            let mut lines = Vec::new();
+            lines.extend(fmt(tables.consume_entries(n), "consume"));
+            lines.extend(fmt(tables.yield_entries(n), "yield"));
+            if !lines.is_empty() {
+                ann.extra_lines.insert(n, lines);
+            }
+        }
+    }
+    for f in findings {
+        if let Some(src) = f.src {
+            ann.roles.insert(svfg.inst_node(src), vsfs_svfg::DotRole::Source);
+        }
+    }
+    for f in findings {
+        ann.roles.insert(svfg.inst_node(f.inst), vsfs_svfg::DotRole::Sink);
+    }
+    ann
 }
 
 fn run_plain(opts: &Options, prog: &Program) -> ExitCode {
@@ -292,8 +413,13 @@ fn run_plain(opts: &Options, prog: &Program) -> ExitCode {
     let svfg = vsfs_svfg::Svfg::build(prog, &aux, &mssa);
     let build_time = t1.elapsed();
 
-    if let Some(code) = write_dot(opts, prog, &svfg) {
-        return code;
+    // With --check the dot export waits for the solve so it can carry
+    // version labels and finding highlights; without it, write it now so
+    // the graph is available even if the solve is the slow part.
+    if !opts.check {
+        if let Some(code) = write_dot(opts, prog, &svfg, &vsfs_svfg::DotAnnotations::default()) {
+            return code;
+        }
     }
 
     let result: FlowSensitiveResult = match opts.analysis {
@@ -303,6 +429,16 @@ fn run_plain(opts: &Options, prog: &Program) -> ExitCode {
     };
 
     report_result(opts, prog, &aux, &result);
+    if opts.check {
+        let findings = match run_check(opts, prog, &aux, &svfg, &result) {
+            Ok(findings) => findings,
+            Err(code) => return code,
+        };
+        let ann = check_annotations(opts, prog, &mssa, &svfg, &findings);
+        if let Some(code) = write_dot(opts, prog, &svfg, &ann) {
+            return code;
+        }
+    }
     if opts.stats {
         let s = &result.stats;
         println!("jobs:              {}", opts.jobs);
@@ -379,8 +515,10 @@ fn run_governed(opts: &Options, prog: &Program) -> ExitCode {
 
     let mssa = vsfs_mssa::MemorySsa::build(prog, &aux);
     let svfg = vsfs_svfg::Svfg::build(prog, &aux, &mssa);
-    if let Some(code) = write_dot(opts, prog, &svfg) {
-        return code;
+    if !opts.check {
+        if let Some(code) = write_dot(opts, prog, &svfg, &vsfs_svfg::DotAnnotations::default()) {
+            return code;
+        }
     }
 
     // Flow-sensitive stage: full budget plus any injected fault. If it
@@ -405,6 +543,16 @@ fn run_governed(opts: &Options, prog: &Program) -> ExitCode {
     };
 
     report_result(opts, prog, &aux, &ga.result);
+    if opts.check {
+        let findings = match run_check(opts, prog, &aux, &svfg, &ga.result) {
+            Ok(findings) => findings,
+            Err(code) => return code,
+        };
+        let ann = check_annotations(opts, prog, &mssa, &svfg, &findings);
+        if let Some(code) = write_dot(opts, prog, &svfg, &ann) {
+            return code;
+        }
+    }
     match &ga.completion {
         Completion::Complete => {
             println!("{{\"completion\":\"complete\",\"mode\":\"{}\"}}", ga.mode);
@@ -422,9 +570,14 @@ fn run_governed(opts: &Options, prog: &Program) -> ExitCode {
     }
 }
 
-fn write_dot(opts: &Options, prog: &Program, svfg: &vsfs_svfg::Svfg) -> Option<ExitCode> {
+fn write_dot(
+    opts: &Options,
+    prog: &Program,
+    svfg: &vsfs_svfg::Svfg,
+    ann: &vsfs_svfg::DotAnnotations,
+) -> Option<ExitCode> {
     let path = opts.dot_svfg.as_ref()?;
-    if let Err(e) = std::fs::write(path, svfg.to_dot(prog)) {
+    if let Err(e) = std::fs::write(path, svfg.to_dot_annotated(prog, ann)) {
         eprintln!("error: cannot write {path}: {e}");
         return Some(ExitCode::from(1));
     }

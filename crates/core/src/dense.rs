@@ -197,7 +197,9 @@ impl<'a> DenseSolver<'a> {
                     }
                 }
             }
-            InstKind::FunEntry { .. } => {}
+            // FREE neither defines a top-level value nor changes any
+            // points-to set: OUT = IN, like FUNENTRY.
+            InstKind::Free { .. } | InstKind::FunEntry { .. } => {}
         }
         self.propagate(inst);
     }

@@ -199,8 +199,11 @@ impl<'a> TopLevel<'a> {
                 }
             }
             // LOAD's top-level effect depends on object state — handled by
-            // the solver. STORE, FUNENTRY have no top-level effect.
-            InstKind::Load { .. } | InstKind::Store { .. } | InstKind::FunEntry { .. } => {}
+            // the solver. STORE, FREE, FUNENTRY have no top-level effect.
+            InstKind::Load { .. }
+            | InstKind::Store { .. }
+            | InstKind::Free { .. }
+            | InstKind::FunEntry { .. } => {}
         }
     }
 

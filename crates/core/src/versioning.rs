@@ -154,6 +154,18 @@ impl VersionTables {
             .or_else(|| self.consume_slot(node, obj))
     }
 
+    /// Every `(object, version)` pair `node` consumes, sorted by object.
+    pub fn consume_entries(&self, node: SvfgNodeId) -> &[(ObjId, VersionSlot)] {
+        &self.consume[node.index()]
+    }
+
+    /// Every `(object, version)` pair `node` yields, sorted by object.
+    /// Nodes that relay an object unchanged appear only in
+    /// [`VersionTables::consume_entries`].
+    pub fn yield_entries(&self, node: SvfgNodeId) -> &[(ObjId, VersionSlot)] {
+        &self.yield_[node.index()]
+    }
+
     /// Total `(object, version)` slots.
     pub fn slot_count(&self) -> u32 {
         self.slot_count

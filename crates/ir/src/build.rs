@@ -174,6 +174,21 @@ impl ProgramBuilder {
         o
     }
 
+    /// The singleton null pseudo-object, created on first use.
+    pub fn null_object(&mut self) -> ObjId {
+        if let Some(o) = self.prog.null_obj {
+            return o;
+        }
+        let o = self.prog.objects.push(Object {
+            name: "null".to_string(),
+            kind: ObjKind::Null,
+            num_fields: 0,
+            is_array: false,
+        });
+        self.prog.null_obj = Some(o);
+        o
+    }
+
     /// Completes the program: checks every declared function has a body,
     /// lowers global initialisers into `main`, and materialises field
     /// objects.
@@ -372,6 +387,21 @@ impl FunctionBuilder<'_> {
         self.emit_def(dst, |d| InstKind::Phi { dst: d, srcs })
     }
 
+    /// The id the next emitted instruction will receive (used by the
+    /// parser to attach source spans to everything one line emits).
+    pub fn next_inst(&self) -> InstId {
+        self.pb.prog.insts.next_index()
+    }
+
+    /// Records source span (`line`, `col`) for every instruction emitted
+    /// since `from` (exclusive of ids at or past the current end).
+    pub fn set_spans_since(&mut self, from: InstId, line: u32, col: u32) {
+        let end = self.pb.prog.insts.next_index().index();
+        for i in from.index()..end {
+            self.pb.prog.inst_spans.insert(InstId::new(i as u32), (line, col));
+        }
+    }
+
     /// The instruction that defines `v`, if instruction-defined.
     pub fn def_inst_of(&self, v: ValueId) -> Option<InstId> {
         match self.pb.prog.values[v].def {
@@ -413,6 +443,17 @@ impl FunctionBuilder<'_> {
     /// `*addr = val`.
     pub fn store(&mut self, val: ValueId, addr: ValueId) -> InstId {
         self.emit(InstKind::Store { addr, val })
+    }
+
+    /// `free ptr`.
+    pub fn free(&mut self, ptr: ValueId) -> InstId {
+        self.emit(InstKind::Free { ptr })
+    }
+
+    /// `dst = null` — allocates the singleton null pseudo-object.
+    pub fn null_ptr(&mut self, dst: &str) -> ValueId {
+        let obj = self.pb.null_object();
+        self.emit_def(dst, |d| InstKind::Alloc { dst: d, obj })
     }
 
     /// Direct call `dst = callee(args...)`; `dst` is created when

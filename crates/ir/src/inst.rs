@@ -33,6 +33,13 @@ pub enum InstKind {
     Load { dst: ValueId, addr: ValueId },
     /// `*p = q` — STORE.
     Store { addr: ValueId, val: ValueId },
+    /// `free p` — deallocates the object(s) `p` points to.
+    ///
+    /// Points-to-wise a no-op (it defines nothing and the freed objects
+    /// keep their sets); memory-SSA-wise a weak update (χ) of everything
+    /// `p` may point to, so checkers observe a value-flow event at the
+    /// deallocation site.
+    Free { ptr: ValueId },
     /// `p = q(r1, ..., rn)` — CALL (direct or indirect).
     Call { dst: Option<ValueId>, callee: Callee, args: Vec<ValueId> },
     /// `fun(r1, ..., rn)` — FUNENTRY: the unique entry pseudo-instruction
@@ -53,7 +60,10 @@ impl InstKind {
             | InstKind::Field { dst, .. }
             | InstKind::Load { dst, .. } => Some(dst),
             InstKind::Call { dst, .. } => dst,
-            InstKind::Store { .. } | InstKind::FunEntry { .. } | InstKind::FunExit { .. } => None,
+            InstKind::Store { .. }
+            | InstKind::Free { .. }
+            | InstKind::FunEntry { .. }
+            | InstKind::FunExit { .. } => None,
         }
     }
 
@@ -66,6 +76,7 @@ impl InstKind {
             InstKind::Field { base, .. } => vec![*base],
             InstKind::Load { addr, .. } => vec![*addr],
             InstKind::Store { addr, val } => vec![*val, *addr],
+            InstKind::Free { ptr } => vec![*ptr],
             InstKind::Call { callee, args, .. } => {
                 let mut u = Vec::with_capacity(args.len() + 1);
                 if let Callee::Indirect(v) = callee {
@@ -94,6 +105,7 @@ impl InstKind {
             InstKind::Field { .. } => "gep",
             InstKind::Load { .. } => "load",
             InstKind::Store { .. } => "store",
+            InstKind::Free { .. } => "free",
             InstKind::Call { .. } => "call",
             InstKind::FunEntry { .. } => "funentry",
             InstKind::FunExit { .. } => "funexit",

@@ -14,7 +14,9 @@
 //!             | "%" NAME "=" "copy" operand
 //!             | "%" NAME "=" "gep" operand "," INT
 //!             | "%" NAME "=" "load" operand
+//!             | "%" NAME "=" "null"                // p may be null (allocates the null pseudo-object)
 //!             | "store" operand "," operand        // store VALUE, POINTER (LLVM order: *ptr = value)
+//!             | "free" operand                     // deallocate what the operand points to
 //!             | ["%" NAME "="] "call" "@" NAME "(" [operand ("," operand)*] ")"
 //!             | ["%" NAME "="] "icall" operand "(" [operand ("," operand)*] ")"
 //! term       := "goto" LABEL
@@ -654,6 +656,8 @@ impl Parser {
             if !in_block {
                 return err(l.no, "instruction outside of a block (missing label?)");
             }
+            let span_mark = fb.next_inst();
+            let span_col = l.cols.first().copied().unwrap_or(1) as u32;
             let define = |fbv: &mut HashMap<String, ValueId>, name: &str, v: ValueId, lineno: usize| -> PResult<()> {
                 if fbv.insert(name.to_string(), v).is_some() {
                     return err(lineno, format!("value `%{name}` assigned twice (IR must be in SSA form)"));
@@ -772,6 +776,11 @@ impl Parser {
                             let v = fb.load(&dst, addr);
                             define(&mut locals, &dst, v, l.no)?;
                         }
+                        "null" => {
+                            c.expect_end()?;
+                            let v = fb.null_ptr(&dst);
+                            define(&mut locals, &dst, v, l.no)?;
+                        }
                         "call" | "icall" => {
                             let v = self_parse_call(&mut c, op, Some(&dst), &mut fb, &locals, func_ids, globals, l.no)?;
                             define(&mut locals, &dst, v.expect("call with dst returns a value"), l.no)?;
@@ -797,6 +806,15 @@ impl Parser {
                             let addr = lookup(&locals, &tp, l.no)?;
                             c.expect_end()?;
                             fb.store(val, addr);
+                        }
+                        "free" => {
+                            let t = c
+                                .next()
+                                .cloned()
+                                .ok_or_else(|| perr(l.no, "free needs an operand"))?;
+                            let ptr = lookup(&locals, &t, l.no)?;
+                            c.expect_end()?;
+                            fb.free(ptr);
                         }
                         "call" | "icall" => {
                             self_parse_call(&mut c, &k, None, &mut fb, &locals, func_ids, globals, l.no)?;
@@ -845,6 +863,7 @@ impl Parser {
                 }
                 _ => return err_at(l.no, c.col_here(), format!("cannot parse line starting with {}", c.describe_here())),
             }
+            fb.set_spans_since(span_mark, l.no as u32, span_col);
         }
         for (inst, idx, name, lineno) in pending_phis {
             let v = *locals

@@ -85,6 +85,7 @@ impl Program {
                         o.name,
                         self.fmt_obj_suffix(*obj)
                     ),
+                    ObjKind::Null => writeln!(f, "  {} = null", self.fmt_value(*dst)),
                     _ => writeln!(
                         f,
                         "  {} = alloc stack {}{}",
@@ -110,6 +111,7 @@ impl Program {
             InstKind::Store { addr, val } => {
                 writeln!(f, "  store {}, {}", self.fmt_value(*val), self.fmt_value(*addr))
             }
+            InstKind::Free { ptr } => writeln!(f, "  free {}", self.fmt_value(*ptr)),
             InstKind::Call { dst, callee, args } => {
                 let ops: Vec<String> = args.iter().map(|&a| self.fmt_value(a)).collect();
                 let callee_s = match callee {
@@ -149,8 +151,10 @@ func @main() {
 entry:
   %p = alloc stack A fields 3 array
   %h = alloc heap H
+  %n = null
   %fp = funaddr @callee
   store %h, %p
+  free %h
   br left, right
 left:
   %a = gep %p, 1

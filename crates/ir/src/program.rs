@@ -19,6 +19,10 @@ pub enum ObjKind {
     Function(FuncId),
     /// Field `offset` of base object `base` (`f_k ∈ F`, Table I).
     Field { base: ObjId, offset: u32 },
+    /// The singleton null pseudo-object. `p = null` is modelled as an
+    /// allocation of this object, so "may be null" is an ordinary
+    /// points-to fact and strong updates kill it like any other target.
+    Null,
 }
 
 /// An abstract address-taken object (`o ∈ A`).
@@ -50,6 +54,11 @@ impl Object {
     /// Returns `true` if this object is a field of another object.
     pub fn is_field(&self) -> bool {
         matches!(self.kind, ObjKind::Field { .. })
+    }
+
+    /// Returns `true` if this object is the null pseudo-object.
+    pub fn is_null(&self) -> bool {
+        matches!(self.kind, ObjKind::Null)
     }
 }
 
@@ -128,6 +137,11 @@ pub struct Program {
     /// Function-address object per function (for functions whose address
     /// is taken).
     pub(crate) func_obj: HashMap<FuncId, ObjId>,
+    /// The singleton null pseudo-object, if any `null` occurs.
+    pub(crate) null_obj: Option<ObjId>,
+    /// Source spans (`line`, `column`), 1-based, for instructions that
+    /// came from the textual form. Builder-made programs leave this empty.
+    pub(crate) inst_spans: HashMap<InstId, (u32, u32)>,
 }
 
 impl Program {
@@ -185,6 +199,22 @@ impl Program {
             ObjKind::Function(f) => Some(f),
             _ => None,
         }
+    }
+
+    /// The singleton null pseudo-object, if the program contains `null`.
+    pub fn null_object(&self) -> Option<ObjId> {
+        self.null_obj
+    }
+
+    /// The source span (`line`, `column`) of `inst`, if it came from the
+    /// textual form.
+    pub fn inst_span(&self, inst: InstId) -> Option<(u32, u32)> {
+        self.inst_spans.get(&inst).copied()
+    }
+
+    /// Records the source span of `inst` (used by the parser).
+    pub fn set_inst_span(&mut self, inst: InstId, line: u32, col: u32) {
+        self.inst_spans.insert(inst, (line, col));
     }
 
     /// The base object of `obj` (itself unless it is a field).

@@ -45,6 +45,9 @@ pub fn annotate(prog: &Program, aux: &AndersenResult, modref: &ModRef) -> Annota
             InstKind::Load { addr, .. } => {
                 mu_objs[id].union_with(aux.value_pts(*addr));
             }
+            InstKind::Free { ptr } => {
+                chi_objs[id].union_with(aux.value_pts(*ptr));
+            }
             InstKind::Call { .. } => {
                 // Caller-visible (escape-filtered) summaries only: a
                 // callee's private objects never annotate the call site.

@@ -62,6 +62,11 @@ impl ModRef {
                 InstKind::Load { addr, .. } => {
                     refs[inst.func].union_with(aux.value_pts(*addr));
                 }
+                // FREE weakly updates everything its operand may point to,
+                // so the deallocation shows up as a value-flow event.
+                InstKind::Free { ptr } => {
+                    mods[inst.func].union_with(aux.value_pts(*ptr));
+                }
                 _ => {}
             }
         }
@@ -165,7 +170,7 @@ fn home_function(prog: &Program, o: ObjId) -> Option<FuncId> {
     match prog.objects[o].kind {
         ObjKind::Stack(f) | ObjKind::Heap(f) => Some(f),
         ObjKind::Field { base, .. } => home_function(prog, base),
-        ObjKind::Global | ObjKind::Function(_) => None,
+        ObjKind::Global | ObjKind::Function(_) | ObjKind::Null => None,
     }
 }
 

@@ -44,6 +44,8 @@
 pub mod build;
 pub mod dot;
 
+pub use dot::{DotAnnotations, DotRole};
+
 use std::collections::HashMap;
 use vsfs_adt::{define_index, IndexVec};
 use vsfs_ir::{FuncId, InstId, ObjId};

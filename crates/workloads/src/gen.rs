@@ -64,6 +64,12 @@ pub struct WorkloadConfig {
     /// chasing). High values blur the auxiliary analysis and inflate
     /// annotation sets; real code keeps this modest.
     pub deref_chain: f64,
+    /// Probability each block fill emits a `free` of a pointer in scope
+    /// (checker workloads; `0.0` keeps programs free-free).
+    pub free_fraction: f64,
+    /// Probability each block fill introduces a possibly-null pointer
+    /// into the value pool (checker workloads).
+    pub null_fraction: f64,
 }
 
 impl WorkloadConfig {
@@ -89,7 +95,15 @@ impl WorkloadConfig {
             diamond_bias: 0.3,
             loop_bias: 0.15,
             deref_chain: 0.2,
+            free_fraction: 0.0,
+            null_fraction: 0.0,
         }
+    }
+
+    /// `small()` with frees and possibly-null pointers mixed in, for
+    /// exercising the source-sink checkers on random programs.
+    pub fn small_with_bugs() -> Self {
+        WorkloadConfig { free_fraction: 0.3, null_fraction: 0.2, ..WorkloadConfig::small() }
     }
 }
 
@@ -397,6 +411,27 @@ impl<'c> GenState<'c> {
                 let name = self.fresh("f");
                 let v = fb.gep(&name, base, off);
                 pool.add_addr(v);
+            }
+        }
+        // The `> 0.0` guards keep the RNG stream untouched when the
+        // checker knobs are off, so every pre-existing workload stays
+        // bit-identical.
+        if self.cfg.null_fraction > 0.0 && self.rng.gen_bool(self.cfg.null_fraction) {
+            let name = self.fresh("n");
+            let v = fb.null_ptr(&name);
+            pool.add(v);
+        }
+        // Frees last, after the block's loads/stores: freeing a pointer
+        // whose object is still used later in another block is exactly
+        // the kind of (possible) bug the checkers look for.
+        if self.cfg.free_fraction > 0.0 && self.rng.gen_bool(self.cfg.free_fraction) {
+            let target = if !my_allocs.is_empty() && self.rng.gen_bool(0.7) {
+                pick(&mut self.rng, my_allocs)
+            } else {
+                pick(&mut self.rng, &pool.addrs)
+            };
+            if let Some(ptr) = target {
+                fb.free(ptr);
             }
         }
         let per_fill = self.cfg.calls_per_function.div_ceil(self.cfg.segments.max(1));

@@ -58,6 +58,8 @@ fn config(seed: u64, functions: usize, segments: usize, profile: Profile) -> Wor
         diamond_bias: 0.3,
         loop_bias: 0.15,
         deref_chain: 0.2,
+        free_fraction: 0.0,
+        null_fraction: 0.0,
     };
     match profile {
         Profile::Light => WorkloadConfig {

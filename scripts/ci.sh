@@ -59,6 +59,36 @@ done
 echo "ok: 3 kinds x 3 seeds degrade soundly and identically at --jobs 1/4"
 
 echo
+echo "== checker corpus: flow-sensitive diagnostics match .expected verbatim =="
+for f in workloads/checkers/*.vir; do
+  expected="${f%.vir}.expected"
+  got="$(./target/release/vsfs --check "$f" | grep -v '^check-summary:' || true)"
+  want="$(grep -v '^#' "$expected" | grep -v '^$' || true)"
+  if [ "$got" != "$want" ]; then
+    echo "FAIL: $f diagnostics differ from $expected" >&2
+    diff <(printf '%s' "$want") <(printf '%s' "$got") >&2 || true
+    exit 1
+  fi
+done
+echo "ok: $(ls workloads/checkers/*.vir | wc -l) corpus programs match their expected findings exactly"
+
+echo
+echo "== governed check: degraded run exits 2 with sound Andersen findings =="
+rc=0
+out="$(./target/release/vsfs --check --inject-fault panic:1 --workload ninja)" || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "FAIL: governed --check exited $rc (want 2: degraded)" >&2
+  exit 1
+fi
+# In degraded mode the flow-sensitive view IS the Andersen fallback, so
+# every per-checker fp-removed delta must be exactly zero.
+if echo "$out" | grep '^check-summary:' | grep -qv 'fp-removed=0$'; then
+  echo "FAIL: degraded --check reported a nonzero fp-removed delta" >&2
+  exit 1
+fi
+echo "ok: degraded --check exits 2 and falls back to the Andersen finding set"
+
+echo
 echo "== parallel scaling record (writes results/BENCH_parallel.json) =="
 cargo run --release -p vsfs-bench --bin parallel_scaling -- lynx --runs 1
 

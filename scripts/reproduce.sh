@@ -26,5 +26,9 @@ echo "== Table III: time and memory (runs=$RUNS, mem limit ${MEM_LIMIT} MiB) =="
 ./target/release/table3 --runs "$RUNS" --mem-limit-mib "$MEM_LIMIT"
 
 echo
+echo "== Checker precision: FP deltas on buggy workload variants =="
+./target/release/checkers du,ninja
+
+echo
 echo "== Micro-benches (phases, versioning scaling, ablations) =="
 cargo bench -p vsfs-bench
