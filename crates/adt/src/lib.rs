@@ -10,7 +10,8 @@
 //!   [`SparseBitVector`].
 //! * [`index`] — typed `u32` indices ([`define_index!`](crate::define_index)) and dense
 //!   index-keyed vectors ([`IndexVec`]).
-//! * [`worklist`] — FIFO and priority worklists with membership dedup.
+//! * [`worklist`] — FIFO and rank-bucketed priority worklists with
+//!   membership dedup, unified behind a policy-switchable [`Worklist`].
 //! * [`mem`] — a counting global allocator used by the benchmark harness to
 //!   report peak live bytes (the reproduction's substitute for GNU `time`'s
 //!   max-RSS column in Table III).
@@ -62,7 +63,7 @@ pub use meldpool::MeldPool;
 pub use par::{ParConfig, ParStats, ShardedWorklist};
 pub use ptstore::{PtsId, PtsScratch, PtsStore, PtsStoreStats};
 pub use sbv::SparseBitVector;
-pub use worklist::{FifoWorklist, PriorityWorklist};
+pub use worklist::{FifoWorklist, PriorityWorklist, Worklist, WorklistStats};
 
 use std::fmt;
 use std::marker::PhantomData;

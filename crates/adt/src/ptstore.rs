@@ -72,6 +72,10 @@ pub struct PtsStoreStats {
     pub would_change_fast: usize,
     /// `union_would_change` calls that fell back to a subset test.
     pub would_change_slow: usize,
+    /// `diff`/`subtract` calls answered by a shortcut or the memo table.
+    pub diff_hits: usize,
+    /// `diff`/`subtract` calls that had to consult set data.
+    pub diff_misses: usize,
 }
 
 impl PtsStoreStats {
@@ -230,16 +234,33 @@ impl<I: Idx> PtsStore<I> {
     }
 
     /// The set `a \ b`, memoized on the ordered id pair.
+    ///
+    /// This is the difference-propagation primitive: a solver that
+    /// remembers the id it last propagated along an edge (`b`) can ship
+    /// only `diff(current, last)` on the next visit. Because edge values
+    /// grow monotonically, the same `(a, b)` pairs recur across the
+    /// frontier of every consumer of `a`, so the memo absorbs almost all
+    /// repeat extractions.
+    pub fn diff(&mut self, a: PtsId, b: PtsId) -> PtsId {
+        self.subtract(a, b)
+    }
+
+    /// The set `a \ b`, memoized on the ordered id pair (see
+    /// [`PtsStore::diff`]).
     pub fn subtract(&mut self, a: PtsId, b: PtsId) -> PtsId {
         if a == Self::EMPTY || a == b {
+            self.stats.diff_hits += 1;
             return Self::EMPTY;
         }
         if b == Self::EMPTY {
+            self.stats.diff_hits += 1;
             return a;
         }
         if let Some(&r) = self.diff_memo.get(&(a, b)) {
+            self.stats.diff_hits += 1;
             return r;
         }
+        self.stats.diff_misses += 1;
         let r = if self.sets[a.index()].is_disjoint(&self.sets[b.index()]) {
             a
         } else {

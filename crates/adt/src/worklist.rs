@@ -1,12 +1,16 @@
 //! Worklists for fixpoint solvers.
 //!
-//! Both worklists deduplicate membership: pushing an element already queued
-//! is a no-op. [`FifoWorklist`] pops in insertion order; [`PriorityWorklist`]
-//! pops the element with the smallest priority (typically a reverse
-//! post-order number, which makes data-flow fixpoints converge faster).
+//! All worklists deduplicate membership: pushing an element already queued
+//! is a no-op (the *in-queue guard*). [`FifoWorklist`] pops in insertion
+//! order; [`PriorityWorklist`] pops the element with the smallest rank
+//! first, FIFO within a rank (typically the rank is a topological number
+//! of the element's SCC in some dependence graph, which makes data-flow
+//! fixpoints converge in far fewer visits). [`Worklist`] wraps either
+//! behind one API with push/pop counters, so solvers can switch the
+//! schedule at run time without changing the propagation code.
 
 use crate::index::Idx;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// FIFO worklist with O(1) membership dedup.
 ///
@@ -65,10 +69,19 @@ impl<I: Idx> FifoWorklist<I> {
     }
 }
 
-/// Min-priority worklist with membership dedup.
+/// Bucketed min-priority worklist with membership dedup.
 ///
-/// Elements are popped in ascending priority order. Typical use: priorities
-/// are reverse post-order numbers of graph nodes.
+/// Elements are popped in ascending rank order, FIFO within a rank, so
+/// the pop sequence is fully deterministic: it depends only on the rank
+/// table and the push sequence, never on element hash or heap layout.
+/// Ranks are dense bucket indices (one `VecDeque` per rank), so push and
+/// pop are O(1) amortised — the scan cursor only moves backwards when a
+/// push lands below it, which data-flow solvers do exactly when a cycle
+/// forces re-iteration.
+///
+/// Typical use: ranks are topological numbers of SCCs in a dependence
+/// graph (see `vsfs_graph::condensation_ranks`), which makes a fixpoint
+/// visit producers before consumers.
 ///
 /// # Examples
 ///
@@ -79,54 +92,209 @@ impl<I: Idx> FifoWorklist<I> {
 /// wl.push(0);
 /// wl.push(1);
 /// wl.push(2);
-/// assert_eq!(wl.pop(), Some(1)); // priority 0
-/// assert_eq!(wl.pop(), Some(2)); // priority 1
-/// assert_eq!(wl.pop(), Some(0)); // priority 2
+/// assert_eq!(wl.pop(), Some(1)); // rank 0
+/// assert_eq!(wl.pop(), Some(2)); // rank 1
+/// assert_eq!(wl.pop(), Some(0)); // rank 2
 /// ```
 #[derive(Debug, Clone)]
 pub struct PriorityWorklist<I> {
-    heap: BinaryHeap<std::cmp::Reverse<(u32, I)>>,
-    priority: Vec<u32>,
+    /// One FIFO bucket per rank.
+    buckets: Vec<VecDeque<I>>,
+    rank: Vec<u32>,
+    /// In-queue guard: element present in some bucket.
     queued: Vec<bool>,
+    /// Occupancy bitmap: bit `r` of `occ0[r / 64]` set iff bucket `r` is
+    /// non-empty.
+    occ0: Vec<u64>,
+    /// Summary: bit `w` of `occ1[w / 64]` set iff `occ0[w] != 0`. Two
+    /// levels keep the min-bucket search near O(1): a fixpoint drains
+    /// buckets in long sparse runs, and a flat cursor scan over them is
+    /// quadratic in practice (re-walked after every re-arm of the list).
+    occ1: Vec<u64>,
+    /// Lowest `occ1` word that may be non-zero.
+    min_w1: usize,
+    len: usize,
 }
 
 impl<I: Idx> PriorityWorklist<I> {
-    /// Creates a worklist where element `i` has priority `priority[i]`.
-    pub fn new(priority: Vec<u32>) -> Self {
-        let n = priority.len();
-        PriorityWorklist { heap: BinaryHeap::new(), priority, queued: vec![false; n] }
+    /// Creates a worklist where element `i` has rank `rank[i]`.
+    pub fn new(rank: Vec<u32>) -> Self {
+        let n = rank.len();
+        let bucket_count = rank.iter().map(|&r| r as usize + 1).max().unwrap_or(0);
+        let w0 = bucket_count.div_ceil(64);
+        let w1 = w0.div_ceil(64);
+        PriorityWorklist {
+            buckets: (0..bucket_count).map(|_| VecDeque::new()).collect(),
+            rank,
+            queued: vec![false; n],
+            occ0: vec![0; w0],
+            occ1: vec![0; w1],
+            min_w1: w1,
+            len: 0,
+        }
     }
 
     /// Enqueues `item` unless already queued; returns `true` if enqueued.
     ///
     /// # Panics
     ///
-    /// Panics if `item`'s index is out of range of the priority table.
+    /// Panics if `item`'s index is out of range of the rank table.
     pub fn push(&mut self, item: I) -> bool {
         let i = item.index();
         if self.queued[i] {
             return false;
         }
         self.queued[i] = true;
-        self.heap.push(std::cmp::Reverse((self.priority[i], item)));
+        let r = self.rank[i] as usize;
+        self.buckets[r].push_back(item);
+        self.occ0[r / 64] |= 1 << (r % 64);
+        self.occ1[r / 4096] |= 1 << ((r / 64) % 64);
+        self.min_w1 = self.min_w1.min(r / 4096);
+        self.len += 1;
         true
     }
 
-    /// Dequeues the item with the smallest priority, if any.
+    /// Dequeues the oldest item of the smallest non-empty rank, if any.
     pub fn pop(&mut self) -> Option<I> {
-        let std::cmp::Reverse((_, item)) = self.heap.pop()?;
+        if self.len == 0 {
+            self.min_w1 = self.occ1.len();
+            return None;
+        }
+        while self.occ1[self.min_w1] == 0 {
+            self.min_w1 += 1;
+        }
+        let w0 = self.min_w1 * 64 + self.occ1[self.min_w1].trailing_zeros() as usize;
+        let r = w0 * 64 + self.occ0[w0].trailing_zeros() as usize;
+        let item = self.buckets[r].pop_front().expect("occupancy bit set for empty bucket");
+        if self.buckets[r].is_empty() {
+            self.occ0[w0] &= !(1 << (r % 64));
+            if self.occ0[w0] == 0 {
+                self.occ1[self.min_w1] &= !(1 << (w0 % 64));
+            }
+        }
         self.queued[item.index()] = false;
+        self.len -= 1;
         Some(item)
     }
 
     /// Returns `true` if nothing is queued.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Number of queued items.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
+    }
+}
+
+/// Counters describing one worklist's traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorklistStats {
+    /// Successful enqueues.
+    pub pushes: usize,
+    /// Enqueues suppressed by the in-queue guard (element already queued).
+    pub suppressed: usize,
+    /// Dequeues.
+    pub pops: usize,
+}
+
+/// A worklist whose scheduling policy is chosen at construction time —
+/// FIFO or rank-bucketed priority — behind one API, with traffic
+/// counters.
+///
+/// Both policies drain the same monotone constraint system to the same
+/// unique least fixpoint; the policy changes *when* work happens (and so
+/// how often elements are re-visited), never the answer.
+///
+/// # Examples
+///
+/// ```
+/// use vsfs_adt::Worklist;
+///
+/// let mut wl: Worklist<usize> = Worklist::priority(vec![1, 0]);
+/// wl.push(0);
+/// wl.push(1);
+/// wl.push(0); // suppressed by the in-queue guard
+/// assert_eq!(wl.pop(), Some(1));
+/// assert_eq!(wl.pop(), Some(0));
+/// assert_eq!(wl.stats().suppressed, 1);
+/// assert_eq!(wl.stats().pops, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Worklist<I> {
+    inner: WorklistImpl<I>,
+    stats: WorklistStats,
+}
+
+#[derive(Debug, Clone)]
+enum WorklistImpl<I> {
+    Fifo(FifoWorklist<I>),
+    Priority(PriorityWorklist<I>),
+}
+
+impl<I: Idx> Worklist<I> {
+    /// A FIFO-scheduled worklist for elements with indices `< capacity`.
+    pub fn fifo(capacity: usize) -> Self {
+        Worklist {
+            inner: WorklistImpl::Fifo(FifoWorklist::new(capacity)),
+            stats: WorklistStats::default(),
+        }
+    }
+
+    /// A rank-scheduled worklist where element `i` has rank `rank[i]`.
+    pub fn priority(rank: Vec<u32>) -> Self {
+        Worklist {
+            inner: WorklistImpl::Priority(PriorityWorklist::new(rank)),
+            stats: WorklistStats::default(),
+        }
+    }
+
+    /// Enqueues `item` unless already queued; returns `true` if enqueued.
+    pub fn push(&mut self, item: I) -> bool {
+        let pushed = match &mut self.inner {
+            WorklistImpl::Fifo(wl) => wl.push(item),
+            WorklistImpl::Priority(wl) => wl.push(item),
+        };
+        if pushed {
+            self.stats.pushes += 1;
+        } else {
+            self.stats.suppressed += 1;
+        }
+        pushed
+    }
+
+    /// Dequeues the next item under the chosen policy, if any.
+    pub fn pop(&mut self) -> Option<I> {
+        let item = match &mut self.inner {
+            WorklistImpl::Fifo(wl) => wl.pop(),
+            WorklistImpl::Priority(wl) => wl.pop(),
+        };
+        if item.is_some() {
+            self.stats.pops += 1;
+        }
+        item
+    }
+
+    /// Returns `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        match &self.inner {
+            WorklistImpl::Fifo(wl) => wl.is_empty(),
+            WorklistImpl::Priority(wl) => wl.is_empty(),
+        }
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            WorklistImpl::Fifo(wl) => wl.len(),
+            WorklistImpl::Priority(wl) => wl.len(),
+        }
+    }
+
+    /// The traffic counters so far.
+    pub fn stats(&self) -> WorklistStats {
+        self.stats
     }
 }
 
@@ -157,7 +325,7 @@ mod tests {
     }
 
     #[test]
-    fn priority_orders_by_priority_not_insertion() {
+    fn priority_orders_by_rank_not_insertion() {
         let mut wl: PriorityWorklist<usize> = PriorityWorklist::new(vec![5, 1, 3]);
         wl.push(0);
         wl.push(2);
@@ -167,5 +335,80 @@ mod tests {
         assert_eq!(wl.pop(), Some(2));
         assert_eq!(wl.pop(), Some(0));
         assert_eq!(wl.pop(), None);
+    }
+
+    #[test]
+    fn priority_is_fifo_within_a_rank() {
+        let mut wl: PriorityWorklist<usize> = PriorityWorklist::new(vec![1, 0, 1, 1]);
+        wl.push(3);
+        wl.push(0);
+        wl.push(2);
+        wl.push(1);
+        assert_eq!(wl.pop(), Some(1), "rank 0 first");
+        // Rank 1 pops in push order, not index order.
+        assert_eq!(wl.pop(), Some(3));
+        assert_eq!(wl.pop(), Some(0));
+        assert_eq!(wl.pop(), Some(2));
+        assert!(wl.is_empty());
+    }
+
+    #[test]
+    fn priority_cursor_rewinds_on_low_rank_push() {
+        let mut wl: PriorityWorklist<usize> = PriorityWorklist::new(vec![0, 1, 2]);
+        wl.push(2);
+        assert_eq!(wl.pop(), Some(2)); // cursor now at rank 2
+        wl.push(0); // rank 0: cursor must rewind
+        wl.push(1);
+        assert_eq!(wl.pop(), Some(0));
+        assert_eq!(wl.pop(), Some(1));
+        assert_eq!(wl.pop(), None);
+        // Re-queue after popping is allowed, like the FIFO list.
+        assert!(wl.push(1));
+        assert_eq!(wl.pop(), Some(1));
+    }
+
+    #[test]
+    fn priority_handles_empty_rank_table() {
+        let mut wl: PriorityWorklist<usize> = PriorityWorklist::new(Vec::new());
+        assert!(wl.is_empty());
+        assert_eq!(wl.pop(), None);
+    }
+
+    #[test]
+    fn wrapper_counts_traffic_for_both_policies() {
+        for mut wl in [Worklist::<usize>::fifo(3), Worklist::priority(vec![0, 1, 2])] {
+            assert!(wl.push(1));
+            assert!(wl.push(2));
+            assert!(!wl.push(1));
+            assert_eq!(wl.len(), 2);
+            assert!(!wl.is_empty());
+            assert_eq!(wl.pop(), Some(1));
+            assert_eq!(wl.pop(), Some(2));
+            assert_eq!(wl.pop(), None);
+            let s = wl.stats();
+            assert_eq!(s.pushes, 2);
+            assert_eq!(s.suppressed, 1);
+            assert_eq!(s.pops, 2);
+        }
+    }
+
+    /// Both policies drain the same pushes; priority returns them in
+    /// rank-then-FIFO order.
+    #[test]
+    fn wrapper_policies_drain_identically_as_sets() {
+        let ranks = vec![2, 0, 1, 0];
+        let mut fifo = Worklist::fifo(4);
+        let mut prio = Worklist::priority(ranks);
+        for i in [0usize, 3, 2, 1] {
+            fifo.push(i);
+            prio.push(i);
+        }
+        let mut a: Vec<usize> = std::iter::from_fn(|| fifo.pop()).collect();
+        let b: Vec<usize> = std::iter::from_fn(|| prio.pop()).collect();
+        assert_eq!(b, vec![3, 1, 2, 0]);
+        a.sort();
+        let mut bs = b.clone();
+        bs.sort();
+        assert_eq!(a, bs);
     }
 }

@@ -18,6 +18,12 @@
 //!   --jobs N           worker threads for the parallel solver phases
 //!                      (default 1 = sequential; 0 = all cores; results
 //!                      are identical for every N)
+//!   --order ORDER      worklist scheduling for the flow-sensitive
+//!                      fixpoints: `topo` (SCC-condensation topological
+//!                      priority, the default) or `fifo`; the final
+//!                      result is bit-identical either way, only the
+//!                      visit counts change. Rejected with --ander,
+//!                      which has no scheduled fixpoint here.
 //!
 //! Budgets (any of these switches the run into governed mode):
 //!   --time-budget SECS wall-clock deadline shared by every stage
@@ -64,7 +70,7 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 use vsfs_adt::govern::{Budget, CancelToken, Completion, Governor};
 use vsfs_adt::mem::CountingAlloc;
-use vsfs_core::{FlowSensitiveResult, GovernedAnalysis};
+use vsfs_core::{FlowSensitiveResult, GovernedAnalysis, SolveOrder};
 use vsfs_ir::Program;
 use vsfs_testkit::FaultPlan;
 
@@ -90,6 +96,8 @@ struct Options {
     check: bool,
     check_json: Option<String>,
     jobs: usize,
+    /// `Some` only when `--order` was given explicitly.
+    order: Option<SolveOrder>,
     time_budget: Option<f64>,
     step_budget: Option<u64>,
     mem_budget_mib: Option<usize>,
@@ -97,6 +105,10 @@ struct Options {
 }
 
 impl Options {
+    fn order(&self) -> SolveOrder {
+        self.order.unwrap_or_default()
+    }
+
     fn governed(&self) -> bool {
         self.time_budget.is_some()
             || self.step_budget.is_some()
@@ -114,8 +126,8 @@ enum Input {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vsfs [--ander|--fspta|--vfspta] [--jobs N] [--time-budget SECS] \
-         [--step-budget N] [--mem-budget MIB] [--inject-fault KIND:SEED] \
+        "usage: vsfs [--ander|--fspta|--vfspta] [--jobs N] [--order fifo|topo] \
+         [--time-budget SECS] [--step-budget N] [--mem-budget MIB] [--inject-fault KIND:SEED] \
          [--print-pts] [--print-callgraph] [--precision-report] [--dot-svfg FILE] \
          [--check] [--check-json FILE] [--stats] \
          (<file.vir> | --corpus NAME | --workload NAME | --list)"
@@ -149,6 +161,7 @@ fn parse_args() -> Options {
     let mut check = false;
     let mut check_json = None;
     let mut jobs = 1usize;
+    let mut order = None;
     let mut time_budget = None;
     let mut step_budget = None;
     let mut mem_budget_mib = None;
@@ -157,6 +170,13 @@ fn parse_args() -> Options {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--jobs" => jobs = flag_value("--jobs", args.next()),
+            "--order" => {
+                let name: String = flag_value("--order", args.next());
+                order = Some(SolveOrder::parse(&name).unwrap_or_else(|| {
+                    eprintln!("error: invalid value `{name}` for --order (expected `fifo` or `topo`)");
+                    std::process::exit(1);
+                }));
+            }
             "--time-budget" => {
                 let secs: f64 = flag_value("--time-budget", args.next());
                 if !secs.is_finite() || secs < 0.0 {
@@ -219,6 +239,7 @@ fn parse_args() -> Options {
         check,
         check_json,
         jobs,
+        order,
         time_budget,
         step_budget,
         mem_budget_mib,
@@ -287,6 +308,13 @@ fn main() -> ExitCode {
         eprintln!(
             "error: --check needs a flow-sensitive analysis (--fspta/--vfspta) \
              to compare against; Andersen runs as the baseline automatically"
+        );
+        return ExitCode::from(1);
+    }
+    if opts.order.is_some() && opts.analysis == Analysis::Andersen {
+        eprintln!(
+            "error: --order schedules the flow-sensitive fixpoints (--fspta/--vfspta); \
+             Andersen's solver is not order-switchable"
         );
         return ExitCode::from(1);
     }
@@ -423,8 +451,10 @@ fn run_plain(opts: &Options, prog: &Program) -> ExitCode {
     }
 
     let result: FlowSensitiveResult = match opts.analysis {
-        Analysis::Sfs => vsfs_core::run_sfs(prog, &aux, &mssa, &svfg),
-        Analysis::Vsfs => vsfs_core::run_vsfs_jobs(prog, &aux, &mssa, &svfg, opts.jobs),
+        Analysis::Sfs => vsfs_core::run_sfs_ordered(prog, &aux, &mssa, &svfg, opts.order()),
+        Analysis::Vsfs => {
+            vsfs_core::run_vsfs_jobs_ordered(prog, &aux, &mssa, &svfg, opts.jobs, opts.order())
+        }
         Analysis::Andersen => unreachable!("handled above"),
     };
 
@@ -442,6 +472,7 @@ fn run_plain(opts: &Options, prog: &Program) -> ExitCode {
     if opts.stats {
         let s = &result.stats;
         println!("jobs:              {}", opts.jobs);
+        println!("order:             {}", opts.order().name());
         println!("andersen:          {:.3}s", aux_time.as_secs_f64());
         println!("mssa + svfg:       {:.3}s", build_time.as_secs_f64());
         if opts.analysis == Analysis::Vsfs {
@@ -450,7 +481,17 @@ fn run_plain(opts: &Options, prog: &Program) -> ExitCode {
         }
         println!("main phase:        {:.3}s", s.solve_seconds);
         println!("node pops:         {}", s.node_pops);
-        println!("object unions:     {}", s.object_propagations);
+        if opts.analysis == Analysis::Vsfs {
+            println!("slot pops:         {}", s.slot_pops);
+        }
+        println!("pushes suppressed: {}", s.pushes_suppressed);
+        println!("unions attempted:  {}", s.object_propagations);
+        println!("unions avoided:    {}", s.unions_avoided);
+        println!("delta bytes:       {} shipped vs {} full ({:.1}% saved)",
+            s.delta_bytes, s.full_bytes,
+            if s.full_bytes > 0 {
+                100.0 * (1.0 - s.delta_bytes as f64 / s.full_bytes as f64)
+            } else { 0.0 });
         println!("stored object sets:{}", s.stored_object_sets);
         let st = &s.store;
         println!("pts store:         {} unique sets, {:.2} MiB",
@@ -535,10 +576,12 @@ fn run_governed(opts: &Options, prog: &Program) -> ExitCode {
         .with_fault(opts.inject_fault.as_ref().and_then(FaultPlan::spec));
 
     let ga: GovernedAnalysis = match opts.analysis {
-        Analysis::Sfs => vsfs_core::run_sfs_governed(prog, &aux, &mssa, &svfg, &fs_gov),
-        Analysis::Vsfs => {
-            vsfs_core::run_vsfs_governed(prog, &aux, &mssa, &svfg, opts.jobs, &fs_gov)
+        Analysis::Sfs => {
+            vsfs_core::run_sfs_governed_ordered(prog, &aux, &mssa, &svfg, &fs_gov, opts.order())
         }
+        Analysis::Vsfs => vsfs_core::run_vsfs_governed_ordered(
+            prog, &aux, &mssa, &svfg, opts.jobs, &fs_gov, opts.order(),
+        ),
         Analysis::Andersen => unreachable!("handled above"),
     };
 

@@ -51,6 +51,7 @@ pub mod dense;
 pub mod precision;
 pub mod queries;
 pub mod result;
+pub mod schedule;
 pub mod sfs;
 pub mod toplevel;
 pub mod versioning;
@@ -58,7 +59,11 @@ pub mod vsfs;
 
 pub use dense::run_dense;
 pub use precision::{compare_precision, PrecisionReport};
-pub use result::{same_precision, FlowSensitiveResult, GovernedAnalysis, SolveStats};
-pub use sfs::{run_sfs, run_sfs_governed};
+pub use result::{precision_diff, same_precision, FlowSensitiveResult, GovernedAnalysis, SolveStats};
+pub use schedule::SolveOrder;
+pub use sfs::{run_sfs, run_sfs_governed, run_sfs_governed_ordered, run_sfs_ordered};
 pub use versioning::{VersionTables, VersioningStats};
-pub use vsfs::{run_vsfs, run_vsfs_governed, run_vsfs_jobs, run_vsfs_with_tables};
+pub use vsfs::{
+    run_vsfs, run_vsfs_governed, run_vsfs_governed_ordered, run_vsfs_jobs, run_vsfs_jobs_ordered,
+    run_vsfs_ordered, run_vsfs_with_tables, run_vsfs_with_tables_ordered,
+};

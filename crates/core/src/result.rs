@@ -118,9 +118,24 @@ impl GovernedAnalysis {
 pub struct SolveStats {
     /// Node worklist pops.
     pub node_pops: usize,
+    /// Version-slot worklist pops (VSFS only; 0 for SFS).
+    pub slot_pops: usize,
+    /// Worklist enqueues suppressed by the in-queue guard across all
+    /// worklists of the run.
+    pub pushes_suppressed: usize,
     /// Points-to set union operations performed for address-taken objects
     /// (edge or version propagations plus store transfers).
     pub object_propagations: usize,
+    /// Edge/slot visits where difference propagation proved nothing new
+    /// had to flow (frontier already current, empty delta, or the target
+    /// already covered the delta) and the union was skipped.
+    pub unions_avoided: usize,
+    /// Heap bytes of the deltas actually shipped along indirect edges and
+    /// reliance edges (what difference propagation transferred).
+    pub delta_bytes: usize,
+    /// Heap bytes the same propagations would have shipped without
+    /// frontiers (the full source set each time).
+    pub full_bytes: usize,
     /// Distinct points-to sets stored for address-taken objects at the end
     /// of the run (SFS: `IN`/`OUT` entries; VSFS: `(object, version)`
     /// slots). Logical slots — dedup across slots shows up in

@@ -12,24 +12,38 @@
 //! node propagates only its dirty objects.
 
 use crate::result::{FlowSensitiveResult, GovernedAnalysis, SolveStats};
+use crate::schedule::{svfg_node_ranks, SolveOrder};
 use crate::toplevel::{TopLevel, EMPTY};
 use std::collections::HashMap;
 use std::time::Instant;
 use vsfs_adt::govern::{Completion, Governor};
-use vsfs_adt::{FifoWorklist, IndexVec, PointsToSet, PtsId};
+use vsfs_adt::{IndexVec, PointsToSet, PtsId, Worklist};
 use vsfs_andersen::AndersenResult;
 use vsfs_ir::{FuncId, InstId, InstKind, ObjId, Program};
 use vsfs_mssa::MemorySsa;
 use vsfs_svfg::{Svfg, SvfgNodeId, SvfgNodeKind};
 
-/// Runs the SFS baseline to a fixpoint.
+/// Runs the SFS baseline to a fixpoint under the default (topological)
+/// schedule.
 pub fn run_sfs(
     prog: &Program,
     aux: &AndersenResult,
     mssa: &MemorySsa,
     svfg: &Svfg,
 ) -> FlowSensitiveResult {
-    solve_inner(prog, aux, mssa, svfg, None).0
+    run_sfs_ordered(prog, aux, mssa, svfg, SolveOrder::default())
+}
+
+/// Runs the SFS baseline under an explicit worklist [`SolveOrder`]. The
+/// fixpoint is order-independent; only the visit counts change.
+pub fn run_sfs_ordered(
+    prog: &Program,
+    aux: &AndersenResult,
+    mssa: &MemorySsa,
+    svfg: &Svfg,
+    order: SolveOrder,
+) -> FlowSensitiveResult {
+    solve_inner(prog, aux, mssa, svfg, None, order).0
 }
 
 /// Runs the SFS baseline under a [`Governor`]: one cooperative
@@ -43,7 +57,19 @@ pub fn run_sfs_governed(
     svfg: &Svfg,
     governor: &Governor,
 ) -> GovernedAnalysis {
-    let (result, completion) = solve_inner(prog, aux, mssa, svfg, Some(governor));
+    run_sfs_governed_ordered(prog, aux, mssa, svfg, governor, SolveOrder::default())
+}
+
+/// [`run_sfs_governed`] with an explicit worklist [`SolveOrder`].
+pub fn run_sfs_governed_ordered(
+    prog: &Program,
+    aux: &AndersenResult,
+    mssa: &MemorySsa,
+    svfg: &Svfg,
+    governor: &Governor,
+    order: SolveOrder,
+) -> GovernedAnalysis {
+    let (result, completion) = solve_inner(prog, aux, mssa, svfg, Some(governor), order);
     match completion {
         Completion::Complete => GovernedAnalysis::complete(result),
         Completion::Degraded(reason) => GovernedAnalysis::fallback(prog, aux, "solve", reason),
@@ -56,12 +82,14 @@ fn solve_inner(
     mssa: &MemorySsa,
     svfg: &Svfg,
     governor: Option<&Governor>,
+    order: SolveOrder,
 ) -> (FlowSensitiveResult, Completion) {
     let start = Instant::now();
-    let mut solver = SfsSolver::new(prog, aux, mssa, svfg);
+    let mut solver = SfsSolver::new(prog, aux, mssa, svfg, order);
     let completion = solver.solve_governed(governor);
     let mut stats = solver.stats;
     stats.solve_seconds = start.elapsed().as_secs_f64();
+    stats.pushes_suppressed = solver.worklist.stats().suppressed;
     let (sets, elems, bytes) = solver.storage_stats();
     stats.stored_object_sets = sets;
     stats.stored_object_elems = elems;
@@ -90,17 +118,33 @@ struct SfsSolver<'a> {
     outs: IndexVec<SvfgNodeId, ObjMap>,
     /// Indirect edges activated by on-the-fly call-graph resolution.
     dyn_succs: IndexVec<SvfgNodeId, Vec<(SvfgNodeId, ObjId)>>,
+    /// Difference-propagation frontier per static indirect edge: the set
+    /// id last shipped along `svfg.indirect_succs(n)[i]`. Only the
+    /// `diff(current, frontier)` part of a value crosses an edge again.
+    edge_frontier: IndexVec<SvfgNodeId, Vec<PtsId>>,
+    /// Same frontier for the activated (`dyn_succs`) edges, parallel to
+    /// each node's `dyn_succs` list.
+    dyn_frontier: IndexVec<SvfgNodeId, Vec<PtsId>>,
     /// Objects whose outgoing value changed since the node last ran.
     dirty: IndexVec<SvfgNodeId, PointsToSet<ObjId>>,
-    worklist: FifoWorklist<SvfgNodeId>,
+    worklist: Worklist<SvfgNodeId>,
     stats: SolveStats,
 }
 
 impl<'a> SfsSolver<'a> {
-    fn new(prog: &'a Program, aux: &'a AndersenResult, mssa: &'a MemorySsa, svfg: &'a Svfg) -> Self {
+    fn new(
+        prog: &'a Program,
+        aux: &'a AndersenResult,
+        mssa: &'a MemorySsa,
+        svfg: &'a Svfg,
+        order: SolveOrder,
+    ) -> Self {
         let n = svfg.node_count();
         let top = TopLevel::new(prog, aux, svfg);
-        let mut worklist = FifoWorklist::new(n);
+        let mut worklist = match order {
+            SolveOrder::Fifo => Worklist::fifo(n),
+            SolveOrder::Topo => Worklist::priority(svfg_node_ranks(prog, svfg)),
+        };
         for id in svfg.node_ids() {
             worklist.push(id);
         }
@@ -112,6 +156,11 @@ impl<'a> SfsSolver<'a> {
             ins: (0..n).map(|_| ObjMap::new()).collect(),
             outs: (0..n).map(|_| ObjMap::new()).collect(),
             dyn_succs: (0..n).map(|_| Vec::new()).collect(),
+            edge_frontier: svfg
+                .node_ids()
+                .map(|id| vec![EMPTY; svfg.indirect_succs(id).len()])
+                .collect(),
+            dyn_frontier: (0..n).map(|_| Vec::new()).collect(),
             dirty: (0..n).map(|_| PointsToSet::new()).collect(),
             worklist,
             stats: SolveStats::default(),
@@ -213,38 +262,63 @@ impl<'a> SfsSolver<'a> {
 
     /// Pushes the dirty objects of `node` along its (static + activated)
     /// indirect out-edges, then clears the dirty set.
+    ///
+    /// Propagation is *differential*: each edge remembers the set id it
+    /// last shipped, and only `diff(value, last)` crosses again. This is
+    /// exact, not approximate — edge values grow monotonically, so the
+    /// target already holds everything shipped before, and
+    /// `target ∪ (value \ last) = target ∪ value`.
     fn propagate_dirty(&mut self, node: SvfgNodeId) {
         if self.dirty[node].is_empty() {
             return;
         }
         let dirty = std::mem::take(&mut self.dirty[node]);
-        let mut edges: Vec<(SvfgNodeId, ObjId)> = self
-            .svfg
-            .indirect_succs(node)
-            .iter()
-            .copied()
-            .filter(|&(_, o)| dirty.contains(o))
-            .collect();
-        edges.extend(
-            self.dyn_succs[node]
-                .iter()
-                .copied()
-                .filter(|&(_, o)| dirty.contains(o)),
-        );
-        for (succ, o) in edges {
-            self.stats.object_propagations += 1;
-            let Some(val) = self.out_val(node, o) else { continue };
-            let cur = self.ins[succ].get(&o).copied().unwrap_or(EMPTY);
-            // Memoized no-growth fast path: repeated (cur, val) pairs are
-            // answered from the store's union memo without allocating.
-            if !self.top.store.union_would_change(cur, val) {
+        for i in 0..self.svfg.indirect_succs(node).len() {
+            let (succ, o) = self.svfg.indirect_succs(node)[i];
+            if !dirty.contains(o) {
                 continue;
             }
-            let new = self.top.store.union(cur, val);
-            self.ins[succ].insert(o, new);
-            self.dirty[succ].insert(o);
-            self.worklist.push(succ);
+            let last = self.edge_frontier[node][i];
+            let shipped = self.ship_delta(node, succ, o, last);
+            self.edge_frontier[node][i] = shipped;
         }
+        for i in 0..self.dyn_succs[node].len() {
+            let (succ, o) = self.dyn_succs[node][i];
+            if !dirty.contains(o) {
+                continue;
+            }
+            let last = self.dyn_frontier[node][i];
+            let shipped = self.ship_delta(node, succ, o, last);
+            self.dyn_frontier[node][i] = shipped;
+        }
+    }
+
+    /// Ships what `node` exposes for `o` beyond the edge's `last`
+    /// frontier into `IN[succ][o]`; returns the new frontier (the full
+    /// value now covered by the target).
+    fn ship_delta(&mut self, node: SvfgNodeId, succ: SvfgNodeId, o: ObjId, last: PtsId) -> PtsId {
+        self.stats.object_propagations += 1;
+        let Some(val) = self.out_val(node, o) else { return last };
+        if val == last {
+            // Frontier already current: nothing new can flow.
+            self.stats.unions_avoided += 1;
+            return last;
+        }
+        self.stats.full_bytes += self.top.store.get(val).heap_bytes();
+        let delta = self.top.store.diff(val, last);
+        self.stats.delta_bytes += self.top.store.get(delta).heap_bytes();
+        let cur = self.ins[succ].get(&o).copied().unwrap_or(EMPTY);
+        // Memoized no-growth fast path: repeated (cur, delta) pairs are
+        // answered from the store's union memo without allocating.
+        if delta == EMPTY || !self.top.store.union_would_change(cur, delta) {
+            self.stats.unions_avoided += 1;
+            return val;
+        }
+        let new = self.top.store.union(cur, delta);
+        self.ins[succ].insert(o, new);
+        self.dirty[succ].insert(o);
+        self.worklist.push(succ);
+        val
     }
 
     /// Wires up the deferred indirect-call object flow for a newly
@@ -261,6 +335,7 @@ impl<'a> SfsSolver<'a> {
         let exit_node = self.svfg.inst_node(self.prog.functions[callee].exit_inst);
         for o in binding.ins {
             self.dyn_succs[call_node].push((entry_node, o));
+            self.dyn_frontier[call_node].push(EMPTY);
             // Anything already known at the call must flow now.
             if self.ins[call_node].contains_key(&o) {
                 self.dirty[call_node].insert(o);
@@ -268,12 +343,15 @@ impl<'a> SfsSolver<'a> {
         }
         for o in binding.outs {
             self.dyn_succs[exit_node].push((ret_node, o));
+            self.dyn_frontier[exit_node].push(EMPTY);
             if self.ins[exit_node].contains_key(&o) {
                 self.dirty[exit_node].insert(o);
             }
         }
-        self.worklist.push(call_node);
-        self.worklist.push(exit_node);
+        // No worklist pushes here: activation only happens while the call
+        // node itself is being processed (its own `propagate_dirty` runs
+        // right after), and `TopLevel::activate` already queued the
+        // callee's entry and exit nodes.
     }
 
     /// `(set count, total elements, approximate heap bytes)` across all

@@ -13,7 +13,7 @@
 //! `IN`/`OUT` entries, VSFS version slots), so identical sets across
 //! layers are stored once and repeated unions hit the store's memo.
 
-use vsfs_adt::{FifoWorklist, IndexVec, PointsToSet, PtsId, PtsStore};
+use vsfs_adt::{IndexVec, PointsToSet, PtsId, PtsStore, Worklist};
 use vsfs_andersen::AndersenResult;
 use vsfs_ir::{Callee, DefUse, FuncId, InstId, InstKind, ObjId, Program, ValueId};
 use vsfs_svfg::{Svfg, SvfgNodeId};
@@ -93,7 +93,7 @@ impl<'a> TopLevel<'a> {
         &mut self,
         v: ValueId,
         add: PtsId,
-        worklist: &mut FifoWorklist<SvfgNodeId>,
+        worklist: &mut Worklist<SvfgNodeId>,
     ) -> bool {
         let new = self.store.union(self.pt[v], add);
         if new == self.pt[v] {
@@ -109,7 +109,7 @@ impl<'a> TopLevel<'a> {
         &mut self,
         v: ValueId,
         obj: ObjId,
-        worklist: &mut FifoWorklist<SvfgNodeId>,
+        worklist: &mut Worklist<SvfgNodeId>,
     ) -> bool {
         let new = self.store.insert(self.pt[v], obj);
         if new == self.pt[v] {
@@ -120,7 +120,7 @@ impl<'a> TopLevel<'a> {
         true
     }
 
-    fn enqueue_uses(&self, v: ValueId, worklist: &mut FifoWorklist<SvfgNodeId>) {
+    fn enqueue_uses(&self, v: ValueId, worklist: &mut Worklist<SvfgNodeId>) {
         for &u in self.defuse.uses(v) {
             worklist.push(self.svfg.inst_node(u));
         }
@@ -133,7 +133,7 @@ impl<'a> TopLevel<'a> {
     pub fn transfer(
         &mut self,
         inst: InstId,
-        worklist: &mut FifoWorklist<SvfgNodeId>,
+        worklist: &mut Worklist<SvfgNodeId>,
         newly_activated: &mut Vec<(InstId, FuncId)>,
     ) {
         match &self.prog.insts[inst].kind {
@@ -211,7 +211,7 @@ impl<'a> TopLevel<'a> {
         &mut self,
         call: InstId,
         callee: FuncId,
-        worklist: &mut FifoWorklist<SvfgNodeId>,
+        worklist: &mut Worklist<SvfgNodeId>,
         newly_activated: &mut Vec<(InstId, FuncId)>,
     ) {
         if !self.activated.insert((call, callee)) {
@@ -226,7 +226,6 @@ impl<'a> TopLevel<'a> {
         // caller.
         worklist.push(self.svfg.inst_node(f.entry_inst));
         worklist.push(self.svfg.inst_node(f.exit_inst));
-        worklist.push(self.svfg.inst_node(call));
     }
 
     /// Is a store through `p` a strong update of `o`? (`[SU/WU]` rule.)

@@ -18,25 +18,39 @@
 //! propagation — the paper's single-object sparsity.
 
 use crate::result::{FlowSensitiveResult, GovernedAnalysis, SolveStats};
+use crate::schedule::{slot_ranks, svfg_node_ranks, SolveOrder};
 use crate::toplevel::{TopLevel, EMPTY};
 use crate::versioning::{VersionSlot, VersionTables};
 use std::time::Instant;
 use vsfs_adt::govern::{Completion, Governor};
-use vsfs_adt::{FifoWorklist, PtsId};
+use vsfs_adt::{PtsId, Worklist};
 use vsfs_andersen::AndersenResult;
 use vsfs_ir::{FuncId, InstId, InstKind, ObjId, Program};
 use vsfs_mssa::MemorySsa;
 use vsfs_svfg::{Svfg, SvfgNodeId, SvfgNodeKind};
 
-/// Runs versioning and the VSFS solver.
+/// Runs versioning and the VSFS solver under the default (topological)
+/// schedule.
 pub fn run_vsfs(
     prog: &Program,
     aux: &AndersenResult,
     mssa: &MemorySsa,
     svfg: &Svfg,
 ) -> FlowSensitiveResult {
+    run_vsfs_ordered(prog, aux, mssa, svfg, SolveOrder::default())
+}
+
+/// [`run_vsfs`] with an explicit worklist [`SolveOrder`]. The fixpoint
+/// is order-independent; only the visit counts change.
+pub fn run_vsfs_ordered(
+    prog: &Program,
+    aux: &AndersenResult,
+    mssa: &MemorySsa,
+    svfg: &Svfg,
+    order: SolveOrder,
+) -> FlowSensitiveResult {
     let tables = VersionTables::build(prog, mssa, svfg);
-    run_vsfs_with_tables(prog, aux, mssa, svfg, tables)
+    run_vsfs_with_tables_ordered(prog, aux, mssa, svfg, tables, order)
 }
 
 /// Runs versioning with `jobs` worker threads, then the VSFS solver.
@@ -48,8 +62,20 @@ pub fn run_vsfs_jobs(
     svfg: &Svfg,
     jobs: usize,
 ) -> FlowSensitiveResult {
+    run_vsfs_jobs_ordered(prog, aux, mssa, svfg, jobs, SolveOrder::default())
+}
+
+/// [`run_vsfs_jobs`] with an explicit worklist [`SolveOrder`].
+pub fn run_vsfs_jobs_ordered(
+    prog: &Program,
+    aux: &AndersenResult,
+    mssa: &MemorySsa,
+    svfg: &Svfg,
+    jobs: usize,
+    order: SolveOrder,
+) -> FlowSensitiveResult {
     let tables = VersionTables::build_with_jobs(prog, mssa, svfg, jobs);
-    run_vsfs_with_tables(prog, aux, mssa, svfg, tables)
+    run_vsfs_with_tables_ordered(prog, aux, mssa, svfg, tables, order)
 }
 
 /// Runs the VSFS solver with pre-built version tables (lets benchmarks
@@ -61,7 +87,19 @@ pub fn run_vsfs_with_tables(
     svfg: &Svfg,
     tables: VersionTables,
 ) -> FlowSensitiveResult {
-    solve_with_tables(prog, aux, mssa, svfg, tables, None).0
+    run_vsfs_with_tables_ordered(prog, aux, mssa, svfg, tables, SolveOrder::default())
+}
+
+/// [`run_vsfs_with_tables`] with an explicit worklist [`SolveOrder`].
+pub fn run_vsfs_with_tables_ordered(
+    prog: &Program,
+    aux: &AndersenResult,
+    mssa: &MemorySsa,
+    svfg: &Svfg,
+    tables: VersionTables,
+    order: SolveOrder,
+) -> FlowSensitiveResult {
+    solve_with_tables(prog, aux, mssa, svfg, tables, None, order).0
 }
 
 /// Runs the full governed VSFS pipeline: governed versioning, then the
@@ -76,11 +114,25 @@ pub fn run_vsfs_governed(
     jobs: usize,
     governor: &Governor,
 ) -> GovernedAnalysis {
+    run_vsfs_governed_ordered(prog, aux, mssa, svfg, jobs, governor, SolveOrder::default())
+}
+
+/// [`run_vsfs_governed`] with an explicit worklist [`SolveOrder`].
+pub fn run_vsfs_governed_ordered(
+    prog: &Program,
+    aux: &AndersenResult,
+    mssa: &MemorySsa,
+    svfg: &Svfg,
+    jobs: usize,
+    governor: &Governor,
+    order: SolveOrder,
+) -> GovernedAnalysis {
     let vt = VersionTables::build_governed(prog, mssa, svfg, jobs, governor);
     if let Completion::Degraded(reason) = vt.completion {
         return GovernedAnalysis::fallback(prog, aux, "versioning", reason);
     }
-    let (result, completion) = solve_with_tables(prog, aux, mssa, svfg, vt.result, Some(governor));
+    let (result, completion) =
+        solve_with_tables(prog, aux, mssa, svfg, vt.result, Some(governor), order);
     match completion {
         Completion::Complete => GovernedAnalysis::complete(result),
         Completion::Degraded(reason) => GovernedAnalysis::fallback(prog, aux, "solve", reason),
@@ -95,13 +147,16 @@ fn solve_with_tables(
     svfg: &Svfg,
     tables: VersionTables,
     governor: Option<&Governor>,
+    order: SolveOrder,
 ) -> (FlowSensitiveResult, Completion) {
     let versioning = tables.stats;
     let start = Instant::now();
-    let mut solver = VsfsSolver::new(prog, aux, mssa, svfg, tables);
+    let mut solver = VsfsSolver::new(prog, aux, mssa, svfg, tables, order);
     let completion = solver.solve_governed(governor);
     let mut stats = solver.stats;
     stats.solve_seconds = start.elapsed().as_secs_f64();
+    stats.pushes_suppressed =
+        solver.nodes.stats().suppressed + solver.slots.stats().suppressed;
     stats.versioning_seconds = versioning.seconds;
     stats.prelabels = versioning.prelabels;
     stats.versions = versioning.versions;
@@ -131,8 +186,12 @@ struct VsfsSolver<'a> {
     /// Nodes to re-run when a slot's set grows (loads and stores that
     /// consume it), indexed by slot.
     consumers: Vec<Vec<SvfgNodeId>>,
-    nodes: FifoWorklist<SvfgNodeId>,
-    slots: FifoWorklist<usize>,
+    /// Difference-propagation frontier per reliance edge: the set id last
+    /// shipped along `tables.reliance(s)[i]`. Only `diff(value, last)`
+    /// crosses an edge again.
+    rel_frontier: Vec<Vec<PtsId>>,
+    nodes: Worklist<SvfgNodeId>,
+    slots: Worklist<usize>,
     stats: SolveStats,
 }
 
@@ -143,12 +202,20 @@ impl<'a> VsfsSolver<'a> {
         mssa: &'a MemorySsa,
         svfg: &'a Svfg,
         tables: VersionTables,
+        order: SolveOrder,
     ) -> Self {
         let top = TopLevel::new(prog, aux, svfg);
-        let mut nodes = FifoWorklist::new(svfg.node_count());
+        let mut nodes = match order {
+            SolveOrder::Fifo => Worklist::fifo(svfg.node_count()),
+            SolveOrder::Topo => Worklist::priority(svfg_node_ranks(prog, svfg)),
+        };
         for id in svfg.node_ids() {
             nodes.push(id);
         }
+        let slots = match order {
+            SolveOrder::Fifo => Worklist::fifo(tables.slot_count() as usize),
+            SolveOrder::Topo => Worklist::priority(slot_ranks(prog, svfg, &tables)),
+        };
         // Register consumers: loads re-run when their consumed slot grows
         // (to extend pt(dst)); stores re-run to weak-update their yield.
         let slot_count = tables.slot_count() as usize;
@@ -174,6 +241,8 @@ impl<'a> VsfsSolver<'a> {
                 _ => {}
             }
         }
+        let rel_frontier =
+            (0..slot_count).map(|y| vec![EMPTY; tables.reliance(y as VersionSlot).len()]).collect();
         VsfsSolver {
             prog,
             mssa,
@@ -182,8 +251,9 @@ impl<'a> VsfsSolver<'a> {
             tables,
             vpts: vec![EMPTY; slot_count],
             consumers,
+            rel_frontier,
             nodes,
-            slots: FifoWorklist::new(slot_count),
+            slots,
             stats: SolveStats::default(),
         }
     }
@@ -203,6 +273,7 @@ impl<'a> VsfsSolver<'a> {
                         return Completion::Degraded(reason);
                     }
                 }
+                self.stats.slot_pops += 1;
                 self.propagate_slot(s as VersionSlot);
             }
             let Some(node) = self.nodes.pop() else {
@@ -222,17 +293,34 @@ impl<'a> VsfsSolver<'a> {
         Completion::Complete
     }
 
+    /// Ships the growth of slot `s` along its reliance edges. Each edge
+    /// remembers the set id it last shipped, and only `diff(value, last)`
+    /// crosses again — exact, because slot values grow monotonically, so
+    /// the consumer already covers everything shipped before.
     fn propagate_slot(&mut self, s: VersionSlot) {
+        let val = self.vpts[s as usize];
         let n_succs = self.tables.reliance(s).len();
         for i in 0..n_succs {
             let c = self.tables.reliance(s)[i];
             self.stats.object_propagations += 1;
-            let cur = self.vpts[c as usize];
-            let new = self.top.store.union(cur, self.vpts[s as usize]);
-            if new != cur {
-                self.vpts[c as usize] = new;
-                self.slot_grew(c);
+            let last = self.rel_frontier[s as usize][i];
+            if val == last {
+                // Frontier already current: nothing new can flow.
+                self.stats.unions_avoided += 1;
+                continue;
             }
+            self.stats.full_bytes += self.top.store.get(val).heap_bytes();
+            let delta = self.top.store.diff(val, last);
+            self.stats.delta_bytes += self.top.store.get(delta).heap_bytes();
+            self.rel_frontier[s as usize][i] = val;
+            let cur = self.vpts[c as usize];
+            if delta == EMPTY || !self.top.store.union_would_change(cur, delta) {
+                self.stats.unions_avoided += 1;
+                continue;
+            }
+            let new = self.top.store.union(cur, delta);
+            self.vpts[c as usize] = new;
+            self.slot_grew(c);
         }
     }
 
@@ -346,14 +434,19 @@ impl<'a> VsfsSolver<'a> {
             if self.tables.add_reliance(y, c) {
                 self.stats.reliance_edges += 1;
                 self.stats.object_propagations += 1;
+                // Ship y's current value across the new edge immediately
+                // and start the edge's frontier there; future growth of y
+                // re-enters through `slot_grew` and ships only the delta.
+                let val = self.vpts[y as usize];
+                self.rel_frontier[y as usize].push(val);
+                self.stats.full_bytes += self.top.store.get(val).heap_bytes();
+                self.stats.delta_bytes += self.top.store.get(val).heap_bytes();
                 let cur = self.vpts[c as usize];
-                let new = self.top.store.union(cur, self.vpts[y as usize]);
+                let new = self.top.store.union(cur, val);
                 if new != cur {
                     self.vpts[c as usize] = new;
                     self.slot_grew(c);
                 }
-                // Future growth of y must now reach c.
-                self.slots.push(y as usize);
             }
         }
     }

@@ -10,6 +10,8 @@
 //! * [`meld`] — *meld labelling*, the paper's prelabelling extension for
 //!   directed graphs (Section IV-B): propagate labels until each node's
 //!   label is the meld of the labels reaching it.
+//! * [`rank`] — topological scheduling ranks over the SCC condensation
+//!   (used to seed the priority worklists of the flow-sensitive solvers).
 //! * [`traversal`] — reverse post-order and reachability.
 //!
 //! # Examples
@@ -30,11 +32,13 @@
 pub mod digraph;
 pub mod dominators;
 pub mod meld;
+pub mod rank;
 pub mod scc;
 pub mod traversal;
 
 pub use digraph::DiGraph;
 pub use dominators::DomTree;
 pub use meld::{meld_label, meld_label_governed, meld_label_many, try_meld_label_many, MeldLabel};
+pub use rank::condensation_ranks;
 pub use scc::Sccs;
 pub use traversal::{reachable_from, reverse_post_order};

@@ -30,5 +30,9 @@ echo "== Checker precision: FP deltas on buggy workload variants =="
 ./target/release/checkers du,ninja
 
 echo
+echo "== Scheduling: FIFO vs topological order, difference propagation =="
+./target/release/scheduling
+
+echo
 echo "== Micro-benches (phases, versioning scaling, ablations) =="
 cargo bench -p vsfs-bench
