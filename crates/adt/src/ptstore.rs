@@ -104,6 +104,7 @@ pub struct PtsStore<I: Idx> {
     diff_memo: HashMap<(PtsId, PtsId), PtsId>,
     intersect_memo: HashMap<(PtsId, PtsId), PtsId>,
     stats: PtsStoreStats,
+    epoch: u64,
 }
 
 impl<I: Idx> PtsStore<I> {
@@ -120,9 +121,28 @@ impl<I: Idx> PtsStore<I> {
             diff_memo: HashMap::new(),
             intersect_memo: HashMap::new(),
             stats: PtsStoreStats::default(),
+            epoch: 0,
         };
         let e = s.intern(&PointsToSet::new());
         debug_assert_eq!(e, Self::EMPTY);
+        s
+    }
+
+    /// The store's carry generation (0 for a fresh store).
+    ///
+    /// An incremental solver does not mutate a resident store in place:
+    /// after an edit it starts from [`PtsStore::next_epoch`] and carries
+    /// the surviving sets over with a [`PtsCarry`], so sets reachable only
+    /// from invalidated state are dropped wholesale rather than leaked
+    /// across requests.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// An empty successor store whose epoch is one past this store's.
+    pub fn next_epoch(&self) -> PtsStore<I> {
+        let mut s = PtsStore::new();
+        s.epoch = self.epoch + 1;
         s
     }
 
@@ -317,6 +337,64 @@ impl<I: Idx> PtsStore<I> {
     }
 }
 
+/// Counters for one carry generation (see [`PtsCarry`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CarryStats {
+    /// `carry` calls answered by the per-generation memo.
+    pub memo_hits: usize,
+    /// Sets materialised in the successor store.
+    pub carried_sets: usize,
+    /// Elements dropped because the element remap declined them.
+    pub dropped_elems: usize,
+}
+
+/// Carries interned sets from one store into its successor epoch.
+///
+/// The element remap translates ids of the old index space into the new
+/// one (or `None` to drop an element whose referent no longer exists).
+/// Translations are memoized per carry generation, so state that shares
+/// ids in the old store keeps sharing them in the successor.
+#[derive(Debug, Default)]
+pub struct PtsCarry {
+    memo: HashMap<PtsId, PtsId>,
+    /// Counters for this carry generation.
+    pub stats: CarryStats,
+}
+
+impl PtsCarry {
+    /// Creates an empty carry for one old-store → new-store generation.
+    pub fn new() -> Self {
+        PtsCarry::default()
+    }
+
+    /// Interns the image of `old`'s set `id` under `map` into `into`.
+    pub fn carry<I: Idx, J: Idx>(
+        &mut self,
+        old: &PtsStore<I>,
+        into: &mut PtsStore<J>,
+        id: PtsId,
+        mut map: impl FnMut(I) -> Option<J>,
+    ) -> PtsId {
+        if let Some(&r) = self.memo.get(&id) {
+            self.stats.memo_hits += 1;
+            return r;
+        }
+        let mut set = PointsToSet::new();
+        for elem in old.get(id).iter() {
+            match map(elem) {
+                Some(e) => {
+                    set.insert(e);
+                }
+                None => self.stats.dropped_elems += 1,
+            }
+        }
+        let r = into.intern(&set);
+        self.stats.carried_sets += 1;
+        self.memo.insert(id, r);
+        r
+    }
+}
+
 /// A read-only view of a [`PtsStore`] for one parallel worker, plus the
 /// worker's locally materialised results.
 ///
@@ -465,6 +543,35 @@ mod tests {
         assert_eq!(changed.len(), 1);
         assert_eq!(changed[0].0, 0);
         assert_eq!(changed[0].1.len(), 2);
+    }
+
+    #[test]
+    fn carry_remaps_and_memoizes_across_epochs() {
+        let mut old = PtsStore::<TObj>::new();
+        let a = sing(&mut old, 1);
+        let b = sing(&mut old, 2);
+        let ab = old.union(a, b);
+        assert_eq!(old.epoch(), 0);
+
+        let mut new = old.next_epoch();
+        assert_eq!(new.epoch(), 1);
+        let mut carry = PtsCarry::new();
+        // Shift element 1 → 5, drop element 2.
+        let map = |e: TObj| match e.index() {
+            1 => Some(TObj::new(5)),
+            _ => None,
+        };
+        let a2 = carry.carry(&old, &mut new, a, map);
+        let ab2 = carry.carry(&old, &mut new, ab, map);
+        assert_eq!(new.get(a2).iter().collect::<Vec<_>>(), vec![TObj::new(5)]);
+        assert_eq!(ab2, a2, "dropped element collapses {{1,2}} onto {{5}}");
+        assert_eq!(carry.carry(&old, &mut new, a, map), a2, "memo hit");
+        assert_eq!(carry.stats.memo_hits, 1);
+        assert_eq!(carry.stats.carried_sets, 2);
+        assert_eq!(carry.stats.dropped_elems, 1);
+        // EMPTY is id 0 in every epoch.
+        let e = carry.carry(&old, &mut new, PtsStore::<TObj>::EMPTY, map);
+        assert_eq!(e, PtsStore::<TObj>::EMPTY);
     }
 
     /// The memoized algebra agrees with direct set operations.

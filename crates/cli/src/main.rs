@@ -3,6 +3,12 @@
 //!
 //! ```text
 //! vsfs [OPTIONS] <program.vir | --corpus NAME | --workload NAME>
+//! vsfs serve [--socket PATH] [--corpus DIR] [--order ORDER] [--jobs N]
+//!
+//! `serve` starts the long-running incremental analysis server (see
+//! `vsfs-server`): programs stay resident, `edit` requests re-solve
+//! only the invalidated SVFG region, and every response carries a
+//! deterministic result fingerprint.
 //!
 //! Analyses:
 //!   --ander            Andersen's flow-insensitive analysis only
@@ -294,6 +300,11 @@ fn obj_names(prog: &Program, s: &vsfs_adt::PointsToSet<vsfs_ir::ObjId>) -> Vec<S
 }
 
 fn main() -> ExitCode {
+    // `vsfs serve` is a subcommand with its own flags; intercept it
+    // before the analysis-driver flag parsing.
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        return run_serve(std::env::args().skip(2).collect());
+    }
     let opts = parse_args();
     let prog = match load_program(&opts.input) {
         Ok(p) => p,
@@ -322,6 +333,87 @@ fn main() -> ExitCode {
         run_governed(&opts, &prog)
     } else {
         run_plain(&opts, &prog)
+    }
+}
+
+/// `vsfs serve [--socket PATH] [--corpus DIR] [--order ORDER] [--jobs N]`
+/// — the long-running incremental analysis server (line-delimited JSON
+/// on stdin/stdout, or on a Unix socket with `--socket`). `--corpus DIR`
+/// preloads every `*.vir` file in `DIR` as a resident program keyed by
+/// its file stem. See `vsfs-server` for the protocol.
+fn run_serve(args: Vec<String>) -> ExitCode {
+    let mut socket: Option<std::path::PathBuf> = None;
+    let mut corpus: Option<std::path::PathBuf> = None;
+    let mut opts = vsfs_core::IncrementalOptions::default();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(flag_value("--socket", it.next())),
+            "--corpus" => corpus = Some(flag_value("--corpus", it.next())),
+            "--jobs" => opts.jobs = flag_value("--jobs", it.next()),
+            "--order" => {
+                let name: String = flag_value("--order", it.next());
+                opts.order = match SolveOrder::parse(&name) {
+                    Some(o) => o,
+                    None => {
+                        eprintln!("error: unknown --order '{name}' (fifo|topo)");
+                        return ExitCode::from(1);
+                    }
+                };
+            }
+            other => {
+                eprintln!("error: unknown serve flag '{other}'");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let mut server = vsfs_server::Server::with_options(opts);
+    if let Some(dir) = corpus {
+        let mut entries: Vec<std::path::PathBuf> = match std::fs::read_dir(&dir) {
+            Ok(rd) => rd
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "vir"))
+                .collect(),
+            Err(e) => {
+                eprintln!("error: cannot read corpus dir {}: {e}", dir.display());
+                return ExitCode::from(1);
+            }
+        };
+        entries.sort();
+        for path in entries {
+            let id = path.file_stem().unwrap_or_default().to_string_lossy().to_string();
+            let source = match std::fs::read_to_string(&path) {
+                Ok(src) => src,
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", path.display());
+                    return ExitCode::from(1);
+                }
+            };
+            match server.load_source(&id, &source) {
+                Ok(report) => eprintln!(
+                    "loaded {id}: {} nodes, fingerprint {:016x}",
+                    report.total_nodes, report.fingerprint
+                ),
+                Err(e) => {
+                    eprintln!("error: corpus program {id}: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+    }
+    let served = match socket {
+        Some(path) => {
+            eprintln!("serving on {}", path.display());
+            server.run_unix(&path)
+        }
+        None => server.run_stdio(),
+    };
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: serve I/O failed: {e}");
+            ExitCode::from(1)
+        }
     }
 }
 

@@ -1,0 +1,274 @@
+//! End-to-end protocol tests for `vsfs serve`: spawn the real daemon,
+//! drive it over stdin/stdout (and a Unix socket), and check that every
+//! request type answers — and that malformed input yields typed JSON
+//! errors, never a crash.
+//!
+//! Assertions work on raw response lines (the protocol is line-delimited
+//! JSON with a stable key order), so the tests need no JSON parser.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+const PROG: &str = "global @g\n\nfunc @make() {\nentry:\n  %h = alloc heap H\n  ret %h\n}\n\nfunc @main() {\nentry:\n  %a = call @make()\n  store %a, @g\n  %b = load @g\n  ret\n}\n";
+
+struct Daemon {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Daemon {
+    fn spawn(args: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_vsfs"))
+            .arg("serve")
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("daemon spawns");
+        let stdin = child.stdin.take().unwrap();
+        let stdout = BufReader::new(child.stdout.take().unwrap());
+        Daemon { child, stdin, stdout }
+    }
+
+    /// Sends one request line and reads one response line.
+    fn request(&mut self, line: &str) -> String {
+        writeln!(self.stdin, "{line}").expect("write request");
+        self.stdin.flush().unwrap();
+        let mut resp = String::new();
+        self.stdout.read_line(&mut resp).expect("read response");
+        assert!(!resp.is_empty(), "daemon closed the stream unexpectedly");
+        resp.trim_end().to_string()
+    }
+
+    fn shutdown(mut self) {
+        let resp = self.request("{\"op\":\"shutdown\"}");
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        let status = self.child.wait().expect("daemon exits");
+        assert!(status.success(), "daemon exit status: {status}");
+    }
+}
+
+/// JSON-escapes a program source for embedding in a request line.
+fn quote(text: &str) -> String {
+    let mut out = String::from("\"");
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn field<'a>(resp: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":");
+    let start = resp.find(&pat).unwrap_or_else(|| panic!("no '{key}' in {resp}")) + pat.len();
+    let rest = &resp[start..];
+    let end = rest
+        .char_indices()
+        .scan(false, |in_str, (i, c)| {
+            if c == '"' {
+                *in_str = !*in_str;
+            }
+            if !*in_str && (c == ',' || c == '}') {
+                Some(Some(i))
+            } else {
+                Some(None)
+            }
+        })
+        .flatten()
+        .next()
+        .unwrap_or(rest.len());
+    &rest[..end]
+}
+
+#[test]
+fn full_session_over_stdio() {
+    let mut d = Daemon::spawn(&[]);
+    assert!(d.request("{\"op\":\"ping\"}").contains("\"ok\":true"));
+
+    // load
+    let resp = d.request(&format!(
+        "{{\"op\":\"load\",\"id\":\"p\",\"source\":{}}}",
+        quote(PROG)
+    ));
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(resp.contains("\"mode\":\"flow-sensitive\""), "{resp}");
+    assert!(resp.contains("\"degraded\":false"), "{resp}");
+    let fp0 = field(&resp, "fingerprint").to_string();
+
+    // pts: the load through the global sees exactly H.
+    let resp = d.request("{\"op\":\"pts\",\"id\":\"p\",\"func\":\"main\",\"value\":\"%b\"}");
+    assert!(resp.contains("\"objects\":[\"H\"]"), "{resp}");
+
+    // alias
+    let resp =
+        d.request("{\"op\":\"alias\",\"id\":\"p\",\"func\":\"main\",\"p\":\"%a\",\"q\":\"%b\"}");
+    assert!(resp.contains("\"may_alias\":true"), "{resp}");
+
+    // check: H never freed — the leak checker fires.
+    let resp = d.request("{\"op\":\"check\",\"id\":\"p\"}");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(resp.contains("\"checker\":\"leak\""), "{resp}");
+
+    // stats
+    let resp = d.request("{\"op\":\"stats\",\"id\":\"p\"}");
+    assert!(resp.contains("\"warm\":true"), "{resp}");
+    assert_eq!(field(&resp, "fingerprint"), fp0, "{resp}");
+
+    // edit: replace @make to allocate a second object behind a phi.
+    let body = "func @make() {\nentry:\n  %h = alloc heap H2\n  ret %h\n}";
+    let resp = d.request(&format!(
+        "{{\"op\":\"edit\",\"id\":\"p\",\"delta\":[{{\"action\":\"replace\",\"name\":\"make\",\"text\":{}}}]}}",
+        quote(body)
+    ));
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(resp.contains("\"incremental\":true"), "{resp}");
+    assert_ne!(field(&resp, "fingerprint"), fp0, "edit must change the result");
+    let dirty: usize = field(&resp, "dirty_nodes").parse().unwrap();
+    let total: usize = field(&resp, "total_nodes").parse().unwrap();
+    assert!(dirty > 0 && dirty < total, "dirty {dirty}/{total}");
+
+    // The query surface reflects the edit.
+    let resp = d.request("{\"op\":\"pts\",\"id\":\"p\",\"func\":\"main\",\"value\":\"%b\"}");
+    assert!(resp.contains("\"objects\":[\"H2\"]"), "{resp}");
+
+    // add + remove round trip.
+    let extra = "func @extra() {\nentry:\n  %x = alloc stack X\n  ret\n}";
+    let resp = d.request(&format!(
+        "{{\"op\":\"edit\",\"id\":\"p\",\"delta\":[{{\"action\":\"add\",\"name\":\"extra\",\"text\":{}}}]}}",
+        quote(extra)
+    ));
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert_eq!(field(&resp, "functions"), "3", "{resp}"); // make, main, extra
+    let resp = d.request(
+        "{\"op\":\"edit\",\"id\":\"p\",\"delta\":[{\"action\":\"remove\",\"name\":\"extra\"}]}",
+    );
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+
+    // unload, then the program is gone.
+    assert!(d.request("{\"op\":\"unload\",\"id\":\"p\"}").contains("\"ok\":true"));
+    let resp = d.request("{\"op\":\"stats\",\"id\":\"p\"}");
+    assert!(resp.contains("\"code\":\"unknown_program\""), "{resp}");
+
+    d.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_not_crashes() {
+    let mut d = Daemon::spawn(&[]);
+    let cases: &[(&str, &str)] = &[
+        ("this is not json", "bad_json"),
+        ("{\"op\":123}", "bad_request"),
+        ("{\"op\":\"frobnicate\"}", "unknown_op"),
+        ("{\"op\":\"load\",\"id\":\"x\"}", "bad_request"),
+        ("{\"op\":\"pts\",\"id\":\"nope\",\"value\":\"v\"}", "unknown_program"),
+        ("[1,2,3]", "bad_request"),
+        ("{\"op\":\"edit\",\"id\":\"nope\",\"delta\":[]}", "unknown_program"),
+    ];
+    for (req, code) in cases {
+        let resp = d.request(req);
+        assert!(resp.contains("\"ok\":false"), "{req} -> {resp}");
+        assert!(
+            resp.contains(&format!("\"code\":\"{code}\"")),
+            "{req} -> {resp} (wanted {code})"
+        );
+    }
+    // The daemon is still healthy after every error.
+    assert!(d.request("{\"op\":\"ping\"}").contains("\"ok\":true"));
+    d.shutdown();
+}
+
+#[test]
+fn edit_errors_are_typed_and_roll_back() {
+    let mut d = Daemon::spawn(&[]);
+    let resp = d.request(&format!(
+        "{{\"op\":\"load\",\"id\":\"p\",\"source\":{}}}",
+        quote(PROG)
+    ));
+    let fp0 = field(&resp, "fingerprint").to_string();
+
+    // Unknown function in the delta.
+    let resp = d.request(
+        "{\"op\":\"edit\",\"id\":\"p\",\"delta\":[{\"action\":\"remove\",\"name\":\"ghost\"}]}",
+    );
+    assert!(resp.contains("\"code\":\"unknown_function\""), "{resp}");
+
+    // Unparsable replacement body.
+    let bad = "func @make() {\nentry:\n  %h = alloc heap\n}";
+    let resp = d.request(&format!(
+        "{{\"op\":\"edit\",\"id\":\"p\",\"delta\":[{{\"action\":\"replace\",\"name\":\"make\",\"text\":{}}}]}}",
+        quote(bad)
+    ));
+    assert!(resp.contains("\"code\":\"parse_error\""), "{resp}");
+
+    // Removing a still-called function fails verification.
+    let resp = d.request(
+        "{\"op\":\"edit\",\"id\":\"p\",\"delta\":[{\"action\":\"remove\",\"name\":\"make\"}]}",
+    );
+    assert!(
+        resp.contains("\"code\":\"parse_error\"") || resp.contains("\"code\":\"verify_error\""),
+        "{resp}"
+    );
+
+    // Every failure rolled back: same fingerprint, still warm.
+    let resp = d.request("{\"op\":\"stats\",\"id\":\"p\"}");
+    assert_eq!(field(&resp, "fingerprint"), fp0, "{resp}");
+    assert!(resp.contains("\"warm\":true"), "{resp}");
+    d.shutdown();
+}
+
+#[test]
+fn corpus_preload_and_unix_socket() {
+    use std::os::unix::net::UnixStream;
+
+    let dir = std::env::temp_dir().join(format!("vsfs_serve_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("alpha.vir"), PROG).unwrap();
+    let sock = dir.join("vsfs.sock");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_vsfs"))
+        .args(["serve", "--corpus"])
+        .arg(&dir)
+        .arg("--socket")
+        .arg(&sock)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+
+    // Wait for the socket to appear.
+    let mut tries = 0;
+    while !sock.exists() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        tries += 1;
+        assert!(tries < 200, "socket never appeared");
+    }
+    let stream = UnixStream::connect(&sock).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut send = |line: &str| {
+        let mut s = stream.try_clone().unwrap();
+        writeln!(s, "{line}").unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        resp.trim_end().to_string()
+    };
+
+    // The corpus program was preloaded under its file stem.
+    let resp = send("{\"op\":\"stats\"}");
+    assert!(resp.contains("\"ids\":[\"alpha\"]"), "{resp}");
+    let resp = send("{\"op\":\"pts\",\"id\":\"alpha\",\"func\":\"main\",\"value\":\"%b\"}");
+    assert!(resp.contains("\"objects\":[\"H\"]"), "{resp}");
+    let resp = send("{\"op\":\"shutdown\"}");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}

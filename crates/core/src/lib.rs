@@ -48,6 +48,7 @@
 //! ```
 
 pub mod dense;
+pub mod incremental;
 pub mod precision;
 pub mod queries;
 pub mod result;
@@ -58,6 +59,10 @@ pub mod versioning;
 pub mod vsfs;
 
 pub use dense::run_dense;
+pub use incremental::{
+    resolve_edit, result_fingerprint, solve_program, IncrementalOptions, ProgramState,
+    SolveError, SolveReport,
+};
 pub use precision::{compare_precision, PrecisionReport};
 pub use result::{precision_diff, same_precision, FlowSensitiveResult, GovernedAnalysis, SolveStats};
 pub use schedule::SolveOrder;

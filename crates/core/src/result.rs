@@ -39,6 +39,13 @@ impl FlowSensitiveResult {
         self.store.get(self.pt[v])
     }
 
+    /// The epoch of the run's hash-consed store: 0 for a from-scratch
+    /// solve, incremented by each incremental re-solve that carried
+    /// state forward (`crate::incremental`).
+    pub fn store_epoch(&self) -> u64 {
+        self.store.epoch()
+    }
+
     /// Repackages the auxiliary Andersen analysis as a
     /// `FlowSensitiveResult` — the *sound fallback* when the
     /// flow-sensitive stage is cut short by a budget or a worker fault.

@@ -17,9 +17,9 @@ use crate::toplevel::{TopLevel, EMPTY};
 use std::collections::HashMap;
 use std::time::Instant;
 use vsfs_adt::govern::{Completion, Governor};
-use vsfs_adt::{IndexVec, PointsToSet, PtsId, Worklist};
+use vsfs_adt::{IndexVec, PointsToSet, PtsId, PtsStore, Worklist};
 use vsfs_andersen::AndersenResult;
-use vsfs_ir::{FuncId, InstId, InstKind, ObjId, Program};
+use vsfs_ir::{FuncId, InstId, InstKind, ObjId, Program, ValueId};
 use vsfs_mssa::MemorySsa;
 use vsfs_svfg::{Svfg, SvfgNodeId, SvfgNodeKind};
 
@@ -84,8 +84,69 @@ fn solve_inner(
     governor: Option<&Governor>,
     order: SolveOrder,
 ) -> (FlowSensitiveResult, Completion) {
+    let (result, completion, _) = solve_impl(prog, aux, mssa, svfg, governor, order, None, false);
+    (result, completion)
+}
+
+/// Warm state to resume from: the surviving portion of a previous run's
+/// fixpoint, already remapped into the *current* parse's id spaces (see
+/// `crate::incremental`). Every `PtsId` refers to `store`.
+pub(crate) struct SfsSeed {
+    /// The successor-epoch store holding all carried sets.
+    pub store: PtsStore<ObjId>,
+    /// Final top-level sets for values whose defining node is clean.
+    pub pt: Vec<(ValueId, PtsId)>,
+    /// Final `IN` entries of clean nodes, each sorted by object.
+    pub ins: Vec<(SvfgNodeId, Vec<(ObjId, PtsId)>)>,
+    /// Final `OUT` entries of clean STORE nodes.
+    pub outs: Vec<(SvfgNodeId, Vec<(ObjId, PtsId)>)>,
+    /// Call-graph activations whose call node is clean.
+    pub activations: Vec<(InstId, FuncId)>,
+    /// Nodes whose previous fixpoint state survives the edit.
+    pub clean: IndexVec<SvfgNodeId, bool>,
+}
+
+/// The per-node `IN`/`OUT` tables of a completed run, extracted in
+/// deterministic (object-sorted) order so the next edit can seed from
+/// them.
+pub(crate) struct SfsHarvest {
+    pub ins: IndexVec<SvfgNodeId, Vec<(ObjId, PtsId)>>,
+    pub outs: IndexVec<SvfgNodeId, Vec<(ObjId, PtsId)>>,
+}
+
+/// Runs SFS from `seed` (or cold when `None`), returning the per-node
+/// state tables alongside the result so the caller can stay resident.
+/// The fixpoint is identical to a cold solve — seeding only skips work
+/// that would reconverge to the carried values.
+pub(crate) fn run_sfs_seeded(
+    prog: &Program,
+    aux: &AndersenResult,
+    mssa: &MemorySsa,
+    svfg: &Svfg,
+    order: SolveOrder,
+    governor: Option<&Governor>,
+    seed: Option<SfsSeed>,
+) -> (FlowSensitiveResult, Completion, Option<SfsHarvest>) {
+    solve_impl(prog, aux, mssa, svfg, governor, order, seed, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_impl(
+    prog: &Program,
+    aux: &AndersenResult,
+    mssa: &MemorySsa,
+    svfg: &Svfg,
+    governor: Option<&Governor>,
+    order: SolveOrder,
+    seed: Option<SfsSeed>,
+    want_harvest: bool,
+) -> (FlowSensitiveResult, Completion, Option<SfsHarvest>) {
     let start = Instant::now();
     let mut solver = SfsSolver::new(prog, aux, mssa, svfg, order);
+    match seed {
+        Some(seed) => solver.apply_seed(seed),
+        None => solver.init_cold(),
+    }
     let completion = solver.solve_governed(governor);
     let mut stats = solver.stats;
     stats.solve_seconds = start.elapsed().as_secs_f64();
@@ -95,10 +156,12 @@ fn solve_inner(
     stats.stored_object_elems = elems;
     stats.stored_object_bytes = bytes;
     stats.store = solver.top.store.stats();
+    let harvest = (want_harvest && completion == Completion::Complete).then(|| solver.harvest());
     let callgraph_edges = solver.top.callgraph_edges();
     (
         FlowSensitiveResult::new(solver.top.store, solver.top.pt, callgraph_edges, stats),
         completion,
+        harvest,
     )
 }
 
@@ -141,13 +204,10 @@ impl<'a> SfsSolver<'a> {
     ) -> Self {
         let n = svfg.node_count();
         let top = TopLevel::new(prog, aux, svfg);
-        let mut worklist = match order {
+        let worklist = match order {
             SolveOrder::Fifo => Worklist::fifo(n),
             SolveOrder::Topo => Worklist::priority(svfg_node_ranks(prog, svfg)),
         };
-        for id in svfg.node_ids() {
-            worklist.push(id);
-        }
         SfsSolver {
             prog,
             mssa,
@@ -165,6 +225,112 @@ impl<'a> SfsSolver<'a> {
             worklist,
             stats: SolveStats::default(),
         }
+    }
+
+    /// Cold start: every node visits at least once.
+    fn init_cold(&mut self) {
+        for id in self.svfg.node_ids() {
+            self.worklist.push(id);
+        }
+    }
+
+    /// Warm start: installs the carried fixpoint state of clean nodes and
+    /// schedules only the work the edit could affect.
+    ///
+    /// Frontier rule, per indirect edge `src --o--> dst`:
+    /// * both endpoints clean — the old run converged, so the frontier
+    ///   equals the value `src` exposes (a re-ship would be a no-op);
+    /// * `dst` dirty (its `IN` was reset) — frontier `EMPTY`, and if the
+    ///   clean `src` exposes a value it is marked dirty and enqueued so
+    ///   the full value ships again (propagation is push-based: a clean
+    ///   source would otherwise never re-offer it);
+    /// * `src` dirty — frontier `EMPTY`; the node re-runs from scratch
+    ///   and ships whatever it recomputes.
+    ///
+    /// Clean nodes with a *direct* edge into a dirty node also re-run:
+    /// call and exit transfers publish argument/return bindings through
+    /// `TopLevel`, and a dirty callee entry (or return site) needs those
+    /// pushed again. Their object state is final, so the re-run is a
+    /// no-op beyond the pushes.
+    fn apply_seed(&mut self, seed: SfsSeed) {
+        let SfsSeed { store, pt, ins, outs, activations, clean } = seed;
+        self.top.seed_state(store, &pt, &activations);
+        for (n, entries) in ins {
+            let m = &mut self.ins[n];
+            for (o, id) in entries {
+                m.insert(o, id);
+            }
+        }
+        for (n, entries) in outs {
+            let m = &mut self.outs[n];
+            for (o, id) in entries {
+                m.insert(o, id);
+            }
+        }
+        for n in self.svfg.node_ids() {
+            if !clean[n] {
+                continue;
+            }
+            for i in 0..self.svfg.indirect_succs(n).len() {
+                let (succ, o) = self.svfg.indirect_succs(n)[i];
+                let val = self.out_val(n, o);
+                if clean[succ] {
+                    self.edge_frontier[n][i] = val.unwrap_or(EMPTY);
+                } else if val.is_some_and(|v| v != EMPTY) {
+                    self.dirty[n].insert(o);
+                    self.worklist.push(n);
+                }
+            }
+        }
+        // Re-wire the dynamic edges of retained activations (indirect
+        // calls only; direct-call edges are static), same frontier rule.
+        for &(call, callee) in &activations {
+            let Some(binding) = self.svfg.call_binding(call, callee) else { continue };
+            let binding = binding.clone();
+            let call_node = self.svfg.inst_node(call);
+            let ret_node = self.svfg.callret_node(call);
+            let f = &self.prog.functions[callee];
+            let entry_node = self.svfg.inst_node(f.entry_inst);
+            let exit_node = self.svfg.inst_node(f.exit_inst);
+            let pairs = [
+                (call_node, entry_node, binding.ins),
+                (exit_node, ret_node, binding.outs),
+            ];
+            for (src, dst, objs) in pairs {
+                for o in objs {
+                    self.dyn_succs[src].push((dst, o));
+                    let val = if clean[src] { self.out_val(src, o) } else { None };
+                    let frontier =
+                        if clean[src] && clean[dst] { val.unwrap_or(EMPTY) } else { EMPTY };
+                    self.dyn_frontier[src].push(frontier);
+                    if frontier == EMPTY && val.is_some_and(|v| v != EMPTY) {
+                        self.dirty[src].insert(o);
+                        self.worklist.push(src);
+                    }
+                }
+            }
+        }
+        for n in self.svfg.node_ids() {
+            if !clean[n] {
+                self.worklist.push(n);
+            } else if self.svfg.direct_succs(n).iter().any(|&s| !clean[s]) {
+                self.worklist.push(n);
+            }
+        }
+    }
+
+    /// Extracts the converged `IN`/`OUT` tables in object-sorted order.
+    fn harvest(&self) -> SfsHarvest {
+        let collect = |maps: &IndexVec<SvfgNodeId, ObjMap>| {
+            maps.iter()
+                .map(|m| {
+                    let mut v: Vec<(ObjId, PtsId)> = m.iter().map(|(&o, &id)| (o, id)).collect();
+                    v.sort_unstable_by_key(|e| e.0);
+                    v
+                })
+                .collect()
+        };
+        SfsHarvest { ins: collect(&self.ins), outs: collect(&self.outs) }
     }
 
     /// The fixpoint loop, with one cooperative governor checkpoint per

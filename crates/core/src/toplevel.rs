@@ -65,6 +65,36 @@ impl<'a> TopLevel<'a> {
         }
     }
 
+    /// Replaces the solver state with carried warm state: `store` becomes
+    /// the shared store (global pointers are re-seeded into it, since the
+    /// ids minted by [`TopLevel::new`] belong to the discarded fresh
+    /// store), `pt` entries install final sets for values whose defining
+    /// node survived an edit, and `activations` restores the surviving
+    /// call-graph edges.
+    pub(crate) fn seed_state(
+        &mut self,
+        store: PtsStore<ObjId>,
+        pt: &[(ValueId, PtsId)],
+        activations: &[(InstId, FuncId)],
+    ) {
+        self.store = store;
+        for slot in self.pt.iter_mut() {
+            *slot = EMPTY;
+        }
+        for &(g, obj) in &self.prog.globals {
+            self.pt[g] = self.store.insert(self.pt[g], obj);
+        }
+        for &(v, id) in pt {
+            self.pt[v] = id;
+        }
+        for &(call, f) in activations {
+            if self.activated.insert((call, f)) {
+                self.active_callees.entry(call).or_default().push(f);
+                self.active_callers.entry(f).or_default().push(call);
+            }
+        }
+    }
+
     /// The activated callees of `call`.
     pub fn callees(&self, call: InstId) -> &[FuncId] {
         self.active_callees.get(&call).map_or(&[], |v| v.as_slice())

@@ -1,0 +1,680 @@
+//! The incremental analysis server (`vsfs serve`, DESIGN.md §9).
+//!
+//! A [`Server`] keeps any number of programs resident — each as a
+//! [`vsfs_core::ProgramState`]: source, IR, auxiliary result, SVFG, the
+//! solved flow-sensitive analysis, and the warm per-node state the next
+//! edit seeds from — and answers line-delimited JSON requests over stdin/
+//! stdout ([`Server::run_stdio`]) or a Unix socket ([`Server::run_unix`]).
+//!
+//! # Protocol
+//!
+//! One JSON object per line in, one per line out. Every request has an
+//! `"op"`; program-addressed ops take `"id"`. Success responses carry
+//! `"ok": true` plus op-specific fields and always a `"fingerprint"` —
+//! the ID-independent result hash ([`vsfs_core::result_fingerprint`]),
+//! equal across incremental and from-scratch solves of the same text.
+//! Failures are `{"ok": false, "error": {"code", "message"}}`; a
+//! failed request never changes resident state.
+//!
+//! | op | fields | effect |
+//! |----|--------|--------|
+//! | `ping` | | liveness check |
+//! | `load` | `id`, `source` | parse + solve, keep resident |
+//! | `edit` | `id`, `delta` | apply function deltas, re-solve incrementally |
+//! | `pts` | `id`, `value`, [`func`] | points-to set of a value |
+//! | `alias` | `id`, `p`, `q`, [`func`] | may-alias query |
+//! | `check` | `id` | run the memory-safety checkers |
+//! | `stats` | [`id`] | server or per-program statistics |
+//! | `unload` | `id` | drop a resident program |
+//! | `shutdown` | | stop serving |
+//!
+//! `delta` is an array of `{"action": "replace"|"add"|"remove",
+//! "name": fn, ["text": body]}` applied in order ([`source::SourceMap`]).
+//!
+//! `load` and `edit` accept optional budgets (`time_budget` seconds,
+//! `step_budget`, `mem_budget_mib`) mirroring the CLI's governed mode:
+//! the auxiliary stage has no sound fallback, so its trip *rejects* the
+//! request (`aux_budget`, resident state untouched); a flow-sensitive
+//! trip *applies* the edit but delivers the sound Andersen fallback,
+//! reported via `"degraded": true` and `"fallback"`, and drops the warm
+//! state so nothing degraded is ever treated as a completed fixpoint.
+
+pub mod json;
+pub mod source;
+
+use json::{n, obj, s, Json};
+use source::{SourceError, SourceMap};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::time::{Duration, Instant};
+use vsfs_adt::govern::{Budget, CancelToken, Governor};
+use vsfs_checkers::{render_finding, run_checkers, FlowView};
+use vsfs_core::queries::AliasQueries;
+use vsfs_core::schedule::SolveOrder;
+use vsfs_core::{
+    resolve_edit, solve_program, IncrementalOptions, ProgramState, SolveError, SolveReport,
+};
+use vsfs_ir::ValueId;
+
+/// One resident program: its editable source plus the solved state.
+struct Workspace {
+    sources: SourceMap,
+    state: ProgramState,
+}
+
+/// The analysis server. See the module docs for the protocol.
+pub struct Server {
+    programs: BTreeMap<String, Workspace>,
+    /// Default solve options for requests that don't override them.
+    opts: IncrementalOptions,
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Server::new()
+    }
+}
+
+/// A request-scoped budget triple, mirroring the CLI's governed mode.
+struct Budgets {
+    time: Option<f64>,
+    steps: Option<u64>,
+    mem_mib: Option<u64>,
+}
+
+impl Budgets {
+    fn from_request(req: &Json) -> Budgets {
+        Budgets {
+            time: req.get("time_budget").and_then(Json::as_f64),
+            steps: req.get("step_budget").and_then(Json::as_u64),
+            mem_mib: req.get("mem_budget_mib").and_then(Json::as_u64),
+        }
+    }
+
+    /// Builds the (auxiliary, flow-sensitive) governors, or `None` when
+    /// the request set no budget (ungoverned mode). Step budgets apply
+    /// only to the flow-sensitive stage — they are not schedule-portable
+    /// across Andersen's wave modes.
+    fn governors(&self) -> Option<(Governor, Governor)> {
+        if self.time.is_none() && self.steps.is_none() && self.mem_mib.is_none() {
+            return None;
+        }
+        let cancel = match self.time {
+            Some(secs) => {
+                CancelToken::with_deadline(Instant::now() + Duration::from_secs_f64(secs))
+            }
+            None => CancelToken::new(),
+        };
+        let mem_bytes = self.mem_mib.map(|mib| (mib as usize) << 20);
+        let mut aux = Budget::unlimited();
+        let mut fs = Budget::unlimited();
+        if let Some(bytes) = mem_bytes {
+            aux = aux.with_mem_bytes(bytes);
+            fs = fs.with_mem_bytes(bytes);
+        }
+        if let Some(steps) = self.steps {
+            fs = fs.with_steps(steps);
+        }
+        Some((
+            Governor::with_cancel(aux, cancel.clone()),
+            Governor::with_cancel(fs, cancel),
+        ))
+    }
+}
+
+fn err(code: &str, message: impl Into<String>) -> Json {
+    obj(vec![
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            obj(vec![("code", s(code)), ("message", s(message.into()))]),
+        ),
+    ])
+}
+
+fn solve_error(e: &SolveError) -> Json {
+    match e {
+        SolveError::Parse(errs) => {
+            let mut pairs = vec![
+                ("code", s("parse_error")),
+                ("message", s(format!("{} parse error(s)", errs.len()))),
+                (
+                    "diagnostics",
+                    Json::Arr(errs.iter().map(|m| s(m.clone())).collect()),
+                ),
+            ];
+            pairs.truncate(3);
+            obj(vec![("ok", Json::Bool(false)), ("error", obj(pairs))])
+        }
+        SolveError::Verify(m) => err("verify_error", m.clone()),
+        SolveError::AuxBudget(r) => err(
+            "aux_budget",
+            format!(
+                "auxiliary stage degraded ({r:?}); no sound fallback exists, request rejected"
+            ),
+        ),
+    }
+}
+
+fn hex(fp: u64) -> Json {
+    s(format!("{fp:016x}"))
+}
+
+/// The common tail of `load`/`edit` responses.
+fn solve_fields(state: &ProgramState, report: &SolveReport) -> Vec<(&'static str, Json)> {
+    let degraded = !state.analysis.is_complete();
+    vec![
+        ("fingerprint", hex(report.fingerprint)),
+        ("mode", s(state.analysis.mode)),
+        ("degraded", Json::Bool(degraded)),
+        (
+            "fallback",
+            if degraded { s(state.analysis.mode) } else { Json::Null },
+        ),
+        ("incremental", Json::Bool(report.incremental)),
+        ("total_nodes", n(report.total_nodes as f64)),
+        ("dirty_nodes", n(report.dirty_nodes as f64)),
+        ("carried_sets", n(report.carried_sets as f64)),
+        ("solve_seconds", n(report.solve_seconds)),
+        ("store_epoch", n(state.analysis.result.store_epoch() as f64)),
+    ]
+}
+
+impl Server {
+    /// A server with default solve options (FIFO order, one job).
+    pub fn new() -> Server {
+        Server::with_options(IncrementalOptions::default())
+    }
+
+    /// A server with explicit default solve options.
+    pub fn with_options(opts: IncrementalOptions) -> Server {
+        Server { programs: BTreeMap::new(), opts }
+    }
+
+    /// Loads `source` as resident program `id` (programmatic equivalent
+    /// of the `load` request, used by the CLI's `--corpus` preload).
+    pub fn load_source(&mut self, id: &str, source: &str) -> Result<SolveReport, SolveError> {
+        let (state, report) = solve_program(source, self.opts, None, None)?;
+        self.programs
+            .insert(id.to_string(), Workspace { sources: SourceMap::parse(source), state });
+        Ok(report)
+    }
+
+    /// The ids of the resident programs.
+    pub fn program_ids(&self) -> Vec<&str> {
+        self.programs.keys().map(String::as_str).collect()
+    }
+
+    /// Handles one request line; returns the response line and whether
+    /// the server should stop.
+    pub fn handle_line(&mut self, line: &str) -> (String, bool) {
+        let req = match json::parse(line) {
+            Ok(v) => v,
+            Err(m) => return (err("bad_json", m).to_line(), false),
+        };
+        let Some(op) = req.get("op").and_then(Json::as_str) else {
+            return (err("bad_request", "missing string field 'op'").to_line(), false);
+        };
+        let op = op.to_string();
+        let shutdown = op == "shutdown";
+        let resp = match op.as_str() {
+            "ping" => obj(vec![("ok", Json::Bool(true)), ("op", s("ping"))]),
+            "shutdown" => obj(vec![("ok", Json::Bool(true)), ("op", s("shutdown"))]),
+            "load" => self.op_load(&req),
+            "edit" => self.op_edit(&req),
+            "pts" => self.op_pts(&req),
+            "alias" => self.op_alias(&req),
+            "check" => self.op_check(&req),
+            "stats" => self.op_stats(&req),
+            "unload" => self.op_unload(&req),
+            other => err("unknown_op", format!("unknown op '{other}'")),
+        };
+        (resp.to_line(), shutdown)
+    }
+
+    fn request_opts(&self, req: &Json) -> Result<IncrementalOptions, Json> {
+        let mut opts = self.opts;
+        if let Some(order) = req.get("order").and_then(Json::as_str) {
+            opts.order = match order {
+                "fifo" => SolveOrder::Fifo,
+                "topo" => SolveOrder::Topo,
+                other => {
+                    return Err(err("bad_request", format!("unknown order '{other}'")))
+                }
+            };
+        }
+        if let Some(jobs) = req.get("jobs").and_then(Json::as_u64) {
+            opts.jobs = (jobs as usize).max(1);
+        }
+        Ok(opts)
+    }
+
+    fn require_id<'a>(&self, req: &'a Json) -> Result<&'a str, Json> {
+        req.get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("bad_request", "missing string field 'id'"))
+    }
+
+    fn workspace(&self, id: &str) -> Result<&Workspace, Json> {
+        self.programs
+            .get(id)
+            .ok_or_else(|| err("unknown_program", format!("no program loaded as '{id}'")))
+    }
+
+    fn op_load(&mut self, req: &Json) -> Json {
+        let id = match self.require_id(req) {
+            Ok(id) => id.to_string(),
+            Err(e) => return e,
+        };
+        let Some(source) = req.get("source").and_then(Json::as_str) else {
+            return err("bad_request", "missing string field 'source'");
+        };
+        let opts = match self.request_opts(req) {
+            Ok(o) => o,
+            Err(e) => return e,
+        };
+        let govs = Budgets::from_request(req).governors();
+        let (aux_gov, fs_gov) = match &govs {
+            Some((a, f)) => (Some(a), Some(f)),
+            None => (None, None),
+        };
+        match solve_program(source, opts, aux_gov, fs_gov) {
+            Ok((state, report)) => {
+                let mut pairs = vec![
+                    ("ok", Json::Bool(true)),
+                    ("op", s("load")),
+                    ("id", s(id.clone())),
+                    ("functions", n(state.prog.functions.len() as f64)),
+                    ("values", n(state.prog.values.len() as f64)),
+                ];
+                pairs.extend(solve_fields(&state, &report));
+                self.programs
+                    .insert(id, Workspace { sources: SourceMap::parse(source), state });
+                obj(pairs)
+            }
+            Err(e) => solve_error(&e),
+        }
+    }
+
+    fn op_edit(&mut self, req: &Json) -> Json {
+        let id = match self.require_id(req) {
+            Ok(id) => id.to_string(),
+            Err(e) => return e,
+        };
+        if !self.programs.contains_key(&id) {
+            return err("unknown_program", format!("no program loaded as '{id}'"));
+        }
+        let Some(delta) = req.get("delta").and_then(Json::as_arr) else {
+            return err("bad_request", "missing array field 'delta'");
+        };
+        let opts = match self.request_opts(req) {
+            Ok(o) => o,
+            Err(e) => return e,
+        };
+
+        // Apply the deltas to a copy of the source map: a rejected edit
+        // must leave the resident program untouched.
+        let mut sources = self.programs[&id].sources.clone();
+        for (i, item) in delta.iter().enumerate() {
+            let action = item.get("action").and_then(Json::as_str).unwrap_or("");
+            let Some(name) = item.get("name").and_then(Json::as_str) else {
+                return err("bad_request", format!("delta[{i}] missing 'name'"));
+            };
+            let text = item.get("text").and_then(Json::as_str);
+            let applied = match (action, text) {
+                ("replace", Some(t)) => sources.replace(name, t),
+                ("add", Some(t)) => sources.add(name, t),
+                ("remove", _) => sources.remove(name),
+                ("replace" | "add", None) => {
+                    return err("bad_request", format!("delta[{i}] missing 'text'"))
+                }
+                (other, _) => {
+                    return err(
+                        "bad_request",
+                        format!("delta[{i}] has unknown action '{other}'"),
+                    )
+                }
+            };
+            match applied {
+                Ok(()) => {}
+                Err(SourceError::UnknownFunction(f)) => {
+                    return err("unknown_function", format!("delta[{i}]: no function '{f}'"))
+                }
+                Err(e) => return err("bad_request", format!("delta[{i}]: {e}")),
+            }
+        }
+        let source = sources.compose();
+
+        let govs = Budgets::from_request(req).governors();
+        let (aux_gov, fs_gov) = match &govs {
+            Some((a, f)) => (Some(a), Some(f)),
+            None => (None, None),
+        };
+        let prev = &self.programs[&id].state;
+        match resolve_edit(prev, &source, opts, aux_gov, fs_gov) {
+            Ok((state, report)) => {
+                let mut pairs = vec![
+                    ("ok", Json::Bool(true)),
+                    ("op", s("edit")),
+                    ("id", s(id.clone())),
+                    ("functions", n(state.prog.functions.len() as f64)),
+                ];
+                pairs.extend(solve_fields(&state, &report));
+                self.programs.insert(id, Workspace { sources, state });
+                obj(pairs)
+            }
+            // Parse/verify/aux failures reject the edit: the previous
+            // state (and its warm tables) stay authoritative.
+            Err(e) => solve_error(&e),
+        }
+    }
+
+    fn find_value(&self, ws: &Workspace, req: &Json, field: &str) -> Result<ValueId, Json> {
+        let Some(raw) = req.get(field).and_then(Json::as_str) else {
+            return Err(err("bad_request", format!("missing string field '{field}'")));
+        };
+        let name = raw.trim_start_matches(['%', '@']);
+        let prog = &ws.state.prog;
+        let func = match req.get("func").and_then(Json::as_str) {
+            Some(fname) => match prog.function_by_name(fname) {
+                Some(f) => Some(f),
+                None => {
+                    return Err(err(
+                        "unknown_function",
+                        format!("no function named '{fname}'"),
+                    ))
+                }
+            },
+            None => None,
+        };
+        for (v, val) in prog.values.iter_enumerated() {
+            if val.name == name && (func.is_none() || val.func == func) {
+                return Ok(v);
+            }
+        }
+        Err(err(
+            "unknown_value",
+            match req.get("func").and_then(Json::as_str) {
+                Some(f) => format!("no value '%{name}' in function '{f}'"),
+                None => format!("no value named '%{name}'"),
+            },
+        ))
+    }
+
+    fn op_pts(&self, req: &Json) -> Json {
+        let ws = match self.require_id(req).and_then(|id| self.workspace(id)) {
+            Ok(ws) => ws,
+            Err(e) => return e,
+        };
+        let v = match self.find_value(ws, req, "value") {
+            Ok(v) => v,
+            Err(e) => return e,
+        };
+        let prog = &ws.state.prog;
+        let mut names: Vec<&str> = ws
+            .state
+            .analysis
+            .result
+            .value_pts(v)
+            .iter()
+            .map(|o| prog.objects[o].name.as_str())
+            .collect();
+        names.sort_unstable();
+        obj(vec![
+            ("ok", Json::Bool(true)),
+            ("op", s("pts")),
+            ("value", s(format!("%{}", prog.values[v].name))),
+            ("objects", Json::Arr(names.into_iter().map(s).collect())),
+            ("degraded", Json::Bool(!ws.state.analysis.is_complete())),
+            ("fingerprint", hex(ws.state.fingerprint)),
+        ])
+    }
+
+    fn op_alias(&self, req: &Json) -> Json {
+        let ws = match self.require_id(req).and_then(|id| self.workspace(id)) {
+            Ok(ws) => ws,
+            Err(e) => return e,
+        };
+        let p = match self.find_value(ws, req, "p") {
+            Ok(v) => v,
+            Err(e) => return e,
+        };
+        let q = match self.find_value(ws, req, "q") {
+            Ok(v) => v,
+            Err(e) => return e,
+        };
+        let queries = AliasQueries::new(&ws.state.prog, &ws.state.analysis.result);
+        obj(vec![
+            ("ok", Json::Bool(true)),
+            ("op", s("alias")),
+            ("may_alias", Json::Bool(queries.may_alias(p, q))),
+            ("degraded", Json::Bool(!ws.state.analysis.is_complete())),
+            ("fingerprint", hex(ws.state.fingerprint)),
+        ])
+    }
+
+    fn op_check(&self, req: &Json) -> Json {
+        let ws = match self.require_id(req).and_then(|id| self.workspace(id)) {
+            Ok(ws) => ws,
+            Err(e) => return e,
+        };
+        let state = &ws.state;
+        let findings = run_checkers(&state.prog, &state.svfg, &FlowView(&state.analysis.result));
+        let rendered: Vec<Json> = findings
+            .iter()
+            .map(|f| {
+                obj(vec![
+                    ("checker", s(f.checker.name())),
+                    ("message", s(render_finding(&state.prog, f))),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("ok", Json::Bool(true)),
+            ("op", s("check")),
+            ("count", n(rendered.len() as f64)),
+            ("findings", Json::Arr(rendered)),
+            ("degraded", Json::Bool(!state.analysis.is_complete())),
+            ("fingerprint", hex(state.fingerprint)),
+        ])
+    }
+
+    fn op_stats(&self, req: &Json) -> Json {
+        match req.get("id").and_then(Json::as_str) {
+            None => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", s("stats")),
+                ("programs", n(self.programs.len() as f64)),
+                (
+                    "ids",
+                    Json::Arr(self.programs.keys().map(|k| s(k.clone())).collect()),
+                ),
+            ]),
+            Some(id) => {
+                let ws = match self.workspace(id) {
+                    Ok(ws) => ws,
+                    Err(e) => return e,
+                };
+                let state = &ws.state;
+                obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("op", s("stats")),
+                    ("id", s(id)),
+                    ("functions", n(state.prog.functions.len() as f64)),
+                    ("values", n(state.prog.values.len() as f64)),
+                    ("objects", n(state.prog.objects.len() as f64)),
+                    ("nodes", n(state.svfg.node_count() as f64)),
+                    ("direct_edges", n(state.svfg.direct_edge_count() as f64)),
+                    ("indirect_edges", n(state.svfg.indirect_edge_count() as f64)),
+                    ("mode", s(state.analysis.mode)),
+                    ("degraded", Json::Bool(!state.analysis.is_complete())),
+                    ("warm", Json::Bool(state.has_warm_state())),
+                    ("store_epoch", n(state.analysis.result.store_epoch() as f64)),
+                    ("fingerprint", hex(state.fingerprint)),
+                ])
+            }
+        }
+    }
+
+    fn op_unload(&mut self, req: &Json) -> Json {
+        let id = match self.require_id(req) {
+            Ok(id) => id.to_string(),
+            Err(e) => return e,
+        };
+        if self.programs.remove(&id).is_none() {
+            return err("unknown_program", format!("no program loaded as '{id}'"));
+        }
+        obj(vec![("ok", Json::Bool(true)), ("op", s("unload")), ("id", s(id))])
+    }
+
+    /// Serves requests from `reader`, writing one response line per
+    /// request to `writer`. Returns `true` if a `shutdown` was handled.
+    pub fn serve<R: BufRead, W: Write>(
+        &mut self,
+        reader: R,
+        mut writer: W,
+    ) -> std::io::Result<bool> {
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (resp, shutdown) = self.handle_line(&line);
+            writer.write_all(resp.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            if shutdown {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Serves on stdin/stdout until EOF or `shutdown`.
+    pub fn run_stdio(&mut self) -> std::io::Result<()> {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        self.serve(stdin.lock(), stdout.lock())?;
+        Ok(())
+    }
+
+    /// Serves on a Unix socket, one connection at a time, until a
+    /// connection issues `shutdown`.
+    pub fn run_unix(&mut self, path: &Path) -> std::io::Result<()> {
+        let _ = std::fs::remove_file(path);
+        let listener = std::os::unix::net::UnixListener::bind(path)?;
+        loop {
+            let (stream, _) = listener.accept()?;
+            let reader = BufReader::new(stream.try_clone()?);
+            match self.serve(reader, &stream) {
+                Ok(true) => break,
+                Ok(false) => continue,     // client hung up; keep serving
+                Err(_) => continue,        // broken pipe mid-response
+            }
+        }
+        let _ = std::fs::remove_file(path);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROG: &str = "global @g\n\nfunc @make() {\nentry:\n  %h = alloc heap H\n  ret %h\n}\n\nfunc @main() {\nentry:\n  %a = call @make()\n  store %a, @g\n  ret\n}\n";
+
+    fn load(server: &mut Server, id: &str) -> Json {
+        let req = obj(vec![("op", s("load")), ("id", s(id)), ("source", s(PROG))]);
+        let (resp, _) = server.handle_line(&req.to_line());
+        json::parse(&resp).unwrap()
+    }
+
+    #[test]
+    fn load_query_edit_flow() {
+        let mut server = Server::new();
+        let loaded = load(&mut server, "p");
+        assert_eq!(loaded.get("ok"), Some(&Json::Bool(true)));
+        let fp0 = loaded.get("fingerprint").unwrap().as_str().unwrap().to_string();
+
+        let (resp, _) = server.handle_line(
+            &obj(vec![
+                ("op", s("pts")),
+                ("id", s("p")),
+                ("func", s("main")),
+                ("value", s("%a")),
+            ])
+            .to_line(),
+        );
+        let pts = json::parse(&resp).unwrap();
+        assert_eq!(pts.get("objects"), Some(&Json::Arr(vec![s("H")])));
+
+        // A no-op edit keeps the fingerprint and dirties nothing.
+        let (resp, _) = server.handle_line(
+            &obj(vec![
+                ("op", s("edit")),
+                ("id", s("p")),
+                ("delta", Json::Arr(vec![])),
+            ])
+            .to_line(),
+        );
+        let edited = json::parse(&resp).unwrap();
+        assert_eq!(edited.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(edited.get("incremental"), Some(&Json::Bool(true)));
+        assert_eq!(edited.get("dirty_nodes").unwrap().as_u64(), Some(0));
+        assert_eq!(edited.get("fingerprint").unwrap().as_str().unwrap(), fp0);
+    }
+
+    #[test]
+    fn typed_errors_never_panic() {
+        let mut server = Server::new();
+        let mut code = |line: &str| {
+            let (resp, _) = server.handle_line(line);
+            json::parse(&resp)
+                .unwrap()
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str)
+                .map(String::from)
+                .unwrap()
+        };
+        assert_eq!(code("not json"), "bad_json");
+        assert_eq!(code("{\"no\":\"op\"}"), "bad_request");
+        assert_eq!(code("{\"op\":\"frobnicate\"}"), "unknown_op");
+        assert_eq!(code("{\"op\":\"pts\",\"id\":\"nope\",\"value\":\"x\"}"), "unknown_program");
+    }
+
+    #[test]
+    fn rejected_edit_leaves_state_untouched() {
+        let mut server = Server::new();
+        load(&mut server, "p");
+        let (resp, _) = server.handle_line(
+            &obj(vec![
+                ("op", s("edit")),
+                ("id", s("p")),
+                (
+                    "delta",
+                    Json::Arr(vec![obj(vec![
+                        ("action", s("replace")),
+                        ("name", s("make")),
+                        ("text", s("func @make() {\nentry:\n  %h = alloc heap\n")),
+                    ])]),
+                ),
+            ])
+            .to_line(),
+        );
+        let e = json::parse(&resp).unwrap();
+        assert_eq!(e.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            e.get("error").and_then(|x| x.get("code")).and_then(Json::as_str),
+            Some("parse_error")
+        );
+        // The resident program still answers queries.
+        let (resp, _) = server.handle_line(
+            &obj(vec![("op", s("stats")), ("id", s("p"))]).to_line(),
+        );
+        let stats = json::parse(&resp).unwrap();
+        assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(stats.get("warm"), Some(&Json::Bool(true)));
+    }
+}

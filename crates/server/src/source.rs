@@ -1,0 +1,205 @@
+//! Function-granularity source composition.
+//!
+//! The server's `edit` request carries deltas against *functions*, not
+//! raw text ranges. A [`SourceMap`] splits one program source into a
+//! preamble (globals, comments before the first function) plus an
+//! ordered list of function bodies, applies add/replace/remove deltas,
+//! and recomposes the full text deterministically. Re-solving always
+//! goes through the composed text and a full re-parse (the recovering
+//! `parse_program_all`), so the parser stays the single source of truth
+//! for program structure; the map is only an editing surface.
+//!
+//! Splitting rule: a function starts at a line whose first non-space
+//! characters are `func @` and ends at the next line that starts with
+//! `}`. This matches the textual IR the parser accepts and the
+//! generator emits.
+
+/// One source file split into editable function-granularity pieces.
+#[derive(Debug, Clone)]
+pub struct SourceMap {
+    /// Everything before the first function (globals, leading comments).
+    preamble: String,
+    /// `(name, text)` per function, in source order. `text` includes the
+    /// `func @name(...)` header and the closing `}` line.
+    functions: Vec<(String, String)>,
+}
+
+/// Why a delta could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// `replace`/`remove` named a function the program does not have.
+    UnknownFunction(String),
+    /// `add` named a function the program already has.
+    DuplicateFunction(String),
+    /// The delta text does not contain exactly one `func @...` body, or
+    /// its name disagrees with the delta's `name`.
+    BadBody(String),
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceError::UnknownFunction(n) => write!(f, "no function named '{n}'"),
+            SourceError::DuplicateFunction(n) => write!(f, "function '{n}' already exists"),
+            SourceError::BadBody(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// The name in a `func @name(...)` header line, if this is one.
+fn header_name(line: &str) -> Option<&str> {
+    let rest = line.trim_start().strip_prefix("func @")?;
+    let end = rest.find(|c: char| c == '(' || c.is_whitespace()).unwrap_or(rest.len());
+    Some(&rest[..end])
+}
+
+impl SourceMap {
+    /// Splits `source` into preamble and functions.
+    pub fn parse(source: &str) -> SourceMap {
+        let mut preamble = String::new();
+        let mut functions: Vec<(String, String)> = Vec::new();
+        let mut current: Option<(String, String)> = None;
+        for line in source.lines() {
+            if let Some(name) = header_name(line) {
+                if let Some(f) = current.take() {
+                    functions.push(f);
+                }
+                current = Some((name.to_string(), format!("{line}\n")));
+            } else if let Some((_, text)) = current.as_mut() {
+                text.push_str(line);
+                text.push('\n');
+                if line.starts_with('}') {
+                    functions.push(current.take().unwrap());
+                }
+            } else {
+                preamble.push_str(line);
+                preamble.push('\n');
+            }
+        }
+        if let Some(f) = current.take() {
+            functions.push(f);
+        }
+        SourceMap { preamble, functions }
+    }
+
+    /// The function names, in source order.
+    pub fn function_names(&self) -> Vec<&str> {
+        self.functions.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// The text of function `name`, if present.
+    pub fn function_text(&self, name: &str) -> Option<&str> {
+        self.functions.iter().find(|(n, _)| n == name).map(|(_, t)| t.as_str())
+    }
+
+    /// Recomposes the full source.
+    pub fn compose(&self) -> String {
+        let mut out = self.preamble.clone();
+        for (_, text) in &self.functions {
+            if !out.is_empty() && !out.ends_with("\n\n") {
+                out.push('\n');
+            }
+            out.push_str(text);
+        }
+        out
+    }
+
+    /// Validates that `text` is exactly one function body named `name`
+    /// and returns it normalised (trailing newline, surrounding blank
+    /// lines trimmed).
+    fn check_body(name: &str, text: &str) -> Result<String, SourceError> {
+        let trimmed = text.trim_matches('\n');
+        let mut headers = trimmed.lines().filter_map(header_name);
+        let Some(found) = headers.next() else {
+            return Err(SourceError::BadBody(format!(
+                "delta for '{name}' contains no 'func @...' header"
+            )));
+        };
+        if headers.next().is_some() {
+            return Err(SourceError::BadBody(format!(
+                "delta for '{name}' contains more than one function"
+            )));
+        }
+        if found != name {
+            return Err(SourceError::BadBody(format!(
+                "delta named '{name}' but its body defines '@{found}'"
+            )));
+        }
+        Ok(format!("{trimmed}\n"))
+    }
+
+    /// Replaces the body of an existing function.
+    pub fn replace(&mut self, name: &str, text: &str) -> Result<(), SourceError> {
+        let body = Self::check_body(name, text)?;
+        match self.functions.iter_mut().find(|(n, _)| n == name) {
+            Some((_, slot)) => {
+                *slot = body;
+                Ok(())
+            }
+            None => Err(SourceError::UnknownFunction(name.to_string())),
+        }
+    }
+
+    /// Appends a new function.
+    pub fn add(&mut self, name: &str, text: &str) -> Result<(), SourceError> {
+        let body = Self::check_body(name, text)?;
+        if self.functions.iter().any(|(n, _)| n == name) {
+            return Err(SourceError::DuplicateFunction(name.to_string()));
+        }
+        self.functions.push((name.to_string(), body));
+        Ok(())
+    }
+
+    /// Removes a function.
+    pub fn remove(&mut self, name: &str) -> Result<(), SourceError> {
+        let before = self.functions.len();
+        self.functions.retain(|(n, _)| n != name);
+        if self.functions.len() == before {
+            return Err(SourceError::UnknownFunction(name.to_string()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "global @g\n\nfunc @a() {\nentry:\n  ret\n}\n\nfunc @b(%x) {\nentry:\n  ret %x\n}\n";
+
+    #[test]
+    fn split_and_compose_round_trip_parses_identically() {
+        let map = SourceMap::parse(SRC);
+        assert_eq!(map.function_names(), vec!["a", "b"]);
+        let composed = map.compose();
+        let p1 = vsfs_ir::parse_program(SRC).unwrap();
+        let p2 = vsfs_ir::parse_program(&composed).unwrap();
+        assert_eq!(p1.functions.len(), p2.functions.len());
+        assert_eq!(p1.insts.len(), p2.insts.len());
+    }
+
+    #[test]
+    fn replace_add_remove() {
+        let mut map = SourceMap::parse(SRC);
+        map.replace("a", "func @a() {\nentry:\n  %p = alloc stack P\n  ret\n}").unwrap();
+        assert!(map.function_text("a").unwrap().contains("alloc stack P"));
+        map.add("c", "func @c() {\nentry:\n  ret\n}").unwrap();
+        assert_eq!(map.function_names(), vec!["a", "b", "c"]);
+        map.remove("b").unwrap();
+        assert_eq!(map.function_names(), vec!["a", "c"]);
+        assert!(vsfs_ir::parse_program(&map.compose()).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_deltas() {
+        let mut map = SourceMap::parse(SRC);
+        assert!(matches!(map.replace("zz", "func @zz() {\n}"), Err(SourceError::UnknownFunction(_))));
+        assert!(matches!(map.add("a", "func @a() {\n}"), Err(SourceError::DuplicateFunction(_))));
+        assert!(matches!(map.replace("a", "no header"), Err(SourceError::BadBody(_))));
+        assert!(matches!(
+            map.replace("a", "func @other() {\n}"),
+            Err(SourceError::BadBody(_))
+        ));
+        assert!(matches!(map.remove("zz"), Err(SourceError::UnknownFunction(_))));
+    }
+}

@@ -1,0 +1,148 @@
+//! Degradation policy of governed `edit` requests (mirrors the
+//! workspace-level `tests/degradation.rs` for the server):
+//!
+//! 1. A flow-sensitive budget trip *applies* the edit but delivers the
+//!    sound Andersen fallback — reported in the response (`degraded`,
+//!    `fallback`), never silently.
+//! 2. The resident degraded result is sound: every points-to set is a
+//!    superset of the complete flow-sensitive answer.
+//! 3. A degraded result is never cached as complete: the warm state is
+//!    dropped (`stats.warm == false`) and the next unbudgeted edit
+//!    re-solves cold to the exact complete fixpoint, fingerprint equal
+//!    to a from-scratch solve of the same text.
+//! 4. An auxiliary-stage trip *rejects* the edit with a typed error and
+//!    leaves the resident state untouched — a partial auxiliary result
+//!    would be unsound, so there is no fallback for it.
+
+use vsfs_server::json::{self, Json};
+use vsfs_server::Server;
+
+const PROG: &str = "func @main() {\nentry:\n  %p = alloc stack P\n  %a = alloc heap First\n  %b = alloc heap Second\n  store %a, %p\n  store %b, %p\n  %v = load %p\n  ret\n}\n";
+
+/// The same body with a different trailing load value name, to make a
+/// real (non-noop) edit.
+const EDITED: &str = "func @main() {\nentry:\n  %p = alloc stack P\n  %a = alloc heap First\n  %b = alloc heap Second\n  store %a, %p\n  store %b, %p\n  %w = load %p\n  ret\n}";
+
+fn request(server: &mut Server, line: &str) -> Json {
+    let (resp, _) = server.handle_line(line);
+    json::parse(&resp).unwrap_or_else(|e| panic!("unparsable response {resp}: {e}"))
+}
+
+fn quote(text: &str) -> String {
+    json::Json::Str(text.to_string()).to_line()
+}
+
+fn pts_objects(server: &mut Server, value: &str) -> Vec<String> {
+    let resp = request(
+        server,
+        &format!("{{\"op\":\"pts\",\"id\":\"p\",\"func\":\"main\",\"value\":\"{value}\"}}"),
+    );
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+    resp.get("objects")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|o| o.as_str().unwrap().to_string())
+        .collect()
+}
+
+#[test]
+fn degraded_edit_reports_fallback_and_stays_sound() {
+    let mut server = Server::new();
+    let loaded = request(
+        &mut server,
+        &format!("{{\"op\":\"load\",\"id\":\"p\",\"source\":{}}}", quote(PROG)),
+    );
+    assert_eq!(loaded.get("degraded"), Some(&Json::Bool(false)));
+    // Complete flow-sensitive: the second store strongly updates P.
+    assert_eq!(pts_objects(&mut server, "%v"), vec!["Second"]);
+
+    // Edit under an impossible step budget: applied, but degraded.
+    let resp = request(
+        &mut server,
+        &format!(
+            "{{\"op\":\"edit\",\"id\":\"p\",\"delta\":[{{\"action\":\"replace\",\"name\":\"main\",\"text\":{}}}],\"step_budget\":1}}",
+            quote(EDITED)
+        ),
+    );
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+    assert_eq!(resp.get("degraded"), Some(&Json::Bool(true)), "{resp:?}");
+    assert_eq!(
+        resp.get("fallback").and_then(Json::as_str),
+        Some("flow-insensitive-fallback"),
+        "{resp:?}"
+    );
+    assert_eq!(
+        resp.get("mode").and_then(Json::as_str),
+        Some("flow-insensitive-fallback")
+    );
+
+    // Sound but imprecise: the fallback over-approximates — the load
+    // sees both heap objects, a strict superset of the complete {Second}.
+    let objs = pts_objects(&mut server, "%w");
+    assert_eq!(objs, vec!["First", "Second"], "fallback must over-approximate");
+    let q = request(&mut server, "{\"op\":\"pts\",\"id\":\"p\",\"func\":\"main\",\"value\":\"%w\"}");
+    assert_eq!(q.get("degraded"), Some(&Json::Bool(true)), "queries must flag degradation");
+
+    // Never cached as complete: the warm state is gone.
+    let stats = request(&mut server, "{\"op\":\"stats\",\"id\":\"p\"}");
+    assert_eq!(stats.get("warm"), Some(&Json::Bool(false)), "{stats:?}");
+    assert_eq!(stats.get("degraded"), Some(&Json::Bool(true)));
+
+    // An unbudgeted follow-up (no-op delta) re-solves cold to the exact
+    // complete fixpoint.
+    let resp = request(&mut server, "{\"op\":\"edit\",\"id\":\"p\",\"delta\":[]}");
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(resp.get("degraded"), Some(&Json::Bool(false)));
+    assert_eq!(
+        resp.get("incremental"),
+        Some(&Json::Bool(false)),
+        "no warm state survives a degraded solve, so this must be cold"
+    );
+    assert_eq!(pts_objects(&mut server, "%w"), vec!["Second"]);
+
+    // Fingerprint equals a from-scratch load of the same text elsewhere.
+    let mut fresh = Server::new();
+    let report = fresh
+        .load_source("q", &format!("{EDITED}\n"))
+        .expect("edited text solves");
+    assert_eq!(
+        resp.get("fingerprint").and_then(Json::as_str),
+        Some(format!("{:016x}", report.fingerprint).as_str()),
+        "recovered state must equal a from-scratch solve"
+    );
+}
+
+#[test]
+fn aux_budget_trip_rejects_the_edit_and_keeps_state() {
+    let mut server = Server::new();
+    let loaded = request(
+        &mut server,
+        &format!("{{\"op\":\"load\",\"id\":\"p\",\"source\":{}}}", quote(PROG)),
+    );
+    let fp0 = loaded.get("fingerprint").and_then(Json::as_str).unwrap().to_string();
+
+    // A zero deadline cancels the auxiliary stage at its first
+    // checkpoint: typed error, no fallback, nothing applied.
+    let resp = request(
+        &mut server,
+        &format!(
+            "{{\"op\":\"edit\",\"id\":\"p\",\"delta\":[{{\"action\":\"replace\",\"name\":\"main\",\"text\":{}}}],\"time_budget\":0.0}}",
+            quote(EDITED)
+        ),
+    );
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{resp:?}");
+    assert_eq!(
+        resp.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+        Some("aux_budget"),
+        "{resp:?}"
+    );
+
+    // Resident state untouched: old fingerprint, still warm, still the
+    // pre-edit (complete) answer.
+    let stats = request(&mut server, "{\"op\":\"stats\",\"id\":\"p\"}");
+    assert_eq!(stats.get("fingerprint").and_then(Json::as_str), Some(fp0.as_str()));
+    assert_eq!(stats.get("warm"), Some(&Json::Bool(true)));
+    assert_eq!(stats.get("degraded"), Some(&Json::Bool(false)));
+    assert_eq!(pts_objects(&mut server, "%v"), vec!["Second"]);
+}

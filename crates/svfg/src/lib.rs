@@ -43,8 +43,10 @@
 
 pub mod build;
 pub mod dot;
+pub mod stable;
 
 pub use dot::{DotAnnotations, DotRole};
+pub use stable::StableKeys;
 
 use std::collections::HashMap;
 use vsfs_adt::{define_index, IndexVec};

@@ -1,0 +1,201 @@
+//! Deterministic edit-delta sequences over generated workloads.
+//!
+//! An *edit script* is a base program plus a sequence of
+//! function-granularity replacement steps, produced by re-salting one
+//! function's forked RNG stream (see [`crate::gen::generate_edited`]).
+//! Each step carries both the replacement function text (what a client
+//! would send to the analysis server) and the full post-edit program
+//! (what a from-scratch solve of the same state parses), so the property
+//! suite and the bench can compare incremental against cold results on
+//! byte-identical sources.
+//!
+//! Only replacement edits are generated here: removing a random function
+//! from a generated program dangles its call sites, and additions need
+//! call-site plumbing to be observable. Both are exercised by the
+//! server's protocol tests on hand-written programs instead.
+
+use crate::gen::{generate_edited, WorkloadConfig};
+use vsfs_ir::Program;
+use vsfs_testkit::Rng;
+
+/// One replacement edit: function `name` gets `text` as its new body.
+#[derive(Debug)]
+pub struct EditStep {
+    /// Name of the edited function (`f<i>`).
+    pub name: String,
+    /// The replacement function text, `func @name(...) { ... }`.
+    pub text: String,
+    /// The full program after this edit (for from-scratch comparison).
+    pub program: Program,
+}
+
+/// A base program plus a deterministic sequence of replacement edits.
+#[derive(Debug)]
+pub struct EditScript {
+    /// The pre-edit program.
+    pub base: Program,
+    /// Edits, to be applied in order.
+    pub steps: Vec<EditStep>,
+}
+
+/// Builds an edit script of `steps` replacement edits.
+///
+/// `config.edit_fraction` bounds which functions are eligible: the
+/// eligible set is `ceil(edit_fraction * functions)` functions spread
+/// evenly across the program (never `main`, whose body carries the
+/// lowered global initialisers). The sequence is fully determined by
+/// `(config, edit_seed, steps)`.
+///
+/// # Panics
+///
+/// Panics if `config.edit_fraction` is not positive — edit scripts
+/// require forked per-function RNG streams.
+pub fn edit_script(config: &WorkloadConfig, edit_seed: u64, steps: usize) -> EditScript {
+    edit_script_with(config, edit_seed, steps, false)
+}
+
+/// Like [`edit_script`], but every step is a *local* edit: the chosen
+/// function keeps its baseline body and gains a private, non-escaping
+/// epilogue (see `gen`'s salt-parity rule) instead of being rewritten
+/// wholesale. This is the realistic save-and-reanalyze workload for
+/// incremental benchmarks — a rewrite renames every object and call in
+/// the function, which no incremental analysis can absorb locally.
+pub fn edit_script_local(config: &WorkloadConfig, edit_seed: u64, steps: usize) -> EditScript {
+    edit_script_with(config, edit_seed, steps, true)
+}
+
+fn edit_script_with(
+    config: &WorkloadConfig,
+    edit_seed: u64,
+    steps: usize,
+    local: bool,
+) -> EditScript {
+    assert!(
+        config.edit_fraction > 0.0,
+        "edit_script requires edit_fraction > 0.0 (forked per-function streams)"
+    );
+    let n = config.functions;
+    assert!(n > 0, "edit_script needs at least one function besides main");
+    let eligible_count =
+        ((config.edit_fraction * n as f64).ceil() as usize).clamp(1, n);
+    // Spread eligible indices across the whole function range so edits
+    // hit different call-graph depths.
+    let eligible: Vec<usize> =
+        (0..eligible_count).map(|k| k * n / eligible_count).collect();
+
+    let mut rng = Rng::seed_from_u64(edit_seed);
+    let mut salts = vec![0u64; n];
+    let base = generate_edited(config, &salts);
+    let mut out = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let idx = eligible[rng.gen_range(0..eligible.len())];
+        // Salt parity selects the edit kind (see `gen::build_body`):
+        // odd ⇒ full-body rewrite, even non-zero ⇒ local epilogue.
+        // Either way the salt is never zero, so every step really
+        // changes the body's text.
+        let raw = rng.next_u64();
+        salts[idx] = if local { (raw | 1) << 1 } else { raw | 1 };
+        let program = generate_edited(config, &salts);
+        let name = format!("f{idx}");
+        let text = function_text(&program.to_string(), &name)
+            .expect("edited function prints in the program");
+        out.push(EditStep { name, text, program });
+    }
+    EditScript { base, steps: out }
+}
+
+/// Extracts the text of `func @name(...) { ... }` from a printed
+/// program, including the closing brace.
+pub fn function_text(program_text: &str, name: &str) -> Option<String> {
+    let mut body = String::new();
+    let mut inside = false;
+    for line in program_text.lines() {
+        if let Some(rest) = line.strip_prefix("func @") {
+            let fname = rest.split(['(', ' ']).next().unwrap_or("");
+            inside = fname == name;
+        }
+        if inside {
+            body.push_str(line);
+            body.push('\n');
+            if line.starts_with('}') {
+                return Some(body);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WorkloadConfig {
+        WorkloadConfig { seed: 11, edit_fraction: 0.5, ..WorkloadConfig::small() }
+    }
+
+    #[test]
+    fn scripts_are_deterministic_and_verify() {
+        let a = edit_script(&cfg(), 3, 4);
+        let b = edit_script(&cfg(), 3, 4);
+        assert_eq!(a.base.to_string(), b.base.to_string());
+        assert_eq!(a.steps.len(), 4);
+        for (sa, sb) in a.steps.iter().zip(&b.steps) {
+            assert_eq!(sa.name, sb.name);
+            assert_eq!(sa.text, sb.text);
+            assert_eq!(sa.program.to_string(), sb.program.to_string());
+            vsfs_ir::verify::verify(&sa.program).unwrap();
+        }
+    }
+
+    #[test]
+    fn each_step_changes_exactly_the_named_function() {
+        let script = edit_script(&cfg(), 9, 3);
+        let mut prev = script.base.to_string();
+        for step in &script.steps {
+            let next = step.program.to_string();
+            assert_ne!(prev, next, "edit to {} must change the program", step.name);
+            // The replacement text is the named function's text in the
+            // post-edit program, and differs from the pre-edit text.
+            assert_eq!(function_text(&next, &step.name).unwrap(), step.text);
+            assert_ne!(function_text(&prev, &step.name).unwrap(), step.text);
+            // Splicing the text into the previous source reproduces the
+            // post-edit source exactly.
+            let spliced = prev.replace(
+                &function_text(&prev, &step.name).unwrap(),
+                &step.text,
+            );
+            assert_eq!(spliced, next);
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn local_scripts_append_epilogues_without_rewriting() {
+        let script = edit_script_local(&cfg(), 9, 3);
+        let base = script.base.to_string();
+        for step in &script.steps {
+            vsfs_ir::verify::verify(&step.program).unwrap();
+            let before = function_text(&base, &step.name).unwrap();
+            // A local edit extends the baseline body: every original
+            // line survives, and the new lines are the private epilogue.
+            assert_ne!(step.text, before, "a local edit must change the text");
+            let old_lines: Vec<&str> =
+                before.lines().filter(|l| l.trim() != "ret" && !l.trim().starts_with("ret ")).collect();
+            for line in &old_lines {
+                assert!(
+                    step.text.contains(line),
+                    "local edit to @{} must keep baseline line {line:?}",
+                    step.name
+                );
+            }
+            assert!(step.text.contains("alloc"), "epilogue allocates");
+            assert!(step.text.contains("= alloc heap E") || step.text.contains("= alloc stack E"));
+        }
+    }
+
+    #[test]
+    fn main_is_never_edited() {
+        let script = edit_script(&cfg(), 21, 8);
+        assert!(script.steps.iter().all(|s| s.name != "main"));
+    }
+}

@@ -70,6 +70,14 @@ pub struct WorkloadConfig {
     /// Probability each block fill introduces a possibly-null pointer
     /// into the value pool (checker workloads).
     pub null_fraction: f64,
+    /// Fraction of functions eligible for edit deltas (see
+    /// [`crate::edits`]). When positive, each function body is generated
+    /// from a *forked* RNG stream so that re-salting one function (via
+    /// [`generate_edited`]) regenerates only that body and leaves every
+    /// other function's text byte-identical. `0.0` keeps the original
+    /// single-stream generation, so pre-existing workloads stay
+    /// bit-identical.
+    pub edit_fraction: f64,
 }
 
 impl WorkloadConfig {
@@ -97,6 +105,7 @@ impl WorkloadConfig {
             deref_chain: 0.2,
             free_fraction: 0.0,
             null_fraction: 0.0,
+            edit_fraction: 0.0,
         }
     }
 
@@ -109,8 +118,19 @@ impl WorkloadConfig {
 
 /// Generates a verified-well-formed program from `config`.
 pub fn generate(config: &WorkloadConfig) -> Program {
+    generate_edited(config, &[])
+}
+
+/// Generates a program with per-function edit salts applied.
+///
+/// `salts[i]` perturbs the forked RNG stream of function `i` (index
+/// `config.functions` is `main`); missing or zero salts leave a function
+/// at its baseline body. Requires `edit_fraction > 0.0` to have any
+/// effect — with the knob off, bodies share one RNG stream and salts are
+/// ignored, preserving the historical byte-identical output.
+pub fn generate_edited(config: &WorkloadConfig, salts: &[u64]) -> Program {
     let mut pb = ProgramBuilder::new();
-    let mut state = GenState::new(config);
+    let mut state = GenState::new(config, salts);
     state.declare(&mut pb);
     let funcs = state.funcs.clone();
     for (i, f) in funcs.iter().enumerate() {
@@ -163,6 +183,8 @@ const COMMUNITY: usize = 8;
 
 struct GenState<'c> {
     cfg: &'c WorkloadConfig,
+    /// Per-function edit salts (see [`generate_edited`]).
+    salts: &'c [u64],
     rng: Rng,
     funcs: Vec<FuncId>,
     main: FuncId,
@@ -189,9 +211,10 @@ fn pick<T: Copy>(rng: &mut Rng, pool: &[T]) -> Option<T> {
 }
 
 impl<'c> GenState<'c> {
-    fn new(cfg: &'c WorkloadConfig) -> Self {
+    fn new(cfg: &'c WorkloadConfig, salts: &'c [u64]) -> Self {
         GenState {
             cfg,
+            salts,
             rng: Rng::seed_from_u64(cfg.seed),
             funcs: Vec::new(),
             main: FuncId::new(0),
@@ -271,6 +294,79 @@ impl<'c> GenState<'c> {
     }
 
     fn build_body(&mut self, fb: &mut FunctionBuilder<'_>, index: usize, is_main: bool) {
+        // Edit mode: each body draws from a forked stream (one draw from
+        // the main stream per function, regardless of salt values), and
+        // the name counter restarts per function. Re-salting function i
+        // then changes only that body's text; names stay unique within a
+        // function, which is all the IR requires.
+        //
+        // The salt's parity selects the edit's violence: an odd salt
+        // re-seeds the whole body stream (a rewrite — every name,
+        // allocation, and call in the function changes), an even
+        // non-zero salt keeps the baseline body and appends a private
+        // epilogue (the realistic "developer touches a few lines" edit).
+        let frame = if self.cfg.edit_fraction > 0.0 {
+            let fork_seed = self.rng.next_u64();
+            let salt = self.salts.get(index).copied().unwrap_or(0);
+            let local = salt != 0 && salt % 2 == 0;
+            let seed =
+                if local { fork_seed } else { fork_seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) };
+            Some((
+                std::mem::replace(&mut self.rng, Rng::seed_from_u64(seed)),
+                std::mem::replace(&mut self.counter, 0),
+                if local { salt } else { 0 },
+            ))
+        } else {
+            None
+        };
+        let ret = self.build_body_inner(fb, index, is_main);
+        if let Some((_, _, salt)) = frame {
+            if salt != 0 {
+                self.emit_epilogue(fb, salt);
+            }
+        }
+        fb.ret(ret);
+        if let Some((rng, counter, _)) = frame {
+            self.rng = rng;
+            self.counter = counter;
+        }
+    }
+
+    /// Appends a private, non-escaping epilogue: a few fresh allocations
+    /// plus stores and loads among them only. The new values never enter
+    /// the general pool (no ret, no call argument, no global store), so
+    /// the edit is invisible outside the function — exactly the kind of
+    /// change an incremental analysis should absorb locally. Contents are
+    /// drawn from the salt's own stream, and object names embed the salt,
+    /// so distinct salts always produce distinct text.
+    fn emit_epilogue(&mut self, fb: &mut FunctionBuilder<'_>, salt: u64) {
+        let mut erng = Rng::seed_from_u64(salt);
+        let cells: Vec<ValueId> = (0..1 + erng.gen_range(0usize..3))
+            .map(|k| {
+                let heap = erng.gen_bool(0.5);
+                let vname = format!("e{k}");
+                let oname = format!("E{salt:x}_{k}");
+                if heap {
+                    fb.alloc_heap(&vname, &oname, 1, false)
+                } else {
+                    fb.alloc_stack(&vname, &oname, 1, false)
+                }
+            })
+            .collect();
+        for k in 0..cells.len() {
+            let addr = cells[erng.gen_range(0..cells.len())];
+            let val = cells[erng.gen_range(0..cells.len())];
+            fb.store(val, addr);
+            let _ = fb.load(&format!("el{k}"), addr);
+        }
+    }
+
+    fn build_body_inner(
+        &mut self,
+        fb: &mut FunctionBuilder<'_>,
+        index: usize,
+        is_main: bool,
+    ) -> Option<ValueId> {
         self.cur_func_index = index;
         let entry = fb.block("entry");
         fb.switch_to(entry);
@@ -349,8 +445,11 @@ impl<'c> GenState<'c> {
             }
         }
 
-        let ret = if is_main { None } else { pick(&mut self.rng, &pool.all) };
-        fb.ret(ret);
+        if is_main {
+            None
+        } else {
+            pick(&mut self.rng, &pool.all)
+        }
     }
 
     /// Emits the instruction mix of one block, growing `pool`.
@@ -622,6 +721,59 @@ mod tests {
             ..WorkloadConfig::small()
         });
         assert!(heavy.inst_count() > base.inst_count());
+    }
+
+    #[test]
+    fn edit_mode_resalt_changes_only_that_function() {
+        let cfg = WorkloadConfig { seed: 77, edit_fraction: 0.5, ..WorkloadConfig::small() };
+        let base = generate_edited(&cfg, &[]).to_string();
+        let mut salts = vec![0u64; cfg.functions];
+        salts[2] = 0xdead_beef;
+        let edited = generate_edited(&cfg, &salts).to_string();
+        assert_ne!(base, edited, "salting f2 must change its body");
+        // Every function except f2 keeps byte-identical text.
+        let split = |s: &str| {
+            let mut chunks: Vec<(String, String)> = Vec::new();
+            let mut cur: Option<(String, String)> = None;
+            for line in s.lines() {
+                if let Some(rest) = line.strip_prefix("func @") {
+                    let name = rest.split(['(', ' ']).next().unwrap().to_string();
+                    cur = Some((name, String::new()));
+                }
+                if let Some((_, body)) = cur.as_mut() {
+                    body.push_str(line);
+                    body.push('\n');
+                }
+                if line.starts_with('}') {
+                    if let Some(c) = cur.take() {
+                        chunks.push(c);
+                    }
+                }
+            }
+            chunks
+        };
+        let a = split(&base);
+        let b = split(&edited);
+        assert_eq!(a.len(), b.len());
+        for ((an, at), (bn, bt)) in a.iter().zip(&b) {
+            assert_eq!(an, bn);
+            if an == "f2" {
+                assert_ne!(at, bt);
+            } else {
+                assert_eq!(at, bt, "function {an} changed by an edit to f2");
+            }
+        }
+        // Salted generation still verifies.
+        vsfs_ir::verify::verify(&generate_edited(&cfg, &salts)).unwrap();
+    }
+
+    #[test]
+    fn edit_mode_off_ignores_salts_and_keeps_stream() {
+        let cfg = WorkloadConfig { seed: 5, ..WorkloadConfig::small() };
+        assert_eq!(cfg.edit_fraction, 0.0);
+        let a = generate(&cfg).to_string();
+        let b = generate_edited(&cfg, &[7, 7, 7]).to_string();
+        assert_eq!(a, b, "salts must be inert when edit_fraction is 0");
     }
 
     #[test]

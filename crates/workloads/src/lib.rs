@@ -24,8 +24,10 @@
 //! ```
 
 pub mod corpus;
+pub mod edits;
 pub mod gen;
 pub mod suite;
 
-pub use gen::{generate, WorkloadConfig};
+pub use edits::{edit_script, edit_script_local, EditScript, EditStep};
+pub use gen::{generate, generate_edited, WorkloadConfig};
 pub use suite::{suite, BenchmarkSpec};

@@ -60,6 +60,7 @@ fn config(seed: u64, functions: usize, segments: usize, profile: Profile) -> Wor
         deref_chain: 0.2,
         free_fraction: 0.0,
         null_fraction: 0.0,
+        edit_fraction: 0.0,
     };
     match profile {
         Profile::Light => WorkloadConfig {

@@ -104,6 +104,14 @@ fi
 echo "ok: tiny step budget under topo order degrades soundly with exit 2"
 
 echo
+echo "== incremental equivalence: differential edit-sequence property suite =="
+VSFS_PROP_CASES=8 cargo test --release -q --test incremental_equivalence
+
+echo
+echo "== incremental gate: median edit speedup >= 5x vs from-scratch =="
+cargo run --release -p vsfs-bench --bin incremental_bench -- ninja,bake --edits 3 --gate 5
+
+echo
 echo "== parallel scaling record (writes results/BENCH_parallel.json) =="
 cargo run --release -p vsfs-bench --bin parallel_scaling -- lynx --runs 1
 

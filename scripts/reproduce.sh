@@ -34,5 +34,9 @@ echo "== Scheduling: FIFO vs topological order, difference propagation =="
 ./target/release/scheduling
 
 echo
+echo "== Incremental: edit re-solve vs from-scratch (writes results/BENCH_incremental.json) =="
+./target/release/incremental_bench
+
+echo
 echo "== Micro-benches (phases, versioning scaling, ablations) =="
 cargo bench -p vsfs-bench
