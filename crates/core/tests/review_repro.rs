@@ -1,0 +1,57 @@
+//! Review scratch: indirect call with clean call site, dirty callee whose
+//! return set shrinks. Incremental must match from-scratch.
+
+use vsfs_core::incremental::{resolve_edit, solve_program, IncrementalOptions};
+
+const BASE: &str = r#"
+global @ga
+global @gb
+global @fp
+ginit @fp, @pick
+
+func @pick(%t) {
+entry:
+  %a = alloc heap A
+  %b = alloc heap B
+  store %a, @ga
+  store %b, @gb
+  %s = alloc stack S
+  store %a, %s
+  store %b, %s
+  %r = load %s
+  ret %r
+}
+
+func @main() {
+entry:
+  %x = alloc heap X
+  %f = load @fp
+  %res = icall %f(%x)
+  ret
+}
+"#;
+
+#[test]
+fn shrink_return_of_indirect_callee_matches_cold() {
+    let (state, _) = solve_program(BASE, IncrementalOptions::default(), None, None).unwrap();
+    assert!(state.has_warm_state());
+    let edited = BASE.replace("  store %b, %s\n", "");
+    let (inc, rep) =
+        resolve_edit(&state, &edited, IncrementalOptions::default(), None, None).unwrap();
+    let (cold, crep) = solve_program(&edited, IncrementalOptions::default(), None, None).unwrap();
+    eprintln!(
+        "incremental: {} (dirty {}/{}), cold: {}",
+        rep.fingerprint, rep.dirty_nodes, rep.total_nodes, crep.fingerprint
+    );
+    let res = inc.prog.values.iter_enumerated().find(|(_, v)| v.name == "res").unwrap().0;
+    eprintln!(
+        "inc pts(res): {:?}",
+        inc.analysis.result.value_pts(res).iter().collect::<Vec<_>>()
+    );
+    let cres = cold.prog.values.iter_enumerated().find(|(_, v)| v.name == "res").unwrap().0;
+    eprintln!(
+        "cold pts(res): {:?}",
+        cold.analysis.result.value_pts(cres).iter().collect::<Vec<_>>()
+    );
+    assert_eq!(rep.fingerprint, crep.fingerprint, "incremental diverged from cold solve");
+}
