@@ -147,6 +147,19 @@ impl CancelToken {
     pub fn is_cancelled(&self) -> bool {
         self.cause().is_some()
     }
+
+    /// The deadline this token enforces, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Wall-clock time left before the deadline: `None` for no deadline,
+    /// `Some(ZERO)` once it has passed. Lets request handlers derive
+    /// their own timeouts (e.g. socket read timeouts) from the same
+    /// budget that governs the solve.
+    pub fn time_left(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
 }
 
 /// A worker task that panicked, caught and reported instead of aborting

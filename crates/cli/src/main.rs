@@ -4,11 +4,16 @@
 //! ```text
 //! vsfs [OPTIONS] <program.vir | --corpus NAME | --workload NAME>
 //! vsfs serve [--socket PATH] [--corpus DIR] [--order ORDER] [--jobs N]
+//!            [--snapshot-dir DIR] [--workers N] [--queue N]
+//!            [--deadline SECS] [--max-request-bytes N]
 //!
 //! `serve` starts the long-running incremental analysis server (see
 //! `vsfs-server`): programs stay resident, `edit` requests re-solve
 //! only the invalidated SVFG region, and every response carries a
-//! deterministic result fingerprint.
+//! deterministic result fingerprint. Panicking requests quarantine only
+//! their workspace, `--snapshot-dir` persists and restores solved warm
+//! state across restarts, and socket serving is concurrent behind a
+//! bounded admission queue that sheds overload with typed errors.
 //!
 //! Analyses:
 //!   --ander            Andersen's flow-insensitive analysis only
@@ -336,24 +341,39 @@ fn main() -> ExitCode {
     }
 }
 
-/// `vsfs serve [--socket PATH] [--corpus DIR] [--order ORDER] [--jobs N]`
-/// — the long-running incremental analysis server (line-delimited JSON
-/// on stdin/stdout, or on a Unix socket with `--socket`). `--corpus DIR`
-/// preloads every `*.vir` file in `DIR` as a resident program keyed by
-/// its file stem. See `vsfs-server` for the protocol.
+/// `vsfs serve [--socket PATH] [--corpus DIR] [--order ORDER] [--jobs N]
+/// [--snapshot-dir DIR] [--workers N] [--queue N] [--deadline SECS]
+/// [--max-request-bytes N]` — the long-running incremental analysis
+/// server (line-delimited JSON on stdin/stdout, or on a Unix socket with
+/// `--socket`). `--corpus DIR` preloads every `*.vir` file in `DIR` as a
+/// resident program keyed by its file stem. `--snapshot-dir DIR`
+/// persists every completed solve to a checksummed warm-state snapshot
+/// and restores all of them at startup instead of cold-solving. See
+/// `vsfs-server` for the protocol and robustness model.
 fn run_serve(args: Vec<String>) -> ExitCode {
     let mut socket: Option<std::path::PathBuf> = None;
     let mut corpus: Option<std::path::PathBuf> = None;
-    let mut opts = vsfs_core::IncrementalOptions::default();
+    let mut config = vsfs_server::ServerConfig::default();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--socket" => socket = Some(flag_value("--socket", it.next())),
             "--corpus" => corpus = Some(flag_value("--corpus", it.next())),
-            "--jobs" => opts.jobs = flag_value("--jobs", it.next()),
+            "--jobs" => config.opts.jobs = flag_value("--jobs", it.next()),
+            "--snapshot-dir" => {
+                config.snapshot_dir = Some(flag_value("--snapshot-dir", it.next()))
+            }
+            "--workers" => config.workers = flag_value("--workers", it.next()),
+            "--queue" => config.queue_depth = flag_value("--queue", it.next()),
+            "--deadline" => {
+                config.default_time_budget = Some(flag_value("--deadline", it.next()))
+            }
+            "--max-request-bytes" => {
+                config.max_request_bytes = flag_value("--max-request-bytes", it.next())
+            }
             "--order" => {
                 let name: String = flag_value("--order", it.next());
-                opts.order = match SolveOrder::parse(&name) {
+                config.opts.order = match SolveOrder::parse(&name) {
                     Some(o) => o,
                     None => {
                         eprintln!("error: unknown --order '{name}' (fifo|topo)");
@@ -367,7 +387,10 @@ fn run_serve(args: Vec<String>) -> ExitCode {
             }
         }
     }
-    let mut server = vsfs_server::Server::with_options(opts);
+    let mut server = vsfs_server::Server::with_config(config);
+    for line in server.restore_snapshots() {
+        eprintln!("snapshot {line}");
+    }
     if let Some(dir) = corpus {
         let mut entries: Vec<std::path::PathBuf> = match std::fs::read_dir(&dir) {
             Ok(rd) => rd
@@ -391,8 +414,10 @@ fn run_serve(args: Vec<String>) -> ExitCode {
             };
             match server.load_source(&id, &source) {
                 Ok(report) => eprintln!(
-                    "loaded {id}: {} nodes, fingerprint {:016x}",
-                    report.total_nodes, report.fingerprint
+                    "loaded {id}: {} nodes, fingerprint {:016x}{}",
+                    report.total_nodes,
+                    report.fingerprint,
+                    if report.restored { " (snapshot restore)" } else { "" }
                 ),
                 Err(e) => {
                     eprintln!("error: corpus program {id}: {e}");

@@ -272,3 +272,246 @@ fn corpus_preload_and_unix_socket() {
     assert!(status.success());
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn panic_quarantines_one_workspace_and_the_daemon_survives() {
+    let mut d = Daemon::spawn(&[]);
+    for id in ["a", "b"] {
+        let resp = d.request(&format!(
+            "{{\"op\":\"load\",\"id\":\"{id}\",\"source\":{}}}",
+            quote(PROG)
+        ));
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+    }
+
+    // Fault drill: the request panics inside the handler...
+    let resp = d.request("{\"op\":\"debug_panic\",\"id\":\"a\"}");
+    assert!(resp.contains("\"code\":\"internal_fault\""), "{resp}");
+    assert!(resp.contains("\"quarantined\":true"), "{resp}");
+
+    // ...the process is alive, 'a' is quarantined with a typed error...
+    let resp = d.request("{\"op\":\"pts\",\"id\":\"a\",\"func\":\"main\",\"value\":\"%b\"}");
+    assert!(resp.contains("\"code\":\"workspace_quarantined\""), "{resp}");
+
+    // ...and 'b' still answers real queries.
+    let resp = d.request("{\"op\":\"pts\",\"id\":\"b\",\"func\":\"main\",\"value\":\"%b\"}");
+    assert!(resp.contains("\"objects\":[\"H\"]"), "{resp}");
+
+    // A fresh load re-admits 'a'.
+    let resp = d.request(&format!(
+        "{{\"op\":\"load\",\"id\":\"a\",\"source\":{}}}",
+        quote(PROG)
+    ));
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    let resp = d.request("{\"op\":\"pts\",\"id\":\"a\",\"func\":\"main\",\"value\":\"%b\"}");
+    assert!(resp.contains("\"objects\":[\"H\"]"), "{resp}");
+    d.shutdown();
+}
+
+/// Drives one fuzz session over an open pair of read/write halves,
+/// asserting one well-formed response per non-blank line with an error
+/// code inside the server's closed taxonomy. Returns responses.
+fn drive_fuzz_session<W: Write, R: BufRead>(
+    seed: u64,
+    cases: usize,
+    max_line: usize,
+    writer: &mut W,
+    reader: &mut R,
+) -> Vec<String> {
+    let mut fuzzer = vsfs_testkit::ProtocolFuzzer::new(seed, max_line);
+    let mut responses = Vec::new();
+    for case in fuzzer.session(cases) {
+        writer.write_all(&case.line).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        // Blank lines are skipped by the server: no response expected.
+        if String::from_utf8_lossy(&case.line).trim().is_empty() {
+            continue;
+        }
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("read response");
+        assert!(
+            !resp.is_empty(),
+            "seed {seed}: daemon died on {:?} line {:?}",
+            case.kind,
+            String::from_utf8_lossy(&case.line)
+        );
+        assert!(
+            resp.starts_with("{\"ok\":"),
+            "seed {seed}: unparseable response {resp} to {:?}",
+            case.kind
+        );
+        if resp.contains("\"ok\":false") {
+            let code = field(&resp, "code").trim_matches('"').to_string();
+            assert!(
+                vsfs_server::ERROR_CODES.contains(&code.as_str()),
+                "seed {seed}: code '{code}' outside the taxonomy ({resp})"
+            );
+        }
+        responses.push(resp.trim_end().to_string());
+    }
+    responses
+}
+
+#[test]
+fn fuzz_sessions_over_stdio_never_kill_the_daemon() {
+    for seed in [1u64, 2, 3] {
+        let mut d = Daemon::spawn(&["--max-request-bytes", "4096"]);
+        drive_fuzz_session(seed, 120, 4096, &mut d.stdin, &mut d.stdout);
+        // Sessions are deterministic per seed: same seed, same lines.
+        let a = {
+            let mut f = vsfs_testkit::ProtocolFuzzer::new(seed, 4096);
+            f.session(120).into_iter().map(|c| c.line).collect::<Vec<_>>()
+        };
+        let b = {
+            let mut f = vsfs_testkit::ProtocolFuzzer::new(seed, 4096);
+            f.session(120).into_iter().map(|c| c.line).collect::<Vec<_>>()
+        };
+        assert_eq!(a, b);
+        // The daemon survived the whole session.
+        assert!(d.request("{\"op\":\"ping\"}").contains("\"ok\":true"));
+        d.shutdown();
+    }
+}
+
+#[test]
+fn fuzz_sessions_over_unix_socket_never_leak_socket_files() {
+    use std::os::unix::net::UnixStream;
+
+    let dir = std::env::temp_dir().join(format!("vsfs_fuzz_sock_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("fuzz.sock");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_vsfs"))
+        .args(["serve", "--max-request-bytes", "4096", "--socket"])
+        .arg(&sock)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    let mut tries = 0;
+    while !sock.exists() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        tries += 1;
+        assert!(tries < 200, "socket never appeared");
+    }
+
+    for seed in [11u64, 12, 13] {
+        let stream = UnixStream::connect(&sock).expect("connect");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        drive_fuzz_session(seed, 120, 4096, &mut writer, &mut reader);
+    }
+
+    // Still alive; shut down and verify the socket file is cleaned up.
+    let stream = UnixStream::connect(&sock).expect("connect after fuzzing");
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{{\"op\":\"shutdown\"}}").unwrap();
+    let mut resp = String::new();
+    reader.read_line(&mut resp).unwrap();
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success());
+    assert!(!sock.exists(), "socket file leaked after shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn socket_lifecycle_live_probe_stale_reclaim_and_refusal() {
+    use std::os::unix::net::UnixStream;
+
+    let dir = std::env::temp_dir().join(format!("vsfs_sock_life_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("life.sock");
+
+    let spawn_on = |sock: &std::path::Path| {
+        Command::new(env!("CARGO_BIN_EXE_vsfs"))
+            .args(["serve", "--socket"])
+            .arg(sock)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("daemon spawns")
+    };
+    let wait_for = |sock: &std::path::Path| {
+        let mut tries = 0;
+        while UnixStream::connect(sock).is_err() {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            tries += 1;
+            assert!(tries < 200, "socket never came up");
+        }
+    };
+    let roundtrip = |sock: &std::path::Path, line: &str| {
+        let stream = UnixStream::connect(sock).expect("connect");
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, "{line}").unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        resp.trim_end().to_string()
+    };
+
+    // A second daemon must refuse to displace a live one.
+    let mut first = spawn_on(&sock);
+    wait_for(&sock);
+    let mut second = spawn_on(&sock);
+    let status = second.wait().expect("second daemon exits");
+    assert!(!status.success(), "second daemon must refuse a live socket");
+    assert!(roundtrip(&sock, "{\"op\":\"ping\"}").contains("\"ok\":true"));
+
+    // SIGKILL leaves a stale socket file; a fresh daemon reclaims it.
+    first.kill().unwrap();
+    first.wait().unwrap();
+    assert!(sock.exists(), "SIGKILL should leave the socket file behind");
+    let mut third = spawn_on(&sock);
+    wait_for(&sock);
+    assert!(roundtrip(&sock, "{\"op\":\"ping\"}").contains("\"ok\":true"));
+    assert!(roundtrip(&sock, "{\"op\":\"shutdown\"}").contains("\"ok\":true"));
+    assert!(third.wait().unwrap().success());
+    assert!(!sock.exists(), "socket removed on clean shutdown");
+
+    // A non-socket file at the path is never deleted.
+    std::fs::write(&sock, b"precious data").unwrap();
+    let mut fourth = spawn_on(&sock);
+    let status = fourth.wait().expect("fourth daemon exits");
+    assert!(!status.success(), "must refuse to replace a regular file");
+    assert_eq!(std::fs::read(&sock).unwrap(), b"precious data");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshots_survive_daemon_restarts() {
+    let dir = std::env::temp_dir().join(format!("vsfs_snap_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap_arg = dir.to_str().unwrap().to_string();
+
+    let mut d = Daemon::spawn(&["--snapshot-dir", &snap_arg]);
+    let resp = d.request(&format!(
+        "{{\"op\":\"load\",\"id\":\"p\",\"source\":{}}}",
+        quote(PROG)
+    ));
+    assert!(resp.contains("\"restored\":false"), "{resp}");
+    let fp0 = field(&resp, "fingerprint").to_string();
+    d.shutdown();
+
+    // A restarted daemon restores the program before serving.
+    let mut d = Daemon::spawn(&["--snapshot-dir", &snap_arg]);
+    let resp = d.request("{\"op\":\"stats\",\"id\":\"p\"}");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert_eq!(field(&resp, "fingerprint"), fp0, "{resp}");
+    assert!(resp.contains("\"warm\":true"), "restore must re-arm incrementality: {resp}");
+    // And the restored state serves real queries + incremental edits.
+    let resp = d.request("{\"op\":\"pts\",\"id\":\"p\",\"func\":\"main\",\"value\":\"%b\"}");
+    assert!(resp.contains("\"objects\":[\"H\"]"), "{resp}");
+    let resp = d.request("{\"op\":\"edit\",\"id\":\"p\",\"delta\":[]}");
+    assert!(resp.contains("\"incremental\":true"), "{resp}");
+    assert_eq!(field(&resp, "fingerprint"), fp0, "{resp}");
+    d.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

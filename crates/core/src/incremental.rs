@@ -131,6 +131,9 @@ pub struct SolveReport {
     pub dirty_nodes: usize,
     /// `true` if the solve was seeded from surviving warm state.
     pub incremental: bool,
+    /// `true` if the solve was seeded from a deserialized snapshot
+    /// ([`crate::warm::restore_program`]) rather than resident state.
+    pub restored: bool,
     /// Points-to sets carried across the epoch boundary.
     pub carried_sets: usize,
     /// Audited re-solve waves the incremental engine ran (0 on a cold
@@ -144,13 +147,13 @@ pub struct SolveReport {
 
 /// Warm state of a *completed* flow-sensitive solve: what the next edit
 /// seeds from.
-struct WarmState {
+pub(crate) struct WarmState {
     /// Per-node transfer/edge signatures under `ProgramState::keys`.
     sigs: IndexVec<SvfgNodeId, u64>,
     /// Final `IN` table, object-sorted per node.
-    ins: IndexVec<SvfgNodeId, Vec<(ObjId, PtsId)>>,
+    pub(crate) ins: IndexVec<SvfgNodeId, Vec<(ObjId, PtsId)>>,
     /// Final `OUT` table of STORE nodes.
-    outs: IndexVec<SvfgNodeId, Vec<(ObjId, PtsId)>>,
+    pub(crate) outs: IndexVec<SvfgNodeId, Vec<(ObjId, PtsId)>>,
 }
 
 /// One program resident in the incremental analysis server: the whole
@@ -173,7 +176,7 @@ pub struct ProgramState {
     pub analysis: GovernedAnalysis,
     /// [`result_fingerprint`] of `analysis.result`.
     pub fingerprint: u64,
-    warm: Option<WarmState>,
+    pub(crate) warm: Option<WarmState>,
 }
 
 impl ProgramState {
@@ -220,15 +223,15 @@ pub fn resolve_edit(
 }
 
 /// Everything up to (but not including) the flow-sensitive stage.
-struct Front {
-    prog: Program,
-    aux: AndersenResult,
-    mssa: MemorySsa,
-    svfg: Svfg,
-    keys: StableKeys,
+pub(crate) struct Front {
+    pub(crate) prog: Program,
+    pub(crate) aux: AndersenResult,
+    pub(crate) mssa: MemorySsa,
+    pub(crate) svfg: Svfg,
+    pub(crate) keys: StableKeys,
 }
 
-fn build_front(
+pub(crate) fn build_front(
     source: &str,
     opts: IncrementalOptions,
     aux_governor: Option<&Governor>,
@@ -254,19 +257,20 @@ fn build_front(
 }
 
 /// Final bookkeeping of one solve, shared by [`deliver`].
-struct Outcome {
-    incremental: bool,
-    dirty_nodes: usize,
-    carried_sets: usize,
-    waves: usize,
+pub(crate) struct Outcome {
+    pub(crate) incremental: bool,
+    pub(crate) restored: bool,
+    pub(crate) dirty_nodes: usize,
+    pub(crate) carried_sets: usize,
+    pub(crate) waves: usize,
     /// Flow-sensitive seconds from discarded audit waves, added to the
     /// final wave's own timing in the report.
-    prior_seconds: f64,
+    pub(crate) prior_seconds: f64,
 }
 
 /// Runs the flow-sensitive stage cold over `front` and packages the
 /// resulting state.
-fn solve_front(
+pub(crate) fn solve_front(
     source: &str,
     front: Front,
     opts: IncrementalOptions,
@@ -284,6 +288,7 @@ fn solve_front(
     );
     let outcome = Outcome {
         incremental: false,
+        restored: false,
         dirty_nodes: total,
         carried_sets: 0,
         waves: 0,
@@ -297,7 +302,7 @@ fn solve_front(
 /// sound Andersen fallback (and drops all warm state — a degraded result
 /// must never be cached as if it were a completed fixpoint) on a budget
 /// trip.
-fn deliver(
+pub(crate) fn deliver(
     source: &str,
     front: Front,
     result: FlowSensitiveResult,
@@ -325,6 +330,7 @@ fn deliver(
         total_nodes,
         dirty_nodes: outcome.dirty_nodes,
         incremental: outcome.incremental,
+        restored: outcome.restored,
         carried_sets: outcome.carried_sets,
         waves: outcome.waves,
         solve_seconds: analysis.result.stats.solve_seconds + outcome.prior_seconds,
@@ -538,6 +544,7 @@ fn solve_incremental(
         );
         let outcome = Outcome {
             incremental: true,
+            restored: false,
             dirty_nodes,
             carried_sets,
             waves,
@@ -882,7 +889,10 @@ fn assemble_seed(
 /// return side for call results, `FUNENTRY` for parameters, the
 /// instruction node otherwise. `None` for globals (re-seeded by the
 /// solver) and never-defined values.
-fn value_def_nodes(prog: &Program, svfg: &Svfg) -> IndexVec<ValueId, Option<SvfgNodeId>> {
+pub(crate) fn value_def_nodes(
+    prog: &Program,
+    svfg: &Svfg,
+) -> IndexVec<ValueId, Option<SvfgNodeId>> {
     let mut def: IndexVec<ValueId, Option<SvfgNodeId>> =
         IndexVec::from_elem_n(None, prog.values.len());
     for (inst, i) in prog.insts.iter_enumerated() {

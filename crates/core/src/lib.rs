@@ -57,6 +57,7 @@ pub mod sfs;
 pub mod toplevel;
 pub mod versioning;
 pub mod vsfs;
+pub mod warm;
 
 pub use dense::run_dense;
 pub use incremental::{
@@ -72,3 +73,4 @@ pub use vsfs::{
     run_vsfs, run_vsfs_governed, run_vsfs_governed_ordered, run_vsfs_jobs, run_vsfs_jobs_ordered,
     run_vsfs_ordered, run_vsfs_with_tables, run_vsfs_with_tables_ordered,
 };
+pub use warm::{export_warm, restore_program, WarmExport};

@@ -1,4 +1,4 @@
-//! The incremental analysis server (`vsfs serve`, DESIGN.md §9).
+//! The incremental analysis server (`vsfs serve`, DESIGN.md §9, §12).
 //!
 //! A [`Server`] keeps any number of programs resident — each as a
 //! [`vsfs_core::ProgramState`]: source, IR, auxiliary result, SVFG, the
@@ -12,21 +12,22 @@
 //! `"op"`; program-addressed ops take `"id"`. Success responses carry
 //! `"ok": true` plus op-specific fields and always a `"fingerprint"` —
 //! the ID-independent result hash ([`vsfs_core::result_fingerprint`]),
-//! equal across incremental and from-scratch solves of the same text.
-//! Failures are `{"ok": false, "error": {"code", "message"}}`; a
-//! failed request never changes resident state.
+//! equal across incremental, from-scratch, and snapshot-restored solves
+//! of the same text. Failures are `{"ok": false, "error": {"code",
+//! "message"}}`; a failed request never changes resident state.
 //!
 //! | op | fields | effect |
 //! |----|--------|--------|
 //! | `ping` | | liveness check |
-//! | `load` | `id`, `source` | parse + solve, keep resident |
+//! | `load` | `id`, `source` | parse + solve (or snapshot-restore), keep resident |
 //! | `edit` | `id`, `delta` | apply function deltas, re-solve incrementally |
 //! | `pts` | `id`, `value`, [`func`] | points-to set of a value |
 //! | `alias` | `id`, `p`, `q`, [`func`] | may-alias query |
 //! | `check` | `id` | run the memory-safety checkers |
 //! | `stats` | [`id`] | server or per-program statistics |
-//! | `unload` | `id` | drop a resident program |
-//! | `shutdown` | | stop serving |
+//! | `unload` | `id` | drop a resident program (and its snapshot) |
+//! | `debug_panic` | `id` | fault drill: panic inside the handler |
+//! | `shutdown` | | stop serving (drains in-flight requests) |
 //!
 //! `delta` is an array of `{"action": "replace"|"add"|"remove",
 //! "name": fn, ["text": body]}` applied in order ([`source::SourceMap`]).
@@ -38,24 +39,123 @@
 //! trip *applies* the edit but delivers the sound Andersen fallback,
 //! reported via `"degraded": true` and `"fallback"`, and drops the warm
 //! state so nothing degraded is ever treated as a completed fixpoint.
+//! [`ServerConfig::default_time_budget`] gives every request that sets
+//! no budget of its own a server-wide deadline.
+//!
+//! # Robustness (DESIGN.md §12)
+//!
+//! Every error the server can emit carries a code from [`ERROR_CODES`];
+//! the taxonomy is closed so clients (and the fuzz harness) can match on
+//! it exhaustively.
+//!
+//! * **Panic quarantine** — each request is dispatched under
+//!   `catch_unwind`. A panicking request returns `internal_fault` and
+//!   quarantines only the workspace it addressed: the (possibly
+//!   inconsistent) state is discarded, later requests on that id get
+//!   `workspace_quarantined`, and a successful `load` re-admits it. The
+//!   process never dies; other programs stay servable.
+//! * **Warm-state snapshots** — with [`ServerConfig::snapshot_dir`] set,
+//!   every completed solve is exported ([`vsfs_core::export_warm`]) and
+//!   written atomically to a checksummed file ([`snapshot`]). On startup
+//!   ([`Server::restore_snapshots`]) and on `load` of identical text the
+//!   solve is skipped entirely ([`vsfs_core::restore_program`]),
+//!   validated by fingerprint; corrupt, stale, or version-mismatched
+//!   snapshots are logged cold-solves, never crashes.
+//! * **Admission control** — [`Server::run_unix`] accepts concurrently:
+//!   a bounded queue feeds [`ServerConfig::workers`] scoped worker
+//!   threads; requests execute serially against the engine (responses
+//!   are bit-identical to sequential serving), and when the queue is
+//!   full new connections are shed with `overloaded` plus a
+//!   `retry_after_ms` hint. `shutdown` stops admission, answers queued
+//!   connections with `shutting_down`, and drains in-flight work.
+//! * **Bounded reads** — request lines longer than
+//!   [`ServerConfig::max_request_bytes`] are discarded incrementally
+//!   ([`lineio`]) and answered with `request_too_large`.
+//! * **Socket hygiene** — binding probes an existing socket file and
+//!   refuses to displace a live server (`AddrInUse`); stale files are
+//!   reclaimed, and the file is removed on every exit path, panics
+//!   included.
 
 pub mod json;
+pub mod lineio;
+pub mod snapshot;
 pub mod source;
 
 use json::{n, obj, s, Json};
+use lineio::{LineEvent, LineReader};
+use snapshot::Snapshot;
 use source::{SourceError, SourceMap};
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
-use std::path::Path;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{RecvTimeoutError, TrySendError};
+use std::sync::{mpsc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
-use vsfs_adt::govern::{Budget, CancelToken, Governor};
+use vsfs_adt::govern::{panic_message, Budget, CancelToken, Governor};
 use vsfs_checkers::{render_finding, run_checkers, FlowView};
 use vsfs_core::queries::AliasQueries;
 use vsfs_core::schedule::SolveOrder;
 use vsfs_core::{
-    resolve_edit, solve_program, IncrementalOptions, ProgramState, SolveError, SolveReport,
+    export_warm, resolve_edit, restore_program, solve_program, IncrementalOptions, ProgramState,
+    SolveError, SolveReport,
 };
 use vsfs_ir::ValueId;
+
+/// Every `error.code` the server can emit. The taxonomy is closed: the
+/// fuzz harness asserts responses never step outside it.
+pub const ERROR_CODES: &[&str] = &[
+    "bad_json",
+    "bad_request",
+    "unknown_op",
+    "unknown_program",
+    "unknown_function",
+    "unknown_value",
+    "parse_error",
+    "verify_error",
+    "aux_budget",
+    "request_too_large",
+    "internal_fault",
+    "workspace_quarantined",
+    "overloaded",
+    "shutting_down",
+];
+
+/// Server-wide configuration (transport and engine).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Default solve options for requests that don't override them.
+    pub opts: IncrementalOptions,
+    /// Directory for warm-state snapshots; `None` disables persistence.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Per-line request cap; longer lines get `request_too_large`.
+    pub max_request_bytes: usize,
+    /// Deadline (seconds) applied to `load`/`edit` requests that set no
+    /// `time_budget` of their own; `None` leaves them ungoverned.
+    pub default_time_budget: Option<f64>,
+    /// Worker threads serving socket connections.
+    pub workers: usize,
+    /// Bounded admission queue depth; a full queue sheds connections.
+    pub queue_depth: usize,
+    /// The retry hint carried by `overloaded` responses.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            opts: IncrementalOptions::default(),
+            snapshot_dir: None,
+            max_request_bytes: 16 << 20,
+            default_time_budget: None,
+            workers: 4,
+            queue_depth: 64,
+            retry_after_ms: 200,
+        }
+    }
+}
 
 /// One resident program: its editable source plus the solved state.
 struct Workspace {
@@ -66,8 +166,10 @@ struct Workspace {
 /// The analysis server. See the module docs for the protocol.
 pub struct Server {
     programs: BTreeMap<String, Workspace>,
-    /// Default solve options for requests that don't override them.
-    opts: IncrementalOptions,
+    /// Workspaces discarded after a panicking request, keyed by id with
+    /// the rendered panic message. Cleared by a successful `load`.
+    quarantined: BTreeMap<String, String>,
+    config: ServerConfig,
 }
 
 impl Default for Server {
@@ -84,9 +186,11 @@ struct Budgets {
 }
 
 impl Budgets {
-    fn from_request(req: &Json) -> Budgets {
+    /// `default_time` is the server-wide deadline applied when the
+    /// request carries no `time_budget` of its own.
+    fn from_request(req: &Json, default_time: Option<f64>) -> Budgets {
         Budgets {
-            time: req.get("time_budget").and_then(Json::as_f64),
+            time: req.get("time_budget").and_then(Json::as_f64).or(default_time),
             steps: req.get("step_budget").and_then(Json::as_u64),
             mem_mib: req.get("mem_budget_mib").and_then(Json::as_u64),
         }
@@ -124,13 +228,22 @@ impl Budgets {
 }
 
 fn err(code: &str, message: impl Into<String>) -> Json {
-    obj(vec![
+    err_with(code, message, Vec::new())
+}
+
+/// A structured error with extra top-level fields (e.g. the
+/// `retry_after_ms` hint on `overloaded`).
+fn err_with(code: &str, message: impl Into<String>, extra: Vec<(&'static str, Json)>) -> Json {
+    debug_assert!(ERROR_CODES.contains(&code), "error code '{code}' not in taxonomy");
+    let mut pairs = vec![
         ("ok", Json::Bool(false)),
         (
             "error",
             obj(vec![("code", s(code)), ("message", s(message.into()))]),
         ),
-    ])
+    ];
+    pairs.extend(extra);
+    obj(pairs)
 }
 
 fn solve_error(e: &SolveError) -> Json {
@@ -173,6 +286,7 @@ fn solve_fields(state: &ProgramState, report: &SolveReport) -> Vec<(&'static str
             if degraded { s(state.analysis.mode) } else { Json::Null },
         ),
         ("incremental", Json::Bool(report.incremental)),
+        ("restored", Json::Bool(report.restored)),
         ("total_nodes", n(report.total_nodes as f64)),
         ("dirty_nodes", n(report.dirty_nodes as f64)),
         ("carried_sets", n(report.carried_sets as f64)),
@@ -182,20 +296,35 @@ fn solve_fields(state: &ProgramState, report: &SolveReport) -> Vec<(&'static str
 }
 
 impl Server {
-    /// A server with default solve options (FIFO order, one job).
+    /// A server with default configuration (FIFO order, one job, no
+    /// snapshots).
     pub fn new() -> Server {
-        Server::with_options(IncrementalOptions::default())
+        Server::with_config(ServerConfig::default())
     }
 
     /// A server with explicit default solve options.
     pub fn with_options(opts: IncrementalOptions) -> Server {
-        Server { programs: BTreeMap::new(), opts }
+        Server::with_config(ServerConfig { opts, ..ServerConfig::default() })
+    }
+
+    /// A server with explicit configuration.
+    pub fn with_config(config: ServerConfig) -> Server {
+        Server { programs: BTreeMap::new(), quarantined: BTreeMap::new(), config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
     }
 
     /// Loads `source` as resident program `id` (programmatic equivalent
     /// of the `load` request, used by the CLI's `--corpus` preload).
+    /// Snapshot-restores instead of cold-solving when a matching
+    /// snapshot exists.
     pub fn load_source(&mut self, id: &str, source: &str) -> Result<SolveReport, SolveError> {
-        let (state, report) = solve_program(source, self.opts, None, None)?;
+        let (state, report) = self.solve_or_restore(id, source, self.config.opts, None, None)?;
+        self.persist(id, &state);
+        self.quarantined.remove(id);
         self.programs
             .insert(id.to_string(), Workspace { sources: SourceMap::parse(source), state });
         Ok(report)
@@ -206,9 +335,91 @@ impl Server {
         self.programs.keys().map(String::as_str).collect()
     }
 
+    /// Restores every readable snapshot in `snapshot_dir` into resident
+    /// programs. Returns one human-readable log line per file —
+    /// restored, cold-solved (stale), or skipped (corrupt) — for the
+    /// CLI to print; nothing in the directory can make this fail.
+    pub fn restore_snapshots(&mut self) -> Vec<String> {
+        let Some(dir) = self.config.snapshot_dir.clone() else {
+            return Vec::new();
+        };
+        let mut log = Vec::new();
+        for (path, loaded) in snapshot::scan(&dir) {
+            match loaded {
+                Ok(snap) => {
+                    match restore_program(&snap.source, &snap.export, self.config.opts, None, None)
+                    {
+                        Ok((state, report)) => {
+                            log.push(format!(
+                                "{}: {} in {:.3}s (fingerprint {:016x})",
+                                snap.id,
+                                if report.restored { "restored" } else { "cold-solved (stale)" },
+                                report.solve_seconds,
+                                report.fingerprint,
+                            ));
+                            self.programs.insert(
+                                snap.id,
+                                Workspace { sources: SourceMap::parse(&snap.source), state },
+                            );
+                        }
+                        Err(e) => log.push(format!("{}: unusable ({e}); skipped", snap.id)),
+                    }
+                }
+                Err(e) => log.push(format!("{}: {e}; skipped", path.display())),
+            }
+        }
+        log
+    }
+
+    /// Cold solve, or restore from this id's snapshot when it holds the
+    /// identical source text.
+    fn solve_or_restore(
+        &self,
+        id: &str,
+        source: &str,
+        opts: IncrementalOptions,
+        aux_gov: Option<&Governor>,
+        fs_gov: Option<&Governor>,
+    ) -> Result<(ProgramState, SolveReport), SolveError> {
+        if let Some(dir) = &self.config.snapshot_dir {
+            if let Ok(snap) = snapshot::load(&snapshot::path_for(dir, id)) {
+                if snap.id == id && snap.source == source {
+                    return restore_program(source, &snap.export, opts, aux_gov, fs_gov);
+                }
+            }
+        }
+        solve_program(source, opts, aux_gov, fs_gov)
+    }
+
+    /// Writes (or clears) `id`'s snapshot after a solve. Persistence is
+    /// best-effort: an unwritable snapshot dir degrades durability, not
+    /// the request.
+    fn persist(&self, id: &str, state: &ProgramState) {
+        let Some(dir) = &self.config.snapshot_dir else { return };
+        match export_warm(state) {
+            Some(export) => {
+                let snap = Snapshot { id: id.to_string(), source: state.source.clone(), export };
+                if let Err(e) = snapshot::save(dir, &snap) {
+                    eprintln!("vsfs serve: snapshot save failed for '{id}': {e}");
+                }
+            }
+            // Degraded solves export nothing; drop any snapshot of the
+            // pre-edit text so a restart cannot resurrect stale results.
+            None => {
+                let _ = snapshot::remove(dir, id);
+            }
+        }
+    }
+
     /// Handles one request line; returns the response line and whether
     /// the server should stop.
     pub fn handle_line(&mut self, line: &str) -> (String, bool) {
+        let max = self.config.max_request_bytes;
+        if line.len() > max {
+            // Transports cap lines before they get here; this guards
+            // direct callers.
+            return (too_large_response(max).to_line(), false);
+        }
         let req = match json::parse(line) {
             Ok(v) => v,
             Err(m) => return (err("bad_json", m).to_line(), false),
@@ -217,24 +428,80 @@ impl Server {
             return (err("bad_request", "missing string field 'op'").to_line(), false);
         };
         let op = op.to_string();
-        let shutdown = op == "shutdown";
-        let resp = match op.as_str() {
-            "ping" => obj(vec![("ok", Json::Bool(true)), ("op", s("ping"))]),
-            "shutdown" => obj(vec![("ok", Json::Bool(true)), ("op", s("shutdown"))]),
-            "load" => self.op_load(&req),
-            "edit" => self.op_edit(&req),
-            "pts" => self.op_pts(&req),
-            "alias" => self.op_alias(&req),
-            "check" => self.op_check(&req),
-            "stats" => self.op_stats(&req),
-            "unload" => self.op_unload(&req),
-            other => err("unknown_op", format!("unknown op '{other}'")),
+        match op.as_str() {
+            "ping" => return (obj(vec![("ok", Json::Bool(true)), ("op", s("ping"))]).to_line(), false),
+            "shutdown" => {
+                return (obj(vec![("ok", Json::Bool(true)), ("op", s("shutdown"))]).to_line(), true)
+            }
+            _ => {}
+        }
+
+        let id = req.get("id").and_then(Json::as_str).map(String::from);
+        // `load` re-admits a quarantined workspace, `unload` discards
+        // it, `stats` reports on it; everything else is refused until
+        // one of those happens.
+        if !matches!(op.as_str(), "load" | "unload" | "stats") {
+            if let Some(msg) = id.as_deref().and_then(|i| self.quarantined.get(i)) {
+                let id = id.unwrap();
+                return (
+                    err_with(
+                        "workspace_quarantined",
+                        format!(
+                            "'{id}' is quarantined after an internal fault ({msg}); \
+                             'load' it again to recover"
+                        ),
+                        vec![("id", s(id))],
+                    )
+                    .to_line(),
+                    false,
+                );
+            }
+        }
+
+        // AssertUnwindSafe: on panic the addressed workspace — the only
+        // state the handler mutates — is discarded wholesale below, so
+        // no broken invariant survives.
+        let resp = match catch_unwind(AssertUnwindSafe(|| self.dispatch(&op, &req))) {
+            Ok(resp) => resp,
+            Err(payload) => {
+                let msg = panic_message(&*payload);
+                match id {
+                    Some(id) => {
+                        self.programs.remove(&id);
+                        self.quarantined.insert(id.clone(), msg.clone());
+                        err_with(
+                            "internal_fault",
+                            format!("request panicked: {msg}; workspace '{id}' quarantined"),
+                            vec![("id", s(id)), ("quarantined", Json::Bool(true))],
+                        )
+                    }
+                    None => err_with(
+                        "internal_fault",
+                        format!("request panicked: {msg}"),
+                        vec![("quarantined", Json::Bool(false))],
+                    ),
+                }
+            }
         };
-        (resp.to_line(), shutdown)
+        (resp.to_line(), false)
+    }
+
+    fn dispatch(&mut self, op: &str, req: &Json) -> Json {
+        match op {
+            "load" => self.op_load(req),
+            "edit" => self.op_edit(req),
+            "pts" => self.op_pts(req),
+            "alias" => self.op_alias(req),
+            "check" => self.op_check(req),
+            "stats" => self.op_stats(req),
+            "unload" => self.op_unload(req),
+            "debug_panic" => self.op_debug_panic(req),
+            other => err("unknown_op", format!("unknown op '{other}'")),
+        }
     }
 
     fn request_opts(&self, req: &Json) -> Result<IncrementalOptions, Json> {
-        let mut opts = self.opts;
+        let mut opts = self.config.opts;
         if let Some(order) = req.get("order").and_then(Json::as_str) {
             opts.order = match order {
                 "fifo" => SolveOrder::Fifo,
@@ -274,12 +541,12 @@ impl Server {
             Ok(o) => o,
             Err(e) => return e,
         };
-        let govs = Budgets::from_request(req).governors();
+        let govs = Budgets::from_request(req, self.config.default_time_budget).governors();
         let (aux_gov, fs_gov) = match &govs {
             Some((a, f)) => (Some(a), Some(f)),
             None => (None, None),
         };
-        match solve_program(source, opts, aux_gov, fs_gov) {
+        match self.solve_or_restore(&id, source, opts, aux_gov, fs_gov) {
             Ok((state, report)) => {
                 let mut pairs = vec![
                     ("ok", Json::Bool(true)),
@@ -289,6 +556,8 @@ impl Server {
                     ("values", n(state.prog.values.len() as f64)),
                 ];
                 pairs.extend(solve_fields(&state, &report));
+                self.persist(&id, &state);
+                self.quarantined.remove(&id);
                 self.programs
                     .insert(id, Workspace { sources: SourceMap::parse(source), state });
                 obj(pairs)
@@ -346,7 +615,7 @@ impl Server {
         }
         let source = sources.compose();
 
-        let govs = Budgets::from_request(req).governors();
+        let govs = Budgets::from_request(req, self.config.default_time_budget).governors();
         let (aux_gov, fs_gov) = match &govs {
             Some((a, f)) => (Some(a), Some(f)),
             None => (None, None),
@@ -361,6 +630,7 @@ impl Server {
                     ("functions", n(state.prog.functions.len() as f64)),
                 ];
                 pairs.extend(solve_fields(&state, &report));
+                self.persist(&id, &state);
                 self.programs.insert(id, Workspace { sources, state });
                 obj(pairs)
             }
@@ -490,8 +760,21 @@ impl Server {
                     "ids",
                     Json::Arr(self.programs.keys().map(|k| s(k.clone())).collect()),
                 ),
+                (
+                    "quarantined",
+                    Json::Arr(self.quarantined.keys().map(|k| s(k.clone())).collect()),
+                ),
             ]),
             Some(id) => {
+                if let Some(msg) = self.quarantined.get(id) {
+                    return obj(vec![
+                        ("ok", Json::Bool(true)),
+                        ("op", s("stats")),
+                        ("id", s(id)),
+                        ("quarantined", Json::Bool(true)),
+                        ("fault", s(msg.clone())),
+                    ]);
+                }
                 let ws = match self.workspace(id) {
                     Ok(ws) => ws,
                     Err(e) => return e,
@@ -501,6 +784,7 @@ impl Server {
                     ("ok", Json::Bool(true)),
                     ("op", s("stats")),
                     ("id", s(id)),
+                    ("quarantined", Json::Bool(false)),
                     ("functions", n(state.prog.functions.len() as f64)),
                     ("values", n(state.prog.values.len() as f64)),
                     ("objects", n(state.prog.objects.len() as f64)),
@@ -522,10 +806,30 @@ impl Server {
             Ok(id) => id.to_string(),
             Err(e) => return e,
         };
-        if self.programs.remove(&id).is_none() {
+        let was_resident = self.programs.remove(&id).is_some();
+        let was_quarantined = self.quarantined.remove(&id).is_some();
+        if !was_resident && !was_quarantined {
             return err("unknown_program", format!("no program loaded as '{id}'"));
         }
+        if let Some(dir) = &self.config.snapshot_dir {
+            let _ = snapshot::remove(dir, &id);
+        }
         obj(vec![("ok", Json::Bool(true)), ("op", s("unload")), ("id", s(id))])
+    }
+
+    /// Fault drill: panics inside the dispatch path so operators (and
+    /// the e2e suite) can exercise the quarantine machinery on demand.
+    /// The addressed workspace must exist; it is quarantined by the
+    /// unwind.
+    fn op_debug_panic(&self, req: &Json) -> Json {
+        let id = match self.require_id(req) {
+            Ok(id) => id,
+            Err(e) => return e,
+        };
+        if let Err(e) = self.workspace(id) {
+            return e;
+        }
+        panic!("debug_panic requested for workspace '{id}'");
     }
 
     /// Serves requests from `reader`, writing one response line per
@@ -535,20 +839,26 @@ impl Server {
         reader: R,
         mut writer: W,
     ) -> std::io::Result<bool> {
-        for line in reader.lines() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            let (resp, shutdown) = self.handle_line(&line);
-            writer.write_all(resp.as_bytes())?;
-            writer.write_all(b"\n")?;
-            writer.flush()?;
-            if shutdown {
-                return Ok(true);
+        let max = self.config.max_request_bytes;
+        let mut lines = LineReader::new(reader);
+        loop {
+            match lines.next_line(max) {
+                LineEvent::Line(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let (resp, shutdown) = self.handle_line(&line);
+                    write_line(&mut writer, &resp)?;
+                    if shutdown {
+                        return Ok(true);
+                    }
+                }
+                LineEvent::TooLarge => write_line(&mut writer, &too_large_response(max).to_line())?,
+                LineEvent::Timeout => continue,
+                LineEvent::Eof => return Ok(false),
+                LineEvent::Err(e) => return Err(e),
             }
         }
-        Ok(false)
     }
 
     /// Serves on stdin/stdout until EOF or `shutdown`.
@@ -559,22 +869,216 @@ impl Server {
         Ok(())
     }
 
-    /// Serves on a Unix socket, one connection at a time, until a
-    /// connection issues `shutdown`.
+    /// Serves on a Unix socket until a connection issues `shutdown`.
+    ///
+    /// Connections are accepted into a bounded queue
+    /// ([`ServerConfig::queue_depth`]) served by
+    /// [`ServerConfig::workers`] scoped threads; requests themselves
+    /// execute serially against the engine, so responses are
+    /// bit-identical however connections interleave. A full queue sheds
+    /// the connection with `overloaded` + `retry_after_ms`. Binding
+    /// refuses to displace a live server; the socket file is removed on
+    /// every exit path, panics included.
     pub fn run_unix(&mut self, path: &Path) -> std::io::Result<()> {
-        let _ = std::fs::remove_file(path);
-        let listener = std::os::unix::net::UnixListener::bind(path)?;
-        loop {
-            let (stream, _) = listener.accept()?;
-            let reader = BufReader::new(stream.try_clone()?);
-            match self.serve(reader, &stream) {
-                Ok(true) => break,
-                Ok(false) => continue,     // client hung up; keep serving
-                Err(_) => continue,        // broken pipe mid-response
+        let listener = bind_guarded(path)?;
+        listener.set_nonblocking(true)?;
+        let _guard = SocketGuard(path.to_path_buf());
+        let max = self.config.max_request_bytes;
+        let workers = self.config.workers.max(1);
+        let queue_depth = self.config.queue_depth.max(1);
+        let retry_after_ms = self.config.retry_after_ms;
+        let shutdown = AtomicBool::new(false);
+        let engine: Mutex<&mut Server> = Mutex::new(self);
+        let (tx, rx) = mpsc::sync_channel::<UnixStream>(queue_depth);
+        let rx = Mutex::new(rx);
+
+        std::thread::scope(|scope| -> std::io::Result<()> {
+            for _ in 0..workers {
+                scope.spawn(|| worker_loop(&engine, &rx, &shutdown, max));
+            }
+            loop {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(stream)) => {
+                            refuse(
+                                stream,
+                                err_with(
+                                    "overloaded",
+                                    "admission queue full; retry later",
+                                    vec![("retry_after_ms", n(retry_after_ms as f64))],
+                                ),
+                            );
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    },
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        shutdown.store(true, Ordering::SeqCst);
+                        drop(tx);
+                        return Err(e);
+                    }
+                }
+            }
+            // Stop admitting; workers drain the queue (answering
+            // `shutting_down`), finish in-flight connections, and exit
+            // when the channel disconnects. The scope joins them.
+            drop(tx);
+            Ok(())
+        })
+        // `_guard` drops here — socket file removed even if a worker
+        // panicked and the scope is propagating the unwind.
+    }
+}
+
+/// The response for an over-limit request line.
+fn too_large_response(max: usize) -> Json {
+    err_with(
+        "request_too_large",
+        format!("request line exceeds {max} bytes"),
+        vec![("limit_bytes", n(max as f64))],
+    )
+}
+
+fn write_line<W: Write>(writer: &mut W, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Locks ignoring poisoning: `handle_line` contains every panic, so a
+/// poisoned engine mutex can only mean a panic *outside* the dispatch
+/// path; the quarantine discipline still applies, so keep serving
+/// (matching the no-poisoned-mutex posture of `vsfs_adt::par`).
+fn lock_engine<'a, 'b>(engine: &'a Mutex<&'b mut Server>) -> MutexGuard<'a, &'b mut Server> {
+    match engine.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn worker_loop(
+    engine: &Mutex<&mut Server>,
+    rx: &Mutex<mpsc::Receiver<UnixStream>>,
+    shutdown: &AtomicBool,
+    max: usize,
+) {
+    loop {
+        let next = {
+            let rx = match rx.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            rx.recv_timeout(Duration::from_millis(50))
+        };
+        match next {
+            Ok(stream) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    // Admitted before shutdown, never started: typed
+                    // refusal instead of a silent hangup.
+                    refuse(stream, err("shutting_down", "server is shutting down"));
+                    continue;
+                }
+                let _ = serve_connection(engine, stream, shutdown, max);
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// Serves one socket connection. Short read timeouts let the loop poll
+/// the shutdown flag between requests (partial lines survive, see
+/// [`lineio`]); once shutdown is set the connection is told and closed.
+fn serve_connection(
+    engine: &Mutex<&mut Server>,
+    stream: UnixStream,
+    shutdown: &AtomicBool,
+    max: usize,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(250)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut writer = stream.try_clone()?;
+    let mut lines = LineReader::new(BufReader::new(stream));
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            let _ = write_line(&mut writer, &err("shutting_down", "server is shutting down").to_line());
+            return Ok(());
+        }
+        match lines.next_line(max) {
+            LineEvent::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                // Lock only for the dispatch; responses are written
+                // outside the critical section.
+                let (resp, stop) = lock_engine(engine).handle_line(&line);
+                write_line(&mut writer, &resp)?;
+                if stop {
+                    shutdown.store(true, Ordering::SeqCst);
+                    return Ok(());
+                }
+            }
+            LineEvent::TooLarge => write_line(&mut writer, &too_large_response(max).to_line())?,
+            LineEvent::Timeout => continue,
+            LineEvent::Eof => return Ok(()),
+            LineEvent::Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Writes one refusal line to a connection we will not serve (shed or
+/// shutting down) and drops it. Best-effort: a peer that already hung
+/// up is fine.
+fn refuse(stream: UnixStream, resp: Json) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut w = &stream;
+    let _ = write_line(&mut w, &resp.to_line());
+}
+
+/// Binds `path`, refusing to displace a live server: an existing socket
+/// file is connect-probed first — reachable means `AddrInUse`, refused
+/// means a stale file from a dead process and is reclaimed. A non-socket
+/// file at the path is never deleted.
+fn bind_guarded(path: &Path) -> std::io::Result<UnixListener> {
+    match std::fs::symlink_metadata(path) {
+        Ok(meta) => {
+            use std::os::unix::fs::FileTypeExt;
+            if !meta.file_type().is_socket() {
+                return Err(std::io::Error::new(
+                    ErrorKind::AlreadyExists,
+                    format!("{} exists and is not a socket; refusing to replace it", path.display()),
+                ));
+            }
+            match UnixStream::connect(path) {
+                Ok(_) => Err(std::io::Error::new(
+                    ErrorKind::AddrInUse,
+                    format!("a live server is already listening on {}", path.display()),
+                )),
+                Err(_) => {
+                    std::fs::remove_file(path)?;
+                    UnixListener::bind(path)
+                }
             }
         }
-        let _ = std::fs::remove_file(path);
-        Ok(())
+        Err(e) if e.kind() == ErrorKind::NotFound => UnixListener::bind(path),
+        Err(e) => Err(e),
+    }
+}
+
+/// Removes the socket file when serving ends — normal return, error
+/// return, or unwind.
+struct SocketGuard(PathBuf);
+
+impl Drop for SocketGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
     }
 }
 
@@ -588,6 +1092,13 @@ mod tests {
         let req = obj(vec![("op", s("load")), ("id", s(id)), ("source", s(PROG))]);
         let (resp, _) = server.handle_line(&req.to_line());
         json::parse(&resp).unwrap()
+    }
+
+    fn error_code(resp: &Json) -> Option<String> {
+        resp.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .map(String::from)
     }
 
     #[test]
@@ -630,13 +1141,7 @@ mod tests {
         let mut server = Server::new();
         let mut code = |line: &str| {
             let (resp, _) = server.handle_line(line);
-            json::parse(&resp)
-                .unwrap()
-                .get("error")
-                .and_then(|e| e.get("code"))
-                .and_then(Json::as_str)
-                .map(String::from)
-                .unwrap()
+            error_code(&json::parse(&resp).unwrap()).unwrap()
         };
         assert_eq!(code("not json"), "bad_json");
         assert_eq!(code("{\"no\":\"op\"}"), "bad_request");
@@ -665,10 +1170,7 @@ mod tests {
         );
         let e = json::parse(&resp).unwrap();
         assert_eq!(e.get("ok"), Some(&Json::Bool(false)));
-        assert_eq!(
-            e.get("error").and_then(|x| x.get("code")).and_then(Json::as_str),
-            Some("parse_error")
-        );
+        assert_eq!(error_code(&e).as_deref(), Some("parse_error"));
         // The resident program still answers queries.
         let (resp, _) = server.handle_line(
             &obj(vec![("op", s("stats")), ("id", s("p"))]).to_line(),
@@ -676,5 +1178,138 @@ mod tests {
         let stats = json::parse(&resp).unwrap();
         assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
         assert_eq!(stats.get("warm"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn panic_quarantines_only_the_addressed_workspace() {
+        let mut server = Server::new();
+        load(&mut server, "a");
+        load(&mut server, "b");
+
+        let (resp, stop) = server.handle_line(
+            &obj(vec![("op", s("debug_panic")), ("id", s("a"))]).to_line(),
+        );
+        assert!(!stop, "a panicking request must not stop the server");
+        let fault = json::parse(&resp).unwrap();
+        assert_eq!(error_code(&fault).as_deref(), Some("internal_fault"));
+        assert_eq!(fault.get("quarantined"), Some(&Json::Bool(true)));
+
+        // 'a' is quarantined with a typed error...
+        let (resp, _) = server.handle_line(
+            &obj(vec![("op", s("pts")), ("id", s("a")), ("value", s("%a"))]).to_line(),
+        );
+        let q = json::parse(&resp).unwrap();
+        assert_eq!(error_code(&q).as_deref(), Some("workspace_quarantined"));
+
+        // ...while 'b' still serves normally.
+        let (resp, _) = server.handle_line(
+            &obj(vec![("op", s("stats")), ("id", s("b"))]).to_line(),
+        );
+        let stats = json::parse(&resp).unwrap();
+        assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(stats.get("quarantined"), Some(&Json::Bool(false)));
+
+        // stats observes the quarantine; load clears it.
+        let (resp, _) = server.handle_line(
+            &obj(vec![("op", s("stats")), ("id", s("a"))]).to_line(),
+        );
+        let stats = json::parse(&resp).unwrap();
+        assert_eq!(stats.get("quarantined"), Some(&Json::Bool(true)));
+        let reloaded = load(&mut server, "a");
+        assert_eq!(reloaded.get("ok"), Some(&Json::Bool(true)));
+        let (resp, _) = server.handle_line(
+            &obj(vec![("op", s("pts")), ("id", s("a")), ("func", s("main")), ("value", s("%a"))])
+                .to_line(),
+        );
+        assert_eq!(json::parse(&resp).unwrap().get("objects"), Some(&Json::Arr(vec![s("H")])));
+    }
+
+    #[test]
+    fn oversized_requests_get_a_typed_error_and_the_stream_recovers() {
+        let mut server = Server::with_config(ServerConfig {
+            max_request_bytes: 256,
+            ..ServerConfig::default()
+        });
+        // Direct handle_line guard.
+        let big = format!("{{\"op\":\"ping\",\"pad\":\"{}\"}}", "x".repeat(400));
+        let (resp, _) = server.handle_line(&big);
+        let e = json::parse(&resp).unwrap();
+        assert_eq!(error_code(&e).as_deref(), Some("request_too_large"));
+
+        // Transport path: oversized line is skipped, next line works.
+        let input = format!("{big}\n{{\"op\":\"ping\"}}\n");
+        let mut out = Vec::new();
+        let finished = server.serve(input.as_bytes(), &mut out).unwrap();
+        assert!(!finished);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().trim().lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = json::parse(lines[0]).unwrap();
+        assert_eq!(error_code(&first).as_deref(), Some("request_too_large"));
+        let second = json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn snapshots_restore_across_server_instances() {
+        let dir = std::env::temp_dir().join(format!("vsfs-snap-lib-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServerConfig { snapshot_dir: Some(dir.clone()), ..ServerConfig::default() };
+
+        let mut first = Server::with_config(cfg.clone());
+        let loaded = load(&mut first, "p");
+        assert_eq!(loaded.get("restored"), Some(&Json::Bool(false)));
+        let fp = loaded.get("fingerprint").unwrap().as_str().unwrap().to_string();
+        drop(first);
+
+        // A fresh process restores from disk at startup...
+        let mut second = Server::with_config(cfg.clone());
+        let log = second.restore_snapshots();
+        assert_eq!(log.len(), 1, "{log:?}");
+        assert!(log[0].contains("restored"), "{log:?}");
+        assert_eq!(second.program_ids(), vec!["p"]);
+        let (resp, _) = second.handle_line(
+            &obj(vec![("op", s("stats")), ("id", s("p"))]).to_line(),
+        );
+        let stats = json::parse(&resp).unwrap();
+        assert_eq!(stats.get("fingerprint").unwrap().as_str().unwrap(), fp);
+        assert_eq!(stats.get("warm"), Some(&Json::Bool(true)));
+
+        // ...and a `load` of identical text restores instead of solving.
+        let mut third = Server::with_config(cfg);
+        let reloaded = load(&mut third, "p");
+        assert_eq!(reloaded.get("restored"), Some(&Json::Bool(true)));
+        assert_eq!(reloaded.get("fingerprint").unwrap().as_str().unwrap(), fp);
+
+        // unload drops the snapshot too.
+        let (_, _) = third.handle_line(&obj(vec![("op", s("unload")), ("id", s("p"))]).to_line());
+        assert!(snapshot::scan(&dir).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_logged_cold_solve() {
+        let dir = std::env::temp_dir().join(format!("vsfs-snap-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServerConfig { snapshot_dir: Some(dir.clone()), ..ServerConfig::default() };
+        let mut first = Server::with_config(cfg.clone());
+        load(&mut first, "p");
+        drop(first);
+
+        // Truncate the snapshot file on disk.
+        let path = snapshot::path_for(&dir, "p");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let mut second = Server::with_config(cfg.clone());
+        let log = second.restore_snapshots();
+        assert_eq!(log.len(), 1);
+        assert!(log[0].contains("skipped"), "{log:?}");
+        assert!(second.program_ids().is_empty());
+
+        // And a load of the same id cold-solves without complaint.
+        let loaded = load(&mut second, "p");
+        assert_eq!(loaded.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(loaded.get("restored"), Some(&Json::Bool(false)));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

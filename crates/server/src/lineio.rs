@@ -1,0 +1,207 @@
+//! Bounded line reading for the request transports.
+//!
+//! `BufRead::lines` allocates as much as the peer sends; a hostile
+//! client could grow one "line" without limit. [`LineReader`] reads
+//! line-by-line under a caller-supplied byte cap: an oversized line is
+//! discarded *incrementally* (never buffered whole) and surfaces as
+//! [`LineEvent::TooLarge`], which the server answers with a structured
+//! `request_too_large` error — the connection stays usable and the next
+//! line parses normally.
+//!
+//! The reader also tolerates read timeouts (`WouldBlock`/`TimedOut`
+//! surface as [`LineEvent::Timeout`] with all partial input preserved),
+//! which is how the socket connection loops poll the shutdown flag
+//! between requests without dropping half-received data.
+
+use std::io::{self, BufRead, ErrorKind};
+
+/// One read step. See [`LineReader::next_line`].
+#[derive(Debug)]
+pub enum LineEvent {
+    /// A complete line (terminator stripped, `\r\n` tolerated).
+    Line(String),
+    /// A line exceeded the cap. It has been fully discarded; the stream
+    /// is positioned at the start of the next line.
+    TooLarge,
+    /// The underlying reader hit its read timeout; call again. Partial
+    /// input received so far is preserved.
+    Timeout,
+    /// End of stream (any final unterminated line is returned as
+    /// [`LineEvent::Line`] first).
+    Eof,
+    /// An unrecoverable I/O error.
+    Err(io::Error),
+}
+
+/// An incremental, capped line reader over any [`BufRead`].
+pub struct LineReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    /// `true` while discarding the remainder of an oversized line.
+    skipping: bool,
+}
+
+impl<R: BufRead> LineReader<R> {
+    /// Wraps `inner`; no bytes are read until [`next_line`](Self::next_line).
+    pub fn new(inner: R) -> LineReader<R> {
+        LineReader { inner, buf: Vec::new(), skipping: false }
+    }
+
+    /// Reads until a newline, EOF, timeout, or `max` buffered bytes.
+    /// `max` bounds the *content* length (terminator excluded); at most
+    /// `max` bytes of the current line are ever resident.
+    pub fn next_line(&mut self, max: usize) -> LineEvent {
+        loop {
+            let chunk = match self.inner.fill_buf() {
+                Ok(c) => c,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return LineEvent::Timeout;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return LineEvent::Err(e),
+            };
+            if chunk.is_empty() {
+                // EOF. Flush any unterminated tail, then report.
+                if self.skipping {
+                    self.skipping = false;
+                    return LineEvent::TooLarge;
+                }
+                if self.buf.is_empty() {
+                    return LineEvent::Eof;
+                }
+                return LineEvent::Line(self.take_line());
+            }
+            let nl = chunk.iter().position(|&b| b == b'\n');
+            let (content, consumed) = match nl {
+                Some(i) => (i, i + 1),
+                None => (chunk.len(), chunk.len()),
+            };
+            if self.skipping {
+                self.inner.consume(consumed);
+                if nl.is_some() {
+                    self.skipping = false;
+                    return LineEvent::TooLarge;
+                }
+                continue;
+            }
+            if self.buf.len() + content > max {
+                // Over the cap: drop what we have and discard to the
+                // newline without ever holding more than one buffer's
+                // worth.
+                self.buf.clear();
+                self.skipping = true;
+                self.inner.consume(consumed);
+                if nl.is_some() {
+                    self.skipping = false;
+                    return LineEvent::TooLarge;
+                }
+                continue;
+            }
+            self.buf.extend_from_slice(&chunk[..content]);
+            self.inner.consume(consumed);
+            if nl.is_some() {
+                return LineEvent::Line(self.take_line());
+            }
+        }
+    }
+
+    fn take_line(&mut self) -> String {
+        let mut line = std::mem::take(&mut self.buf);
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        // Invalid UTF-8 still yields a line; it then fails JSON parsing
+        // and gets a structured `bad_json` — not a dropped connection.
+        String::from_utf8_lossy(&line).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufReader, Read};
+
+    fn collect(input: &[u8], max: usize, cap: usize) -> Vec<String> {
+        let mut r = LineReader::new(BufReader::with_capacity(cap, input));
+        let mut out = Vec::new();
+        loop {
+            match r.next_line(max) {
+                LineEvent::Line(l) => out.push(l),
+                LineEvent::TooLarge => out.push("<too-large>".into()),
+                LineEvent::Eof => return out,
+                LineEvent::Timeout => panic!("timeout on in-memory reader"),
+                LineEvent::Err(e) => panic!("{e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn plain_lines_crlf_and_final_unterminated() {
+        assert_eq!(collect(b"a\nbb\r\nccc", 10, 4), vec!["a", "bb", "ccc"]);
+    }
+
+    #[test]
+    fn oversized_line_is_skipped_and_stream_recovers() {
+        // Tiny 4-byte BufReader capacity forces the discard to span many
+        // fills — the oversized line is never resident.
+        let input = b"ok\nxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx\nafter\n";
+        assert_eq!(collect(input, 8, 4), vec!["ok", "<too-large>", "after"]);
+    }
+
+    #[test]
+    fn oversized_final_line_without_newline() {
+        assert_eq!(collect(b"yyyyyyyyyyyy", 4, 4), vec!["<too-large>"]);
+    }
+
+    #[test]
+    fn exact_cap_is_allowed() {
+        assert_eq!(collect(b"1234\n12345\n", 4, 16), vec!["1234", "<too-large>"]);
+    }
+
+    /// A reader that interleaves `WouldBlock` between data chunks, like
+    /// a socket with a read timeout.
+    struct Stutter {
+        chunks: Vec<Vec<u8>>,
+        block_next: bool,
+    }
+
+    impl Read for Stutter {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.block_next {
+                self.block_next = false;
+                return Err(io::Error::new(ErrorKind::WouldBlock, "stutter"));
+            }
+            self.block_next = true;
+            match self.chunks.is_empty() {
+                true => Ok(0),
+                false => {
+                    let c = self.chunks.remove(0);
+                    buf[..c.len()].copy_from_slice(&c);
+                    Ok(c.len())
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timeouts_preserve_partial_lines() {
+        let stutter = Stutter {
+            chunks: vec![b"par".to_vec(), b"tial\n".to_vec()],
+            block_next: true,
+        };
+        let mut r = LineReader::new(BufReader::with_capacity(8, stutter));
+        let mut timeouts = 0;
+        loop {
+            match r.next_line(64) {
+                LineEvent::Timeout => timeouts += 1,
+                LineEvent::Line(l) => {
+                    assert_eq!(l, "partial");
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            assert!(timeouts < 10, "no progress");
+        }
+        assert!(timeouts > 0, "stutter reader must have timed out at least once");
+    }
+}

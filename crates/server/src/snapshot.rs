@@ -1,0 +1,491 @@
+//! Versioned, checksummed on-disk snapshots of solved warm state
+//! (DESIGN.md §12).
+//!
+//! A snapshot file holds one program: its id, the exact source text it
+//! was solved from, and the stable-keyed warm fixpoint
+//! ([`vsfs_core::WarmExport`]). The encoding is a fixed-layout
+//! little-endian binary format — the same no-third-party-deps posture as
+//! the protocol's hand-written JSON:
+//!
+//! ```text
+//! magic   8 bytes  b"VSFSNAP1"
+//! version u32      SNAPSHOT_VERSION
+//! length  u64      payload byte count
+//! check   u64      FNV-1a 64 of the payload
+//! payload length bytes
+//! ```
+//!
+//! Every field of the payload is length-prefixed and bounds-checked on
+//! read, so a truncated, bit-flipped, or hand-edited file decodes to a
+//! typed [`SnapshotError`] — never a panic and never an unbounded
+//! allocation. Writes are atomic (unique temp file in the same
+//! directory, then `rename`), so a crash mid-write leaves either the
+//! old snapshot or none, and readers never observe a half-written file.
+//!
+//! Corruption defense is layered: this module's checksum and structural
+//! checks catch file-level damage; [`vsfs_core::restore_program`]'s key
+//! remapping and fingerprint validation catch anything semantically
+//! stale that still parses. Every failure at every layer degrades to a
+//! cold solve.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use vsfs_core::WarmExport;
+
+/// Bumped whenever the payload layout changes; readers refuse other
+/// versions (a typed error, which the server treats as a cold solve).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"VSFSNAP1";
+const HEADER_LEN: usize = 8 + 4 + 8 + 8;
+/// File extension for snapshot files inside `--snapshot-dir`.
+pub const SNAPSHOT_EXT: &str = "vsnap";
+
+/// One program's persisted warm state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The server-side program id (`load`'s `id` field).
+    pub id: String,
+    /// The exact source text the export was solved from. A restore only
+    /// applies when the incoming text is identical; embedding it also
+    /// lets `--snapshot-dir` repopulate the server at startup with no
+    /// corpus.
+    pub source: String,
+    /// The stable-keyed warm fixpoint.
+    pub export: WarmExport,
+}
+
+/// Why a snapshot file could not be read. Every variant is recoverable:
+/// the server logs it and cold-solves.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem-level failure (missing file, permissions, short read).
+    Io(io::Error),
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The file's format version is not [`SNAPSHOT_VERSION`].
+    VersionMismatch {
+        /// Version recorded in the file.
+        found: u32,
+    },
+    /// The file ends before the structure it declares.
+    Truncated,
+    /// The payload does not hash to the recorded checksum.
+    ChecksumMismatch,
+    /// The payload decoded but violated a structural invariant.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "io error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::VersionMismatch { found } => {
+                write!(f, "snapshot version {found} (this build reads {SNAPSHOT_VERSION})")
+            }
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::Malformed(what) => write!(f, "snapshot malformed: {what}"),
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The file a program id maps to inside `dir`. The name keeps a
+/// readable sanitized prefix and appends the id's hash so distinct ids
+/// never collide.
+pub fn path_for(dir: &Path, id: &str) -> PathBuf {
+    let safe: String = id
+        .chars()
+        .take(48)
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' { c } else { '_' })
+        .collect();
+    let safe = if safe.is_empty() { "program".to_string() } else { safe };
+    dir.join(format!("{safe}-{:016x}.{SNAPSHOT_EXT}", fnv1a(id.as_bytes())))
+}
+
+/// Writes `snap` atomically into `dir` (created if absent): encode to a
+/// unique temp file in the same directory, flush, then rename over the
+/// final path. Returns the final path.
+pub fn save(dir: &Path, snap: &Snapshot) -> io::Result<PathBuf> {
+    static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    fs::create_dir_all(dir)?;
+    let bytes = encode(snap);
+    let path = path_for(dir, &snap.id);
+    let temp = dir.join(format!(
+        ".{}.{}.tmp",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("snap"),
+        // Unique per write even when two threads snapshot the same id.
+        (std::process::id() as u64) << 32 | TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let mut f = fs::File::create(&temp)?;
+    let write = f.write_all(&bytes).and_then(|_| f.sync_all());
+    drop(f);
+    if let Err(e) = write {
+        let _ = fs::remove_file(&temp);
+        return Err(e);
+    }
+    match fs::rename(&temp, &path) {
+        Ok(()) => Ok(path),
+        Err(e) => {
+            let _ = fs::remove_file(&temp);
+            Err(e)
+        }
+    }
+}
+
+/// Reads and validates one snapshot file.
+pub fn load(path: &Path) -> Result<Snapshot, SnapshotError> {
+    decode(&fs::read(path)?)
+}
+
+/// All snapshot files in `dir` (by extension), in sorted-name order for
+/// deterministic startup, each paired with its load result so callers
+/// can log the corrupt ones and restore the rest. Missing dir = empty.
+pub fn scan(dir: &Path) -> Vec<(PathBuf, Result<Snapshot, SnapshotError>)> {
+    let Ok(entries) = fs::read_dir(dir) else { return Vec::new() };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(SNAPSHOT_EXT))
+        .collect();
+    paths.sort();
+    paths.into_iter().map(|p| { let r = load(&p); (p, r) }).collect()
+}
+
+/// Removes `id`'s snapshot from `dir` if present.
+pub fn remove(dir: &Path, id: &str) -> io::Result<()> {
+    match fs::remove_file(path_for(dir, id)) {
+        Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+        _ => Ok(()),
+    }
+}
+
+// ---------------------------------------------------------------- encode
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Serializes a snapshot to the full file image (header + payload).
+pub fn encode(snap: &Snapshot) -> Vec<u8> {
+    let mut p = Vec::new();
+    put_str(&mut p, &snap.id);
+    put_str(&mut p, &snap.source);
+    let e = &snap.export;
+    put_u64(&mut p, e.fingerprint);
+    put_u32(&mut p, e.sets.len() as u32);
+    for set in &e.sets {
+        put_u32(&mut p, set.len() as u32);
+        for &k in set {
+            put_u64(&mut p, k);
+        }
+    }
+    put_u32(&mut p, e.pt.len() as u32);
+    for &(k, idx) in &e.pt {
+        put_u64(&mut p, k);
+        put_u32(&mut p, idx);
+    }
+    for table in [&e.ins, &e.outs] {
+        put_u32(&mut p, table.len() as u32);
+        for (node_key, row) in table {
+            put_u64(&mut p, *node_key);
+            put_u32(&mut p, row.len() as u32);
+            for &(obj_key, idx) in row {
+                put_u64(&mut p, obj_key);
+                put_u32(&mut p, idx);
+            }
+        }
+    }
+    put_u32(&mut p, e.activations.len() as u32);
+    for (inst_key, name) in &e.activations {
+        put_u64(&mut p, *inst_key);
+        put_str(&mut p, name);
+    }
+
+    let mut out = Vec::with_capacity(HEADER_LEN + p.len());
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, SNAPSHOT_VERSION);
+    put_u64(&mut out, p.len() as u64);
+    put_u64(&mut out, fnv1a(&p));
+    out.extend_from_slice(&p);
+    out
+}
+
+// ---------------------------------------------------------------- decode
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Malformed("non-UTF-8 string"))
+    }
+
+    /// A declared element count, rejected up front when the remaining
+    /// payload could not possibly hold that many `min_elem_bytes`-sized
+    /// elements — so a hostile length field cannot drive a huge
+    /// allocation.
+    fn count(&mut self, min_elem_bytes: usize) -> Result<usize, SnapshotError> {
+        let n = self.u32()? as usize;
+        if n * min_elem_bytes > self.bytes.len() - self.pos {
+            return Err(SnapshotError::Truncated);
+        }
+        Ok(n)
+    }
+}
+
+/// Parses and validates a full file image.
+pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+    if bytes.len() < HEADER_LEN {
+        return if bytes.len() >= 8 && &bytes[..8] == MAGIC {
+            Err(SnapshotError::Truncated)
+        } else {
+            Err(SnapshotError::BadMagic)
+        };
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::VersionMismatch { found: version });
+    }
+    let len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+    let check = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() < len {
+        return Err(SnapshotError::Truncated);
+    }
+    if payload.len() > len {
+        return Err(SnapshotError::Malformed("trailing bytes after payload"));
+    }
+    if fnv1a(payload) != check {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+
+    let mut r = Reader { bytes: payload, pos: 0 };
+    let id = r.str()?;
+    let source = r.str()?;
+    let fingerprint = r.u64()?;
+    let mut sets = Vec::with_capacity(r.count(4)?);
+    for _ in 0..sets.capacity() {
+        let n = r.count(8)?;
+        let mut set = Vec::with_capacity(n);
+        for _ in 0..n {
+            set.push(r.u64()?);
+        }
+        sets.push(set);
+    }
+    let n_sets = sets.len() as u32;
+    let idx_checked = |idx: u32| -> Result<u32, SnapshotError> {
+        if idx >= n_sets {
+            return Err(SnapshotError::Malformed("set index out of range"));
+        }
+        Ok(idx)
+    };
+    let n = r.count(12)?;
+    let mut pt = Vec::with_capacity(n);
+    for _ in 0..n {
+        pt.push((r.u64()?, idx_checked(r.u32()?)?));
+    }
+    let mut tables: Vec<Vec<(u64, Vec<(u64, u32)>)>> = Vec::with_capacity(2);
+    for _ in 0..2 {
+        let n = r.count(12)?;
+        let mut table = Vec::with_capacity(n);
+        for _ in 0..n {
+            let node_key = r.u64()?;
+            let m = r.count(12)?;
+            let mut row = Vec::with_capacity(m);
+            for _ in 0..m {
+                row.push((r.u64()?, idx_checked(r.u32()?)?));
+            }
+            table.push((node_key, row));
+        }
+        tables.push(table);
+    }
+    let outs = tables.pop().unwrap();
+    let ins = tables.pop().unwrap();
+    let n = r.count(12)?;
+    let mut activations = Vec::with_capacity(n);
+    for _ in 0..n {
+        activations.push((r.u64()?, r.str()?));
+    }
+    if r.pos != payload.len() {
+        return Err(SnapshotError::Malformed("trailing bytes after payload"));
+    }
+    Ok(Snapshot {
+        id,
+        source,
+        export: WarmExport { fingerprint, sets, pt, ins, outs, activations },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            id: "demo/prog".into(),
+            source: "func @main() {\nentry:\n  ret\n}\n".into(),
+            export: WarmExport {
+                fingerprint: 0xdead_beef_cafe_f00d,
+                sets: vec![vec![], vec![1, 2, 3], vec![u64::MAX]],
+                pt: vec![(10, 0), (11, 2)],
+                ins: vec![(100, vec![(7, 1)])],
+                outs: vec![(101, vec![(7, 1), (8, 0)])],
+                activations: vec![(200, "callee".into())],
+            },
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let snap = sample();
+        assert_eq!(decode(&encode(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn file_round_trip_and_scan() {
+        let dir = std::env::temp_dir().join(format!("vsnap-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let snap = sample();
+        let path = save(&dir, &snap).unwrap();
+        assert_eq!(load(&path).unwrap(), snap);
+        let scanned = scan(&dir);
+        assert_eq!(scanned.len(), 1);
+        assert_eq!(scanned[0].1.as_ref().unwrap(), &snap);
+        // No temp files left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        remove(&dir, &snap.id).unwrap();
+        assert!(scan(&dir).is_empty());
+        remove(&dir, &snap.id).unwrap(); // idempotent
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = encode(&sample());
+        for cut in 0..bytes.len() {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated
+                        | SnapshotError::BadMagic
+                        | SnapshotError::ChecksumMismatch
+                ),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let bytes = encode(&sample());
+        let snap = sample();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 1;
+            // Either a typed error, or (flips confined to the id/source
+            // strings) a snapshot that differs from the original — never
+            // a silent identical decode, and never a panic.
+            match decode(&corrupt) {
+                Ok(s) => assert_ne!(s, snap, "bit flip at byte {i} went unnoticed"),
+                Err(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn version_and_magic_mismatches() {
+        let mut bytes = encode(&sample());
+        bytes[8] = 99; // version field
+        assert!(matches!(decode(&bytes).unwrap_err(), SnapshotError::VersionMismatch { found: 99 }));
+        let mut bytes = encode(&sample());
+        bytes[0] = b'X';
+        assert!(matches!(decode(&bytes).unwrap_err(), SnapshotError::BadMagic));
+        assert!(matches!(decode(b"short").unwrap_err(), SnapshotError::BadMagic));
+    }
+
+    #[test]
+    fn hostile_length_fields_do_not_allocate() {
+        // A payload that declares u32::MAX sets must be rejected before
+        // any proportional allocation happens.
+        let mut p = Vec::new();
+        put_str(&mut p, "id");
+        put_str(&mut p, "src");
+        put_u64(&mut p, 0);
+        put_u32(&mut p, u32::MAX); // set count
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        put_u32(&mut bytes, SNAPSHOT_VERSION);
+        put_u64(&mut bytes, p.len() as u64);
+        put_u64(&mut bytes, fnv1a(&p));
+        bytes.extend_from_slice(&p);
+        assert!(matches!(decode(&bytes).unwrap_err(), SnapshotError::Truncated));
+    }
+
+    #[test]
+    fn out_of_range_set_index_is_malformed() {
+        let mut snap = sample();
+        snap.export.pt[0].1 = 99;
+        let bytes = encode(&snap);
+        assert!(matches!(decode(&bytes).unwrap_err(), SnapshotError::Malformed(_)));
+    }
+}

@@ -1,0 +1,199 @@
+//! Concurrent Unix-socket serving (DESIGN.md §12): bounded admission
+//! with typed shedding, bit-identical responses under concurrency, and
+//! graceful drain on shutdown.
+//!
+//! The overload test is *deterministic*, not timing-tuned: a worker
+//! owns a connection for the connection's lifetime, so with one worker
+//! and a queue depth of one, a connected client plus one queued
+//! connection provably saturates the server — the third connection
+//! must be shed.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use vsfs_server::json::{self, Json};
+use vsfs_server::{Server, ServerConfig};
+
+fn code_of(resp: &Json) -> Option<&str> {
+    resp.get("error")?.get("code")?.as_str()
+}
+
+/// A tiny program with a queryable value: `pts %p` → `{A}`.
+const PROGRAM: &str = "func @f() {\nentry:\n  %p = alloc stack A\n  ret\n}\n";
+
+fn sock_path(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("vsfs-conc-{}-{tag}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Starts `run_unix` on its own thread with the test program preloaded.
+fn spawn_server(
+    path: &Path,
+    config: ServerConfig,
+) -> std::thread::JoinHandle<std::io::Result<()>> {
+    let path = path.to_path_buf();
+    std::thread::spawn(move || {
+        let mut server = Server::with_config(config);
+        let load = format!(
+            "{{\"op\":\"load\",\"id\":\"w\",\"source\":{}}}",
+            Json::Str(PROGRAM.to_string()).to_line()
+        );
+        let (resp, _) = server.handle_line(&load);
+        assert!(resp.contains("\"ok\":true"), "preload failed: {resp}");
+        server.run_unix(&path)
+    })
+}
+
+struct Client {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl Client {
+    /// Connects, retrying while the server thread is still binding.
+    fn connect(path: &Path) -> Client {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match UnixStream::connect(path) {
+                Ok(stream) => {
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(10)))
+                        .expect("set_read_timeout");
+                    let writer = stream.try_clone().expect("clone stream");
+                    return Client { writer, reader: BufReader::new(stream) };
+                }
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(10))
+                }
+                Err(e) => panic!("connect {}: {e}", path.display()),
+            }
+        }
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).expect("write request");
+        self.writer.write_all(b"\n").expect("write newline");
+        self.writer.flush().expect("flush");
+        self.read_line()
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp).expect("read response");
+        assert!(n > 0, "server hung up without a response");
+        resp.trim_end().to_string()
+    }
+}
+
+/// The read-only request mix every client replays. Includes an error
+/// case (`unknown_value`) on purpose: failures must be just as
+/// deterministic as successes.
+const REQUESTS: &[&str] = &[
+    r#"{"op":"ping"}"#,
+    r#"{"op":"stats","id":"w"}"#,
+    r#"{"op":"pts","id":"w","value":"%p"}"#,
+    r#"{"op":"alias","id":"w","p":"%p","q":"%p"}"#,
+    r#"{"op":"pts","id":"w","value":"%missing"}"#,
+    r#"{"op":"check","id":"w"}"#,
+    r#"{"op":"stats"}"#,
+    r#"{"op":"pts","id":"ghost","value":"%p"}"#,
+];
+
+#[test]
+fn concurrent_clients_are_bit_identical_to_sequential() {
+    let path = sock_path("identical");
+    let config = ServerConfig { workers: 4, queue_depth: 16, ..ServerConfig::default() };
+    let handle = spawn_server(&path, config);
+
+    // Sequential baseline over the real transport.
+    let mut probe = Client::connect(&path);
+    let baseline: Vec<String> = REQUESTS.iter().map(|r| probe.send(r)).collect();
+    for (req, resp) in REQUESTS.iter().zip(&baseline) {
+        assert!(resp.starts_with("{\"ok\":"), "{req} -> {resp}");
+    }
+    drop(probe);
+
+    // Four clients replay the same mix concurrently, twice over.
+    let transcripts: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut client = Client::connect(&path);
+                    let mut got = Vec::new();
+                    for _ in 0..2 {
+                        got.extend(REQUESTS.iter().map(|r| client.send(r)));
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    for (i, transcript) in transcripts.iter().enumerate() {
+        assert_eq!(transcript.len(), baseline.len() * 2);
+        for (j, resp) in transcript.iter().enumerate() {
+            assert_eq!(
+                resp,
+                &baseline[j % baseline.len()],
+                "client {i}, request {j}: concurrent response diverged from sequential"
+            );
+        }
+    }
+
+    let mut closer = Client::connect(&path);
+    let bye = closer.send(r#"{"op":"shutdown"}"#);
+    assert!(bye.contains("\"ok\":true"), "{bye}");
+    handle.join().expect("server thread").expect("run_unix");
+    assert!(!path.exists(), "socket file must be removed on shutdown");
+}
+
+#[test]
+fn overload_sheds_with_typed_error_and_drain_is_graceful() {
+    let path = sock_path("overload");
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        retry_after_ms: 200,
+        ..ServerConfig::default()
+    };
+    let handle = spawn_server(&path, config);
+
+    // A occupies the only worker (response proves the worker took it)…
+    let mut a = Client::connect(&path);
+    let pong = a.send(r#"{"op":"ping"}"#);
+    assert!(pong.contains("\"ok\":true"), "{pong}");
+
+    // …B fills the only queue slot…
+    let mut b = Client::connect(&path);
+    std::thread::sleep(Duration::from_millis(200));
+
+    // …so C must be shed with the typed refusal, then hung up on.
+    let mut c = Client::connect(&path);
+    let shed = c.read_line();
+    let shed = json::parse(&shed).expect("shed response parses");
+    assert_eq!(shed.get("ok"), Some(&Json::Bool(false)), "{shed:?}");
+    assert_eq!(code_of(&shed), Some("overloaded"), "{shed:?}");
+    assert!(
+        matches!(shed.get("retry_after_ms"), Some(Json::Num(ms)) if *ms > 0.0),
+        "shed response must carry a retry hint: {shed:?}"
+    );
+    let mut eof = String::new();
+    assert_eq!(c.reader.read_line(&mut eof).expect("post-shed read"), 0, "shed closes the stream");
+
+    // A is still live — shedding C never disturbed admitted clients.
+    let again = a.send(r#"{"op":"pts","id":"w","value":"%p"}"#);
+    assert!(again.contains("\"ok\":true"), "{again}");
+
+    // Shutdown from A: queued-but-never-served B is told, not hung up on.
+    let bye = a.send(r#"{"op":"shutdown"}"#);
+    assert!(bye.contains("\"ok\":true"), "{bye}");
+    let drained = b.read_line();
+    let drained = json::parse(&drained).expect("drain response parses");
+    assert_eq!(code_of(&drained), Some("shutting_down"), "{drained:?}");
+
+    handle.join().expect("server thread").expect("run_unix");
+    assert!(!path.exists(), "socket file must be removed on shutdown");
+}

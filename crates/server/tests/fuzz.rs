@@ -1,0 +1,135 @@
+//! In-process protocol fuzzing (DESIGN.md §12): seeded
+//! [`ProtocolFuzzer`] sessions driven through `Server::serve` over byte
+//! buffers. The invariants under test:
+//!
+//! * the server survives every session — no panics, no early exit;
+//! * every non-blank request line gets exactly one response line;
+//! * every failure response uses a code from the closed taxonomy
+//!   ([`vsfs_server::ERROR_CODES`]);
+//! * transcripts are deterministic per seed (modulo wall-clock timing
+//!   fields).
+//!
+//! The CLI's e2e tests replay the same seeds against a spawned process
+//! on both transports; this suite is the fast in-proc gate.
+
+use std::io::Cursor;
+
+use vsfs_server::json::{self, Json};
+use vsfs_server::{Server, ServerConfig, ERROR_CODES};
+use vsfs_testkit::ProtocolFuzzer;
+
+const MAX_LINE: usize = 4096;
+const SESSION_LEN: usize = 200;
+
+fn fuzz_config() -> ServerConfig {
+    ServerConfig { max_request_bytes: MAX_LINE, ..ServerConfig::default() }
+}
+
+/// Feeds one full seeded session through `serve` and returns the
+/// response transcript (one entry per response line).
+fn run_session(seed: u64) -> Vec<String> {
+    let mut server = Server::with_config(fuzz_config());
+    let session = ProtocolFuzzer::new(seed, MAX_LINE).session(SESSION_LEN);
+
+    let mut input = Vec::new();
+    let mut expected = 0usize;
+    for case in &session {
+        input.extend_from_slice(&case.line);
+        input.push(b'\n');
+        // `serve` answers every line except blank ones under the cap;
+        // over-cap lines always earn a `request_too_large` response.
+        if case.line.len() > MAX_LINE || !String::from_utf8_lossy(&case.line).trim().is_empty() {
+            expected += 1;
+        }
+    }
+
+    let mut output = Vec::new();
+    let shutdown = server
+        .serve(Cursor::new(input), &mut output)
+        .unwrap_or_else(|e| panic!("seed {seed:#x}: serve died: {e}"));
+    assert!(!shutdown, "seed {seed:#x}: fuzz session must never shut the server down");
+
+    let transcript: Vec<String> =
+        String::from_utf8(output).expect("responses are UTF-8").lines().map(String::from).collect();
+    assert_eq!(
+        transcript.len(),
+        expected,
+        "seed {seed:#x}: one response per non-blank request line"
+    );
+
+    for (i, line) in transcript.iter().enumerate() {
+        let resp = json::parse(line)
+            .unwrap_or_else(|e| panic!("seed {seed:#x} response {i} unparsable ({e}): {line}"));
+        match resp.get("ok") {
+            Some(Json::Bool(true)) => {}
+            Some(Json::Bool(false)) => {
+                let code = resp
+                    .get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| {
+                        panic!("seed {seed:#x} response {i} has no error code: {line}")
+                    });
+                assert!(
+                    ERROR_CODES.contains(&code),
+                    "seed {seed:#x} response {i}: code {code:?} outside the closed taxonomy"
+                );
+            }
+            other => panic!("seed {seed:#x} response {i}: bad ok field {other:?} in {line}"),
+        }
+    }
+
+    // The engine is still healthy after the barrage.
+    let (pong, _) = server.handle_line(r#"{"op":"ping"}"#);
+    let pong = json::parse(&pong).unwrap();
+    assert_eq!(pong.get("ok"), Some(&Json::Bool(true)), "seed {seed:#x}: ping after session");
+
+    transcript
+}
+
+/// Blanks out the one wall-clock field so transcripts compare stably.
+fn normalize(line: &str) -> String {
+    let key = "\"solve_seconds\":";
+    let mut out = String::new();
+    let mut rest = line;
+    while let Some(at) = rest.find(key) {
+        let val_start = at + key.len();
+        out.push_str(&rest[..val_start]);
+        out.push('0');
+        let tail = &rest[val_start..];
+        let end = tail.find([',', '}']).unwrap_or(tail.len());
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn fuzz_sessions_never_kill_the_server() {
+    for seed in [0x5eed_0001u64, 0x5eed_0002, 0x5eed_0003] {
+        run_session(seed);
+    }
+}
+
+#[test]
+fn fuzz_transcripts_are_deterministic_per_seed() {
+    let a: Vec<String> = run_session(0xd37e_12).iter().map(|l| normalize(l)).collect();
+    let b: Vec<String> = run_session(0xd37e_12).iter().map(|l| normalize(l)).collect();
+    assert_eq!(a, b, "same seed, same transcript");
+    let c: Vec<String> = run_session(0xd37e_13).iter().map(|l| normalize(l)).collect();
+    assert_ne!(a, c, "different seeds should exercise different sessions");
+}
+
+#[test]
+fn normalize_strips_only_timing() {
+    assert_eq!(
+        normalize(r#"{"ok":true,"solve_seconds":0.1234,"waves":3}"#),
+        r#"{"ok":true,"solve_seconds":0,"waves":3}"#
+    );
+    assert_eq!(
+        normalize(r#"{"ok":true,"solve_seconds":2e-05}"#),
+        r#"{"ok":true,"solve_seconds":0}"#
+    );
+    let untouched = r#"{"ok":false,"code":"bad_json"}"#;
+    assert_eq!(normalize(untouched), untouched);
+}

@@ -1,0 +1,224 @@
+//! Differential snapshot round-trip suite (DESIGN.md §12): restoring a
+//! warm-state snapshot must be *fingerprint-identical* to a cold solve
+//! of the same text — on random workloads, across edit sequences, and
+//! never worse than a cold solve when the file is truncated, corrupted,
+//! or stale.
+
+use vsfs_core::{export_warm, restore_program, solve_program, IncrementalOptions};
+use vsfs_server::json::{self, Json};
+use vsfs_server::{snapshot, Server, ServerConfig};
+use vsfs_testkit::Rng;
+use vsfs_workloads::{edit_script, WorkloadConfig};
+
+fn random_config(rng: &mut Rng) -> WorkloadConfig {
+    WorkloadConfig {
+        seed: rng.next_u64(),
+        functions: rng.gen_range(4usize..9),
+        segments: rng.gen_range(1usize..4),
+        loads_per_block: rng.gen_range(0usize..3),
+        stores_per_block: rng.gen_range(1usize..3),
+        load_chain: rng.gen_range(0usize..3),
+        heap_fraction: rng.gen_f64(),
+        indirect_call_fraction: rng.gen_range(0.0f64..0.5),
+        backward_call_fraction: rng.gen_range(0.0f64..0.4),
+        edit_fraction: rng.gen_range(0.3f64..0.8),
+        ..WorkloadConfig::small()
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("vsfs-snaptest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn request(server: &mut Server, line: &str) -> Json {
+    let (resp, _) = server.handle_line(line);
+    json::parse(&resp).unwrap_or_else(|e| panic!("unparsable response {resp}: {e}"))
+}
+
+fn quote(text: &str) -> String {
+    Json::Str(text.to_string()).to_line()
+}
+
+fn fp_of(resp: &Json) -> String {
+    resp.get("fingerprint").and_then(Json::as_str).unwrap_or_else(|| panic!("{resp:?}")).to_string()
+}
+
+#[test]
+fn restore_is_fingerprint_identical_to_cold_solve_on_random_workloads() {
+    let mut rng = Rng::seed_from_u64(0x534e_4150);
+    let opts = IncrementalOptions::default();
+    let dir = temp_dir("random");
+    for case in 0..6 {
+        let config = random_config(&mut rng);
+        let source = vsfs_workloads::generate(&config).to_string();
+        let (cold, cold_report) = solve_program(&source, opts, None, None).unwrap();
+        let export = export_warm(&cold).expect("complete solve exports");
+
+        // Through the real file format, not just in memory.
+        let id = format!("case{case}");
+        let snap = snapshot::Snapshot { id: id.clone(), source: source.clone(), export };
+        let path = snapshot::save(&dir, &snap).unwrap();
+        let reread = snapshot::load(&path).unwrap();
+        assert_eq!(reread, snap, "case {case}: file round trip");
+
+        let (restored, report) =
+            restore_program(&reread.source, &reread.export, opts, None, None).unwrap();
+        assert!(report.restored, "case {case}: clean snapshot must restore");
+        assert_eq!(report.dirty_nodes, 0, "case {case}");
+        assert_eq!(
+            restored.fingerprint, cold.fingerprint,
+            "case {case} (config seed {:#x}): restore ≠ cold solve",
+            config.seed
+        );
+        assert_eq!(report.fingerprint, cold_report.fingerprint, "case {case}");
+        assert!(restored.has_warm_state(), "case {case}: restore must re-arm incrementality");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshots_stay_fingerprint_identical_across_edit_sequences() {
+    let mut rng = Rng::seed_from_u64(0xed17);
+    let opts = IncrementalOptions::default();
+    let dir = temp_dir("edits");
+    let config = random_config(&mut rng);
+    let script = edit_script(&config, 0xfeed, 4);
+
+    let cfg = ServerConfig { snapshot_dir: Some(dir.clone()), ..ServerConfig::default() };
+    let mut live = Server::with_config(cfg.clone());
+    let loaded = request(
+        &mut live,
+        &format!("{{\"op\":\"load\",\"id\":\"w\",\"source\":{}}}", quote(&script.base.to_string())),
+    );
+    assert_eq!(loaded.get("ok"), Some(&Json::Bool(true)), "{loaded:?}");
+
+    for (i, step) in script.steps.iter().enumerate() {
+        let edited = request(
+            &mut live,
+            &format!(
+                "{{\"op\":\"edit\",\"id\":\"w\",\"delta\":[{{\"action\":\"replace\",\"name\":\"{}\",\"text\":{}}}]}}",
+                step.name,
+                quote(&step.text)
+            ),
+        );
+        assert_eq!(edited.get("ok"), Some(&Json::Bool(true)), "step {i}: {edited:?}");
+        let live_fp = fp_of(&edited);
+
+        // A cold solve of the post-edit text agrees...
+        let (cold, _) = solve_program(&step.program.to_string(), opts, None, None).unwrap();
+        assert_eq!(format!("{:016x}", cold.fingerprint), live_fp, "step {i}: live ≠ cold");
+
+        // ...and so does a fresh server restarted from the snapshot dir
+        // (the snapshot tracked the edit).
+        let mut revived = Server::with_config(cfg.clone());
+        let log = revived.restore_snapshots();
+        assert_eq!(log.len(), 1, "step {i}: {log:?}");
+        assert!(log[0].contains("restored"), "step {i}: {log:?}");
+        let stats = request(&mut revived, "{\"op\":\"stats\",\"id\":\"w\"}");
+        assert_eq!(fp_of(&stats), live_fp, "step {i}: restored ≠ live");
+        assert_eq!(stats.get("warm"), Some(&Json::Bool(true)), "step {i}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_and_corrupted_snapshots_degrade_to_cold_solves() {
+    let mut rng = Rng::seed_from_u64(0xbad);
+    let dir = temp_dir("corrupt");
+    let config = random_config(&mut rng);
+    let source = vsfs_workloads::generate(&config).to_string();
+
+    let cfg = ServerConfig { snapshot_dir: Some(dir.clone()), ..ServerConfig::default() };
+    let mut first = Server::with_config(cfg.clone());
+    let loaded = request(
+        &mut first,
+        &format!("{{\"op\":\"load\",\"id\":\"w\",\"source\":{}}}", quote(&source)),
+    );
+    let fp = fp_of(&loaded);
+    drop(first);
+    let path = snapshot::path_for(&dir, "w");
+    let pristine = std::fs::read(&path).unwrap();
+
+    let corruptions: Vec<(&str, Vec<u8>)> = vec![
+        ("truncated-header", pristine[..10].to_vec()),
+        ("truncated-half", pristine[..pristine.len() / 2].to_vec()),
+        ("truncated-by-one", pristine[..pristine.len() - 1].to_vec()),
+        ("bit-flip-payload", {
+            let mut b = pristine.clone();
+            let mid = b.len() / 2;
+            b[mid] ^= 0x40;
+            b
+        }),
+        ("wrong-version", {
+            let mut b = pristine.clone();
+            b[8] = 0xEE;
+            b
+        }),
+        ("empty", Vec::new()),
+        ("not-a-snapshot", b"once upon a time".to_vec()),
+    ];
+    for (tag, bytes) in corruptions {
+        std::fs::write(&path, &bytes).unwrap();
+        let mut revived = Server::with_config(cfg.clone());
+        let log = revived.restore_snapshots();
+        assert!(
+            log.iter().all(|l| l.contains("skipped")),
+            "{tag}: corrupt snapshot must be skipped, got {log:?}"
+        );
+        assert!(revived.program_ids().is_empty(), "{tag}");
+
+        // The same id still loads — cold — to the right answer.
+        let reloaded = request(
+            &mut revived,
+            &format!("{{\"op\":\"load\",\"id\":\"w\",\"source\":{}}}", quote(&source)),
+        );
+        assert_eq!(reloaded.get("ok"), Some(&Json::Bool(true)), "{tag}: {reloaded:?}");
+        assert_eq!(reloaded.get("restored"), Some(&Json::Bool(false)), "{tag}");
+        assert_eq!(fp_of(&reloaded), fp, "{tag}: cold solve after corruption diverged");
+        // Loading rewrote a good snapshot; restore the corruption target
+        // for the next case.
+        std::fs::write(&path, &bytes).unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_snapshot_is_ignored_then_replaced() {
+    let mut rng = Rng::seed_from_u64(0x57a1e);
+    let dir = temp_dir("stale");
+    let config = random_config(&mut rng);
+    let script = edit_script(&config, 0xabc, 1);
+    let old_text = script.base.to_string();
+    let new_text = script.steps[0].program.to_string();
+    assert_ne!(old_text, new_text);
+
+    let cfg = ServerConfig { snapshot_dir: Some(dir.clone()), ..ServerConfig::default() };
+    let mut server = Server::with_config(cfg.clone());
+    request(&mut server, &format!("{{\"op\":\"load\",\"id\":\"w\",\"source\":{}}}", quote(&old_text)));
+    drop(server);
+
+    // Loading *different* text under the same id must ignore the stale
+    // snapshot (cold solve), then overwrite it with the new state.
+    let mut server = Server::with_config(cfg.clone());
+    let loaded = request(
+        &mut server,
+        &format!("{{\"op\":\"load\",\"id\":\"w\",\"source\":{}}}", quote(&new_text)),
+    );
+    assert_eq!(loaded.get("restored"), Some(&Json::Bool(false)), "{loaded:?}");
+    let fp_new = fp_of(&loaded);
+    let (cold, _) = solve_program(&new_text, IncrementalOptions::default(), None, None).unwrap();
+    assert_eq!(format!("{:016x}", cold.fingerprint), fp_new);
+    drop(server);
+
+    // And now the snapshot holds the new text: identical reload restores.
+    let mut server = Server::with_config(cfg);
+    let reloaded = request(
+        &mut server,
+        &format!("{{\"op\":\"load\",\"id\":\"w\",\"source\":{}}}", quote(&new_text)),
+    );
+    assert_eq!(reloaded.get("restored"), Some(&Json::Bool(true)), "{reloaded:?}");
+    assert_eq!(fp_of(&reloaded), fp_new);
+    let _ = std::fs::remove_dir_all(&dir);
+}

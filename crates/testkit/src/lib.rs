@@ -25,9 +25,11 @@
 
 pub mod fault;
 pub mod gen;
+pub mod protocol;
 pub mod rng;
 
 pub use fault::FaultPlan;
+pub use protocol::{CaseKind, FuzzCase, ProtocolFuzzer};
 pub use rng::Rng;
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

@@ -126,4 +126,21 @@ else
 fi
 
 echo
+echo "== protocol fuzz smoke: seeded sessions on both transports, zero deaths =="
+# In-proc sessions (seeds 0x5eed0001..3 through Server::serve), then the
+# e2e suite replaying seeds 1/2/3 over stdio and 11/12/13 over a Unix
+# socket against a spawned vsfs process.
+cargo test --release -q -p vsfs-server --test fuzz
+cargo test --release -q -p vsfs-cli --test serve
+
+echo
+echo "== snapshot round trip: restore is fingerprint-identical to cold =="
+cargo test --release -q -p vsfs-server --test snapshot
+cargo test --release -q -p vsfs-server --test concurrent
+
+echo
+echo "== server gate: snapshot restore >= 5x faster than cold solve =="
+cargo run --release -p vsfs-bench --bin server_bench -- ninja,bake --gate 5
+
+echo
 echo "CI OK"

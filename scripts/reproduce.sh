@@ -38,5 +38,9 @@ echo "== Incremental: edit re-solve vs from-scratch (writes results/BENCH_increm
 ./target/release/incremental_bench
 
 echo
+echo "== Serving path: latency, shed rate, snapshot restore (writes results/BENCH_server.json) =="
+./target/release/server_bench
+
+echo
 echo "== Micro-benches (phases, versioning scaling, ablations) =="
 cargo bench -p vsfs-bench
