@@ -38,7 +38,7 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
 pub fn render_table3(rows: &[Table3Row]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<14} {:>9} {:>9} | {:>10} {:>9} | {:>8} {:>10} {:>9} | {:>9} {:>9} | {:>6} {:>7}\n",
+        "{:<14} {:>9} {:>9} | {:>10} {:>9} | {:>8} {:>10} {:>9} | {:>8} {:>9} | {:>9} {:>9} | {:>6} {:>7}\n",
         "Bench.",
         "Ander(s)",
         "A.MiB",
@@ -47,12 +47,14 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
         "Vers(s)",
         "VSFS(s)",
         "VSFS.MiB",
+        "CFGF(s)",
+        "CFGF.MiB",
         "TimeDiff",
         "MemDiff",
         "Dedup%",
         "UHit%"
     ));
-    out.push_str(&"-".repeat(134));
+    out.push_str(&"-".repeat(154));
     out.push('\n');
     for r in rows {
         let sfs_time = if r.sfs.oom { "OOM".to_string() } else { format!("{:.3}", r.sfs.seconds) };
@@ -73,8 +75,12 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
         } else {
             "-".to_string()
         };
+        let cfg_time =
+            if r.cfgfree.oom { "OOM".to_string() } else { format!("{:.3}", r.cfgfree.seconds) };
+        let cfg_mem =
+            if r.cfgfree.oom { "OOM".to_string() } else { mib(r.cfgfree.peak_bytes) };
         out.push_str(&format!(
-            "{:<14} {:>9.3} {:>9} | {:>10} {:>9} | {:>8.3} {:>10.3} {:>9} | {:>9} {:>9} | {:>6} {:>7.1}\n",
+            "{:<14} {:>9.3} {:>9} | {:>10} {:>9} | {:>8.3} {:>10.3} {:>9} | {:>8} {:>9} | {:>9} {:>9} | {:>6} {:>7.1}\n",
             r.name,
             r.andersen_seconds,
             mib(r.andersen_peak_bytes),
@@ -83,18 +89,20 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
             r.versioning_seconds,
             r.vsfs.seconds,
             mib(r.vsfs.peak_bytes),
+            cfg_time,
+            cfg_mem,
             tdiff,
             mdiff,
             dedup,
             100.0 * r.vsfs.union_hit_rate
         ));
     }
-    out.push_str(&"-".repeat(134));
+    out.push_str(&"-".repeat(154));
     out.push('\n');
     let tg = geomean(rows.iter().filter_map(Table3Row::time_diff));
     let mg = geomean(rows.iter().filter_map(Table3Row::mem_diff));
     out.push_str(&format!(
-        "{:<14} {:>86} {:>9} {:>9}\n",
+        "{:<14} {:>106} {:>9} {:>9}\n",
         "Average",
         "(geometric mean)",
         tg.map_or("-".to_string(), |g| format!("{g:.2}x")),
@@ -128,7 +136,8 @@ pub fn csv_table2(rows: &[Table2Row]) -> String {
 pub fn csv_table3(rows: &[Table3Row]) -> String {
     let mut out = String::from(
         "bench,andersen_s,andersen_mib,sfs_s,sfs_mib,versioning_s,vsfs_s,vsfs_mib,time_diff,\
-         mem_diff,sfs_oom,sfs_unique_sets,vsfs_unique_sets,vsfs_stored_sets,vsfs_union_hit_rate\n",
+         mem_diff,sfs_oom,sfs_unique_sets,vsfs_unique_sets,vsfs_stored_sets,vsfs_union_hit_rate,\
+         cfgfree_s,cfgfree_mib,cfgfree_oom\n",
     );
     for r in rows {
         let (sfs_s, sfs_m) = if r.sfs.oom {
@@ -136,8 +145,13 @@ pub fn csv_table3(rows: &[Table3Row]) -> String {
         } else {
             (format!("{:.4}", r.sfs.seconds), mib(r.sfs.peak_bytes))
         };
+        let (cfg_s, cfg_m) = if r.cfgfree.oom {
+            (String::new(), String::new())
+        } else {
+            (format!("{:.4}", r.cfgfree.seconds), mib(r.cfgfree.peak_bytes))
+        };
         out.push_str(&format!(
-            "{},{:.4},{},{},{},{:.4},{:.4},{},{},{},{},{},{},{},{}\n",
+            "{},{:.4},{},{},{},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{}\n",
             r.name,
             r.andersen_seconds,
             mib(r.andersen_peak_bytes),
@@ -152,7 +166,10 @@ pub fn csv_table3(rows: &[Table3Row]) -> String {
             r.sfs.unique_sets,
             r.vsfs.unique_sets,
             r.vsfs.stored_sets,
-            format!("{:.4}", r.vsfs.union_hit_rate)
+            format!("{:.4}", r.vsfs.union_hit_rate),
+            cfg_s,
+            cfg_m,
+            r.cfgfree.oom
         ));
     }
     out
@@ -182,6 +199,7 @@ mod tests {
                 sfs: cell(2.0, 4 << 20, false),
                 versioning_seconds: 0.1,
                 vsfs: cell(0.4, 2 << 20, false),
+                cfgfree: cell(0.6, 1 << 20, false),
             },
             Table3Row {
                 name: "oomy".into(),
@@ -190,6 +208,7 @@ mod tests {
                 sfs: cell(9.0, 99 << 20, true),
                 versioning_seconds: 0.2,
                 vsfs: cell(1.0, 3 << 20, false),
+                cfgfree: cell(1.5, 2 << 20, false),
             },
         ];
         let s = render_table3(&rows);

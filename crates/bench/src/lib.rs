@@ -129,6 +129,10 @@ pub struct Table3Row {
     pub versioning_seconds: f64,
     /// VSFS main phase.
     pub vsfs: SolverCell,
+    /// CFG-free (constraint-ordering) main phase. Runs straight off the
+    /// Andersen constraint graph, so unlike the staged cells its cost
+    /// includes no memory-SSA/SVFG prerequisite at all.
+    pub cfgfree: SolverCell,
 }
 
 impl Table3Row {
@@ -206,6 +210,26 @@ pub fn table3_row(
     let mut vsfs = vsfs_cell.expect("at least one run");
     vsfs.seconds = vsfs_secs / runs.max(1) as f64;
 
+    let mut cfg_secs = 0.0;
+    let mut cfg_cell = None;
+    for _ in 0..runs.max(1) {
+        let scope = MemScope::start();
+        let r = vsfs_core::run_cfgfree(&p.prog, &p.aux);
+        let peak = scope.peak_bytes();
+        cfg_secs += r.stats.solve_seconds;
+        cfg_cell = Some(SolverCell {
+            seconds: 0.0,
+            peak_bytes: peak,
+            stored_sets: r.stats.stored_object_sets,
+            propagations: r.stats.object_propagations,
+            unique_sets: r.stats.store.unique_sets,
+            union_hit_rate: r.stats.store.union_hit_rate(),
+            oom: peak > mem_budget_bytes,
+        });
+    }
+    let mut cfgfree = cfg_cell.expect("at least one run");
+    cfgfree.seconds = cfg_secs / runs.max(1) as f64;
+
     Table3Row {
         name: spec.name.to_string(),
         andersen_seconds: p.andersen_seconds,
@@ -213,6 +237,7 @@ pub fn table3_row(
         sfs,
         versioning_seconds: versioning_secs / runs.max(1) as f64,
         vsfs,
+        cfgfree,
     }
 }
 
@@ -252,7 +277,8 @@ mod tests {
         let t2 = table2_row(&spec, &p);
         assert!(t2.nodes > 0 && t2.indirect_edges > 0);
         let t3 = table3_row(&spec, &p, 1, usize::MAX);
-        assert!(!t3.sfs.oom && !t3.vsfs.oom);
+        assert!(!t3.sfs.oom && !t3.vsfs.oom && !t3.cfgfree.oom);
         assert!(t3.sfs.stored_sets >= t3.vsfs.stored_sets);
+        assert!(t3.cfgfree.stored_sets > 0);
     }
 }

@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! vsfs [OPTIONS] <program.vir | --corpus NAME | --workload NAME>
-//! vsfs serve [--socket PATH] [--corpus DIR] [--order ORDER] [--jobs N]
-//!            [--snapshot-dir DIR] [--workers N] [--queue N]
+//! vsfs serve [--socket PATH] [--corpus DIR] [--solver NAME] [--order ORDER]
+//!            [--jobs N] [--snapshot-dir DIR] [--workers N] [--queue N]
 //!            [--deadline SECS] [--max-request-bytes N]
 //!
 //! `serve` starts the long-running incremental analysis server (see
@@ -16,9 +16,16 @@
 //! bounded admission queue that sheds overload with typed errors.
 //!
 //! Analyses:
-//!   --ander            Andersen's flow-insensitive analysis only
-//!   --fspta            staged flow-sensitive analysis (SFS baseline)
-//!   --vfspta           versioned staged flow-sensitive analysis (default)
+//!   --solver NAME      which analysis to run: `ander` (Andersen's
+//!                      flow-insensitive baseline only), `dense`
+//!                      (textbook IN/OUT iteration over the ICFG),
+//!                      `sfs` (staged flow-sensitive analysis),
+//!                      `vsfs` (versioned SFS, the default), or
+//!                      `cfgfree` (constraint-ordering flow
+//!                      sensitivity; builds no memory SSA or SVFG)
+//!   --ander            deprecated alias for `--solver ander`
+//!   --fspta            alias for `--solver sfs`
+//!   --vfspta           alias for `--solver vsfs`
 //!
 //! Input:
 //!   <file.vir>         a textual IR file
@@ -33,8 +40,9 @@
 //!                      fixpoints: `topo` (SCC-condensation topological
 //!                      priority, the default) or `fifo`; the final
 //!                      result is bit-identical either way, only the
-//!                      visit counts change. Rejected with --ander,
-//!                      which has no scheduled fixpoint here.
+//!                      visit counts change. Rejected with the `ander`
+//!                      and `dense` solvers, whose worklists are not
+//!                      order-switchable.
 //!
 //! Budgets (any of these switches the run into governed mode):
 //!   --time-budget SECS wall-clock deadline shared by every stage
@@ -81,18 +89,20 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 use vsfs_adt::govern::{Budget, CancelToken, Completion, Governor};
 use vsfs_adt::mem::CountingAlloc;
-use vsfs_core::{FlowSensitiveResult, GovernedAnalysis, SolveOrder};
+use vsfs_core::{FlowSensitiveResult, GovernedAnalysis, SolveOrder, SolverKind};
 use vsfs_ir::Program;
 use vsfs_testkit::FaultPlan;
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc::new();
 
+/// What `--solver` selects. `ander` stops after the auxiliary stage and
+/// is therefore not a [`SolverKind`] (those all produce a flow-sensitive
+/// result); every other name maps straight onto the core solver family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Analysis {
     Andersen,
-    Sfs,
-    Vsfs,
+    Flow(SolverKind),
 }
 
 #[derive(Debug)]
@@ -137,7 +147,7 @@ enum Input {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vsfs [--ander|--fspta|--vfspta] [--jobs N] [--order fifo|topo] \
+        "usage: vsfs [--solver ander|dense|sfs|vsfs|cfgfree] [--jobs N] [--order fifo|topo] \
          [--time-budget SECS] [--step-budget N] [--mem-budget MIB] [--inject-fault KIND:SEED] \
          [--print-pts] [--print-callgraph] [--precision-report] [--dot-svfg FILE] \
          [--check] [--check-json FILE] [--stats] \
@@ -162,7 +172,7 @@ fn flag_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
 }
 
 fn parse_args() -> Options {
-    let mut analysis = Analysis::Vsfs;
+    let mut analysis = Analysis::Flow(SolverKind::default());
     let mut input = None;
     let mut print_pts = false;
     let mut print_callgraph = false;
@@ -208,9 +218,29 @@ fn parse_args() -> Options {
                     }
                 }
             }
-            "--ander" => analysis = Analysis::Andersen,
-            "--fspta" => analysis = Analysis::Sfs,
-            "--vfspta" => analysis = Analysis::Vsfs,
+            "--solver" => {
+                let name: String = flag_value("--solver", args.next());
+                analysis = if name == "ander" {
+                    Analysis::Andersen
+                } else {
+                    match SolverKind::parse(&name) {
+                        Some(kind) => Analysis::Flow(kind),
+                        None => {
+                            eprintln!(
+                                "error: invalid value `{name}` for --solver \
+                                 (expected `ander`, `dense`, `sfs`, `vsfs`, or `cfgfree`)"
+                            );
+                            std::process::exit(1);
+                        }
+                    }
+                };
+            }
+            "--ander" => {
+                eprintln!("warning: --ander is deprecated; use `--solver ander`");
+                analysis = Analysis::Andersen;
+            }
+            "--fspta" => analysis = Analysis::Flow(SolverKind::Sfs),
+            "--vfspta" => analysis = Analysis::Flow(SolverKind::Vsfs),
             "--print-pts" => print_pts = true,
             "--print-callgraph" => print_callgraph = true,
             "--precision-report" => precision_report = true,
@@ -322,15 +352,22 @@ fn main() -> ExitCode {
     };
     if opts.check && opts.analysis == Analysis::Andersen {
         eprintln!(
-            "error: --check needs a flow-sensitive analysis (--fspta/--vfspta) \
+            "error: --check needs a flow-sensitive analysis (--solver dense|sfs|vsfs|cfgfree) \
              to compare against; Andersen runs as the baseline automatically"
         );
         return ExitCode::from(1);
     }
     if opts.order.is_some() && opts.analysis == Analysis::Andersen {
         eprintln!(
-            "error: --order schedules the flow-sensitive fixpoints (--fspta/--vfspta); \
-             Andersen's solver is not order-switchable"
+            "error: --order schedules the flow-sensitive fixpoints \
+             (--solver dense|sfs|vsfs|cfgfree); Andersen's solver is not order-switchable"
+        );
+        return ExitCode::from(1);
+    }
+    if opts.order.is_some() && opts.analysis == Analysis::Flow(SolverKind::Dense) {
+        eprintln!(
+            "error: --order schedules the sparse fixpoints (--solver sfs|vsfs|cfgfree); \
+             the dense solver's FIFO worklist is not order-switchable"
         );
         return ExitCode::from(1);
     }
@@ -341,15 +378,18 @@ fn main() -> ExitCode {
     }
 }
 
-/// `vsfs serve [--socket PATH] [--corpus DIR] [--order ORDER] [--jobs N]
-/// [--snapshot-dir DIR] [--workers N] [--queue N] [--deadline SECS]
-/// [--max-request-bytes N]` — the long-running incremental analysis
-/// server (line-delimited JSON on stdin/stdout, or on a Unix socket with
-/// `--socket`). `--corpus DIR` preloads every `*.vir` file in `DIR` as a
-/// resident program keyed by its file stem. `--snapshot-dir DIR`
-/// persists every completed solve to a checksummed warm-state snapshot
-/// and restores all of them at startup instead of cold-solving. See
-/// `vsfs-server` for the protocol and robustness model.
+/// `vsfs serve [--socket PATH] [--corpus DIR] [--solver NAME]
+/// [--order ORDER] [--jobs N] [--snapshot-dir DIR] [--workers N]
+/// [--queue N] [--deadline SECS] [--max-request-bytes N]` — the
+/// long-running incremental analysis server (line-delimited JSON on
+/// stdin/stdout, or on a Unix socket with `--socket`). `--corpus DIR`
+/// preloads every `*.vir` file in `DIR` as a resident program keyed by
+/// its file stem. `--solver NAME` sets the default resident solver
+/// (dense|sfs|vsfs|cfgfree; per-request `solver` fields override it).
+/// `--snapshot-dir DIR` persists every completed solve to a checksummed
+/// warm-state snapshot and restores all of them at startup instead of
+/// cold-solving. See `vsfs-server` for the protocol and robustness
+/// model.
 fn run_serve(args: Vec<String>) -> ExitCode {
     let mut socket: Option<std::path::PathBuf> = None;
     let mut corpus: Option<std::path::PathBuf> = None;
@@ -377,6 +417,16 @@ fn run_serve(args: Vec<String>) -> ExitCode {
                     Some(o) => o,
                     None => {
                         eprintln!("error: unknown --order '{name}' (fifo|topo)");
+                        return ExitCode::from(1);
+                    }
+                };
+            }
+            "--solver" => {
+                let name: String = flag_value("--solver", it.next());
+                config.opts.solver = match SolverKind::parse(&name) {
+                    Some(k) => k,
+                    None => {
+                        eprintln!("error: unknown --solver '{name}' (dense|sfs|vsfs|cfgfree)");
                         return ExitCode::from(1);
                     }
                 };
@@ -499,7 +549,7 @@ fn check_annotations(
     findings: &[vsfs_checkers::Finding],
 ) -> vsfs_svfg::DotAnnotations {
     let mut ann = vsfs_svfg::DotAnnotations::default();
-    if opts.analysis == Analysis::Vsfs {
+    if opts.analysis == Analysis::Flow(SolverKind::Vsfs) {
         let tables = vsfs_core::VersionTables::build(prog, mssa, svfg);
         for n in svfg.node_ids() {
             let fmt = |entries: &[(vsfs_ir::ObjId, u32)], verb: &str| {
@@ -553,52 +603,70 @@ fn run_plain(opts: &Options, prog: &Program) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    let Analysis::Flow(kind) = opts.analysis else { unreachable!("handled above") };
+
+    // The staged solvers need the memory-SSA/SVFG pipeline; the
+    // cold-only ones (dense, cfgfree) build it on demand only when the
+    // checkers or the dot export ask for the graph.
     let t1 = Instant::now();
-    let mssa = vsfs_mssa::MemorySsa::build(prog, &aux);
-    let svfg = vsfs_svfg::Svfg::build(prog, &aux, &mssa);
+    let staged = build_staged(opts, prog, &aux, kind);
     let build_time = t1.elapsed();
 
     // With --check the dot export waits for the solve so it can carry
     // version labels and finding highlights; without it, write it now so
     // the graph is available even if the solve is the slow part.
     if !opts.check {
-        if let Some(code) = write_dot(opts, prog, &svfg, &vsfs_svfg::DotAnnotations::default()) {
-            return code;
+        if let Some((_, svfg)) = &staged {
+            if let Some(code) = write_dot(opts, prog, svfg, &vsfs_svfg::DotAnnotations::default())
+            {
+                return code;
+            }
         }
     }
 
-    let result: FlowSensitiveResult = match opts.analysis {
-        Analysis::Sfs => vsfs_core::run_sfs_ordered(prog, &aux, &mssa, &svfg, opts.order()),
-        Analysis::Vsfs => {
-            vsfs_core::run_vsfs_jobs_ordered(prog, &aux, &mssa, &svfg, opts.jobs, opts.order())
+    let result: FlowSensitiveResult = match kind {
+        SolverKind::Sfs => {
+            let (mssa, svfg) = staged.as_ref().expect("sfs is a staged solver");
+            vsfs_core::run_sfs_ordered(prog, &aux, mssa, svfg, opts.order())
         }
-        Analysis::Andersen => unreachable!("handled above"),
+        SolverKind::Vsfs => {
+            let (mssa, svfg) = staged.as_ref().expect("vsfs is a staged solver");
+            vsfs_core::run_vsfs_jobs_ordered(prog, &aux, mssa, svfg, opts.jobs, opts.order())
+        }
+        SolverKind::Dense => vsfs_core::run_dense(prog, &aux),
+        SolverKind::CfgFree => vsfs_core::run_cfgfree_ordered(prog, &aux, opts.order()),
     };
 
     report_result(opts, prog, &aux, &result);
     if opts.check {
-        let findings = match run_check(opts, prog, &aux, &svfg, &result) {
+        let (mssa, svfg) = staged.as_ref().expect("--check builds the staged graphs");
+        let findings = match run_check(opts, prog, &aux, svfg, &result) {
             Ok(findings) => findings,
             Err(code) => return code,
         };
-        let ann = check_annotations(opts, prog, &mssa, &svfg, &findings);
-        if let Some(code) = write_dot(opts, prog, &svfg, &ann) {
+        let ann = check_annotations(opts, prog, mssa, svfg, &findings);
+        if let Some(code) = write_dot(opts, prog, svfg, &ann) {
             return code;
         }
     }
     if opts.stats {
         let s = &result.stats;
+        println!("solver:            {}", kind.name());
         println!("jobs:              {}", opts.jobs);
-        println!("order:             {}", opts.order().name());
+        if kind != SolverKind::Dense {
+            println!("order:             {}", opts.order().name());
+        }
         println!("andersen:          {:.3}s", aux_time.as_secs_f64());
-        println!("mssa + svfg:       {:.3}s", build_time.as_secs_f64());
-        if opts.analysis == Analysis::Vsfs {
+        if staged.is_some() {
+            println!("mssa + svfg:       {:.3}s", build_time.as_secs_f64());
+        }
+        if kind == SolverKind::Vsfs {
             println!("versioning:        {:.3}s ({} prelabels, {} versions, {} reliance edges)",
                 s.versioning_seconds, s.prelabels, s.versions, s.reliance_edges);
         }
         println!("main phase:        {:.3}s", s.solve_seconds);
         println!("node pops:         {}", s.node_pops);
-        if opts.analysis == Analysis::Vsfs {
+        if kind == SolverKind::Vsfs {
             println!("slot pops:         {}", s.slot_pops);
         }
         println!("pushes suppressed: {}", s.pushes_suppressed);
@@ -619,11 +687,32 @@ fn run_plain(opts: &Options, prog: &Program) -> ExitCode {
         println!("would-change:      {} fast, {} slow", st.would_change_fast, st.would_change_slow);
         println!("strong updates:    {}", s.strong_updates);
         println!("calls activated:   {}", s.calls_activated);
-        println!("svfg: {} nodes, {} direct edges, {} indirect edges",
-            svfg.node_count(), svfg.direct_edge_count(), svfg.indirect_edge_count());
+        if let Some((_, svfg)) = &staged {
+            println!("svfg: {} nodes, {} direct edges, {} indirect edges",
+                svfg.node_count(), svfg.direct_edge_count(), svfg.indirect_edge_count());
+        }
         println!("peak heap: {:.2} MiB", vsfs_adt::mem::peak_bytes() as f64 / (1 << 20) as f64);
     }
     ExitCode::SUCCESS
+}
+
+/// Builds the memory-SSA and SVFG stages when the solver (or an output
+/// flag) needs them. For cold-only solvers the graphs carry no solver
+/// state — they exist purely so the checkers can walk witness paths and
+/// the dot export has a graph to draw, mirroring the server's on-demand
+/// staging for `check` requests.
+fn build_staged(
+    opts: &Options,
+    prog: &Program,
+    aux: &vsfs_andersen::AndersenResult,
+    kind: SolverKind,
+) -> Option<(vsfs_mssa::MemorySsa, vsfs_svfg::Svfg)> {
+    let needed = kind.caps().needs_svfg || opts.check || opts.dot_svfg.is_some();
+    needed.then(|| {
+        let mssa = vsfs_mssa::MemorySsa::build(prog, aux);
+        let svfg = vsfs_svfg::Svfg::build(prog, aux, &mssa);
+        (mssa, svfg)
+    })
 }
 
 /// Runs under resource governance: budgets, cooperative cancellation and
@@ -671,11 +760,14 @@ fn run_governed(opts: &Options, prog: &Program) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let mssa = vsfs_mssa::MemorySsa::build(prog, &aux);
-    let svfg = vsfs_svfg::Svfg::build(prog, &aux, &mssa);
+    let Analysis::Flow(kind) = opts.analysis else { unreachable!("handled above") };
+    let staged = build_staged(opts, prog, &aux, kind);
     if !opts.check {
-        if let Some(code) = write_dot(opts, prog, &svfg, &vsfs_svfg::DotAnnotations::default()) {
-            return code;
+        if let Some((_, svfg)) = &staged {
+            if let Some(code) = write_dot(opts, prog, svfg, &vsfs_svfg::DotAnnotations::default())
+            {
+                return code;
+            }
         }
     }
 
@@ -692,24 +784,32 @@ fn run_governed(opts: &Options, prog: &Program) -> ExitCode {
     let fs_gov = Governor::with_cancel(fs_budget, cancel.clone())
         .with_fault(opts.inject_fault.as_ref().and_then(FaultPlan::spec));
 
-    let ga: GovernedAnalysis = match opts.analysis {
-        Analysis::Sfs => {
-            vsfs_core::run_sfs_governed_ordered(prog, &aux, &mssa, &svfg, &fs_gov, opts.order())
+    let ga: GovernedAnalysis = match kind {
+        SolverKind::Sfs => {
+            let (mssa, svfg) = staged.as_ref().expect("sfs is a staged solver");
+            vsfs_core::run_sfs_governed_ordered(prog, &aux, mssa, svfg, &fs_gov, opts.order())
         }
-        Analysis::Vsfs => vsfs_core::run_vsfs_governed_ordered(
-            prog, &aux, &mssa, &svfg, opts.jobs, &fs_gov, opts.order(),
-        ),
-        Analysis::Andersen => unreachable!("handled above"),
+        SolverKind::Vsfs => {
+            let (mssa, svfg) = staged.as_ref().expect("vsfs is a staged solver");
+            vsfs_core::run_vsfs_governed_ordered(
+                prog, &aux, mssa, svfg, opts.jobs, &fs_gov, opts.order(),
+            )
+        }
+        SolverKind::Dense => vsfs_core::run_dense_governed(prog, &aux, &fs_gov),
+        SolverKind::CfgFree => {
+            vsfs_core::run_cfgfree_governed_ordered(prog, &aux, &fs_gov, opts.order())
+        }
     };
 
     report_result(opts, prog, &aux, &ga.result);
     if opts.check {
-        let findings = match run_check(opts, prog, &aux, &svfg, &ga.result) {
+        let (mssa, svfg) = staged.as_ref().expect("--check builds the staged graphs");
+        let findings = match run_check(opts, prog, &aux, svfg, &ga.result) {
             Ok(findings) => findings,
             Err(code) => return code,
         };
-        let ann = check_annotations(opts, prog, &mssa, &svfg, &findings);
-        if let Some(code) = write_dot(opts, prog, &svfg, &ann) {
+        let ann = check_annotations(opts, prog, mssa, svfg, &findings);
+        if let Some(code) = write_dot(opts, prog, svfg, &ann) {
             return code;
         }
     }

@@ -308,6 +308,79 @@ fn panic_quarantines_one_workspace_and_the_daemon_survives() {
     d.shutdown();
 }
 
+#[test]
+fn solver_selection_and_cold_only_workspaces_over_stdio() {
+    let mut d = Daemon::spawn(&[]);
+
+    // Unknown solver names are a typed bad_request.
+    let resp = d.request(&format!(
+        "{{\"op\":\"load\",\"id\":\"x\",\"source\":{},\"solver\":\"bogus\"}}",
+        quote(PROG)
+    ));
+    assert!(resp.contains("\"ok\":false"), "{resp}");
+    assert!(resp.contains("\"code\":\"bad_request\""), "{resp}");
+    assert!(resp.contains("unknown solver 'bogus'"), "{resp}");
+
+    // A staged workspace (server default) and a cold-only cfgfree one
+    // over the same text: query-identical fingerprints.
+    let resp = d.request(&format!(
+        "{{\"op\":\"load\",\"id\":\"warm\",\"source\":{}}}",
+        quote(PROG)
+    ));
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    let fp = field(&resp, "fingerprint").to_string();
+    let resp = d.request(&format!(
+        "{{\"op\":\"load\",\"id\":\"cold\",\"source\":{},\"solver\":\"cfgfree\"}}",
+        quote(PROG)
+    ));
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert_eq!(field(&resp, "fingerprint"), fp, "cfgfree must be query-identical: {resp}");
+
+    // Per-workspace stats name the resident solver and warm residency;
+    // the SVFG counters are null for a cold-only workspace.
+    let resp = d.request("{\"op\":\"stats\",\"id\":\"warm\"}");
+    assert!(resp.contains("\"solver\":\"sfs\""), "{resp}");
+    assert!(resp.contains("\"warm\":true"), "{resp}");
+    let resp = d.request("{\"op\":\"stats\",\"id\":\"cold\"}");
+    assert!(resp.contains("\"solver\":\"cfgfree\""), "{resp}");
+    assert!(resp.contains("\"warm\":false"), "{resp}");
+    assert!(resp.contains("\"nodes\":null"), "{resp}");
+    assert!(resp.contains("\"direct_edges\":null"), "{resp}");
+
+    // Cold-only workspaces serve the whole query surface; `check`
+    // stages an SVFG on demand for the witness walk.
+    let resp = d.request("{\"op\":\"pts\",\"id\":\"cold\",\"func\":\"main\",\"value\":\"%b\"}");
+    assert!(resp.contains("\"objects\":[\"H\"]"), "{resp}");
+    let resp = d.request("{\"op\":\"check\",\"id\":\"cold\"}");
+    assert!(resp.contains("\"checker\":\"leak\""), "{resp}");
+
+    // Edits are served by exact cold re-solves, and an edit that omits
+    // `solver` keeps the workspace's resident one.
+    let body = "func @make() {\nentry:\n  %h = alloc heap H2\n  ret %h\n}";
+    let resp = d.request(&format!(
+        "{{\"op\":\"edit\",\"id\":\"cold\",\"delta\":[{{\"action\":\"replace\",\"name\":\"make\",\"text\":{}}}]}}",
+        quote(body)
+    ));
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(resp.contains("\"incremental\":false"), "{resp}");
+    let resp = d.request("{\"op\":\"pts\",\"id\":\"cold\",\"func\":\"main\",\"value\":\"%b\"}");
+    assert!(resp.contains("\"objects\":[\"H2\"]"), "{resp}");
+    let resp = d.request("{\"op\":\"stats\",\"id\":\"cold\"}");
+    assert!(resp.contains("\"solver\":\"cfgfree\""), "{resp}");
+
+    // Naming a different solver on an edit switches the workspace by a
+    // cold re-solve that preserves the result.
+    let resp = d.request("{\"op\":\"edit\",\"id\":\"warm\",\"delta\":[],\"solver\":\"vsfs\"}");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(resp.contains("\"incremental\":false"), "{resp}");
+    assert_eq!(field(&resp, "fingerprint"), fp, "solver switch must preserve the result: {resp}");
+    let resp = d.request("{\"op\":\"stats\",\"id\":\"warm\"}");
+    assert!(resp.contains("\"solver\":\"vsfs\""), "{resp}");
+    assert!(resp.contains("\"warm\":true"), "{resp}");
+
+    d.shutdown();
+}
+
 /// Drives one fuzz session over an open pair of read/write halves,
 /// asserting one well-formed response per non-blank line with an error
 /// code inside the server's closed taxonomy. Returns responses.

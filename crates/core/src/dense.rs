@@ -19,9 +19,10 @@
 //! flow, so the result may be (soundly) *less* precise than SFS/VSFS:
 //! for every value, `pt_vsfs(v) ⊆ pt_dense(v) ⊆ pt_andersen(v)`.
 
-use crate::result::{FlowSensitiveResult, SolveStats};
+use crate::result::{FlowSensitiveResult, GovernedAnalysis, SolveStats};
 use std::collections::HashMap;
 use std::time::Instant;
+use vsfs_adt::govern::{Completion, Governor};
 use vsfs_adt::{FifoWorklist, IndexVec, PointsToSet, PtsId, PtsStore};
 use vsfs_andersen::AndersenResult;
 use vsfs_ir::{DefUse, Icfg, InstId, InstKind, ObjId, Program, ValueId};
@@ -33,9 +34,35 @@ use vsfs_ir::{DefUse, Icfg, InstId, InstKind, ObjId, Program, ValueId};
 /// final per-value sets are interned so the result carries the same
 /// hash-consed representation as the staged solvers.
 pub fn run_dense(prog: &Program, aux: &AndersenResult) -> FlowSensitiveResult {
+    solve_impl(prog, aux, None).0
+}
+
+/// Runs the dense solver under a [`Governor`]: one cooperative
+/// checkpoint per worklist pop, matching the staged solvers' protocol.
+/// On a trip the returned [`GovernedAnalysis`] carries the sound
+/// Andersen fallback.
+pub fn run_dense_governed(
+    prog: &Program,
+    aux: &AndersenResult,
+    governor: &Governor,
+) -> GovernedAnalysis {
+    let (result, completion) = solve_impl(prog, aux, Some(governor));
+    match completion {
+        Completion::Complete => GovernedAnalysis::complete(result),
+        Completion::Degraded(reason) => {
+            GovernedAnalysis::fallback(prog, aux, "solve", reason)
+        }
+    }
+}
+
+fn solve_impl(
+    prog: &Program,
+    aux: &AndersenResult,
+    governor: Option<&Governor>,
+) -> (FlowSensitiveResult, Completion) {
     let start = Instant::now();
     let mut solver = DenseSolver::new(prog, aux);
-    solver.solve();
+    let completion = solver.solve(governor);
     let mut stats = solver.stats;
     stats.solve_seconds = start.elapsed().as_secs_f64();
     let (sets, elems, bytes) = solver.storage_stats();
@@ -47,7 +74,7 @@ pub fn run_dense(prog: &Program, aux: &AndersenResult) -> FlowSensitiveResult {
     let mut store = PtsStore::new();
     let pt: IndexVec<ValueId, PtsId> = solver.pt.iter().map(|s| store.intern(s)).collect();
     stats.store = store.stats();
-    FlowSensitiveResult::new(store, pt, callgraph_edges, stats)
+    (FlowSensitiveResult::new(store, pt, callgraph_edges, stats), completion)
 }
 
 type ObjMap = HashMap<ObjId, PointsToSet<ObjId>>;
@@ -96,11 +123,17 @@ impl<'a> DenseSolver<'a> {
         }
     }
 
-    fn solve(&mut self) {
+    fn solve(&mut self, governor: Option<&Governor>) -> Completion {
         while let Some(inst) = self.worklist.pop() {
+            if let Some(gov) = governor {
+                if let Err(reason) = gov.check(1) {
+                    return Completion::Degraded(reason);
+                }
+            }
             self.stats.node_pops += 1;
             self.process(inst);
         }
+        Completion::Complete
     }
 
     fn union_pt(&mut self, v: ValueId, add: &PointsToSet<ObjId>) {

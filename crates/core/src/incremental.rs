@@ -60,9 +60,12 @@
 //! points-to relation and call graph, equal across incremental and
 //! from-scratch solves of the same text.
 
+use crate::cfgfree::{run_cfgfree_governed_ordered, run_cfgfree_ordered};
+use crate::dense::{run_dense, run_dense_governed};
 use crate::result::{FlowSensitiveResult, GovernedAnalysis};
 use crate::schedule::SolveOrder;
 use crate::sfs::{run_sfs_seeded, SfsHarvest, SfsSeed};
+use crate::solver::SolverKind;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use vsfs_adt::govern::{Completion, DegradeReason, Governor};
@@ -83,6 +86,12 @@ const MAX_AUDIT_WAVES: usize = 4;
 /// Knobs for [`solve_program`]/[`resolve_edit`].
 #[derive(Debug, Clone, Copy)]
 pub struct IncrementalOptions {
+    /// Which flow-sensitive solver serves this program. Everything after
+    /// the Andersen stage dispatches on its [`SolverKind::caps`] row:
+    /// staged solvers build memory SSA + SVFG and re-solve edits by
+    /// SVFG-wave invalidation; cold-only solvers skip both and serve
+    /// every edit by an exact cold re-solve.
+    pub solver: SolverKind,
     /// Worklist discipline of the flow-sensitive stage (results are
     /// order-independent; only visit counts change).
     pub order: SolveOrder,
@@ -92,7 +101,10 @@ pub struct IncrementalOptions {
 
 impl Default for IncrementalOptions {
     fn default() -> Self {
-        IncrementalOptions { order: SolveOrder::default(), jobs: 1 }
+        // The server's historical engine is the staged SFS solver (the
+        // seeded/incremental one); `SolverKind::default()` is the CLI's
+        // batch default and intentionally differs.
+        IncrementalOptions { solver: SolverKind::Sfs, order: SolveOrder::default(), jobs: 1 }
     }
 }
 
@@ -124,7 +136,9 @@ impl fmt::Display for SolveError {
 /// How a (re-)solve went, for logging and server responses.
 #[derive(Debug, Clone, Copy)]
 pub struct SolveReport {
-    /// SVFG nodes in the new parse.
+    /// Solve-region units in the new parse: SVFG nodes for the staged
+    /// solvers, instructions for the cold-only ones (which have no
+    /// SVFG).
     pub total_nodes: usize,
     /// Nodes in the invalidated region (== `total_nodes` on a cold
     /// solve).
@@ -156,6 +170,15 @@ pub(crate) struct WarmState {
     pub(crate) outs: IndexVec<SvfgNodeId, Vec<(ObjId, PtsId)>>,
 }
 
+/// The staged (SVFG-based) middle of the pipeline — built only for
+/// solvers whose [`SolverKind::caps`] row says `needs_svfg`.
+pub(crate) struct Staged {
+    /// Memory SSA over the program and auxiliary result.
+    pub(crate) mssa: MemorySsa,
+    /// The sparse value-flow graph.
+    pub(crate) svfg: Svfg,
+}
+
 /// One program resident in the incremental analysis server: the whole
 /// pipeline plus optional warm state.
 pub struct ProgramState {
@@ -165,12 +188,12 @@ pub struct ProgramState {
     pub prog: Program,
     /// The auxiliary (Andersen) result.
     pub aux: AndersenResult,
-    /// Memory SSA over `prog`/`aux`.
-    pub mssa: MemorySsa,
-    /// The sparse value-flow graph.
-    pub svfg: Svfg,
-    /// Stable cross-parse keys for `prog`/`svfg`.
+    /// The staged pipeline, when `solver` requires it.
+    pub(crate) staged: Option<Staged>,
+    /// Stable cross-parse keys for `prog` (and the SVFG, when staged).
     pub keys: StableKeys,
+    /// The solver this state was solved with; edits re-solve with it.
+    pub solver: SolverKind,
     /// The delivered analysis (flow-sensitive, or the Andersen fallback
     /// when the governed solve degraded).
     pub analysis: GovernedAnalysis,
@@ -183,6 +206,16 @@ impl ProgramState {
     /// `true` if the next [`resolve_edit`] can seed from this state.
     pub fn has_warm_state(&self) -> bool {
         self.warm.is_some()
+    }
+
+    /// The memory SSA, when the solver builds the staged pipeline.
+    pub fn mssa(&self) -> Option<&MemorySsa> {
+        self.staged.as_ref().map(|s| &s.mssa)
+    }
+
+    /// The sparse value-flow graph, when the solver builds it.
+    pub fn svfg(&self) -> Option<&Svfg> {
+        self.staged.as_ref().map(|s| &s.svfg)
     }
 }
 
@@ -216,6 +249,12 @@ pub fn resolve_edit(
     fs_governor: Option<&Governor>,
 ) -> Result<(ProgramState, SolveReport), SolveError> {
     let front = build_front(source, opts, aux_governor)?;
+    // Capability dispatch: SVFG-wave invalidation only exists for the
+    // staged solvers, and warm state never crosses a solver switch.
+    // Anything else serves the edit by an exact cold re-solve.
+    if !opts.solver.caps().incremental || prev.solver != opts.solver {
+        return Ok(solve_front(source, front, opts, fs_governor));
+    }
     Ok(match WaveCtx::prepare(prev, &front) {
         Some(ctx) => solve_incremental(prev, source, front, opts, fs_governor, ctx),
         None => solve_front(source, front, opts, fs_governor),
@@ -226,9 +265,9 @@ pub fn resolve_edit(
 pub(crate) struct Front {
     pub(crate) prog: Program,
     pub(crate) aux: AndersenResult,
-    pub(crate) mssa: MemorySsa,
-    pub(crate) svfg: Svfg,
+    pub(crate) staged: Option<Staged>,
     pub(crate) keys: StableKeys,
+    pub(crate) solver: SolverKind,
 }
 
 pub(crate) fn build_front(
@@ -250,10 +289,17 @@ pub(crate) fn build_front(
         }
         None => analyze_with_config(&prog, config),
     };
-    let mssa = MemorySsa::build(&prog, &aux);
-    let svfg = Svfg::build(&prog, &aux, &mssa);
-    let keys = StableKeys::build(&prog, &mssa, &svfg);
-    Ok(Front { prog, aux, mssa, svfg, keys })
+    let (staged, keys) = if opts.solver.caps().needs_svfg {
+        let mssa = MemorySsa::build(&prog, &aux);
+        let svfg = Svfg::build(&prog, &aux, &mssa);
+        let keys = StableKeys::build(&prog, &mssa, &svfg);
+        (Some(Staged { mssa, svfg }), keys)
+    } else {
+        // Cold-only solvers skip the staged pipeline entirely; the
+        // program-level keys still back fingerprints and lookups.
+        (None, StableKeys::build_program(&prog))
+    };
+    Ok(Front { prog, aux, staged, keys, solver: opts.solver })
 }
 
 /// Final bookkeeping of one solve, shared by [`deliver`].
@@ -269,19 +315,23 @@ pub(crate) struct Outcome {
 }
 
 /// Runs the flow-sensitive stage cold over `front` and packages the
-/// resulting state.
+/// resulting state, dispatching on the front's solver.
 pub(crate) fn solve_front(
     source: &str,
     front: Front,
     opts: IncrementalOptions,
     fs_governor: Option<&Governor>,
 ) -> (ProgramState, SolveReport) {
-    let total = front.svfg.node_count();
+    if front.staged.is_none() {
+        return solve_cold_only(source, front, opts, fs_governor);
+    }
+    let staged = front.staged.as_ref().expect("checked above");
+    let total = staged.svfg.node_count();
     let (result, completion, harvest) = run_sfs_seeded(
         &front.prog,
         &front.aux,
-        &front.mssa,
-        &front.svfg,
+        &staged.mssa,
+        &staged.svfg,
         opts.order,
         fs_governor,
         None,
@@ -297,6 +347,59 @@ pub(crate) fn solve_front(
     deliver(source, front, result, completion, harvest, outcome)
 }
 
+/// Runs a cold-only solver (no SVFG, no warm harvest) and packages the
+/// state. These engines carry their own governed entry points, so a
+/// budget trip still degrades to the sound Andersen fallback.
+fn solve_cold_only(
+    source: &str,
+    front: Front,
+    opts: IncrementalOptions,
+    fs_governor: Option<&Governor>,
+) -> (ProgramState, SolveReport) {
+    let analysis = match (front.solver, fs_governor) {
+        (SolverKind::Dense, None) => {
+            GovernedAnalysis::complete(run_dense(&front.prog, &front.aux))
+        }
+        (SolverKind::Dense, Some(gov)) => run_dense_governed(&front.prog, &front.aux, gov),
+        (SolverKind::CfgFree, None) => GovernedAnalysis::complete(run_cfgfree_ordered(
+            &front.prog,
+            &front.aux,
+            opts.order,
+        )),
+        (SolverKind::CfgFree, Some(gov)) => {
+            run_cfgfree_governed_ordered(&front.prog, &front.aux, gov, opts.order)
+        }
+        (SolverKind::Sfs | SolverKind::Vsfs, _) => {
+            unreachable!("staged solvers always build a staged front")
+        }
+    };
+    let Front { prog, aux, staged: _, keys, solver } = front;
+    let total = prog.insts.len();
+    let fingerprint = result_fingerprint(&prog, &keys, &analysis.result);
+    let report = SolveReport {
+        total_nodes: total,
+        dirty_nodes: total,
+        incremental: false,
+        restored: false,
+        carried_sets: 0,
+        waves: 0,
+        solve_seconds: analysis.result.stats.solve_seconds,
+        fingerprint,
+    };
+    let state = ProgramState {
+        source: source.to_string(),
+        prog,
+        aux,
+        staged: None,
+        keys,
+        solver,
+        analysis,
+        fingerprint,
+        warm: None,
+    };
+    (state, report)
+}
+
 /// Packages a finished flow-sensitive stage into a [`ProgramState`] and
 /// [`SolveReport`]: harvests warm state on completion, or swaps in the
 /// sound Andersen fallback (and drops all warm state — a degraded result
@@ -310,12 +413,13 @@ pub(crate) fn deliver(
     harvest: Option<SfsHarvest>,
     outcome: Outcome,
 ) -> (ProgramState, SolveReport) {
-    let Front { prog, aux, mssa, svfg, keys } = front;
-    let total_nodes = svfg.node_count();
+    let Front { prog, aux, staged, keys, solver } = front;
+    let staged = staged.expect("deliver is only reached by staged solvers");
+    let total_nodes = staged.svfg.node_count();
     let (analysis, warm) = match completion {
         Completion::Complete => {
             let warm = harvest.filter(|_| keys.is_unambiguous()).map(|h| WarmState {
-                sigs: node_signatures(&prog, &aux, &mssa, &svfg, &keys),
+                sigs: node_signatures(&prog, &aux, &staged.mssa, &staged.svfg, &keys),
                 ins: h.ins,
                 outs: h.outs,
             });
@@ -340,9 +444,9 @@ pub(crate) fn deliver(
         source: source.to_string(),
         prog,
         aux,
-        mssa,
-        svfg,
+        staged: Some(staged),
         keys,
+        solver,
         analysis,
         fingerprint,
         warm,
@@ -365,20 +469,21 @@ impl WaveCtx {
     /// only a cold solve is safe (no warm state or ambiguous keys).
     fn prepare(prev: &ProgramState, front: &Front) -> Option<WaveCtx> {
         let warm = prev.warm.as_ref()?;
+        let staged = front.staged.as_ref()?;
+        let svfg = &staged.svfg;
         if !prev.keys.is_unambiguous() || !front.keys.is_unambiguous() {
             return None;
         }
-        let sigs =
-            node_signatures(&front.prog, &front.aux, &front.mssa, &front.svfg, &front.keys);
-        let graph = conservative_graph(&front.prog, &front.svfg);
+        let sigs = node_signatures(&front.prog, &front.aux, &staged.mssa, svfg, &front.keys);
+        let graph = conservative_graph(&front.prog, svfg);
         let sccs = Sccs::compute(&graph);
         let mut ctx = WaveCtx {
             graph,
             sccs,
-            dirty: IndexVec::from_elem_n(false, front.svfg.node_count()),
+            dirty: IndexVec::from_elem_n(false, svfg.node_count()),
             dirty_count: 0,
         };
-        for node in front.svfg.node_ids() {
+        for node in svfg.node_ids() {
             let seed = match prev.keys.node_of_key(front.keys.node_key[node]) {
                 Some(old) => warm.sigs[old] != sigs[node],
                 None => true,
@@ -411,7 +516,7 @@ impl WaveCtx {
                     .entry(id)
                     .or_insert_with(|| old_store.get(id).iter().any(|o| dead[o]))
             };
-            for node in front.svfg.node_ids() {
+            for node in svfg.node_ids() {
                 let Some(old) = prev.keys.node_of_key(front.keys.node_key[node]) else {
                     continue;
                 };
@@ -423,7 +528,7 @@ impl WaveCtx {
                     ctx.mark_scc(node);
                 }
             }
-            let def_node = value_def_nodes(&front.prog, &front.svfg);
+            let def_node = value_def_nodes(&front.prog, svfg);
             for (v, _) in front.prog.values.iter_enumerated() {
                 let Some(node) = def_node[v] else { continue };
                 let Some(old_v) = prev.keys.value_of_key(front.keys.value_key[v]) else {
@@ -520,7 +625,7 @@ fn solve_incremental(
     mut ctx: WaveCtx,
 ) -> (ProgramState, SolveReport) {
     let warm = prev.warm.as_ref().expect("WaveCtx::prepare checked warm state");
-    let total = front.svfg.node_count();
+    let total = front.staged.as_ref().expect("WaveCtx::prepare checked staged").svfg.node_count();
     let mut waves = 0;
     let mut prior_seconds = 0.0;
     let mut audited = true;
@@ -533,11 +638,12 @@ fn solve_incremental(
             return solve_front(source, front, opts, fs_governor);
         };
         let dirty_nodes = ctx.dirty_count;
+        let staged = front.staged.as_ref().expect("WaveCtx::prepare checked staged");
         let (result, completion, harvest) = run_sfs_seeded(
             &front.prog,
             &front.aux,
-            &front.mssa,
-            &front.svfg,
+            &staged.mssa,
+            &staged.svfg,
             opts.order,
             fs_governor,
             Some(seed),
@@ -607,6 +713,8 @@ fn audit_frontier(
     result: &FlowSensitiveResult,
     harvest: &SfsHarvest,
 ) -> Vec<SvfgNodeId> {
+    let svfg = &front.staged.as_ref().expect("audited waves imply a staged front").svfg;
+    let prev_svfg = prev.svfg().expect("warm state implies a staged front");
     let old_result = &prev.analysis.result;
     let new_store = &result.store;
     let old_store = &old_result.store;
@@ -639,13 +747,13 @@ fn audit_frontier(
     // `out_val` of a node for one object, on each side: OUT for stores,
     // IN otherwise; absent table entry ≡ the empty set.
     let new_out = |node: SvfgNodeId, o: ObjId| -> Option<PtsId> {
-        let is_store = matches!(front.svfg.kind(node), SvfgNodeKind::Inst(i)
+        let is_store = matches!(svfg.kind(node), SvfgNodeKind::Inst(i)
             if front.prog.insts[i].kind.is_store());
         let table = if is_store { &harvest.outs[node] } else { &harvest.ins[node] };
         table.binary_search_by_key(&o, |e| e.0).ok().map(|i| table[i].1)
     };
     let old_out = |node: SvfgNodeId, o: ObjId| -> Option<PtsId> {
-        let is_store = matches!(prev.svfg.kind(node), SvfgNodeKind::Inst(i)
+        let is_store = matches!(prev_svfg.kind(node), SvfgNodeKind::Inst(i)
             if prev.prog.insts[i].kind.is_store());
         let table = if is_store { &warm.outs[node] } else { &warm.ins[node] };
         table.binary_search_by_key(&o, |e| e.0).ok().map(|i| table[i].1)
@@ -660,7 +768,7 @@ fn audit_frontier(
     };
 
     let mut flagged: IndexVec<SvfgNodeId, bool> =
-        IndexVec::from_elem_n(false, front.svfg.node_count());
+        IndexVec::from_elem_n(false, svfg.node_count());
     let mut newly: Vec<SvfgNodeId> = Vec::new();
     let flag = |flagged: &mut IndexVec<SvfgNodeId, bool>,
                     newly: &mut Vec<SvfgNodeId>,
@@ -673,9 +781,9 @@ fn audit_frontier(
 
     // Values published per node (defs live at their defining node; call
     // arguments and return operands are published by the call/exit).
-    let def_node = value_def_nodes(&front.prog, &front.svfg);
+    let def_node = value_def_nodes(&front.prog, svfg);
     let mut published: IndexVec<SvfgNodeId, Vec<ValueId>> =
-        IndexVec::from_elem_n(Vec::new(), front.svfg.node_count());
+        IndexVec::from_elem_n(Vec::new(), svfg.node_count());
     for (v, d) in def_node.iter_enumerated() {
         if let Some(d) = *d {
             published[d].push(v);
@@ -687,13 +795,13 @@ fn audit_frontier(
         acts.entry(call).or_default().push(f);
     }
 
-    for node in front.svfg.node_ids() {
+    for node in svfg.node_ids() {
         if !dirty[node] {
             continue;
         }
         let mut call_inst = None;
         let mut pubs = std::mem::take(&mut published[node]);
-        if let SvfgNodeKind::Inst(inst) = front.svfg.kind(node) {
+        if let SvfgNodeKind::Inst(inst) = svfg.kind(node) {
             match &front.prog.insts[inst].kind {
                 InstKind::Call { args, .. } => {
                     pubs.extend(args.iter().copied());
@@ -704,20 +812,20 @@ fn audit_frontier(
             }
         }
         if pubs.iter().any(|&v| value_changed(v)) {
-            for &s in front.svfg.direct_succs(node) {
+            for &s in svfg.direct_succs(node) {
                 flag(&mut flagged, &mut newly, s);
             }
             if let Some(call) = call_inst {
                 // Dynamic consumers of a call's top-level values: its
                 // return side and the entries of every activated callee.
-                flag(&mut flagged, &mut newly, front.svfg.callret_node(call));
+                flag(&mut flagged, &mut newly, svfg.callret_node(call));
                 for f in acts.get(&call).into_iter().flatten() {
-                    let entry = front.svfg.inst_node(front.prog.functions[*f].entry_inst);
+                    let entry = svfg.inst_node(front.prog.functions[*f].entry_inst);
                     flag(&mut flagged, &mut newly, entry);
                 }
             }
         }
-        for &(s, o) in front.svfg.indirect_succs(node) {
+        for &(s, o) in svfg.indirect_succs(node) {
             if !dirty[s] && !flagged[s] && out_changed(node, o) {
                 flag(&mut flagged, &mut newly, s);
             }
@@ -744,21 +852,21 @@ fn audit_frontier(
         if !matches!(i.kind, InstKind::Call { .. }) {
             continue;
         }
-        let call_node = front.svfg.inst_node(call);
+        let call_node = svfg.inst_node(call);
         if !dirty[call_node] {
             // A clean call keeps its carried activations and published
             // values verbatim; nothing to audit.
             continue;
         }
-        let ret_node = front.svfg.callret_node(call);
+        let ret_node = svfg.callret_node(call);
         let old_set = old_acts.get(&front.keys.inst_key[call]);
         let mut new_names: HashSet<u64> = HashSet::new();
         for &callee in acts.get(&call).map_or(&[] as &[FuncId], Vec::as_slice) {
             let func = &front.prog.functions[callee];
             let name_hash = fnv1a(func.name.as_bytes());
             new_names.insert(name_hash);
-            let entry = front.svfg.inst_node(func.entry_inst);
-            let exit = front.svfg.inst_node(func.exit_inst);
+            let entry = svfg.inst_node(func.entry_inst);
+            let exit = svfg.inst_node(func.exit_inst);
             if !old_set.is_some_and(|s| s.contains(&name_hash)) {
                 // Newly activated pair: both endpoints see new flows.
                 flag(&mut flagged, &mut newly, entry);
@@ -767,7 +875,7 @@ fn audit_frontier(
             }
             // Surviving pair: audit the object state its dynamic edges
             // carry, like any other boundary edge.
-            if let Some(binding) = front.svfg.call_binding(call, callee) {
+            if let Some(binding) = svfg.call_binding(call, callee) {
                 if binding.ins.iter().any(|&o| out_changed(call_node, o)) {
                     flag(&mut flagged, &mut newly, entry);
                 }
@@ -792,7 +900,7 @@ fn audit_frontier(
                 if !new_names.contains(&h) {
                     if let Some(&f) = name_to_func.get(&h) {
                         let entry =
-                            front.svfg.inst_node(front.prog.functions[f].entry_inst);
+                            svfg.inst_node(front.prog.functions[f].entry_inst);
                         flag(&mut flagged, &mut newly, entry);
                     }
                     flag(&mut flagged, &mut newly, ret_node);
@@ -815,6 +923,8 @@ fn assemble_seed(
     front: &Front,
     clean: IndexVec<SvfgNodeId, bool>,
 ) -> Option<(SfsSeed, usize)> {
+    let svfg = &front.staged.as_ref()?.svfg;
+    let prev_svfg = prev.svfg()?;
     let old_store = &prev.analysis.result.store;
     let mut store = old_store.next_epoch();
     let mut carry = PtsCarry::new();
@@ -822,7 +932,7 @@ fn assemble_seed(
         |o: ObjId| -> Option<ObjId> { front.keys.obj_of_key(prev.keys.obj_key[o]) };
 
     // Top-level sets of values whose defining node is clean.
-    let def_node = value_def_nodes(&front.prog, &front.svfg);
+    let def_node = value_def_nodes(&front.prog, svfg);
     let mut pt: Vec<(ValueId, PtsId)> = Vec::new();
     for (v, _) in front.prog.values.iter_enumerated() {
         let Some(node) = def_node[v] else { continue };
@@ -839,7 +949,7 @@ fn assemble_seed(
     // IN/OUT tables of clean nodes.
     let mut ins: Vec<(SvfgNodeId, Vec<(ObjId, PtsId)>)> = Vec::new();
     let mut outs: Vec<(SvfgNodeId, Vec<(ObjId, PtsId)>)> = Vec::new();
-    for node in front.svfg.node_ids() {
+    for node in svfg.node_ids() {
         if !clean[node] {
             continue;
         }
@@ -865,14 +975,14 @@ fn assemble_seed(
     // Call-graph activations whose call node is clean.
     let mut activations: Vec<(InstId, FuncId)> = Vec::new();
     for &(call, callee) in &prev.analysis.result.callgraph_edges {
-        let old_node = prev.svfg.inst_node(call);
+        let old_node = prev_svfg.inst_node(call);
         let Some(node) = front.keys.node_of_key(prev.keys.node_key[old_node]) else {
             continue; // call site removed; its region is dirty anyway
         };
         if !clean[node] {
             continue;
         }
-        let SvfgNodeKind::Inst(new_call) = front.svfg.kind(node) else { return None };
+        let SvfgNodeKind::Inst(new_call) = svfg.kind(node) else { return None };
         let name = &prev.prog.functions[callee].name;
         let new_callee = front.prog.function_by_name(name)?;
         activations.push((new_call, new_callee));
@@ -1266,8 +1376,8 @@ entry:
         let reference = run_sfs_ordered(
             &next.prog,
             &next.aux,
-            &next.mssa,
-            &next.svfg,
+            next.mssa().expect("staged solver"),
+            next.svfg().expect("staged solver"),
             SolveOrder::default(),
         );
         assert_eq!(precision_diff(&next.prog, &next.analysis.result, &reference), None);
@@ -1275,6 +1385,41 @@ entry:
             next.fingerprint,
             result_fingerprint(&next.prog, &next.keys, &reference)
         );
+    }
+
+    #[test]
+    fn cold_only_solvers_serve_edits_by_exact_cold_resolves() {
+        let opts = IncrementalOptions { solver: SolverKind::CfgFree, ..Default::default() };
+        let (state, r0) = solve_program(BASE, opts, None, None).unwrap();
+        assert!(!state.has_warm_state());
+        assert!(state.svfg().is_none() && state.mssa().is_none());
+        let (sfs_state, sfs_r0) = cold(BASE);
+        assert_eq!(r0.fingerprint, sfs_r0.fingerprint, "solvers agree on the base text");
+
+        let edited = BASE.replace("%h = alloc heap H", "%h = alloc heap H2");
+        let (next, r1) = resolve_edit(&state, &edited, opts, None, None).unwrap();
+        assert!(!r1.incremental, "no SVFG, no wave invalidation");
+        assert_eq!(r1.dirty_nodes, r1.total_nodes, "the whole program re-solves");
+        assert_eq!(next.solver, SolverKind::CfgFree);
+        let (sfs_next, sfs_r1) =
+            resolve_edit(&sfs_state, &edited, IncrementalOptions::default(), None, None)
+                .unwrap();
+        assert_eq!(r1.fingerprint, sfs_r1.fingerprint, "solvers agree on the edit");
+        assert_eq!(
+            precision_diff(&next.prog, &next.analysis.result, &sfs_next.analysis.result),
+            None
+        );
+    }
+
+    #[test]
+    fn switching_solvers_between_edits_resolves_cold() {
+        let (state, _) = cold(BASE);
+        assert!(state.has_warm_state());
+        let opts = IncrementalOptions { solver: SolverKind::Vsfs, ..Default::default() };
+        let (next, report) = resolve_edit(&state, BASE, opts, None, None).unwrap();
+        assert!(!report.incremental, "warm state never crosses a solver switch");
+        assert_eq!(next.solver, SolverKind::Vsfs);
+        assert_eq!(next.fingerprint, state.fingerprint);
     }
 
     #[test]

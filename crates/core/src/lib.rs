@@ -47,6 +47,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod cfgfree;
 pub mod dense;
 pub mod incremental;
 pub mod precision;
@@ -54,12 +55,16 @@ pub mod queries;
 pub mod result;
 pub mod schedule;
 pub mod sfs;
+pub mod solver;
 pub mod toplevel;
 pub mod versioning;
 pub mod vsfs;
 pub mod warm;
 
-pub use dense::run_dense;
+pub use cfgfree::{
+    run_cfgfree, run_cfgfree_governed, run_cfgfree_governed_ordered, run_cfgfree_ordered,
+};
+pub use dense::{run_dense, run_dense_governed};
 pub use incremental::{
     resolve_edit, result_fingerprint, solve_program, IncrementalOptions, ProgramState,
     SolveError, SolveReport,
@@ -67,6 +72,7 @@ pub use incremental::{
 pub use precision::{compare_precision, PrecisionReport};
 pub use result::{precision_diff, same_precision, FlowSensitiveResult, GovernedAnalysis, SolveStats};
 pub use schedule::SolveOrder;
+pub use solver::{SolverCaps, SolverKind};
 pub use sfs::{run_sfs, run_sfs_governed, run_sfs_governed_ordered, run_sfs_ordered};
 pub use versioning::{VersionTables, VersioningStats};
 pub use vsfs::{

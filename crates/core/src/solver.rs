@@ -1,0 +1,137 @@
+//! The solver family: every flow-sensitive engine behind one dispatch.
+//!
+//! Four interchangeable solvers produce a [`FlowSensitiveResult`]
+//! (DESIGN.md §13):
+//!
+//! * **dense** — textbook IN/OUT iteration over the ICFG; the slow
+//!   oracle the sparse engines are differentially tested against.
+//! * **sfs** — staged flow-sensitive analysis over the SVFG
+//!   (Hardekopf & Lin), with priority scheduling and difference
+//!   propagation.
+//! * **vsfs** — the paper's object-versioned SFS; batch solves share
+//!   points-to sets per `(object, version)`.
+//! * **cfgfree** — flow sensitivity recovered by *constraint ordering*
+//!   over the Andersen constraint graph ("Flow Sensitivity without
+//!   Control Flow Graph"): no memory SSA and no SVFG are ever built.
+//!
+//! [`SolverKind`] names the member; [`SolverCaps`] declares which
+//!   pipeline stages it needs and which serving features it supports.
+//! Everything downstream — `solve_program`, the incremental server, the
+//! CLI, snapshots — dispatches on these capabilities instead of
+//! hard-wiring the SVFG pipeline. A fifth solver plugs in by adding a
+//! variant, a `run_*` entry point, and an honest `caps()` row.
+//!
+//! [`FlowSensitiveResult`]: crate::FlowSensitiveResult
+
+/// Which flow-sensitive solver to run after the Andersen stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverKind {
+    /// Dense IN/OUT iteration over the ICFG (differential oracle).
+    Dense,
+    /// Staged flow-sensitive analysis over the SVFG.
+    Sfs,
+    /// Object-versioned staged flow-sensitive analysis (the paper).
+    #[default]
+    Vsfs,
+    /// Constraint-ordering flow sensitivity; builds no MSSA/SVFG.
+    CfgFree,
+}
+
+/// What a solver needs from the pipeline and offers to the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverCaps {
+    /// Needs the staged `MemorySsa` + `Svfg` stages before solving.
+    pub needs_svfg: bool,
+    /// Supports SVFG-wave incremental re-solving (`resolve_edit`).
+    /// Solvers without it still serve edits — by exact cold re-solves.
+    pub incremental: bool,
+    /// Supports warm-state harvest/seed (and therefore snapshots).
+    pub warm: bool,
+}
+
+impl SolverKind {
+    /// Parses a solver name as it appears on `--solver` and in the
+    /// server protocol. Returns `None` for unknown names so each layer
+    /// can raise its own typed error.
+    pub fn parse(name: &str) -> Option<SolverKind> {
+        match name {
+            "dense" => Some(SolverKind::Dense),
+            "sfs" => Some(SolverKind::Sfs),
+            "vsfs" => Some(SolverKind::Vsfs),
+            "cfgfree" => Some(SolverKind::CfgFree),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name (inverse of [`SolverKind::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Dense => "dense",
+            SolverKind::Sfs => "sfs",
+            SolverKind::Vsfs => "vsfs",
+            SolverKind::CfgFree => "cfgfree",
+        }
+    }
+
+    /// The capability row driving pipeline and server dispatch.
+    ///
+    /// `Sfs` and `Vsfs` share the staged engine for serving: a warm
+    /// seed or an edit wave re-solves through `run_sfs_seeded`, which
+    /// is bit-identical to both (the central equivalence property), so
+    /// both declare `incremental` and `warm`. `Dense` and `CfgFree`
+    /// never build an SVFG, so SVFG-wave invalidation and warm-state
+    /// export are meaningless for them — the server falls back to
+    /// exact cold re-solves instead.
+    pub fn caps(self) -> SolverCaps {
+        match self {
+            SolverKind::Dense | SolverKind::CfgFree => SolverCaps {
+                needs_svfg: false,
+                incremental: false,
+                warm: false,
+            },
+            SolverKind::Sfs | SolverKind::Vsfs => SolverCaps {
+                needs_svfg: true,
+                incremental: true,
+                warm: true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_every_member() {
+        for kind in [
+            SolverKind::Dense,
+            SolverKind::Sfs,
+            SolverKind::Vsfs,
+            SolverKind::CfgFree,
+        ] {
+            assert_eq!(SolverKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(SolverKind::parse("ander"), None);
+        assert_eq!(SolverKind::parse("bogus"), None);
+        assert_eq!(SolverKind::parse(""), None);
+    }
+
+    #[test]
+    fn capability_rows_are_internally_consistent() {
+        for kind in [
+            SolverKind::Dense,
+            SolverKind::Sfs,
+            SolverKind::Vsfs,
+            SolverKind::CfgFree,
+        ] {
+            let caps = kind.caps();
+            // Warm seeding and wave invalidation both live on the SVFG;
+            // a solver cannot support either without building one.
+            if caps.incremental || caps.warm {
+                assert!(caps.needs_svfg, "{} claims warm/incremental without an SVFG", kind.name());
+            }
+        }
+        assert_eq!(SolverKind::default(), SolverKind::Vsfs);
+    }
+}

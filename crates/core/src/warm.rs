@@ -28,6 +28,7 @@ use crate::incremental::{
 };
 use crate::result::FlowSensitiveResult;
 use crate::sfs::{run_sfs_seeded, SfsSeed};
+use crate::solver::SolverKind;
 use crate::{result_fingerprint, IncrementalOptions};
 use std::collections::HashMap;
 use vsfs_adt::govern::{Completion, Governor};
@@ -39,6 +40,11 @@ use vsfs_ir::{FuncId, InstId, InstKind, ObjId, ValueId};
 /// point into `sets`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WarmExport {
+    /// Canonical name of the solver that produced this fixpoint
+    /// ([`SolverKind::name`]). Restores under any other solver refuse
+    /// the seed and re-solve cold — warm tables are staged-engine state
+    /// and never cross a solver boundary.
+    pub solver: String,
     /// [`result_fingerprint`] of the exported result; restores validate
     /// against it.
     pub fingerprint: u64,
@@ -111,6 +117,7 @@ pub fn export_warm(state: &ProgramState) -> Option<WarmExport> {
         .collect();
 
     Some(WarmExport {
+        solver: state.solver.name().to_string(),
         fingerprint: state.fingerprint,
         sets,
         pt,
@@ -139,14 +146,22 @@ pub fn restore_program(
     fs_governor: Option<&Governor>,
 ) -> Result<(ProgramState, SolveReport), SolveError> {
     let front = build_front(source, opts, aux_governor)?;
+    // Capability dispatch: only the staged solvers have warm state, and
+    // a snapshot never seeds a different solver than the one that took
+    // it (even between the bit-identical staged pair, the recorded kind
+    // is authoritative). Anything else re-solves cold.
+    if !opts.solver.caps().warm || SolverKind::parse(&export.solver) != Some(opts.solver) {
+        return Ok(solve_front(source, front, opts, fs_governor));
+    }
     let Some((seed, carried_sets)) = assemble_restore_seed(&front, export) else {
         return Ok(solve_front(source, front, opts, fs_governor));
     };
+    let staged = front.staged.as_ref().expect("warm caps imply a staged front");
     let (result, completion, harvest) = run_sfs_seeded(
         &front.prog,
         &front.aux,
-        &front.mssa,
-        &front.svfg,
+        &staged.mssa,
+        &staged.svfg,
         opts.order,
         fs_governor,
         Some(seed),
@@ -175,6 +190,7 @@ pub fn restore_program(
 /// which happens exactly when the export does not correspond to this
 /// text (stale snapshot, hash collision, hand-edited file).
 fn assemble_restore_seed(front: &Front, export: &WarmExport) -> Option<(SfsSeed, usize)> {
+    let svfg = &front.staged.as_ref()?.svfg;
     if !front.keys.is_unambiguous() {
         return None;
     }
@@ -202,7 +218,7 @@ fn assemble_restore_seed(front: &Front, export: &WarmExport) -> Option<(SfsSeed,
     if pt_by_key.len() != export.pt.len() {
         return None;
     }
-    let def_node = value_def_nodes(&front.prog, &front.svfg);
+    let def_node = value_def_nodes(&front.prog, svfg);
     let mut pt: Vec<(ValueId, PtsId)> = Vec::new();
     for (v, _) in front.prog.values.iter_enumerated() {
         if def_node[v].is_none() {
@@ -250,7 +266,7 @@ fn assemble_restore_seed(front: &Front, export: &WarmExport) -> Option<(SfsSeed,
     }
 
     let carried_sets = ids.len();
-    let clean = vsfs_adt::IndexVec::from_elem_n(true, front.svfg.node_count());
+    let clean = vsfs_adt::IndexVec::from_elem_n(true, svfg.node_count());
     Some((SfsSeed { store, pt, ins, outs, activations, clean }, carried_sets))
 }
 
@@ -290,6 +306,22 @@ entry:
         assert_eq!(r1.fingerprint, r0.fingerprint);
         assert_eq!(restored.fingerprint, state.fingerprint);
         assert!(restored.has_warm_state(), "a restore re-arms incrementality");
+    }
+
+    #[test]
+    fn cross_solver_restore_refuses_the_seed_and_resolves_cold() {
+        let opts = IncrementalOptions::default();
+        let (state, r0) = solve_program(BASE, opts, None, None).unwrap();
+        let export = export_warm(&state).unwrap();
+        assert_eq!(export.solver, "sfs");
+        let cf = IncrementalOptions { solver: SolverKind::CfgFree, ..opts };
+        let (restored, r1) = restore_program(BASE, &export, cf, None, None).unwrap();
+        assert!(!r1.restored, "a snapshot must not seed a different solver");
+        assert_eq!(restored.solver, SolverKind::CfgFree);
+        assert!(restored.svfg().is_none(), "cold-only solvers build no SVFG");
+        // Same text, same answer: the solvers are query-identical, and
+        // program-level stable keys make the fingerprints comparable.
+        assert_eq!(r1.fingerprint, r0.fingerprint);
     }
 
     #[test]

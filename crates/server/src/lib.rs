@@ -19,8 +19,8 @@
 //! | op | fields | effect |
 //! |----|--------|--------|
 //! | `ping` | | liveness check |
-//! | `load` | `id`, `source` | parse + solve (or snapshot-restore), keep resident |
-//! | `edit` | `id`, `delta` | apply function deltas, re-solve incrementally |
+//! | `load` | `id`, `source`, [`solver`] | parse + solve (or snapshot-restore), keep resident |
+//! | `edit` | `id`, `delta`, [`solver`] | apply function deltas, re-solve incrementally |
 //! | `pts` | `id`, `value`, [`func`] | points-to set of a value |
 //! | `alias` | `id`, `p`, `q`, [`func`] | may-alias query |
 //! | `check` | `id` | run the memory-safety checkers |
@@ -31,6 +31,17 @@
 //!
 //! `delta` is an array of `{"action": "replace"|"add"|"remove",
 //! "name": fn, ["text": body]}` applied in order ([`source::SourceMap`]).
+//!
+//! `load` and `edit` accept an optional `"solver"` (`dense`, `sfs`,
+//! `vsfs`, or `cfgfree`; unknown names are `bad_request`) selecting the
+//! flow-sensitive engine for the workspace. An `edit` that omits it
+//! keeps the workspace's resident solver; naming a different one
+//! switches the workspace by an exact cold re-solve. Staged solvers (`sfs`,
+//! `vsfs`) re-solve edits incrementally and persist warm snapshots;
+//! cold-only solvers (`dense`, `cfgfree`) build no SVFG and serve every
+//! edit by an exact cold re-solve (`"incremental": false`). Per-program
+//! `stats` report the workspace's `solver` and whether warm state is
+//! resident; the SVFG counters are `null` for cold-only solvers.
 //!
 //! `load` and `edit` accept optional budgets (`time_budget` seconds,
 //! `step_budget`, `mem_budget_mib`) mirroring the CLI's governed mode:
@@ -100,7 +111,7 @@ use vsfs_core::queries::AliasQueries;
 use vsfs_core::schedule::SolveOrder;
 use vsfs_core::{
     export_warm, resolve_edit, restore_program, solve_program, IncrementalOptions, ProgramState,
-    SolveError, SolveReport,
+    SolveError, SolveReport, SolverKind,
 };
 use vsfs_ir::ValueId;
 
@@ -502,6 +513,17 @@ impl Server {
 
     fn request_opts(&self, req: &Json) -> Result<IncrementalOptions, Json> {
         let mut opts = self.config.opts;
+        if let Some(name) = req.get("solver").and_then(Json::as_str) {
+            opts.solver = match SolverKind::parse(name) {
+                Some(kind) => kind,
+                None => {
+                    return Err(err(
+                        "bad_request",
+                        format!("unknown solver '{name}' (expected dense, sfs, vsfs, or cfgfree)"),
+                    ))
+                }
+            };
+        }
         if let Some(order) = req.get("order").and_then(Json::as_str) {
             opts.order = match order {
                 "fifo" => SolveOrder::Fifo,
@@ -577,10 +599,16 @@ impl Server {
         let Some(delta) = req.get("delta").and_then(Json::as_arr) else {
             return err("bad_request", "missing array field 'delta'");
         };
-        let opts = match self.request_opts(req) {
+        let mut opts = match self.request_opts(req) {
             Ok(o) => o,
             Err(e) => return e,
         };
+        // An edit that names no solver keeps the workspace's resident
+        // one (naming a different solver switches it, by a cold
+        // re-solve); only `load` falls back to the server default.
+        if req.get("solver").and_then(Json::as_str).is_none() {
+            opts.solver = self.programs[&id].state.solver;
+        }
 
         // Apply the deltas to a copy of the source map: a rejected edit
         // must leave the resident program untouched.
@@ -730,7 +758,17 @@ impl Server {
             Err(e) => return e,
         };
         let state = &ws.state;
-        let findings = run_checkers(&state.prog, &state.svfg, &FlowView(&state.analysis.result));
+        // Checkers walk the SVFG for witness paths. Cold-only solvers
+        // never build one, so stage it on demand — the points-to view
+        // under scrutiny is still the resident solver's result.
+        let findings = match state.svfg() {
+            Some(svfg) => run_checkers(&state.prog, svfg, &FlowView(&state.analysis.result)),
+            None => {
+                let mssa = vsfs_mssa::MemorySsa::build(&state.prog, &state.aux);
+                let svfg = vsfs_svfg::Svfg::build(&state.prog, &state.aux, &mssa);
+                run_checkers(&state.prog, &svfg, &FlowView(&state.analysis.result))
+            }
+        };
         let rendered: Vec<Json> = findings
             .iter()
             .map(|f| {
@@ -788,9 +826,16 @@ impl Server {
                     ("functions", n(state.prog.functions.len() as f64)),
                     ("values", n(state.prog.values.len() as f64)),
                     ("objects", n(state.prog.objects.len() as f64)),
-                    ("nodes", n(state.svfg.node_count() as f64)),
-                    ("direct_edges", n(state.svfg.direct_edge_count() as f64)),
-                    ("indirect_edges", n(state.svfg.indirect_edge_count() as f64)),
+                    ("solver", s(state.solver.name())),
+                    ("nodes", state.svfg().map_or(Json::Null, |g| n(g.node_count() as f64))),
+                    (
+                        "direct_edges",
+                        state.svfg().map_or(Json::Null, |g| n(g.direct_edge_count() as f64)),
+                    ),
+                    (
+                        "indirect_edges",
+                        state.svfg().map_or(Json::Null, |g| n(g.indirect_edge_count() as f64)),
+                    ),
                     ("mode", s(state.analysis.mode)),
                     ("degraded", Json::Bool(!state.analysis.is_complete())),
                     ("warm", Json::Bool(state.has_warm_state())),

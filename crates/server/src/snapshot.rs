@@ -37,7 +37,8 @@ use vsfs_core::WarmExport;
 
 /// Bumped whenever the payload layout changes; readers refuse other
 /// versions (a typed error, which the server treats as a cold solve).
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// v2 added the export's solver name after the fingerprint.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 const MAGIC: &[u8; 8] = b"VSFSNAP1";
 const HEADER_LEN: usize = 8 + 4 + 8 + 8;
@@ -201,6 +202,7 @@ pub fn encode(snap: &Snapshot) -> Vec<u8> {
     put_str(&mut p, &snap.source);
     let e = &snap.export;
     put_u64(&mut p, e.fingerprint);
+    put_str(&mut p, &e.solver);
     put_u32(&mut p, e.sets.len() as u32);
     for set in &e.sets {
         put_u32(&mut p, set.len() as u32);
@@ -317,6 +319,7 @@ pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
     let id = r.str()?;
     let source = r.str()?;
     let fingerprint = r.u64()?;
+    let solver = r.str()?;
     let mut sets = Vec::with_capacity(r.count(4)?);
     for _ in 0..sets.capacity() {
         let n = r.count(8)?;
@@ -366,7 +369,7 @@ pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
     Ok(Snapshot {
         id,
         source,
-        export: WarmExport { fingerprint, sets, pt, ins, outs, activations },
+        export: WarmExport { solver, fingerprint, sets, pt, ins, outs, activations },
     })
 }
 
@@ -379,6 +382,7 @@ mod tests {
             id: "demo/prog".into(),
             source: "func @main() {\nentry:\n  ret\n}\n".into(),
             export: WarmExport {
+                solver: "sfs".into(),
                 fingerprint: 0xdead_beef_cafe_f00d,
                 sets: vec![vec![], vec![1, 2, 3], vec![u64::MAX]],
                 pt: vec![(10, 0), (11, 2)],

@@ -82,9 +82,43 @@ pub struct StableKeys {
 }
 
 impl StableKeys {
-    /// Builds the key tables for one (program, memory-SSA, SVFG) triple.
-    pub fn build(prog: &Program, mssa: &MemorySsa, svfg: &Svfg) -> StableKeys {
+    /// Builds the program-side key tables only (objects, values,
+    /// instructions), leaving the SVFG node tables empty. Solvers that
+    /// never materialize an SVFG (dense, cfg-free) still need stable
+    /// result fingerprints — `result_fingerprint` consumes only
+    /// value/object/instruction keys — so this constructor gives them
+    /// the same cross-parse identity without the staged pipeline.
+    pub fn build_program(prog: &Program) -> StableKeys {
+        let (obj_key, value_key, inst_key) = Self::program_keys(prog);
         let mut ambiguous = false;
+        let mut obj_of_key = HashMap::with_capacity(obj_key.len());
+        for (id, &key) in obj_key.iter_enumerated() {
+            ambiguous |= obj_of_key.insert(key, id).is_some();
+        }
+        let mut value_of_key = HashMap::with_capacity(value_key.len());
+        for (id, &key) in value_key.iter_enumerated() {
+            ambiguous |= value_of_key.insert(key, id).is_some();
+        }
+        StableKeys {
+            obj_key,
+            value_key,
+            inst_key,
+            node_key: IndexVec::new(),
+            node_of_key: HashMap::new(),
+            value_of_key,
+            obj_of_key,
+            ambiguous,
+        }
+    }
+
+    /// Object, value, and instruction key tables for one parse.
+    fn program_keys(
+        prog: &Program,
+    ) -> (
+        IndexVec<ObjId, u64>,
+        IndexVec<ValueId, u64>,
+        IndexVec<InstId, u64>,
+    ) {
         let fname = |f| fnv1a(prog.functions[f].name.as_bytes());
 
         // Objects: non-field kinds first (field bases are never fields —
@@ -116,10 +150,6 @@ impl StableKeys {
                 obj_key[id] = mix(mix(fnv1a(b"field"), obj_key[base]), offset as u64);
             }
         }
-        let mut obj_of_key = HashMap::with_capacity(obj_key.len());
-        for (id, &key) in obj_key.iter_enumerated() {
-            ambiguous |= obj_of_key.insert(key, id).is_some();
-        }
 
         // Values: (scope, name), occurrence-disambiguated defensively.
         occurrence.clear();
@@ -134,10 +164,6 @@ impl StableKeys {
             value_key.push(mix(raw, *occ as u64));
             *occ += 1;
         }
-        let mut value_of_key = HashMap::with_capacity(value_key.len());
-        for (id, &key) in value_key.iter_enumerated() {
-            ambiguous |= value_of_key.insert(key, id).is_some();
-        }
 
         // Instructions: function name + block-layout position. The
         // pseudo-instructions FUNENTRY/FUNEXIT are keyed by function name
@@ -146,9 +172,7 @@ impl StableKeys {
         // shift the exit's identity and spuriously re-sign every caller.
         let mut inst_key: IndexVec<InstId, u64> =
             IndexVec::from_elem_n(0, prog.insts.len());
-        let mut block_pos: IndexVec<vsfs_ir::BlockId, u64> =
-            IndexVec::from_elem_n(0, prog.blocks.len());
-        for (f, func) in prog.functions.iter_enumerated() {
+        for (f, _) in prog.functions.iter_enumerated() {
             for (pos, inst) in prog.func_insts(f).enumerate() {
                 inst_key[inst] = match prog.insts[inst].kind {
                     InstKind::FunEntry { .. } => mix(fnv1a(b"inst-entry"), fname(f)),
@@ -156,6 +180,27 @@ impl StableKeys {
                     _ => mix(mix(fnv1a(b"inst"), fname(f)), pos as u64),
                 };
             }
+        }
+
+        (obj_key, value_key, inst_key)
+    }
+
+    /// Builds the key tables for one (program, memory-SSA, SVFG) triple.
+    pub fn build(prog: &Program, mssa: &MemorySsa, svfg: &Svfg) -> StableKeys {
+        let (obj_key, value_key, inst_key) = Self::program_keys(prog);
+        let mut ambiguous = false;
+        let fname = |f| fnv1a(prog.functions[f].name.as_bytes());
+        let mut obj_of_key = HashMap::with_capacity(obj_key.len());
+        for (id, &key) in obj_key.iter_enumerated() {
+            ambiguous |= obj_of_key.insert(key, id).is_some();
+        }
+        let mut value_of_key = HashMap::with_capacity(value_key.len());
+        for (id, &key) in value_key.iter_enumerated() {
+            ambiguous |= value_of_key.insert(key, id).is_some();
+        }
+        let mut block_pos: IndexVec<vsfs_ir::BlockId, u64> =
+            IndexVec::from_elem_n(0, prog.blocks.len());
+        for (_, func) in prog.functions.iter_enumerated() {
             for (pos, &b) in func.blocks.iter().enumerate() {
                 block_pos[b] = pos as u64;
             }
@@ -285,6 +330,17 @@ entry:
         for (key, _) in a.node_of_key.iter() {
             assert!(b.node_of_key(*key).is_some() || true);
         }
+    }
+
+    #[test]
+    fn program_only_keys_match_the_staged_build() {
+        let (prog, full) = build(PROG);
+        let lean = StableKeys::build_program(&prog);
+        assert!(lean.is_unambiguous());
+        assert_eq!(lean.obj_key, full.obj_key);
+        assert_eq!(lean.value_key, full.value_key);
+        assert_eq!(lean.inst_key, full.inst_key);
+        assert!(lean.node_key.is_empty());
     }
 
     #[test]

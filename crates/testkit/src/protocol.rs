@@ -127,7 +127,22 @@ impl ProtocolFuzzer {
         let id = ["fz0", "fz1", "nope"][self.rng.gen_range(0..3usize)];
         let req = match self.rng.gen_range(0..8u32) {
             0 => r#"{"op":"ping"}"#.to_string(),
-            1 => format!(r#"{{"op":"load","id":"{id}","source":"func @f() {{\nentry:\n  %p = alloc stack A\n  ret\n}}\n"}}"#),
+            1 => {
+                // Sometimes pick a resident solver: every real name
+                // (the server accepts all four), plus names the closed
+                // error taxonomy must reject as `bad_request`.
+                let solver = [
+                    "",
+                    r#","solver":"dense""#,
+                    r#","solver":"sfs""#,
+                    r#","solver":"vsfs""#,
+                    r#","solver":"cfgfree""#,
+                    r#","solver":"ander""#,
+                    r#","solver":"CFGFREE""#,
+                    r#","solver":"""#,
+                ][self.rng.gen_range(0..8usize)];
+                format!(r#"{{"op":"load","id":"{id}","source":"func @f() {{\nentry:\n  %p = alloc stack A\n  ret\n}}\n"{solver}}}"#)
+            }
             2 => format!(r#"{{"op":"pts","id":"{id}","value":"%p"}}"#),
             3 => format!(r#"{{"op":"alias","id":"{id}","p":"%p","q":"%p"}}"#),
             4 => format!(r#"{{"op":"stats","id":"{id}"}}"#),
@@ -139,8 +154,9 @@ impl ProtocolFuzzer {
     }
 
     fn wrong_types(&mut self) -> Vec<u8> {
-        let pick = self.rng.gen_range(0..8u32);
+        let pick = self.rng.gen_range(0..9u32);
         let req = match pick {
+            8 => r#"{"op":"load","id":"x","source":"func @f(){}","solver":7}"#.to_string(),
             0 => r#"{"op":7}"#.to_string(),
             1 => r#"{"op":null}"#.to_string(),
             2 => r#"{"op":["ping"]}"#.to_string(),

@@ -143,4 +143,8 @@ echo "== server gate: snapshot restore >= 5x faster than cold solve =="
 cargo run --release -p vsfs-bench --bin server_bench -- ninja,bake --gate 5
 
 echo
+echo "== solver equivalence gate: sfs = vsfs = cfgfree on the serving workloads =="
+cargo run --release -p vsfs-bench --bin solver_matrix -- ninja,bake --gate-equivalence
+
+echo
 echo "CI OK"

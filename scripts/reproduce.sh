@@ -42,5 +42,9 @@ echo "== Serving path: latency, shed rate, snapshot restore (writes results/BENC
 ./target/release/server_bench
 
 echo
+echo "== Solver matrix: sfs/vsfs/cfgfree time, memory, precision (writes results/BENCH_solvers.json) =="
+./target/release/solver_matrix
+
+echo
 echo "== Micro-benches (phases, versioning scaling, ablations) =="
 cargo bench -p vsfs-bench

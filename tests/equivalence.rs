@@ -1,27 +1,35 @@
-//! The central correctness experiment: VSFS computes exactly the same
-//! points-to information as SFS (Section IV-E of the paper), on the
-//! hand-written corpus, on targeted tricky programs, and on a sweep of
-//! generated workloads.
+//! The central correctness experiment, now three-way: VSFS computes
+//! exactly the same points-to information as SFS (Section IV-E of the
+//! paper), and the CFG-free constraint-ordering solver — which never
+//! builds memory SSA or an SVFG — matches both, on the hand-written
+//! corpus, on targeted tricky programs, and on a sweep of generated
+//! workloads.
 
 use vsfs::prelude::*;
 use vsfs_core::queries::AliasQueries;
 use vsfs_core::result::precision_diff;
 use vsfs_workloads::gen::{generate, WorkloadConfig};
 
-fn full_pipeline(prog: &Program) -> (FlowSensitiveResult, FlowSensitiveResult) {
+fn full_pipeline(
+    prog: &Program,
+) -> (FlowSensitiveResult, FlowSensitiveResult, FlowSensitiveResult) {
     vsfs_ir::verify::verify(prog).expect("program verifies");
     let aux = andersen::analyze(prog);
     let mssa = MemorySsa::build(prog, &aux);
     let svfg = Svfg::build(prog, &aux, &mssa);
     let sfs = vsfs_core::run_sfs(prog, &aux, &mssa, &svfg);
     let vsfs = vsfs_core::run_vsfs(prog, &aux, &mssa, &svfg);
-    (sfs, vsfs)
+    let cfgfree = vsfs_core::run_cfgfree(prog, &aux);
+    (sfs, vsfs, cfgfree)
 }
 
 fn assert_equivalent(prog: &Program, label: &str) {
-    let (sfs, vsfs) = full_pipeline(prog);
+    let (sfs, vsfs, cfgfree) = full_pipeline(prog);
     if let Some(diff) = precision_diff(prog, &sfs, &vsfs) {
         panic!("{label}: SFS and VSFS disagree: {diff}");
+    }
+    if let Some(diff) = precision_diff(prog, &sfs, &cfgfree) {
+        panic!("{label}: SFS and CFG-free disagree: {diff}");
     }
 }
 
@@ -90,7 +98,7 @@ fn flow_sensitive_is_more_precise_than_andersen() {
 #[test]
 fn strong_update_behaviour() {
     let prog = parse_program(vsfs_workloads::corpus::STRONG_UPDATE).unwrap();
-    let (sfs, vsfs) = full_pipeline(&prog);
+    let (sfs, vsfs, cfgfree) = full_pipeline(&prog);
     let val = |name: &str| {
         prog.values
             .iter_enumerated()
@@ -99,7 +107,7 @@ fn strong_update_behaviour() {
             .unwrap()
     };
     let obj_name = |o| prog.objects[o].name.clone();
-    for (label, r) in [("sfs", &sfs), ("vsfs", &vsfs)] {
+    for (label, r) in [("sfs", &sfs), ("vsfs", &vsfs), ("cfgfree", &cfgfree)] {
         let before: Vec<String> = r.value_pts(val("before")).iter().map(obj_name).collect();
         let after: Vec<String> = r.value_pts(val("after")).iter().map(obj_name).collect();
         assert_eq!(before, vec!["First"], "{label}: load before the second store");
@@ -107,19 +115,20 @@ fn strong_update_behaviour() {
     }
     assert!(sfs.stats.strong_updates > 0);
     assert!(vsfs.stats.strong_updates > 0);
+    assert!(cfgfree.stats.strong_updates > 0);
 }
 
 #[test]
 fn weak_update_on_arrays() {
     let prog = parse_program(vsfs_workloads::corpus::WEAK_ARRAY).unwrap();
-    let (sfs, vsfs) = full_pipeline(&prog);
+    let (sfs, vsfs, cfgfree) = full_pipeline(&prog);
     let x = prog
         .values
         .iter_enumerated()
         .find(|(_, v)| v.name == "x")
         .map(|(id, _)| id)
         .unwrap();
-    for r in [&sfs, &vsfs] {
+    for r in [&sfs, &vsfs, &cfgfree] {
         let mut names: Vec<String> =
             r.value_pts(x).iter().map(|o| prog.objects[o].name.clone()).collect();
         names.sort();
@@ -131,7 +140,7 @@ fn weak_update_on_arrays() {
 fn flow_order_precision_beats_andersen() {
     let prog = parse_program(vsfs_workloads::corpus::FLOW_ORDER).unwrap();
     let aux = andersen::analyze(&prog);
-    let (sfs, vsfs) = full_pipeline(&prog);
+    let (sfs, vsfs, cfgfree) = full_pipeline(&prog);
     let val = |name: &str| {
         prog.values
             .iter_enumerated()
@@ -144,25 +153,29 @@ fn flow_order_precision_beats_andersen() {
     // Both flow-sensitive analyses know it cannot.
     assert!(sfs.value_pts(val("early")).is_empty());
     assert!(vsfs.value_pts(val("early")).is_empty());
+    assert!(cfgfree.value_pts(val("early")).is_empty());
     assert_eq!(sfs.value_pts(val("late")).len(), 1);
     assert_eq!(vsfs.value_pts(val("late")).len(), 1);
+    assert_eq!(cfgfree.value_pts(val("late")).len(), 1);
 }
 
 #[test]
 fn indirect_dispatch_resolves_identically() {
     let prog = parse_program(vsfs_workloads::corpus::FPTR_DISPATCH).unwrap();
-    let (sfs, vsfs) = full_pipeline(&prog);
+    let (sfs, vsfs, cfgfree) = full_pipeline(&prog);
     assert_eq!(sfs.callgraph_edges, vsfs.callgraph_edges);
+    assert_eq!(sfs.callgraph_edges, cfgfree.callgraph_edges);
     // Both handlers are feasible targets.
     assert_eq!(sfs.callgraph_edges.len(), 2);
     assert!(sfs.stats.calls_activated >= 2);
     assert!(vsfs.stats.calls_activated >= 2);
+    assert!(cfgfree.stats.calls_activated >= 2);
 }
 
 #[test]
 fn linked_list_field_flow() {
     let prog = parse_program(vsfs_workloads::corpus::LINKED_LIST).unwrap();
-    let (sfs, vsfs) = full_pipeline(&prog);
+    let (sfs, vsfs, cfgfree) = full_pipeline(&prog);
     let val = |name: &str| {
         prog.values
             .iter_enumerated()
@@ -170,7 +183,7 @@ fn linked_list_field_flow() {
             .map(|(id, _)| id)
             .unwrap()
     };
-    for r in [&sfs, &vsfs] {
+    for r in [&sfs, &vsfs, &cfgfree] {
         // next = n1.next = the Node object; payload = *n2 ⊇ Data2.
         let next: Vec<String> =
             r.value_pts(val("next")).iter().map(|o| prog.objects[o].name.clone()).collect();
@@ -191,23 +204,29 @@ fn query_answers_are_identical_between_solvers_corpus_wide() {
     // all of them.
     for p in vsfs_workloads::corpus::corpus() {
         let prog = parse_program(p.source).unwrap();
-        let (sfs, vsfs) = full_pipeline(&prog);
+        let (sfs, vsfs, cfgfree) = full_pipeline(&prog);
         let qs = AliasQueries::new(&prog, &sfs);
         let qv = AliasQueries::new(&prog, &vsfs);
+        let qc = AliasQueries::new(&prog, &cfgfree);
         let mut prev = None;
         for v in prog.values.indices() {
             assert_eq!(qs.unique_target(v), qv.unique_target(v), "{}", p.name);
+            assert_eq!(qs.unique_target(v), qc.unique_target(v), "{}", p.name);
             assert_eq!(qs.is_empty(v), qv.is_empty(v), "{}", p.name);
+            assert_eq!(qs.is_empty(v), qc.is_empty(v), "{}", p.name);
             assert_eq!(qs.may_point_to_heap(v), qv.may_point_to_heap(v), "{}", p.name);
+            assert_eq!(qs.may_point_to_heap(v), qc.may_point_to_heap(v), "{}", p.name);
             assert_eq!(qs.pointee_names(v), qv.pointee_names(v), "{}", p.name);
+            assert_eq!(qs.pointee_names(v), qc.pointee_names(v), "{}", p.name);
             if let Some(u) = prev {
                 assert_eq!(qs.may_alias(u, v), qv.may_alias(u, v), "{}", p.name);
+                assert_eq!(qs.may_alias(u, v), qc.may_alias(u, v), "{}", p.name);
             }
             prev = Some(v);
         }
-        // Both solvers' stores carry at least the canonical empty set
-        // and report consistent byte accounting.
-        for r in [&sfs, &vsfs] {
+        // Every solver's store carries at least the canonical empty set
+        // and reports consistent byte accounting.
+        for r in [&sfs, &vsfs, &cfgfree] {
             assert!(r.stats.store.unique_sets >= 1);
         }
     }
@@ -228,7 +247,7 @@ fn vsfs_stores_fewer_object_sets_on_redundant_workloads() {
         ..WorkloadConfig::small()
     };
     let prog = generate(&cfg);
-    let (sfs, vsfs) = full_pipeline(&prog);
+    let (sfs, vsfs, _cfgfree) = full_pipeline(&prog);
     assert!(
         vsfs.stats.stored_object_sets < sfs.stats.stored_object_sets,
         "VSFS sets {} !< SFS sets {}",
@@ -254,5 +273,46 @@ fn vsfs_stores_fewer_object_sets_on_redundant_workloads() {
             s.unique_sets,
             r.stats.stored_object_sets
         );
+    }
+}
+
+#[test]
+fn cfgfree_checker_findings_are_bit_identical_across_jobs_and_orders() {
+    // The CFG-free result must be schedule- and parallelism-invariant:
+    // checker findings rendered under its FlowView are byte-for-byte
+    // identical whether the auxiliary stage ran with 1, 2, or 8 jobs
+    // and whether the solver drained its worklist FIFO or topological.
+    use vsfs_andersen::AndersenConfig;
+    use vsfs_checkers::{render_findings, run_checkers, FlowView};
+    use vsfs_core::SolveOrder;
+
+    for p in vsfs_workloads::corpus::corpus() {
+        let prog = parse_program(p.source).unwrap();
+        vsfs_ir::verify::verify(&prog).expect("program verifies");
+        let mut reference: Option<Vec<String>> = None;
+        for jobs in [1usize, 2, 8] {
+            let aux = vsfs_andersen::analyze_with_config(
+                &prog,
+                AndersenConfig { jobs, ..AndersenConfig::default() },
+            );
+            // The checkers traverse the SVFG for witness paths; the
+            // view under test is still the CFG-free result.
+            let mssa = MemorySsa::build(&prog, &aux);
+            let svfg = Svfg::build(&prog, &aux, &mssa);
+            for order in [SolveOrder::Fifo, SolveOrder::Topo] {
+                let r = vsfs_core::run_cfgfree_ordered(&prog, &aux, order);
+                let findings = run_checkers(&prog, &svfg, &FlowView(&r));
+                let rendered = render_findings(&prog, &findings);
+                match &reference {
+                    None => reference = Some(rendered),
+                    Some(want) => assert_eq!(
+                        want, &rendered,
+                        "{}: findings differ at jobs={jobs} order={}",
+                        p.name,
+                        order.name()
+                    ),
+                }
+            }
+        }
     }
 }

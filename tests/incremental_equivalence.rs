@@ -97,8 +97,8 @@ fn assert_matches(
         );
     }
     // Same text ⇒ same ids ⇒ findings are directly comparable.
-    let inc_findings =
-        run_checkers(&state.prog, &state.svfg, &FlowView(&state.analysis.result));
+    let svfg = state.svfg().expect("staged solver keeps its SVFG resident");
+    let inc_findings = run_checkers(&state.prog, svfg, &FlowView(&state.analysis.result));
     let cold_findings = run_checkers(&cold.prog, &cold.svfg, &FlowView(cold_result));
     assert_eq!(inc_findings, cold_findings, "{label}: checker findings differ");
     assert_eq!(
@@ -119,7 +119,7 @@ fn edit_sequences_match_from_scratch_solves() {
         let base_text = script.base.to_string();
         let opts = IncrementalOptions {
             order: if rng.gen_bool(0.5) { SolveOrder::Fifo } else { SolveOrder::Topo },
-            jobs: 1,
+            ..IncrementalOptions::default()
         };
         let (mut state, _) =
             solve_program(&base_text, opts, None, None).expect("base solves");
