@@ -477,7 +477,7 @@ impl Governor {
             });
             return Err(self.reason().expect("just tripped"));
         }
-        if cp == 1 || cp % POLL_INTERVAL == 0 {
+        if cp == 1 || cp.is_multiple_of(POLL_INTERVAL) {
             if let Some(dl) = self.deadline {
                 if Instant::now() >= dl {
                     self.trip(DegradeReason::Deadline);

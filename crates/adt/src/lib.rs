@@ -235,10 +235,7 @@ mod tests {
         assert_eq!(s.as_singleton(), Some(TestId::new(10)));
         assert!(s.insert(TestId::new(2)));
         assert_eq!(s.as_singleton(), None);
-        assert_eq!(
-            s.iter().collect::<Vec<_>>(),
-            vec![TestId::new(2), TestId::new(10)]
-        );
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![TestId::new(2), TestId::new(10)]);
     }
 
     #[test]

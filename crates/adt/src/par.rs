@@ -190,7 +190,7 @@ pub fn split_by_cost(costs: &[u64], parts: usize) -> Vec<std::ops::Range<usize>>
     let n = costs.len();
     let parts = parts.max(1).min(n.max(1));
     if parts <= 1 || n == 0 {
-        return vec![0..n];
+        return std::iter::once(0..n).collect();
     }
     let total: u64 = costs.iter().sum();
     let target = total / parts as u64;
@@ -275,6 +275,39 @@ pub fn try_run_tasks_with<S, R: Send>(
     init: impl Fn() -> S + Sync,
     run: impl Fn(&mut S, usize) -> R + Sync,
 ) -> Result<(Vec<R>, ParStats), ParInterrupt> {
+    try_run_tasks_seeded(config, tasks, cost, None, governor, init, run)
+}
+
+/// Like [`try_run_tasks_with`], but shards are seeded *group-major*:
+/// `group(i)` names each task's group, whole groups are LPT-packed onto
+/// shards by their total cost, and a group's tasks start on the same
+/// worker. Used to seed per-object versioning shards from the disjoint
+/// alias regions of a unification pre-analysis, so tasks whose data can
+/// overlap share a worker's cache. Work stealing still rebalances, and
+/// results stay in task order — grouping is purely a scheduling hint
+/// and never changes the output.
+pub fn try_run_tasks_grouped<S, R: Send>(
+    config: ParConfig,
+    tasks: usize,
+    cost: impl Fn(usize) -> u64 + Copy,
+    group: impl Fn(usize) -> u64,
+    governor: Option<&Governor>,
+    init: impl Fn() -> S + Sync,
+    run: impl Fn(&mut S, usize) -> R + Sync,
+) -> Result<(Vec<R>, ParStats), ParInterrupt> {
+    let groups: Vec<u64> = (0..tasks).map(group).collect();
+    try_run_tasks_seeded(config, tasks, cost, Some(&groups), governor, init, run)
+}
+
+fn try_run_tasks_seeded<S, R: Send>(
+    config: ParConfig,
+    tasks: usize,
+    cost: impl Fn(usize) -> u64,
+    groups: Option<&[u64]>,
+    governor: Option<&Governor>,
+    init: impl Fn() -> S + Sync,
+    run: impl Fn(&mut S, usize) -> R + Sync,
+) -> Result<(Vec<R>, ParStats), ParInterrupt> {
     let start = Instant::now();
     let jobs = config.effective_jobs().max(1).min(tasks.max(1));
     let exec = |state: &mut S, i: usize| -> Result<R, WorkerFault> {
@@ -305,22 +338,44 @@ pub fn try_run_tasks_with<S, R: Send>(
         if !faults.is_empty() || cancelled {
             return Err(ParInterrupt { faults, cancelled });
         }
-        return Ok((
-            out,
-            ParStats { tasks, steals: 0, workers: 1, wall: start.elapsed() },
-        ));
+        return Ok((out, ParStats { tasks, steals: 0, workers: 1, wall: start.elapsed() }));
     }
 
-    // Seed shards LPT-style: heaviest tasks first, each onto the
-    // currently lightest shard (ties to the lowest shard id).
+    // Seed shards LPT-style: heaviest units first, each onto the
+    // currently lightest shard (ties to the lowest shard id). A unit is
+    // one task, or — with `groups` — one whole group, so grouped tasks
+    // start on the same worker.
     let wl = ShardedWorklist::new(jobs);
-    let mut order: Vec<usize> = (0..tasks).collect();
-    order.sort_by_key(|&i| (std::cmp::Reverse(cost(i)), i));
     let mut load = vec![0u64; jobs];
-    for i in order {
-        let shard = (0..jobs).min_by_key(|&s| (load[s], s)).unwrap();
-        load[shard] += cost(i).max(1);
-        wl.push(shard, i);
+    match groups {
+        None => {
+            let mut order: Vec<usize> = (0..tasks).collect();
+            order.sort_by_key(|&i| (std::cmp::Reverse(cost(i)), i));
+            for i in order {
+                let shard = (0..jobs).min_by_key(|&s| (load[s], s)).unwrap();
+                load[shard] += cost(i).max(1);
+                wl.push(shard, i);
+            }
+        }
+        Some(gids) => {
+            // Group id -> (total cost, member tasks in ascending order).
+            let mut members: std::collections::BTreeMap<u64, (u64, Vec<usize>)> =
+                std::collections::BTreeMap::new();
+            for (i, &gid) in gids.iter().enumerate().take(tasks) {
+                let e = members.entry(gid).or_default();
+                e.0 += cost(i).max(1);
+                e.1.push(i);
+            }
+            let mut order: Vec<(u64, (u64, Vec<usize>))> = members.into_iter().collect();
+            order.sort_by_key(|&(gid, (total, _))| (std::cmp::Reverse(total), gid));
+            for (_, (total, tasks_of_group)) in order {
+                let shard = (0..jobs).min_by_key(|&s| (load[s], s)).unwrap();
+                load[shard] += total;
+                for i in tasks_of_group {
+                    wl.push(shard, i);
+                }
+            }
+        }
     }
 
     let mut slots: Vec<Option<R>> = Vec::with_capacity(tasks);
@@ -328,46 +383,43 @@ pub fn try_run_tasks_with<S, R: Send>(
     let exec = &exec;
     let init = &init;
     let wl = &wl;
-    let collected: Vec<(Vec<(usize, R)>, Vec<WorkerFault>, bool)> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..jobs)
-                .map(|w| {
-                    scope.spawn(move || {
-                        let mut state = init();
-                        let mut mine = Vec::new();
-                        let mut my_faults = Vec::new();
-                        let mut stopped = false;
-                        loop {
-                            if governor.is_some_and(|g| g.is_cancelled()) {
-                                stopped = true;
-                                break;
-                            }
-                            let Some(i) = wl.pop(w) else { break };
-                            match exec(&mut state, i) {
-                                Ok(r) => mine.push((i, r)),
-                                Err(f) => my_faults.push(f),
-                            }
+    type WorkerYield<R> = (Vec<(usize, R)>, Vec<WorkerFault>, bool);
+    let collected: Vec<WorkerYield<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut state = init();
+                    let mut mine = Vec::new();
+                    let mut my_faults = Vec::new();
+                    let mut stopped = false;
+                    loop {
+                        if governor.is_some_and(|g| g.is_cancelled()) {
+                            stopped = true;
+                            break;
                         }
-                        (mine, my_faults, stopped)
-                    })
+                        let Some(i) = wl.pop(w) else { break };
+                        match exec(&mut state, i) {
+                            Ok(r) => mine.push((i, r)),
+                            Err(f) => my_faults.push(f),
+                        }
+                    }
+                    (mine, my_faults, stopped)
                 })
-                .collect();
-            // Worker closures catch task panics themselves, so join can
-            // only fail on a harness-level bug; report it as a fault
-            // rather than unwinding through the scope.
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or_else(|payload| {
-                        let fault = WorkerFault {
-                            task: usize::MAX,
-                            message: panic_message(&*payload),
-                        };
-                        (Vec::new(), vec![fault], false)
-                    })
+            })
+            .collect();
+        // Worker closures catch task panics themselves, so join can
+        // only fail on a harness-level bug; report it as a fault
+        // rather than unwinding through the scope.
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|payload| {
+                    let fault = WorkerFault { task: usize::MAX, message: panic_message(&*payload) };
+                    (Vec::new(), vec![fault], false)
                 })
-                .collect()
-        });
+            })
+            .collect()
+    });
 
     let mut faults = Vec::new();
     let mut cancelled = false;
@@ -449,8 +501,7 @@ mod tests {
     fn run_tasks_returns_in_task_order_for_any_job_count() {
         let expect: Vec<usize> = (0..257).map(|i| i * 3).collect();
         for jobs in [1usize, 2, 3, 8] {
-            let (got, stats) =
-                run_tasks(ParConfig::new(jobs), 257, |i| (i % 5) as u64, |i| i * 3);
+            let (got, stats) = run_tasks(ParConfig::new(jobs), 257, |i| (i % 5) as u64, |i| i * 3);
             assert_eq!(got, expect, "jobs = {jobs}");
             assert_eq!(stats.tasks, 257);
             assert!(stats.workers <= jobs.max(1));
@@ -545,6 +596,24 @@ mod tests {
     }
 
     #[test]
+    fn grouped_seeding_keeps_results_in_task_order() {
+        for jobs in [1usize, 2, 4, 8] {
+            let (out, stats) = try_run_tasks_grouped(
+                ParConfig::new(jobs),
+                40,
+                |i| (i as u64 % 5) + 1,
+                |i| (i as u64) % 3,
+                None,
+                || (),
+                |(), i| i * 2,
+            )
+            .expect("no faults");
+            assert_eq!(out, (0..40).map(|i| i * 2).collect::<Vec<_>>(), "jobs = {jobs}");
+            assert_eq!(stats.tasks, 40);
+        }
+    }
+
+    #[test]
     fn governed_run_stops_when_cancelled() {
         use crate::govern::{Budget, Governor};
         let g = Governor::new(Budget::unlimited());
@@ -559,9 +628,14 @@ mod tests {
     #[should_panic(expected = "task five exploded")]
     fn ungoverned_wrapper_turns_faults_into_one_clean_panic() {
         crate::govern::silence_injected_panics();
-        let _ = run_tasks(ParConfig::new(4), 16, |_| 1, |i| {
-            assert!(i != 5, "task five exploded");
-            i
-        });
+        let _ = run_tasks(
+            ParConfig::new(4),
+            16,
+            |_| 1,
+            |i| {
+                assert!(i != 5, "task five exploded");
+                i
+            },
+        );
     }
 }

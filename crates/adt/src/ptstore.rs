@@ -579,8 +579,12 @@ mod tests {
     fn matches_direct_set_ops() {
         vsfs_testkit::check("ptstore::matches_direct_set_ops", |rng| {
             let ops = gen::vec_with(rng, 1..48, |r| {
-                (r.gen_range(0u32..64), r.gen_range(0usize..8), r.gen_range(0usize..8),
-                 r.gen_range(0u32..4))
+                (
+                    r.gen_range(0u32..64),
+                    r.gen_range(0usize..8),
+                    r.gen_range(0usize..8),
+                    r.gen_range(0u32..4),
+                )
             });
             let mut store = PtsStore::<TObj>::new();
             let mut ids: Vec<PtsId> = vec![PtsStore::<TObj>::EMPTY];

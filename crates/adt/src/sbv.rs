@@ -313,7 +313,12 @@ impl SparseBitVector {
 
     /// Iterates elements in ascending order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { blocks: &self.blocks, block_idx: 0, word_idx: 0, word: self.blocks.first().map_or(0, |b| b.words[0]) }
+        Iter {
+            blocks: &self.blocks,
+            block_idx: 0,
+            word_idx: 0,
+            word: self.blocks.first().map_or(0, |b| b.words[0]),
+        }
     }
 
     /// Approximate heap footprint in bytes.
@@ -388,8 +393,8 @@ impl Iterator for Iter<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vsfs_testkit::{gen, Rng};
     use std::collections::BTreeSet;
+    use vsfs_testkit::{gen, Rng};
 
     #[test]
     fn insert_remove_contains() {

@@ -80,9 +80,7 @@ impl CallGraph {
     pub fn edges(&self) -> impl Iterator<Item = (InstId, FuncId)> + '_ {
         let mut calls: Vec<InstId> = self.callees.keys().copied().collect();
         calls.sort_unstable();
-        calls
-            .into_iter()
-            .flat_map(move |c| self.callees[&c].iter().map(move |&f| (c, f)))
+        calls.into_iter().flat_map(move |c| self.callees[&c].iter().map(move |&f| (c, f)))
     }
 
     /// Number of `(call, callee)` edges.
@@ -99,10 +97,7 @@ impl CallGraph {
             g.add_edge_dedup(caller.raw(), callee.raw());
         }
         let sccs = Sccs::compute(&g);
-        prog.functions
-            .indices()
-            .filter(|f| sccs.in_cycle(&g, f.raw()))
-            .collect()
+        prog.functions.indices().filter(|f| sccs.in_cycle(&g, f.raw())).collect()
     }
 
     /// The functions transitively reachable from `roots` (inclusive).
@@ -153,14 +148,10 @@ mod tests {
         let b = prog.function_by_name("b").unwrap();
         let main = prog.entry_function();
         let mut cg = CallGraph::new();
-        for (call, f) in prog
-            .insts
-            .iter_enumerated()
-            .filter_map(|(i, inst)| match inst.kind {
-                vsfs_ir::InstKind::Call { callee: vsfs_ir::Callee::Direct(f), .. } => Some((i, f)),
-                _ => None,
-            })
-        {
+        for (call, f) in prog.insts.iter_enumerated().filter_map(|(i, inst)| match inst.kind {
+            vsfs_ir::InstKind::Call { callee: vsfs_ir::Callee::Direct(f), .. } => Some((i, f)),
+            _ => None,
+        }) {
             assert!(cg.add_edge(call, f));
             assert!(!cg.add_edge(call, f)); // dedup
         }

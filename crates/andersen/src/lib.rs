@@ -42,10 +42,16 @@ pub mod callgraph;
 pub mod pag;
 pub mod singletons;
 pub mod solver;
+pub mod unify;
 
 pub use callgraph::CallGraph;
 pub use pag::{Pag, PagNodeId};
 pub use singletons::compute_singletons;
 pub use solver::{
-    analyze, analyze_governed, analyze_with_config, AndersenConfig, AndersenResult, AndersenStats,
+    analyze, analyze_governed, analyze_with_config, analyze_with_config_regions, AndersenConfig,
+    AndersenResult, AndersenStats,
+};
+pub use unify::{
+    analyze_unify, analyze_unify_governed, analyze_unify_with_config, AliasRegions, UnifyConfig,
+    UnifyResult, UnifyStats,
 };

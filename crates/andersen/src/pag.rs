@@ -142,9 +142,7 @@ impl Pag {
                 // FREE defines nothing and constrains nothing: a freed
                 // object keeps its points-to set (checkers interpret the
                 // deallocation event; the analysis stays sound).
-                InstKind::Free { .. }
-                | InstKind::FunEntry { .. }
-                | InstKind::FunExit { .. } => {}
+                InstKind::Free { .. } | InstKind::FunEntry { .. } | InstKind::FunExit { .. } => {}
             }
         }
         pag
@@ -246,7 +244,8 @@ mod tests {
         )
         .unwrap();
         let pag = Pag::build(&prog);
-        let count = |pred: fn(&Constraint) -> bool| pag.constraints.iter().filter(|c| pred(c)).count();
+        let count =
+            |pred: fn(&Constraint) -> bool| pag.constraints.iter().filter(|c| pred(c)).count();
         // Addr: global g + alloc A
         assert_eq!(count(|c| matches!(c, Constraint::Addr { .. })), 2);
         // Copy: %c = copy %p, arg binding p->x, ret binding x->r

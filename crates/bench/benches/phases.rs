@@ -20,12 +20,8 @@ fn main() {
     h.bench("phases/ninja/andersen", || black_box(vsfs_andersen::analyze(&prog)));
     h.bench("phases/ninja/memory_ssa", || black_box(MemorySsa::build(&prog, &aux)));
     h.bench("phases/ninja/svfg_build", || black_box(Svfg::build(&prog, &aux, &mssa)));
-    h.bench("phases/ninja/versioning", || {
-        black_box(VersionTables::build(&prog, &mssa, &svfg))
-    });
-    h.bench("phases/ninja/sfs_solve", || {
-        black_box(vsfs_core::run_sfs(&prog, &aux, &mssa, &svfg))
-    });
+    h.bench("phases/ninja/versioning", || black_box(VersionTables::build(&prog, &mssa, &svfg)));
+    h.bench("phases/ninja/sfs_solve", || black_box(vsfs_core::run_sfs(&prog, &aux, &mssa, &svfg)));
     h.bench("phases/ninja/vsfs_solve", || {
         black_box(vsfs_core::run_vsfs_with_tables(&prog, &aux, &mssa, &svfg, tables.clone()))
     });

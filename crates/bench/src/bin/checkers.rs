@@ -50,11 +50,7 @@ fn main() {
             eprintln!("unknown workload `{name}`");
             std::process::exit(2);
         });
-        let cfg = WorkloadConfig {
-            free_fraction: 0.3,
-            null_fraction: 0.15,
-            ..spec.config.clone()
-        };
+        let cfg = WorkloadConfig { free_fraction: 0.3, null_fraction: 0.15, ..spec.config.clone() };
         let prog = vsfs_workloads::generate(&cfg);
 
         let aux = vsfs_andersen::analyze(&prog);

@@ -30,10 +30,8 @@ fn main() {
         match a.as_str() {
             "--jobs" => {
                 let v = args.next().unwrap_or_else(|| usage());
-                jobs_list = v
-                    .split(',')
-                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
-                    .collect();
+                jobs_list =
+                    v.split(',').map(|s| s.trim().parse().unwrap_or_else(|_| usage())).collect();
             }
             "--runs" => {
                 runs = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());

@@ -73,16 +73,24 @@ fn main() {
     let s = &vsfs.stats;
     println!(
         "vsfs solve  {:>8.3}s  {} pops, {} unions, {} sets ({} elems), {} strong updates",
-        s.solve_seconds, s.node_pops, s.object_propagations, s.stored_object_sets,
-        s.stored_object_elems, s.strong_updates
+        s.solve_seconds,
+        s.node_pops,
+        s.object_propagations,
+        s.stored_object_sets,
+        s.stored_object_elems,
+        s.strong_updates
     );
 
     let sfs = vsfs_core::run_sfs(&prog, &aux, &mssa, &svfg);
     let s = &sfs.stats;
     println!(
         "sfs solve   {:>8.3}s  {} pops, {} unions, {} sets ({} elems), {} strong updates",
-        s.solve_seconds, s.node_pops, s.object_propagations, s.stored_object_sets,
-        s.stored_object_elems, s.strong_updates
+        s.solve_seconds,
+        s.node_pops,
+        s.object_propagations,
+        s.stored_object_sets,
+        s.stored_object_elems,
+        s.strong_updates
     );
 
     let same = vsfs_core::same_precision(&prog, &sfs, &vsfs);

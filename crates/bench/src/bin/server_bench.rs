@@ -81,8 +81,7 @@ fn main() {
         // 2. Snapshot save, then restore from the file.
         let export = export_warm(&cold)
             .unwrap_or_else(|| fail(name, "export", "complete solve did not export"));
-        let snap =
-            snapshot::Snapshot { id: name.clone(), source: source.clone(), export };
+        let snap = snapshot::Snapshot { id: name.clone(), source: source.clone(), export };
         let t = Instant::now();
         let path = snapshot::save(&snap_dir, &snap)
             .unwrap_or_else(|e| fail(name, "snapshot save", &e.to_string()));
@@ -92,8 +91,8 @@ fn main() {
         timer.count(&format!("{name}.snapshot_bytes"), bytes);
 
         let t = Instant::now();
-        let reread = snapshot::load(&path)
-            .unwrap_or_else(|e| fail(name, "snapshot load", &e.to_string()));
+        let reread =
+            snapshot::load(&path).unwrap_or_else(|e| fail(name, "snapshot load", &e.to_string()));
         let (restored, report) = restore_program(&reread.source, &reread.export, opts, None, None)
             .unwrap_or_else(|e| fail(name, "restore", &e.to_string()));
         let restore_secs = t.elapsed().as_secs_f64();
@@ -176,7 +175,7 @@ fn main() {
     timer.count("overload.attempts", attempts);
     timer.count("overload.served", served);
     timer.count("overload.shed", shed);
-    timer.count("overload.shed_rate_x1000", if attempts > 0 { shed * 1000 / attempts } else { 0 });
+    timer.count("overload.shed_rate_x1000", (shed * 1000).checked_div(attempts).unwrap_or(0));
     println!(
         "overload: {served}/{attempts} served, {shed} shed ({:.0}% shed rate)",
         if attempts > 0 { shed as f64 * 100.0 / attempts as f64 } else { 0.0 }
@@ -202,8 +201,7 @@ fn main() {
 /// Hammers a deliberately tiny server (2 workers, queue depth 2) with
 /// 32 simultaneous connections; returns `(served, shed)`.
 fn overload_burst() -> (u64, u64) {
-    let sock = std::env::temp_dir()
-        .join(format!("vsfs-server-bench-{}.sock", std::process::id()));
+    let sock = std::env::temp_dir().join(format!("vsfs-server-bench-{}.sock", std::process::id()));
     let _ = std::fs::remove_file(&sock);
     let config = ServerConfig { workers: 2, queue_depth: 2, ..ServerConfig::default() };
     let handle = {

@@ -13,7 +13,15 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<14} {:>9} {:>7} {:>8} {:>9} {:>9} {:>10} {:>11}  {}\n",
-        "Bench.", "paperLOC", "insts", "#Nodes", "#D.Edges", "#I.Edges", "TopLevel", "AddrTaken", "Description"
+        "Bench.",
+        "paperLOC",
+        "insts",
+        "#Nodes",
+        "#D.Edges",
+        "#I.Edges",
+        "TopLevel",
+        "AddrTaken",
+        "Description"
     ));
     out.push_str(&"-".repeat(110));
     out.push('\n');
@@ -58,8 +66,7 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
     out.push('\n');
     for r in rows {
         let sfs_time = if r.sfs.oom { "OOM".to_string() } else { format!("{:.3}", r.sfs.seconds) };
-        let sfs_mem =
-            if r.sfs.oom { "OOM".to_string() } else { mib(r.sfs.peak_bytes) };
+        let sfs_mem = if r.sfs.oom { "OOM".to_string() } else { mib(r.sfs.peak_bytes) };
         let tdiff = match r.time_diff() {
             Some(d) => format!("{d:.2}x"),
             None => "-".to_string(),
@@ -77,8 +84,7 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
         };
         let cfg_time =
             if r.cfgfree.oom { "OOM".to_string() } else { format!("{:.3}", r.cfgfree.seconds) };
-        let cfg_mem =
-            if r.cfgfree.oom { "OOM".to_string() } else { mib(r.cfgfree.peak_bytes) };
+        let cfg_mem = if r.cfgfree.oom { "OOM".to_string() } else { mib(r.cfgfree.peak_bytes) };
         out.push_str(&format!(
             "{:<14} {:>9.3} {:>9} | {:>10} {:>9} | {:>8.3} {:>10.3} {:>9} | {:>8} {:>9} | {:>9} {:>9} | {:>6} {:>7.1}\n",
             r.name,
@@ -151,7 +157,7 @@ pub fn csv_table3(rows: &[Table3Row]) -> String {
             (format!("{:.4}", r.cfgfree.seconds), mib(r.cfgfree.peak_bytes))
         };
         out.push_str(&format!(
-            "{},{:.4},{},{},{},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{:.4},{},{},{},{:.4},{:.4},{},{},{},{},{},{},{},{:.4},{},{},{}\n",
             r.name,
             r.andersen_seconds,
             mib(r.andersen_peak_bytes),
@@ -166,7 +172,7 @@ pub fn csv_table3(rows: &[Table3Row]) -> String {
             r.sfs.unique_sets,
             r.vsfs.unique_sets,
             r.vsfs.stored_sets,
-            format!("{:.4}", r.vsfs.union_hit_rate),
+            r.vsfs.union_hit_rate,
             cfg_s,
             cfg_m,
             r.cfgfree.oom

@@ -18,7 +18,8 @@ fn inspect_seed0() {
     let sfs = vsfs_core::run_sfs(&prog, &aux, &mssa, &svfg);
     let dense = vsfs_core::run_dense(&prog, &aux);
     for v in prog.values.indices() {
-        let extra: Vec<String> = sfs.value_pts(v)
+        let extra: Vec<String> = sfs
+            .value_pts(v)
             .iter()
             .filter(|&o| !dense.value_pts(v).contains(o))
             .map(|o| prog.objects[o].name.clone())

@@ -91,8 +91,7 @@ impl<'a> TaintGraph<'a> {
     /// Forward BFS from `seed`, carrying each object in `objs` along its
     /// own labelled edges. `objs` must be sorted for deterministic order.
     pub fn reach(&self, seed: SvfgNodeId, objs: &[ObjId]) -> Wave {
-        let mut wave =
-            Wave { seed, parent: HashMap::new(), edges: Vec::new() };
+        let mut wave = Wave { seed, parent: HashMap::new(), edges: Vec::new() };
         let mut visited: HashSet<(SvfgNodeId, ObjId)> = HashSet::new();
         let mut queue: VecDeque<(SvfgNodeId, ObjId)> = VecDeque::new();
         for &o in objs {
@@ -102,8 +101,7 @@ impl<'a> TaintGraph<'a> {
         }
         while let Some((node, obj)) = queue.pop_front() {
             let materialised = self.svfg.indirect_succs(node).iter();
-            let activated =
-                self.extra_succs.get(&node).map(|v| v.as_slice()).unwrap_or(&[]).iter();
+            let activated = self.extra_succs.get(&node).map(|v| v.as_slice()).unwrap_or(&[]).iter();
             for &(succ, eo) in materialised.chain(activated) {
                 if eo != obj {
                     continue;

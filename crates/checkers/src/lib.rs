@@ -62,7 +62,7 @@ pub use checkers::{run_checkers, CheckerKind, Finding};
 pub use corpus::{load_corpus, CheckerCase};
 pub use engine::TaintGraph;
 pub use report::{render_finding, render_findings, CheckReport};
-pub use view::{AndersenView, FlowView, PtsView};
+pub use view::{AndersenView, FlowView, PtsView, UnifyView};
 
 use vsfs_ir::Program;
 

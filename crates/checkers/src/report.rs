@@ -46,10 +46,21 @@ pub fn render_findings(prog: &Program, findings: &[Finding]) -> Vec<String> {
     findings.iter().map(|f| render_finding(prog, f)).collect()
 }
 
-/// The outcome of running every checker under both views on one
-/// program: the two finding sets, their rendered lines, and the
+/// The outcome of running every checker under the precision tiers on
+/// one program: the finding sets, their rendered lines, and the
 /// per-checker precision deltas.
+///
+/// The two fine tiers (Andersen and flow-sensitive) are always present;
+/// the two unification tiers (classic Steensgaard and the refined
+/// no-oversharing variant) are optional, so two-tier callers — the
+/// server's `check` op, older tests — keep working unchanged while the
+/// CLI reports all four rungs of the soundness ladder.
 pub struct CheckReport {
+    /// Findings under classic Steensgaard unification (coarsest tier),
+    /// when the caller ran it.
+    pub steensgaard_findings: Option<Vec<Finding>>,
+    /// Findings under refined (no-oversharing) unification, when run.
+    pub unify_findings: Option<Vec<Finding>>,
     /// Findings under the auxiliary Andersen view, sorted.
     pub andersen_findings: Vec<Finding>,
     /// Findings under the flow-sensitive view, sorted.
@@ -61,7 +72,7 @@ pub struct CheckReport {
 }
 
 impl CheckReport {
-    /// Renders both finding sets.
+    /// Renders both fine-tier finding sets (no unification tiers).
     pub fn new(
         prog: &Program,
         andersen_findings: Vec<Finding>,
@@ -69,7 +80,29 @@ impl CheckReport {
     ) -> CheckReport {
         let andersen_lines = render_findings(prog, &andersen_findings);
         let flow_lines = render_findings(prog, &flow_findings);
-        CheckReport { andersen_findings, flow_findings, andersen_lines, flow_lines }
+        CheckReport {
+            steensgaard_findings: None,
+            unify_findings: None,
+            andersen_findings,
+            flow_findings,
+            andersen_lines,
+            flow_lines,
+        }
+    }
+
+    /// [`CheckReport::new`] plus the two unification tiers, coarsest
+    /// first: the full four-rung precision ladder.
+    pub fn with_tiers(
+        prog: &Program,
+        steensgaard_findings: Vec<Finding>,
+        unify_findings: Vec<Finding>,
+        andersen_findings: Vec<Finding>,
+        flow_findings: Vec<Finding>,
+    ) -> CheckReport {
+        let mut report = CheckReport::new(prog, andersen_findings, flow_findings);
+        report.steensgaard_findings = Some(steensgaard_findings);
+        report.unify_findings = Some(unify_findings);
+        report
     }
 
     fn count(findings: &[Finding], checker: CheckerKind) -> usize {
@@ -85,15 +118,25 @@ impl CheckReport {
             - Self::count(&self.flow_findings, checker) as i64
     }
 
-    /// A human-readable per-checker summary (`checker: andersen=N
-    /// flow-sensitive=M fp-removed=D`).
+    /// A human-readable per-checker summary. Two tiers:
+    /// `checker: andersen=N flow-sensitive=M fp-removed=D`; four tiers
+    /// insert `steensgaard=` and `unify=` counts before `andersen=`.
+    /// `fp-removed` (the Andersen → flow-sensitive delta) stays last —
+    /// the CI degradation gate matches on its trailing position.
     pub fn summary_lines(&self) -> Vec<String> {
         CheckerKind::ALL
             .iter()
             .map(|&c| {
+                let coarse = match (&self.steensgaard_findings, &self.unify_findings) {
+                    (Some(st), Some(un)) => {
+                        format!("steensgaard={} unify={} ", Self::count(st, c), Self::count(un, c))
+                    }
+                    _ => String::new(),
+                };
                 format!(
-                    "{}: andersen={} flow-sensitive={} fp-removed={}",
+                    "{}: {}andersen={} flow-sensitive={} fp-removed={}",
                     c.name(),
+                    coarse,
                     Self::count(&self.andersen_findings, c),
                     Self::count(&self.flow_findings, c),
                     self.fp_removed(c)
@@ -104,7 +147,8 @@ impl CheckReport {
 
     /// The JSON record for `program`, with deterministic key and array
     /// order. This is the machine-readable Table III row: per-checker
-    /// counts under both views plus the flow-sensitive diagnostics.
+    /// counts under every tier that ran plus the flow-sensitive
+    /// diagnostics.
     pub fn to_json(&self, program: &str) -> String {
         let mut out = String::new();
         out.push_str(&format!("{{\"program\":{},\"checkers\":[", json_str(program)));
@@ -112,9 +156,17 @@ impl CheckReport {
             if i > 0 {
                 out.push(',');
             }
+            let mut coarse = String::new();
+            if let Some(st) = &self.steensgaard_findings {
+                coarse.push_str(&format!("\"steensgaard\":{},", Self::count(st, c)));
+            }
+            if let Some(un) = &self.unify_findings {
+                coarse.push_str(&format!("\"unify\":{},", Self::count(un, c)));
+            }
             out.push_str(&format!(
-                "{{\"checker\":{},\"andersen\":{},\"flow_sensitive\":{},\"fp_removed\":{}}}",
+                "{{\"checker\":{},{}\"andersen\":{},\"flow_sensitive\":{},\"fp_removed\":{}}}",
                 json_str(c.name()),
+                coarse,
                 Self::count(&self.andersen_findings, c),
                 Self::count(&self.flow_findings, c),
                 self.fp_removed(c)

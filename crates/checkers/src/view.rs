@@ -1,14 +1,17 @@
 //! The points-to view a checker runs under.
 //!
 //! Checkers never touch an analysis result directly: every guard goes
-//! through [`PtsView`], so the *same* checker code runs once over the
-//! auxiliary (flow-insensitive) Andersen result and once over the
-//! flow-sensitive result. The difference between the two finding sets is
-//! exactly the false positives flow-sensitivity removes — the
-//! client-facing precision measurement of the paper's Table III.
+//! through [`PtsView`], so the *same* checker code runs over every
+//! precision tier of the solver family — the unification pre-analysis
+//! (classic Steensgaard and the refined no-oversharing variant), the
+//! auxiliary (flow-insensitive) Andersen result, and the flow-sensitive
+//! result. The difference between two tiers' finding sets is exactly
+//! the false positives the finer tier removes — the client-facing
+//! precision measurement of the paper's Table III, extended down the
+//! four-rung ladder steensgaard ⊇ unify ⊇ andersen ⊇ flow-sensitive.
 
 use vsfs_adt::PointsToSet;
-use vsfs_andersen::AndersenResult;
+use vsfs_andersen::{AndersenResult, UnifyResult};
 use vsfs_core::FlowSensitiveResult;
 use vsfs_ir::{FuncId, InstId, ObjId, ValueId};
 
@@ -21,7 +24,8 @@ pub trait PtsView {
     /// Drives activation of the SVFG's deferred interprocedural bindings.
     fn call_edges(&self) -> Vec<(InstId, FuncId)>;
 
-    /// A short name for reports: `"andersen"` or `"flow-sensitive"`.
+    /// A short name for reports: `"steensgaard"`, `"unify"`,
+    /// `"andersen"`, or `"flow-sensitive"`.
     fn mode(&self) -> &'static str;
 }
 
@@ -41,6 +45,27 @@ impl PtsView for AndersenView<'_> {
 
     fn mode(&self) -> &'static str {
         "andersen"
+    }
+}
+
+/// A unification result as a view — the coarsest tier(s). The mode name
+/// follows the result's configuration: `"unify"` for the default
+/// no-oversharing refinements, `"steensgaard"` for classic unification.
+pub struct UnifyView<'a>(pub &'a UnifyResult);
+
+impl PtsView for UnifyView<'_> {
+    fn pts(&self, v: ValueId) -> &PointsToSet<ObjId> {
+        self.0.value_pts(v)
+    }
+
+    fn call_edges(&self) -> Vec<(InstId, FuncId)> {
+        let mut edges: Vec<_> = self.0.callgraph.edges().collect();
+        edges.sort_unstable();
+        edges
+    }
+
+    fn mode(&self) -> &'static str {
+        self.0.config.tier_name()
     }
 }
 

@@ -15,8 +15,8 @@ use vsfs_checkers::{
 use vsfs_ir::Program;
 
 fn corpus() -> Vec<CheckerCase> {
-    let cases = load_corpus(&vsfs_checkers::corpus::default_corpus_dir())
-        .expect("corpus directory loads");
+    let cases =
+        load_corpus(&vsfs_checkers::corpus::default_corpus_dir()).expect("corpus directory loads");
     assert!(cases.len() >= 10, "corpus must stay at >= 10 labelled programs");
     cases
 }

@@ -75,20 +75,24 @@ fn flow_sensitive_findings_refine_andersen() {
 
 #[test]
 fn random_findings_identical_across_jobs() {
-    vsfs_testkit::check_cases("checkers::random_findings_identical_across_jobs", CASES / 2, |rng| {
-        let cfg = random_buggy_config(rng);
-        let prog = generate(&cfg);
-        let aux = vsfs_andersen::analyze(&prog);
-        let mssa = vsfs_mssa::MemorySsa::build(&prog, &aux);
-        let svfg = vsfs_svfg::Svfg::build(&prog, &aux, &mssa);
-        let sfs = vsfs_core::run_sfs(&prog, &aux, &mssa, &svfg);
-        let reference = run_checkers(&prog, &svfg, &FlowView(&sfs));
-        for jobs in [1usize, 2, 8] {
-            let vsfs = vsfs_core::run_vsfs_jobs(&prog, &aux, &mssa, &svfg, jobs);
-            let findings = run_checkers(&prog, &svfg, &FlowView(&vsfs));
-            assert_eq!(findings, reference, "seed {}: jobs {jobs} diverged", cfg.seed);
-        }
-    });
+    vsfs_testkit::check_cases(
+        "checkers::random_findings_identical_across_jobs",
+        CASES / 2,
+        |rng| {
+            let cfg = random_buggy_config(rng);
+            let prog = generate(&cfg);
+            let aux = vsfs_andersen::analyze(&prog);
+            let mssa = vsfs_mssa::MemorySsa::build(&prog, &aux);
+            let svfg = vsfs_svfg::Svfg::build(&prog, &aux, &mssa);
+            let sfs = vsfs_core::run_sfs(&prog, &aux, &mssa, &svfg);
+            let reference = run_checkers(&prog, &svfg, &FlowView(&sfs));
+            for jobs in [1usize, 2, 8] {
+                let vsfs = vsfs_core::run_vsfs_jobs(&prog, &aux, &mssa, &svfg, jobs);
+                let findings = run_checkers(&prog, &svfg, &FlowView(&vsfs));
+                assert_eq!(findings, reference, "seed {}: jobs {jobs} diverged", cfg.seed);
+            }
+        },
+    );
 }
 
 /// Degraded governed runs check soundly: the Andersen-fallback result

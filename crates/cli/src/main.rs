@@ -20,9 +20,17 @@
 //!                      flow-insensitive baseline only), `dense`
 //!                      (textbook IN/OUT iteration over the ICFG),
 //!                      `sfs` (staged flow-sensitive analysis),
-//!                      `vsfs` (versioned SFS, the default), or
+//!                      `vsfs` (versioned SFS, the default),
 //!                      `cfgfree` (constraint-ordering flow
-//!                      sensitivity; builds no memory SSA or SVFG)
+//!                      sensitivity; builds no memory SSA or SVFG), or
+//!                      `unify` (equality-based unification — the
+//!                      coarsest, fastest tier; builds no memory SSA
+//!                      or SVFG)
+//!   --pre unify|none   run the unification pre-analysis first and seed
+//!                      the parallel phases with its disjoint alias
+//!                      regions (Andersen wave sharding; VSFS
+//!                      object-partitioned versioning). Results are
+//!                      bit-identical with and without the seed.
 //!   --ander            deprecated alias for `--solver ander`
 //!   --fspta            alias for `--solver sfs`
 //!   --vfspta           alias for `--solver vsfs`
@@ -63,31 +71,36 @@
 //!
 //! Checking:
 //!   --check            run the source-sink checkers (use-after-free,
-//!                      double-free, leak, null-deref) under BOTH the
-//!                      Andersen view and the flow-sensitive view; print
+//!                      double-free, leak, null-deref) under all four
+//!                      precision tiers — classic Steensgaard, refined
+//!                      unification, Andersen, flow-sensitive; print
 //!                      the flow-sensitive diagnostics (sorted, stable)
 //!                      followed by `check-summary:` lines with the
-//!                      per-checker false positives flow-sensitivity
-//!                      removed
+//!                      per-tier counts and the false positives
+//!                      flow-sensitivity removed
 //!   --check-json FILE  also write the machine-readable comparison
 //!                      report (implies --check)
 //! ```
 //!
 //! # Exit codes and degradation
 //!
-//! * `0` — analysis ran to completion.
-//! * `2` — a budget tripped (or an injected fault fired) during the
-//!   flow-sensitive stage. The run still succeeds *soundly*: points-to
-//!   output falls back to the auxiliary Andersen result, which
-//!   over-approximates any flow-sensitive result, and a one-line JSON
-//!   record on stdout names the degraded stage and reason.
-//! * `1` — hard error: bad arguments, unparsable input, or a budget
-//!   exhausted during the auxiliary (Andersen) stage, whose partial
-//!   result would be *unsound* to report.
+//! The governed run walks a four-rung soundness ladder; every rung is a
+//! sound over-approximation of the one below it.
+//!
+//! * `0` — analysis ran to completion (rung 1, flow-sensitive).
+//! * `2` — a budget tripped (or an injected fault fired) but a *sound*
+//!   coarser answer exists. A trip during the flow-sensitive stage falls
+//!   back to the auxiliary Andersen result (rung 2); a trip during the
+//!   auxiliary (Andersen) stage itself — whose partial result would be
+//!   unsound — falls back to the unification tier (rung 3), which is
+//!   re-run ungoverned at a small fraction of the Andersen cost. Either
+//!   way a one-line JSON record on stdout names the degraded stage and
+//!   reason.
+//! * `1` — hard error (rung 4): bad arguments or unparsable input.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
-use vsfs_adt::govern::{Budget, CancelToken, Completion, Governor};
+use vsfs_adt::govern::{Budget, CancelToken, Completion, DegradeReason, Governor};
 use vsfs_adt::mem::CountingAlloc;
 use vsfs_core::{FlowSensitiveResult, GovernedAnalysis, SolveOrder, SolverKind};
 use vsfs_ir::Program;
@@ -108,6 +121,9 @@ enum Analysis {
 #[derive(Debug)]
 struct Options {
     analysis: Analysis,
+    /// `--pre unify`: seed the sharded phases with unification alias
+    /// regions.
+    pre_unify: bool,
     input: Input,
     print_pts: bool,
     print_callgraph: bool,
@@ -147,7 +163,8 @@ enum Input {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vsfs [--solver ander|dense|sfs|vsfs|cfgfree] [--jobs N] [--order fifo|topo] \
+        "usage: vsfs [--solver ander|dense|sfs|vsfs|cfgfree|unify] [--pre unify|none] \
+         [--jobs N] [--order fifo|topo] \
          [--time-budget SECS] [--step-budget N] [--mem-budget MIB] [--inject-fault KIND:SEED] \
          [--print-pts] [--print-callgraph] [--precision-report] [--dot-svfg FILE] \
          [--check] [--check-json FILE] [--stats] \
@@ -171,8 +188,26 @@ fn flag_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
     }
 }
 
+/// Parses a named-choice flag (`--solver`, `--order`, `--pre`, in both
+/// the driver and `serve`): one place constructs the typed unknown-name
+/// error, so every such flag reports a missing value, the offending
+/// name, and the accepted names the same way, exiting with code 1.
+fn name_value<T>(
+    flag: &str,
+    value: Option<String>,
+    expected: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> T {
+    let name: String = flag_value(flag, value);
+    parse(&name).unwrap_or_else(|| {
+        eprintln!("error: invalid value `{name}` for {flag} (expected {expected})");
+        std::process::exit(1);
+    })
+}
+
 fn parse_args() -> Options {
     let mut analysis = Analysis::Flow(SolverKind::default());
+    let mut pre_unify = false;
     let mut input = None;
     let mut print_pts = false;
     let mut print_callgraph = false;
@@ -192,11 +227,8 @@ fn parse_args() -> Options {
         match a.as_str() {
             "--jobs" => jobs = flag_value("--jobs", args.next()),
             "--order" => {
-                let name: String = flag_value("--order", args.next());
-                order = Some(SolveOrder::parse(&name).unwrap_or_else(|| {
-                    eprintln!("error: invalid value `{name}` for --order (expected `fifo` or `topo`)");
-                    std::process::exit(1);
-                }));
+                order =
+                    Some(name_value("--order", args.next(), "`fifo` or `topo`", SolveOrder::parse));
             }
             "--time-budget" => {
                 let secs: f64 = flag_value("--time-budget", args.next());
@@ -219,21 +251,23 @@ fn parse_args() -> Options {
                 }
             }
             "--solver" => {
-                let name: String = flag_value("--solver", args.next());
-                analysis = if name == "ander" {
-                    Analysis::Andersen
-                } else {
-                    match SolverKind::parse(&name) {
-                        Some(kind) => Analysis::Flow(kind),
-                        None => {
-                            eprintln!(
-                                "error: invalid value `{name}` for --solver \
-                                 (expected `ander`, `dense`, `sfs`, `vsfs`, or `cfgfree`)"
-                            );
-                            std::process::exit(1);
-                        }
-                    }
-                };
+                analysis = name_value(
+                    "--solver",
+                    args.next(),
+                    "`ander`, `dense`, `sfs`, `vsfs`, `cfgfree`, or `unify`",
+                    |name| match name {
+                        "ander" => Some(Analysis::Andersen),
+                        _ => SolverKind::parse(name).map(Analysis::Flow),
+                    },
+                );
+            }
+            "--pre" => {
+                pre_unify =
+                    name_value("--pre", args.next(), "`unify` or `none`", |name| match name {
+                        "unify" => Some(true),
+                        "none" => Some(false),
+                        _ => None,
+                    });
             }
             "--ander" => {
                 eprintln!("warning: --ander is deprecated; use `--solver ander`");
@@ -271,6 +305,7 @@ fn parse_args() -> Options {
     }
     Options {
         analysis,
+        pre_unify,
         input: input.unwrap_or_else(|| usage()),
         print_pts,
         print_callgraph,
@@ -350,10 +385,11 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    if opts.check && opts.analysis == Analysis::Andersen {
+    if opts.check && matches!(opts.analysis, Analysis::Andersen | Analysis::Flow(SolverKind::Unify))
+    {
         eprintln!(
             "error: --check needs a flow-sensitive analysis (--solver dense|sfs|vsfs|cfgfree) \
-             to compare against; Andersen runs as the baseline automatically"
+             to compare against; the coarser tiers run as baselines automatically"
         );
         return ExitCode::from(1);
     }
@@ -368,6 +404,20 @@ fn main() -> ExitCode {
         eprintln!(
             "error: --order schedules the sparse fixpoints (--solver sfs|vsfs|cfgfree); \
              the dense solver's FIFO worklist is not order-switchable"
+        );
+        return ExitCode::from(1);
+    }
+    if opts.order.is_some() && opts.analysis == Analysis::Flow(SolverKind::Unify) {
+        eprintln!(
+            "error: --order schedules the sparse fixpoints (--solver sfs|vsfs|cfgfree); \
+             the unification solver's worklist is not order-switchable"
+        );
+        return ExitCode::from(1);
+    }
+    if opts.pre_unify && opts.governed() {
+        eprintln!(
+            "error: --pre unify seeds the ungoverned sharded phases and is not \
+             budget-aware; drop the budget flags or the pre-analysis"
         );
         return ExitCode::from(1);
     }
@@ -400,36 +450,24 @@ fn run_serve(args: Vec<String>) -> ExitCode {
             "--socket" => socket = Some(flag_value("--socket", it.next())),
             "--corpus" => corpus = Some(flag_value("--corpus", it.next())),
             "--jobs" => config.opts.jobs = flag_value("--jobs", it.next()),
-            "--snapshot-dir" => {
-                config.snapshot_dir = Some(flag_value("--snapshot-dir", it.next()))
-            }
+            "--snapshot-dir" => config.snapshot_dir = Some(flag_value("--snapshot-dir", it.next())),
             "--workers" => config.workers = flag_value("--workers", it.next()),
             "--queue" => config.queue_depth = flag_value("--queue", it.next()),
-            "--deadline" => {
-                config.default_time_budget = Some(flag_value("--deadline", it.next()))
-            }
+            "--deadline" => config.default_time_budget = Some(flag_value("--deadline", it.next())),
             "--max-request-bytes" => {
                 config.max_request_bytes = flag_value("--max-request-bytes", it.next())
             }
             "--order" => {
-                let name: String = flag_value("--order", it.next());
-                config.opts.order = match SolveOrder::parse(&name) {
-                    Some(o) => o,
-                    None => {
-                        eprintln!("error: unknown --order '{name}' (fifo|topo)");
-                        return ExitCode::from(1);
-                    }
-                };
+                config.opts.order =
+                    name_value("--order", it.next(), "`fifo` or `topo`", SolveOrder::parse);
             }
             "--solver" => {
-                let name: String = flag_value("--solver", it.next());
-                config.opts.solver = match SolverKind::parse(&name) {
-                    Some(k) => k,
-                    None => {
-                        eprintln!("error: unknown --solver '{name}' (dense|sfs|vsfs|cfgfree)");
-                        return ExitCode::from(1);
-                    }
-                };
+                config.opts.solver = name_value(
+                    "--solver",
+                    it.next(),
+                    "`dense`, `sfs`, `vsfs`, `cfgfree`, or `unify`",
+                    SolverKind::parse,
+                );
             }
             other => {
                 eprintln!("error: unknown serve flag '{other}'");
@@ -495,20 +533,19 @@ fn run_serve(args: Vec<String>) -> ExitCode {
 /// A short name for the analysed program, used in the JSON check report.
 fn program_name(input: &Input) -> String {
     match input {
-        Input::File(p) => std::path::Path::new(p)
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .unwrap_or(p)
-            .to_string(),
+        Input::File(p) => {
+            std::path::Path::new(p).file_stem().and_then(|s| s.to_str()).unwrap_or(p).to_string()
+        }
         Input::Corpus(n) | Input::Workload(n) => n.clone(),
     }
 }
 
-/// Runs every checker under both views, prints the flow-sensitive
-/// diagnostics and the `check-summary:` comparison, and writes the JSON
-/// report when requested. In a governed run that degraded, `result` is
-/// the Andersen fallback, so the "flow-sensitive" findings soundly
-/// coincide with the Andersen ones.
+/// Runs every checker under all four precision tiers — the two
+/// unification tiers are cheap enough to always compute — prints the
+/// flow-sensitive diagnostics and the `check-summary:` comparison, and
+/// writes the JSON report when requested. In a governed run that
+/// degraded, `result` is the Andersen fallback, so the "flow-sensitive"
+/// findings soundly coincide with the Andersen ones.
 fn run_check(
     opts: &Options,
     prog: &Program,
@@ -516,10 +553,15 @@ fn run_check(
     svfg: &vsfs_svfg::Svfg,
     result: &FlowSensitiveResult,
 ) -> Result<Vec<vsfs_checkers::Finding>, ExitCode> {
-    use vsfs_checkers::{run_checkers, AndersenView, CheckReport, FlowView};
+    use vsfs_checkers::{run_checkers, AndersenView, CheckReport, FlowView, UnifyView};
+    let steens_result =
+        vsfs_andersen::analyze_unify_with_config(prog, vsfs_andersen::UnifyConfig::steensgaard());
+    let unify_result = vsfs_andersen::analyze_unify(prog);
+    let steensgaard = run_checkers(prog, svfg, &UnifyView(&steens_result));
+    let unify = run_checkers(prog, svfg, &UnifyView(&unify_result));
     let andersen = run_checkers(prog, svfg, &AndersenView(aux));
     let flow = run_checkers(prog, svfg, &FlowView(result));
-    let report = CheckReport::new(prog, andersen, flow);
+    let report = CheckReport::with_tiers(prog, steensgaard, unify, andersen, flow);
     for line in &report.flow_lines {
         println!("{line}");
     }
@@ -581,12 +623,32 @@ fn check_annotations(
     ann
 }
 
-fn run_plain(opts: &Options, prog: &Program) -> ExitCode {
-    let t0 = Instant::now();
-    let aux = vsfs_andersen::analyze_with_config(
-        prog,
-        vsfs_andersen::AndersenConfig::with_jobs(opts.jobs),
+/// The `--stats` line for the `--pre unify` pre-analysis.
+fn print_pre_stats(unify: &vsfs_andersen::UnifyResult, regions: &vsfs_andersen::AliasRegions) {
+    println!(
+        "pre-analysis:      {} ({:.3}s, {} classes, {} alias regions)",
+        unify.config.tier_name(),
+        unify.stats.seconds,
+        unify.stats.classes,
+        regions.region_count
     );
+}
+
+fn run_plain(opts: &Options, prog: &Program) -> ExitCode {
+    // `--pre unify`: the unification pre-analysis runs first and its
+    // provably-disjoint alias regions seed every sharded phase below.
+    // The seed is a pure scheduling hint — results are bit-identical.
+    let pre = opts.pre_unify.then(|| {
+        let unify = vsfs_andersen::analyze_unify(prog);
+        let regions = unify.alias_regions(prog.objects.len());
+        (unify, regions)
+    });
+    let t0 = Instant::now();
+    let config = vsfs_andersen::AndersenConfig::with_jobs(opts.jobs);
+    let aux = match &pre {
+        Some((_, regions)) => vsfs_andersen::analyze_with_config_regions(prog, config, regions),
+        None => vsfs_andersen::analyze_with_config(prog, config),
+    };
     let aux_time = t0.elapsed();
 
     if opts.analysis == Analysis::Andersen {
@@ -597,6 +659,9 @@ fn run_plain(opts: &Options, prog: &Program) -> ExitCode {
             print_callgraph_edges(prog, &aux.callgraph.edges().collect::<Vec<_>>());
         }
         if opts.stats {
+            if let Some((unify, regions)) = &pre {
+                print_pre_stats(unify, regions);
+            }
             println!("andersen: {:.3}s, {:?}", aux_time.as_secs_f64(), aux.stats);
             println!("peak heap: {:.2} MiB", vsfs_adt::mem::peak_bytes() as f64 / (1 << 20) as f64);
         }
@@ -617,8 +682,7 @@ fn run_plain(opts: &Options, prog: &Program) -> ExitCode {
     // the graph is available even if the solve is the slow part.
     if !opts.check {
         if let Some((_, svfg)) = &staged {
-            if let Some(code) = write_dot(opts, prog, svfg, &vsfs_svfg::DotAnnotations::default())
-            {
+            if let Some(code) = write_dot(opts, prog, svfg, &vsfs_svfg::DotAnnotations::default()) {
                 return code;
             }
         }
@@ -631,10 +695,42 @@ fn run_plain(opts: &Options, prog: &Program) -> ExitCode {
         }
         SolverKind::Vsfs => {
             let (mssa, svfg) = staged.as_ref().expect("vsfs is a staged solver");
-            vsfs_core::run_vsfs_jobs_ordered(prog, &aux, mssa, svfg, opts.jobs, opts.order())
+            match &pre {
+                Some((_, regions)) => {
+                    let tables = vsfs_core::VersionTables::build_with_jobs_regions(
+                        prog,
+                        mssa,
+                        svfg,
+                        opts.jobs,
+                        Some(&regions.region_of_object),
+                    );
+                    vsfs_core::run_vsfs_with_tables_ordered(
+                        prog,
+                        &aux,
+                        mssa,
+                        svfg,
+                        tables,
+                        opts.order(),
+                    )
+                }
+                None => vsfs_core::run_vsfs_jobs_ordered(
+                    prog,
+                    &aux,
+                    mssa,
+                    svfg,
+                    opts.jobs,
+                    opts.order(),
+                ),
+            }
         }
         SolverKind::Dense => vsfs_core::run_dense(prog, &aux),
         SolverKind::CfgFree => vsfs_core::run_cfgfree_ordered(prog, &aux, opts.order()),
+        SolverKind::Unify => match &pre {
+            // `--pre unify --solver unify`: the pre-analysis result IS
+            // the requested tier.
+            Some((unify, _)) => FlowSensitiveResult::from_unify(prog, unify),
+            None => FlowSensitiveResult::from_unify(prog, &vsfs_andersen::analyze_unify(prog)),
+        },
     };
 
     report_result(opts, prog, &aux, &result);
@@ -653,16 +749,25 @@ fn run_plain(opts: &Options, prog: &Program) -> ExitCode {
         let s = &result.stats;
         println!("solver:            {}", kind.name());
         println!("jobs:              {}", opts.jobs);
-        if kind != SolverKind::Dense {
+        if kind != SolverKind::Dense && kind != SolverKind::Unify {
             println!("order:             {}", opts.order().name());
         }
-        println!("andersen:          {:.3}s", aux_time.as_secs_f64());
+        if let Some((unify, regions)) = &pre {
+            print_pre_stats(unify, regions);
+        }
+        println!(
+            "andersen:          {:.3}s{}",
+            aux_time.as_secs_f64(),
+            if aux.stats.region_seeded { " (region-seeded waves)" } else { "" }
+        );
         if staged.is_some() {
             println!("mssa + svfg:       {:.3}s", build_time.as_secs_f64());
         }
         if kind == SolverKind::Vsfs {
-            println!("versioning:        {:.3}s ({} prelabels, {} versions, {} reliance edges)",
-                s.versioning_seconds, s.prelabels, s.versions, s.reliance_edges);
+            println!(
+                "versioning:        {:.3}s ({} prelabels, {} versions, {} reliance edges)",
+                s.versioning_seconds, s.prelabels, s.versions, s.reliance_edges
+            );
         }
         println!("main phase:        {:.3}s", s.solve_seconds);
         println!("node pops:         {}", s.node_pops);
@@ -672,24 +777,41 @@ fn run_plain(opts: &Options, prog: &Program) -> ExitCode {
         println!("pushes suppressed: {}", s.pushes_suppressed);
         println!("unions attempted:  {}", s.object_propagations);
         println!("unions avoided:    {}", s.unions_avoided);
-        println!("delta bytes:       {} shipped vs {} full ({:.1}% saved)",
-            s.delta_bytes, s.full_bytes,
+        println!(
+            "delta bytes:       {} shipped vs {} full ({:.1}% saved)",
+            s.delta_bytes,
+            s.full_bytes,
             if s.full_bytes > 0 {
                 100.0 * (1.0 - s.delta_bytes as f64 / s.full_bytes as f64)
-            } else { 0.0 });
+            } else {
+                0.0
+            }
+        );
         println!("stored object sets:{}", s.stored_object_sets);
         let st = &s.store;
-        println!("pts store:         {} unique sets, {:.2} MiB",
-            st.unique_sets, st.unique_set_bytes as f64 / (1 << 20) as f64);
-        println!("union memo:        {} hits, {} misses, {} shortcuts ({:.1}% hit rate)",
-            st.union_hits, st.union_misses, st.union_shortcuts, 100.0 * st.union_hit_rate());
+        println!(
+            "pts store:         {} unique sets, {:.2} MiB",
+            st.unique_sets,
+            st.unique_set_bytes as f64 / (1 << 20) as f64
+        );
+        println!(
+            "union memo:        {} hits, {} misses, {} shortcuts ({:.1}% hit rate)",
+            st.union_hits,
+            st.union_misses,
+            st.union_shortcuts,
+            100.0 * st.union_hit_rate()
+        );
         println!("insert memo:       {} hits, {} misses", st.insert_hits, st.insert_misses);
         println!("would-change:      {} fast, {} slow", st.would_change_fast, st.would_change_slow);
         println!("strong updates:    {}", s.strong_updates);
         println!("calls activated:   {}", s.calls_activated);
         if let Some((_, svfg)) = &staged {
-            println!("svfg: {} nodes, {} direct edges, {} indirect edges",
-                svfg.node_count(), svfg.direct_edge_count(), svfg.indirect_edge_count());
+            println!(
+                "svfg: {} nodes, {} direct edges, {} indirect edges",
+                svfg.node_count(),
+                svfg.direct_edge_count(),
+                svfg.indirect_edge_count()
+            );
         }
         println!("peak heap: {:.2} MiB", vsfs_adt::mem::peak_bytes() as f64 / (1 << 20) as f64);
     }
@@ -713,6 +835,43 @@ fn build_staged(
         let svfg = vsfs_svfg::Svfg::build(prog, aux, &mssa);
         (mssa, svfg)
     })
+}
+
+/// Rung 3 of the degradation ladder: the auxiliary (Andersen) stage
+/// tripped its budget, so neither a flow-sensitive nor a sound Andersen
+/// result exists. Re-solves with the ungoverned unification tier and
+/// reports its (coarser, sound) answer with exit code 2. The checkers
+/// and the dot export need an SVFG, which only a *complete* Andersen
+/// result can build soundly, so those outputs are skipped with a
+/// warning rather than computed from the partial auxiliary state.
+fn run_unify_rung(opts: &Options, prog: &Program, reason: &DegradeReason) -> ExitCode {
+    let unify = vsfs_andersen::analyze_unify(prog);
+    if opts.print_pts {
+        print_value_pts(prog, |v| obj_names(prog, unify.value_pts(v)));
+    }
+    if opts.print_callgraph {
+        let mut edges: Vec<_> = unify.callgraph.edges().collect();
+        edges.sort_unstable();
+        print_callgraph_edges(prog, &edges);
+    }
+    if opts.check {
+        eprintln!(
+            "warning: --check skipped: the auxiliary stage degraded, so no sound SVFG exists"
+        );
+    }
+    if opts.dot_svfg.is_some() {
+        eprintln!(
+            "warning: --dot-svfg skipped: the auxiliary stage degraded, so no sound SVFG exists"
+        );
+    }
+    if opts.stats {
+        println!("unify fallback:    {:.3}s, {} classes", unify.stats.seconds, unify.stats.classes);
+    }
+    println!(
+        "{{\"completion\":\"degraded\",\"mode\":\"unification-fallback\",\"stage\":\"andersen\",\"reason\":\"{}\"}}",
+        reason.code()
+    );
+    ExitCode::from(2)
 }
 
 /// Runs under resource governance: budgets, cooperative cancellation and
@@ -741,11 +900,15 @@ fn run_governed(opts: &Options, prog: &Program) -> ExitCode {
         &aux_gov,
     );
     if let Completion::Degraded(reason) = &aux_out.completion {
-        eprintln!(
-            "error: auxiliary (Andersen) stage degraded ({reason}); \
-             a partial flow-insensitive result is unsound — no fallback available"
-        );
-        return ExitCode::from(1);
+        // Rung 3 of the soundness ladder. A partial Andersen fixpoint is
+        // an under-approximation — unsound to report — but the
+        // unification tier's least solution over-approximates every
+        // finer tier, so the run degrades to it instead of erroring.
+        // The fallback runs ungoverned: the budget already tripped, a
+        // partial unification result would be just as unsound, and the
+        // unification solve costs a small fraction of the Andersen stage
+        // that exhausted it.
+        return run_unify_rung(opts, prog, reason);
     }
     let aux = aux_out.result;
 
@@ -764,8 +927,7 @@ fn run_governed(opts: &Options, prog: &Program) -> ExitCode {
     let staged = build_staged(opts, prog, &aux, kind);
     if !opts.check {
         if let Some((_, svfg)) = &staged {
-            if let Some(code) = write_dot(opts, prog, svfg, &vsfs_svfg::DotAnnotations::default())
-            {
+            if let Some(code) = write_dot(opts, prog, svfg, &vsfs_svfg::DotAnnotations::default()) {
                 return code;
             }
         }
@@ -792,12 +954,38 @@ fn run_governed(opts: &Options, prog: &Program) -> ExitCode {
         SolverKind::Vsfs => {
             let (mssa, svfg) = staged.as_ref().expect("vsfs is a staged solver");
             vsfs_core::run_vsfs_governed_ordered(
-                prog, &aux, mssa, svfg, opts.jobs, &fs_gov, opts.order(),
+                prog,
+                &aux,
+                mssa,
+                svfg,
+                opts.jobs,
+                &fs_gov,
+                opts.order(),
             )
         }
         SolverKind::Dense => vsfs_core::run_dense_governed(prog, &aux, &fs_gov),
         SolverKind::CfgFree => {
             vsfs_core::run_cfgfree_governed_ordered(prog, &aux, &fs_gov, opts.order())
+        }
+        SolverKind::Unify => {
+            // A partial unification fixpoint is unsound, so a governed
+            // unify run that trips cannot be served as-is. The complete
+            // Andersen aux is already in hand and over-approximates
+            // every finer answer, so it stands in — one rung *up* in
+            // precision from what was asked for, and still sound.
+            let out = vsfs_andersen::analyze_unify_governed(
+                prog,
+                vsfs_andersen::UnifyConfig::default(),
+                &fs_gov,
+            );
+            match out.completion {
+                Completion::Complete => {
+                    GovernedAnalysis::complete(FlowSensitiveResult::from_unify(prog, &out.result))
+                }
+                Completion::Degraded(reason) => {
+                    GovernedAnalysis::fallback(prog, &aux, "solve", reason)
+                }
+            }
         }
     };
 
@@ -870,10 +1058,6 @@ fn report_result(
 
 fn print_callgraph_edges(prog: &Program, edges: &[(vsfs_ir::InstId, vsfs_ir::FuncId)]) {
     for (call, callee) in edges {
-        println!(
-            "{} -> @{}",
-            prog.inst_location(*call),
-            prog.functions[*callee].name
-        );
+        println!("{} -> @{}", prog.inst_location(*call), prog.functions[*callee].name);
     }
 }

@@ -3,10 +3,7 @@
 use std::process::Command;
 
 fn vsfs(args: &[&str]) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_vsfs"))
-        .args(args)
-        .output()
-        .expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_vsfs")).args(args).output().expect("binary runs")
 }
 
 #[test]
@@ -105,10 +102,7 @@ fn generous_budget_completes_with_exit_zero() {
     // Budget never trips: still the exact flow-sensitive result...
     assert!(stdout.contains("pt(@main::%before) = {First}"), "{stdout}");
     // ...plus the completion record.
-    assert!(
-        stdout.contains(r#"{"completion":"complete","mode":"flow-sensitive"}"#),
-        "{stdout}"
-    );
+    assert!(stdout.contains(r#"{"completion":"complete","mode":"flow-sensitive"}"#), "{stdout}");
 }
 
 #[test]
@@ -129,7 +123,13 @@ fn injected_panic_degrades_identically_across_jobs() {
         .iter()
         .map(|jobs| {
             vsfs(&[
-                "--workload", "ninja", "--jobs", jobs, "--inject-fault", "panic:1", "--print-pts",
+                "--workload",
+                "ninja",
+                "--jobs",
+                jobs,
+                "--inject-fault",
+                "panic:1",
+                "--print-pts",
             ])
         })
         .collect();
@@ -189,25 +189,42 @@ fn parse_errors_report_every_diagnostic_with_position() {
 
 #[test]
 fn tight_wall_clock_deadline_degrades_not_errors() {
-    // A zero-second deadline trips at the first flow-sensitive checkpoint
-    // (the auxiliary stage may or may not finish first; if it does not,
-    // exit 1 is also acceptable per the protocol — but the common case on
-    // a tiny corpus program is a completed Andersen stage and a degraded
-    // flow-sensitive stage). Accept either, never a hang or a crash.
+    // A zero-second deadline trips at the first checkpoint it reaches.
+    // Whichever stage that is, a sound coarser rung exists — the
+    // Andersen fallback if the flow-sensitive stage tripped, the
+    // unification tier if the auxiliary stage itself did — so the exit
+    // code is always 2, never a hard error, a hang, or a crash.
     let out = vsfs(&["--corpus", "strong_update", "--time-budget", "0"]);
-    assert!(matches!(out.status.code(), Some(1) | Some(2)), "{out:?}");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains(r#""completion":"degraded""#), "{stdout}");
+    assert!(
+        stdout.contains(r#""mode":"flow-insensitive-fallback""#)
+            || stdout.contains(r#""mode":"unification-fallback""#),
+        "{stdout}"
+    );
 }
 
 #[test]
 fn fifo_and_topo_orders_print_identical_results() {
     for analysis in ["--fspta", "--vfspta"] {
         let fifo = vsfs(&[
-            analysis, "--order", "fifo", "--corpus", "fptr_dispatch",
-            "--print-pts", "--print-callgraph",
+            analysis,
+            "--order",
+            "fifo",
+            "--corpus",
+            "fptr_dispatch",
+            "--print-pts",
+            "--print-callgraph",
         ]);
         let topo = vsfs(&[
-            analysis, "--order", "topo", "--corpus", "fptr_dispatch",
-            "--print-pts", "--print-callgraph",
+            analysis,
+            "--order",
+            "topo",
+            "--corpus",
+            "fptr_dispatch",
+            "--print-pts",
+            "--print-callgraph",
         ]);
         assert!(fifo.status.success() && topo.status.success());
         assert_eq!(fifo.stdout, topo.stdout, "{analysis}: orders must agree");
@@ -246,11 +263,153 @@ fn order_with_andersen_is_rejected() {
 fn governed_run_accepts_explicit_order() {
     for order in ["fifo", "topo"] {
         let out = vsfs(&[
-            "--corpus", "strong_update", "--order", order,
-            "--step-budget", "1000000", "--print-pts",
+            "--corpus",
+            "strong_update",
+            "--order",
+            order,
+            "--step-budget",
+            "1000000",
+            "--print-pts",
         ]);
         assert!(out.status.success(), "{order}: {out:?}");
         let stdout = String::from_utf8_lossy(&out.stdout);
         assert!(stdout.contains("pt(@main::%before) = {First}"), "{order}: {stdout}");
+    }
+}
+
+#[test]
+fn unify_solver_prints_a_sound_coarse_result() {
+    let out = vsfs(&["--solver", "unify", "--corpus", "strong_update", "--print-pts"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // Coarsest tier: both loads see both heap objects — a superset of
+    // the flow-sensitive {First} / {Second}.
+    for v in ["%before", "%after"] {
+        let line = stdout
+            .lines()
+            .find(|l| l.contains(&format!("::{v})")))
+            .unwrap_or_else(|| panic!("no pt line for {v}: {stdout}"));
+        assert!(line.contains("First") && line.contains("Second"), "{line}");
+    }
+}
+
+#[test]
+fn unknown_solver_and_pre_values_share_the_typed_error_shape() {
+    let out = vsfs(&["--solver", "bogus", "--corpus", "strong_update"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid value `bogus` for --solver"), "{stderr}");
+    assert!(stderr.contains("`unify`"), "{stderr}");
+
+    let out = vsfs(&["--pre", "steensgaard", "--corpus", "strong_update"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("invalid value `steensgaard` for --pre (expected `unify` or `none`)"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn order_with_unify_is_rejected() {
+    let out = vsfs(&["--solver", "unify", "--order", "topo", "--corpus", "strong_update"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not order-switchable"), "{stderr}");
+}
+
+#[test]
+fn cold_only_solvers_never_stage_the_graphs() {
+    // SolverCaps dispatch, observed end to end through --stats: the
+    // staged solvers report the memory-SSA/SVFG build, the cold-only
+    // ones must never construct either.
+    for solver in ["dense", "cfgfree", "unify"] {
+        let out = vsfs(&["--solver", solver, "--workload", "du", "--stats"]);
+        assert!(out.status.success(), "{solver}: {out:?}");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(!stdout.contains("mssa + svfg"), "{solver} staged a graph: {stdout}");
+        assert!(!stdout.contains("svfg:"), "{solver} staged a graph: {stdout}");
+    }
+    for solver in ["sfs", "vsfs"] {
+        let out = vsfs(&["--solver", solver, "--workload", "du", "--stats"]);
+        assert!(out.status.success(), "{solver}: {out:?}");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.contains("mssa + svfg"), "{solver} must stage: {stdout}");
+        assert!(stdout.contains("svfg:"), "{solver} must stage: {stdout}");
+    }
+}
+
+#[test]
+fn pre_analysis_seeding_is_a_pure_scheduling_hint() {
+    // Same program, with and without --pre unify, across job counts:
+    // byte-identical analysis output.
+    let base = vsfs(&["--corpus", "fptr_dispatch", "--print-pts", "--print-callgraph"]);
+    assert!(base.status.success());
+    for jobs in ["1", "4"] {
+        let seeded = vsfs(&[
+            "--pre",
+            "unify",
+            "--jobs",
+            jobs,
+            "--corpus",
+            "fptr_dispatch",
+            "--print-pts",
+            "--print-callgraph",
+        ]);
+        assert!(seeded.status.success(), "{seeded:?}");
+        assert_eq!(seeded.stdout, base.stdout, "jobs {jobs}: seeding changed the result");
+    }
+    // --stats names the pre-analysis and marks the seeded Andersen waves.
+    let out = vsfs(&["--pre", "unify", "--jobs", "4", "--corpus", "fptr_dispatch", "--stats"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("pre-analysis:      unify"), "{stdout}");
+    assert!(stdout.contains("alias regions"), "{stdout}");
+    assert!(stdout.contains("region-seeded waves"), "{stdout}");
+}
+
+#[test]
+fn pre_with_budget_flags_is_rejected() {
+    let out = vsfs(&["--pre", "unify", "--step-budget", "5", "--corpus", "strong_update"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--pre unify"), "{stderr}");
+}
+
+#[test]
+fn exhausted_aux_budget_degrades_to_the_unification_tier_with_exit_two() {
+    // A zero memory budget trips the auxiliary stage at its first
+    // checkpoint. Rung 3 of the ladder: instead of the old hard error,
+    // the run degrades to the ungoverned unification tier and still
+    // prints sound points-to output.
+    let out = vsfs(&["--corpus", "strong_update", "--mem-budget", "0", "--print-pts"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains(r#""completion":"degraded""#), "{stdout}");
+    assert!(stdout.contains(r#""mode":"unification-fallback""#), "{stdout}");
+    assert!(stdout.contains(r#""stage":"andersen""#), "{stdout}");
+    let line = stdout
+        .lines()
+        .find(|l| l.contains("::%before)"))
+        .unwrap_or_else(|| panic!("no pt line: {stdout}"));
+    assert!(line.contains("First") && line.contains("Second"), "{line}");
+}
+
+#[test]
+fn check_summary_reports_all_four_tiers() {
+    let out = vsfs(&["--check", "--corpus", "strong_update"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for checker in ["use-after-free", "double-free", "leak", "null-deref"] {
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with(&format!("check-summary: {checker}:")))
+            .unwrap_or_else(|| panic!("no summary for {checker}: {stdout}"));
+        for tier in ["steensgaard=", "unify=", "andersen=", "flow-sensitive=", "fp-removed="] {
+            assert!(line.contains(tier), "{line}");
+        }
+        // fp-removed stays the trailing field — the CI gate greps on it.
+        let last = line.rsplit(' ').next().unwrap();
+        assert!(last.starts_with("fp-removed="), "{line}");
     }
 }

@@ -93,10 +93,7 @@ fn full_session_over_stdio() {
     assert!(d.request("{\"op\":\"ping\"}").contains("\"ok\":true"));
 
     // load
-    let resp = d.request(&format!(
-        "{{\"op\":\"load\",\"id\":\"p\",\"source\":{}}}",
-        quote(PROG)
-    ));
+    let resp = d.request(&format!("{{\"op\":\"load\",\"id\":\"p\",\"source\":{}}}", quote(PROG)));
     assert!(resp.contains("\"ok\":true"), "{resp}");
     assert!(resp.contains("\"mode\":\"flow-sensitive\""), "{resp}");
     assert!(resp.contains("\"degraded\":false"), "{resp}");
@@ -174,10 +171,7 @@ fn malformed_requests_get_typed_errors_not_crashes() {
     for (req, code) in cases {
         let resp = d.request(req);
         assert!(resp.contains("\"ok\":false"), "{req} -> {resp}");
-        assert!(
-            resp.contains(&format!("\"code\":\"{code}\"")),
-            "{req} -> {resp} (wanted {code})"
-        );
+        assert!(resp.contains(&format!("\"code\":\"{code}\"")), "{req} -> {resp} (wanted {code})");
     }
     // The daemon is still healthy after every error.
     assert!(d.request("{\"op\":\"ping\"}").contains("\"ok\":true"));
@@ -187,10 +181,7 @@ fn malformed_requests_get_typed_errors_not_crashes() {
 #[test]
 fn edit_errors_are_typed_and_roll_back() {
     let mut d = Daemon::spawn(&[]);
-    let resp = d.request(&format!(
-        "{{\"op\":\"load\",\"id\":\"p\",\"source\":{}}}",
-        quote(PROG)
-    ));
+    let resp = d.request(&format!("{{\"op\":\"load\",\"id\":\"p\",\"source\":{}}}", quote(PROG)));
     let fp0 = field(&resp, "fingerprint").to_string();
 
     // Unknown function in the delta.
@@ -277,10 +268,8 @@ fn corpus_preload_and_unix_socket() {
 fn panic_quarantines_one_workspace_and_the_daemon_survives() {
     let mut d = Daemon::spawn(&[]);
     for id in ["a", "b"] {
-        let resp = d.request(&format!(
-            "{{\"op\":\"load\",\"id\":\"{id}\",\"source\":{}}}",
-            quote(PROG)
-        ));
+        let resp =
+            d.request(&format!("{{\"op\":\"load\",\"id\":\"{id}\",\"source\":{}}}", quote(PROG)));
         assert!(resp.contains("\"ok\":true"), "{resp}");
     }
 
@@ -298,10 +287,7 @@ fn panic_quarantines_one_workspace_and_the_daemon_survives() {
     assert!(resp.contains("\"objects\":[\"H\"]"), "{resp}");
 
     // A fresh load re-admits 'a'.
-    let resp = d.request(&format!(
-        "{{\"op\":\"load\",\"id\":\"a\",\"source\":{}}}",
-        quote(PROG)
-    ));
+    let resp = d.request(&format!("{{\"op\":\"load\",\"id\":\"a\",\"source\":{}}}", quote(PROG)));
     assert!(resp.contains("\"ok\":true"), "{resp}");
     let resp = d.request("{\"op\":\"pts\",\"id\":\"a\",\"func\":\"main\",\"value\":\"%b\"}");
     assert!(resp.contains("\"objects\":[\"H\"]"), "{resp}");
@@ -323,10 +309,8 @@ fn solver_selection_and_cold_only_workspaces_over_stdio() {
 
     // A staged workspace (server default) and a cold-only cfgfree one
     // over the same text: query-identical fingerprints.
-    let resp = d.request(&format!(
-        "{{\"op\":\"load\",\"id\":\"warm\",\"source\":{}}}",
-        quote(PROG)
-    ));
+    let resp =
+        d.request(&format!("{{\"op\":\"load\",\"id\":\"warm\",\"source\":{}}}", quote(PROG)));
     assert!(resp.contains("\"ok\":true"), "{resp}");
     let fp = field(&resp, "fingerprint").to_string();
     let resp = d.request(&format!(
@@ -377,6 +361,36 @@ fn solver_selection_and_cold_only_workspaces_over_stdio() {
     let resp = d.request("{\"op\":\"stats\",\"id\":\"warm\"}");
     assert!(resp.contains("\"solver\":\"vsfs\""), "{resp}");
     assert!(resp.contains("\"warm\":true"), "{resp}");
+
+    // The unification tier is a first-class solver name: loads accept
+    // it, per-workspace stats report it, and — being cold-only — its
+    // SVFG counters are null.
+    let resp = d.request(&format!(
+        "{{\"op\":\"load\",\"id\":\"uni\",\"source\":{},\"solver\":\"unify\"}}",
+        quote(PROG)
+    ));
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(resp.contains("\"degraded\":false"), "{resp}");
+    let resp = d.request("{\"op\":\"stats\",\"id\":\"uni\"}");
+    assert!(resp.contains("\"solver\":\"unify\""), "{resp}");
+    assert!(resp.contains("\"nodes\":null"), "{resp}");
+
+    // ... but only the exact name: the tier-config name `steensgaard`
+    // and a case-mangled `UNIFY` stay outside the closed solver family,
+    // pinned to the typed `bad_request` path.
+    for bad in ["steensgaard", "UNIFY"] {
+        let resp = d.request(&format!(
+            "{{\"op\":\"load\",\"id\":\"y\",\"source\":{},\"solver\":\"{bad}\"}}",
+            quote(PROG)
+        ));
+        assert!(resp.contains("\"ok\":false"), "{resp}");
+        assert!(resp.contains("\"code\":\"bad_request\""), "{resp}");
+        assert!(resp.contains(&format!("unknown solver '{bad}'")), "{resp}");
+        assert!(
+            resp.contains("expected dense, sfs, vsfs, cfgfree, or unify"),
+            "the error must enumerate the accepted names: {resp}"
+        );
+    }
 
     d.shutdown();
 }
@@ -471,9 +485,7 @@ fn fuzz_sessions_over_unix_socket_never_leak_socket_files() {
 
     for seed in [11u64, 12, 13] {
         let stream = UnixStream::connect(&sock).expect("connect");
-        stream
-            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
-            .unwrap();
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(30))).unwrap();
         let mut writer = stream.try_clone().unwrap();
         let mut reader = BufReader::new(stream);
         drive_fuzz_session(seed, 120, 4096, &mut writer, &mut reader);
@@ -565,10 +577,7 @@ fn snapshots_survive_daemon_restarts() {
     let snap_arg = dir.to_str().unwrap().to_string();
 
     let mut d = Daemon::spawn(&["--snapshot-dir", &snap_arg]);
-    let resp = d.request(&format!(
-        "{{\"op\":\"load\",\"id\":\"p\",\"source\":{}}}",
-        quote(PROG)
-    ));
+    let resp = d.request(&format!("{{\"op\":\"load\",\"id\":\"p\",\"source\":{}}}", quote(PROG)));
     assert!(resp.contains("\"restored\":false"), "{resp}");
     let fp0 = field(&resp, "fingerprint").to_string();
     d.shutdown();

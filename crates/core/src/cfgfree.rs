@@ -117,10 +117,7 @@ fn solve_impl(
     stats.store = solver.store.stats();
     let mut callgraph_edges: Vec<(InstId, FuncId)> = solver.activated.iter().copied().collect();
     callgraph_edges.sort_unstable();
-    (
-        FlowSensitiveResult::new(solver.store, solver.pt, callgraph_edges, stats),
-        completion,
-    )
+    (FlowSensitiveResult::new(solver.store, solver.pt, callgraph_edges, stats), completion)
 }
 
 /// What a def event generates for its object.
@@ -653,8 +650,7 @@ impl<'a> CfgFreeSolver<'a> {
                         }
                     }
                 }
-                let callees =
-                    self.active_callees.get(&inst).map_or(Vec::new(), |v| v.clone());
+                let callees = self.active_callees.get(&inst).map_or(Vec::new(), |v| v.clone());
                 let args = args.clone();
                 for f in callees {
                     let params = self.prog.functions[f].params.clone();
@@ -667,8 +663,7 @@ impl<'a> CfgFreeSolver<'a> {
             InstKind::FunExit { func, ret } => {
                 if let Some(r) = ret {
                     let s = self.pt[*r];
-                    let callers =
-                        self.active_callers.get(func).map_or(Vec::new(), |v| v.clone());
+                    let callers = self.active_callers.get(func).map_or(Vec::new(), |v| v.clone());
                     for call in callers {
                         if let InstKind::Call { dst: Some(d), .. } = self.prog.insts[call].kind {
                             self.union_pt(d, s);

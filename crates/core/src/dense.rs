@@ -49,9 +49,7 @@ pub fn run_dense_governed(
     let (result, completion) = solve_impl(prog, aux, Some(governor));
     match completion {
         Completion::Complete => GovernedAnalysis::complete(result),
-        Completion::Degraded(reason) => {
-            GovernedAnalysis::fallback(prog, aux, "solve", reason)
-        }
+        Completion::Degraded(reason) => GovernedAnalysis::fallback(prog, aux, "solve", reason),
     }
 }
 
@@ -250,11 +248,7 @@ impl<'a> DenseSolver<'a> {
             let redefined = is_store && self.outs[inst].contains_key(&o);
             for &succ in &succs {
                 self.stats.object_propagations += 1;
-                let val = if redefined {
-                    self.outs[inst].get(&o)
-                } else {
-                    self.ins[inst].get(&o)
-                };
+                let val = if redefined { self.outs[inst].get(&o) } else { self.ins[inst].get(&o) };
                 let Some(val) = val else { continue };
                 if self.ins[succ].get(&o).is_some_and(|s| s.is_superset(val)) {
                     continue;

@@ -70,7 +70,10 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 use vsfs_adt::govern::{Completion, DegradeReason, Governor};
 use vsfs_adt::{IndexVec, PtsCarry, PtsId};
-use vsfs_andersen::{analyze_governed, analyze_with_config, AndersenConfig, AndersenResult};
+use vsfs_andersen::{
+    analyze_governed, analyze_unify, analyze_unify_governed, analyze_with_config, AndersenConfig,
+    AndersenResult, UnifyConfig,
+};
 use vsfs_graph::{DiGraph, Sccs};
 use vsfs_ir::{Callee, FuncId, InstId, InstKind, ObjId, ObjKind, Program, ValueId};
 use vsfs_mssa::MemorySsa;
@@ -115,9 +118,12 @@ pub enum SolveError {
     Parse(Vec<String>),
     /// The parsed program failed IR verification.
     Verify(String),
-    /// The auxiliary Andersen stage tripped its budget. There is no sound
-    /// cheaper substitute for the auxiliary stage (DESIGN.md §7), so the
-    /// edit is rejected and the previous state stays authoritative.
+    /// The auxiliary Andersen stage tripped its budget *on an edit*. An
+    /// edit always has something better than any fallback — the previous
+    /// state — so it is rejected and that state stays authoritative.
+    /// From-scratch loads instead take the second rung of the
+    /// degradation ladder ([`solve_program`] delivers a unification
+    /// fallback), because there a coarse sound answer beats no answer.
     AuxBudget(DegradeReason),
 }
 
@@ -221,18 +227,29 @@ impl ProgramState {
 
 /// Parses, verifies, and solves `source` from scratch.
 ///
-/// `aux_governor` bounds the auxiliary stage (trip ⇒
-/// [`SolveError::AuxBudget`]); `fs_governor` bounds the flow-sensitive
-/// stage (trip ⇒ the state carries the sound Andersen fallback and no
-/// warm state).
+/// `aux_governor` bounds the auxiliary stage; `fs_governor` bounds the
+/// flow-sensitive stage (trip ⇒ the state carries the sound Andersen
+/// fallback and no warm state).
+///
+/// An auxiliary-stage trip takes the *second* rung of the degradation
+/// ladder: a unification pre-analysis (ungoverned — it costs a small
+/// fraction of the Andersen stage that already consumed the budget)
+/// stands in as the delivered result, with `mode` set to
+/// `"unification-fallback"` and `degraded_stage` to `"andersen"`. Only
+/// [`resolve_edit`] still rejects on `AuxBudget`, because an edit has a
+/// previous authoritative state to keep.
 pub fn solve_program(
     source: &str,
     opts: IncrementalOptions,
     aux_governor: Option<&Governor>,
     fs_governor: Option<&Governor>,
 ) -> Result<(ProgramState, SolveReport), SolveError> {
-    let front = build_front(source, opts, aux_governor)?;
-    Ok(solve_front(source, front, opts, fs_governor))
+    match build_front_ladder(source, opts, aux_governor)? {
+        FrontBuild::Complete(front) => Ok(solve_front(source, *front, opts, fs_governor)),
+        FrontBuild::AuxDegraded { prog, aux, reason } => {
+            Ok(unify_rung_state(source, *prog, *aux, opts, reason))
+        }
+    }
 }
 
 /// Re-solves `source` — a new version of `prev`'s program — seeding from
@@ -270,11 +287,38 @@ pub(crate) struct Front {
     pub(crate) solver: SolverKind,
 }
 
+/// How the front of the pipeline ended: complete, or with the Andersen
+/// stage cut short by its budget. The caller picks the policy — a load
+/// takes the unification rung, an edit rejects.
+pub(crate) enum FrontBuild {
+    Complete(Box<Front>),
+    /// The auxiliary stage tripped: the parsed program, the *partial*
+    /// (unsound, never to be served) Andersen result, and the reason.
+    AuxDegraded {
+        prog: Box<Program>,
+        aux: Box<AndersenResult>,
+        reason: DegradeReason,
+    },
+}
+
+/// Strict front build: any auxiliary-stage trip is an error. Used by
+/// [`resolve_edit`], where the previous state beats any fallback.
 pub(crate) fn build_front(
     source: &str,
     opts: IncrementalOptions,
     aux_governor: Option<&Governor>,
 ) -> Result<Front, SolveError> {
+    match build_front_ladder(source, opts, aux_governor)? {
+        FrontBuild::Complete(front) => Ok(*front),
+        FrontBuild::AuxDegraded { reason, .. } => Err(SolveError::AuxBudget(reason)),
+    }
+}
+
+pub(crate) fn build_front_ladder(
+    source: &str,
+    opts: IncrementalOptions,
+    aux_governor: Option<&Governor>,
+) -> Result<FrontBuild, SolveError> {
     let prog = vsfs_ir::parse_program_all(source)
         .map_err(|errs| SolveError::Parse(errs.iter().map(|e| e.to_string()).collect()))?;
     vsfs_ir::verify::verify(&prog).map_err(|e| SolveError::Verify(e.to_string()))?;
@@ -283,7 +327,11 @@ pub(crate) fn build_front(
         Some(gov) => {
             let outcome = analyze_governed(&prog, config, gov);
             if let Completion::Degraded(reason) = outcome.completion {
-                return Err(SolveError::AuxBudget(reason));
+                return Ok(FrontBuild::AuxDegraded {
+                    prog: Box::new(prog),
+                    aux: Box::new(outcome.result),
+                    reason,
+                });
             }
             outcome.result
         }
@@ -299,7 +347,54 @@ pub(crate) fn build_front(
         // program-level keys still back fingerprints and lookups.
         (None, StableKeys::build_program(&prog))
     };
-    Ok(Front { prog, aux, staged, keys, solver: opts.solver })
+    Ok(FrontBuild::Complete(Box::new(Front { prog, aux, staged, keys, solver: opts.solver })))
+}
+
+/// Packages the second rung of the degradation ladder: the Andersen
+/// stage tripped, so an *ungoverned* unification run stands in as the
+/// delivered analysis (sound: unify ⊇ andersen ⊇ flow-sensitive per
+/// query). Running it ungoverned is deliberate — the governor already
+/// tripped, a partially-unified result would be unsound, and the
+/// unification fixpoint costs a small fraction of the Andersen stage.
+///
+/// The state keeps the partial Andersen result as `aux` only so the
+/// struct stays total; it is tagged by `analysis.mode ==
+/// "unification-fallback"` and must never back checker staging or
+/// warm-state harvest (both are disabled for degraded states).
+fn unify_rung_state(
+    source: &str,
+    prog: Program,
+    aux: AndersenResult,
+    opts: IncrementalOptions,
+    reason: DegradeReason,
+) -> (ProgramState, SolveReport) {
+    let unify = analyze_unify(&prog);
+    let analysis = GovernedAnalysis::unify_fallback(&prog, &unify, "andersen", reason);
+    let keys = StableKeys::build_program(&prog);
+    let total = prog.insts.len();
+    let fingerprint = result_fingerprint(&prog, &keys, &analysis.result);
+    let report = SolveReport {
+        total_nodes: total,
+        dirty_nodes: total,
+        incremental: false,
+        restored: false,
+        carried_sets: 0,
+        waves: 0,
+        solve_seconds: unify.stats.seconds,
+        fingerprint,
+    };
+    let state = ProgramState {
+        source: source.to_string(),
+        prog,
+        aux,
+        staged: None,
+        keys,
+        solver: opts.solver,
+        analysis,
+        fingerprint,
+        warm: None,
+    };
+    (state, report)
 }
 
 /// Final bookkeeping of one solve, shared by [`deliver`].
@@ -357,17 +452,33 @@ fn solve_cold_only(
     fs_governor: Option<&Governor>,
 ) -> (ProgramState, SolveReport) {
     let analysis = match (front.solver, fs_governor) {
-        (SolverKind::Dense, None) => {
-            GovernedAnalysis::complete(run_dense(&front.prog, &front.aux))
-        }
+        (SolverKind::Dense, None) => GovernedAnalysis::complete(run_dense(&front.prog, &front.aux)),
         (SolverKind::Dense, Some(gov)) => run_dense_governed(&front.prog, &front.aux, gov),
-        (SolverKind::CfgFree, None) => GovernedAnalysis::complete(run_cfgfree_ordered(
-            &front.prog,
-            &front.aux,
-            opts.order,
-        )),
+        (SolverKind::CfgFree, None) => {
+            GovernedAnalysis::complete(run_cfgfree_ordered(&front.prog, &front.aux, opts.order))
+        }
         (SolverKind::CfgFree, Some(gov)) => {
             run_cfgfree_governed_ordered(&front.prog, &front.aux, gov, opts.order)
+        }
+        (SolverKind::Unify, None) => GovernedAnalysis::complete(FlowSensitiveResult::from_unify(
+            &front.prog,
+            &analyze_unify(&front.prog),
+        )),
+        (SolverKind::Unify, Some(gov)) => {
+            // A *partial* unification fixpoint is unsound, so a governed
+            // unify run that trips cannot be served as-is. The complete
+            // Andersen aux is already in hand and over-approximates every
+            // flow-sensitive answer, so it stands in — one rung *up* in
+            // precision from what was asked for, and still sound.
+            let outcome = analyze_unify_governed(&front.prog, UnifyConfig::default(), gov);
+            match outcome.completion {
+                Completion::Complete => GovernedAnalysis::complete(
+                    FlowSensitiveResult::from_unify(&front.prog, &outcome.result),
+                ),
+                Completion::Degraded(reason) => {
+                    GovernedAnalysis::fallback(&front.prog, &front.aux, "solve", reason)
+                }
+            }
         }
         (SolverKind::Sfs | SolverKind::Vsfs, _) => {
             unreachable!("staged solvers always build a staged front")
@@ -500,8 +611,7 @@ impl WaveCtx {
         // to carry it (keeping `assemble_seed`'s bail-out a safety net,
         // not a hot path).
         let old_store = &prev.analysis.result.store;
-        let mut dead: IndexVec<ObjId, bool> =
-            IndexVec::from_elem_n(false, prev.prog.objects.len());
+        let mut dead: IndexVec<ObjId, bool> = IndexVec::from_elem_n(false, prev.prog.objects.len());
         let mut any_dead = false;
         for (o, _) in prev.prog.objects.iter_enumerated() {
             if front.keys.obj_of_key(prev.keys.obj_key[o]).is_none() {
@@ -512,9 +622,7 @@ impl WaveCtx {
         if any_dead {
             let mut stale_memo: HashMap<PtsId, bool> = HashMap::new();
             let mut set_stale = |id: PtsId| -> bool {
-                *stale_memo
-                    .entry(id)
-                    .or_insert_with(|| old_store.get(id).iter().any(|o| dead[o]))
+                *stale_memo.entry(id).or_insert_with(|| old_store.get(id).iter().any(|o| dead[o]))
             };
             for node in svfg.node_ids() {
                 let Some(old) = prev.keys.node_of_key(front.keys.node_key[node]) else {
@@ -559,8 +667,7 @@ impl WaveCtx {
     /// invalidation rule, used as the exact fallback when auditing stops
     /// paying for itself.
     fn forward_close(&mut self) {
-        let mut queue: Vec<SvfgNodeId> =
-            self.graph.nodes().filter(|&v| self.dirty[v]).collect();
+        let mut queue: Vec<SvfgNodeId> = self.graph.nodes().filter(|&v| self.dirty[v]).collect();
         while let Some(node) = queue.pop() {
             for &s in self.graph.successors(node) {
                 if !self.dirty[s] {
@@ -631,8 +738,7 @@ fn solve_incremental(
     let mut audited = true;
     loop {
         waves += 1;
-        let Some((seed, carried_sets)) = assemble_seed(prev, warm, &front, ctx.clean_mask())
-        else {
+        let Some((seed, carried_sets)) = assemble_seed(prev, warm, &front, ctx.clean_mask()) else {
             // Correspondence broke somewhere the cleanliness argument
             // says it cannot: a cold solve is always safe.
             return solve_front(source, front, opts, fs_governor);
@@ -731,9 +837,7 @@ fn audit_frontier(
         }
         let olds = old_store.get(old_id.expect("olen > 0"));
         new_store.get(new_id.expect("nlen > 0")).iter().all(|o| {
-            prev.keys
-                .obj_of_key(front.keys.obj_key[o])
-                .is_some_and(|oo| olds.contains(oo))
+            prev.keys.obj_of_key(front.keys.obj_key[o]).is_some_and(|oo| olds.contains(oo))
         })
     };
     let value_changed = |v: ValueId| -> bool {
@@ -741,7 +845,7 @@ fn audit_frontier(
             Some(old_v) => !pts_equal(Some(result.pt[v]), Some(old_result.pt[old_v])),
             // A value with no old counterpart published nothing before;
             // its set changed iff it is now non-empty.
-            None => new_store.get(result.pt[v]).len() != 0,
+            None => !new_store.get(result.pt[v]).is_empty(),
         }
     };
     // `out_val` of a node for one object, on each side: OUT for stores,
@@ -767,12 +871,11 @@ fn audit_frontier(
         !pts_equal(new_out(node, o), old_id)
     };
 
-    let mut flagged: IndexVec<SvfgNodeId, bool> =
-        IndexVec::from_elem_n(false, svfg.node_count());
+    let mut flagged: IndexVec<SvfgNodeId, bool> = IndexVec::from_elem_n(false, svfg.node_count());
     let mut newly: Vec<SvfgNodeId> = Vec::new();
     let flag = |flagged: &mut IndexVec<SvfgNodeId, bool>,
-                    newly: &mut Vec<SvfgNodeId>,
-                    node: SvfgNodeId| {
+                newly: &mut Vec<SvfgNodeId>,
+                node: SvfgNodeId| {
         if !dirty[node] && !flagged[node] {
             flagged[node] = true;
             newly.push(node);
@@ -899,8 +1002,7 @@ fn audit_frontier(
             for &h in olds {
                 if !new_names.contains(&h) {
                     if let Some(&f) = name_to_func.get(&h) {
-                        let entry =
-                            svfg.inst_node(front.prog.functions[f].entry_inst);
+                        let entry = svfg.inst_node(front.prog.functions[f].entry_inst);
                         flag(&mut flagged, &mut newly, entry);
                     }
                     flag(&mut flagged, &mut newly, ret_node);
@@ -928,8 +1030,7 @@ fn assemble_seed(
     let old_store = &prev.analysis.result.store;
     let mut store = old_store.next_epoch();
     let mut carry = PtsCarry::new();
-    let map_obj =
-        |o: ObjId| -> Option<ObjId> { front.keys.obj_of_key(prev.keys.obj_key[o]) };
+    let map_obj = |o: ObjId| -> Option<ObjId> { front.keys.obj_of_key(prev.keys.obj_key[o]) };
 
     // Top-level sets of values whose defining node is clean.
     let def_node = value_def_nodes(&front.prog, svfg);
@@ -954,9 +1055,7 @@ fn assemble_seed(
             continue;
         }
         let old = prev.keys.node_of_key(front.keys.node_key[node])?;
-        for (table, old_table) in
-            [(&mut ins, &warm.ins[old]), (&mut outs, &warm.outs[old])]
-        {
+        for (table, old_table) in [(&mut ins, &warm.ins[old]), (&mut outs, &warm.outs[old])] {
             if old_table.is_empty() {
                 continue;
             }
@@ -1259,11 +1358,8 @@ pub fn node_signatures(
         // Incoming edges: direct predecessors and object-labelled
         // indirect predecessors.
         h = mix_sorted(h, direct_preds[node].clone());
-        let ind: Vec<u64> = svfg
-            .indirect_preds(node)
-            .iter()
-            .map(|&(p, o)| mix(keys.node_key[p], ok(o)))
-            .collect();
+        let ind: Vec<u64> =
+            svfg.indirect_preds(node).iter().map(|&(p, o)| mix(keys.node_key[p], ok(o))).collect();
         h = mix_sorted(h, ind);
         sigs.push(h);
     }
@@ -1276,11 +1372,7 @@ pub fn node_signatures(
 /// same text — or an incremental and a from-scratch solve of the same
 /// edit — produce the same fingerprint iff they computed the same
 /// result.
-pub fn result_fingerprint(
-    prog: &Program,
-    keys: &StableKeys,
-    result: &FlowSensitiveResult,
-) -> u64 {
+pub fn result_fingerprint(prog: &Program, keys: &StableKeys, result: &FlowSensitiveResult) -> u64 {
     let mut items: Vec<(u64, Vec<u64>)> = Vec::with_capacity(prog.values.len());
     for (v, _) in prog.values.iter_enumerated() {
         let mut objs: Vec<u64> = result.value_pts(v).iter().map(|o| keys.obj_key[o]).collect();
@@ -1381,10 +1473,7 @@ entry:
             SolveOrder::default(),
         );
         assert_eq!(precision_diff(&next.prog, &next.analysis.result, &reference), None);
-        assert_eq!(
-            next.fingerprint,
-            result_fingerprint(&next.prog, &next.keys, &reference)
-        );
+        assert_eq!(next.fingerprint, result_fingerprint(&next.prog, &next.keys, &reference));
     }
 
     #[test]
@@ -1402,8 +1491,7 @@ entry:
         assert_eq!(r1.dirty_nodes, r1.total_nodes, "the whole program re-solves");
         assert_eq!(next.solver, SolverKind::CfgFree);
         let (sfs_next, sfs_r1) =
-            resolve_edit(&sfs_state, &edited, IncrementalOptions::default(), None, None)
-                .unwrap();
+            resolve_edit(&sfs_state, &edited, IncrementalOptions::default(), None, None).unwrap();
         assert_eq!(r1.fingerprint, sfs_r1.fingerprint, "solvers agree on the edit");
         assert_eq!(
             precision_diff(&next.prog, &next.analysis.result, &sfs_next.analysis.result),

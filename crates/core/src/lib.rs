@@ -66,14 +66,16 @@ pub use cfgfree::{
 };
 pub use dense::{run_dense, run_dense_governed};
 pub use incremental::{
-    resolve_edit, result_fingerprint, solve_program, IncrementalOptions, ProgramState,
-    SolveError, SolveReport,
+    resolve_edit, result_fingerprint, solve_program, IncrementalOptions, ProgramState, SolveError,
+    SolveReport,
 };
 pub use precision::{compare_precision, PrecisionReport};
-pub use result::{precision_diff, same_precision, FlowSensitiveResult, GovernedAnalysis, SolveStats};
+pub use result::{
+    precision_diff, same_precision, FlowSensitiveResult, GovernedAnalysis, SolveStats,
+};
 pub use schedule::SolveOrder;
-pub use solver::{SolverCaps, SolverKind};
 pub use sfs::{run_sfs, run_sfs_governed, run_sfs_governed_ordered, run_sfs_ordered};
+pub use solver::{SolverCaps, SolverKind};
 pub use versioning::{VersionTables, VersioningStats};
 pub use vsfs::{
     run_vsfs, run_vsfs_governed, run_vsfs_governed_ordered, run_vsfs_jobs, run_vsfs_jobs_ordered,

@@ -73,11 +73,7 @@ impl<'a> AliasQueries<'a> {
 
     /// The names of `p`'s pointees (diagnostics).
     pub fn pointee_names(&self, p: ValueId) -> Vec<&'a str> {
-        self.result
-            .value_pts(p)
-            .iter()
-            .map(|o| self.prog.objects[o].name.as_str())
-            .collect()
+        self.result.value_pts(p).iter().map(|o| self.prog.objects[o].name.as_str()).collect()
     }
 }
 
@@ -95,11 +91,7 @@ mod tests {
     }
 
     fn val(prog: &Program, n: &str) -> ValueId {
-        prog.values
-            .iter_enumerated()
-            .find(|(_, v)| v.name == n)
-            .map(|(id, _)| id)
-            .unwrap()
+        prog.values.iter_enumerated().find(|(_, v)| v.name == n).map(|(id, _)| id).unwrap()
     }
 
     #[test]

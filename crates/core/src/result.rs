@@ -2,7 +2,7 @@
 
 use vsfs_adt::govern::{Completion, DegradeReason};
 use vsfs_adt::{IndexVec, PointsToSet, PtsId, PtsStore, PtsStoreStats};
-use vsfs_andersen::AndersenResult;
+use vsfs_andersen::{AndersenResult, UnifyResult};
 use vsfs_ir::{FuncId, InstId, ObjId, Program, ValueId};
 
 /// The output of a flow-sensitive analysis run.
@@ -64,26 +64,55 @@ impl FlowSensitiveResult {
         let stats = SolveStats { store: store.stats(), ..SolveStats::default() };
         FlowSensitiveResult { store, pt, callgraph_edges, stats }
     }
+
+    /// Repackages a unification analysis as a `FlowSensitiveResult` —
+    /// the *second* sound fallback rung, used when even the Andersen
+    /// stage was cut short by its budget.
+    ///
+    /// Unification over-approximates Andersen (its result is the least
+    /// inclusion solution of the *collapsed* constraint graph), which
+    /// in turn over-approximates every flow-sensitive answer — so the
+    /// sets and call graph here remain supersets of the complete
+    /// flow-sensitive result, just coarser than the first rung's.
+    pub fn from_unify(prog: &Program, unify: &UnifyResult) -> FlowSensitiveResult {
+        let mut store = PtsStore::new();
+        let pt: IndexVec<ValueId, PtsId> =
+            prog.values.indices().map(|v| store.intern(unify.value_pts(v))).collect();
+        let mut callgraph_edges: Vec<(InstId, FuncId)> = unify.callgraph.edges().collect();
+        callgraph_edges.sort_unstable();
+        let stats = SolveStats {
+            store: store.stats(),
+            solve_seconds: unify.stats.seconds,
+            ..SolveStats::default()
+        };
+        FlowSensitiveResult { store, pt, callgraph_edges, stats }
+    }
 }
 
 /// The outcome of a resource-governed analysis run: the points-to result
 /// actually delivered, plus how it was obtained.
 ///
-/// When `completion` is `Degraded`, `result` holds the Andersen
-/// fallback ([`FlowSensitiveResult::from_andersen`]) and `mode` is
-/// `"flow-insensitive-fallback"`; the result is still *sound* (a
-/// superset of the complete flow-sensitive answer), just less precise.
+/// When `completion` is `Degraded`, `result` holds a sound fallback
+/// and `mode` names the rung of the degradation ladder that produced
+/// it: `"flow-insensitive-fallback"` when the flow-sensitive stage
+/// tripped and the Andersen result stands in
+/// ([`FlowSensitiveResult::from_andersen`]), or
+/// `"unification-fallback"` when even the Andersen stage tripped and a
+/// unification run stands in ([`FlowSensitiveResult::from_unify`]).
+/// Either way the result is still *sound* (a superset of the complete
+/// flow-sensitive answer), just less precise.
 #[derive(Debug, Clone)]
 pub struct GovernedAnalysis {
-    /// The delivered points-to result (flow-sensitive, or the Andersen
+    /// The delivered points-to result (flow-sensitive, or a sound
     /// fallback on degradation).
     pub result: FlowSensitiveResult,
     /// `Complete`, or `Degraded(reason)` describing the trip.
     pub completion: Completion,
-    /// `"flow-sensitive"` or `"flow-insensitive-fallback"`.
+    /// `"flow-sensitive"`, `"flow-insensitive-fallback"`, or
+    /// `"unification-fallback"`.
     pub mode: &'static str,
-    /// The stage that tripped, when degraded: `"versioning"` or
-    /// `"solve"`.
+    /// The stage that tripped, when degraded: `"andersen"`,
+    /// `"versioning"`, or `"solve"`.
     pub degraded_stage: Option<&'static str>,
 }
 
@@ -110,6 +139,23 @@ impl GovernedAnalysis {
             result: FlowSensitiveResult::from_andersen(prog, aux),
             completion: Completion::Degraded(reason),
             mode: "flow-insensitive-fallback",
+            degraded_stage: Some(stage),
+        }
+    }
+
+    /// The second rung of the degradation ladder: the Andersen stage
+    /// itself tripped, so deliver a unification result instead of a
+    /// hard error. Coarser than the first rung but still sound.
+    pub fn unify_fallback(
+        prog: &Program,
+        unify: &UnifyResult,
+        stage: &'static str,
+        reason: DegradeReason,
+    ) -> GovernedAnalysis {
+        GovernedAnalysis {
+            result: FlowSensitiveResult::from_unify(prog, unify),
+            completion: Completion::Degraded(reason),
+            mode: "unification-fallback",
             degraded_stage: Some(stage),
         }
     }

@@ -100,9 +100,8 @@ pub(crate) fn slot_ranks(prog: &Program, svfg: &Svfg, tables: &VersionTables) ->
         }
     }
     for (call, callee) in sorted_binding_pairs(svfg) {
-        let binding = svfg
-            .call_binding(call, callee)
-            .expect("binding pair came from the binding map");
+        let binding =
+            svfg.call_binding(call, callee).expect("binding pair came from the binding map");
         let call_node = svfg.inst_node(call);
         let ret_node = svfg.callret_node(call);
         let f = &prog.functions[callee];

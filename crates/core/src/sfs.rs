@@ -292,10 +292,7 @@ impl<'a> SfsSolver<'a> {
             let f = &self.prog.functions[callee];
             let entry_node = self.svfg.inst_node(f.entry_inst);
             let exit_node = self.svfg.inst_node(f.exit_inst);
-            let pairs = [
-                (call_node, entry_node, binding.ins),
-                (exit_node, ret_node, binding.outs),
-            ];
+            let pairs = [(call_node, entry_node, binding.ins), (exit_node, ret_node, binding.outs)];
             for (src, dst, objs) in pairs {
                 for o in objs {
                     self.dyn_succs[src].push((dst, o));
@@ -311,9 +308,7 @@ impl<'a> SfsSolver<'a> {
             }
         }
         for n in self.svfg.node_ids() {
-            if !clean[n] {
-                self.worklist.push(n);
-            } else if self.svfg.direct_succs(n).iter().any(|&s| !clean[s]) {
+            if !clean[n] || self.svfg.direct_succs(n).iter().any(|&s| !clean[s]) {
                 self.worklist.push(n);
             }
         }
@@ -624,12 +619,8 @@ mod tests {
             .map(|(id, _)| id)
             .unwrap();
         assert_eq!(aux.callgraph.callees(icall).len(), 2, "Andersen sees both");
-        let fs_callees: Vec<FuncId> = r
-            .callgraph_edges
-            .iter()
-            .filter(|(c, _)| *c == icall)
-            .map(|&(_, f)| f)
-            .collect();
+        let fs_callees: Vec<FuncId> =
+            r.callgraph_edges.iter().filter(|(c, _)| *c == icall).map(|&(_, f)| f).collect();
         assert_eq!(fs_callees.len(), 1, "flow-sensitively only @first");
         assert_eq!(prog.functions[fs_callees[0]].name, "first");
         // And the result only flows from @first: r = Arg, not FromSecond.

@@ -35,6 +35,10 @@ pub enum SolverKind {
     Vsfs,
     /// Constraint-ordering flow sensitivity; builds no MSSA/SVFG.
     CfgFree,
+    /// Steensgaard-style unification pre-analysis (with no-oversharing
+    /// refinements): the cheapest, coarsest tier. Flow-*insensitive*
+    /// and cold-only — never builds MSSA or an SVFG.
+    Unify,
 }
 
 /// What a solver needs from the pipeline and offers to the server.
@@ -59,6 +63,7 @@ impl SolverKind {
             "sfs" => Some(SolverKind::Sfs),
             "vsfs" => Some(SolverKind::Vsfs),
             "cfgfree" => Some(SolverKind::CfgFree),
+            "unify" => Some(SolverKind::Unify),
             _ => None,
         }
     }
@@ -70,6 +75,7 @@ impl SolverKind {
             SolverKind::Sfs => "sfs",
             SolverKind::Vsfs => "vsfs",
             SolverKind::CfgFree => "cfgfree",
+            SolverKind::Unify => "unify",
         }
     }
 
@@ -84,18 +90,25 @@ impl SolverKind {
     /// exact cold re-solves instead.
     pub fn caps(self) -> SolverCaps {
         match self {
-            SolverKind::Dense | SolverKind::CfgFree => SolverCaps {
-                needs_svfg: false,
-                incremental: false,
-                warm: false,
-            },
-            SolverKind::Sfs | SolverKind::Vsfs => SolverCaps {
-                needs_svfg: true,
-                incremental: true,
-                warm: true,
-            },
+            SolverKind::Dense | SolverKind::CfgFree | SolverKind::Unify => {
+                SolverCaps { needs_svfg: false, incremental: false, warm: false }
+            }
+            SolverKind::Sfs | SolverKind::Vsfs => {
+                SolverCaps { needs_svfg: true, incremental: true, warm: true }
+            }
         }
     }
+}
+
+impl SolverKind {
+    /// Every member, in declaration order (for tests and help text).
+    pub const ALL: [SolverKind; 5] = [
+        SolverKind::Dense,
+        SolverKind::Sfs,
+        SolverKind::Vsfs,
+        SolverKind::CfgFree,
+        SolverKind::Unify,
+    ];
 }
 
 #[cfg(test)]
@@ -104,12 +117,7 @@ mod tests {
 
     #[test]
     fn parse_round_trips_every_member() {
-        for kind in [
-            SolverKind::Dense,
-            SolverKind::Sfs,
-            SolverKind::Vsfs,
-            SolverKind::CfgFree,
-        ] {
+        for kind in SolverKind::ALL {
             assert_eq!(SolverKind::parse(kind.name()), Some(kind));
         }
         assert_eq!(SolverKind::parse("ander"), None);
@@ -119,12 +127,7 @@ mod tests {
 
     #[test]
     fn capability_rows_are_internally_consistent() {
-        for kind in [
-            SolverKind::Dense,
-            SolverKind::Sfs,
-            SolverKind::Vsfs,
-            SolverKind::CfgFree,
-        ] {
+        for kind in SolverKind::ALL {
             let caps = kind.caps();
             // Warm seeding and wave invalidation both live on the SVFG;
             // a solver cannot support either without building one.
@@ -133,5 +136,42 @@ mod tests {
             }
         }
         assert_eq!(SolverKind::default(), SolverKind::Vsfs);
+    }
+
+    /// Property: `parse` is the exact inverse of `name` — every member
+    /// round-trips, every *perturbation* of a canonical name (case
+    /// flip, truncation, extension, random garbage) parses to `None`
+    /// unless it happens to equal another canonical name verbatim.
+    #[test]
+    fn parse_name_round_trip_property() {
+        vsfs_testkit::check("solverkind_parse_name_round_trip", |rng| {
+            let kind = SolverKind::ALL[rng.gen_range(0..SolverKind::ALL.len())];
+            let name = kind.name();
+            assert_eq!(SolverKind::parse(name), Some(kind));
+
+            let mutated = match rng.gen_range(0..4u32) {
+                0 => {
+                    // Flip the case of one letter.
+                    let i = rng.gen_range(0..name.len());
+                    name.chars()
+                        .enumerate()
+                        .map(|(k, c)| if k == i { c.to_ascii_uppercase() } else { c })
+                        .collect::<String>()
+                }
+                1 => name[..rng.gen_range(0..name.len())].to_string(),
+                2 => format!("{name}{}", rng.gen_range(0..10u32)),
+                _ => {
+                    let len = rng.gen_range(1..12usize);
+                    (0..len)
+                        .map(|_| (b'a' + (rng.gen_range(0..26u32) as u8)) as char)
+                        .collect::<String>()
+                }
+            };
+            match SolverKind::parse(&mutated) {
+                // A mutation may legitimately land on a canonical name.
+                Some(k) => assert_eq!(k.name(), mutated),
+                None => assert!(SolverKind::ALL.iter().all(|k| k.name() != mutated)),
+            }
+        });
     }
 }

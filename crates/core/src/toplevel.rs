@@ -13,11 +13,11 @@
 //! `IN`/`OUT` entries, VSFS version slots), so identical sets across
 //! layers are stored once and repeated unions hit the store's memo.
 
+use std::collections::{HashMap, HashSet};
 use vsfs_adt::{IndexVec, PointsToSet, PtsId, PtsStore, Worklist};
 use vsfs_andersen::AndersenResult;
 use vsfs_ir::{Callee, DefUse, FuncId, InstId, InstKind, ObjId, Program, ValueId};
 use vsfs_svfg::{Svfg, SvfgNodeId};
-use std::collections::{HashMap, HashSet};
 
 /// The empty-set id of the shared store.
 pub(crate) const EMPTY: PtsId = PtsStore::<ObjId>::EMPTY;
@@ -46,8 +46,7 @@ impl<'a> TopLevel<'a> {
     /// storage objects, everything else empty.
     pub fn new(prog: &'a Program, aux: &'a AndersenResult, svfg: &'a Svfg) -> Self {
         let mut store = PtsStore::new();
-        let mut pt: IndexVec<ValueId, PtsId> =
-            (0..prog.values.len()).map(|_| EMPTY).collect();
+        let mut pt: IndexVec<ValueId, PtsId> = (0..prog.values.len()).map(|_| EMPTY).collect();
         for &(g, obj) in &prog.globals {
             pt[g] = store.insert(pt[g], obj);
         }

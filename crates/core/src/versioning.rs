@@ -33,9 +33,9 @@ use std::time::Instant;
 use vsfs_adt::govern::{Completion, DegradeReason, Governor, Outcome};
 use vsfs_adt::par::{self, ParConfig};
 use vsfs_adt::{CapacityOverflow, SbvInterner, SparseBitVector};
+use vsfs_graph::{DiGraph, Sccs};
 use vsfs_ir::{InstKind, ObjId, Program};
 use vsfs_mssa::MemorySsa;
-use vsfs_graph::{DiGraph, Sccs};
 use vsfs_svfg::{Svfg, SvfgNodeId};
 
 /// A dense `(object, version)` slot in the global points-to table.
@@ -104,8 +104,24 @@ impl VersionTables {
         svfg: &Svfg,
         jobs: usize,
     ) -> VersionTables {
+        VersionTables::build_with_jobs_regions(prog, mssa, svfg, jobs, None)
+    }
+
+    /// Like [`VersionTables::build_with_jobs`], but with the per-object
+    /// meld tasks seeded by unification alias regions
+    /// (`region_of_object`, from `vsfs_andersen::AliasRegions`): objects
+    /// of the same (provably-disjoint) region start on the same worker,
+    /// replacing the cost-only LPT seeding where regions exist. A pure
+    /// scheduling hint — the tables are bit-identical either way.
+    pub fn build_with_jobs_regions(
+        prog: &Program,
+        mssa: &MemorySsa,
+        svfg: &Svfg,
+        jobs: usize,
+        regions: Option<&[u32]>,
+    ) -> VersionTables {
         let start = Instant::now();
-        let (mut tables, _) = build_inner(prog, mssa, svfg, ParConfig::new(jobs), None);
+        let (mut tables, _) = build_inner(prog, mssa, svfg, ParConfig::new(jobs), regions, None);
         tables.stats.versions = tables.slot_count as usize;
         tables.stats.seconds = start.elapsed().as_secs_f64();
         tables
@@ -130,7 +146,7 @@ impl VersionTables {
     ) -> Outcome<VersionTables> {
         let start = Instant::now();
         let (mut tables, completion) =
-            build_inner(prog, mssa, svfg, ParConfig::new(jobs), Some(governor));
+            build_inner(prog, mssa, svfg, ParConfig::new(jobs), None, Some(governor));
         tables.stats.versions = tables.slot_count as usize;
         tables.stats.seconds = start.elapsed().as_secs_f64();
         Outcome { result: tables, completion }
@@ -140,9 +156,7 @@ impl VersionTables {
     /// participates in any indirect flow.
     pub fn consume_slot(&self, node: SvfgNodeId, obj: ObjId) -> Option<VersionSlot> {
         let list = &self.consume[node.index()];
-        list.binary_search_by_key(&obj, |&(o, _)| o)
-            .ok()
-            .map(|i| list[i].1)
+        list.binary_search_by_key(&obj, |&(o, _)| o).ok().map(|i| list[i].1)
     }
 
     /// The version slot yielded by `node` for `obj`.
@@ -258,6 +272,7 @@ fn build_inner(
     mssa: &MemorySsa,
     svfg: &Svfg,
     par: ParConfig,
+    regions: Option<&[u32]>,
     governor: Option<&Governor>,
 ) -> (VersionTables, Completion) {
     let num_objs = prog.objects.len();
@@ -325,17 +340,27 @@ fn build_inner(
     let edges_ref = &edges_by_obj;
     let stores_ref = &store_sites;
     let deltas_ref = &delta_sites;
-    let (outcomes, pstats) = match par::try_run_tasks_with(
-        par,
-        objs.len(),
-        cost,
-        governor,
-        || ObjArea::with_node_capacity(node_count),
-        |area, i| {
-            let oi = objs_ref[i].index();
-            process_object(&edges_ref[oi], &stores_ref[oi], &deltas_ref[oi], area)
-        },
-    ) {
+    let worker = |area: &mut ObjArea, i: usize| {
+        let oi = objs_ref[i].index();
+        process_object(&edges_ref[oi], &stores_ref[oi], &deltas_ref[oi], area)
+    };
+    let init = || ObjArea::with_node_capacity(node_count);
+    let run = match regions {
+        // Alias-region seeding: objects whose version slots can hold
+        // overlapping sets share a worker's cache. `u64::MAX` groups the
+        // never-pointed-to objects together.
+        Some(region_of_object) => par::try_run_tasks_grouped(
+            par,
+            objs.len(),
+            cost,
+            |i| region_of_object.get(objs_ref[i].index()).map_or(u64::MAX, |&r| u64::from(r)),
+            governor,
+            init,
+            worker,
+        ),
+        None => par::try_run_tasks_with(par, objs.len(), cost, governor, init, worker),
+    };
+    let (outcomes, pstats) = match run {
         Ok(out) => out,
         Err(interrupt) => match governor {
             Some(g) => {
@@ -398,8 +423,13 @@ fn build_inner(
     stats.par_steals = pstats.steals;
     stats.par_seconds = pstats.wall.as_secs_f64();
 
-    let tables =
-        VersionTables { consume: consume_slots, yield_: yield_slots, reliance, slot_count: next_slot, stats };
+    let tables = VersionTables {
+        consume: consume_slots,
+        yield_: yield_slots,
+        reliance,
+        slot_count: next_slot,
+        stats,
+    };
     let completion = governor.map_or(Completion::Complete, Governor::completion);
     if completion.is_complete() {
         (tables, completion)
@@ -607,12 +637,7 @@ fn process_object(
         }
     }
     Ok(ObjOutcome {
-        nodes: area
-            .nodes
-            .iter()
-            .enumerate()
-            .map(|(li, &n)| (n, c_slot[li], y_slot[li]))
-            .collect(),
+        nodes: area.nodes.iter().enumerate().map(|(li, &n)| (n, c_slot[li], y_slot[li])).collect(),
         local_slots,
         reliance: rel,
         prelabels: next_pre as usize,
@@ -799,11 +824,7 @@ mod tests {
     }
 
     fn the_obj(prog: &Program, name: &str) -> ObjId {
-        prog.objects
-            .iter_enumerated()
-            .find(|(_, o)| o.name == name)
-            .map(|(id, _)| id)
-            .unwrap()
+        prog.objects.iter_enumerated().find(|(_, o)| o.name == name).map(|(id, _)| id).unwrap()
     }
 
     /// The paper's motivating example (Fig. 2 / 5 / 9): two stores feeding

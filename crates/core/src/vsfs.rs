@@ -155,8 +155,7 @@ fn solve_with_tables(
     let completion = solver.solve_governed(governor);
     let mut stats = solver.stats;
     stats.solve_seconds = start.elapsed().as_secs_f64();
-    stats.pushes_suppressed =
-        solver.nodes.stats().suppressed + solver.slots.stats().suppressed;
+    stats.pushes_suppressed = solver.nodes.stats().suppressed + solver.slots.stats().suppressed;
     stats.versioning_seconds = versioning.seconds;
     stats.prelabels = versioning.prelabels;
     stats.versions = versioning.versions;
@@ -167,10 +166,7 @@ fn solve_with_tables(
     stats.stored_object_bytes = bytes;
     stats.store = solver.top.store.stats();
     let callgraph_edges = solver.top.callgraph_edges();
-    (
-        FlowSensitiveResult::new(solver.top.store, solver.top.pt, callgraph_edges, stats),
-        completion,
-    )
+    (FlowSensitiveResult::new(solver.top.store, solver.top.pt, callgraph_edges, stats), completion)
 }
 
 struct VsfsSolver<'a> {
@@ -381,8 +377,7 @@ impl<'a> VsfsSolver<'a> {
                         // which is already a no-op.
                         if c as usize != y {
                             self.stats.object_propagations += 1;
-                            let new =
-                                self.top.store.union(self.vpts[y], self.vpts[c as usize]);
+                            let new = self.top.store.union(self.vpts[y], self.vpts[c as usize]);
                             grew |= new != self.vpts[y];
                             self.vpts[y] = new;
                         }

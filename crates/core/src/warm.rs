@@ -23,8 +23,8 @@
 //! can never change results and never turns a bad snapshot into a crash.
 
 use crate::incremental::{
-    build_front, deliver, solve_front, value_def_nodes, Front, Outcome, ProgramState,
-    SolveError, SolveReport,
+    build_front, deliver, solve_front, value_def_nodes, Front, Outcome, ProgramState, SolveError,
+    SolveReport,
 };
 use crate::result::FlowSensitiveResult;
 use crate::sfs::{run_sfs_seeded, SfsSeed};
@@ -78,8 +78,7 @@ pub fn export_warm(state: &ProgramState) -> Option<WarmExport> {
     let mut sets: Vec<Vec<u64>> = Vec::new();
     let mut index_of = |id: PtsId, result: &FlowSensitiveResult| -> u32 {
         *set_index.entry(id).or_insert_with(|| {
-            let mut objs: Vec<u64> =
-                result.store.get(id).iter().map(|o| keys.obj_key[o]).collect();
+            let mut objs: Vec<u64> = result.store.get(id).iter().map(|o| keys.obj_key[o]).collect();
             objs.sort_unstable();
             sets.push(objs);
             (sets.len() - 1) as u32
@@ -100,10 +99,8 @@ pub fn export_warm(state: &ProgramState) -> Option<WarmExport> {
             if entries.is_empty() {
                 continue;
             }
-            let row: Vec<(u64, u32)> = entries
-                .iter()
-                .map(|&(o, id)| (keys.obj_key[o], index_of(id, result)))
-                .collect();
+            let row: Vec<(u64, u32)> =
+                entries.iter().map(|&(o, id)| (keys.obj_key[o], index_of(id, result))).collect();
             out.push((keys.node_key[node], row));
         }
         out
@@ -230,9 +227,8 @@ fn assemble_restore_seed(front: &Front, export: &WarmExport) -> Option<(SfsSeed,
 
     // IN/OUT tables: every exported row must land on a node of this
     // parse with every object resolved.
-    let map_table = |rows: &[(u64, Vec<(u64, u32)>)]| -> Option<
-        Vec<(vsfs_svfg::SvfgNodeId, Vec<(ObjId, PtsId)>)>,
-    > {
+    type MappedTable = Vec<(vsfs_svfg::SvfgNodeId, Vec<(ObjId, PtsId)>)>;
+    let map_table = |rows: &[(u64, Vec<(u64, u32)>)]| -> Option<MappedTable> {
         let mut out = Vec::with_capacity(rows.len());
         for (node_key, row) in rows {
             let node = keys.node_of_key(*node_key)?;

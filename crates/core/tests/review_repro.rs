@@ -44,10 +44,7 @@ fn shrink_return_of_indirect_callee_matches_cold() {
         rep.fingerprint, rep.dirty_nodes, rep.total_nodes, crep.fingerprint
     );
     let res = inc.prog.values.iter_enumerated().find(|(_, v)| v.name == "res").unwrap().0;
-    eprintln!(
-        "inc pts(res): {:?}",
-        inc.analysis.result.value_pts(res).iter().collect::<Vec<_>>()
-    );
+    eprintln!("inc pts(res): {:?}", inc.analysis.result.value_pts(res).iter().collect::<Vec<_>>());
     let cres = cold.prog.values.iter_enumerated().find(|(_, v)| v.name == "res").unwrap().0;
     eprintln!(
         "cold pts(res): {:?}",

@@ -98,9 +98,7 @@ impl<I: Idx> DiGraph<I> {
 
     /// Iterates all edges as `(from, to)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (I, I)> + '_ {
-        self.succs
-            .iter_enumerated()
-            .flat_map(|(from, tos)| tos.iter().map(move |&to| (from, to)))
+        self.succs.iter_enumerated().flat_map(|(from, tos)| tos.iter().map(move |&to| (from, to)))
     }
 }
 

@@ -103,11 +103,7 @@ pub fn meld_label_governed<I: Idx, L: MeldLabel>(
     frozen: impl Fn(I) -> bool,
     governor: Option<&Governor>,
 ) -> Outcome<Vec<L>> {
-    assert_eq!(
-        prelabels.len(),
-        graph.node_count(),
-        "one prelabel per node required"
-    );
+    assert_eq!(prelabels.len(), graph.node_count(), "one prelabel per node required");
     let mut labels = prelabels;
     let mut worklist: FifoWorklist<I> = FifoWorklist::new(graph.node_count());
     for v in graph.nodes() {
@@ -253,15 +249,19 @@ mod tests {
                         g.add_edge(n(f), n(t));
                     }
                     let pre = (0..nn)
-                        .map(|i| if rng.gen_bool(0.4) { sbv(&[i as u32]) } else { SparseBitVector::new() })
+                        .map(|i| {
+                            if rng.gen_bool(0.4) {
+                                sbv(&[i as u32])
+                            } else {
+                                SparseBitVector::new()
+                            }
+                        })
                         .collect();
                     (g, pre)
                 })
                 .collect();
-            let want: Vec<Vec<SparseBitVector>> = problems
-                .iter()
-                .map(|(g, pre)| meld_label(g, pre.clone(), |_| false))
-                .collect();
+            let want: Vec<Vec<SparseBitVector>> =
+                problems.iter().map(|(g, pre)| meld_label(g, pre.clone(), |_| false)).collect();
             for jobs in [1usize, 2, 8] {
                 let got = meld_label_many(problems.clone(), |_| false, jobs);
                 assert_eq!(got, want, "jobs = {jobs}");
@@ -370,8 +370,9 @@ mod tests {
         use vsfs_testkit::gen;
         vsfs_testkit::check("meld::fixpoint_property_on_random_graphs", |rng| {
             let nn = rng.gen_range(2usize..14);
-            let edges =
-                gen::vec_with(rng, 0..40, |r| (r.gen_range(0..nn as u32), r.gen_range(0..nn as u32)));
+            let edges = gen::vec_with(rng, 0..40, |r| {
+                (r.gen_range(0..nn as u32), r.gen_range(0..nn as u32))
+            });
             let is_pre = gen::vec_with(rng, nn..nn, |r| r.gen_bool(0.5));
             {
                 let mut g: DiGraph<N> = DiGraph::with_nodes(nn);

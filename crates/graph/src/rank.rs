@@ -46,10 +46,7 @@ pub fn condensation_ranks<I: Idx>(graph: &DiGraph<I>) -> Vec<u32> {
     // components get smaller ids), so flipping them yields
     // predecessors-first ranks.
     let count = sccs.count() as u32;
-    graph
-        .nodes()
-        .map(|n| count - 1 - sccs.component(n))
-        .collect()
+    graph.nodes().map(|n| count - 1 - sccs.component(n)).collect()
 }
 
 #[cfg(test)]

@@ -247,10 +247,7 @@ impl ProgramBuilder {
         }
         // Insert right after the FUNENTRY (position 0) of main's entry.
         let insts = &mut self.prog.blocks[entry_block].insts;
-        debug_assert!(matches!(
-            self.prog.insts[insts[0]].kind,
-            InstKind::FunEntry { .. }
-        ));
+        debug_assert!(matches!(self.prog.insts[insts[0]].kind, InstKind::FunEntry { .. }));
         insts.splice(1..1, new_insts);
         Ok(())
     }
@@ -458,16 +455,31 @@ impl FunctionBuilder<'_> {
 
     /// Direct call `dst = callee(args...)`; `dst` is created when
     /// `dst_name` is given.
-    pub fn call(&mut self, dst_name: Option<&str>, callee: FuncId, args: &[ValueId]) -> Option<ValueId> {
+    pub fn call(
+        &mut self,
+        dst_name: Option<&str>,
+        callee: FuncId,
+        args: &[ValueId],
+    ) -> Option<ValueId> {
         self.call_inner(dst_name, Callee::Direct(callee), args)
     }
 
     /// Indirect call `dst = (*fp)(args...)`.
-    pub fn icall(&mut self, dst_name: Option<&str>, fp: ValueId, args: &[ValueId]) -> Option<ValueId> {
+    pub fn icall(
+        &mut self,
+        dst_name: Option<&str>,
+        fp: ValueId,
+        args: &[ValueId],
+    ) -> Option<ValueId> {
         self.call_inner(dst_name, Callee::Indirect(fp), args)
     }
 
-    fn call_inner(&mut self, dst_name: Option<&str>, callee: Callee, args: &[ValueId]) -> Option<ValueId> {
+    fn call_inner(
+        &mut self,
+        dst_name: Option<&str>,
+        callee: Callee,
+        args: &[ValueId],
+    ) -> Option<ValueId> {
         let args = args.to_vec();
         match dst_name {
             Some(n) => Some(self.emit_def(n, |d| InstKind::Call { dst: Some(d), callee, args })),
@@ -502,8 +514,7 @@ impl FunctionBuilder<'_> {
     /// `UnifyFunctionExitNodes`: a single exit per function).
     pub fn ret(&mut self, ret: Option<ValueId>) {
         assert_eq!(
-            self.pb.prog.functions[self.func].exit_inst,
-            SENTINEL,
+            self.pb.prog.functions[self.func].exit_inst, SENTINEL,
             "function @{} already has a FUNEXIT; unify exits first",
             self.pb.prog.functions[self.func].name
         );
@@ -567,11 +578,8 @@ mod tests {
         }
         let prog = pb.finish().unwrap();
         let entry_block = prog.functions[main].entry_block();
-        let kinds: Vec<&'static str> = prog.blocks[entry_block]
-            .insts
-            .iter()
-            .map(|&i| prog.insts[i].kind.mnemonic())
-            .collect();
+        let kinds: Vec<&'static str> =
+            prog.blocks[entry_block].insts.iter().map(|&i| prog.insts[i].kind.mnemonic()).collect();
         // funentry, store (*g=h), alloc (&callee), store (*h=&callee), funexit
         assert_eq!(kinds, vec!["funentry", "store", "alloc", "store", "funexit"]);
         assert!(prog.function_object(callee).is_some());

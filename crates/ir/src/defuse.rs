@@ -70,12 +70,8 @@ mod tests {
         .unwrap();
         let du = DefUse::compute(&prog);
         let main = prog.entry_function();
-        let p = prog
-            .values
-            .iter_enumerated()
-            .find(|(_, v)| v.name == "p")
-            .map(|(id, _)| id)
-            .unwrap();
+        let p =
+            prog.values.iter_enumerated().find(|(_, v)| v.name == "p").map(|(id, _)| id).unwrap();
         // p used by two stores and one load
         assert_eq!(du.uses(p).len(), 3);
         let a = prog.functions[main].params[0];
@@ -84,12 +80,8 @@ mod tests {
         let g = prog.globals[0].0;
         assert_eq!(DefUse::def_inst(&prog, g), None);
         assert_eq!(du.uses(g).len(), 1);
-        let x = prog
-            .values
-            .iter_enumerated()
-            .find(|(_, v)| v.name == "x")
-            .map(|(id, _)| id)
-            .unwrap();
+        let x =
+            prog.values.iter_enumerated().find(|(_, v)| v.name == "x").map(|(id, _)| id).unwrap();
         // x used by funexit
         assert_eq!(du.uses(x).len(), 1);
         assert!(DefUse::def_inst(&prog, x).is_some());

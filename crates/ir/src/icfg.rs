@@ -47,7 +47,12 @@ impl Icfg {
         // First instruction(s) reached when control enters a block;
         // empty blocks (label + terminator only) are skipped through
         // transitively.
-        fn block_starts(prog: &Program, b: crate::ids::BlockId, seen: &mut Vec<crate::ids::BlockId>, out: &mut Vec<InstId>) {
+        fn block_starts(
+            prog: &Program,
+            b: crate::ids::BlockId,
+            seen: &mut Vec<crate::ids::BlockId>,
+            out: &mut Vec<InstId>,
+        ) {
             if seen.contains(&b) {
                 return;
             }

@@ -395,7 +395,7 @@ impl Parser {
         self.pass_bodies();
         if !self.diags.is_empty() {
             let mut diags = self.diags;
-            diags.sort_by(|a, b| (a.line, a.column).cmp(&(b.line, b.column)));
+            diags.sort_by_key(|d| (d.line, d.column));
             return Err(diags);
         }
         let last_line = self.last_line;
@@ -586,11 +586,16 @@ impl Parser {
         };
 
         // Pre-scan labels.
-        let is_label = |l: &Line| l.toks.len() == 2 && matches!(&l.toks[0], Tok::Ident(_)) && l.toks[1] == Tok::Punct(':');
+        let is_label = |l: &Line| {
+            l.toks.len() == 2 && matches!(&l.toks[0], Tok::Ident(_)) && l.toks[1] == Tok::Punct(':')
+        };
         let mut fb = self.pb.build_function(func);
         let mut block_ids: HashMap<String, BlockId> = HashMap::new();
         if body.is_empty() || !is_label(&body[0]) {
-            return err(header.no, format!("function `@{fname}` body must start with a block label"));
+            return err(
+                header.no,
+                format!("function `@{fname}` body must start with a block label"),
+            );
         }
         for l in body {
             if is_label(l) {
@@ -629,19 +634,20 @@ impl Parser {
 
         let globals = &self.global_vals;
         let func_ids = &self.func_ids;
-        let lookup = |locals: &HashMap<String, ValueId>, t: &Tok, lineno: usize| -> PResult<ValueId> {
-            match t {
-                Tok::Local(n) => locals
-                    .get(n)
-                    .copied()
-                    .ok_or_else(|| perr(lineno, format!("use of undefined value `%{n}`"))),
-                Tok::Global(n) => globals
-                    .get(n)
-                    .copied()
-                    .ok_or_else(|| perr(lineno, format!("unknown global `@{n}`"))),
-                other => err(lineno, format!("expected an operand, found `{other}`")),
-            }
-        };
+        let lookup =
+            |locals: &HashMap<String, ValueId>, t: &Tok, lineno: usize| -> PResult<ValueId> {
+                match t {
+                    Tok::Local(n) => locals
+                        .get(n)
+                        .copied()
+                        .ok_or_else(|| perr(lineno, format!("use of undefined value `%{n}`"))),
+                    Tok::Global(n) => globals
+                        .get(n)
+                        .copied()
+                        .ok_or_else(|| perr(lineno, format!("unknown global `@{n}`"))),
+                    other => err(lineno, format!("expected an operand, found `{other}`")),
+                }
+            };
 
         let mut in_block = false;
         let mut pending_phis: Vec<(crate::ids::InstId, usize, String, usize)> = Vec::new();
@@ -658,9 +664,16 @@ impl Parser {
             }
             let span_mark = fb.next_inst();
             let span_col = l.cols.first().copied().unwrap_or(1) as u32;
-            let define = |fbv: &mut HashMap<String, ValueId>, name: &str, v: ValueId, lineno: usize| -> PResult<()> {
+            let define = |fbv: &mut HashMap<String, ValueId>,
+                          name: &str,
+                          v: ValueId,
+                          lineno: usize|
+             -> PResult<()> {
                 if fbv.insert(name.to_string(), v).is_some() {
-                    return err(lineno, format!("value `%{name}` assigned twice (IR must be in SSA form)"));
+                    return err(
+                        lineno,
+                        format!("value `%{name}` assigned twice (IR must be in SSA form)"),
+                    );
                 }
                 Ok(())
             };
@@ -692,16 +705,23 @@ impl Parser {
                             let v = match kind {
                                 "stack" => fb.alloc_stack(&dst, &obj, fields, array),
                                 "heap" => fb.alloc_heap(&dst, &obj, fields, array),
-                                other => return err(l.no, format!("unknown alloc kind `{other}` (expected `stack` or `heap`)")),
+                                other => {
+                                    return err(
+                                        l.no,
+                                        format!(
+                                        "unknown alloc kind `{other}` (expected `stack` or `heap`)"
+                                    ),
+                                    )
+                                }
                             };
                             define(&mut locals, &dst, v, l.no)?;
                         }
                         "funaddr" => {
                             let fname = c.expect_global()?;
                             c.expect_end()?;
-                            let target = *func_ids
-                                .get(fname)
-                                .ok_or_else(|| perr(l.no, format!("unknown function `@{fname}`")))?;
+                            let target = *func_ids.get(fname).ok_or_else(|| {
+                                perr(l.no, format!("unknown function `@{fname}`"))
+                            })?;
                             let v = fb.funaddr(&dst, target);
                             define(&mut locals, &dst, v, l.no)?;
                         }
@@ -782,8 +802,22 @@ impl Parser {
                             define(&mut locals, &dst, v, l.no)?;
                         }
                         "call" | "icall" => {
-                            let v = self_parse_call(&mut c, op, Some(&dst), &mut fb, &locals, func_ids, globals, l.no)?;
-                            define(&mut locals, &dst, v.expect("call with dst returns a value"), l.no)?;
+                            let v = self_parse_call(
+                                &mut c,
+                                op,
+                                Some(&dst),
+                                &mut fb,
+                                &locals,
+                                func_ids,
+                                globals,
+                                l.no,
+                            )?;
+                            define(
+                                &mut locals,
+                                &dst,
+                                v.expect("call with dst returns a value"),
+                                l.no,
+                            )?;
                         }
                         other => return err(l.no, format!("unknown instruction `{other}`")),
                     }
@@ -817,14 +851,16 @@ impl Parser {
                             fb.free(ptr);
                         }
                         "call" | "icall" => {
-                            self_parse_call(&mut c, &k, None, &mut fb, &locals, func_ids, globals, l.no)?;
+                            self_parse_call(
+                                &mut c, &k, None, &mut fb, &locals, func_ids, globals, l.no,
+                            )?;
                         }
                         "goto" => {
                             let label = c.expect_ident()?;
                             c.expect_end()?;
-                            let target = *block_ids
-                                .get(label)
-                                .ok_or_else(|| perr(l.no, format!("unknown block label `{label}`")))?;
+                            let target = *block_ids.get(label).ok_or_else(|| {
+                                perr(l.no, format!("unknown block label `{label}`"))
+                            })?;
                             fb.goto(target);
                             in_block = false;
                         }
@@ -841,7 +877,10 @@ impl Parser {
                             }
                             c.expect_end()?;
                             if targets.len() < 2 {
-                                return err(l.no, "br needs at least two targets; use goto for one");
+                                return err(
+                                    l.no,
+                                    "br needs at least two targets; use goto for one",
+                                );
                             }
                             fb.br(&targets);
                             in_block = false;
@@ -861,7 +900,13 @@ impl Parser {
                         other => return err(l.no, format!("unknown instruction `{other}`")),
                     }
                 }
-                _ => return err_at(l.no, c.col_here(), format!("cannot parse line starting with {}", c.describe_here())),
+                _ => {
+                    return err_at(
+                        l.no,
+                        c.col_here(),
+                        format!("cannot parse line starting with {}", c.describe_here()),
+                    )
+                }
             }
             fb.set_spans_since(span_mark, l.no as u32, span_col);
         }
@@ -922,10 +967,7 @@ fn self_parse_call(
     let mut args = Vec::new();
     if !c.eat_punct(')') {
         loop {
-            let t = c
-                .next()
-                .cloned()
-                .ok_or_else(|| perr(lineno, "unterminated argument list"))?;
+            let t = c.next().cloned().ok_or_else(|| perr(lineno, "unterminated argument list"))?;
             args.push(lookup(&t)?);
             if c.eat_punct(')') {
                 break;
@@ -1014,15 +1056,14 @@ mod tests {
             .filter(|k| matches!(k, InstKind::Call { .. }))
             .collect();
         assert_eq!(calls.len(), 2);
-        assert!(matches!(calls[0], InstKind::Call { callee: Callee::Direct(f), .. } if *f == callee));
+        assert!(
+            matches!(calls[0], InstKind::Call { callee: Callee::Direct(f), .. } if *f == callee)
+        );
         assert!(matches!(calls[1], InstKind::Call { callee: Callee::Indirect(_), .. }));
         // ginit lowering put stores into main's entry.
         let entry = prog.functions[main].entry_block();
-        let stores = prog.blocks[entry]
-            .insts
-            .iter()
-            .filter(|&&i| prog.insts[i].kind.is_store())
-            .count();
+        let stores =
+            prog.blocks[entry].insts.iter().filter(|&&i| prog.insts[i].kind.is_store()).count();
         assert_eq!(stores, 2);
     }
 
@@ -1173,16 +1214,18 @@ mod more_tests {
 
     #[test]
     fn rejects_duplicate_globals_and_functions() {
-        let e = parse_program("global @g\nglobal @g\nfunc @main() {\nentry:\n  ret\n}\n").unwrap_err();
-        assert!(e.message.contains("duplicate global"), "{e}");
         let e =
-            parse_program("func @f() {\nentry:\n  ret\n}\nfunc @f() {\nentry:\n  ret\n}\n").unwrap_err();
+            parse_program("global @g\nglobal @g\nfunc @main() {\nentry:\n  ret\n}\n").unwrap_err();
+        assert!(e.message.contains("duplicate global"), "{e}");
+        let e = parse_program("func @f() {\nentry:\n  ret\n}\nfunc @f() {\nentry:\n  ret\n}\n")
+            .unwrap_err();
         assert!(e.message.contains("duplicate function"), "{e}");
     }
 
     #[test]
     fn rejects_duplicate_block_labels_and_params() {
-        let e = parse_program("func @main() {\nentry:\n  goto entry\nentry:\n  ret\n}\n").unwrap_err();
+        let e =
+            parse_program("func @main() {\nentry:\n  goto entry\nentry:\n  ret\n}\n").unwrap_err();
         assert!(e.message.contains("duplicate block label"), "{e}");
         let e = parse_program("func @main(%a, %a) {\nentry:\n  ret %a\n}\n").unwrap_err();
         assert!(e.message.contains("duplicate parameter"), "{e}");
@@ -1190,10 +1233,8 @@ mod more_tests {
 
     #[test]
     fn ginit_accepts_functions_and_globals_only() {
-        let e = parse_program(
-            "global @g\nginit @g, @nothing\nfunc @main() {\nentry:\n  ret\n}\n",
-        )
-        .unwrap_err();
+        let e = parse_program("global @g\nginit @g, @nothing\nfunc @main() {\nentry:\n  ret\n}\n")
+            .unwrap_err();
         assert!(e.message.contains("unknown global or function"), "{e}");
     }
 
@@ -1286,10 +1327,9 @@ mod recovery_tests {
     fn duplicate_function_body_is_not_built_twice() {
         // The duplicate's body must be skipped (building it against the
         // first declaration would abort), leaving exactly one diagnostic.
-        let diags = parse_program_all(
-            "func @f() {\nentry:\n  ret\n}\nfunc @f() {\nentry:\n  ret\n}\n",
-        )
-        .unwrap_err();
+        let diags =
+            parse_program_all("func @f() {\nentry:\n  ret\n}\nfunc @f() {\nentry:\n  ret\n}\n")
+                .unwrap_err();
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert!(diags[0].message.contains("duplicate function"), "{}", diags[0]);
     }
@@ -1313,8 +1353,8 @@ mod recovery_tests {
     fn syntax_errors_carry_token_columns() {
         // Missing `=` after `%p`: the diagnostic points at the token
         // where `=` was expected.
-        let diags =
-            parse_program_all("func @main() {\nentry:\n  %p alloc stack A\n  ret\n}\n").unwrap_err();
+        let diags = parse_program_all("func @main() {\nentry:\n  %p alloc stack A\n  ret\n}\n")
+            .unwrap_err();
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].line, 3);
         assert_eq!(diags[0].column, 6, "{}", diags[0]);

@@ -67,7 +67,12 @@ impl fmt::Display for Program {
 }
 
 impl Program {
-    fn fmt_inst(&self, f: &mut fmt::Formatter<'_>, _func: FuncId, i: crate::ids::InstId) -> fmt::Result {
+    fn fmt_inst(
+        &self,
+        f: &mut fmt::Formatter<'_>,
+        _func: FuncId,
+        i: crate::ids::InstId,
+    ) -> fmt::Result {
         match &self.insts[i].kind {
             InstKind::Alloc { dst, obj } => {
                 let o = &self.objects[*obj];
@@ -103,7 +108,13 @@ impl Program {
                 writeln!(f, "  {} = copy {}", self.fmt_value(*dst), self.fmt_value(*src))
             }
             InstKind::Field { dst, base, offset } => {
-                writeln!(f, "  {} = gep {}, {}", self.fmt_value(*dst), self.fmt_value(*base), offset)
+                writeln!(
+                    f,
+                    "  {} = gep {}, {}",
+                    self.fmt_value(*dst),
+                    self.fmt_value(*base),
+                    offset
+                )
             }
             InstKind::Load { dst, addr } => {
                 writeln!(f, "  {} = load {}", self.fmt_value(*dst), self.fmt_value(*addr))
@@ -119,7 +130,9 @@ impl Program {
                     Callee::Indirect(v) => format!("icall {}", self.fmt_value(*v)),
                 };
                 match dst {
-                    Some(d) => writeln!(f, "  {} = {}({})", self.fmt_value(*d), callee_s, ops.join(", ")),
+                    Some(d) => {
+                        writeln!(f, "  {} = {}({})", self.fmt_value(*d), callee_s, ops.join(", "))
+                    }
                     None => writeln!(f, "  {}({})", callee_s, ops.join(", ")),
                 }
             }

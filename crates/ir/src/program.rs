@@ -147,10 +147,7 @@ pub struct Program {
 impl Program {
     /// Looks up a function by name.
     pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
-        self.functions
-            .iter_enumerated()
-            .find(|(_, f)| f.name == name)
-            .map(|(id, _)| id)
+        self.functions.iter_enumerated().find(|(_, f)| f.name == name).map(|(id, _)| id)
     }
 
     /// The entry function, panicking with a clear message if absent.
@@ -227,10 +224,7 @@ impl Program {
 
     /// Iterates the instruction ids of `func` in block layout order.
     pub fn func_insts(&self, func: FuncId) -> impl Iterator<Item = InstId> + '_ {
-        self.functions[func]
-            .blocks
-            .iter()
-            .flat_map(move |&b| self.blocks[b].insts.iter().copied())
+        self.functions[func].blocks.iter().flat_map(move |&b| self.blocks[b].insts.iter().copied())
     }
 
     /// Total number of instructions.
@@ -241,11 +235,6 @@ impl Program {
     /// A human-readable location string for diagnostics.
     pub fn inst_location(&self, inst: InstId) -> String {
         let i = &self.insts[inst];
-        format!(
-            "{} in @{}:{}",
-            inst,
-            self.functions[i.func].name,
-            self.blocks[i.block].name
-        )
+        format!("{} in @{}:{}", inst, self.functions[i.func].name, self.blocks[i.block].name)
     }
 }

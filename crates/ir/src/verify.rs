@@ -131,7 +131,8 @@ fn verify_function(prog: &Program, func: FuncId) -> Result<(), VerifyError> {
     }
     // Direct-call arity.
     for i in prog.func_insts(func) {
-        if let InstKind::Call { callee: Callee::Direct(target), ref args, .. } = prog.insts[i].kind {
+        if let InstKind::Call { callee: Callee::Direct(target), ref args, .. } = prog.insts[i].kind
+        {
             let want = prog.functions[target].params.len();
             if args.len() != want {
                 return fail(format!(

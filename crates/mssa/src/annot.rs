@@ -96,12 +96,8 @@ mod tests {
         let aux = vsfs_andersen::analyze(&prog);
         let modref = ModRef::compute(&prog, &aux);
         let a = annotate(&prog, &aux, &modref);
-        let g = prog
-            .objects
-            .iter_enumerated()
-            .find(|(_, o)| o.name == "g")
-            .map(|(id, _)| id)
-            .unwrap();
+        let g =
+            prog.objects.iter_enumerated().find(|(_, o)| o.name == "g").map(|(id, _)| id).unwrap();
         let find = |m: &str| {
             prog.insts
                 .iter_enumerated()

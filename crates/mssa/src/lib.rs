@@ -143,18 +143,12 @@ impl MemorySsa {
 
     /// The objects flowing into `func` at its `FUNENTRY` (its χ set).
     pub fn entry_objects(&self, prog: &Program, func: FuncId) -> PointsToSet<ObjId> {
-        self.chis[prog.functions[func].entry_inst]
-            .iter()
-            .map(|c| c.obj)
-            .collect()
+        self.chis[prog.functions[func].entry_inst].iter().map(|c| c.obj).collect()
     }
 
     /// The objects flowing out of `func` at its `FUNEXIT` (its µ set).
     pub fn exit_objects(&self, prog: &Program, func: FuncId) -> PointsToSet<ObjId> {
-        self.mus[prog.functions[func].exit_inst]
-            .iter()
-            .map(|m| m.obj)
-            .collect()
+        self.mus[prog.functions[func].exit_inst].iter().map(|m| m.obj).collect()
     }
 
     /// Total number of µ/χ annotations (a size diagnostic).
@@ -169,11 +163,7 @@ mod tests {
     use vsfs_ir::parse_program;
 
     fn obj(prog: &Program, name: &str) -> ObjId {
-        prog.objects
-            .iter_enumerated()
-            .find(|(_, o)| o.name == name)
-            .map(|(id, _)| id)
-            .unwrap()
+        prog.objects.iter_enumerated().find(|(_, o)| o.name == name).map(|(id, _)| id).unwrap()
     }
 
     fn inst_by_mnemonic(prog: &Program, m: &str, nth: usize) -> InstId {
@@ -205,7 +195,13 @@ mod tests {
         let store = inst_by_mnemonic(&prog, "store", 0);
         let load = inst_by_mnemonic(&prog, "load", 0);
         let a = obj(&prog, "A");
-        assert_eq!(mssa.chis(store), &[Chi { obj: a, prev: Some(MssaDef::Inst(prog.functions[prog.entry_function()].entry_inst)) }]);
+        assert_eq!(
+            mssa.chis(store),
+            &[Chi {
+                obj: a,
+                prev: Some(MssaDef::Inst(prog.functions[prog.entry_function()].entry_inst))
+            }]
+        );
         assert_eq!(mssa.mus(load), &[Mu { obj: a, def: MssaDef::Inst(store) }]);
     }
 
@@ -294,11 +290,8 @@ mod tests {
         let aux = vsfs_andersen::analyze(&prog);
         let mssa = MemorySsa::build(&prog, &aux);
         let a = obj(&prog, "A");
-        let phis: Vec<(MemPhiId, &MemPhi)> = mssa
-            .memphis()
-            .iter_enumerated()
-            .filter(|(_, m)| m.obj == a)
-            .collect();
+        let phis: Vec<(MemPhiId, &MemPhi)> =
+            mssa.memphis().iter_enumerated().filter(|(_, m)| m.obj == a).collect();
         assert_eq!(phis.len(), 1, "one MEMPHI at the loop header");
         // Load consumes the header MEMPHI; the MEMPHI merges entry state
         // and the body store.
@@ -456,11 +449,8 @@ mod more_tests {
         let prog = prog.unwrap();
         let aux = vsfs_andersen::analyze(&prog);
         let mssa = MemorySsa::build(&prog, &aux);
-        let by_hand: usize = prog
-            .insts
-            .indices()
-            .map(|i| mssa.mus(i).len() + mssa.chis(i).len())
-            .sum();
+        let by_hand: usize =
+            prog.insts.indices().map(|i| mssa.mus(i).len() + mssa.chis(i).len()).sum();
         assert_eq!(by_hand, mssa.annotation_count());
         assert!(by_hand > 0);
     }

@@ -233,11 +233,7 @@ mod tests {
     use vsfs_ir::parse_program;
 
     fn obj(prog: &Program, name: &str) -> ObjId {
-        prog.objects
-            .iter_enumerated()
-            .find(|(_, o)| o.name == name)
-            .map(|(id, _)| id)
-            .unwrap()
+        prog.objects.iter_enumerated().find(|(_, o)| o.name == name).map(|(id, _)| id).unwrap()
     }
 
     #[test]

@@ -86,7 +86,18 @@ fn rename_function(
     // at this block in visit order).
     let mut walk: Vec<(u32, usize, Vec<ObjId>)> = Vec::new();
     walk.push((0, 0, Vec::new()));
-    visit_block(prog, ann, &cfg, &phis_by_block, &mut stacks, mus, chis, memphis, 0, &mut walk.last_mut().expect("just pushed").2);
+    visit_block(
+        prog,
+        ann,
+        &cfg,
+        &phis_by_block,
+        &mut stacks,
+        mus,
+        chis,
+        memphis,
+        0,
+        &mut walk.last_mut().expect("just pushed").2,
+    );
 
     while let Some(&mut (local, ref mut next_child, _)) = walk.last_mut() {
         let children = dt.children(local);
@@ -94,7 +105,18 @@ fn rename_function(
             let child = children[*next_child];
             *next_child += 1;
             let mut pushed = Vec::new();
-            visit_block(prog, ann, &cfg, &phis_by_block, &mut stacks, mus, chis, memphis, child, &mut pushed);
+            visit_block(
+                prog,
+                ann,
+                &cfg,
+                &phis_by_block,
+                &mut stacks,
+                mus,
+                chis,
+                memphis,
+                child,
+                &mut pushed,
+            );
             walk.push((child, 0, pushed));
         } else {
             let (_, _, pushed) = walk.pop().expect("walk non-empty");
@@ -148,11 +170,7 @@ fn visit_block(
         };
         let chi_objs: Vec<ObjId> = ann.chi_objs[i].iter().collect();
         for o in chi_objs {
-            let prev = if is_entry {
-                None
-            } else {
-                stacks.get(&o).and_then(|s| s.last()).copied()
-            };
+            let prev = if is_entry { None } else { stacks.get(&o).and_then(|s| s.last()).copied() };
             chis[i].push(Chi { obj: o, prev });
             stacks.entry(o).or_default().push(def_of(i));
             pushed.push(o);
@@ -248,12 +266,8 @@ mod tests {
             }
         }
         // The loop head merges tail and entry: memphi for g at head.
-        let g = prog
-            .objects
-            .iter_enumerated()
-            .find(|(_, o)| o.name == "g")
-            .map(|(id, _)| id)
-            .unwrap();
+        let g =
+            prog.objects.iter_enumerated().find(|(_, o)| o.name == "g").map(|(id, _)| id).unwrap();
         let head_phis: Vec<&MemPhi> = mssa
             .memphis()
             .iter()
@@ -261,9 +275,6 @@ mod tests {
             .collect();
         assert_eq!(head_phis.len(), 1);
         // And a memphi for g at tail (join of b1/b2).
-        assert!(mssa
-            .memphis()
-            .iter()
-            .any(|m| m.obj == g && prog.blocks[m.block].name == "tail"));
+        assert!(mssa.memphis().iter().any(|m| m.obj == g && prog.blocks[m.block].name == "tail"));
     }
 }

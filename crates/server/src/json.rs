@@ -247,9 +247,8 @@ impl<'a> Parser<'a> {
                             if self.pos + 4 >= self.bytes.len() {
                                 return Err("truncated \\u escape".to_string());
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                    .map_err(|_| "bad \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| "bad \\u escape".to_string())?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| "bad \\u escape".to_string())?;
                             // Surrogate pairs are not needed by the

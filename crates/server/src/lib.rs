@@ -33,8 +33,8 @@
 //! "name": fn, ["text": body]}` applied in order ([`source::SourceMap`]).
 //!
 //! `load` and `edit` accept an optional `"solver"` (`dense`, `sfs`,
-//! `vsfs`, or `cfgfree`; unknown names are `bad_request`) selecting the
-//! flow-sensitive engine for the workspace. An `edit` that omits it
+//! `vsfs`, `cfgfree`, or `unify`; unknown names are `bad_request`)
+//! selecting the resident engine for the workspace. An `edit` that omits it
 //! keeps the workspace's resident solver; naming a different one
 //! switches the workspace by an exact cold re-solve. Staged solvers (`sfs`,
 //! `vsfs`) re-solve edits incrementally and persist warm snapshots;
@@ -45,11 +45,15 @@
 //!
 //! `load` and `edit` accept optional budgets (`time_budget` seconds,
 //! `step_budget`, `mem_budget_mib`) mirroring the CLI's governed mode:
-//! the auxiliary stage has no sound fallback, so its trip *rejects* the
-//! request (`aux_budget`, resident state untouched); a flow-sensitive
-//! trip *applies* the edit but delivers the sound Andersen fallback,
-//! reported via `"degraded": true` and `"fallback"`, and drops the warm
-//! state so nothing degraded is ever treated as a completed fixpoint.
+//! a flow-sensitive trip delivers the sound Andersen fallback, reported
+//! via `"degraded": true` and `"fallback"`, and drops the warm state so
+//! nothing degraded is ever treated as a completed fixpoint. An
+//! auxiliary-stage trip takes the next rung of the soundness ladder: on
+//! a *load* the workspace degrades to the ungoverned unification tier
+//! (`"fallback": "unification-fallback"`; `check` is refused on such a
+//! state because no sound SVFG exists); on an *edit* the previous
+//! resident state beats any fallback, so the request is rejected
+//! (`aux_budget`, resident state untouched).
 //! [`ServerConfig::default_time_budget`] gives every request that sets
 //! no budget of its own a server-wide deadline.
 //!
@@ -231,10 +235,7 @@ impl Budgets {
         if let Some(steps) = self.steps {
             fs = fs.with_steps(steps);
         }
-        Some((
-            Governor::with_cancel(aux, cancel.clone()),
-            Governor::with_cancel(fs, cancel),
-        ))
+        Some((Governor::with_cancel(aux, cancel.clone()), Governor::with_cancel(fs, cancel)))
     }
 }
 
@@ -248,10 +249,7 @@ fn err_with(code: &str, message: impl Into<String>, extra: Vec<(&'static str, Js
     debug_assert!(ERROR_CODES.contains(&code), "error code '{code}' not in taxonomy");
     let mut pairs = vec![
         ("ok", Json::Bool(false)),
-        (
-            "error",
-            obj(vec![("code", s(code)), ("message", s(message.into()))]),
-        ),
+        ("error", obj(vec![("code", s(code)), ("message", s(message.into()))])),
     ];
     pairs.extend(extra);
     obj(pairs)
@@ -263,10 +261,7 @@ fn solve_error(e: &SolveError) -> Json {
             let mut pairs = vec![
                 ("code", s("parse_error")),
                 ("message", s(format!("{} parse error(s)", errs.len()))),
-                (
-                    "diagnostics",
-                    Json::Arr(errs.iter().map(|m| s(m.clone())).collect()),
-                ),
+                ("diagnostics", Json::Arr(errs.iter().map(|m| s(m.clone())).collect())),
             ];
             pairs.truncate(3);
             obj(vec![("ok", Json::Bool(false)), ("error", obj(pairs))])
@@ -275,7 +270,8 @@ fn solve_error(e: &SolveError) -> Json {
         SolveError::AuxBudget(r) => err(
             "aux_budget",
             format!(
-                "auxiliary stage degraded ({r:?}); no sound fallback exists, request rejected"
+                "auxiliary stage degraded ({r:?}); previous resident state beats any \
+                 fallback, edit rejected"
             ),
         ),
     }
@@ -292,10 +288,7 @@ fn solve_fields(state: &ProgramState, report: &SolveReport) -> Vec<(&'static str
         ("fingerprint", hex(report.fingerprint)),
         ("mode", s(state.analysis.mode)),
         ("degraded", Json::Bool(degraded)),
-        (
-            "fallback",
-            if degraded { s(state.analysis.mode) } else { Json::Null },
-        ),
+        ("fallback", if degraded { s(state.analysis.mode) } else { Json::Null }),
         ("incremental", Json::Bool(report.incremental)),
         ("restored", Json::Bool(report.restored)),
         ("total_nodes", n(report.total_nodes as f64)),
@@ -440,7 +433,9 @@ impl Server {
         };
         let op = op.to_string();
         match op.as_str() {
-            "ping" => return (obj(vec![("ok", Json::Bool(true)), ("op", s("ping"))]).to_line(), false),
+            "ping" => {
+                return (obj(vec![("ok", Json::Bool(true)), ("op", s("ping"))]).to_line(), false)
+            }
             "shutdown" => {
                 return (obj(vec![("ok", Json::Bool(true)), ("op", s("shutdown"))]).to_line(), true)
             }
@@ -519,7 +514,9 @@ impl Server {
                 None => {
                     return Err(err(
                         "bad_request",
-                        format!("unknown solver '{name}' (expected dense, sfs, vsfs, or cfgfree)"),
+                        format!(
+                            "unknown solver '{name}' (expected dense, sfs, vsfs, cfgfree, or unify)"
+                        ),
                     ))
                 }
             };
@@ -528,9 +525,7 @@ impl Server {
             opts.order = match order {
                 "fifo" => SolveOrder::Fifo,
                 "topo" => SolveOrder::Topo,
-                other => {
-                    return Err(err("bad_request", format!("unknown order '{other}'")))
-                }
+                other => return Err(err("bad_request", format!("unknown order '{other}'"))),
             };
         }
         if let Some(jobs) = req.get("jobs").and_then(Json::as_u64) {
@@ -580,8 +575,7 @@ impl Server {
                 pairs.extend(solve_fields(&state, &report));
                 self.persist(&id, &state);
                 self.quarantined.remove(&id);
-                self.programs
-                    .insert(id, Workspace { sources: SourceMap::parse(source), state });
+                self.programs.insert(id, Workspace { sources: SourceMap::parse(source), state });
                 obj(pairs)
             }
             Err(e) => solve_error(&e),
@@ -627,10 +621,7 @@ impl Server {
                     return err("bad_request", format!("delta[{i}] missing 'text'"))
                 }
                 (other, _) => {
-                    return err(
-                        "bad_request",
-                        format!("delta[{i}] has unknown action '{other}'"),
-                    )
+                    return err("bad_request", format!("delta[{i}] has unknown action '{other}'"))
                 }
             };
             match applied {
@@ -678,10 +669,7 @@ impl Server {
             Some(fname) => match prog.function_by_name(fname) {
                 Some(f) => Some(f),
                 None => {
-                    return Err(err(
-                        "unknown_function",
-                        format!("no function named '{fname}'"),
-                    ))
+                    return Err(err("unknown_function", format!("no function named '{fname}'")))
                 }
             },
             None => None,
@@ -758,6 +746,17 @@ impl Server {
             Err(e) => return e,
         };
         let state = &ws.state;
+        // A unification-fallback state holds only the *partial* Andersen
+        // result its load budget cut short; an SVFG staged from it could
+        // miss value-flow edges and silently drop findings. Refuse
+        // rather than under-report.
+        if state.analysis.mode == "unification-fallback" {
+            return err(
+                "aux_budget",
+                "cannot stage checkers: the auxiliary stage degraded to the \
+                 unification tier; reload within budget first",
+            );
+        }
         // Checkers walk the SVFG for witness paths. Cold-only solvers
         // never build one, so stage it on demand — the points-to view
         // under scrutiny is still the resident solver's result.
@@ -794,14 +793,8 @@ impl Server {
                 ("ok", Json::Bool(true)),
                 ("op", s("stats")),
                 ("programs", n(self.programs.len() as f64)),
-                (
-                    "ids",
-                    Json::Arr(self.programs.keys().map(|k| s(k.clone())).collect()),
-                ),
-                (
-                    "quarantined",
-                    Json::Arr(self.quarantined.keys().map(|k| s(k.clone())).collect()),
-                ),
+                ("ids", Json::Arr(self.programs.keys().map(|k| s(k.clone())).collect())),
+                ("quarantined", Json::Arr(self.quarantined.keys().map(|k| s(k.clone())).collect())),
             ]),
             Some(id) => {
                 if let Some(msg) = self.quarantined.get(id) {
@@ -1053,7 +1046,8 @@ fn serve_connection(
     let mut lines = LineReader::new(BufReader::new(stream));
     loop {
         if shutdown.load(Ordering::SeqCst) {
-            let _ = write_line(&mut writer, &err("shutting_down", "server is shutting down").to_line());
+            let _ =
+                write_line(&mut writer, &err("shutting_down", "server is shutting down").to_line());
             return Ok(());
         }
         match lines.next_line(max) {
@@ -1098,7 +1092,10 @@ fn bind_guarded(path: &Path) -> std::io::Result<UnixListener> {
             if !meta.file_type().is_socket() {
                 return Err(std::io::Error::new(
                     ErrorKind::AlreadyExists,
-                    format!("{} exists and is not a socket; refusing to replace it", path.display()),
+                    format!(
+                        "{} exists and is not a socket; refusing to replace it",
+                        path.display()
+                    ),
                 ));
             }
             match UnixStream::connect(path) {
@@ -1140,10 +1137,7 @@ mod tests {
     }
 
     fn error_code(resp: &Json) -> Option<String> {
-        resp.get("error")
-            .and_then(|e| e.get("code"))
-            .and_then(Json::as_str)
-            .map(String::from)
+        resp.get("error").and_then(|e| e.get("code")).and_then(Json::as_str).map(String::from)
     }
 
     #[test]
@@ -1154,25 +1148,15 @@ mod tests {
         let fp0 = loaded.get("fingerprint").unwrap().as_str().unwrap().to_string();
 
         let (resp, _) = server.handle_line(
-            &obj(vec![
-                ("op", s("pts")),
-                ("id", s("p")),
-                ("func", s("main")),
-                ("value", s("%a")),
-            ])
-            .to_line(),
+            &obj(vec![("op", s("pts")), ("id", s("p")), ("func", s("main")), ("value", s("%a"))])
+                .to_line(),
         );
         let pts = json::parse(&resp).unwrap();
         assert_eq!(pts.get("objects"), Some(&Json::Arr(vec![s("H")])));
 
         // A no-op edit keeps the fingerprint and dirties nothing.
         let (resp, _) = server.handle_line(
-            &obj(vec![
-                ("op", s("edit")),
-                ("id", s("p")),
-                ("delta", Json::Arr(vec![])),
-            ])
-            .to_line(),
+            &obj(vec![("op", s("edit")), ("id", s("p")), ("delta", Json::Arr(vec![]))]).to_line(),
         );
         let edited = json::parse(&resp).unwrap();
         assert_eq!(edited.get("ok"), Some(&Json::Bool(true)));
@@ -1217,9 +1201,8 @@ mod tests {
         assert_eq!(e.get("ok"), Some(&Json::Bool(false)));
         assert_eq!(error_code(&e).as_deref(), Some("parse_error"));
         // The resident program still answers queries.
-        let (resp, _) = server.handle_line(
-            &obj(vec![("op", s("stats")), ("id", s("p"))]).to_line(),
-        );
+        let (resp, _) =
+            server.handle_line(&obj(vec![("op", s("stats")), ("id", s("p"))]).to_line());
         let stats = json::parse(&resp).unwrap();
         assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
         assert_eq!(stats.get("warm"), Some(&Json::Bool(true)));
@@ -1231,9 +1214,8 @@ mod tests {
         load(&mut server, "a");
         load(&mut server, "b");
 
-        let (resp, stop) = server.handle_line(
-            &obj(vec![("op", s("debug_panic")), ("id", s("a"))]).to_line(),
-        );
+        let (resp, stop) =
+            server.handle_line(&obj(vec![("op", s("debug_panic")), ("id", s("a"))]).to_line());
         assert!(!stop, "a panicking request must not stop the server");
         let fault = json::parse(&resp).unwrap();
         assert_eq!(error_code(&fault).as_deref(), Some("internal_fault"));
@@ -1247,17 +1229,15 @@ mod tests {
         assert_eq!(error_code(&q).as_deref(), Some("workspace_quarantined"));
 
         // ...while 'b' still serves normally.
-        let (resp, _) = server.handle_line(
-            &obj(vec![("op", s("stats")), ("id", s("b"))]).to_line(),
-        );
+        let (resp, _) =
+            server.handle_line(&obj(vec![("op", s("stats")), ("id", s("b"))]).to_line());
         let stats = json::parse(&resp).unwrap();
         assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
         assert_eq!(stats.get("quarantined"), Some(&Json::Bool(false)));
 
         // stats observes the quarantine; load clears it.
-        let (resp, _) = server.handle_line(
-            &obj(vec![("op", s("stats")), ("id", s("a"))]).to_line(),
-        );
+        let (resp, _) =
+            server.handle_line(&obj(vec![("op", s("stats")), ("id", s("a"))]).to_line());
         let stats = json::parse(&resp).unwrap();
         assert_eq!(stats.get("quarantined"), Some(&Json::Bool(true)));
         let reloaded = load(&mut server, "a");
@@ -1271,10 +1251,8 @@ mod tests {
 
     #[test]
     fn oversized_requests_get_a_typed_error_and_the_stream_recovers() {
-        let mut server = Server::with_config(ServerConfig {
-            max_request_bytes: 256,
-            ..ServerConfig::default()
-        });
+        let mut server =
+            Server::with_config(ServerConfig { max_request_bytes: 256, ..ServerConfig::default() });
         // Direct handle_line guard.
         let big = format!("{{\"op\":\"ping\",\"pad\":\"{}\"}}", "x".repeat(400));
         let (resp, _) = server.handle_line(&big);
@@ -1312,9 +1290,8 @@ mod tests {
         assert_eq!(log.len(), 1, "{log:?}");
         assert!(log[0].contains("restored"), "{log:?}");
         assert_eq!(second.program_ids(), vec!["p"]);
-        let (resp, _) = second.handle_line(
-            &obj(vec![("op", s("stats")), ("id", s("p"))]).to_line(),
-        );
+        let (resp, _) =
+            second.handle_line(&obj(vec![("op", s("stats")), ("id", s("p"))]).to_line());
         let stats = json::parse(&resp).unwrap();
         assert_eq!(stats.get("fingerprint").unwrap().as_str().unwrap(), fp);
         assert_eq!(stats.get("warm"), Some(&Json::Bool(true)));

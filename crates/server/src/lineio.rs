@@ -185,10 +185,8 @@ mod tests {
 
     #[test]
     fn timeouts_preserve_partial_lines() {
-        let stutter = Stutter {
-            chunks: vec![b"par".to_vec(), b"tial\n".to_vec()],
-            block_next: true,
-        };
+        let stutter =
+            Stutter { chunks: vec![b"par".to_vec(), b"tial\n".to_vec()], block_next: true };
         let mut r = LineReader::new(BufReader::with_capacity(8, stutter));
         let mut timeouts = 0;
         loop {

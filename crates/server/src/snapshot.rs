@@ -117,7 +117,9 @@ pub fn path_for(dir: &Path, id: &str) -> PathBuf {
     let safe: String = id
         .chars()
         .take(48)
-        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' { c } else { '_' })
+        .map(
+            |c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' { c } else { '_' },
+        )
         .collect();
     let safe = if safe.is_empty() { "program".to_string() } else { safe };
     dir.join(format!("{safe}-{:016x}.{SNAPSHOT_EXT}", fnv1a(id.as_bytes())))
@@ -169,7 +171,13 @@ pub fn scan(dir: &Path) -> Vec<(PathBuf, Result<Snapshot, SnapshotError>)> {
         .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(SNAPSHOT_EXT))
         .collect();
     paths.sort();
-    paths.into_iter().map(|p| { let r = load(&p); (p, r) }).collect()
+    paths
+        .into_iter()
+        .map(|p| {
+            let r = load(&p);
+            (p, r)
+        })
+        .collect()
 }
 
 /// Removes `id`'s snapshot from `dir` if present.
@@ -269,8 +277,7 @@ impl<'a> Reader<'a> {
     fn str(&mut self) -> Result<String, SnapshotError> {
         let n = self.u32()? as usize;
         let bytes = self.take(n)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|_| SnapshotError::Malformed("non-UTF-8 string"))
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::Malformed("non-UTF-8 string"))
     }
 
     /// A declared element count, rejected up front when the remaining
@@ -287,6 +294,8 @@ impl<'a> Reader<'a> {
 }
 
 /// Parses and validates a full file image.
+type VersionTableRows = Vec<(u64, Vec<(u64, u32)>)>;
+
 pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
     if bytes.len() < HEADER_LEN {
         return if bytes.len() >= 8 && &bytes[..8] == MAGIC {
@@ -341,7 +350,7 @@ pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
     for _ in 0..n {
         pt.push((r.u64()?, idx_checked(r.u32()?)?));
     }
-    let mut tables: Vec<Vec<(u64, Vec<(u64, u32)>)>> = Vec::with_capacity(2);
+    let mut tables: Vec<VersionTableRows> = Vec::with_capacity(2);
     for _ in 0..2 {
         let n = r.count(12)?;
         let mut table = Vec::with_capacity(n);
@@ -449,9 +458,8 @@ mod tests {
             // Either a typed error, or (flips confined to the id/source
             // strings) a snapshot that differs from the original — never
             // a silent identical decode, and never a panic.
-            match decode(&corrupt) {
-                Ok(s) => assert_ne!(s, snap, "bit flip at byte {i} went unnoticed"),
-                Err(_) => {}
+            if let Ok(s) = decode(&corrupt) {
+                assert_ne!(s, snap, "bit flip at byte {i} went unnoticed");
             }
         }
     }
@@ -460,7 +468,10 @@ mod tests {
     fn version_and_magic_mismatches() {
         let mut bytes = encode(&sample());
         bytes[8] = 99; // version field
-        assert!(matches!(decode(&bytes).unwrap_err(), SnapshotError::VersionMismatch { found: 99 }));
+        assert!(matches!(
+            decode(&bytes).unwrap_err(),
+            SnapshotError::VersionMismatch { found: 99 }
+        ));
         let mut bytes = encode(&sample());
         bytes[0] = b'X';
         assert!(matches!(decode(&bytes).unwrap_err(), SnapshotError::BadMagic));

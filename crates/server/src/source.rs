@@ -165,7 +165,8 @@ impl SourceMap {
 mod tests {
     use super::*;
 
-    const SRC: &str = "global @g\n\nfunc @a() {\nentry:\n  ret\n}\n\nfunc @b(%x) {\nentry:\n  ret %x\n}\n";
+    const SRC: &str =
+        "global @g\n\nfunc @a() {\nentry:\n  ret\n}\n\nfunc @b(%x) {\nentry:\n  ret %x\n}\n";
 
     #[test]
     fn split_and_compose_round_trip_parses_identically() {
@@ -193,13 +194,13 @@ mod tests {
     #[test]
     fn rejects_bad_deltas() {
         let mut map = SourceMap::parse(SRC);
-        assert!(matches!(map.replace("zz", "func @zz() {\n}"), Err(SourceError::UnknownFunction(_))));
+        assert!(matches!(
+            map.replace("zz", "func @zz() {\n}"),
+            Err(SourceError::UnknownFunction(_))
+        ));
         assert!(matches!(map.add("a", "func @a() {\n}"), Err(SourceError::DuplicateFunction(_))));
         assert!(matches!(map.replace("a", "no header"), Err(SourceError::BadBody(_))));
-        assert!(matches!(
-            map.replace("a", "func @other() {\n}"),
-            Err(SourceError::BadBody(_))
-        ));
+        assert!(matches!(map.replace("a", "func @other() {\n}"), Err(SourceError::BadBody(_))));
         assert!(matches!(map.remove("zz"), Err(SourceError::UnknownFunction(_))));
     }
 }

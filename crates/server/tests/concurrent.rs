@@ -30,10 +30,7 @@ fn sock_path(tag: &str) -> PathBuf {
 }
 
 /// Starts `run_unix` on its own thread with the test program preloaded.
-fn spawn_server(
-    path: &Path,
-    config: ServerConfig,
-) -> std::thread::JoinHandle<std::io::Result<()>> {
+fn spawn_server(path: &Path, config: ServerConfig) -> std::thread::JoinHandle<std::io::Result<()>> {
     let path = path.to_path_buf();
     std::thread::spawn(move || {
         let mut server = Server::with_config(config);
@@ -153,12 +150,8 @@ fn concurrent_clients_are_bit_identical_to_sequential() {
 #[test]
 fn overload_sheds_with_typed_error_and_drain_is_graceful() {
     let path = sock_path("overload");
-    let config = ServerConfig {
-        workers: 1,
-        queue_depth: 1,
-        retry_after_ms: 200,
-        ..ServerConfig::default()
-    };
+    let config =
+        ServerConfig { workers: 1, queue_depth: 1, retry_after_ms: 200, ..ServerConfig::default() };
     let handle = spawn_server(&path, config);
 
     // A occupies the only worker (response proves the worker took it)…

@@ -11,8 +11,14 @@
 //!    re-solves cold to the exact complete fixpoint, fingerprint equal
 //!    to a from-scratch solve of the same text.
 //! 4. An auxiliary-stage trip *rejects* the edit with a typed error and
-//!    leaves the resident state untouched — a partial auxiliary result
-//!    would be unsound, so there is no fallback for it.
+//!    leaves the resident state untouched — the previous complete state
+//!    beats any fallback.
+//! 5. An auxiliary-stage trip on a *load* has no previous state to keep,
+//!    so it takes the next rung of the soundness ladder: the workspace
+//!    degrades to the ungoverned unification tier
+//!    (`"fallback": "unification-fallback"`), queries stay sound, and
+//!    `check` is refused because no sound SVFG can be staged from the
+//!    partial auxiliary result.
 
 use vsfs_server::json::{self, Json};
 use vsfs_server::Server;
@@ -72,16 +78,14 @@ fn degraded_edit_reports_fallback_and_stays_sound() {
         Some("flow-insensitive-fallback"),
         "{resp:?}"
     );
-    assert_eq!(
-        resp.get("mode").and_then(Json::as_str),
-        Some("flow-insensitive-fallback")
-    );
+    assert_eq!(resp.get("mode").and_then(Json::as_str), Some("flow-insensitive-fallback"));
 
     // Sound but imprecise: the fallback over-approximates — the load
     // sees both heap objects, a strict superset of the complete {Second}.
     let objs = pts_objects(&mut server, "%w");
     assert_eq!(objs, vec!["First", "Second"], "fallback must over-approximate");
-    let q = request(&mut server, "{\"op\":\"pts\",\"id\":\"p\",\"func\":\"main\",\"value\":\"%w\"}");
+    let q =
+        request(&mut server, "{\"op\":\"pts\",\"id\":\"p\",\"func\":\"main\",\"value\":\"%w\"}");
     assert_eq!(q.get("degraded"), Some(&Json::Bool(true)), "queries must flag degradation");
 
     // Never cached as complete: the warm state is gone.
@@ -103,9 +107,7 @@ fn degraded_edit_reports_fallback_and_stays_sound() {
 
     // Fingerprint equals a from-scratch load of the same text elsewhere.
     let mut fresh = Server::new();
-    let report = fresh
-        .load_source("q", &format!("{EDITED}\n"))
-        .expect("edited text solves");
+    let report = fresh.load_source("q", &format!("{EDITED}\n")).expect("edited text solves");
     assert_eq!(
         resp.get("fingerprint").and_then(Json::as_str),
         Some(format!("{:016x}", report.fingerprint).as_str()),
@@ -144,5 +146,59 @@ fn aux_budget_trip_rejects_the_edit_and_keeps_state() {
     assert_eq!(stats.get("fingerprint").and_then(Json::as_str), Some(fp0.as_str()));
     assert_eq!(stats.get("warm"), Some(&Json::Bool(true)));
     assert_eq!(stats.get("degraded"), Some(&Json::Bool(false)));
+    assert_eq!(pts_objects(&mut server, "%v"), vec!["Second"]);
+}
+
+#[test]
+fn aux_budget_trip_on_load_degrades_to_the_unification_tier() {
+    let mut server = Server::new();
+    // A zero deadline cancels the auxiliary stage at its first
+    // checkpoint. A load has no previous state to keep, so instead of
+    // rejecting, the workspace degrades to the ungoverned unification
+    // tier — the last sound rung of the ladder.
+    let resp = request(
+        &mut server,
+        &format!("{{\"op\":\"load\",\"id\":\"p\",\"source\":{},\"time_budget\":0.0}}", quote(PROG)),
+    );
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+    assert_eq!(resp.get("degraded"), Some(&Json::Bool(true)), "{resp:?}");
+    assert_eq!(
+        resp.get("fallback").and_then(Json::as_str),
+        Some("unification-fallback"),
+        "{resp:?}"
+    );
+    assert_eq!(resp.get("mode").and_then(Json::as_str), Some("unification-fallback"));
+
+    // Queries answer soundly from the unification tier: a superset of
+    // the complete flow-sensitive {Second}, flagged as degraded.
+    let objs = pts_objects(&mut server, "%v");
+    assert_eq!(objs, vec!["First", "Second"], "unify tier must over-approximate");
+    let q =
+        request(&mut server, "{\"op\":\"pts\",\"id\":\"p\",\"func\":\"main\",\"value\":\"%v\"}");
+    assert_eq!(q.get("degraded"), Some(&Json::Bool(true)), "queries must flag degradation");
+
+    // The partial auxiliary result must never back checker staging: an
+    // SVFG built from it could silently drop findings.
+    let check = request(&mut server, "{\"op\":\"check\",\"id\":\"p\"}");
+    assert_eq!(check.get("ok"), Some(&Json::Bool(false)), "{check:?}");
+    assert_eq!(
+        check.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+        Some("aux_budget"),
+        "{check:?}"
+    );
+
+    // Never treated as a completed fixpoint: no warm state, flagged in
+    // stats, and a fresh in-budget load replaces it with the complete
+    // answer.
+    let stats = request(&mut server, "{\"op\":\"stats\",\"id\":\"p\"}");
+    assert_eq!(stats.get("warm"), Some(&Json::Bool(false)), "{stats:?}");
+    assert_eq!(stats.get("degraded"), Some(&Json::Bool(true)));
+    assert_eq!(stats.get("mode").and_then(Json::as_str), Some("unification-fallback"));
+    let reload = request(
+        &mut server,
+        &format!("{{\"op\":\"load\",\"id\":\"p\",\"source\":{}}}", quote(PROG)),
+    );
+    assert_eq!(reload.get("ok"), Some(&Json::Bool(true)), "{reload:?}");
+    assert_eq!(reload.get("degraded"), Some(&Json::Bool(false)), "{reload:?}");
     assert_eq!(pts_objects(&mut server, "%v"), vec!["Second"]);
 }

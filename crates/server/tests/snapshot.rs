@@ -196,7 +196,10 @@ fn stale_snapshot_is_ignored_then_replaced() {
 
     let cfg = ServerConfig { snapshot_dir: Some(dir.clone()), ..ServerConfig::default() };
     let mut server = Server::with_config(cfg.clone());
-    request(&mut server, &format!("{{\"op\":\"load\",\"id\":\"w\",\"source\":{}}}", quote(&old_text)));
+    request(
+        &mut server,
+        &format!("{{\"op\":\"load\",\"id\":\"w\",\"source\":{}}}", quote(&old_text)),
+    );
     drop(server);
 
     // Loading *different* text under the same id must ignore the stale

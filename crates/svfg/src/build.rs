@@ -93,9 +93,7 @@ impl<'a> Builder<'a> {
                 InstKind::Call { .. } => self.svfg.callret_node(i),
                 _ => self.svfg.inst_node(i),
             }),
-            ValueDef::Param(f, _) => {
-                Some(self.svfg.inst_node(self.prog.functions[f].entry_inst))
-            }
+            ValueDef::Param(f, _) => Some(self.svfg.inst_node(self.prog.functions[f].entry_inst)),
             ValueDef::GlobalPtr(_) | ValueDef::Undefined => None,
         }
     }
@@ -342,12 +340,8 @@ mod tests {
         let cb = prog.function_by_name("cb").unwrap();
         let call = inst_by_mnemonic(&prog, "call", 0);
         let binding = svfg.call_binding(call, cb).expect("binding recorded");
-        let g = prog
-            .objects
-            .iter_enumerated()
-            .find(|(_, o)| o.name == "g")
-            .map(|(id, _)| id)
-            .unwrap();
+        let g =
+            prog.objects.iter_enumerated().find(|(_, o)| o.name == "g").map(|(id, _)| id).unwrap();
         assert!(binding.ins.contains(&g), "g flows into cb");
         assert!(binding.outs.contains(&g), "g flows back out");
         // No eager interprocedural indirect edge for the indirect call.
@@ -446,14 +440,8 @@ mod more_tests {
     #[test]
     fn edge_counts_are_consistent() {
         let (_, svfg) = pipeline(vsfs_workloads_src());
-        let counted: usize = svfg
-            .node_ids()
-            .map(|n| svfg.indirect_succs(n).len())
-            .sum::<usize>()
-            + svfg
-                .call_bindings()
-                .map(|(_, b)| b.ins.len() + b.outs.len())
-                .sum::<usize>();
+        let counted: usize = svfg.node_ids().map(|n| svfg.indirect_succs(n).len()).sum::<usize>()
+            + svfg.call_bindings().map(|(_, b)| b.ins.len() + b.outs.len()).sum::<usize>();
         assert_eq!(counted, svfg.indirect_edge_count());
         let direct: usize = svfg.node_ids().map(|n| svfg.direct_succs(n).len()).sum();
         assert_eq!(direct, svfg.direct_edge_count());

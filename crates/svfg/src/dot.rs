@@ -141,13 +141,17 @@ mod tests {
         let svfg = Svfg::build(&prog, &aux, &mssa);
         let free_node = svfg
             .node_ids()
-            .find(|&n| matches!(svfg.kind(n), crate::SvfgNodeKind::Inst(i)
-                if matches!(prog.insts[i].kind, vsfs_ir::InstKind::Free { .. })))
+            .find(|&n| {
+                matches!(svfg.kind(n), crate::SvfgNodeKind::Inst(i)
+                if matches!(prog.insts[i].kind, vsfs_ir::InstKind::Free { .. }))
+            })
             .expect("free node exists");
         let load_node = svfg
             .node_ids()
-            .find(|&n| matches!(svfg.kind(n), crate::SvfgNodeKind::Inst(i)
-                if matches!(prog.insts[i].kind, vsfs_ir::InstKind::Load { .. })))
+            .find(|&n| {
+                matches!(svfg.kind(n), crate::SvfgNodeKind::Inst(i)
+                if matches!(prog.insts[i].kind, vsfs_ir::InstKind::Load { .. }))
+            })
             .expect("load node exists");
         let mut ann = DotAnnotations::default();
         ann.extra_lines.insert(free_node, vec!["consume H@v1".into(), "yield H@v2".into()]);

@@ -114,11 +114,7 @@ impl StableKeys {
     /// Object, value, and instruction key tables for one parse.
     fn program_keys(
         prog: &Program,
-    ) -> (
-        IndexVec<ObjId, u64>,
-        IndexVec<ValueId, u64>,
-        IndexVec<InstId, u64>,
-    ) {
+    ) -> (IndexVec<ObjId, u64>, IndexVec<ValueId, u64>, IndexVec<InstId, u64>) {
         let fname = |f| fnv1a(prog.functions[f].name.as_bytes());
 
         // Objects: non-field kinds first (field bases are never fields —
@@ -127,7 +123,9 @@ impl StableKeys {
         let mut obj_key: IndexVec<ObjId, u64> = IndexVec::new();
         for (_, obj) in prog.objects.iter_enumerated() {
             let raw = match obj.kind {
-                ObjKind::Stack(f) => mix(mix(fnv1a(b"stack"), fname(f)), fnv1a(obj.name.as_bytes())),
+                ObjKind::Stack(f) => {
+                    mix(mix(fnv1a(b"stack"), fname(f)), fnv1a(obj.name.as_bytes()))
+                }
                 ObjKind::Heap(f) => mix(mix(fnv1a(b"heap"), fname(f)), fnv1a(obj.name.as_bytes())),
                 ObjKind::Global => mix(fnv1a(b"global"), fnv1a(obj.name.as_bytes())),
                 ObjKind::Function(f) => mix(fnv1a(b"func"), fname(f)),
@@ -170,8 +168,7 @@ impl StableKeys {
         // alone — they are singletons per function, and position-keying
         // them would let any body-length change (an appended statement)
         // shift the exit's identity and spuriously re-sign every caller.
-        let mut inst_key: IndexVec<InstId, u64> =
-            IndexVec::from_elem_n(0, prog.insts.len());
+        let mut inst_key: IndexVec<InstId, u64> = IndexVec::from_elem_n(0, prog.insts.len());
         for (f, _) in prog.functions.iter_enumerated() {
             for (pos, inst) in prog.func_insts(f).enumerate() {
                 inst_key[inst] = match prog.insts[inst].kind {
@@ -326,9 +323,10 @@ entry:
         for (ia, ib) in prog_a.func_insts(helper_a).zip(prog_b.func_insts(helper_b)) {
             assert_eq!(a.inst_key[ia], b.inst_key[ib]);
         }
-        // Every helper node key from the old parse resolves in the new.
+        // Looking up every old key in the new build must not panic;
+        // keys from the edited function are allowed to miss.
         for (key, _) in a.node_of_key.iter() {
-            assert!(b.node_of_key(*key).is_some() || true);
+            let _ = b.node_of_key(*key);
         }
     }
 

@@ -40,7 +40,9 @@ impl FaultPlan {
     /// Virtual deadline trip at the `checkpoint`-th governor checkpoint
     /// (1-based).
     pub fn deadline_at_checkpoint(checkpoint: u64) -> Self {
-        FaultPlan { spec: Some(FaultSpec { kind: FaultKind::DeadlineAtCheckpoint, at: checkpoint }) }
+        FaultPlan {
+            spec: Some(FaultSpec { kind: FaultKind::DeadlineAtCheckpoint, at: checkpoint }),
+        }
     }
 
     /// Virtual allocation-cap trip at the `checkpoint`-th governor
@@ -95,11 +97,9 @@ mod tests {
 
     #[test]
     fn seed_derivation_is_deterministic_and_small() {
-        for kind in [
-            FaultKind::PanicAtTask,
-            FaultKind::DeadlineAtCheckpoint,
-            FaultKind::MemCapAtCheckpoint,
-        ] {
+        for kind in
+            [FaultKind::PanicAtTask, FaultKind::DeadlineAtCheckpoint, FaultKind::MemCapAtCheckpoint]
+        {
             for seed in 0..64u64 {
                 let a = FaultPlan::from_seed(kind, seed);
                 let b = FaultPlan::from_seed(kind, seed);
@@ -113,7 +113,10 @@ mod tests {
 
     #[test]
     fn parse_accepts_each_kind_and_rejects_garbage() {
-        assert_eq!(FaultPlan::parse("panic:3").unwrap(), FaultPlan::from_seed(FaultKind::PanicAtTask, 3));
+        assert_eq!(
+            FaultPlan::parse("panic:3").unwrap(),
+            FaultPlan::from_seed(FaultKind::PanicAtTask, 3)
+        );
         assert_eq!(
             FaultPlan::parse("deadline:1").unwrap(),
             FaultPlan::from_seed(FaultKind::DeadlineAtCheckpoint, 1)

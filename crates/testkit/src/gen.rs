@@ -18,13 +18,7 @@ pub fn vec_with<T>(
 pub fn printable_string(rng: &mut Rng, len: std::ops::Range<usize>) -> String {
     let n = if len.start >= len.end { len.start } else { rng.gen_range(len) };
     (0..n)
-        .map(|_| {
-            if rng.gen_bool(0.05) {
-                '\n'
-            } else {
-                char::from(rng.gen_range(b' '..b'~' + 1))
-            }
-        })
+        .map(|_| if rng.gen_bool(0.05) { '\n' } else { char::from(rng.gen_range(b' '..b'~' + 1)) })
         .collect()
 }
 

@@ -73,10 +73,7 @@ pub fn check_cases(name: &str, cases: u32, mut prop: impl FnMut(&mut Rng)) {
         prop(&mut Rng::seed_from_u64(seed));
         return;
     }
-    let cases = std::env::var("VSFS_PROP_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(cases);
+    let cases = std::env::var("VSFS_PROP_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(cases);
     let mut stream = Rng::seed_from_u64(hash_name(name));
     for case in 0..cases {
         let seed = stream.next_u64();

@@ -129,41 +129,57 @@ impl ProtocolFuzzer {
             0 => r#"{"op":"ping"}"#.to_string(),
             1 => {
                 // Sometimes pick a resident solver: every real name
-                // (the server accepts all four), plus names the closed
-                // error taxonomy must reject as `bad_request`.
+                // (the server accepts all five), plus names the closed
+                // error taxonomy must reject as `bad_request` — among
+                // them `steensgaard`, a tier name that is *not* a
+                // solver name, and case-mangled variants.
                 let solver = [
                     "",
                     r#","solver":"dense""#,
                     r#","solver":"sfs""#,
                     r#","solver":"vsfs""#,
                     r#","solver":"cfgfree""#,
+                    r#","solver":"unify""#,
                     r#","solver":"ander""#,
+                    r#","solver":"steensgaard""#,
                     r#","solver":"CFGFREE""#,
+                    r#","solver":"UNIFY""#,
                     r#","solver":"""#,
-                ][self.rng.gen_range(0..8usize)];
-                format!(r#"{{"op":"load","id":"{id}","source":"func @f() {{\nentry:\n  %p = alloc stack A\n  ret\n}}\n"{solver}}}"#)
+                ][self.rng.gen_range(0..11usize)];
+                format!(
+                    r#"{{"op":"load","id":"{id}","source":"func @f() {{\nentry:\n  %p = alloc stack A\n  ret\n}}\n"{solver}}}"#
+                )
             }
             2 => format!(r#"{{"op":"pts","id":"{id}","value":"%p"}}"#),
             3 => format!(r#"{{"op":"alias","id":"{id}","p":"%p","q":"%p"}}"#),
             4 => format!(r#"{{"op":"stats","id":"{id}"}}"#),
             5 => r#"{"op":"stats"}"#.to_string(),
-            6 => format!(r#"{{"op":"edit","id":"{id}","delta":[]}}"#),
+            6 => {
+                // Edits may carry a solver switch too — valid, invalid,
+                // and the bare form all exercise the same parse path.
+                let solver = ["", r#","solver":"unify""#, r#","solver":"Unify""#]
+                    [self.rng.gen_range(0..3usize)];
+                format!(r#"{{"op":"edit","id":"{id}","delta":[]{solver}}}"#)
+            }
             _ => format!(r#"{{"op":"check","id":"{id}"}}"#),
         };
         req.into_bytes()
     }
 
     fn wrong_types(&mut self) -> Vec<u8> {
-        let pick = self.rng.gen_range(0..9u32);
+        let pick = self.rng.gen_range(0..10u32);
         let req = match pick {
             8 => r#"{"op":"load","id":"x","source":"func @f(){}","solver":7}"#.to_string(),
+            9 => r#"{"op":"edit","id":"x","delta":[],"solver":["unify"]}"#.to_string(),
             0 => r#"{"op":7}"#.to_string(),
             1 => r#"{"op":null}"#.to_string(),
             2 => r#"{"op":["ping"]}"#.to_string(),
             3 => r#"{"op":"pts","id":42,"value":true}"#.to_string(),
             4 => r#"{"op":"load","id":"x","source":12345}"#.to_string(),
             5 => r#"{"op":"edit","id":"x","delta":{"not":"an array"}}"#.to_string(),
-            6 => r#"{"op":"load","id":"x","source":"func @f(){}","time_budget":"soon"}"#.to_string(),
+            6 => {
+                r#"{"op":"load","id":"x","source":"func @f(){}","time_budget":"soon"}"#.to_string()
+            }
             _ => format!(r#"{{"op":"pts","id":"x","value":{}}}"#, self.rng.next_u64()),
         };
         req.into_bytes()
@@ -186,7 +202,7 @@ impl ProtocolFuzzer {
     }
 
     fn oversized(&mut self) -> Vec<u8> {
-        let mut line = format!(r#"{{"op":"ping","pad":""#).into_bytes();
+        let mut line = r#"{"op":"ping","pad":""#.as_bytes().to_vec();
         line.resize(self.oversize_to, b'x');
         line.extend_from_slice(b"\"}");
         line
@@ -213,7 +229,7 @@ impl ProtocolFuzzer {
                 for _ in 0..depth {
                     s.push_str("{\"a\":");
                 }
-                s.push_str("1");
+                s.push('1');
                 for _ in 0..depth {
                     s.push('}');
                 }
@@ -245,10 +261,7 @@ mod tests {
             assert_eq!(x.line, y.line);
         }
         let c: Vec<_> = ProtocolFuzzer::new(8, 1024).session(200);
-        assert!(
-            a.iter().zip(&c).any(|(x, y)| x.line != y.line),
-            "different seeds should differ"
-        );
+        assert!(a.iter().zip(&c).any(|(x, y)| x.line != y.line), "different seeds should differ");
     }
 
     #[test]
@@ -271,11 +284,8 @@ mod tests {
     #[test]
     fn oversized_cases_exceed_the_cap() {
         let mut f = ProtocolFuzzer::new(5, 256);
-        let over: Vec<_> = f
-            .session(300)
-            .into_iter()
-            .filter(|c| c.kind == CaseKind::Oversized)
-            .collect();
+        let over: Vec<_> =
+            f.session(300).into_iter().filter(|c| c.kind == CaseKind::Oversized).collect();
         assert!(!over.is_empty());
         assert!(over.iter().all(|c| c.line.len() > 256));
     }

@@ -194,7 +194,6 @@ pub fn corpus() -> Vec<CorpusProgram> {
     ]
 }
 
-
 /// A small event-loop "server": handler registry, per-event dispatch,
 /// connection state threaded through globals. Exercises indirect calls,
 /// strong and weak updates, loops, and interprocedural chains together.
@@ -332,8 +331,8 @@ mod tests {
     #[test]
     fn corpus_parses_and_verifies() {
         for p in corpus() {
-            let prog = vsfs_ir::parse_program(p.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let prog =
+                vsfs_ir::parse_program(p.source).unwrap_or_else(|e| panic!("{}: {e}", p.name));
             vsfs_ir::verify::verify(&prog).unwrap_or_else(|e| panic!("{}: {e}", p.name));
         }
     }

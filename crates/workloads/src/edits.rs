@@ -76,12 +76,10 @@ fn edit_script_with(
     );
     let n = config.functions;
     assert!(n > 0, "edit_script needs at least one function besides main");
-    let eligible_count =
-        ((config.edit_fraction * n as f64).ceil() as usize).clamp(1, n);
+    let eligible_count = ((config.edit_fraction * n as f64).ceil() as usize).clamp(1, n);
     // Spread eligible indices across the whole function range so edits
     // hit different call-graph depths.
-    let eligible: Vec<usize> =
-        (0..eligible_count).map(|k| k * n / eligible_count).collect();
+    let eligible: Vec<usize> = (0..eligible_count).map(|k| k * n / eligible_count).collect();
 
     let mut rng = Rng::seed_from_u64(edit_seed);
     let mut salts = vec![0u64; n];
@@ -160,10 +158,7 @@ mod tests {
             assert_ne!(function_text(&prev, &step.name).unwrap(), step.text);
             // Splicing the text into the previous source reproduces the
             // post-edit source exactly.
-            let spliced = prev.replace(
-                &function_text(&prev, &step.name).unwrap(),
-                &step.text,
-            );
+            let spliced = prev.replace(&function_text(&prev, &step.name).unwrap(), &step.text);
             assert_eq!(spliced, next);
             prev = next;
         }
@@ -179,8 +174,10 @@ mod tests {
             // A local edit extends the baseline body: every original
             // line survives, and the new lines are the private epilogue.
             assert_ne!(step.text, before, "a local edit must change the text");
-            let old_lines: Vec<&str> =
-                before.lines().filter(|l| l.trim() != "ret" && !l.trim().starts_with("ret ")).collect();
+            let old_lines: Vec<&str> = before
+                .lines()
+                .filter(|l| l.trim() != "ret" && !l.trim().starts_with("ret "))
+                .collect();
             for line in &old_lines {
                 assert!(
                     step.text.contains(line),

@@ -16,9 +16,9 @@
 //! | `indirect_call_fraction` | δ nodes and on-the-fly call-graph work |
 //! | `globals` + `global_traffic` | long interprocedural def-use chains |
 
-use vsfs_testkit::Rng;
 use vsfs_ir::build::{FunctionBuilder, GInitVal};
 use vsfs_ir::{FuncId, Program, ProgramBuilder, ValueId};
+use vsfs_testkit::Rng;
 
 /// Tuning knobs for one generated program.
 #[derive(Debug, Clone)]
@@ -246,11 +246,8 @@ impl<'c> GenState<'c> {
     /// global initialisers.
     fn declare(&mut self, pb: &mut ProgramBuilder) {
         for i in 0..self.cfg.globals {
-            let fields = if self.rng.gen_bool(self.cfg.field_fraction) {
-                self.cfg.max_fields
-            } else {
-                1
-            };
+            let fields =
+                if self.rng.gen_bool(self.cfg.field_fraction) { self.cfg.max_fields } else { 1 };
             let array = self.rng.gen_bool(self.cfg.array_fraction);
             let (v, _) = pb.add_global(&format!("g{i}"), fields, array);
             self.globals.push(v);
@@ -309,8 +306,11 @@ impl<'c> GenState<'c> {
             let fork_seed = self.rng.next_u64();
             let salt = self.salts.get(index).copied().unwrap_or(0);
             let local = salt != 0 && salt % 2 == 0;
-            let seed =
-                if local { fork_seed } else { fork_seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) };
+            let seed = if local {
+                fork_seed
+            } else {
+                fork_seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            };
             Some((
                 std::mem::replace(&mut self.rng, Rng::seed_from_u64(seed)),
                 std::mem::replace(&mut self.counter, 0),
@@ -396,7 +396,6 @@ impl<'c> GenState<'c> {
         // targets, but never general store targets: arbitrary stores into
         // globals would merge unrelated object graphs program-wide.
 
-
         // Allocations up front (they dominate everything).
         let mut my_allocs: Vec<ValueId> = Vec::new();
         for _ in 0..self.cfg.allocs_per_function {
@@ -420,10 +419,9 @@ impl<'c> GenState<'c> {
             let count = self.funcs.len().min(8);
             for k in 0..count {
                 let callee = self.funcs[k * self.funcs.len() / count];
-                let (Some(a0), Some(a1)) = (
-                    self.pick_payload(&pool, &my_allocs),
-                    self.pick_payload(&pool, &my_allocs),
-                ) else {
+                let (Some(a0), Some(a1)) =
+                    (self.pick_payload(&pool, &my_allocs), self.pick_payload(&pool, &my_allocs))
+                else {
                     continue;
                 };
                 let dst = self.fresh("r");
@@ -549,10 +547,9 @@ impl<'c> GenState<'c> {
         if self.funcs.is_empty() {
             return;
         }
-        let (Some(a0), Some(a1)) = (
-            self.pick_payload(pool, my_allocs),
-            self.pick_payload(pool, my_allocs),
-        ) else {
+        let (Some(a0), Some(a1)) =
+            (self.pick_payload(pool, my_allocs), self.pick_payload(pool, my_allocs))
+        else {
             return;
         };
         let indirect =
@@ -573,8 +570,7 @@ impl<'c> GenState<'c> {
             let callee = if self.rng.gen_bool(self.cfg.backward_call_fraction) {
                 self.funcs[self.rng.gen_range(0..self.funcs.len())]
             } else if func_index + 1 < self.funcs.len() {
-                let comm_end =
-                    (((func_index / COMMUNITY) + 1) * COMMUNITY).min(self.funcs.len());
+                let comm_end = (((func_index / COMMUNITY) + 1) * COMMUNITY).min(self.funcs.len());
                 let hi = if func_index + 1 < comm_end && self.rng.gen_bool(0.85) {
                     comm_end
                 } else {

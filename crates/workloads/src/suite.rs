@@ -90,19 +90,14 @@ fn config(seed: u64, functions: usize, segments: usize, profile: Profile) -> Wor
 /// The 15 benchmark specs, in Table II order.
 pub fn suite() -> Vec<BenchmarkSpec> {
     use Profile::*;
-    let spec = |name,
-                paper_loc,
-                description,
-                seed,
-                functions,
-                segments,
-                profile,
-                paper_sfs_oom| BenchmarkSpec {
-        name,
-        paper_loc,
-        description,
-        config: config(seed, functions, segments, profile),
-        paper_sfs_oom,
+    let spec = |name, paper_loc, description, seed, functions, segments, profile, paper_sfs_oom| {
+        BenchmarkSpec {
+            name,
+            paper_loc,
+            description,
+            config: config(seed, functions, segments, profile),
+            paper_sfs_oom,
+        }
     };
     vec![
         spec("du", 27_704, "Disk usage (GNU)", 101, 16, 3, Light, false),
@@ -177,8 +172,7 @@ mod all_benchmarks_generate {
     fn all_fifteen_generate_and_verify() {
         for b in suite() {
             let prog = crate::generate(&b.config);
-            vsfs_ir::verify::verify(&prog)
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            vsfs_ir::verify::verify(&prog).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert!(
                 prog.inst_count() > 300,
                 "{} generated only {} instructions",
@@ -193,9 +187,7 @@ mod all_benchmarks_generate {
     /// largest heavy benchmark.
     #[test]
     fn relative_sizes_follow_table2() {
-        let size = |name: &str| {
-            crate::generate(&benchmark(name).unwrap().config).inst_count()
-        };
+        let size = |name: &str| crate::generate(&benchmark(name).unwrap().config).inst_count();
         let du = size("du");
         let bash = size("bash");
         let lynx = size("lynx");

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let t = std::time::Instant::now();
     let aux = andersen::analyze(&prog);
-    println!("\nandersen: {:.3}s ({} call edges)", t.elapsed().as_secs_f64(), aux.callgraph.edge_count());
+    println!(
+        "\nandersen: {:.3}s ({} call edges)",
+        t.elapsed().as_secs_f64(),
+        aux.callgraph.edge_count()
+    );
 
     let mssa = MemorySsa::build(&prog, &aux);
     let svfg = Svfg::build(&prog, &aux, &mssa);
@@ -40,12 +44,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n{:<26} {:>12} {:>12}", "", "SFS", "VSFS");
     let row = |k: &str, a: String, b: String| println!("{k:<26} {a:>12} {b:>12}");
-    row("main phase (s)", format!("{:.3}", sfs.stats.solve_seconds), format!("{:.3}", vsfs.stats.solve_seconds));
+    row(
+        "main phase (s)",
+        format!("{:.3}", sfs.stats.solve_seconds),
+        format!("{:.3}", vsfs.stats.solve_seconds),
+    );
     row("versioning (s)", "-".into(), format!("{:.3}", vsfs.stats.versioning_seconds));
-    row("object-set unions", sfs.stats.object_propagations.to_string(), vsfs.stats.object_propagations.to_string());
-    row("stored object sets", sfs.stats.stored_object_sets.to_string(), vsfs.stats.stored_object_sets.to_string());
-    row("stored set elements", sfs.stats.stored_object_elems.to_string(), vsfs.stats.stored_object_elems.to_string());
-    row("strong updates", sfs.stats.strong_updates.to_string(), vsfs.stats.strong_updates.to_string());
+    row(
+        "object-set unions",
+        sfs.stats.object_propagations.to_string(),
+        vsfs.stats.object_propagations.to_string(),
+    );
+    row(
+        "stored object sets",
+        sfs.stats.stored_object_sets.to_string(),
+        vsfs.stats.stored_object_sets.to_string(),
+    );
+    row(
+        "stored set elements",
+        sfs.stats.stored_object_elems.to_string(),
+        vsfs.stats.stored_object_elems.to_string(),
+    );
+    row(
+        "strong updates",
+        sfs.stats.strong_updates.to_string(),
+        vsfs.stats.strong_updates.to_string(),
+    );
 
     // Precision is identical — the paper's central claim (Section IV-E).
     let equal = vsfs::core::same_precision(&prog, &sfs, &vsfs);
@@ -53,11 +77,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(equal, "SFS and VSFS must agree");
 
     // Flow-sensitivity refines the auxiliary analysis.
-    let refined = prog
-        .values
-        .indices()
-        .filter(|&v| vsfs.value_pts(v).len() < aux.value_pts(v).len())
-        .count();
+    let refined =
+        prog.values.indices().filter(|&v| vsfs.value_pts(v).len() < aux.value_pts(v).len()).count();
     println!(
         "values with strictly smaller points-to sets than Andersen's: {refined}/{}",
         prog.values.len()

@@ -55,10 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (id, inst) in prog.insts.iter_enumerated() {
         let InstKind::Load { dst, addr } = inst.kind else { continue };
         let fs_empty = result.value_pts(dst).is_empty();
-        let would_hold_something = aux
-            .value_pts(addr)
-            .iter()
-            .any(|o| !aux.object_pts(o).is_empty());
+        let would_hold_something =
+            aux.value_pts(addr).iter().any(|o| !aux.object_pts(o).is_empty());
         if fs_empty && would_hold_something {
             flagged += 1;
             println!(
@@ -77,11 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // a path-sensitive checker would catch it.
     // `%safe` is never flagged.
     let by_name = |n: &str| {
-        prog.values
-            .iter_enumerated()
-            .find(|(_, v)| v.name == n)
-            .map(|(id, _)| id)
-            .expect("value")
+        prog.values.iter_enumerated().find(|(_, v)| v.name == n).map(|(id, _)| id).expect("value")
     };
     assert!(result.value_pts(by_name("early")).is_empty());
     assert!(!result.value_pts(by_name("late")).is_empty());

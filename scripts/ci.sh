@@ -147,4 +147,18 @@ echo "== solver equivalence gate: sfs = vsfs = cfgfree on the serving workloads 
 cargo run --release -p vsfs-bench --bin solver_matrix -- ninja,bake --gate-equivalence
 
 echo
+echo "== soundness chain: flow-sensitive <= andersen <= unify <= steensgaard =="
+cargo test --release -q --test soundness_chain
+
+echo
+echo "== unify gate: >= 50x cheaper than andersen, region sharding >= cost-only =="
+cargo run --release -p vsfs-bench --bin unify_bench -- bake --runs 3 \
+  --gate-ratio 50 --gate-sharding
+
+echo
+echo "== lint gate: rustfmt clean, clippy clean at -D warnings =="
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo
 echo "CI OK"

@@ -46,5 +46,9 @@ echo "== Solver matrix: sfs/vsfs/cfgfree time, memory, precision (writes results
 ./target/release/solver_matrix
 
 echo
+echo "== Unification tier: cost ratio and alias-region sharding (writes results/BENCH_unify.json) =="
+./target/release/unify_bench
+
+echo
 echo "== Micro-benches (phases, versioning scaling, ablations) =="
 cargo bench -p vsfs-bench

@@ -106,12 +106,7 @@ fn pre_cancelled_token_degrades_immediately_and_cleanly() {
         cancel.cancel();
         let gov = Governor::with_cancel(Budget::unlimited(), cancel);
         let ga = run_governed(&p, 2, &gov);
-        assert_eq!(
-            ga.completion,
-            Completion::Degraded(DegradeReason::Cancelled),
-            "{}",
-            c.name
-        );
+        assert_eq!(ga.completion, Completion::Degraded(DegradeReason::Cancelled), "{}", c.name);
         // The same pipeline still solves normally afterwards.
         let again = run_governed(&p, 2, &Governor::unlimited());
         assert!(again.is_complete(), "{}", c.name);
@@ -120,7 +115,8 @@ fn pre_cancelled_token_degrades_immediately_and_cleanly() {
 
 #[test]
 fn seeded_faults_are_bit_identical_across_job_counts() {
-    let kinds = [FaultKind::PanicAtTask, FaultKind::DeadlineAtCheckpoint, FaultKind::MemCapAtCheckpoint];
+    let kinds =
+        [FaultKind::PanicAtTask, FaultKind::DeadlineAtCheckpoint, FaultKind::MemCapAtCheckpoint];
     for c in vsfs_workloads::corpus::corpus() {
         for kind in kinds {
             for seed in 1..=3u64 {
@@ -141,15 +137,63 @@ fn seeded_faults_are_bit_identical_across_job_counts() {
                     assert_eq!(ga.mode, first.mode, "{label}");
                     assert_eq!(ga.degraded_stage, first.degraded_stage, "{label}");
                     for v in p0.prog.values.indices() {
-                        assert_eq!(
-                            ga.result.value_pts(v),
-                            first.result.value_pts(v),
-                            "{label}"
-                        );
+                        assert_eq!(ga.result.value_pts(v), first.result.value_pts(v), "{label}");
                     }
                     assert_eq!(ga.result.callgraph_edges, first.result.callgraph_edges, "{label}");
                 }
             }
+        }
+    }
+}
+
+/// The second rung of the ladder: an auxiliary-stage trip during a
+/// from-scratch solve no longer errors — the (ungoverned) unification
+/// tier stands in, tagged `"unification-fallback"` / stage `"andersen"`,
+/// and its points-to sets over-approximate both the complete
+/// flow-sensitive result and the Andersen tier above them.
+#[test]
+fn aux_stage_trip_takes_the_unification_rung() {
+    for c in vsfs_workloads::corpus::corpus() {
+        let p = pipeline(c.source, 1);
+        let complete = vsfs_core::run_vsfs(&p.prog, &p.aux, &p.mssa, &p.svfg);
+
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let aux_gov = Governor::with_cancel(Budget::unlimited(), cancel);
+        let (state, report) = vsfs_core::solve_program(
+            c.source,
+            vsfs_core::IncrementalOptions::default(),
+            Some(&aux_gov),
+            None,
+        )
+        .unwrap_or_else(|e| panic!("{}: the rung must absorb the trip, got {e:?}", c.name));
+
+        assert_eq!(state.analysis.mode, "unification-fallback", "{}", c.name);
+        assert_eq!(state.analysis.degraded_stage, Some("andersen"), "{}", c.name);
+        assert_eq!(
+            state.analysis.completion,
+            Completion::Degraded(DegradeReason::Cancelled),
+            "{}",
+            c.name
+        );
+        assert!(!report.incremental, "{}", c.name);
+
+        // Sound: the delivered tier contains every flow-sensitive fact.
+        // (Value ids align because both states parse the same text.)
+        for v in p.prog.values.indices() {
+            assert!(
+                state.analysis.result.value_pts(v).is_superset(complete.value_pts(v)),
+                "{}: unify rung pt(%{}) misses flow-sensitive objects",
+                c.name,
+                p.prog.values[v].name
+            );
+        }
+        for edge in &complete.callgraph_edges {
+            assert!(
+                state.analysis.result.callgraph_edges.contains(edge),
+                "{}: unify rung call graph misses {edge:?}",
+                c.name
+            );
         }
     }
 }

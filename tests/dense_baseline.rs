@@ -43,10 +43,7 @@ fn dense_matches_staged_on_call_free_programs() {
     // bypass edge: the two formulations compute the same fixpoint.
     for p in vsfs_workloads::corpus::corpus() {
         let prog = parse_program(p.source).unwrap();
-        let has_calls = prog
-            .insts
-            .iter()
-            .any(|i| matches!(i.kind, vsfs_ir::InstKind::Call { .. }));
+        let has_calls = prog.insts.iter().any(|i| matches!(i.kind, vsfs_ir::InstKind::Call { .. }));
         if has_calls {
             continue;
         }
@@ -57,9 +54,11 @@ fn dense_matches_staged_on_call_free_programs() {
         let dense = vsfs_core::run_dense(&prog, &aux);
         for v in prog.values.indices() {
             assert_eq!(
-                dense.value_pts(v), staged.value_pts(v),
+                dense.value_pts(v),
+                staged.value_pts(v),
                 "{}: %{} differs between dense and staged",
-                p.name, prog.values[v].name
+                p.name,
+                prog.values[v].name
             );
         }
     }
@@ -71,18 +70,10 @@ fn dense_gets_flow_sensitive_basics_right() {
     let aux = andersen::analyze(&prog);
     let dense = vsfs_core::run_dense(&prog, &aux);
     let val = |n: &str| {
-        prog.values
-            .iter_enumerated()
-            .find(|(_, v)| v.name == n)
-            .map(|(id, _)| id)
-            .unwrap()
+        prog.values.iter_enumerated().find(|(_, v)| v.name == n).map(|(id, _)| id).unwrap()
     };
-    let names = |v| {
-        dense.value_pts(v)
-            .iter()
-            .map(|o| prog.objects[o].name.clone())
-            .collect::<Vec<_>>()
-    };
+    let names =
+        |v| dense.value_pts(v).iter().map(|o| prog.objects[o].name.clone()).collect::<Vec<_>>();
     assert_eq!(names(val("before")), vec!["First"]);
     assert_eq!(names(val("after")), vec!["Second"], "dense strong update");
     assert!(dense.stats.strong_updates > 0);
@@ -119,12 +110,8 @@ fn dense_kills_across_calls_where_staged_cannot() {
     let svfg = Svfg::build(&prog, &aux, &mssa);
     let staged = vsfs_core::run_vsfs(&prog, &aux, &mssa, &svfg);
     let dense = vsfs_core::run_dense(&prog, &aux);
-    let after = prog
-        .values
-        .iter_enumerated()
-        .find(|(_, v)| v.name == "after")
-        .map(|(id, _)| id)
-        .unwrap();
+    let after =
+        prog.values.iter_enumerated().find(|(_, v)| v.name == "after").map(|(id, _)| id).unwrap();
     let names = |r: &vsfs_core::FlowSensitiveResult| {
         let mut v: Vec<String> =
             r.value_pts(after).iter().map(|o| prog.objects[o].name.clone()).collect();

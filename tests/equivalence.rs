@@ -100,11 +100,7 @@ fn strong_update_behaviour() {
     let prog = parse_program(vsfs_workloads::corpus::STRONG_UPDATE).unwrap();
     let (sfs, vsfs, cfgfree) = full_pipeline(&prog);
     let val = |name: &str| {
-        prog.values
-            .iter_enumerated()
-            .find(|(_, v)| v.name == name)
-            .map(|(id, _)| id)
-            .unwrap()
+        prog.values.iter_enumerated().find(|(_, v)| v.name == name).map(|(id, _)| id).unwrap()
     };
     let obj_name = |o| prog.objects[o].name.clone();
     for (label, r) in [("sfs", &sfs), ("vsfs", &vsfs), ("cfgfree", &cfgfree)] {
@@ -122,12 +118,7 @@ fn strong_update_behaviour() {
 fn weak_update_on_arrays() {
     let prog = parse_program(vsfs_workloads::corpus::WEAK_ARRAY).unwrap();
     let (sfs, vsfs, cfgfree) = full_pipeline(&prog);
-    let x = prog
-        .values
-        .iter_enumerated()
-        .find(|(_, v)| v.name == "x")
-        .map(|(id, _)| id)
-        .unwrap();
+    let x = prog.values.iter_enumerated().find(|(_, v)| v.name == "x").map(|(id, _)| id).unwrap();
     for r in [&sfs, &vsfs, &cfgfree] {
         let mut names: Vec<String> =
             r.value_pts(x).iter().map(|o| prog.objects[o].name.clone()).collect();
@@ -142,11 +133,7 @@ fn flow_order_precision_beats_andersen() {
     let aux = andersen::analyze(&prog);
     let (sfs, vsfs, cfgfree) = full_pipeline(&prog);
     let val = |name: &str| {
-        prog.values
-            .iter_enumerated()
-            .find(|(_, v)| v.name == name)
-            .map(|(id, _)| id)
-            .unwrap()
+        prog.values.iter_enumerated().find(|(_, v)| v.name == name).map(|(id, _)| id).unwrap()
     };
     // Andersen (flow-insensitive) thinks the early load can see Obj.
     assert_eq!(aux.value_pts(val("early")).len(), 1);
@@ -177,11 +164,7 @@ fn linked_list_field_flow() {
     let prog = parse_program(vsfs_workloads::corpus::LINKED_LIST).unwrap();
     let (sfs, vsfs, cfgfree) = full_pipeline(&prog);
     let val = |name: &str| {
-        prog.values
-            .iter_enumerated()
-            .find(|(_, v)| v.name == name)
-            .map(|(id, _)| id)
-            .unwrap()
+        prog.values.iter_enumerated().find(|(_, v)| v.name == name).map(|(id, _)| id).unwrap()
     };
     for r in [&sfs, &vsfs, &cfgfree] {
         // next = n1.next = the Node object; payload = *n2 ⊇ Data2.
@@ -306,7 +289,8 @@ fn cfgfree_checker_findings_are_bit_identical_across_jobs_and_orders() {
                 match &reference {
                     None => reference = Some(rendered),
                     Some(want) => assert_eq!(
-                        want, &rendered,
+                        want,
+                        &rendered,
                         "{}: findings differ at jobs={jobs} order={}",
                         p.name,
                         order.name()

@@ -20,8 +20,7 @@ use vsfs_checkers::{run_checkers, FlowView};
 use vsfs_core::queries::AliasQueries;
 use vsfs_core::result::precision_diff;
 use vsfs_core::{
-    resolve_edit, result_fingerprint, solve_program, IncrementalOptions, ProgramState,
-    SolveOrder,
+    resolve_edit, result_fingerprint, solve_program, IncrementalOptions, ProgramState, SolveOrder,
 };
 use vsfs_ir::Program;
 use vsfs_testkit::Rng;
@@ -59,10 +58,8 @@ struct ColdPipeline {
 /// arena ids line up and results are directly comparable.
 fn cold_pipeline(source: &str, jobs: usize) -> ColdPipeline {
     let prog = vsfs_ir::parse_program(source).expect("edit-script text parses");
-    let aux = vsfs_andersen::analyze_with_config(
-        &prog,
-        vsfs_andersen::AndersenConfig::with_jobs(jobs),
-    );
+    let aux =
+        vsfs_andersen::analyze_with_config(&prog, vsfs_andersen::AndersenConfig::with_jobs(jobs));
     let mssa = vsfs_mssa::MemorySsa::build(&prog, &aux);
     let svfg = vsfs_svfg::Svfg::build(&prog, &aux, &mssa);
     ColdPipeline { prog, aux, mssa, svfg }
@@ -121,8 +118,7 @@ fn edit_sequences_match_from_scratch_solves() {
             order: if rng.gen_bool(0.5) { SolveOrder::Fifo } else { SolveOrder::Topo },
             ..IncrementalOptions::default()
         };
-        let (mut state, _) =
-            solve_program(&base_text, opts, None, None).expect("base solves");
+        let (mut state, _) = solve_program(&base_text, opts, None, None).expect("base solves");
 
         for (i, step) in script.steps.iter().enumerate() {
             let text = step.program.to_string();
@@ -143,11 +139,17 @@ fn edit_sequences_match_from_scratch_solves() {
                 assert_matches(&format!("{label} vs sfs/{order:?}"), &next, &cold, &r, rng);
             }
             // From-scratch VSFS at three parallelism levels.
-            for (jobs, order) in [(1, SolveOrder::Topo), (2, SolveOrder::Fifo), (8, SolveOrder::Topo)]
+            for (jobs, order) in
+                [(1, SolveOrder::Topo), (2, SolveOrder::Fifo), (8, SolveOrder::Topo)]
             {
                 let cold_j = cold_pipeline(&text, jobs);
                 let r = vsfs_core::run_vsfs_jobs_ordered(
-                    &cold_j.prog, &cold_j.aux, &cold_j.mssa, &cold_j.svfg, jobs, order,
+                    &cold_j.prog,
+                    &cold_j.aux,
+                    &cold_j.mssa,
+                    &cold_j.svfg,
+                    jobs,
+                    order,
                 );
                 assert_matches(
                     &format!("{label} vs vsfs/j{jobs}/{order:?}"),
@@ -170,8 +172,7 @@ fn noop_edits_invalidate_nothing() {
         let cfg = random_config(rng);
         let script = edit_script(&cfg, rng.next_u64(), 1);
         let text = script.base.to_string();
-        let (state, r0) =
-            solve_program(&text, IncrementalOptions::default(), None, None).unwrap();
+        let (state, r0) = solve_program(&text, IncrementalOptions::default(), None, None).unwrap();
         let (_, r1) =
             resolve_edit(&state, &text, IncrementalOptions::default(), None, None).unwrap();
         assert!(r1.incremental);
@@ -187,13 +188,9 @@ fn localized_edits_dirty_strict_subsets() {
     vsfs_testkit::check_cases("incremental::localized_edits", CASES, |rng| {
         let cfg = random_config(rng);
         let script = edit_script(&cfg, rng.next_u64(), 1);
-        let (state, _) = solve_program(
-            &script.base.to_string(),
-            IncrementalOptions::default(),
-            None,
-            None,
-        )
-        .unwrap();
+        let (state, _) =
+            solve_program(&script.base.to_string(), IncrementalOptions::default(), None, None)
+                .unwrap();
         let step = &script.steps[0];
         let (_, report) = resolve_edit(
             &state,

@@ -93,11 +93,7 @@ fn full_pipeline_is_bit_identical_across_job_counts() {
             for v in prog.values.indices() {
                 assert_eq!(qa.unique_target(v), qb.unique_target(v), "{name} jobs={jobs}");
                 assert_eq!(qa.is_empty(v), qb.is_empty(v), "{name} jobs={jobs}");
-                assert_eq!(
-                    qa.may_point_to_heap(v),
-                    qb.may_point_to_heap(v),
-                    "{name} jobs={jobs}"
-                );
+                assert_eq!(qa.may_point_to_heap(v), qb.may_point_to_heap(v), "{name} jobs={jobs}");
                 if let Some(p) = prev {
                     assert_eq!(qa.may_alias(p, v), qb.may_alias(p, v), "{name} jobs={jobs}");
                 }
@@ -153,10 +149,7 @@ fn solvers_agree_with_all_parallel_phases_enabled() {
         if let Some(diff) = precision_diff(&prog, &sfs, &vsfs) {
             panic!("{name}: SFS and VSFS disagree under parallel phases: {diff}");
         }
-        let has_calls = prog
-            .insts
-            .iter()
-            .any(|i| matches!(i.kind, vsfs_ir::InstKind::Call { .. }));
+        let has_calls = prog.insts.iter().any(|i| matches!(i.kind, vsfs_ir::InstKind::Call { .. }));
         if !has_calls {
             let dense = vsfs_core::run_dense(&prog, &aux);
             for v in prog.values.indices() {

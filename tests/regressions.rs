@@ -4,11 +4,7 @@ use vsfs::prelude::*;
 use vsfs_core::result::precision_diff;
 
 fn val(prog: &Program, name: &str) -> vsfs_ir::ValueId {
-    prog.values
-        .iter_enumerated()
-        .find(|(_, v)| v.name == name)
-        .map(|(id, _)| id)
-        .unwrap()
+    prog.values.iter_enumerated().find(|(_, v)| v.name == name).map(|(id, _)| id).unwrap()
 }
 
 fn names(prog: &Program, r: &FlowSensitiveResult, v: vsfs_ir::ValueId) -> Vec<String> {
