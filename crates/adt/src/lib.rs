@@ -61,7 +61,7 @@ pub use index::IndexVec;
 pub use interner::{CapacityOverflow, SbvInterner};
 pub use meldpool::MeldPool;
 pub use par::{ParConfig, ParStats, ShardedWorklist};
-pub use ptstore::{CarryStats, PtsCarry, PtsId, PtsScratch, PtsStore, PtsStoreStats};
+pub use ptstore::{CarryStats, FlatReader, PtsCarry, PtsId, PtsScratch, PtsStore, PtsStoreStats};
 pub use sbv::SparseBitVector;
 pub use worklist::{FifoWorklist, PriorityWorklist, Worklist, WorklistStats};
 

@@ -326,6 +326,24 @@ impl SparseBitVector {
         self.blocks.capacity() * std::mem::size_of::<Block>()
     }
 
+    /// Iterates the populated 128-bit blocks as `(base, words)` pairs,
+    /// ascending by base. The bulk codec used by the chunked points-to
+    /// store: one block is exactly one chunk.
+    pub fn raw_blocks(&self) -> impl Iterator<Item = (u32, [u64; 2])> + '_ {
+        self.blocks.iter().map(|b| (b.base, b.words))
+    }
+
+    /// Rebuilds a set from `(base, words)` blocks. Blocks must be
+    /// 128-aligned, non-empty, and strictly ascending by base — the
+    /// shape [`SparseBitVector::raw_blocks`] produces.
+    pub fn from_raw_blocks(blocks: impl IntoIterator<Item = (u32, [u64; 2])>) -> SparseBitVector {
+        let blocks: Vec<Block> =
+            blocks.into_iter().map(|(base, words)| Block { base, words }).collect();
+        debug_assert!(blocks.windows(2).all(|w| w[0].base < w[1].base));
+        debug_assert!(blocks.iter().all(|b| b.base % BITS_PER_BLOCK == 0 && !b.is_empty()));
+        SparseBitVector { blocks }
+    }
+
     /// Number of populated 128-bit blocks (a density diagnostic).
     pub fn block_count(&self) -> usize {
         self.blocks.len()

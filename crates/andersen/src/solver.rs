@@ -28,7 +28,7 @@ use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use vsfs_adt::govern::{panic_message, DegradeReason, Governor, Outcome, WorkerFault};
 use vsfs_adt::par::{self, ParConfig};
-use vsfs_adt::{FifoWorklist, PointsToSet, PtsId, PtsScratch, PtsStore, PtsStoreStats};
+use vsfs_adt::{FifoWorklist, FlatReader, PointsToSet, PtsId, PtsScratch, PtsStore, PtsStoreStats};
 use vsfs_graph::{DiGraph, Sccs};
 use vsfs_ir::{FuncId, ObjId, Program, ValueId};
 
@@ -92,6 +92,9 @@ pub struct AndersenStats {
 pub struct AndersenResult {
     uf: Vec<u32>,
     store: PtsStore<ObjId>,
+    /// Flat read-back cache for the representative sets the API lends
+    /// out.
+    flat: FlatReader<ObjId>,
     pts: Vec<PtsId>,
     value_count: usize,
     /// The (over-approximate) call graph.
@@ -110,12 +113,12 @@ impl AndersenResult {
 
     /// The points-to set of top-level value `v`.
     pub fn value_pts(&self, v: ValueId) -> &PointsToSet<ObjId> {
-        self.store.get(self.pts[self.find(v.index())])
+        self.flat.get(self.pts[self.find(v.index())])
     }
 
     /// The (flow-insensitive) points-to set stored in object `o`.
     pub fn object_pts(&self, o: ObjId) -> &PointsToSet<ObjId> {
-        self.store.get(self.pts[self.find(self.value_count + o.index())])
+        self.flat.get(self.pts[self.find(self.value_count + o.index())])
     }
 
     /// Total elements across all distinct representative points-to sets —
@@ -125,7 +128,7 @@ impl AndersenResult {
             .iter()
             .enumerate()
             .filter(|&(i, &r)| i == r as usize)
-            .map(|(i, _)| self.store.get(self.pts[i]).len())
+            .map(|(i, _)| self.store.set_len(self.pts[i]))
             .sum()
     }
 }
@@ -307,6 +310,8 @@ impl<'p> Solver<'p> {
             self.callgraph.add_edge(call, callee);
         }
         self.callgraph.canonicalize();
+        let reps: Vec<PtsId> =
+            (0..self.uf.len()).filter(|&i| self.uf[i] as usize == i).map(|i| self.pts[i]).collect();
         AndersenResult {
             uf: self.uf,
             value_count: self.prog.values.len(),
@@ -317,6 +322,7 @@ impl<'p> Solver<'p> {
                 region_seeded: self.regions.is_some(),
                 ..self.stats
             },
+            flat: FlatReader::new(&self.store, reps),
             store: self.store,
             pts: self.pts,
         }
@@ -362,7 +368,7 @@ impl<'p> Solver<'p> {
                 par,
                 dirty.len(),
                 |k| {
-                    (this.store.get(this.pts[dirty_ref[k]]).len()
+                    (this.store.set_len(this.pts[dirty_ref[k]])
                         + this.copy_succs[dirty_ref[k]].len()
                         + 1) as u64
                 },
@@ -450,8 +456,8 @@ impl<'p> Solver<'p> {
     /// `n` and the actions it implies, without mutating any solver state.
     fn wave_scan(&self, n: usize) -> WaveOutcome {
         let mut out =
-            WaveOutcome { delta: self.store.get(self.pts[n]).clone(), ..Default::default() };
-        out.delta.subtract(self.store.get(self.prop[n]));
+            WaveOutcome { delta: self.store.materialize(self.pts[n]), ..Default::default() };
+        out.delta.subtract(&self.store.materialize(self.prop[n]));
         if out.delta.is_empty() {
             return out;
         }
@@ -648,7 +654,7 @@ impl<'p> Solver<'p> {
         let stores = std::mem::take(&mut self.stores[n]);
         let geps = std::mem::take(&mut self.geps[n]);
         let icalls = std::mem::take(&mut self.icalls[n]);
-        for o in self.store.get(delta).iter().collect::<Vec<_>>() {
+        for o in self.store.iter_set(delta).collect::<Vec<_>>() {
             let obj_node = self.pag.object_node(o).index();
             for &dst in &loads {
                 self.add_copy_edge(obj_node, dst as usize);

@@ -68,7 +68,7 @@ use crate::pag::{CallSiteId, Constraint, Pag};
 use std::collections::HashSet;
 use std::time::Instant;
 use vsfs_adt::govern::{Governor, Outcome};
-use vsfs_adt::{FifoWorklist, PointsToSet, PtsId, PtsStore, PtsStoreStats};
+use vsfs_adt::{FifoWorklist, FlatReader, PointsToSet, PtsId, PtsStore, PtsStoreStats};
 use vsfs_ir::{ObjId, Program, ValueId};
 
 /// The empty-set id of the solver's store.
@@ -144,6 +144,8 @@ pub struct UnifyResult {
     /// PAG node index → dense class id.
     class_of: Vec<u32>,
     store: PtsStore<ObjId>,
+    /// Flat read-back cache for the per-class sets the API lends out.
+    flat: FlatReader<ObjId>,
     /// Per-class points-to set.
     pts: Vec<PtsId>,
     value_count: usize,
@@ -158,12 +160,12 @@ pub struct UnifyResult {
 impl UnifyResult {
     /// The points-to set of top-level value `v`.
     pub fn value_pts(&self, v: ValueId) -> &PointsToSet<ObjId> {
-        self.store.get(self.pts[self.class_of[v.index()] as usize])
+        self.flat.get(self.pts[self.class_of[v.index()] as usize])
     }
 
     /// The (flow-insensitive) points-to set stored in object `o`.
     pub fn object_pts(&self, o: ObjId) -> &PointsToSet<ObjId> {
-        self.store.get(self.pts[self.class_of[self.value_count + o.index()] as usize])
+        self.flat.get(self.pts[self.class_of[self.value_count + o.index()] as usize])
     }
 
     /// Number of equivalence classes over PAG nodes.
@@ -188,9 +190,8 @@ impl UnifyResult {
         }
         let mut seen = vec![false; object_count];
         for &id in &self.pts {
-            let set = self.store.get(id);
             let mut anchor: Option<usize> = None;
-            for o in set.iter() {
+            for o in self.store.iter_set(id) {
                 seen[o.index()] = true;
                 match anchor {
                     None => anchor = Some(find(&mut parent, o.index())),
@@ -229,8 +230,7 @@ impl UnifyResult {
             .iter()
             .map(|&c| {
                 self.store
-                    .get(self.pts[c as usize])
-                    .iter()
+                    .iter_set(self.pts[c as usize])
                     .next()
                     .map_or(AliasRegions::NONE, |o| region_of_object[o.index()])
             })
@@ -601,7 +601,7 @@ impl<'p> UnifySolver<'p> {
             // are per object) and call resolution (callees are per
             // object).
             delta_objs.clear();
-            delta_objs.extend(store.get(delta).iter());
+            delta_objs.extend(store.iter_set(delta));
             if !loads[n].is_empty() || !stores[n].is_empty() {
                 epoch += 1;
                 delta_cls.clear();
@@ -697,9 +697,11 @@ impl<'p> UnifySolver<'p> {
         callgraph.canonicalize();
         stats.copy_edges = copy_succs.iter().map(Vec::len).sum();
         stats.store = store.stats();
+        let flat = FlatReader::new(&store, pts.iter().copied());
         UnifyResult {
             class_of: class_of.to_vec(),
             store,
+            flat,
             pts,
             value_count: prog.values.len(),
             config,

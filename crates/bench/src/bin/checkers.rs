@@ -86,16 +86,7 @@ fn main() {
         }
     }
 
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    match std::fs::write(&out, timer.to_json()) {
-        Ok(()) => println!("wrote {out}"),
-        Err(e) => {
-            eprintln!("cannot write {out}: {e}");
-            std::process::exit(1);
-        }
-    }
+    vsfs_bench::format::write_json_report(&out, &timer.to_json());
 }
 
 fn usage() -> ! {

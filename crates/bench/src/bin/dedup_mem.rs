@@ -1,42 +1,65 @@
-//! Memory benchmark of the hash-consed points-to store: peak live-heap
-//! and end-to-end time for the full VSFS pipeline on suite workloads,
-//! plus the store's dedup counters (unique sets, union-memo hit rates).
+//! Memory benchmark of the multi-level deduplication engine: peak
+//! live-heap and end-to-end time for the full VSFS pipeline on suite
+//! workloads, plus both dedup levels' counters — the chunked store
+//! (unique sets/chunks, payload vs flat-equivalent bytes, chunk and
+//! set-level memo hit rates) and the region memo (SCC fingerprint hits,
+//! solves skipped).
 //!
 //! ```text
-//! dedup_mem [WORKLOADS] [--out FILE] [--check FILE]
+//! dedup_mem [WORKLOADS] [--out FILE] [--gate FILE]
 //! ```
 //!
 //! `WORKLOADS` is a comma-separated list of suite benchmark names
-//! (default `du,ninja,bake` — one per size profile). Without `--check`,
+//! (default `du,ninja,bake` — one per size profile). Without `--gate`,
 //! the run writes `results/BENCH_dedup.json` (`PhaseTimer::to_json`
-//! format: end-to-end seconds per workload in `phases`, peak bytes and
-//! store counters in `counters`). With `--check FILE`, the run compares
-//! its peak live-heap per workload against the recorded baseline and
-//! fails (exit 1) if any workload regressed by more than 10% — the CI
-//! memory gate. Timings are not gated: wall clock is machine-dependent,
-//! peak live bytes under the counting allocator are not.
+//! format, `schema` counter = 2: end-to-end seconds per workload in
+//! `phases`, peak bytes and both dedup levels' counters in `counters`).
+//!
+//! With `--gate FILE` the run is the CI MDE gate and fails (exit 1) on
+//! any of:
+//!
+//! * a workload's peak live-heap regressing more than 10% over the
+//!   recorded baseline in `FILE`;
+//! * the `bake` set payload (`unique_set_bytes`) shrinking less than
+//!   25% against the flat one-block-per-chunk equivalent
+//!   (`flat_equiv_bytes`) — the chunking has stopped paying for itself;
+//! * zero `scc_solves_skipped` on `bake` — the region memo has stopped
+//!   firing.
+//!
+//! Timings are not gated: wall clock is machine-dependent, peak live
+//! bytes under the counting allocator and the dedup counters are not.
 
 use std::time::Instant;
 use vsfs_adt::mem::{CountingAlloc, MemScope};
 use vsfs_adt::stats::PhaseTimer;
+use vsfs_bench::format::{read_counter, write_json_report};
 use vsfs_mssa::MemorySsa;
 use vsfs_svfg::Svfg;
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc::new();
 
-/// Peak regression tolerated by `--check` before the gate fails.
+/// `counters.schema` in the emitted JSON; bump when keys change shape.
+const SCHEMA: u64 = 2;
+
+/// Peak regression tolerated by `--gate` before it fails.
 const PEAK_SLACK: f64 = 1.10;
+
+/// Minimum `bake` payload reduction vs the flat-equivalent footprint.
+const MIN_PAYLOAD_REDUCTION: f64 = 0.25;
+
+/// The workload whose payload reduction and memo activity are gated.
+const GATED_WORKLOAD: &str = "bake";
 
 fn main() {
     let mut names: Vec<String> = vec!["du".into(), "ninja".into(), "bake".into()];
     let mut out = "results/BENCH_dedup.json".to_string();
-    let mut check: Option<String> = None;
+    let mut gate: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out = args.next().unwrap_or_else(|| usage()),
-            "--check" => check = Some(args.next().unwrap_or_else(|| usage())),
+            "--gate" => gate = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') => {
                 names = other.split(',').map(|s| s.trim().to_string()).collect();
@@ -45,7 +68,7 @@ fn main() {
         }
     }
 
-    let baseline = check.as_ref().map(|path| {
+    let baseline = gate.as_ref().map(|path| {
         std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read baseline {path}: {e}");
             std::process::exit(1);
@@ -53,7 +76,8 @@ fn main() {
     });
 
     let mut timer = PhaseTimer::new();
-    let mut regressions = Vec::new();
+    timer.count("schema", SCHEMA);
+    let mut failures = Vec::new();
     for name in &names {
         let spec = vsfs_workloads::suite::benchmark(name).unwrap_or_else(|| {
             eprintln!("unknown workload `{name}`");
@@ -76,8 +100,14 @@ fn main() {
         let s = result.stats.store;
         timer.record(&format!("{name}.total"), elapsed);
         timer.count(&format!("{name}.peak_bytes"), peak as u64);
+        // Level 1: the chunked, hash-consed set store.
         timer.count(&format!("{name}.unique_sets"), s.unique_sets as u64);
         timer.count(&format!("{name}.unique_set_bytes"), s.unique_set_bytes as u64);
+        timer.count(&format!("{name}.flat_equiv_bytes"), s.flat_equiv_bytes as u64);
+        timer.count(&format!("{name}.unique_chunks"), s.unique_chunks as u64);
+        timer.count(&format!("{name}.chunk_bytes"), s.chunk_bytes as u64);
+        timer.count(&format!("{name}.chunk_union_hits"), s.chunk_union_hits as u64);
+        timer.count(&format!("{name}.chunk_union_misses"), s.chunk_union_misses as u64);
         timer.count(&format!("{name}.stored_object_sets"), result.stats.stored_object_sets as u64);
         timer.count(&format!("{name}.union_hits"), s.union_hits as u64);
         timer.count(&format!("{name}.union_misses"), s.union_misses as u64);
@@ -85,14 +115,22 @@ fn main() {
         timer.count(&format!("{name}.union_hit_rate_x100"), (s.union_hit_rate() * 100.0) as u64);
         timer.count(&format!("{name}.insert_hits"), s.insert_hits as u64);
         timer.count(&format!("{name}.insert_misses"), s.insert_misses as u64);
+        // Level 2: the region memo in the fixpoint engine.
+        let hits = result.stats.scc_fingerprint_hits;
+        let skipped = result.stats.scc_solves_skipped;
+        timer.count(&format!("{name}.scc_fingerprint_hits"), hits as u64);
+        timer.count(&format!("{name}.scc_solves_skipped"), skipped as u64);
+
+        let reduction = payload_reduction(s.unique_set_bytes, s.flat_equiv_bytes);
         println!(
-            "{name}: {:.3}s, peak {:.2} MiB, {} unique sets ({:.2} MiB) for {} stored slots, \
-             union hit rate {:.1}%",
+            "{name}: {:.3}s, peak {:.2} MiB, {} unique sets ({:.2} MiB payload, {:.1}% below \
+             flat) in {} chunks, union hit rate {:.1}%, scc memo {hits} hits / {skipped} skips",
             elapsed.as_secs_f64(),
             peak as f64 / (1 << 20) as f64,
             s.unique_sets,
             s.unique_set_bytes as f64 / (1 << 20) as f64,
-            result.stats.stored_object_sets,
+            100.0 * reduction,
+            s.unique_chunks,
             100.0 * s.union_hit_rate(),
         );
 
@@ -102,7 +140,7 @@ fn main() {
                 Some(base_peak) => {
                     let limit = (base_peak as f64 * PEAK_SLACK) as u64;
                     if peak as u64 > limit {
-                        regressions.push(format!(
+                        failures.push(format!(
                             "{name}: peak {peak} bytes exceeds baseline {base_peak} by more \
                              than {:.0}% (limit {limit})",
                             (PEAK_SLACK - 1.0) * 100.0
@@ -114,46 +152,47 @@ fn main() {
                         );
                     }
                 }
-                None => regressions.push(format!("{name}: baseline has no `{key}` counter")),
+                None => failures.push(format!("{name}: baseline has no `{key}` counter")),
+            }
+            if name == GATED_WORKLOAD {
+                if reduction < MIN_PAYLOAD_REDUCTION {
+                    failures.push(format!(
+                        "{name}: set payload only {:.1}% below flat-equivalent \
+                         (need >= {:.0}%)",
+                        100.0 * reduction,
+                        100.0 * MIN_PAYLOAD_REDUCTION
+                    ));
+                }
+                if skipped == 0 {
+                    failures.push(format!("{name}: region memo skipped zero solves"));
+                }
             }
         }
     }
 
-    if check.is_some() {
-        if regressions.is_empty() {
-            println!("memory gate OK: no workload regressed");
+    if gate.is_some() {
+        if failures.is_empty() {
+            println!("MDE gate OK: peak within bounds, payload dedup and region memo active");
             return;
         }
-        for r in &regressions {
-            eprintln!("FAIL: {r}");
+        for f in &failures {
+            eprintln!("FAIL: {f}");
         }
         std::process::exit(1);
     }
 
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    match std::fs::write(&out, timer.to_json()) {
-        Ok(()) => println!("wrote {out}"),
-        Err(e) => {
-            eprintln!("cannot write {out}: {e}");
-            std::process::exit(1);
-        }
-    }
+    write_json_report(&out, &timer.to_json());
 }
 
-/// Extracts an integer counter from a `PhaseTimer::to_json` document.
-/// The format is flat and machine-written, so a string scan suffices —
-/// no JSON parser in the tree.
-fn read_counter(json: &str, key: &str) -> Option<u64> {
-    let needle = format!("\"{key}\":");
-    let at = json.find(&needle)? + needle.len();
-    let rest = json[at..].trim_start();
-    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
-    rest[..end].parse().ok()
+/// Fraction of the flat-equivalent footprint the chunked payload saves.
+fn payload_reduction(payload: usize, flat: usize) -> f64 {
+    if flat == 0 {
+        return 0.0;
+    }
+    1.0 - payload as f64 / flat as f64
 }
 
 fn usage() -> ! {
-    eprintln!("usage: dedup_mem [WORKLOAD,WORKLOAD,...] [--out FILE] [--check FILE]");
+    eprintln!("usage: dedup_mem [WORKLOAD,WORKLOAD,...] [--out FILE] [--gate FILE]");
     std::process::exit(2);
 }

@@ -131,17 +131,7 @@ fn main() {
         }
     }
 
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
-    let json = timer.to_json();
-    match std::fs::write(&out, &json) {
-        Ok(()) => println!("wrote {out}"),
-        Err(e) => {
-            eprintln!("cannot write {out}: {e}");
-            std::process::exit(1);
-        }
-    }
+    vsfs_bench::format::write_json_report(&out, &timer.to_json());
 }
 
 fn usage() -> ! {

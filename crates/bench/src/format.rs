@@ -1,11 +1,41 @@
 //! Plain-text table rendering (the analogue of the artifact's
-//! `table.awk`).
+//! `table.awk`) and the shared `BENCH_*.json` report plumbing every
+//! bench binary uses.
 
 use crate::{geomean, Table2Row, Table3Row};
 
 /// Formats bytes as a human-readable MiB figure.
 pub fn mib(bytes: usize) -> String {
     format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Writes a `PhaseTimer::to_json` report to `path`, creating parent
+/// directories as needed. Prints `wrote <path>` on success and exits
+/// with code 1 on an I/O error — the uniform tail of every bench
+/// binary.
+pub fn write_json_report(path: &str, json: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Extracts an integer counter from a `PhaseTimer::to_json` document.
+/// The format is flat and machine-written, so a string scan suffices —
+/// no JSON parser in the tree. Used by the CI gates that compare a
+/// fresh run against a recorded `results/BENCH_*.json` baseline.
+pub fn read_counter(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Renders Table II.

@@ -100,12 +100,21 @@ impl<'a> TaintGraph<'a> {
             }
         }
         while let Some((node, obj)) = queue.pop_front() {
-            let materialised = self.svfg.indirect_succs(node).iter();
-            let activated = self.extra_succs.get(&node).map(|v| v.as_slice()).unwrap_or(&[]).iter();
-            for &(succ, eo) in materialised.chain(activated) {
-                if eo != obj {
-                    continue;
-                }
+            let materialised = self
+                .svfg
+                .indirect_succs(node)
+                .iter()
+                .filter(|&&(_, s)| self.svfg.obj_set(s).binary_search(&obj).is_ok())
+                .map(|&(succ, _)| succ);
+            let activated = self
+                .extra_succs
+                .get(&node)
+                .map(|v| v.as_slice())
+                .unwrap_or(&[])
+                .iter()
+                .filter(|&&(_, eo)| eo == obj)
+                .map(|&(succ, _)| succ);
+            for succ in materialised.chain(activated) {
                 wave.edges.push((node, obj, succ));
                 if visited.insert((succ, obj)) {
                     wave.parent.insert((succ, obj), (node, obj));

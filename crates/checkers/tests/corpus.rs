@@ -74,6 +74,32 @@ fn findings_identical_across_solvers_and_jobs() {
 }
 
 #[test]
+fn region_memo_on_off_results_bit_identical() {
+    // The SCC-level memo only skips provable no-op transfers, so every
+    // corpus program must produce the same points-to sets, call graph,
+    // and checker findings (paths included) with it on and off.
+    let off = vsfs_core::SolveConfig { region_memo: false, ..Default::default() };
+    let on = vsfs_core::SolveConfig::default();
+    for case in corpus() {
+        let p = pipeline(&case.source);
+        for (name, run) in [
+            ("sfs", vsfs_core::run_sfs_configured as fn(_, _, _, _, _) -> _),
+            ("vsfs", vsfs_core::run_vsfs_configured),
+        ] {
+            let base = run(&p.prog, &p.aux, &p.mssa, &p.svfg, off);
+            let memo = run(&p.prog, &p.aux, &p.mssa, &p.svfg, on);
+            assert_eq!(base.stats.scc_solves_skipped, 0, "{}/{name}: memo off", case.name);
+            if let Some(diff) = vsfs_core::precision_diff(&p.prog, &base, &memo) {
+                panic!("{}/{name}: memo on diverges from memo off: {diff}", case.name);
+            }
+            let f_base = run_checkers(&p.prog, &p.svfg, &FlowView(&base));
+            let f_memo = run_checkers(&p.prog, &p.svfg, &FlowView(&memo));
+            assert_eq!(f_base, f_memo, "{}/{name}: findings differ with memo on", case.name);
+        }
+    }
+}
+
+#[test]
 fn corpus_demonstrates_removed_false_positives() {
     let mut total_removed = 0i64;
     let mut programs_with_removal = 0;

@@ -51,6 +51,13 @@
 //!                      visit counts change. Rejected with the `ander`
 //!                      and `dense` solvers, whose worklists are not
 //!                      order-switchable.
+//!   --scc-memo MODE    region-level operation memoization in the
+//!                      SFS/VSFS fixpoints: `on` (the default) skips a
+//!                      node's transfer when its SVFG component's input
+//!                      stamp and its operand sets are unchanged since
+//!                      its last run; `off` disables the memo. Results
+//!                      are bit-identical either way (`--stats` reports
+//!                      the hit/skip counts).
 //!
 //! Budgets (any of these switches the run into governed mode):
 //!   --time-budget SECS wall-clock deadline shared by every stage
@@ -135,6 +142,9 @@ struct Options {
     jobs: usize,
     /// `Some` only when `--order` was given explicitly.
     order: Option<SolveOrder>,
+    /// `--scc-memo`: region-level operation memoization in the SFS/VSFS
+    /// fixpoints (default on; results are bit-identical either way).
+    scc_memo: bool,
     time_budget: Option<f64>,
     step_budget: Option<u64>,
     mem_budget_mib: Option<usize>,
@@ -144,6 +154,12 @@ struct Options {
 impl Options {
     fn order(&self) -> SolveOrder {
         self.order.unwrap_or_default()
+    }
+
+    /// The full sparse-fixpoint configuration: worklist order plus the
+    /// region memo switch.
+    fn config(&self) -> vsfs_core::SolveConfig {
+        vsfs_core::SolveConfig { order: self.order(), region_memo: self.scc_memo }
     }
 
     fn governed(&self) -> bool {
@@ -164,7 +180,7 @@ enum Input {
 fn usage() -> ! {
     eprintln!(
         "usage: vsfs [--solver ander|dense|sfs|vsfs|cfgfree|unify] [--pre unify|none] \
-         [--jobs N] [--order fifo|topo] \
+         [--jobs N] [--order fifo|topo] [--scc-memo on|off] \
          [--time-budget SECS] [--step-budget N] [--mem-budget MIB] [--inject-fault KIND:SEED] \
          [--print-pts] [--print-callgraph] [--precision-report] [--dot-svfg FILE] \
          [--check] [--check-json FILE] [--stats] \
@@ -218,6 +234,7 @@ fn parse_args() -> Options {
     let mut check_json = None;
     let mut jobs = 1usize;
     let mut order = None;
+    let mut scc_memo = true;
     let mut time_budget = None;
     let mut step_budget = None;
     let mut mem_budget_mib = None;
@@ -229,6 +246,14 @@ fn parse_args() -> Options {
             "--order" => {
                 order =
                     Some(name_value("--order", args.next(), "`fifo` or `topo`", SolveOrder::parse));
+            }
+            "--scc-memo" => {
+                scc_memo =
+                    name_value("--scc-memo", args.next(), "`on` or `off`", |name| match name {
+                        "on" => Some(true),
+                        "off" => Some(false),
+                        _ => None,
+                    });
             }
             "--time-budget" => {
                 let secs: f64 = flag_value("--time-budget", args.next());
@@ -316,6 +341,7 @@ fn parse_args() -> Options {
         check_json,
         jobs,
         order,
+        scc_memo,
         time_budget,
         step_budget,
         mem_budget_mib,
@@ -691,7 +717,7 @@ fn run_plain(opts: &Options, prog: &Program) -> ExitCode {
     let result: FlowSensitiveResult = match kind {
         SolverKind::Sfs => {
             let (mssa, svfg) = staged.as_ref().expect("sfs is a staged solver");
-            vsfs_core::run_sfs_ordered(prog, &aux, mssa, svfg, opts.order())
+            vsfs_core::run_sfs_configured(prog, &aux, mssa, svfg, opts.config())
         }
         SolverKind::Vsfs => {
             let (mssa, svfg) = staged.as_ref().expect("vsfs is a staged solver");
@@ -704,22 +730,22 @@ fn run_plain(opts: &Options, prog: &Program) -> ExitCode {
                         opts.jobs,
                         Some(&regions.region_of_object),
                     );
-                    vsfs_core::run_vsfs_with_tables_ordered(
+                    vsfs_core::run_vsfs_with_tables_configured(
                         prog,
                         &aux,
                         mssa,
                         svfg,
                         tables,
-                        opts.order(),
+                        opts.config(),
                     )
                 }
-                None => vsfs_core::run_vsfs_jobs_ordered(
+                None => vsfs_core::run_vsfs_jobs_configured(
                     prog,
                     &aux,
                     mssa,
                     svfg,
                     opts.jobs,
-                    opts.order(),
+                    opts.config(),
                 ),
             }
         }
@@ -790,9 +816,17 @@ fn run_plain(opts: &Options, prog: &Program) -> ExitCode {
         println!("stored object sets:{}", s.stored_object_sets);
         let st = &s.store;
         println!(
-            "pts store:         {} unique sets, {:.2} MiB",
+            "pts store:         {} unique sets, {:.2} MiB ({:.2} MiB flat-equivalent)",
             st.unique_sets,
-            st.unique_set_bytes as f64 / (1 << 20) as f64
+            st.unique_set_bytes as f64 / (1 << 20) as f64,
+            st.flat_equiv_bytes as f64 / (1 << 20) as f64
+        );
+        println!(
+            "chunk store:       {} unique chunks, {:.2} MiB, {} union hits, {} misses",
+            st.unique_chunks,
+            st.chunk_bytes as f64 / (1 << 20) as f64,
+            st.chunk_union_hits,
+            st.chunk_union_misses
         );
         println!(
             "union memo:        {} hits, {} misses, {} shortcuts ({:.1}% hit rate)",
@@ -805,6 +839,14 @@ fn run_plain(opts: &Options, prog: &Program) -> ExitCode {
         println!("would-change:      {} fast, {} slow", st.would_change_fast, st.would_change_slow);
         println!("strong updates:    {}", s.strong_updates);
         println!("calls activated:   {}", s.calls_activated);
+        if kind == SolverKind::Sfs || kind == SolverKind::Vsfs {
+            println!(
+                "scc memo:          {} fingerprint hits, {} solves skipped{}",
+                s.scc_fingerprint_hits,
+                s.scc_solves_skipped,
+                if opts.scc_memo { "" } else { " (disabled)" }
+            );
+        }
         if let Some((_, svfg)) = &staged {
             println!(
                 "svfg: {} nodes, {} direct edges, {} indirect edges",
@@ -949,18 +991,18 @@ fn run_governed(opts: &Options, prog: &Program) -> ExitCode {
     let ga: GovernedAnalysis = match kind {
         SolverKind::Sfs => {
             let (mssa, svfg) = staged.as_ref().expect("sfs is a staged solver");
-            vsfs_core::run_sfs_governed_ordered(prog, &aux, mssa, svfg, &fs_gov, opts.order())
+            vsfs_core::run_sfs_governed_configured(prog, &aux, mssa, svfg, &fs_gov, opts.config())
         }
         SolverKind::Vsfs => {
             let (mssa, svfg) = staged.as_ref().expect("vsfs is a staged solver");
-            vsfs_core::run_vsfs_governed_ordered(
+            vsfs_core::run_vsfs_governed_configured(
                 prog,
                 &aux,
                 mssa,
                 svfg,
                 opts.jobs,
                 &fs_gov,
-                opts.order(),
+                opts.config(),
             )
         }
         SolverKind::Dense => vsfs_core::run_dense_governed(prog, &aux, &fs_gov),

@@ -449,7 +449,7 @@ impl<'a> CfgFreeSolver<'a> {
     /// graph: SSA def-use edges, memory reach edges, parameter flow,
     /// and every *candidate* call binding from the auxiliary call
     /// graph (so edges activated mid-solve are already ranked —
-    /// mirroring `schedule::svfg_node_ranks`).
+    /// mirroring `schedule::svfg_schedule`).
     fn inst_ranks(&self) -> Vec<u32> {
         let mut g: DiGraph<InstId> = DiGraph::with_nodes(self.prog.insts.len());
         for v in self.prog.values.indices() {
@@ -507,7 +507,7 @@ impl<'a> CfgFreeSolver<'a> {
             let UseEvent { obj, kind, .. } = &self.uses[u as usize];
             if let UseKind::Load { addr, dst } = kind {
                 let (obj, addr, dst) = (*obj, *addr, *dst);
-                if self.store.get(self.pt[addr]).contains(obj) {
+                if self.store.contains(self.pt[addr], obj) {
                     let v = self.uval[u as usize];
                     self.union_pt(dst, v);
                 }
@@ -534,7 +534,7 @@ impl<'a> CfgFreeSolver<'a> {
                 if strong {
                     self.stats.strong_updates += 1;
                     self.pt[val]
-                } else if self.store.get(self.pt[addr]).contains(obj) {
+                } else if self.store.contains(self.pt[addr], obj) {
                     self.pt[val]
                 } else {
                     EMPTY
@@ -563,9 +563,9 @@ impl<'a> CfgFreeSolver<'a> {
                 self.stats.unions_avoided += 1;
                 continue;
             }
-            self.stats.full_bytes += self.store.get(v).heap_bytes();
+            self.stats.full_bytes += self.store.flat_bytes(v);
             let delta = self.store.diff(v, last);
-            self.stats.delta_bytes += self.store.get(delta).heap_bytes();
+            self.stats.delta_bytes += self.store.flat_bytes(delta);
             self.reach[d as usize][k].1 = v;
             let cur = self.uval[u as usize];
             if delta == EMPTY || !self.store.union_would_change(cur, delta) {
@@ -627,7 +627,7 @@ impl<'a> CfgFreeSolver<'a> {
                 self.union_pt(*dst, s);
             }
             InstKind::Field { dst, base, offset } => {
-                let objs: Vec<ObjId> = self.store.get(self.pt[*base]).iter().collect();
+                let objs: Vec<ObjId> = self.store.iter_set(self.pt[*base]).collect();
                 for o in objs {
                     let fo = self.prog.field_object(o, *offset);
                     self.insert_pt(*dst, fo);
@@ -641,8 +641,7 @@ impl<'a> CfgFreeSolver<'a> {
                     Callee::Indirect(fp) => {
                         let candidates: Vec<FuncId> = self
                             .store
-                            .get(self.pt[*fp])
-                            .iter()
+                            .iter_set(self.pt[*fp])
                             .filter_map(|o| self.prog.object_as_function(o))
                             .collect();
                         for f in candidates {
@@ -738,9 +737,8 @@ impl<'a> CfgFreeSolver<'a> {
                 continue;
             }
             sets += 1;
-            let s = self.store.get(id);
-            elems += s.len();
-            bytes += s.heap_bytes();
+            elems += self.store.set_len(id);
+            bytes += self.store.flat_bytes(id);
         }
         (sets, elems, bytes)
     }

@@ -427,7 +427,7 @@ pub(crate) fn solve_front(
         &front.aux,
         &staged.mssa,
         &staged.svfg,
-        opts.order,
+        opts.order.into(),
         fs_governor,
         None,
     );
@@ -622,7 +622,7 @@ impl WaveCtx {
         if any_dead {
             let mut stale_memo: HashMap<PtsId, bool> = HashMap::new();
             let mut set_stale = |id: PtsId| -> bool {
-                *stale_memo.entry(id).or_insert_with(|| old_store.get(id).iter().any(|o| dead[o]))
+                *stale_memo.entry(id).or_insert_with(|| old_store.iter_set(id).any(|o| dead[o]))
             };
             for node in svfg.node_ids() {
                 let Some(old) = prev.keys.node_of_key(front.keys.node_key[node]) else {
@@ -750,7 +750,7 @@ fn solve_incremental(
             &front.aux,
             &staged.mssa,
             &staged.svfg,
-            opts.order,
+            opts.order.into(),
             fs_governor,
             Some(seed),
         );
@@ -827,17 +827,19 @@ fn audit_frontier(
 
     // Keyed set equality across the two stores' object id spaces.
     let pts_equal = |new_id: Option<PtsId>, old_id: Option<PtsId>| -> bool {
-        let nlen = new_id.map_or(0, |i| new_store.get(i).len());
-        let olen = old_id.map_or(0, |i| old_store.get(i).len());
+        let nlen = new_id.map_or(0, |i| new_store.set_len(i));
+        let olen = old_id.map_or(0, |i| old_store.set_len(i));
         if nlen != olen {
             return false;
         }
         if nlen == 0 {
             return true;
         }
-        let olds = old_store.get(old_id.expect("olen > 0"));
-        new_store.get(new_id.expect("nlen > 0")).iter().all(|o| {
-            prev.keys.obj_of_key(front.keys.obj_key[o]).is_some_and(|oo| olds.contains(oo))
+        let old_id = old_id.expect("olen > 0");
+        new_store.iter_set(new_id.expect("nlen > 0")).all(|o| {
+            prev.keys
+                .obj_of_key(front.keys.obj_key[o])
+                .is_some_and(|oo| old_store.contains(old_id, oo))
         })
     };
     let value_changed = |v: ValueId| -> bool {
@@ -845,7 +847,7 @@ fn audit_frontier(
             Some(old_v) => !pts_equal(Some(result.pt[v]), Some(old_result.pt[old_v])),
             // A value with no old counterpart published nothing before;
             // its set changed iff it is now non-empty.
-            None => !new_store.get(result.pt[v]).is_empty(),
+            None => !new_store.set_is_empty(result.pt[v]),
         }
     };
     // `out_val` of a node for one object, on each side: OUT for stores,
@@ -928,7 +930,7 @@ fn audit_frontier(
                 }
             }
         }
-        for &(s, o) in svfg.indirect_succs(node) {
+        for (s, o) in svfg.indirect_succs_expanded(node) {
             if !dirty[s] && !flagged[s] && out_changed(node, o) {
                 flag(&mut flagged, &mut newly, s);
             }
@@ -1359,7 +1361,7 @@ pub fn node_signatures(
         // indirect predecessors.
         h = mix_sorted(h, direct_preds[node].clone());
         let ind: Vec<u64> =
-            svfg.indirect_preds(node).iter().map(|&(p, o)| mix(keys.node_key[p], ok(o))).collect();
+            svfg.indirect_preds_expanded(node).map(|(p, o)| mix(keys.node_key[p], ok(o))).collect();
         h = mix_sorted(h, ind);
         sigs.push(h);
     }

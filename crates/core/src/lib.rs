@@ -52,6 +52,7 @@ pub mod dense;
 pub mod incremental;
 pub mod precision;
 pub mod queries;
+mod region;
 pub mod result;
 pub mod schedule;
 pub mod sfs;
@@ -73,12 +74,17 @@ pub use precision::{compare_precision, PrecisionReport};
 pub use result::{
     precision_diff, same_precision, FlowSensitiveResult, GovernedAnalysis, SolveStats,
 };
-pub use schedule::SolveOrder;
-pub use sfs::{run_sfs, run_sfs_governed, run_sfs_governed_ordered, run_sfs_ordered};
+pub use schedule::{SolveConfig, SolveOrder};
+pub use sfs::{
+    run_sfs, run_sfs_configured, run_sfs_governed, run_sfs_governed_configured,
+    run_sfs_governed_ordered, run_sfs_ordered,
+};
 pub use solver::{SolverCaps, SolverKind};
 pub use versioning::{VersionTables, VersioningStats};
 pub use vsfs::{
-    run_vsfs, run_vsfs_governed, run_vsfs_governed_ordered, run_vsfs_jobs, run_vsfs_jobs_ordered,
-    run_vsfs_ordered, run_vsfs_with_tables, run_vsfs_with_tables_ordered,
+    run_vsfs, run_vsfs_configured, run_vsfs_governed, run_vsfs_governed_configured,
+    run_vsfs_governed_ordered, run_vsfs_jobs, run_vsfs_jobs_configured, run_vsfs_jobs_ordered,
+    run_vsfs_ordered, run_vsfs_with_tables, run_vsfs_with_tables_configured,
+    run_vsfs_with_tables_ordered,
 };
 pub use warm::{export_warm, restore_program, WarmExport};

@@ -1,0 +1,215 @@
+//! Region-level operation memoization for the staged fixpoints (the
+//! second dedup level of the multi-level deduplication engine; the first
+//! is the chunked [`vsfs_adt::PtsStore`]).
+//!
+//! A worklist pop is pure overhead when the node's transfer function is
+//! re-run over inputs that cannot have changed since its last run. The
+//! staged solvers generate such pops by design: `TopLevel::activate`
+//! re-queues a callee's entry unconditionally, and a statically-strong
+//! store is re-queued whenever the version/`IN` state it *kills* grows —
+//! state its transfer never reads.
+//!
+//! [`RegionMemo`] recognises these pops with a fingerprint of the node's
+//! input frontier, kept at two granularities:
+//!
+//! * **Region stamps.** Nodes are grouped into the SCCs of the static
+//!   solve-dependence graph (the same graph the topological worklist
+//!   ranks come from; see `crate::schedule::svfg_schedule`). Each
+//!   component carries a monotone version, bumped when new input crosses
+//!   the region's *frontier* — an effective delivery whose producer sits
+//!   in a different component. Deliveries *within* a component (a cycle
+//!   iterating toward its local fixpoint) bump only the receiving node's
+//!   own stamp: region-mates that don't read the shipped state keep
+//!   their stamps current, which is what lets a converged region stay
+//!   skippable while one member churns. Deliveries a receiver provably
+//!   ignores (the consumed state of a statically-strong update, see
+//!   [`crate::toplevel::TopLevel::is_strong_update`]) bump nothing.
+//! * **Top-level operands.** The hash-consed [`PtsId`]s of the values the
+//!   node's instruction reads, compared exactly — equal ids mean equal
+//!   sets, so no hashing (and no collision unsoundness) is involved.
+//!
+//! A pop whose region and node stamps are both unchanged since the node
+//! last ran is a *fingerprint hit*
+//! ([`crate::SolveStats::scc_fingerprint_hits`]); if its operand ids
+//! also match, the transfer is skipped outright
+//! ([`crate::SolveStats::scc_solves_skipped`]).
+//!
+//! # Why skipping preserves the least fixpoint
+//!
+//! The solvers are monotone and push-based: node state only grows, and
+//! every growth site re-queues exactly the nodes whose transfer reads
+//! the grown state — and tells the memo, naming the receiver. The
+//! stamps are recorded *before* the transfer runs, so a transfer that
+//! feeds itself (a self-loop) bumps its node stamp past its own
+//! recording and the node re-runs. A skip therefore only happens when
+//! every input the transfer reads — delivered state and top-level
+//! operands alike — is bit-identical to the run that produced the
+//! node's current outputs, and re-running would recompute exactly those
+//! outputs. The fixpoint reached with the memo on is the same unique
+//! least solution, with fewer no-op transfers.
+
+use vsfs_adt::{IndexVec, PtsId};
+use vsfs_ir::{Callee, InstKind, Program, ValueId};
+use vsfs_svfg::{Svfg, SvfgNodeId, SvfgNodeKind};
+
+use crate::result::SolveStats;
+use crate::toplevel::EMPTY;
+
+/// Never-ran sentinel: the first pop of a node always processes.
+const NEVER: u64 = u64::MAX;
+
+/// The region-level memo shared by the SFS and VSFS node loops.
+pub(crate) struct RegionMemo {
+    enabled: bool,
+    /// Dense SCC component id per node (Tarjan ids — *not* condensation
+    /// ranks, which merge independent components at equal depth).
+    comp: Vec<u32>,
+    /// Monotone frontier version per component: deliveries from outside
+    /// the region.
+    comp_ver: Vec<u64>,
+    /// Monotone intra-region input version per node.
+    node_ver: Vec<u64>,
+    /// `comp_ver` observed when the node last processed; [`NEVER`] until
+    /// the first run.
+    last_comp: Vec<u64>,
+    /// `node_ver` observed when the node last processed.
+    last_node: Vec<u64>,
+    /// Per-node `(start, len)` span into `operand_vals`.
+    operand_spans: Vec<(u32, u32)>,
+    /// The top-level values each node's transfer reads, concatenated.
+    operand_vals: Vec<ValueId>,
+    /// Operand set ids observed at the node's last run (parallel to
+    /// `operand_vals`).
+    last_operand_ids: Vec<PtsId>,
+}
+
+impl RegionMemo {
+    /// Builds the memo for `svfg` from precomputed SCC component ids
+    /// (see `crate::schedule::svfg_schedule`). With `enabled` false
+    /// every pop is admitted and nothing is allocated.
+    pub(crate) fn new(prog: &Program, svfg: &Svfg, comps: Vec<u32>, enabled: bool) -> RegionMemo {
+        if !enabled {
+            return RegionMemo {
+                enabled: false,
+                comp: Vec::new(),
+                comp_ver: Vec::new(),
+                node_ver: Vec::new(),
+                last_comp: Vec::new(),
+                last_node: Vec::new(),
+                operand_spans: Vec::new(),
+                operand_vals: Vec::new(),
+                last_operand_ids: Vec::new(),
+            };
+        }
+        let n = svfg.node_count();
+        let mut operand_spans = Vec::with_capacity(n);
+        let mut operand_vals = Vec::new();
+        for node in svfg.node_ids() {
+            let start = operand_vals.len() as u32;
+            push_operands(prog, svfg.kind(node), &mut operand_vals);
+            operand_spans.push((start, operand_vals.len() as u32 - start));
+        }
+        let n_comps = comps.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+        RegionMemo {
+            enabled: true,
+            comp: comps,
+            comp_ver: vec![0; n_comps],
+            node_ver: vec![0; n],
+            last_comp: vec![NEVER; n],
+            last_node: vec![0; n],
+            last_operand_ids: vec![EMPTY; operand_vals.len()],
+            operand_spans,
+            operand_vals,
+        }
+    }
+
+    /// Marks an effective delivery from `src`'s transfer into `dst`.
+    /// A cross-region ship is a frontier event (every member of `dst`'s
+    /// region goes stale); a ship within the region bumps only `dst`
+    /// itself. Called at every effective delivery site, whether or not
+    /// the accompanying worklist push was suppressed by the in-queue
+    /// guard.
+    pub(crate) fn invalidate_edge(&mut self, src: SvfgNodeId, dst: SvfgNodeId) {
+        if !self.enabled {
+            return;
+        }
+        let (cs, cd) = (self.comp[src.index()], self.comp[dst.index()]);
+        if cs == cd {
+            self.node_ver[dst.index()] += 1;
+        } else {
+            self.comp_ver[cd as usize] += 1;
+        }
+    }
+
+    /// Marks new input delivered into `node` from a source without a
+    /// producing SVFG node (a version-slot growth, or an activation
+    /// changing a `FUNEXIT`'s caller list): `node`'s own stamp is no
+    /// longer current.
+    pub(crate) fn invalidate(&mut self, node: SvfgNodeId) {
+        if self.enabled {
+            self.node_ver[node.index()] += 1;
+        }
+    }
+
+    /// Admission check, called once per node pop. Returns `false` when
+    /// the pop may be skipped: the component stamp and the node's
+    /// operand set ids are unchanged since its last run. Otherwise
+    /// records the current stamp and operand ids — *before* the caller
+    /// runs the transfer — and returns `true`.
+    pub(crate) fn admit(
+        &mut self,
+        node: SvfgNodeId,
+        pt: &IndexVec<ValueId, PtsId>,
+        stats: &mut SolveStats,
+    ) -> bool {
+        if !self.enabled {
+            return true;
+        }
+        let i = node.index();
+        let cstamp = self.comp_ver[self.comp[i] as usize];
+        let nstamp = self.node_ver[i];
+        let (start, len) = self.operand_spans[i];
+        let (start, end) = (start as usize, (start + len) as usize);
+        if self.last_comp[i] == cstamp && self.last_node[i] == nstamp {
+            stats.scc_fingerprint_hits += 1;
+            let operands_current =
+                (start..end).all(|k| self.last_operand_ids[k] == pt[self.operand_vals[k]]);
+            if operands_current {
+                stats.scc_solves_skipped += 1;
+                return false;
+            }
+        }
+        self.last_comp[i] = cstamp;
+        self.last_node[i] = nstamp;
+        for k in start..end {
+            self.last_operand_ids[k] = pt[self.operand_vals[k]];
+        }
+        true
+    }
+}
+
+/// The top-level values whose points-to sets the solvers' transfer of
+/// this node reads. Values the transfer *writes* (`dst`, params, caller
+/// `dst`s) are deliberately absent — outputs, not inputs. `FUNEXIT`'s
+/// caller list and `CALL`'s callee list are inputs too, but they only
+/// change on activation, which bumps the component stamp instead.
+fn push_operands(prog: &Program, kind: SvfgNodeKind, out: &mut Vec<ValueId>) {
+    let SvfgNodeKind::Inst(inst) = kind else {
+        return; // relays read only component-delivered state
+    };
+    match &prog.insts[inst].kind {
+        InstKind::Copy { src, .. } => out.push(*src),
+        InstKind::Phi { srcs, .. } => out.extend_from_slice(srcs),
+        InstKind::Field { base, .. } => out.push(*base),
+        InstKind::Load { addr, .. } => out.push(*addr),
+        InstKind::Store { addr, val } => out.extend([*addr, *val]),
+        InstKind::Call { callee, args, .. } => {
+            if let Callee::Indirect(fp) = callee {
+                out.push(*fp);
+            }
+            out.extend_from_slice(args);
+        }
+        InstKind::FunExit { ret, .. } => out.extend(*ret),
+        InstKind::Alloc { .. } | InstKind::Free { .. } | InstKind::FunEntry { .. } => {}
+    }
+}

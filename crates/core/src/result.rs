@@ -1,7 +1,7 @@
 //! Results and statistics shared by both flow-sensitive solvers.
 
 use vsfs_adt::govern::{Completion, DegradeReason};
-use vsfs_adt::{IndexVec, PointsToSet, PtsId, PtsStore, PtsStoreStats};
+use vsfs_adt::{FlatReader, IndexVec, PointsToSet, PtsId, PtsStore, PtsStoreStats};
 use vsfs_andersen::{AndersenResult, UnifyResult};
 use vsfs_ir::{FuncId, InstId, ObjId, Program, ValueId};
 
@@ -15,6 +15,8 @@ use vsfs_ir::{FuncId, InstId, ObjId, Program, ValueId};
 pub struct FlowSensitiveResult {
     /// The hash-consed store the ids below point into.
     pub(crate) store: PtsStore<ObjId>,
+    /// Flat read-back cache for the sets the API lends out.
+    pub(crate) flat: FlatReader<ObjId>,
     /// Final (global) points-to set id of every top-level value.
     pub(crate) pt: IndexVec<ValueId, PtsId>,
     /// Call-graph edges resolved flow-sensitively, sorted.
@@ -31,12 +33,13 @@ impl FlowSensitiveResult {
         callgraph_edges: Vec<(InstId, FuncId)>,
         stats: SolveStats,
     ) -> FlowSensitiveResult {
-        FlowSensitiveResult { store, pt, callgraph_edges, stats }
+        let flat = FlatReader::new(&store, pt.iter().copied());
+        FlowSensitiveResult { store, flat, pt, callgraph_edges, stats }
     }
 
     /// The points-to set of `v`.
     pub fn value_pts(&self, v: ValueId) -> &PointsToSet<ObjId> {
-        self.store.get(self.pt[v])
+        self.flat.get(self.pt[v])
     }
 
     /// The epoch of the run's hash-consed store: 0 for a from-scratch
@@ -62,7 +65,7 @@ impl FlowSensitiveResult {
         let mut callgraph_edges: Vec<(InstId, FuncId)> = aux.callgraph.edges().collect();
         callgraph_edges.sort_unstable();
         let stats = SolveStats { store: store.stats(), ..SolveStats::default() };
-        FlowSensitiveResult { store, pt, callgraph_edges, stats }
+        FlowSensitiveResult::new(store, pt, callgraph_edges, stats)
     }
 
     /// Repackages a unification analysis as a `FlowSensitiveResult` —
@@ -85,7 +88,7 @@ impl FlowSensitiveResult {
             solve_seconds: unify.stats.seconds,
             ..SolveStats::default()
         };
-        FlowSensitiveResult { store, pt, callgraph_edges, stats }
+        FlowSensitiveResult::new(store, pt, callgraph_edges, stats)
     }
 }
 
@@ -210,6 +213,14 @@ pub struct SolveStats {
     /// Versioning-only: version reliance (propagation) constraints after
     /// deduplication.
     pub reliance_edges: usize,
+    /// Node pops whose SVFG component's input stamp was unchanged since
+    /// the node's last visit — the region-level memo recognised a clean
+    /// region (see `crate::region`).
+    pub scc_fingerprint_hits: usize,
+    /// Node transfers actually skipped on the strength of a region-memo
+    /// hit. At most [`SolveStats::scc_fingerprint_hits`]; a hit is not a
+    /// skip when skipping is unsound for that node kind.
+    pub scc_solves_skipped: usize,
     /// Versioning pre-analysis wall-clock time in seconds (0 for SFS).
     pub versioning_seconds: f64,
     /// Main-phase wall-clock time in seconds.

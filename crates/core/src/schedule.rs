@@ -16,7 +16,7 @@
 //! unsound — only locally non-topological, costing at worst extra
 //! re-visits.
 
-use vsfs_graph::{condensation_ranks, DiGraph};
+use vsfs_graph::{condensation_ranks, DiGraph, Sccs};
 use vsfs_ir::{InstId, Program};
 use vsfs_svfg::{Svfg, SvfgNodeId};
 
@@ -31,6 +31,30 @@ pub enum SolveOrder {
     /// FIFO within a cycle. The default.
     #[default]
     Topo,
+}
+
+/// Configuration of the staged flow-sensitive fixpoints (SFS/VSFS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveConfig {
+    /// Worklist scheduling policy.
+    pub order: SolveOrder,
+    /// Region-level operation memoization (see `crate::region`): skip a
+    /// node pop when its SVFG component's input stamp and its top-level
+    /// operand sets are unchanged since the node last ran. The fixpoint
+    /// is bit-identical either way; default on.
+    pub region_memo: bool,
+}
+
+impl Default for SolveConfig {
+    fn default() -> Self {
+        SolveConfig { order: SolveOrder::default(), region_memo: true }
+    }
+}
+
+impl From<SolveOrder> for SolveConfig {
+    fn from(order: SolveOrder) -> Self {
+        SolveConfig { order, ..SolveConfig::default() }
+    }
 }
 
 impl SolveOrder {
@@ -61,14 +85,13 @@ fn sorted_binding_pairs(svfg: &Svfg) -> Vec<(InstId, vsfs_ir::FuncId)> {
     pairs
 }
 
-/// Topological ranks for the SVFG node worklists.
-///
-/// The dependence graph is every direct and indirect SVFG edge, plus —
-/// for each *possible* indirect-call activation — the `call → FUNENTRY`
-/// and `FUNEXIT → return-side` edges the solver may wire up on the fly.
-/// Including candidate activations keeps the order topological even after
-/// δ-node edges appear mid-solve.
-pub(crate) fn svfg_node_ranks(prog: &Program, svfg: &Svfg) -> Vec<u32> {
+/// The solve-dependence graph behind the SVFG node worklist: every
+/// direct and indirect SVFG edge, plus — for each *possible*
+/// indirect-call activation — the `call → FUNENTRY` and
+/// `FUNEXIT → return-side` edges the solver may wire up on the fly.
+/// Including candidate activations keeps the derived order topological
+/// even after δ-node edges appear mid-solve.
+fn svfg_dep_graph(prog: &Program, svfg: &Svfg) -> DiGraph<SvfgNodeId> {
     let mut g: DiGraph<SvfgNodeId> = DiGraph::with_nodes(svfg.node_count());
     for n in svfg.node_ids() {
         for &s in svfg.direct_succs(n) {
@@ -83,7 +106,21 @@ pub(crate) fn svfg_node_ranks(prog: &Program, svfg: &Svfg) -> Vec<u32> {
         g.add_edge(svfg.inst_node(call), svfg.inst_node(f.entry_inst));
         g.add_edge(svfg.inst_node(f.exit_inst), svfg.callret_node(call));
     }
-    condensation_ranks(&g)
+    g
+}
+
+/// Worklist ranks *and* SCC component ids per SVFG node, from one
+/// dependence-graph build. Ranks order the topological worklist;
+/// component ids key the region memo's input stamps. The two are
+/// distinct: independent SCCs at the same condensation depth share a
+/// rank but must not share a stamp, or unrelated deliveries would
+/// invalidate each other's regions.
+pub(crate) fn svfg_schedule(prog: &Program, svfg: &Svfg) -> (Vec<u32>, Vec<u32>) {
+    let g = svfg_dep_graph(prog, svfg);
+    let ranks = condensation_ranks(&g);
+    let sccs = Sccs::compute(&g);
+    let comps = svfg.node_ids().map(|n| sccs.component(n)).collect();
+    (ranks, comps)
 }
 
 /// Topological ranks for the VSFS version-slot worklist.
@@ -160,8 +197,12 @@ mod tests {
         let aux = vsfs_andersen::analyze(&prog);
         let mssa = MemorySsa::build(&prog, &aux);
         let svfg = Svfg::build(&prog, &aux, &mssa);
-        let ranks = svfg_node_ranks(&prog, &svfg);
+        let (ranks, comps) = svfg_schedule(&prog, &svfg);
         assert_eq!(ranks.len(), svfg.node_count());
+        assert_eq!(comps.len(), svfg.node_count());
+        // This graph is acyclic, so component ids are distinct per node.
+        let distinct: std::collections::HashSet<u32> = comps.iter().copied().collect();
+        assert_eq!(distinct.len(), svfg.node_count());
         // Every static edge is (weakly) rank-ordered.
         for n in svfg.node_ids() {
             for &(s, _) in svfg.indirect_succs(n) {

@@ -11,8 +11,9 @@
 //! the node would propagate for that object may have changed; popping a
 //! node propagates only its dirty objects.
 
+use crate::region::RegionMemo;
 use crate::result::{FlowSensitiveResult, GovernedAnalysis, SolveStats};
-use crate::schedule::{svfg_node_ranks, SolveOrder};
+use crate::schedule::{svfg_schedule, SolveConfig, SolveOrder};
 use crate::toplevel::{TopLevel, EMPTY};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -43,7 +44,20 @@ pub fn run_sfs_ordered(
     svfg: &Svfg,
     order: SolveOrder,
 ) -> FlowSensitiveResult {
-    solve_inner(prog, aux, mssa, svfg, None, order).0
+    run_sfs_configured(prog, aux, mssa, svfg, SolveConfig::from(order))
+}
+
+/// Runs the SFS baseline under a full [`SolveConfig`] (worklist order
+/// plus the region memo switch). Results are bit-identical across every
+/// configuration.
+pub fn run_sfs_configured(
+    prog: &Program,
+    aux: &AndersenResult,
+    mssa: &MemorySsa,
+    svfg: &Svfg,
+    config: SolveConfig,
+) -> FlowSensitiveResult {
+    solve_inner(prog, aux, mssa, svfg, None, config).0
 }
 
 /// Runs the SFS baseline under a [`Governor`]: one cooperative
@@ -69,7 +83,19 @@ pub fn run_sfs_governed_ordered(
     governor: &Governor,
     order: SolveOrder,
 ) -> GovernedAnalysis {
-    let (result, completion) = solve_inner(prog, aux, mssa, svfg, Some(governor), order);
+    run_sfs_governed_configured(prog, aux, mssa, svfg, governor, SolveConfig::from(order))
+}
+
+/// [`run_sfs_governed`] with a full [`SolveConfig`].
+pub fn run_sfs_governed_configured(
+    prog: &Program,
+    aux: &AndersenResult,
+    mssa: &MemorySsa,
+    svfg: &Svfg,
+    governor: &Governor,
+    config: SolveConfig,
+) -> GovernedAnalysis {
+    let (result, completion) = solve_inner(prog, aux, mssa, svfg, Some(governor), config);
     match completion {
         Completion::Complete => GovernedAnalysis::complete(result),
         Completion::Degraded(reason) => GovernedAnalysis::fallback(prog, aux, "solve", reason),
@@ -82,9 +108,9 @@ fn solve_inner(
     mssa: &MemorySsa,
     svfg: &Svfg,
     governor: Option<&Governor>,
-    order: SolveOrder,
+    config: SolveConfig,
 ) -> (FlowSensitiveResult, Completion) {
-    let (result, completion, _) = solve_impl(prog, aux, mssa, svfg, governor, order, None, false);
+    let (result, completion, _) = solve_impl(prog, aux, mssa, svfg, governor, config, None, false);
     (result, completion)
 }
 
@@ -123,11 +149,11 @@ pub(crate) fn run_sfs_seeded(
     aux: &AndersenResult,
     mssa: &MemorySsa,
     svfg: &Svfg,
-    order: SolveOrder,
+    config: SolveConfig,
     governor: Option<&Governor>,
     seed: Option<SfsSeed>,
 ) -> (FlowSensitiveResult, Completion, Option<SfsHarvest>) {
-    solve_impl(prog, aux, mssa, svfg, governor, order, seed, true)
+    solve_impl(prog, aux, mssa, svfg, governor, config, seed, true)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -137,12 +163,12 @@ fn solve_impl(
     mssa: &MemorySsa,
     svfg: &Svfg,
     governor: Option<&Governor>,
-    order: SolveOrder,
+    config: SolveConfig,
     seed: Option<SfsSeed>,
     want_harvest: bool,
 ) -> (FlowSensitiveResult, Completion, Option<SfsHarvest>) {
     let start = Instant::now();
-    let mut solver = SfsSolver::new(prog, aux, mssa, svfg, order);
+    let mut solver = SfsSolver::new(prog, aux, mssa, svfg, config);
     match seed {
         Some(seed) => solver.apply_seed(seed),
         None => solver.init_cold(),
@@ -181,8 +207,9 @@ struct SfsSolver<'a> {
     outs: IndexVec<SvfgNodeId, ObjMap>,
     /// Indirect edges activated by on-the-fly call-graph resolution.
     dyn_succs: IndexVec<SvfgNodeId, Vec<(SvfgNodeId, ObjId)>>,
-    /// Difference-propagation frontier per static indirect edge: the set
-    /// id last shipped along `svfg.indirect_succs(n)[i]`. Only the
+    /// Difference-propagation frontier per static labelled indirect
+    /// edge: the set id last shipped along the `k`-th `(succ, obj)` pair
+    /// of `svfg.indirect_succs_expanded(n)`. Only the
     /// `diff(current, frontier)` part of a value crosses an edge again.
     edge_frontier: IndexVec<SvfgNodeId, Vec<PtsId>>,
     /// Same frontier for the activated (`dyn_succs`) edges, parallel to
@@ -190,6 +217,12 @@ struct SfsSolver<'a> {
     dyn_frontier: IndexVec<SvfgNodeId, Vec<PtsId>>,
     /// Objects whose outgoing value changed since the node last ran.
     dirty: IndexVec<SvfgNodeId, PointsToSet<ObjId>>,
+    /// Region-level operation memoization (see `crate::region`).
+    memo: RegionMemo,
+    /// Chi objects each STORE node statically strong-updates: their
+    /// consumed `IN` state is killed, so its growth is not an effective
+    /// input delivery and does not bump the memo's component stamp.
+    su_kill: IndexVec<SvfgNodeId, PointsToSet<ObjId>>,
     worklist: Worklist<SvfgNodeId>,
     stats: SolveStats,
 }
@@ -200,14 +233,28 @@ impl<'a> SfsSolver<'a> {
         aux: &'a AndersenResult,
         mssa: &'a MemorySsa,
         svfg: &'a Svfg,
-        order: SolveOrder,
+        config: SolveConfig,
     ) -> Self {
         let n = svfg.node_count();
         let top = TopLevel::new(prog, aux, svfg);
-        let worklist = match order {
+        let (ranks, comps) = svfg_schedule(prog, svfg);
+        let worklist = match config.order {
             SolveOrder::Fifo => Worklist::fifo(n),
-            SolveOrder::Topo => Worklist::priority(svfg_node_ranks(prog, svfg)),
+            SolveOrder::Topo => Worklist::priority(ranks),
         };
+        let memo = RegionMemo::new(prog, svfg, comps, config.region_memo);
+        let mut su_kill: IndexVec<SvfgNodeId, PointsToSet<ObjId>> =
+            (0..n).map(|_| PointsToSet::new()).collect();
+        for (i, inst) in prog.insts.iter_enumerated() {
+            if let InstKind::Store { addr, .. } = inst.kind {
+                let node = svfg.inst_node(i);
+                for chi in mssa.chis(i) {
+                    if top.is_strong_update(addr, chi.obj) {
+                        su_kill[node].insert(chi.obj);
+                    }
+                }
+            }
+        }
         SfsSolver {
             prog,
             mssa,
@@ -218,10 +265,12 @@ impl<'a> SfsSolver<'a> {
             dyn_succs: (0..n).map(|_| Vec::new()).collect(),
             edge_frontier: svfg
                 .node_ids()
-                .map(|id| vec![EMPTY; svfg.indirect_succs(id).len()])
+                .map(|id| vec![EMPTY; svfg.indirect_succs_expanded(id).count()])
                 .collect(),
             dyn_frontier: (0..n).map(|_| Vec::new()).collect(),
             dirty: (0..n).map(|_| PointsToSet::new()).collect(),
+            memo,
+            su_kill,
             worklist,
             stats: SolveStats::default(),
         }
@@ -271,11 +320,11 @@ impl<'a> SfsSolver<'a> {
             if !clean[n] {
                 continue;
             }
-            for i in 0..self.svfg.indirect_succs(n).len() {
-                let (succ, o) = self.svfg.indirect_succs(n)[i];
+            let pairs: Vec<(SvfgNodeId, ObjId)> = self.svfg.indirect_succs_expanded(n).collect();
+            for (k, (succ, o)) in pairs.into_iter().enumerate() {
                 let val = self.out_val(n, o);
                 if clean[succ] {
-                    self.edge_frontier[n][i] = val.unwrap_or(EMPTY);
+                    self.edge_frontier[n][k] = val.unwrap_or(EMPTY);
                 } else if val.is_some_and(|v| v != EMPTY) {
                     self.dirty[n].insert(o);
                     self.worklist.push(n);
@@ -338,7 +387,9 @@ impl<'a> SfsSolver<'a> {
                 }
             }
             self.stats.node_pops += 1;
-            self.process(node);
+            if self.memo.admit(node, &self.top.pt, &mut self.stats) {
+                self.process(node);
+            }
         }
         Completion::Complete
     }
@@ -362,7 +413,7 @@ impl<'a> SfsSolver<'a> {
         match &self.prog.insts[inst].kind {
             InstKind::Load { dst, addr } => {
                 // [LOAD]: pt(dst) ⊇ IN[node][o] for each o ∈ pt(addr).
-                let objs: Vec<ObjId> = self.top.value_pt(*addr).iter().collect();
+                let objs: Vec<ObjId> = self.top.value_pt_iter(*addr).collect();
                 for o in objs {
                     if let Some(&s) = self.ins[node].get(&o) {
                         self.top.union_pt(*dst, s, &mut self.worklist);
@@ -388,7 +439,7 @@ impl<'a> SfsSolver<'a> {
                         if let Some(&input) = self.ins[node].get(&o) {
                             out = input;
                         }
-                        if self.top.store.get(targets).contains(o) {
+                        if self.top.store.contains(targets, o) {
                             out = self.top.store.union(out, gen);
                         }
                     }
@@ -434,14 +485,21 @@ impl<'a> SfsSolver<'a> {
             return;
         }
         let dirty = std::mem::take(&mut self.dirty[node]);
-        for i in 0..self.svfg.indirect_succs(node).len() {
-            let (succ, o) = self.svfg.indirect_succs(node)[i];
-            if !dirty.contains(o) {
-                continue;
+        let mut k = 0;
+        for gi in 0..self.svfg.indirect_succs(node).len() {
+            let (succ, s) = self.svfg.indirect_succs(node)[gi];
+            let set_len = self.svfg.obj_set(s).len();
+            for oi in 0..set_len {
+                let o = self.svfg.obj_set(s)[oi];
+                if !dirty.contains(o) {
+                    k += 1;
+                    continue;
+                }
+                let last = self.edge_frontier[node][k];
+                let shipped = self.ship_delta(node, succ, o, last);
+                self.edge_frontier[node][k] = shipped;
+                k += 1;
             }
-            let last = self.edge_frontier[node][i];
-            let shipped = self.ship_delta(node, succ, o, last);
-            self.edge_frontier[node][i] = shipped;
         }
         for i in 0..self.dyn_succs[node].len() {
             let (succ, o) = self.dyn_succs[node][i];
@@ -465,9 +523,9 @@ impl<'a> SfsSolver<'a> {
             self.stats.unions_avoided += 1;
             return last;
         }
-        self.stats.full_bytes += self.top.store.get(val).heap_bytes();
+        self.stats.full_bytes += self.top.store.flat_bytes(val);
         let delta = self.top.store.diff(val, last);
-        self.stats.delta_bytes += self.top.store.get(delta).heap_bytes();
+        self.stats.delta_bytes += self.top.store.flat_bytes(delta);
         let cur = self.ins[succ].get(&o).copied().unwrap_or(EMPTY);
         // Memoized no-growth fast path: repeated (cur, delta) pairs are
         // answered from the store's union memo without allocating.
@@ -478,6 +536,12 @@ impl<'a> SfsSolver<'a> {
         let new = self.top.store.union(cur, delta);
         self.ins[succ].insert(o, new);
         self.dirty[succ].insert(o);
+        // A statically-strong store kills the consumed state of `o`, so
+        // this delivery cannot change its outputs — the pop it triggers
+        // is skippable and the stamps stay put.
+        if !self.su_kill[succ].contains(o) {
+            self.memo.invalidate_edge(node, succ);
+        }
         self.worklist.push(succ);
         val
     }
@@ -486,6 +550,15 @@ impl<'a> SfsSolver<'a> {
     /// activated `(call, callee)` pair.
     fn activate_binding(&mut self, call: InstId, callee: FuncId) {
         self.stats.calls_activated += 1;
+        // The new caller is input to the callee's `FUNEXIT` transfer (it
+        // publishes its return to the grown caller list), and this
+        // function may mark the exit dirty below without a worklist push
+        // of its own — the memo must not skip the exit pop
+        // `TopLevel::activate` queued. The *entry* pop it queued needs no
+        // bump: `FUNENTRY` has no transfer, and the caller's object state
+        // arrives through `ship_delta`, which bumps on delivery.
+        let f = &self.prog.functions[callee];
+        self.memo.invalidate(self.svfg.inst_node(f.exit_inst));
         let Some(binding) = self.svfg.call_binding(call, callee) else {
             return; // direct call: edges already in the static SVFG
         };
@@ -525,9 +598,8 @@ impl<'a> SfsSolver<'a> {
         for m in self.ins.iter().chain(self.outs.iter()) {
             sets += m.len();
             for &id in m.values() {
-                let s = self.top.store.get(id);
-                elems += s.len();
-                bytes += s.heap_bytes();
+                elems += self.top.store.set_len(id);
+                bytes += self.top.store.flat_bytes(id);
             }
         }
         (sets, elems, bytes)

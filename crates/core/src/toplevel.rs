@@ -111,9 +111,14 @@ impl<'a> TopLevel<'a> {
         v
     }
 
-    /// The materialised points-to set of `v`.
-    pub fn value_pt(&self, v: ValueId) -> &PointsToSet<ObjId> {
-        self.store.get(self.pt[v])
+    /// Iterates the points-to set of `v`, ascending.
+    pub fn value_pt_iter(&self, v: ValueId) -> impl Iterator<Item = ObjId> + '_ {
+        self.store.iter_set(self.pt[v])
+    }
+
+    /// Returns `true` if `o` is in the points-to set of `v`.
+    pub fn value_pt_contains(&self, v: ValueId, o: ObjId) -> bool {
+        self.store.contains(self.pt[v], o)
     }
 
     /// Unions the set behind `add` into `pt(v)`; on growth, enqueues every
@@ -181,7 +186,7 @@ impl<'a> TopLevel<'a> {
                 self.union_pt(*dst, s, worklist);
             }
             InstKind::Field { dst, base, offset } => {
-                let objs: Vec<ObjId> = self.store.get(self.pt[*base]).iter().collect();
+                let objs: Vec<ObjId> = self.store.iter_set(self.pt[*base]).collect();
                 for o in objs {
                     let f = self.prog.field_object(o, *offset);
                     self.insert_pt(*dst, f, worklist);
@@ -196,8 +201,7 @@ impl<'a> TopLevel<'a> {
                     Callee::Indirect(fp) => {
                         let candidates: Vec<FuncId> = self
                             .store
-                            .get(self.pt[*fp])
-                            .iter()
+                            .iter_set(self.pt[*fp])
                             .filter_map(|o| self.prog.object_as_function(o))
                             .collect();
                         for f in candidates {

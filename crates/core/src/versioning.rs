@@ -277,12 +277,35 @@ fn build_inner(
 ) -> (VersionTables, Completion) {
     let num_objs = prog.objects.len();
     // Group edges by object (dense tables: object ids index directly).
-    let mut edges_by_obj: Vec<Vec<(SvfgNodeId, SvfgNodeId)>> = vec![Vec::new(); num_objs];
+    // Count pass then exact-sized fill: the grouped SVFG edges expand to
+    // one (from, to) entry per labelled object, stored in a flat arena
+    // with per-object offsets — no per-object Vec doubling slack, which
+    // dominated this pass's transient footprint.
+    let mut offsets = vec![0u32; num_objs + 1];
     for n in svfg.node_ids() {
-        for &(t, o) in svfg.indirect_succs(n) {
-            edges_by_obj[o.index()].push((n, t));
+        for &(_, set) in svfg.indirect_succs(n) {
+            for &o in svfg.obj_set(set) {
+                offsets[o.index() + 1] += 1;
+            }
         }
     }
+    for i in 0..num_objs {
+        offsets[i + 1] += offsets[i];
+    }
+    let zero = (SvfgNodeId::new(0), SvfgNodeId::new(0));
+    let mut edge_arena = vec![zero; offsets[num_objs] as usize];
+    let mut cursor: Vec<u32> = offsets[..num_objs].to_vec();
+    for n in svfg.node_ids() {
+        for &(t, set) in svfg.indirect_succs(n) {
+            for &o in svfg.obj_set(set) {
+                let c = &mut cursor[o.index()];
+                edge_arena[*c as usize] = (n, t);
+                *c += 1;
+            }
+        }
+    }
+    drop(cursor);
+    let edges_of = |o: usize| &edge_arena[offsets[o] as usize..offsets[o + 1] as usize];
     // Group prelabel sites by object: stores' yields and δ consumes.
     // (Fig. 6 — [STORE]^P and [OTF-CG]^P.)
     let mut store_sites: Vec<Vec<SvfgNodeId>> = vec![Vec::new(); num_objs];
@@ -319,7 +342,7 @@ fn build_inner(
     let objs: Vec<ObjId> = (0..num_objs)
         .map(|i| ObjId::new(i as u32))
         .filter(|&o| {
-            !edges_by_obj[o.index()].is_empty()
+            !edges_of(o.index()).is_empty()
                 || !store_sites[o.index()].is_empty()
                 || !delta_sites[o.index()].is_empty()
         })
@@ -334,15 +357,15 @@ fn build_inner(
     let node_count = svfg.node_count();
     let cost = |i: usize| {
         let oi = objs[i].index();
-        (edges_by_obj[oi].len() + store_sites[oi].len() + delta_sites[oi].len()) as u64
+        (edges_of(oi).len() + store_sites[oi].len() + delta_sites[oi].len()) as u64
     };
     let objs_ref = &objs;
-    let edges_ref = &edges_by_obj;
+    let edges_ref = &edges_of;
     let stores_ref = &store_sites;
     let deltas_ref = &delta_sites;
     let worker = |area: &mut ObjArea, i: usize| {
         let oi = objs_ref[i].index();
-        process_object(&edges_ref[oi], &stores_ref[oi], &deltas_ref[oi], area)
+        process_object(edges_ref(oi), &stores_ref[oi], &deltas_ref[oi], area)
     };
     let init = || ObjArea::with_node_capacity(node_count);
     let run = match regions {

@@ -17,8 +17,9 @@
 //! version worklist touches far fewer sets than SFS's per-node `IN`/`OUT`
 //! propagation — the paper's single-object sparsity.
 
+use crate::region::RegionMemo;
 use crate::result::{FlowSensitiveResult, GovernedAnalysis, SolveStats};
-use crate::schedule::{slot_ranks, svfg_node_ranks, SolveOrder};
+use crate::schedule::{slot_ranks, svfg_schedule, SolveConfig, SolveOrder};
 use crate::toplevel::{TopLevel, EMPTY};
 use crate::versioning::{VersionSlot, VersionTables};
 use std::time::Instant;
@@ -53,6 +54,18 @@ pub fn run_vsfs_ordered(
     run_vsfs_with_tables_ordered(prog, aux, mssa, svfg, tables, order)
 }
 
+/// [`run_vsfs`] with a full [`SolveConfig`].
+pub fn run_vsfs_configured(
+    prog: &Program,
+    aux: &AndersenResult,
+    mssa: &MemorySsa,
+    svfg: &Svfg,
+    config: SolveConfig,
+) -> FlowSensitiveResult {
+    let tables = VersionTables::build(prog, mssa, svfg);
+    run_vsfs_with_tables_configured(prog, aux, mssa, svfg, tables, config)
+}
+
 /// Runs versioning with `jobs` worker threads, then the VSFS solver.
 /// Results are bit-identical to [`run_vsfs`] for every job count.
 pub fn run_vsfs_jobs(
@@ -74,8 +87,20 @@ pub fn run_vsfs_jobs_ordered(
     jobs: usize,
     order: SolveOrder,
 ) -> FlowSensitiveResult {
+    run_vsfs_jobs_configured(prog, aux, mssa, svfg, jobs, SolveConfig::from(order))
+}
+
+/// [`run_vsfs_jobs`] with a full [`SolveConfig`].
+pub fn run_vsfs_jobs_configured(
+    prog: &Program,
+    aux: &AndersenResult,
+    mssa: &MemorySsa,
+    svfg: &Svfg,
+    jobs: usize,
+    config: SolveConfig,
+) -> FlowSensitiveResult {
     let tables = VersionTables::build_with_jobs(prog, mssa, svfg, jobs);
-    run_vsfs_with_tables_ordered(prog, aux, mssa, svfg, tables, order)
+    run_vsfs_with_tables_configured(prog, aux, mssa, svfg, tables, config)
 }
 
 /// Runs the VSFS solver with pre-built version tables (lets benchmarks
@@ -99,7 +124,21 @@ pub fn run_vsfs_with_tables_ordered(
     tables: VersionTables,
     order: SolveOrder,
 ) -> FlowSensitiveResult {
-    solve_with_tables(prog, aux, mssa, svfg, tables, None, order).0
+    run_vsfs_with_tables_configured(prog, aux, mssa, svfg, tables, SolveConfig::from(order))
+}
+
+/// [`run_vsfs_with_tables`] with a full [`SolveConfig`] (worklist order
+/// plus the region memo switch). Results are bit-identical across every
+/// configuration.
+pub fn run_vsfs_with_tables_configured(
+    prog: &Program,
+    aux: &AndersenResult,
+    mssa: &MemorySsa,
+    svfg: &Svfg,
+    tables: VersionTables,
+    config: SolveConfig,
+) -> FlowSensitiveResult {
+    solve_with_tables(prog, aux, mssa, svfg, tables, None, config).0
 }
 
 /// Runs the full governed VSFS pipeline: governed versioning, then the
@@ -127,12 +166,25 @@ pub fn run_vsfs_governed_ordered(
     governor: &Governor,
     order: SolveOrder,
 ) -> GovernedAnalysis {
+    run_vsfs_governed_configured(prog, aux, mssa, svfg, jobs, governor, SolveConfig::from(order))
+}
+
+/// [`run_vsfs_governed`] with a full [`SolveConfig`].
+pub fn run_vsfs_governed_configured(
+    prog: &Program,
+    aux: &AndersenResult,
+    mssa: &MemorySsa,
+    svfg: &Svfg,
+    jobs: usize,
+    governor: &Governor,
+    config: SolveConfig,
+) -> GovernedAnalysis {
     let vt = VersionTables::build_governed(prog, mssa, svfg, jobs, governor);
     if let Completion::Degraded(reason) = vt.completion {
         return GovernedAnalysis::fallback(prog, aux, "versioning", reason);
     }
     let (result, completion) =
-        solve_with_tables(prog, aux, mssa, svfg, vt.result, Some(governor), order);
+        solve_with_tables(prog, aux, mssa, svfg, vt.result, Some(governor), config);
     match completion {
         Completion::Complete => GovernedAnalysis::complete(result),
         Completion::Degraded(reason) => GovernedAnalysis::fallback(prog, aux, "solve", reason),
@@ -147,11 +199,11 @@ fn solve_with_tables(
     svfg: &Svfg,
     tables: VersionTables,
     governor: Option<&Governor>,
-    order: SolveOrder,
+    config: SolveConfig,
 ) -> (FlowSensitiveResult, Completion) {
     let versioning = tables.stats;
     let start = Instant::now();
-    let mut solver = VsfsSolver::new(prog, aux, mssa, svfg, tables, order);
+    let mut solver = VsfsSolver::new(prog, aux, mssa, svfg, tables, config);
     let completion = solver.solve_governed(governor);
     let mut stats = solver.stats;
     stats.solve_seconds = start.elapsed().as_secs_f64();
@@ -180,8 +232,14 @@ struct VsfsSolver<'a> {
     /// holding equal sets share one canonical copy.
     vpts: Vec<PtsId>,
     /// Nodes to re-run when a slot's set grows (loads and stores that
-    /// consume it), indexed by slot.
-    consumers: Vec<Vec<SvfgNodeId>>,
+    /// consume it), indexed by slot. The flag is `false` when the
+    /// consumer is a store that statically strong-updates the slot's
+    /// object — it is re-queued (the registration predates the memo) but
+    /// never reads the consumed state, so the growth is not an effective
+    /// input delivery for the region memo.
+    consumers: Vec<Vec<(SvfgNodeId, bool)>>,
+    /// Region-level operation memoization (see `crate::region`).
+    memo: RegionMemo,
     /// Difference-propagation frontier per reliance edge: the set id last
     /// shipped along `tables.reliance(s)[i]`. Only `diff(value, last)`
     /// crosses an edge again.
@@ -198,39 +256,41 @@ impl<'a> VsfsSolver<'a> {
         mssa: &'a MemorySsa,
         svfg: &'a Svfg,
         tables: VersionTables,
-        order: SolveOrder,
+        config: SolveConfig,
     ) -> Self {
         let top = TopLevel::new(prog, aux, svfg);
-        let mut nodes = match order {
+        let (ranks, comps) = svfg_schedule(prog, svfg);
+        let mut nodes = match config.order {
             SolveOrder::Fifo => Worklist::fifo(svfg.node_count()),
-            SolveOrder::Topo => Worklist::priority(svfg_node_ranks(prog, svfg)),
+            SolveOrder::Topo => Worklist::priority(ranks),
         };
+        let memo = RegionMemo::new(prog, svfg, comps, config.region_memo);
         for id in svfg.node_ids() {
             nodes.push(id);
         }
-        let slots = match order {
+        let slots = match config.order {
             SolveOrder::Fifo => Worklist::fifo(tables.slot_count() as usize),
             SolveOrder::Topo => Worklist::priority(slot_ranks(prog, svfg, &tables)),
         };
         // Register consumers: loads re-run when their consumed slot grows
         // (to extend pt(dst)); stores re-run to weak-update their yield.
         let slot_count = tables.slot_count() as usize;
-        let mut consumers: Vec<Vec<SvfgNodeId>> = vec![Vec::new(); slot_count];
+        let mut consumers: Vec<Vec<(SvfgNodeId, bool)>> = vec![Vec::new(); slot_count];
         for (i, inst) in prog.insts.iter_enumerated() {
-            match inst.kind {
+            match &inst.kind {
                 InstKind::Load { .. } => {
                     let n = svfg.inst_node(i);
                     for mu in mssa.mus(i) {
                         if let Some(c) = tables.consume_slot(n, mu.obj) {
-                            consumers[c as usize].push(n);
+                            consumers[c as usize].push((n, true));
                         }
                     }
                 }
-                InstKind::Store { .. } => {
+                InstKind::Store { addr, .. } => {
                     let n = svfg.inst_node(i);
                     for chi in mssa.chis(i) {
                         if let Some(c) = tables.consume_slot(n, chi.obj) {
-                            consumers[c as usize].push(n);
+                            consumers[c as usize].push((n, !top.is_strong_update(*addr, chi.obj)));
                         }
                     }
                 }
@@ -247,6 +307,7 @@ impl<'a> VsfsSolver<'a> {
             tables,
             vpts: vec![EMPTY; slot_count],
             consumers,
+            memo,
             rel_frontier,
             nodes,
             slots,
@@ -284,7 +345,9 @@ impl<'a> VsfsSolver<'a> {
                 }
             }
             self.stats.node_pops += 1;
-            self.process_node(node);
+            if self.memo.admit(node, &self.top.pt, &mut self.stats) {
+                self.process_node(node);
+            }
         }
         Completion::Complete
     }
@@ -305,9 +368,9 @@ impl<'a> VsfsSolver<'a> {
                 self.stats.unions_avoided += 1;
                 continue;
             }
-            self.stats.full_bytes += self.top.store.get(val).heap_bytes();
+            self.stats.full_bytes += self.top.store.flat_bytes(val);
             let delta = self.top.store.diff(val, last);
-            self.stats.delta_bytes += self.top.store.get(delta).heap_bytes();
+            self.stats.delta_bytes += self.top.store.flat_bytes(delta);
             self.rel_frontier[s as usize][i] = val;
             let cur = self.vpts[c as usize];
             if delta == EMPTY || !self.top.store.union_would_change(cur, delta) {
@@ -324,7 +387,10 @@ impl<'a> VsfsSolver<'a> {
         self.slots.push(c as usize);
         let n_consumers = self.consumers[c as usize].len();
         for i in 0..n_consumers {
-            let n = self.consumers[c as usize][i];
+            let (n, effective) = self.consumers[c as usize][i];
+            if effective {
+                self.memo.invalidate(n);
+            }
             self.nodes.push(n);
         }
     }
@@ -341,7 +407,7 @@ impl<'a> VsfsSolver<'a> {
         match &self.prog.insts[inst].kind {
             InstKind::Load { dst, addr } => {
                 // [LOAD]^F: pt(dst) ⊇ pt_{C_ℓ(o)}(o) for o ∈ pt(addr).
-                let objs: Vec<ObjId> = self.top.value_pt(*addr).iter().collect();
+                let objs: Vec<ObjId> = self.top.value_pt_iter(*addr).collect();
                 for o in objs {
                     if let Some(c) = self.tables.consume_slot(node, o) {
                         let s = self.vpts[c as usize];
@@ -358,7 +424,7 @@ impl<'a> VsfsSolver<'a> {
                     let o = chi.obj;
                     let Some(y) = self.tables.yield_slot(node, o) else { continue };
                     let y = y as usize;
-                    let is_target = self.top.value_pt(addr).contains(o);
+                    let is_target = self.top.value_pt_contains(addr, o);
                     // Static strong/weak decision (see
                     // `TopLevel::is_strong_update`).
                     let su = self.top.is_strong_update(addr, o);
@@ -402,6 +468,14 @@ impl<'a> VsfsSolver<'a> {
     /// proven `(call, callee)` pair and propagates immediately.
     fn activate_binding(&mut self, call: InstId, callee: FuncId) {
         self.stats.calls_activated += 1;
+        // The grown caller list is input to the callee's `FUNEXIT`
+        // transfer (it publishes its return to the new caller), so the
+        // exit pop `TopLevel::activate` queued must not be skipped. The
+        // entry pop it queued needs no bump: `FUNENTRY` has no transfer,
+        // and caller slot state arrives through the consume edges wired
+        // below, whose deliveries bump on their own.
+        let f = &self.prog.functions[callee];
+        self.memo.invalidate(self.svfg.inst_node(f.exit_inst));
         let Some(binding) = self.svfg.call_binding(call, callee) else {
             return; // direct call: reliance edges were built statically
         };
@@ -434,8 +508,8 @@ impl<'a> VsfsSolver<'a> {
                 // re-enters through `slot_grew` and ships only the delta.
                 let val = self.vpts[y as usize];
                 self.rel_frontier[y as usize].push(val);
-                self.stats.full_bytes += self.top.store.get(val).heap_bytes();
-                self.stats.delta_bytes += self.top.store.get(val).heap_bytes();
+                self.stats.full_bytes += self.top.store.flat_bytes(val);
+                self.stats.delta_bytes += self.top.store.flat_bytes(val);
                 let cur = self.vpts[c as usize];
                 let new = self.top.store.union(cur, val);
                 if new != cur {
@@ -451,9 +525,8 @@ impl<'a> VsfsSolver<'a> {
         let mut elems = 0;
         let mut bytes = 0;
         for &id in &self.vpts {
-            let s = self.top.store.get(id);
-            elems += s.len();
-            bytes += s.heap_bytes();
+            elems += self.top.store.set_len(id);
+            bytes += self.top.store.flat_bytes(id);
         }
         (sets, elems, bytes)
     }

@@ -78,7 +78,7 @@ pub fn export_warm(state: &ProgramState) -> Option<WarmExport> {
     let mut sets: Vec<Vec<u64>> = Vec::new();
     let mut index_of = |id: PtsId, result: &FlowSensitiveResult| -> u32 {
         *set_index.entry(id).or_insert_with(|| {
-            let mut objs: Vec<u64> = result.store.get(id).iter().map(|o| keys.obj_key[o]).collect();
+            let mut objs: Vec<u64> = result.store.iter_set(id).map(|o| keys.obj_key[o]).collect();
             objs.sort_unstable();
             sets.push(objs);
             (sets.len() - 1) as u32
@@ -159,7 +159,7 @@ pub fn restore_program(
         &front.aux,
         &staged.mssa,
         &staged.svfg,
-        opts.order,
+        opts.order.into(),
         fs_governor,
         Some(seed),
     );

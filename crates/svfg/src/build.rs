@@ -1,6 +1,6 @@
 //! SVFG construction from the IR, auxiliary results, and memory SSA.
 
-use crate::{CallBinding, Svfg, SvfgNodeId, SvfgNodeKind};
+use crate::{CallBinding, ObjSetId, Svfg, SvfgNodeId, SvfgNodeKind};
 use std::collections::{HashMap, HashSet};
 use vsfs_adt::IndexVec;
 use vsfs_andersen::AndersenResult;
@@ -20,7 +20,12 @@ struct Builder<'a> {
     mssa: &'a MemorySsa,
     svfg: Svfg,
     seen_dir: HashSet<(SvfgNodeId, SvfgNodeId)>,
-    seen_ind: HashSet<(SvfgNodeId, SvfgNodeId, ObjId)>,
+    /// Raw labelled indirect edges, possibly with duplicates. Grouping
+    /// and dedup happen in one sort at the end of construction —
+    /// markedly cheaper in peak heap than a per-edge dedup set (the
+    /// label space repeats each `(from, to)` pair hundreds of times on
+    /// large workloads).
+    raw_ind: Vec<(SvfgNodeId, SvfgNodeId, ObjId)>,
 }
 
 impl<'a> Builder<'a> {
@@ -52,18 +57,21 @@ impl<'a> Builder<'a> {
             direct_succs: (0..n).map(|_| Vec::new()).collect(),
             ind_succs: (0..n).map(|_| Vec::new()).collect(),
             ind_preds: (0..n).map(|_| Vec::new()).collect(),
+            obj_set_arena: Vec::new(),
+            obj_set_spans: Vec::new(),
             call_bindings: HashMap::new(),
             delta: IndexVec::from_elem_n(false, n),
             direct_edges: 0,
             indirect_edges: 0,
         };
-        Builder { prog, aux, mssa, svfg, seen_dir: HashSet::new(), seen_ind: HashSet::new() }
+        Builder { prog, aux, mssa, svfg, seen_dir: HashSet::new(), raw_ind: Vec::new() }
     }
 
     fn run(mut self) -> Svfg {
         self.direct_edges();
         self.indirect_intra_edges();
         self.interprocedural_indirect();
+        self.group_indirect_edges();
         self.mark_delta_nodes();
         self.svfg
     }
@@ -77,12 +85,54 @@ impl<'a> Builder<'a> {
     }
 
     fn add_indirect(&mut self, from: SvfgNodeId, to: SvfgNodeId, obj: ObjId) {
-        if !self.seen_ind.insert((from, to, obj)) {
-            return;
+        self.raw_ind.push((from, to, obj));
+    }
+
+    /// Dedups the raw labelled edges, groups them into one edge per
+    /// `(from, to)` pair, interns the label sets, and emits the grouped
+    /// succ/pred adjacency.
+    fn group_indirect_edges(&mut self) {
+        let mut raw = std::mem::take(&mut self.raw_ind);
+        raw.sort_unstable();
+        raw.dedup();
+        self.svfg.indirect_edges += raw.len();
+
+        let mut set_ids: HashMap<Box<[ObjId]>, ObjSetId> = HashMap::new();
+        let mut intern = |svfg: &mut Svfg, objs: &[ObjId]| -> ObjSetId {
+            if let Some(&s) = set_ids.get(objs) {
+                return s;
+            }
+            let start = svfg.obj_set_arena.len() as u32;
+            svfg.obj_set_arena.extend_from_slice(objs);
+            let s = ObjSetId::new(svfg.obj_set_spans.len() as u32);
+            svfg.obj_set_spans.push((start, objs.len() as u32));
+            set_ids.insert(objs.into(), s);
+            s
+        };
+
+        // One pass over runs of equal (from, to); `raw` is sorted, so
+        // each run's labels are already ascending and distinct.
+        let mut grouped: Vec<(SvfgNodeId, SvfgNodeId, ObjSetId)> = Vec::new();
+        let mut i = 0;
+        let mut objs: Vec<ObjId> = Vec::new();
+        while i < raw.len() {
+            let (f, t, _) = raw[i];
+            objs.clear();
+            while i < raw.len() && raw[i].0 == f && raw[i].1 == t {
+                objs.push(raw[i].2);
+                i += 1;
+            }
+            let s = intern(&mut self.svfg, &objs);
+            self.svfg.ind_succs[f].push((t, s));
+            grouped.push((f, t, s));
         }
-        self.svfg.ind_succs[from].push((to, obj));
-        self.svfg.ind_preds[to].push((from, obj));
-        self.svfg.indirect_edges += 1;
+        drop(raw);
+
+        // Mirror into preds, sorted by (to, from), sharing the set ids.
+        grouped.sort_unstable_by_key(|&(f, t, _)| (t, f));
+        for (f, t, s) in grouped {
+            self.svfg.ind_preds[t].push((f, s));
+        }
     }
 
     /// The SVFG node at which a top-level value becomes available.
@@ -440,15 +490,41 @@ mod more_tests {
     #[test]
     fn edge_counts_are_consistent() {
         let (_, svfg) = pipeline(vsfs_workloads_src());
-        let counted: usize = svfg.node_ids().map(|n| svfg.indirect_succs(n).len()).sum::<usize>()
-            + svfg.call_bindings().map(|(_, b)| b.ins.len() + b.outs.len()).sum::<usize>();
+        let counted: usize =
+            svfg.node_ids().map(|n| svfg.indirect_succs_expanded(n).count()).sum::<usize>()
+                + svfg.call_bindings().map(|(_, b)| b.ins.len() + b.outs.len()).sum::<usize>();
         assert_eq!(counted, svfg.indirect_edge_count());
         let direct: usize = svfg.node_ids().map(|n| svfg.direct_succs(n).len()).sum();
         assert_eq!(direct, svfg.direct_edge_count());
-        // preds mirror succs exactly.
-        let preds: usize = svfg.node_ids().map(|n| svfg.indirect_preds(n).len()).sum();
-        let succs: usize = svfg.node_ids().map(|n| svfg.indirect_succs(n).len()).sum();
-        assert_eq!(preds, succs);
+        // preds mirror succs exactly, labelled edge by labelled edge.
+        let mut succs: Vec<(u32, u32, u32)> = svfg
+            .node_ids()
+            .flat_map(|n| {
+                svfg.indirect_succs_expanded(n)
+                    .map(move |(t, o)| (n.index() as u32, t.index() as u32, o.index() as u32))
+            })
+            .collect();
+        let mut preds: Vec<(u32, u32, u32)> = svfg
+            .node_ids()
+            .flat_map(|n| {
+                svfg.indirect_preds_expanded(n)
+                    .map(move |(f, o)| (f.index() as u32, n.index() as u32, o.index() as u32))
+            })
+            .collect();
+        succs.sort_unstable();
+        preds.sort_unstable();
+        assert_eq!(succs, preds);
+        // Grouped edges are deduplicated: one entry per (from, to) pair,
+        // and every label set is non-empty and strictly ascending.
+        for n in svfg.node_ids() {
+            let g = svfg.indirect_succs(n);
+            assert!(g.windows(2).all(|w| w[0].0 < w[1].0));
+            for &(_, s) in g {
+                let objs = svfg.obj_set(s);
+                assert!(!objs.is_empty());
+                assert!(objs.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
     }
 
     fn vsfs_workloads_src() -> &'static str {

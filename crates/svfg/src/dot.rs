@@ -77,13 +77,18 @@ impl Svfg {
             for &t in self.direct_succs(n) {
                 let _ = writeln!(out, "  {} -> {};", n.raw(), t.raw());
             }
-            for &(t, o) in self.indirect_succs(n) {
+            for &(t, s) in self.indirect_succs(n) {
+                let labels: Vec<String> = self
+                    .obj_set(s)
+                    .iter()
+                    .map(|&o| prog.objects[o].name.replace('"', "'"))
+                    .collect();
                 let _ = writeln!(
                     out,
                     "  {} -> {} [style=dashed, label=\"{}\"];",
                     n.raw(),
                     t.raw(),
-                    prog.objects[o].name.replace('"', "'")
+                    labels.join(",")
                 );
             }
         }

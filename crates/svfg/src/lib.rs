@@ -59,6 +59,17 @@ define_index!(
     "n"
 );
 
+define_index!(
+    /// An interned object-label set shared by the graph's indirect edges.
+    ///
+    /// A `(from, to)` node pair with value flow for many objects is one
+    /// grouped edge labelled by an `ObjSetId`; identical label sets across
+    /// pairs share one id (on large workloads the ~15× label repetition
+    /// collapses accordingly). Resolve with [`Svfg::obj_set`].
+    ObjSetId,
+    "os"
+);
+
 /// What an SVFG node represents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SvfgNodeKind {
@@ -89,8 +100,14 @@ pub struct Svfg {
     pub(crate) node_of_callret: HashMap<InstId, SvfgNodeId>,
     pub(crate) node_of_memphi: IndexVec<MemPhiId, SvfgNodeId>,
     pub(crate) direct_succs: IndexVec<SvfgNodeId, Vec<SvfgNodeId>>,
-    pub(crate) ind_succs: IndexVec<SvfgNodeId, Vec<(SvfgNodeId, ObjId)>>,
-    pub(crate) ind_preds: IndexVec<SvfgNodeId, Vec<(SvfgNodeId, ObjId)>>,
+    /// Grouped indirect edges: one entry per `(from, to)` pair, labelled
+    /// by an interned object set.
+    pub(crate) ind_succs: IndexVec<SvfgNodeId, Vec<(SvfgNodeId, ObjSetId)>>,
+    pub(crate) ind_preds: IndexVec<SvfgNodeId, Vec<(SvfgNodeId, ObjSetId)>>,
+    /// Interned label sets: arena of sorted object ids plus per-set
+    /// `(start, len)` spans, indexed by [`ObjSetId`].
+    pub(crate) obj_set_arena: Vec<ObjId>,
+    pub(crate) obj_set_spans: Vec<(u32, u32)>,
     pub(crate) call_bindings: HashMap<(InstId, FuncId), CallBinding>,
     pub(crate) delta: IndexVec<SvfgNodeId, bool>,
     pub(crate) direct_edges: usize,
@@ -149,15 +166,50 @@ impl Svfg {
         &self.direct_succs[node]
     }
 
-    /// Indirect successors of `node` with their object labels
-    /// (intraprocedural + direct-call interprocedural).
-    pub fn indirect_succs(&self, node: SvfgNodeId) -> &[(SvfgNodeId, ObjId)] {
+    /// Grouped indirect successors of `node`: one entry per successor,
+    /// labelled with the interned set of objects flowing along the edge
+    /// (intraprocedural + direct-call interprocedural). Sorted by
+    /// successor id.
+    pub fn indirect_succs(&self, node: SvfgNodeId) -> &[(SvfgNodeId, ObjSetId)] {
         &self.ind_succs[node]
     }
 
-    /// Indirect predecessors of `node` with their object labels.
-    pub fn indirect_preds(&self, node: SvfgNodeId) -> &[(SvfgNodeId, ObjId)] {
+    /// Grouped indirect predecessors of `node`, sorted by predecessor id.
+    pub fn indirect_preds(&self, node: SvfgNodeId) -> &[(SvfgNodeId, ObjSetId)] {
         &self.ind_preds[node]
+    }
+
+    /// The object labels behind an interned set id, sorted ascending.
+    pub fn obj_set(&self, set: ObjSetId) -> &[ObjId] {
+        let (start, len) = self.obj_set_spans[set.index()];
+        &self.obj_set_arena[start as usize..(start + len) as usize]
+    }
+
+    /// Number of distinct interned object-label sets.
+    pub fn obj_set_count(&self) -> usize {
+        self.obj_set_spans.len()
+    }
+
+    /// Indirect successors of `node` expanded to per-object labelled
+    /// edges, as `(succ, obj)` pairs.
+    pub fn indirect_succs_expanded(
+        &self,
+        node: SvfgNodeId,
+    ) -> impl Iterator<Item = (SvfgNodeId, ObjId)> + '_ {
+        self.ind_succs[node]
+            .iter()
+            .flat_map(move |&(t, s)| self.obj_set(s).iter().map(move |&o| (t, o)))
+    }
+
+    /// Indirect predecessors of `node` expanded to per-object labelled
+    /// edges, as `(pred, obj)` pairs.
+    pub fn indirect_preds_expanded(
+        &self,
+        node: SvfgNodeId,
+    ) -> impl Iterator<Item = (SvfgNodeId, ObjId)> + '_ {
+        self.ind_preds[node]
+            .iter()
+            .flat_map(move |&(f, s)| self.obj_set(s).iter().map(move |&o| (f, o)))
     }
 
     /// The deferred interprocedural binding for `(call, callee)`, if the

@@ -116,10 +116,10 @@ echo "== parallel scaling record (writes results/BENCH_parallel.json) =="
 cargo run --release -p vsfs-bench --bin parallel_scaling -- lynx --runs 1
 
 echo
-echo "== memory gate: peak live-heap vs results/BENCH_dedup.json baseline =="
+echo "== MDE gate: peak heap, chunk payload dedup, region memo vs results/BENCH_dedup.json =="
 if [ -f results/BENCH_dedup.json ]; then
   cargo run --release -p vsfs-bench --bin dedup_mem -- du,ninja,bake \
-    --check results/BENCH_dedup.json
+    --gate results/BENCH_dedup.json
 else
   echo "no baseline recorded; writing one"
   cargo run --release -p vsfs-bench --bin dedup_mem -- du,ninja,bake

@@ -34,6 +34,10 @@ echo "== Scheduling: FIFO vs topological order, difference propagation =="
 ./target/release/scheduling
 
 echo
+echo "== MDE: chunked-store payload, peak heap, region memo (writes results/BENCH_dedup.json) =="
+./target/release/dedup_mem
+
+echo
 echo "== Incremental: edit re-solve vs from-scratch (writes results/BENCH_incremental.json) =="
 ./target/release/incremental_bench
 
